@@ -1,0 +1,54 @@
+// Design-choice ablations beyond the paper's tables (the hooks DESIGN.md
+// calls out), run on OOI:
+//   * inverse relations on/off (Sec. IV's canonical+inverse convention),
+//   * attention refresh schedule (every epoch / every 5 / frozen),
+//   * TransR KG phase on/off (epochs with kg_batch but no KG step is not
+//     configurable; instead we compare attention frozen-at-init, which
+//     isolates the value of co-trained attention).
+#include "bench/bench_common.hpp"
+#include "eval/experiments.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ckat;
+  const util::CliArgs args(argc, argv);
+  auto datasets = bench::load_datasets(args);
+
+  util::AsciiTable table(
+      "Design ablations (CKAT on the default CKG): inverse relations and "
+      "attention refresh schedule");
+  std::vector<std::string> header = {"variant"};
+  for (const auto& [name, dataset] : datasets) {
+    header.push_back(name + " recall@20");
+    header.push_back(name + " ndcg@20");
+  }
+  table.set_header(header);
+
+  struct Variant {
+    std::string label;
+    bool inverse;
+    int refresh_every;
+  };
+  const std::vector<Variant> variants = {
+      {"default (inverse, refresh=1)", true, 1},
+      {"no inverse relations", false, 1},
+      {"refresh every 5 epochs", true, 5},
+      {"attention frozen at init", true, 0},
+  };
+
+  for (const Variant& variant : variants) {
+    std::vector<std::string> row = {variant.label};
+    for (const auto& [name, dataset] : datasets) {
+      const auto ckg = bench::default_ckg(*dataset);
+      core::CkatConfig config = eval::default_ckat_config(dataset->n_items());
+      config.inverse_relations = variant.inverse;
+      config.attention_refresh_every = variant.refresh_every;
+      CKAT_LOG_INFO("%s on %s", variant.label.c_str(), name.c_str());
+      const auto result = eval::run_ckat(config, ckg, dataset->split());
+      row.push_back(util::AsciiTable::metric(result.metrics.recall));
+      row.push_back(util::AsciiTable::metric(result.metrics.ndcg));
+    }
+    table.add_row(row);
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Shared glue for the paper-table bench harnesses: dataset selection,
+// CKG-variant construction and consistent stdout conventions.
+//
+// Every harness accepts:
+//   --facility=OOI|GAGE|both   (default both)
+//   --seed=N                   (default 42)
+//   --scale=paper|tiny         (default paper)
+// and honors CKAT_EPOCH_SCALE_PCT for quick smoke runs.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "facility/dataset.hpp"
+#include "graph/ckg.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace ckat::bench {
+
+struct NamedDataset {
+  std::string name;
+  std::unique_ptr<facility::FacilityDataset> dataset;
+};
+
+inline std::vector<NamedDataset> load_datasets(const util::CliArgs& args) {
+  util::init_logging_from_env();
+  const std::string which = args.get_string("facility", "both");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const auto scale = args.get_string("scale", "paper") == "tiny"
+                         ? facility::DatasetScale::kTiny
+                         : facility::DatasetScale::kPaper;
+
+  std::vector<NamedDataset> out;
+  if (which == "OOI" || which == "both") {
+    out.push_back({"OOI", std::make_unique<facility::FacilityDataset>(
+                              facility::make_ooi_dataset(seed, scale))});
+  }
+  if (which == "GAGE" || which == "both") {
+    out.push_back({"GAGE", std::make_unique<facility::FacilityDataset>(
+                               facility::make_gage_dataset(seed, scale))});
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "unknown --facility '%s' (use OOI, GAGE or both)\n",
+                 which.c_str());
+    std::exit(2);
+  }
+  return out;
+}
+
+/// The paper's default CKG: UIG + UUG + LOC + DKG.
+inline graph::CollaborativeKg default_ckg(const facility::FacilityDataset& ds) {
+  return ds.build_default_ckg();
+}
+
+/// The full CKG including the MD noise source (Table I statistics row).
+inline graph::CollaborativeKg full_ckg(const facility::FacilityDataset& ds) {
+  graph::CkgOptions options;
+  options.include_user_user = true;
+  options.sources = {facility::kSourceLoc, facility::kSourceDkg,
+                     facility::kSourceMd};
+  return ds.build_ckg(options);
+}
+
+}  // namespace ckat::bench

@@ -1,0 +1,111 @@
+// Cold-start analysis (extension; the standard motivation for KG-aware
+// recommendation, cited by the paper in Sec. II.B: KGs "alleviate the
+// cold-start and data-sparsity challenges").
+//
+// Test users are bucketed by training-interaction count and recall@20
+// is reported per bucket for CKAT vs plain BPRMF. The expectation: the
+// sparser the user, the larger CKAT's relative advantage, because the
+// knowledge graph supplies signal that interactions cannot.
+#include <limits>
+#include <vector>
+
+#include "baselines/bprmf.hpp"
+#include "bench/bench_common.hpp"
+#include "core/ckat.hpp"
+#include "eval/experiments.hpp"
+#include "eval/metrics.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace ckat;
+
+struct Bucket {
+  std::string label;
+  std::size_t min_train;
+  std::size_t max_train;  // inclusive
+};
+
+/// recall@20 over test users whose train-degree falls in the bucket.
+double bucket_recall(const eval::Recommender& model,
+                     const graph::InteractionSplit& split,
+                     const Bucket& bucket) {
+  eval::TopKMetrics total;
+  std::vector<float> scores(model.n_items());
+  for (std::uint32_t u = 0; u < split.test.n_users(); ++u) {
+    auto relevant = split.test.items_of(u);
+    if (relevant.empty()) continue;
+    const std::size_t degree = split.train.items_of(u).size();
+    if (degree < bucket.min_train || degree > bucket.max_train) continue;
+    model.score_items(u, scores);
+    for (std::uint32_t item : split.train.items_of(u)) {
+      scores[item] = -std::numeric_limits<float>::infinity();
+    }
+    total += eval::user_topk_metrics(eval::top_k_indices(scores, 20),
+                                     relevant);
+  }
+  total.finalize();
+  return total.n_users > 0 ? total.recall : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const auto datasets = bench::load_datasets(args);
+
+  const std::vector<Bucket> buckets = {
+      {"sparse (<= 10 train items)", 0, 10},
+      {"medium (11-40)", 11, 40},
+      {"active (> 40)", 41, std::numeric_limits<std::size_t>::max()},
+  };
+
+  util::AsciiTable table(
+      "Cold-start analysis: recall@20 per user-activity bucket "
+      "(knowledge-aware CKAT vs interaction-only BPRMF)");
+  std::vector<std::string> header = {"bucket"};
+  for (const auto& [name, dataset] : datasets) {
+    header.push_back(name + " CKAT");
+    header.push_back(name + " BPRMF");
+    header.push_back(name + " lift");
+  }
+  table.set_header(header);
+
+  std::vector<std::vector<std::string>> rows(buckets.size());
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    rows[b].push_back(buckets[b].label);
+  }
+
+  for (const auto& [name, dataset] : datasets) {
+    const auto ckg = bench::default_ckg(*dataset);
+    core::CkatConfig config = eval::default_ckat_config(dataset->n_items());
+    config.epochs = util::scaled_epochs(config.epochs);
+    core::CkatModel ckat(ckg, dataset->split().train, config);
+    CKAT_LOG_INFO("training CKAT on %s", name.c_str());
+    ckat.fit();
+
+    baselines::BprmfConfig mf_config;
+    mf_config.epochs = util::scaled_epochs(mf_config.epochs);
+    baselines::BprmfModel bprmf(dataset->split().train, mf_config);
+    CKAT_LOG_INFO("training BPRMF on %s", name.c_str());
+    bprmf.fit();
+
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      const double ckat_recall =
+          bucket_recall(ckat, dataset->split(), buckets[b]);
+      const double mf_recall =
+          bucket_recall(bprmf, dataset->split(), buckets[b]);
+      rows[b].push_back(util::AsciiTable::metric(ckat_recall));
+      rows[b].push_back(util::AsciiTable::metric(mf_recall));
+      rows[b].push_back(
+          mf_recall > 0.0
+              ? "+" + util::AsciiTable::number(
+                          100.0 * (ckat_recall - mf_recall) / mf_recall, 1) +
+                    "%"
+              : "-");
+    }
+  }
+  for (auto& row : rows) table.add_row(row);
+  table.print();
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Engineering microbenchmarks for the nn substrate (not a paper table):
+// GEMM kernels, sparse matmul, segment ops and sparse-vs-dense Adam.
+#include <benchmark/benchmark.h>
+
+#include "nn/init.hpp"
+#include "nn/kernels.hpp"
+#include "nn/optim.hpp"
+#include "nn/tape.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ckat;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  nn::Tensor a(n, n), b(n, n), out(n, n);
+  nn::uniform_init(a, rng, -1.0, 1.0);
+  nn::uniform_init(b, rng, -1.0, 1.0);
+  for (auto _ : state) {
+    nn::gemm(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTall(benchmark::State& state) {
+  // The CKAT aggregator shape: (entities x 2d) @ (2d x d).
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  nn::Tensor a(rows, 128), b(128, 64), out(rows, 64);
+  nn::uniform_init(a, rng, -1.0, 1.0);
+  nn::uniform_init(b, rng, -1.0, 1.0);
+  for (auto _ : state) {
+    nn::gemm(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          rows * 128 * 64);
+}
+BENCHMARK(BM_GemmTall)->Arg(1024)->Arg(4096);
+
+void BM_Spmm(benchmark::State& state) {
+  // Graph-propagation shape: sparse (N x N, ~16 nnz/row) times (N x 64).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  std::vector<std::uint32_t> rows, cols;
+  std::vector<float> vals;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (int k = 0; k < 16; ++k) {
+      rows.push_back(static_cast<std::uint32_t>(r));
+      cols.push_back(static_cast<std::uint32_t>(rng.uniform_index(n)));
+      vals.push_back(rng.uniform_float());
+    }
+  }
+  const nn::CsrMatrix m = nn::csr_from_coo(n, n, rows, cols, vals);
+  nn::Tensor x(n, 64), out(n, 64);
+  nn::uniform_init(x, rng, -1.0, 1.0);
+  for (auto _ : state) {
+    nn::spmm(m, x, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m.nnz()) * 64);
+}
+BENCHMARK(BM_Spmm)->Arg(1024)->Arg(4096);
+
+void BM_SegmentSoftmaxTape(benchmark::State& state) {
+  const auto edges = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(4);
+  nn::Tensor scores(edges, 1);
+  nn::uniform_init(scores, rng, -2.0, 2.0);
+  std::vector<std::uint32_t> segments(edges);
+  for (std::size_t i = 0; i < edges; ++i) {
+    segments[i] = static_cast<std::uint32_t>(i / 16);
+  }
+  for (auto _ : state) {
+    nn::Tape tape;
+    nn::Var v = tape.segment_softmax(tape.constant(scores), segments);
+    benchmark::DoNotOptimize(tape.value(v).data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(edges));
+}
+BENCHMARK(BM_SegmentSoftmaxTape)->Arg(16384)->Arg(131072);
+
+void BM_AdamDense(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  nn::ParamStore store;
+  nn::Parameter& p = store.create("p", rows, 64);
+  util::Rng rng(5);
+  nn::uniform_init(p.value(), rng, -1.0, 1.0);
+  nn::AdamOptimizer opt(0.01f);
+  for (auto _ : state) {
+    nn::uniform_init(p.grad(), rng, -0.01, 0.01);
+    p.mark_dense();
+    opt.step(store);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows) * 64);
+}
+BENCHMARK(BM_AdamDense)->Arg(4096);
+
+void BM_AdamSparse(benchmark::State& state) {
+  // Only 256 of the rows carry gradients; the sparse path should cost
+  // ~rows/256 less than the dense path above.
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  nn::ParamStore store;
+  nn::Parameter& p = store.create("p", rows, 64);
+  util::Rng rng(6);
+  nn::uniform_init(p.value(), rng, -1.0, 1.0);
+  nn::AdamOptimizer opt(0.01f);
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) {
+      const auto r = static_cast<std::uint32_t>(rng.uniform_index(rows));
+      auto grad_row = p.grad().row(r);
+      for (float& g : grad_row) g = 0.01f;
+      p.mark_row(r);
+    }
+    opt.step(store);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256 *
+                          64);
+}
+BENCHMARK(BM_AdamSparse)->Arg(4096);
+
+void BM_TapeBackwardMlp(benchmark::State& state) {
+  // Full forward+backward of a small MLP: measures tape overhead.
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  nn::ParamStore store;
+  nn::Parameter& w1 = store.create("w1", 64, 64);
+  nn::Parameter& w2 = store.create("w2", 64, 1);
+  nn::Parameter& input = store.create("in", batch, 64);
+  util::Rng rng(7);
+  nn::uniform_init(w1.value(), rng, -0.1, 0.1);
+  nn::uniform_init(w2.value(), rng, -0.1, 0.1);
+  nn::uniform_init(input.value(), rng, -1.0, 1.0);
+  for (auto _ : state) {
+    nn::Tape tape;
+    nn::Var h = tape.tanh_op(tape.matmul(tape.param(input), tape.param(w1)));
+    nn::Var loss = tape.reduce_mean(tape.square(tape.matmul(h, tape.param(w2))));
+    tape.backward(loss);
+    store.zero_grad();
+    benchmark::DoNotOptimize(tape.value(loss).data());
+  }
+}
+BENCHMARK(BM_TapeBackwardMlp)->Arg(512)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

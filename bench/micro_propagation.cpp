@@ -1,0 +1,98 @@
+// Engineering microbenchmarks for the CKAT building blocks on a real
+// (tiny) facility CKG: attention-matrix refresh, one CF training step
+// (full-graph propagation forward + backward) and one TransR step.
+#include <benchmark/benchmark.h>
+
+#include "core/attention.hpp"
+#include "core/ckat.hpp"
+#include "core/transr.hpp"
+#include "facility/dataset.hpp"
+
+namespace {
+
+using namespace ckat;
+
+struct SharedData {
+  SharedData()
+      : dataset(facility::make_ooi_dataset(42, facility::DatasetScale::kTiny)),
+        ckg(dataset.build_default_ckg()),
+        adjacency(ckg.build_adjacency()) {
+    util::Rng rng(1);
+    transr = std::make_unique<core::TransR>(
+        store, ckg.n_entities(), adjacency.n_relations(),
+        core::TransRConfig{}, rng);
+  }
+  facility::FacilityDataset dataset;
+  graph::CollaborativeKg ckg;
+  graph::Adjacency adjacency;
+  nn::ParamStore store;
+  std::unique_ptr<core::TransR> transr;
+};
+
+SharedData& shared() {
+  static SharedData data;
+  return data;
+}
+
+void BM_AttentionMatrixRefresh(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto m = core::build_attention_matrix(shared().adjacency,
+                                                *shared().transr);
+    benchmark::DoNotOptimize(m.forward.values.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(shared().adjacency.n_edges()));
+}
+BENCHMARK(BM_AttentionMatrixRefresh);
+
+void BM_UniformMatrixBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto m = core::build_uniform_matrix(shared().adjacency);
+    benchmark::DoNotOptimize(m.forward.values.data());
+  }
+}
+BENCHMARK(BM_UniformMatrixBuild);
+
+void BM_TransRStep(benchmark::State& state) {
+  nn::ParamStore store;
+  util::Rng rng(2);
+  core::TransR transr(store, shared().ckg.n_entities(),
+                      shared().adjacency.n_relations(), core::TransRConfig{},
+                      rng);
+  std::vector<core::KgEdge> batch;
+  for (std::size_t e = 0; e < std::min<std::size_t>(
+                                  2048, shared().adjacency.n_edges());
+       ++e) {
+    batch.push_back(core::KgEdge{shared().adjacency.heads()[e],
+                                 shared().adjacency.relations()[e],
+                                 shared().adjacency.tails()[e]});
+  }
+  nn::AdamOptimizer opt(0.01f);
+  util::Rng step_rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transr.train_step(batch, opt, store, step_rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_TransRStep);
+
+void BM_CkatFullEpoch(benchmark::State& state) {
+  for (auto _ : state) {
+    core::CkatConfig config;
+    config.epochs = 1;
+    config.cf_batch_size = 1024;
+    core::CkatModel model(shared().ckg, shared().dataset.split().train,
+                          config);
+    model.fit();
+    benchmark::DoNotOptimize(model.final_representations().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(
+                              shared().dataset.split().train.size()));
+}
+BENCHMARK(BM_CkatFullEpoch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Cross-facility recommendation -- the extension the paper leaves as
+// future work (Sec. IV). OOI and GAGE CKGs are consolidated through
+// entity alignment: users in same-named cities are linked across
+// facilities and shared scientific disciplines merge, so collaborative
+// signal flows between the two communities. One CKAT model is trained
+// on the consolidated CKG and evaluated per facility.
+//
+// Run:  ./cross_facility [--epochs=12]
+#include <cstdio>
+
+#include "core/ckat.hpp"
+#include "eval/evaluator.hpp"
+#include "facility/multi.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ckat;
+  const util::CliArgs args(argc, argv);
+  const int epochs = static_cast<int>(args.get_int("epochs", 12));
+
+  const auto ooi =
+      facility::make_ooi_dataset(42, facility::DatasetScale::kTiny);
+  const auto gage =
+      facility::make_gage_dataset(42, facility::DatasetScale::kTiny);
+
+  util::Rng rng(7);
+  const facility::CombinedFacilities combined(ooi, gage,
+                                              /*cross_city_neighbors=*/4, rng);
+  std::printf(
+      "consolidated: %zu users, %zu items, %zu user-user links "
+      "(%zu cross-facility)\n",
+      combined.n_users(), combined.n_items(),
+      combined.user_user_pairs().size(),
+      combined.n_cross_facility_pairs());
+
+  const auto ckg = combined.build_ckg();
+  std::printf("consolidated CKG: %zu entities, %zu relations, %zu triples\n",
+              ckg.n_entities(), ckg.n_relations(), ckg.triples().size());
+
+  core::CkatConfig config;
+  config.epochs = epochs;
+  config.cf_batch_size = 1024;
+  core::CkatModel model(ckg, combined.split().train, config);
+  model.fit();
+
+  // Per-facility evaluation: rank only the facility's own items.
+  for (std::size_t facility = 0; facility < 2; ++facility) {
+    const auto mask = combined.item_mask(facility);
+    eval::EvalConfig eval_config;
+    eval_config.candidate_items = &mask;
+    const auto metrics =
+        eval::evaluate_topk(model, combined.split(), eval_config);
+    std::printf("%s via consolidated model: recall@20=%.4f ndcg@20=%.4f "
+                "(%zu users)\n",
+                facility == 0 ? "OOI " : "GAGE", metrics.recall, metrics.ndcg,
+                metrics.n_users);
+  }
+
+  // Reference: single-facility models with the same budget.
+  for (const auto* dataset : {&ooi, &gage}) {
+    const auto single_ckg = dataset->build_default_ckg();
+    core::CkatModel single(single_ckg, dataset->split().train, config);
+    single.fit();
+    const auto metrics = eval::evaluate_topk(single, dataset->split());
+    std::printf("%s single-facility model:   recall@20=%.4f ndcg@20=%.4f\n",
+                dataset->model().name.c_str(), metrics.recall, metrics.ndcg);
+  }
+  return 0;
+}

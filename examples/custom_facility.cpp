@@ -1,0 +1,148 @@
+// Bringing your own facility: the library's public API accepts any
+// facility structure, not just the built-in OOI/GAGE models. This
+// example models a small radio-telescope network from scratch --
+// regions (hemispheres), sites (observatories), instrument classes
+// (receivers) and data types (spectral products) -- generates a user
+// population and query trace over it, assembles the CKG and trains
+// CKAT on it.
+//
+// Run:  ./custom_facility [--epochs=12]
+#include <cstdio>
+
+#include "core/ckat.hpp"
+#include "eval/evaluator.hpp"
+#include "facility/trace.hpp"
+#include "facility/users.hpp"
+#include "graph/ckg.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace ckat;
+
+/// A hand-built facility: 12 observatories on 2 hemispheres, 6 receiver
+/// classes, 9 data products across 3 disciplines.
+facility::FacilityModel make_telescope_network(util::Rng& rng) {
+  facility::FacilityModel m;
+  m.name = "RadioNet";
+  m.regions = {"Northern Hemisphere", "Southern Hemisphere"};
+  for (int i = 0; i < 12; ++i) {
+    m.sites.push_back(facility::Site{
+        "Observatory-" + std::to_string(i + 1),
+        static_cast<std::uint32_t>(i % 2)});
+  }
+  m.disciplines = {"Continuum", "Spectroscopy", "Pulsar Timing"};
+  const std::vector<std::pair<const char*, std::uint32_t>> types = {
+      {"1.4GHz Continuum Map", 0}, {"5GHz Continuum Map", 0},
+      {"HI Spectral Cube", 1},     {"CO Spectral Cube", 1},
+      {"OH Maser Spectrum", 1},    {"Pulse Time-of-Arrival", 2},
+      {"Dispersion Measure", 2},   {"Polarization Profile", 2},
+      {"RFI Mask", 0}};
+  for (const auto& [type_name, discipline] : types) {
+    m.data_types.push_back(facility::DataType{type_name, discipline});
+  }
+  m.instrument_groups = {"Single Dish", "Interferometer"};
+  m.instruments = {
+      {"L-band Receiver", 0, {0, 2, 8}},
+      {"C-band Receiver", 0, {1, 8}},
+      {"Spectral Backend", 1, {2, 3, 4}},
+      {"Pulsar Backend", 0, {5, 6, 7}},
+      {"Wideband Correlator", 1, {0, 1, 3}},
+      {"Polarimeter", 1, {7, 0}},
+  };
+  m.delivery_methods = {"Archive", "Streaming"};
+
+  // Every observatory hosts 3 receiver classes.
+  for (std::uint32_t site = 0; site < m.sites.size(); ++site) {
+    for (std::size_t pick : rng.sample_without_replacement(
+             m.instruments.size(), 3)) {
+      const auto& instrument = m.instruments[pick];
+      for (std::uint32_t type : instrument.measured_types) {
+        facility::DataObject object;
+        object.site = site;
+        object.region = m.sites[site].region;
+        object.instrument = static_cast<std::uint32_t>(pick);
+        object.data_type = type;
+        object.discipline = m.data_types[type].discipline;
+        object.delivery_method = static_cast<std::uint32_t>(
+            rng.uniform_index(m.delivery_methods.size()));
+        m.objects.push_back(object);
+      }
+    }
+  }
+  m.validate();
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  util::Rng rng(2026);
+
+  // 1. The custom facility and its astronomer community.
+  const facility::FacilityModel network = make_telescope_network(rng);
+  std::printf("%s: %zu observatories, %zu data products\n",
+              network.name.c_str(), network.sites.size(),
+              network.n_objects());
+
+  facility::PopulationParams population_params;
+  population_params.n_users = 80;
+  population_params.n_cities = 10;
+  population_params.n_organizations = 4;
+  facility::UserPopulation astronomers(network, population_params, rng);
+
+  // 2. A year of queries with strong domain affinity (pulsar people
+  //    query pulsar products) and moderate hemisphere affinity.
+  facility::TraceParams trace_params;
+  trace_params.total_queries = 6000;
+  trace_params.region_affinity = 0.3;
+  trace_params.type_affinity = 0.75;
+  facility::QueryTraceGenerator generator(network, astronomers, trace_params);
+  const auto trace = generator.generate(rng);
+
+  // 3. Interactions, split and knowledge extraction via the same API
+  //    the built-in datasets use.
+  graph::InteractionSet all(astronomers.n_users(), network.n_objects());
+  for (const auto& record : trace) all.add(record.user, record.object);
+  all.finalize();
+  const auto split = graph::split_interactions(all, 0.8, rng);
+
+  graph::KnowledgeSource loc{"LOC", {}, {}};
+  graph::KnowledgeSource dkg{"DKG", {}, {}};
+  for (std::uint32_t o = 0; o < network.objects.size(); ++o) {
+    const auto& object = network.objects[o];
+    loc.item_triples.push_back(
+        {o, "locatedAt", "site:" + network.sites[object.site].name});
+    dkg.item_triples.push_back(
+        {o, "dataType", "type:" + network.data_types[object.data_type].name});
+    dkg.item_triples.push_back(
+        {o, "dataDiscipline",
+         "disc:" + network.disciplines[object.discipline]});
+  }
+  for (std::uint32_t s = 0; s < network.sites.size(); ++s) {
+    loc.attribute_triples.push_back(
+        {"site:" + network.sites[s].name, "inRegion",
+         "region:" + network.regions[network.sites[s].region]});
+  }
+
+  const auto uug = astronomers.same_city_pairs(6, rng);
+  graph::CkgOptions options;
+  options.include_user_user = true;
+  options.sources = {"LOC", "DKG"};
+  const graph::CollaborativeKg ckg(split.train, uug, {loc, dkg}, options);
+  std::printf("CKG: %zu entities, %zu relations, %zu triples\n",
+              ckg.n_entities(), ckg.n_relations(), ckg.triples().size());
+
+  // 4. Train and evaluate CKAT on the custom facility.
+  core::CkatConfig config;
+  config.epochs = static_cast<int>(args.get_int("epochs", 12));
+  config.cf_batch_size = 512;
+  core::CkatModel model(ckg, split.train, config);
+  model.fit();
+  const auto metrics = eval::evaluate_topk(model, split);
+  std::printf("CKAT on %s: recall@20=%.4f ndcg@20=%.4f (%zu test users)\n",
+              network.name.c_str(), metrics.recall, metrics.ndcg,
+              metrics.n_users);
+  return 0;
+}

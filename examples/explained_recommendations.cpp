@@ -1,0 +1,85 @@
+// Explainable recommendations: for each CKAT recommendation, exhibit
+// the knowledge-graph paths connecting the user to the recommended data
+// object -- the connectivity story of the paper's Fig. 1/2 ("Object #1
+// -dataType-> Pressure -dataDiscipline-> Physical <-dataDiscipline-
+// Density <-dataType- Object #2") as a runtime feature.
+//
+// Run:  ./explained_recommendations [--epochs=12] [--user=auto]
+#include <cstdio>
+
+#include "core/ckat.hpp"
+#include "eval/metrics.hpp"
+#include "facility/dataset.hpp"
+#include "graph/paths.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ckat;
+  const util::CliArgs args(argc, argv);
+
+  const auto dataset =
+      facility::make_ooi_dataset(42, facility::DatasetScale::kTiny);
+  const auto ckg = dataset.build_default_ckg();
+
+  core::CkatConfig config;
+  config.epochs = static_cast<int>(args.get_int("epochs", 12));
+  config.cf_batch_size = 512;
+  core::CkatModel model(ckg, dataset.split().train, config);
+  model.fit();
+
+  // Most active user unless one was requested.
+  std::uint32_t user = 0;
+  if (args.has("user")) {
+    user = static_cast<std::uint32_t>(args.get_int("user", 0));
+  } else {
+    std::size_t best = 0;
+    for (std::uint32_t u = 0; u < dataset.n_users(); ++u) {
+      const std::size_t n = dataset.split().train.items_of(u).size();
+      if (n > best) {
+        best = n;
+        user = u;
+      }
+    }
+  }
+
+  std::vector<float> scores(model.n_items());
+  model.score_items(user, scores);
+  for (std::uint32_t item : dataset.split().train.items_of(user)) {
+    scores[item] = -1e30f;  // recommend discoveries, not history
+  }
+
+  std::printf("top 3 recommendations for user %u, with explanations:\n\n",
+              user);
+  graph::PathSearchOptions path_options;
+  path_options.max_hops = 4;
+  path_options.max_paths = 2;
+  for (std::uint32_t item : eval::top_k_indices(scores, 3)) {
+    const auto& object = dataset.model().objects[item];
+    std::printf("* object #%u: %s at %s (%s)\n", item,
+                dataset.model().data_types[object.data_type].name.c_str(),
+                dataset.model().sites[object.site].name.c_str(),
+                dataset.model().regions[object.region].c_str());
+    const auto social = graph::find_paths(ckg, ckg.user_entity(user),
+                                          ckg.item_entity(item), path_options);
+    // A second pass restricted to knowledge-only intermediate hops
+    // surfaces the Fig. 1-style attribute explanations.
+    graph::PathSearchOptions knowledge_options = path_options;
+    knowledge_options.knowledge_intermediate_only = true;
+    knowledge_options.max_paths = 1;
+    const auto knowledge = graph::find_paths(
+        ckg, ckg.user_entity(user), ckg.item_entity(item), knowledge_options);
+
+    if (social.empty() && knowledge.empty()) {
+      std::printf("    (no CKG path within %zu hops)\n",
+                  path_options.max_hops);
+    }
+    for (const graph::KgPath& path : social) {
+      std::printf("    because: %s\n", graph::format_path(ckg, path).c_str());
+    }
+    for (const graph::KgPath& path : knowledge) {
+      std::printf("    and:     %s\n", graph::format_path(ckg, path).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

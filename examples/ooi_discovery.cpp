@@ -1,0 +1,113 @@
+// Ocean-observatory data discovery scenario (the paper's motivating
+// workload, Sec. I): an oceanographer who has been pulling CTD-style
+// physical measurements from one research array asks "what should I
+// look at next?".
+//
+// The example contrasts CKAT against plain matrix factorization (BPRMF)
+// for the same user, showing how the knowledge graph steers
+// recommendations toward domain- and locality-consistent data objects.
+//
+// Run:  ./ooi_discovery [--epochs=15]
+#include <cstdio>
+#include <map>
+
+#include "baselines/bprmf.hpp"
+#include "core/ckat.hpp"
+#include "eval/evaluator.hpp"
+#include "eval/metrics.hpp"
+#include "facility/dataset.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace ckat;
+
+/// Prints a short profile of what the user has queried so far.
+void print_history(const facility::FacilityDataset& dataset,
+                   std::uint32_t user) {
+  std::map<std::string, int> by_region, by_type;
+  for (std::uint32_t item : dataset.split().train.items_of(user)) {
+    const auto& object = dataset.model().objects[item];
+    by_region[dataset.model().regions[object.region]]++;
+    by_type[dataset.model().data_types[object.data_type].name]++;
+  }
+  std::printf("user %u query history (%zu train objects):\n", user,
+              dataset.split().train.items_of(user).size());
+  std::printf("  regions:");
+  for (const auto& [region, count] : by_region) {
+    std::printf(" %s(%d)", region.c_str(), count);
+  }
+  std::printf("\n  data types:");
+  for (const auto& [type, count] : by_type) {
+    std::printf(" %s(%d)", type.c_str(), count);
+  }
+  std::printf("\n");
+}
+
+void print_recommendations(const facility::FacilityDataset& dataset,
+                           const eval::Recommender& model,
+                           std::uint32_t user, std::size_t k) {
+  std::vector<float> scores(model.n_items());
+  model.score_items(user, scores);
+  for (std::uint32_t item : dataset.split().train.items_of(user)) {
+    scores[item] = -1e30f;
+  }
+  std::printf("\n%s recommendations for user %u:\n", model.name().c_str(),
+              user);
+  auto test_items = dataset.split().test.items_of(user);
+  for (std::uint32_t item : eval::top_k_indices(scores, k)) {
+    const auto& object = dataset.model().objects[item];
+    const bool hit = std::binary_search(test_items.begin(), test_items.end(),
+                                        item);
+    std::printf("  %s object #%-4u %-24s %-12s [%s]\n", hit ? "*" : " ", item,
+                dataset.model().data_types[object.data_type].name.c_str(),
+                dataset.model().sites[object.site].name.c_str(),
+                dataset.model().regions[object.region].c_str());
+  }
+  std::printf("  (* = the user actually queried this object in the "
+              "held-out test period)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const auto dataset =
+      facility::make_ooi_dataset(/*seed=*/42, facility::DatasetScale::kTiny);
+  const auto ckg = dataset.build_default_ckg();
+  const int epochs = static_cast<int>(args.get_int("epochs", 15));
+
+  // Pick the most active user whose test set is non-empty.
+  std::uint32_t user = 0;
+  std::size_t best_activity = 0;
+  for (std::uint32_t u = 0; u < dataset.n_users(); ++u) {
+    const std::size_t activity = dataset.split().train.items_of(u).size();
+    if (activity > best_activity &&
+        !dataset.split().test.items_of(u).empty()) {
+      best_activity = activity;
+      user = u;
+    }
+  }
+  print_history(dataset, user);
+
+  core::CkatConfig ckat_config;
+  ckat_config.epochs = epochs;
+  ckat_config.cf_batch_size = 512;
+  core::CkatModel ckat(ckg, dataset.split().train, ckat_config);
+  ckat.fit();
+
+  baselines::BprmfConfig mf_config;
+  mf_config.epochs = 2 * epochs;
+  mf_config.batch_size = 512;
+  baselines::BprmfModel bprmf(dataset.split().train, mf_config);
+  bprmf.fit();
+
+  print_recommendations(dataset, ckat, user, 10);
+  print_recommendations(dataset, bprmf, user, 10);
+
+  const auto ckat_metrics = eval::evaluate_topk(ckat, dataset.split());
+  const auto mf_metrics = eval::evaluate_topk(bprmf, dataset.split());
+  std::printf("\noverall: CKAT recall@20=%.4f vs BPRMF recall@20=%.4f\n",
+              ckat_metrics.recall, mf_metrics.recall);
+  return 0;
+}

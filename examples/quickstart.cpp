@@ -1,0 +1,64 @@
+// Quickstart: the whole pipeline in ~60 lines.
+//
+//   1. Generate a synthetic OOI-like facility dataset (users, query
+//      trace, knowledge sources).
+//   2. Build the collaborative knowledge graph (Sec. IV).
+//   3. Train the CKAT recommendation model (Sec. V).
+//   4. Evaluate recall@20 / ndcg@20 and print recommendations.
+//
+// Run:  ./quickstart [--epochs=15] [--user=0]
+#include <cstdio>
+
+#include "core/ckat.hpp"
+#include "eval/evaluator.hpp"
+#include "eval/metrics.hpp"
+#include "facility/dataset.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ckat;
+  const util::CliArgs args(argc, argv);
+
+  // 1. A small facility dataset (deterministic given the seed).
+  const auto dataset =
+      facility::make_ooi_dataset(/*seed=*/42, facility::DatasetScale::kTiny);
+  std::printf("dataset: %zu users, %zu data objects, %zu queries\n",
+              dataset.n_users(), dataset.n_items(), dataset.trace().size());
+
+  // 2. The collaborative knowledge graph: user-item interactions +
+  //    user-user co-location + instrument location + domain knowledge.
+  const auto ckg = dataset.build_default_ckg();
+  std::printf("CKG: %zu entities, %zu relations, %zu triples\n",
+              ckg.n_entities(), ckg.n_relations(), ckg.triples().size());
+
+  // 3. Train CKAT.
+  core::CkatConfig config;
+  config.epochs = static_cast<int>(args.get_int("epochs", 15));
+  config.cf_batch_size = 512;
+  config.verbose = true;
+  core::CkatModel model(ckg, dataset.split().train, config);
+  model.fit();
+
+  // 4. Evaluate against the held-out 20% of each user's queries.
+  const auto metrics = eval::evaluate_topk(model, dataset.split());
+  std::printf("recall@20 = %.4f, ndcg@20 = %.4f over %zu test users\n",
+              metrics.recall, metrics.ndcg, metrics.n_users);
+
+  // Recommendations for one user, with human-readable attributes.
+  const auto user = static_cast<std::uint32_t>(args.get_int("user", 0));
+  std::vector<float> scores(model.n_items());
+  model.score_items(user, scores);
+  for (std::uint32_t item : dataset.split().train.items_of(user)) {
+    scores[item] = -1e30f;  // hide already-queried objects
+  }
+  std::printf("\ntop 5 recommended data objects for user %u:\n", user);
+  for (std::uint32_t item : eval::top_k_indices(scores, 5)) {
+    const auto& object = dataset.model().objects[item];
+    std::printf("  object #%-4u  %s at %s (%s, %s)\n", item,
+                dataset.model().data_types[object.data_type].name.c_str(),
+                dataset.model().sites[object.site].name.c_str(),
+                dataset.model().regions[object.region].c_str(),
+                dataset.model().disciplines[object.discipline].c_str());
+  }
+  return 0;
+}

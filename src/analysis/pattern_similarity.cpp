@@ -1,0 +1,97 @@
+#include "analysis/pattern_similarity.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace ckat::analysis {
+
+PatternSharingResult measure_pattern_sharing(
+    const facility::FacilityDataset& dataset, std::size_t n_pairs,
+    util::Rng& rng, std::size_t min_queries) {
+  const std::size_t n_users = dataset.n_users();
+
+  // Modal queried site and data type per user.
+  std::vector<std::map<std::uint32_t, std::size_t>> site_counts(n_users),
+      type_counts(n_users);
+  std::vector<std::size_t> totals(n_users, 0);
+  for (const facility::QueryRecord& rec : dataset.trace()) {
+    const facility::DataObject& o = dataset.model().objects[rec.object];
+    site_counts[rec.user][o.site]++;
+    type_counts[rec.user][o.data_type]++;
+    totals[rec.user]++;
+  }
+  auto modal_key = [](const std::map<std::uint32_t, std::size_t>& counts) {
+    std::uint32_t best_key = 0;
+    std::size_t best_count = 0;
+    for (const auto& [key, count] : counts) {
+      if (count > best_count) {
+        best_count = count;
+        best_key = key;
+      }
+    }
+    return best_key;
+  };
+  std::vector<std::uint32_t> modal_site(n_users, 0), modal_type(n_users, 0);
+  std::vector<bool> active(n_users, false);
+  std::vector<std::uint32_t> active_users;
+  for (std::size_t u = 0; u < n_users; ++u) {
+    if (totals[u] < min_queries) continue;
+    active[u] = true;
+    active_users.push_back(static_cast<std::uint32_t>(u));
+    modal_site[u] = modal_key(site_counts[u]);
+    modal_type[u] = modal_key(type_counts[u]);
+  }
+  if (active_users.size() < 2) {
+    throw std::invalid_argument("measure_pattern_sharing: too few active users");
+  }
+
+  // Active users grouped by city (for the same-city pair sampler).
+  std::map<std::uint32_t, std::vector<std::uint32_t>> by_city;
+  for (std::uint32_t u : active_users) {
+    by_city[dataset.users().user(u).city].push_back(u);
+  }
+  std::vector<const std::vector<std::uint32_t>*> multi_cities;
+  std::vector<double> city_weights;
+  for (const auto& [city, members] : by_city) {
+    if (members.size() >= 2) {
+      multi_cities.push_back(&members);
+      // Weight by the number of pairs so sampling matches the pair space.
+      city_weights.push_back(0.5 * static_cast<double>(members.size()) *
+                             static_cast<double>(members.size() - 1));
+    }
+  }
+  if (multi_cities.empty()) {
+    throw std::invalid_argument(
+        "measure_pattern_sharing: no city has two active users");
+  }
+
+  std::size_t same_loc = 0, same_dom = 0, rand_loc = 0, rand_dom = 0;
+  for (std::size_t i = 0; i < n_pairs; ++i) {
+    // Same-city pair.
+    const auto& members = *multi_cities[rng.weighted_index(city_weights)];
+    const auto picks = rng.sample_without_replacement(members.size(), 2);
+    const std::uint32_t a = members[picks[0]];
+    const std::uint32_t b = members[picks[1]];
+    same_loc += modal_site[a] == modal_site[b];
+    same_dom += modal_type[a] == modal_type[b];
+
+    // Random pair.
+    const auto rpicks = rng.sample_without_replacement(active_users.size(), 2);
+    const std::uint32_t c = active_users[rpicks[0]];
+    const std::uint32_t d = active_users[rpicks[1]];
+    rand_loc += modal_site[c] == modal_site[d];
+    rand_dom += modal_type[c] == modal_type[d];
+  }
+
+  PatternSharingResult result;
+  const double n = static_cast<double>(n_pairs);
+  result.same_city_locality = same_loc / n;
+  result.same_city_domain = same_dom / n;
+  result.random_locality = rand_loc / n;
+  result.random_domain = rand_dom / n;
+  return result;
+}
+
+}  // namespace ckat::analysis

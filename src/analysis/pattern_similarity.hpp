@@ -1,0 +1,37 @@
+// Fig. 5 reproduction: the probability that two users share the same
+// query pattern -- in terms of instrument locality (modal queried site)
+// and data domain (modal queried data type) -- compared between
+// same-city pairs and randomly sampled pairs.
+#pragma once
+
+#include <cstdint>
+
+#include "facility/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace ckat::analysis {
+
+struct PatternSharingResult {
+  // Probability that a pair's modal queried site matches.
+  double same_city_locality = 0.0;
+  double random_locality = 0.0;
+  // Probability that a pair's modal queried data type matches.
+  double same_city_domain = 0.0;
+  double random_domain = 0.0;
+
+  [[nodiscard]] double locality_ratio() const {
+    return random_locality > 0.0 ? same_city_locality / random_locality : 0.0;
+  }
+  [[nodiscard]] double domain_ratio() const {
+    return random_domain > 0.0 ? same_city_domain / random_domain : 0.0;
+  }
+};
+
+/// Samples `n_pairs` same-city pairs and `n_pairs` random pairs from
+/// users with >= `min_queries` trace queries (paper: 10,000 pairs per
+/// group) and measures pattern-sharing probabilities.
+PatternSharingResult measure_pattern_sharing(
+    const facility::FacilityDataset& dataset, std::size_t n_pairs,
+    util::Rng& rng, std::size_t min_queries = 5);
+
+}  // namespace ckat::analysis

@@ -1,0 +1,91 @@
+#include "analysis/trace_stats.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace ckat::analysis {
+
+DistributionCurves query_distribution_curves(
+    const facility::FacilityDataset& dataset) {
+  const std::size_t n_users = dataset.n_users();
+  std::vector<std::set<std::uint32_t>> objects(n_users), locations(n_users),
+      types(n_users);
+  for (const facility::QueryRecord& rec : dataset.trace()) {
+    const facility::DataObject& o = dataset.model().objects[rec.object];
+    objects[rec.user].insert(rec.object);
+    locations[rec.user].insert(o.site);
+    types[rec.user].insert(o.data_type);
+  }
+
+  DistributionCurves curves;
+  auto collect = [&](const std::vector<std::set<std::uint32_t>>& sets,
+                     std::vector<std::size_t>& out) {
+    out.reserve(n_users);
+    for (const auto& s : sets) out.push_back(s.size());
+    std::sort(out.begin(), out.end(), std::greater<>());
+  };
+  collect(objects, curves.objects_per_user);
+  collect(locations, curves.locations_per_user);
+  collect(types, curves.types_per_user);
+  return curves;
+}
+
+AffinityMeasurement measure_affinities(const facility::FacilityDataset& dataset,
+                                       std::size_t min_queries) {
+  const std::size_t n_users = dataset.n_users();
+  std::vector<std::map<std::uint32_t, std::size_t>> region_counts(n_users),
+      type_counts(n_users);
+  std::vector<std::size_t> totals(n_users, 0);
+  for (const facility::QueryRecord& rec : dataset.trace()) {
+    const facility::DataObject& o = dataset.model().objects[rec.object];
+    region_counts[rec.user][o.region]++;
+    type_counts[rec.user][o.data_type]++;
+    totals[rec.user]++;
+  }
+
+  AffinityMeasurement m;
+  double region_acc = 0.0, type_acc = 0.0;
+  for (std::size_t u = 0; u < n_users; ++u) {
+    if (totals[u] < min_queries) continue;
+    auto modal = [](const std::map<std::uint32_t, std::size_t>& counts) {
+      std::size_t best = 0;
+      for (const auto& [key, count] : counts) best = std::max(best, count);
+      return best;
+    };
+    region_acc += static_cast<double>(modal(region_counts[u])) /
+                  static_cast<double>(totals[u]);
+    type_acc += static_cast<double>(modal(type_counts[u])) /
+                static_cast<double>(totals[u]);
+    m.n_users++;
+  }
+  if (m.n_users > 0) {
+    m.modal_region_fraction = region_acc / static_cast<double>(m.n_users);
+    m.modal_type_fraction = type_acc / static_cast<double>(m.n_users);
+  }
+  return m;
+}
+
+std::vector<std::uint32_t> most_active_members(
+    const facility::FacilityDataset& dataset, std::uint32_t organization,
+    std::size_t n) {
+  std::vector<std::size_t> activity(dataset.n_users(), 0);
+  for (const facility::QueryRecord& rec : dataset.trace()) {
+    activity[rec.user]++;
+  }
+  std::vector<std::uint32_t> members;
+  for (std::uint32_t u = 0; u < dataset.n_users(); ++u) {
+    if (dataset.users().user(u).organization == organization) {
+      members.push_back(u);
+    }
+  }
+  std::sort(members.begin(), members.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (activity[a] != activity[b]) return activity[a] > activity[b];
+              return a < b;
+            });
+  if (members.size() > n) members.resize(n);
+  return members;
+}
+
+}  // namespace ckat::analysis

@@ -1,0 +1,45 @@
+// Sec. III trace analyses.
+//
+// Fig. 3: per-user distribution curves of distinct queried data objects,
+// instrument locations and data types.
+// Sec. III.B2: the measured affinity fractions (share of a user's
+// queries hitting their modal region / modal data type).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "facility/dataset.hpp"
+
+namespace ckat::analysis {
+
+/// One Fig. 3 panel: the per-user count of distinct <quantity>, sorted
+/// descending (the paper plots these against user id after sorting).
+struct DistributionCurves {
+  std::vector<std::size_t> objects_per_user;    // Fig. 3 (a)/(b)
+  std::vector<std::size_t> locations_per_user;  // Fig. 3 (c)/(d)
+  std::vector<std::size_t> types_per_user;      // Fig. 3 (e)/(f)
+};
+
+DistributionCurves query_distribution_curves(
+    const facility::FacilityDataset& dataset);
+
+/// Affinity measurements of Sec. III.B2 averaged over users with at
+/// least `min_queries` queries: fraction of queries to the user's modal
+/// region and modal data type.
+struct AffinityMeasurement {
+  double modal_region_fraction = 0.0;
+  double modal_type_fraction = 0.0;
+  std::size_t n_users = 0;
+};
+
+AffinityMeasurement measure_affinities(const facility::FacilityDataset& dataset,
+                                       std::size_t min_queries = 5);
+
+/// The `n` most active users (by query count) belonging to the given
+/// organization -- the Fig. 4 user selection (top-8 of Rutgers / UW).
+std::vector<std::uint32_t> most_active_members(
+    const facility::FacilityDataset& dataset, std::uint32_t organization,
+    std::size_t n);
+
+}  // namespace ckat::analysis

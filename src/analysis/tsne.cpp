@@ -1,0 +1,237 @@
+#include "analysis/tsne.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace ckat::analysis {
+
+namespace {
+
+/// Squared Euclidean distance matrix (n x n).
+nn::Tensor pairwise_squared_distances(const nn::Tensor& x) {
+  const std::size_t n = x.rows();
+  nn::Tensor d(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      auto a = x.row(i);
+      auto b = x.row(j);
+      float acc = 0.0f;
+      for (std::size_t c = 0; c < a.size(); ++c) {
+        const float diff = a[c] - b[c];
+        acc += diff * diff;
+      }
+      d(i, j) = acc;
+      d(j, i) = acc;
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+nn::Tensor tsne_similarities(const nn::Tensor& points, double perplexity) {
+  const std::size_t n = points.rows();
+  if (n < 3) throw std::invalid_argument("tsne: need at least 3 points");
+  if (perplexity <= 1.0 || perplexity > static_cast<double>(n - 1)) {
+    throw std::invalid_argument("tsne: infeasible perplexity");
+  }
+  const nn::Tensor d = pairwise_squared_distances(points);
+  const double target_entropy = std::log(perplexity);
+
+  nn::Tensor p(n, n);
+  std::vector<double> row(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Bisection on beta = 1/(2 sigma^2) to hit the target entropy.
+    double beta = 1.0, beta_lo = 0.0,
+           beta_hi = std::numeric_limits<double>::infinity();
+    for (int iter = 0; iter < 64; ++iter) {
+      double sum = 0.0, weighted = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) {
+          row[j] = 0.0;
+          continue;
+        }
+        row[j] = std::exp(-beta * static_cast<double>(d(i, j)));
+        sum += row[j];
+        weighted += row[j] * d(i, j);
+      }
+      if (sum <= 0.0) {  // all mass collapsed; lower beta
+        beta_hi = beta;
+        beta = (beta_lo + beta) / 2.0;
+        continue;
+      }
+      // H = log(sum) + beta * E[d]
+      const double entropy = std::log(sum) + beta * weighted / sum;
+      const double diff = entropy - target_entropy;
+      if (std::fabs(diff) < 1e-5) break;
+      if (diff > 0.0) {  // entropy too high -> sharpen
+        beta_lo = beta;
+        beta = std::isinf(beta_hi) ? beta * 2.0 : (beta + beta_hi) / 2.0;
+      } else {
+        beta_hi = beta;
+        beta = (beta_lo + beta) / 2.0;
+      }
+    }
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) sum += row[j];
+    for (std::size_t j = 0; j < n; ++j) {
+      p(i, j) = sum > 0.0 ? static_cast<float>(row[j] / sum)
+                          : (j != i ? 1.0f / static_cast<float>(n - 1) : 0.0f);
+    }
+  }
+
+  // Symmetrize and normalize: P_ij = (p_j|i + p_i|j) / 2n.
+  nn::Tensor sym(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      sym(i, j) = (p(i, j) + p(j, i)) / (2.0f * static_cast<float>(n));
+    }
+  }
+  return sym;
+}
+
+nn::Tensor tsne_embed(const nn::Tensor& points, const TsneConfig& config) {
+  const std::size_t n = points.rows();
+  nn::Tensor p = tsne_similarities(points, config.perplexity);
+
+  // Early exaggeration.
+  for (float& v : p.flat()) {
+    v *= static_cast<float>(config.early_exaggeration);
+  }
+
+  util::Rng rng(config.seed);
+  nn::Tensor y(n, 2), velocity(n, 2), gains(n, 2, 1.0f);
+  for (float& v : y.flat()) v = static_cast<float>(rng.gaussian(0.0, 1e-4));
+
+  nn::Tensor q_numerator(n, n);
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    if (iter == config.exaggeration_iters) {
+      for (float& v : p.flat()) {
+        v /= static_cast<float>(config.early_exaggeration);
+      }
+    }
+    const double momentum = iter < config.momentum_switch_iter
+                                ? config.initial_momentum
+                                : config.final_momentum;
+
+    // Student-t kernel numerators and their sum.
+    double z = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      q_numerator(i, i) = 0.0f;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const float dx = y(i, 0) - y(j, 0);
+        const float dy = y(i, 1) - y(j, 1);
+        const float num = 1.0f / (1.0f + dx * dx + dy * dy);
+        q_numerator(i, j) = num;
+        q_numerator(j, i) = num;
+        z += 2.0 * num;
+      }
+    }
+    z = std::max(z, 1e-12);
+
+    // Gradient dC/dy_i = 4 sum_j (P_ij - Q_ij) num_ij (y_i - y_j).
+    for (std::size_t i = 0; i < n; ++i) {
+      double gx = 0.0, gy = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double q = q_numerator(i, j) / z;
+        const double mult =
+            4.0 * (static_cast<double>(p(i, j)) - q) * q_numerator(i, j);
+        gx += mult * (y(i, 0) - y(j, 0));
+        gy += mult * (y(i, 1) - y(j, 1));
+      }
+      for (std::size_t dim = 0; dim < 2; ++dim) {
+        const double grad = dim == 0 ? gx : gy;
+        // Adaptive gains (standard t-SNE implementation detail).
+        const bool same_sign =
+            (grad > 0.0) == (velocity(i, dim) > 0.0f);
+        gains(i, dim) = std::max(
+            0.01f, same_sign ? gains(i, dim) * 0.8f : gains(i, dim) + 0.2f);
+        velocity(i, dim) = static_cast<float>(
+            momentum * velocity(i, dim) -
+            config.learning_rate * gains(i, dim) * grad);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      y(i, 0) += velocity(i, 0);
+      y(i, 1) += velocity(i, 1);
+    }
+
+    // Re-center (the embedding is translation invariant).
+    double mx = 0.0, my = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      mx += y(i, 0);
+      my += y(i, 1);
+    }
+    mx /= static_cast<double>(n);
+    my /= static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      y(i, 0) -= static_cast<float>(mx);
+      y(i, 1) -= static_cast<float>(my);
+    }
+  }
+  return y;
+}
+
+nn::Tensor query_feature_matrix(const facility::FacilityDataset& dataset,
+                                const std::vector<std::uint32_t>& users,
+                                std::vector<std::uint32_t>& point_users,
+                                std::vector<std::uint32_t>& point_objects,
+                                std::size_t max_objects_per_user) {
+  // Distinct queried objects per selected user, with query counts.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> pair_counts;
+  std::set<std::uint32_t> wanted(users.begin(), users.end());
+  for (const facility::QueryRecord& rec : dataset.trace()) {
+    if (wanted.count(rec.user)) pair_counts[{rec.user, rec.object}]++;
+  }
+  std::set<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  if (max_objects_per_user == 0) {
+    for (const auto& [pair, count] : pair_counts) pairs.insert(pair);
+  } else {
+    // Keep each user's most frequently queried objects only.
+    std::map<std::uint32_t,
+             std::vector<std::pair<std::size_t, std::uint32_t>>> per_user;
+    for (const auto& [pair, count] : pair_counts) {
+      per_user[pair.first].push_back({count, pair.second});
+    }
+    for (auto& [user, objects] : per_user) {
+      std::sort(objects.begin(), objects.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  return a.second < b.second;
+                });
+      if (objects.size() > max_objects_per_user) {
+        objects.resize(max_objects_per_user);
+      }
+      for (const auto& [count, object] : objects) {
+        pairs.insert({user, object});
+      }
+    }
+  }
+
+  const facility::FacilityModel& model = dataset.model();
+  const std::size_t n_sites = model.sites.size();
+  const std::size_t n_types = model.data_types.size();
+  const std::size_t n_disciplines = model.disciplines.size();
+  const std::size_t dims = n_sites + n_types + n_disciplines;
+
+  point_users.clear();
+  point_objects.clear();
+  nn::Tensor features(pairs.size(), dims);
+  std::size_t row = 0;
+  for (const auto& [user, object] : pairs) {
+    const facility::DataObject& o = model.objects[object];
+    features(row, o.site) = 1.0f;
+    features(row, n_sites + o.data_type) = 1.0f;
+    features(row, n_sites + n_types + o.discipline) = 1.0f;
+    point_users.push_back(user);
+    point_objects.push_back(object);
+    ++row;
+  }
+  return features;
+}
+
+}  // namespace ckat::analysis

@@ -1,0 +1,51 @@
+// Exact t-SNE (van der Maaten & Hinton 2008) for the Fig. 4
+// visualization: high-dimensional query feature vectors projected to 2D
+// while preserving local structure. The paper's point sets (queried
+// objects of 8 users) are small, so the O(n^2) exact gradient is the
+// right tool -- no Barnes-Hut approximation needed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "facility/dataset.hpp"
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace ckat::analysis {
+
+struct TsneConfig {
+  double perplexity = 20.0;
+  int iterations = 500;
+  double learning_rate = 150.0;
+  double early_exaggeration = 12.0;
+  int exaggeration_iters = 100;
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  int momentum_switch_iter = 250;
+  std::uint64_t seed = 3;
+};
+
+/// Embeds the rows of `points` (n x D) into 2D. Returns an (n x 2)
+/// tensor. Throws std::invalid_argument for fewer than 3 points or if
+/// the perplexity is infeasible (> (n-1)/3).
+nn::Tensor tsne_embed(const nn::Tensor& points, const TsneConfig& config = {});
+
+/// Symmetrized input similarities P (exposed for tests): row-stochastic
+/// conditional Gaussians with per-point bandwidth calibrated to the
+/// target perplexity by bisection, then symmetrized and normalized.
+nn::Tensor tsne_similarities(const nn::Tensor& points, double perplexity);
+
+/// Fig. 4 featurization: one row per (user, distinct queried object)
+/// pair, features = one-hot site + one-hot data type + one-hot
+/// discipline of the object. `point_users` receives the user of each
+/// row (for coloring the plot by user). When `max_objects_per_user` is
+/// non-zero, only each user's most frequently queried objects are kept
+/// (their query "signature", filtering one-off background queries).
+nn::Tensor query_feature_matrix(const facility::FacilityDataset& dataset,
+                                const std::vector<std::uint32_t>& users,
+                                std::vector<std::uint32_t>& point_users,
+                                std::vector<std::uint32_t>& point_objects,
+                                std::size_t max_objects_per_user = 0);
+
+}  // namespace ckat::analysis

@@ -1,0 +1,54 @@
+// BPRMF (Rendle et al. 2012): pairwise matrix factorization from
+// implicit feedback, optimized with the BPR loss. The pure
+// collaborative-filtering baseline of Table II -- no knowledge graph.
+#pragma once
+
+#include <memory>
+
+#include "core/bpr.hpp"
+#include "eval/recommender.hpp"
+#include "graph/interactions.hpp"
+#include "nn/optim.hpp"
+#include "nn/parameter.hpp"
+#include "util/rng.hpp"
+
+namespace ckat::baselines {
+
+struct BprmfConfig {
+  std::size_t embedding_dim = 64;
+  float learning_rate = 0.01f;
+  float l2_coefficient = 1e-5f;
+  std::size_t batch_size = 2048;
+  int epochs = 60;
+  std::uint64_t seed = 7;
+};
+
+class BprmfModel final : public eval::Recommender {
+ public:
+  BprmfModel(const graph::InteractionSet& train, BprmfConfig config);
+
+  [[nodiscard]] std::string name() const override { return "BPRMF"; }
+  void fit() override;
+  void score_items(std::uint32_t user, std::span<float> out) const override;
+  [[nodiscard]] std::size_t n_users() const override {
+    return train_.n_users();
+  }
+  [[nodiscard]] std::size_t n_items() const override {
+    return train_.n_items();
+  }
+
+ private:
+  float train_step(util::Rng& rng);
+
+  const graph::InteractionSet& train_;
+  BprmfConfig config_;
+  nn::ParamStore params_;
+  nn::Parameter* user_factors_ = nullptr;
+  nn::Parameter* item_factors_ = nullptr;
+  std::unique_ptr<nn::AdamOptimizer> optimizer_;
+  std::unique_ptr<core::BprSampler> sampler_;
+  util::Rng rng_;
+  bool fitted_ = false;
+};
+
+}  // namespace ckat::baselines

@@ -1,0 +1,103 @@
+#include "baselines/cfkg.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/init.hpp"
+#include "nn/tape.hpp"
+
+namespace ckat::baselines {
+
+CfkgModel::CfkgModel(const graph::CollaborativeKg& ckg,
+                     const graph::InteractionSet& train, CfkgConfig config)
+    : ckg_(ckg),
+      train_(train),
+      config_(config),
+      adjacency_(ckg.build_adjacency()),
+      rng_(config.seed) {
+  util::Rng init_rng = rng_.fork(0);
+  entity_ =
+      &params_.create("cfkg.entity", ckg.n_entities(), config_.embedding_dim);
+  relation_ = &params_.create("cfkg.relation", adjacency_.n_relations(),
+                              config_.embedding_dim);
+  nn::xavier_uniform(entity_->value(), init_rng);
+  nn::xavier_uniform(relation_->value(), init_rng);
+  optimizer_ = std::make_unique<nn::AdamOptimizer>(config_.learning_rate);
+}
+
+float CfkgModel::train_step(util::Rng& rng) {
+  // TransE margin loss over a batch of edges from the unified graph
+  // (interact edges included), grouped by relation for the e_r rows.
+  const std::size_t batch_size =
+      std::min(config_.batch_size, adjacency_.n_edges());
+  std::vector<std::size_t> picks(batch_size);
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    picks[i] = rng.uniform_index(adjacency_.n_edges());
+  }
+  std::sort(picks.begin(), picks.end(), [&](std::size_t a, std::size_t b) {
+    return adjacency_.relations()[a] < adjacency_.relations()[b];
+  });
+
+  nn::Tape tape;
+  nn::Var total{};
+  std::size_t begin = 0;
+  while (begin < picks.size()) {
+    const std::uint32_t r = adjacency_.relations()[picks[begin]];
+    std::size_t end = begin;
+    std::vector<std::uint32_t> heads, tails, neg_tails;
+    while (end < picks.size() && adjacency_.relations()[picks[end]] == r) {
+      heads.push_back(adjacency_.heads()[picks[end]]);
+      tails.push_back(adjacency_.tails()[picks[end]]);
+      neg_tails.push_back(
+          static_cast<std::uint32_t>(rng.uniform_index(ckg_.n_entities())));
+      ++end;
+    }
+    nn::Var e_r = tape.gather_param(*relation_, {r});
+    nn::Var translated =
+        tape.add_rowvec(tape.gather_param(*entity_, heads), e_r);
+    nn::Var f_pos = tape.sum_cols(tape.square(
+        tape.sub(translated, tape.gather_param(*entity_, tails))));
+    nn::Var f_neg = tape.sum_cols(tape.square(
+        tape.sub(translated, tape.gather_param(*entity_, neg_tails))));
+    nn::Var group = tape.reduce_sum(
+        tape.relu(tape.add_scalar(tape.sub(f_pos, f_neg), config_.margin)));
+    total = total.valid() ? tape.add(total, group) : group;
+    begin = end;
+  }
+  total = tape.scale(total, 1.0f / static_cast<float>(batch_size));
+  const float loss_value = tape.value(total)(0, 0);
+  tape.backward(total);
+  optimizer_->step(params_);
+  return loss_value;
+}
+
+void CfkgModel::fit() {
+  const std::size_t batches = std::max<std::size_t>(
+      1, (adjacency_.n_edges() + config_.batch_size - 1) / config_.batch_size);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (std::size_t b = 0; b < batches; ++b) train_step(rng_);
+  }
+  fitted_ = true;
+}
+
+void CfkgModel::score_items(std::uint32_t user, std::span<float> out) const {
+  if (!fitted_) throw std::logic_error("CfkgModel: fit() first");
+  if (out.size() != n_items()) {
+    throw std::invalid_argument("CfkgModel: output span size mismatch");
+  }
+  const nn::Tensor& e = entity_->value();
+  auto eu = e.row(ckg_.user_entity(user));
+  auto er = relation_->value().row(graph::CollaborativeKg::interact_relation());
+  for (std::size_t v = 0; v < n_items(); ++v) {
+    auto ev = e.row(ckg_.item_entity(static_cast<std::uint32_t>(v)));
+    float dist = 0.0f;
+    for (std::size_t c = 0; c < eu.size(); ++c) {
+      const float diff = eu[c] + er[c] - ev[c];
+      dist += diff * diff;
+    }
+    out[v] = -dist;  // closer translation = better recommendation
+  }
+}
+
+}  // namespace ckat::baselines

@@ -1,0 +1,60 @@
+// CFKG (Ai et al. 2018): TransE over the unified graph of user
+// behaviors and item knowledge. Users, items and attributes share one
+// entity space; "interact" is just another relation. Recommendation
+// scores rank items by the negated translation distance
+// -||e_u + r_interact - e_v||^2.
+#pragma once
+
+#include <memory>
+
+#include "core/transr.hpp"
+#include "eval/recommender.hpp"
+#include "graph/adjacency.hpp"
+#include "graph/ckg.hpp"
+#include "nn/optim.hpp"
+#include "nn/parameter.hpp"
+#include "util/rng.hpp"
+
+namespace ckat::baselines {
+
+struct CfkgConfig {
+  std::size_t embedding_dim = 64;
+  float learning_rate = 0.01f;
+  float margin = 1.0f;
+  std::size_t batch_size = 4096;
+  int epochs = 40;
+  std::uint64_t seed = 7;
+};
+
+class CfkgModel final : public eval::Recommender {
+ public:
+  CfkgModel(const graph::CollaborativeKg& ckg,
+            const graph::InteractionSet& train, CfkgConfig config);
+
+  [[nodiscard]] std::string name() const override { return "CFKG"; }
+  void fit() override;
+  void score_items(std::uint32_t user, std::span<float> out) const override;
+  [[nodiscard]] std::size_t n_users() const override {
+    return train_.n_users();
+  }
+  [[nodiscard]] std::size_t n_items() const override {
+    return train_.n_items();
+  }
+
+ private:
+  float train_step(util::Rng& rng);
+
+  const graph::CollaborativeKg& ckg_;
+  const graph::InteractionSet& train_;
+  CfkgConfig config_;
+
+  graph::Adjacency adjacency_;  // full unified graph, inverses included
+  nn::ParamStore params_;
+  nn::Parameter* entity_ = nullptr;    // (n_entities, d)
+  nn::Parameter* relation_ = nullptr;  // (n_relations_with_inverse, d)
+  std::unique_ptr<nn::AdamOptimizer> optimizer_;
+  util::Rng rng_;
+  bool fitted_ = false;
+};
+
+}  // namespace ckat::baselines

@@ -1,0 +1,122 @@
+#include "baselines/cke.hpp"
+
+#include <stdexcept>
+
+#include "graph/adjacency.hpp"
+#include "nn/init.hpp"
+#include "nn/tape.hpp"
+
+namespace ckat::baselines {
+
+CkeModel::CkeModel(const graph::CollaborativeKg& ckg,
+                   const graph::InteractionSet& train, CkeConfig config)
+    : ckg_(ckg), train_(train), config_(config), rng_(config.seed) {
+  util::Rng init_rng = rng_.fork(0);
+  user_factors_ =
+      &params_.create("cke.user", train.n_users(), config_.embedding_dim);
+  item_factors_ =
+      &params_.create("cke.item", train.n_items(), config_.embedding_dim);
+  nn::xavier_uniform(user_factors_->value(), init_rng);
+  nn::xavier_uniform(item_factors_->value(), init_rng);
+
+  // TransR runs over the knowledge triples only (the CF part carries the
+  // interactions) -- the regularization-based design.
+  const graph::Adjacency kg_adjacency(ckg.knowledge_triples(),
+                                      ckg.n_entities(), ckg.n_relations(),
+                                      /*add_inverse=*/true);
+  core::TransRConfig transr_config{.entity_dim = config_.embedding_dim,
+                                   .relation_dim = config_.embedding_dim,
+                                   .margin = config_.transr_margin};
+  transr_ = std::make_unique<core::TransR>(params_, ckg.n_entities(),
+                                           kg_adjacency.n_relations(),
+                                           transr_config, init_rng);
+  kg_edges_.reserve(kg_adjacency.n_edges());
+  for (std::size_t e = 0; e < kg_adjacency.n_edges(); ++e) {
+    kg_edges_.push_back(core::KgEdge{kg_adjacency.heads()[e],
+                                     kg_adjacency.relations()[e],
+                                     kg_adjacency.tails()[e]});
+  }
+
+  cf_optimizer_ = std::make_unique<nn::AdamOptimizer>(config_.learning_rate);
+  kg_optimizer_ = std::make_unique<nn::AdamOptimizer>(config_.learning_rate);
+  sampler_ = std::make_unique<core::BprSampler>(train_);
+}
+
+float CkeModel::cf_step(util::Rng& rng) {
+  const auto batch = sampler_->sample(config_.batch_size, rng);
+  std::vector<std::uint32_t> users, pos_items, neg_items, pos_entities,
+      neg_entities;
+  for (const core::BprTriple& t : batch) {
+    users.push_back(t.user);
+    pos_items.push_back(t.positive);
+    neg_items.push_back(t.negative);
+    pos_entities.push_back(ckg_.item_entity(t.positive));
+    neg_entities.push_back(ckg_.item_entity(t.negative));
+  }
+
+  nn::Tape tape;
+  nn::Var u = tape.gather_param(*user_factors_, users);
+  // Item representation: latent factor + structural TransR embedding.
+  nn::Var p = tape.add(tape.gather_param(*item_factors_, pos_items),
+                       tape.gather_param(transr_->entity_embedding(),
+                                         pos_entities));
+  nn::Var n = tape.add(tape.gather_param(*item_factors_, neg_items),
+                       tape.gather_param(transr_->entity_embedding(),
+                                         neg_entities));
+
+  nn::Var pos_scores = tape.sum_cols(tape.mul(u, p));
+  nn::Var neg_scores = tape.sum_cols(tape.mul(u, n));
+  nn::Var bpr = tape.reduce_mean(tape.softplus(tape.sub(neg_scores, pos_scores)));
+  nn::Var reg = tape.reduce_sum(
+      tape.add(tape.add(tape.square(u), tape.square(p)), tape.square(n)));
+  nn::Var loss = tape.add(
+      bpr, tape.scale(reg, config_.l2_coefficient /
+                               static_cast<float>(batch.size())));
+  const float loss_value = tape.value(loss)(0, 0);
+  tape.backward(loss);
+  cf_optimizer_->step(params_);
+  return loss_value;
+}
+
+void CkeModel::fit() {
+  const std::size_t cf_batches =
+      sampler_->batches_per_epoch(config_.batch_size);
+  const std::size_t kg_batches = std::max<std::size_t>(
+      1, (kg_edges_.size() + config_.kg_batch_size - 1) / config_.kg_batch_size);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (std::size_t b = 0; b < cf_batches; ++b) cf_step(rng_);
+    for (std::size_t b = 0; b < kg_batches; ++b) {
+      std::vector<core::KgEdge> kg_batch;
+      const std::size_t size =
+          std::min(config_.kg_batch_size, kg_edges_.size());
+      kg_batch.reserve(size);
+      for (std::size_t i = 0; i < size; ++i) {
+        kg_batch.push_back(kg_edges_[rng_.uniform_index(kg_edges_.size())]);
+      }
+      transr_->train_step(kg_batch, *kg_optimizer_, params_, rng_);
+    }
+  }
+  fitted_ = true;
+}
+
+void CkeModel::score_items(std::uint32_t user, std::span<float> out) const {
+  if (!fitted_) throw std::logic_error("CkeModel: fit() first");
+  if (out.size() != n_items()) {
+    throw std::invalid_argument("CkeModel: output span size mismatch");
+  }
+  auto pu = user_factors_->value().row(user);
+  const nn::Tensor& q = item_factors_->value();
+  const nn::Tensor& e = transr_->entity_embedding().value();
+  for (std::size_t v = 0; v < n_items(); ++v) {
+    auto qi = q.row(v);
+    auto ei = e.row(ckg_.item_entity(static_cast<std::uint32_t>(v)));
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < pu.size(); ++c) {
+      acc += pu[c] * (qi[c] + ei[c]);
+    }
+    out[v] = acc;
+  }
+}
+
+}  // namespace ckat::baselines

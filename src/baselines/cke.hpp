@@ -1,0 +1,66 @@
+// CKE (Zhang et al. 2016): collaborative knowledge base embedding.
+// Matrix factorization where each item's latent vector is offset by its
+// TransR structural embedding: score(u, i) = p_u . (q_i + e_i), trained
+// jointly with the TransR margin loss on the knowledge triples
+// (regularization-based use of the KG -- first-order only, Sec. VI.E).
+#pragma once
+
+#include <memory>
+
+#include "core/bpr.hpp"
+#include "core/transr.hpp"
+#include "eval/recommender.hpp"
+#include "graph/ckg.hpp"
+#include "nn/optim.hpp"
+#include "nn/parameter.hpp"
+#include "util/rng.hpp"
+
+namespace ckat::baselines {
+
+struct CkeConfig {
+  std::size_t embedding_dim = 64;
+  float learning_rate = 0.01f;
+  float l2_coefficient = 1e-5f;
+  float transr_margin = 1.0f;
+  std::size_t batch_size = 2048;
+  std::size_t kg_batch_size = 4096;
+  int epochs = 40;
+  std::uint64_t seed = 7;
+};
+
+class CkeModel final : public eval::Recommender {
+ public:
+  CkeModel(const graph::CollaborativeKg& ckg,
+           const graph::InteractionSet& train, CkeConfig config);
+
+  [[nodiscard]] std::string name() const override { return "CKE"; }
+  void fit() override;
+  void score_items(std::uint32_t user, std::span<float> out) const override;
+  [[nodiscard]] std::size_t n_users() const override {
+    return train_.n_users();
+  }
+  [[nodiscard]] std::size_t n_items() const override {
+    return train_.n_items();
+  }
+
+ private:
+  float cf_step(util::Rng& rng);
+
+  const graph::CollaborativeKg& ckg_;
+  const graph::InteractionSet& train_;
+  CkeConfig config_;
+
+  nn::ParamStore params_;
+  nn::Parameter* user_factors_ = nullptr;
+  nn::Parameter* item_factors_ = nullptr;
+  std::unique_ptr<core::TransR> transr_;
+  std::vector<core::KgEdge> kg_edges_;
+
+  std::unique_ptr<nn::AdamOptimizer> cf_optimizer_;
+  std::unique_ptr<nn::AdamOptimizer> kg_optimizer_;
+  std::unique_ptr<core::BprSampler> sampler_;
+  util::Rng rng_;
+  bool fitted_ = false;
+};
+
+}  // namespace ckat::baselines

@@ -1,0 +1,148 @@
+#include "baselines/common.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/adjacency.hpp"
+
+namespace ckat::baselines {
+
+std::vector<std::vector<std::uint32_t>> item_attribute_entities(
+    const graph::CollaborativeKg& ckg) {
+  const std::uint32_t item_begin = ckg.item_entity(0);
+  const std::uint32_t item_end =
+      item_begin + static_cast<std::uint32_t>(ckg.n_items());
+  auto is_item = [&](std::uint32_t e) {
+    return e >= item_begin && e < item_end;
+  };
+
+  std::vector<std::vector<std::uint32_t>> attrs(ckg.n_items());
+  for (const graph::Triple& t : ckg.knowledge_triples()) {
+    if (is_item(t.head) && !is_item(t.tail)) {
+      attrs[t.head - item_begin].push_back(t.tail);
+    } else if (is_item(t.tail) && !is_item(t.head)) {
+      attrs[t.tail - item_begin].push_back(t.head);
+    }
+  }
+  for (auto& a : attrs) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+  return attrs;
+}
+
+FeatureBatch build_feature_batch(
+    const graph::CollaborativeKg& ckg,
+    const std::vector<std::vector<std::uint32_t>>& item_attributes,
+    std::span<const std::uint32_t> users,
+    std::span<const std::uint32_t> items) {
+  if (users.size() != items.size()) {
+    throw std::invalid_argument("build_feature_batch: size mismatch");
+  }
+  FeatureBatch out;
+  out.n_samples = users.size();
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    auto push = [&](std::uint32_t feature) {
+      out.flat.push_back(feature);
+      out.segments.push_back(static_cast<std::uint32_t>(i));
+    };
+    push(ckg.user_entity(users[i]));
+    push(ckg.item_entity(items[i]));
+    for (std::uint32_t attr : item_attributes.at(items[i])) push(attr);
+  }
+  return out;
+}
+
+SampledNeighbors sample_neighbors(const graph::CollaborativeKg& ckg,
+                                  std::size_t sample_size, util::Rng& rng,
+                                  bool knowledge_only) {
+  if (sample_size == 0) {
+    throw std::invalid_argument("sample_neighbors: sample_size must be > 0");
+  }
+  const graph::Adjacency adjacency =
+      knowledge_only
+          ? graph::Adjacency(ckg.knowledge_triples(), ckg.n_entities(),
+                             ckg.n_relations(), /*add_inverse=*/true)
+          : ckg.build_adjacency();
+  SampledNeighbors out;
+  out.sample_size = sample_size;
+  out.tails.resize(ckg.n_entities() * sample_size);
+  out.relations.resize(ckg.n_entities() * sample_size);
+  for (std::uint32_t e = 0; e < ckg.n_entities(); ++e) {
+    const auto [begin, end] = adjacency.edge_range(e);
+    for (std::size_t j = 0; j < sample_size; ++j) {
+      const std::size_t slot = e * sample_size + j;
+      if (begin == end) {
+        out.tails[slot] = e;  // isolated entity: self-loop
+        out.relations[slot] = 0;
+      } else {
+        const std::int64_t pick =
+            begin + static_cast<std::int64_t>(
+                        rng.uniform_index(static_cast<std::size_t>(end - begin)));
+        out.tails[slot] = adjacency.tails()[pick];
+        out.relations[slot] = adjacency.relations()[pick];
+      }
+    }
+  }
+  return out;
+}
+
+RippleSets build_ripple_sets(const graph::CollaborativeKg& ckg,
+                             const graph::InteractionSet& train,
+                             std::size_t n_hops, std::size_t set_size,
+                             util::Rng& rng) {
+  if (n_hops == 0 || set_size == 0) {
+    throw std::invalid_argument("build_ripple_sets: hops and size must be > 0");
+  }
+
+  // Knowledge-only adjacency (RippleNet propagates through the KG, not
+  // through other users' interactions).
+  const graph::Adjacency adjacency(ckg.knowledge_triples(), ckg.n_entities(),
+                                   ckg.n_relations(), /*add_inverse=*/true);
+
+  RippleSets out;
+  out.n_hops = n_hops;
+  out.set_size = set_size;
+  const std::size_t total = train.n_users() * n_hops * set_size;
+  out.heads.resize(total);
+  out.relations.resize(total);
+  out.tails.resize(total);
+
+  for (std::uint32_t u = 0; u < train.n_users(); ++u) {
+    // Seeds: the user's training items, as CKG entities.
+    std::vector<std::uint32_t> frontier;
+    for (std::uint32_t item : train.items_of(u)) {
+      frontier.push_back(ckg.item_entity(item));
+    }
+    if (frontier.empty()) {
+      frontier.push_back(ckg.user_entity(u));  // cold user: seed on itself
+    }
+
+    for (std::size_t hop = 0; hop < n_hops; ++hop) {
+      std::vector<std::uint32_t> next_frontier;
+      const std::size_t base = (u * n_hops + hop) * set_size;
+      for (std::size_t j = 0; j < set_size; ++j) {
+        const std::uint32_t h =
+            frontier[rng.uniform_index(frontier.size())];
+        const auto [begin, end] = adjacency.edge_range(h);
+        if (begin == end) {
+          out.heads[base + j] = h;
+          out.relations[base + j] = 0;
+          out.tails[base + j] = h;  // self-loop fallback
+        } else {
+          const std::int64_t pick =
+              begin + static_cast<std::int64_t>(rng.uniform_index(
+                          static_cast<std::size_t>(end - begin)));
+          out.heads[base + j] = h;
+          out.relations[base + j] = adjacency.relations()[pick];
+          out.tails[base + j] = adjacency.tails()[pick];
+          next_frontier.push_back(adjacency.tails()[pick]);
+        }
+      }
+      if (!next_frontier.empty()) frontier = std::move(next_frontier);
+    }
+  }
+  return out;
+}
+
+}  // namespace ckat::baselines

@@ -1,0 +1,76 @@
+// Shared helpers for the baseline models: feature extraction for the
+// factorization models (FM/NFM use user id + item id + the item's CKG
+// entities as input features, Sec. VI.C) and knowledge-neighborhood
+// utilities for the propagation baselines (RippleNet, KGCN).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/ckg.hpp"
+#include "util/rng.hpp"
+
+namespace ckat::baselines {
+
+/// For each item, the attribute entity ids it links to in the CKG's
+/// knowledge triples (either direction). Indexed by item id; entity ids
+/// follow the CKG layout.
+std::vector<std::vector<std::uint32_t>> item_attribute_entities(
+    const graph::CollaborativeKg& ckg);
+
+/// Fixed-size sampled neighbor table over the full CKG (KGCN's
+/// receptive-field sampling): for every entity, `sample_size` neighbors
+/// (tail, relation) drawn with replacement from its edges. Entities with
+/// no edges get self-loops with relation 0.
+struct SampledNeighbors {
+  std::size_t sample_size = 0;
+  std::vector<std::uint32_t> tails;      // entity * sample_size + j
+  std::vector<std::uint32_t> relations;  // same layout
+
+  [[nodiscard]] std::size_t n_entities() const {
+    return sample_size == 0 ? 0 : tails.size() / sample_size;
+  }
+};
+
+/// `knowledge_only` restricts sampling to the knowledge triples (the
+/// original KGCN operates on the item KG; interact edges would flood
+/// item neighborhoods with arbitrary users).
+SampledNeighbors sample_neighbors(const graph::CollaborativeKg& ckg,
+                                  std::size_t sample_size, util::Rng& rng,
+                                  bool knowledge_only = true);
+
+/// Flattened feature lists for the factorization models. Sample i's
+/// features are flat[segments == i]; feature ids live in the CKG entity
+/// id space (user entity + item entity + the item's attribute entities).
+struct FeatureBatch {
+  std::vector<std::uint32_t> flat;
+  std::vector<std::uint32_t> segments;
+  std::size_t n_samples = 0;
+};
+
+FeatureBatch build_feature_batch(
+    const graph::CollaborativeKg& ckg,
+    const std::vector<std::vector<std::uint32_t>>& item_attributes,
+    std::span<const std::uint32_t> users, std::span<const std::uint32_t> items);
+
+/// RippleNet ripple sets: per user and hop, a fixed-size set of
+/// knowledge triples (h, r, t) reachable from the user's training items.
+/// Hop 0 expands from the user's items; hop k from hop k-1 tails. Sets
+/// are padded/truncated to `set_size` by sampling with replacement;
+/// users whose items have no knowledge edges fall back to self-loops on
+/// their items.
+struct RippleSets {
+  std::size_t n_hops = 0;
+  std::size_t set_size = 0;
+  // Layout: (user * n_hops + hop) * set_size + j.
+  std::vector<std::uint32_t> heads;
+  std::vector<std::uint32_t> relations;
+  std::vector<std::uint32_t> tails;
+};
+
+RippleSets build_ripple_sets(const graph::CollaborativeKg& ckg,
+                             const graph::InteractionSet& train,
+                             std::size_t n_hops, std::size_t set_size,
+                             util::Rng& rng);
+
+}  // namespace ckat::baselines

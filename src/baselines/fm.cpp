@@ -1,0 +1,193 @@
+#include "baselines/fm.hpp"
+
+#include <stdexcept>
+
+#include "nn/init.hpp"
+
+namespace ckat::baselines {
+
+FmModel::FmModel(const graph::CollaborativeKg& ckg,
+                 const graph::InteractionSet& train, FmConfig config,
+                 bool neural)
+    : ckg_(ckg),
+      train_(train),
+      config_(config),
+      neural_(neural),
+      rng_(config.seed) {
+  item_attributes_ = item_attribute_entities(ckg);
+
+  util::Rng init_rng = rng_.fork(0);
+  factors_ =
+      &params_.create("fm.V", ckg.n_entities(), config_.embedding_dim);
+  linear_ = &params_.create("fm.w", ckg.n_entities(), 1);
+  nn::xavier_uniform(factors_->value(), init_rng);
+  // Linear weights start at zero; BPR shapes them from the data.
+  if (neural_) {
+    hidden_w_ = &params_.create("nfm.W1", config_.embedding_dim,
+                                config_.hidden_dim);
+    hidden_b_ = &params_.create("nfm.b1", 1, config_.hidden_dim);
+    output_w_ = &params_.create("nfm.h", config_.hidden_dim, 1);
+    nn::xavier_uniform(hidden_w_->value(), init_rng);
+    nn::xavier_uniform(output_w_->value(), init_rng);
+  }
+  optimizer_ = std::make_unique<nn::AdamOptimizer>(config_.learning_rate);
+  sampler_ = std::make_unique<core::BprSampler>(train_);
+}
+
+nn::Var FmModel::score_batch(nn::Tape& tape, const FeatureBatch& features,
+                             bool training, util::Rng& dropout_rng) {
+  const std::size_t batch = features.n_samples;
+
+  nn::Var gathered = tape.gather_param(*factors_, features.flat);
+  nn::Var sum_vectors = tape.segment_sum(gathered, features.segments, batch);
+  nn::Var sum_of_squares =
+      tape.segment_sum(tape.square(gathered), features.segments, batch);
+  // Bi-interaction pooling: 0.5 * ((sum v)^2 - sum v^2), elementwise.
+  nn::Var bi = tape.scale(
+      tape.sub(tape.square(sum_vectors), sum_of_squares), 0.5f);
+
+  nn::Var linear_terms = tape.segment_sum(
+      tape.gather_param(*linear_, features.flat), features.segments, batch);
+
+  if (!neural_) {
+    // FM head: pairwise interactions reduce to a scalar per sample.
+    return tape.add(tape.sum_cols(bi), linear_terms);
+  }
+  // NFM head: one hidden layer over the bi-interaction vector.
+  bi = tape.dropout(bi, config_.dropout, dropout_rng, training);
+  nn::Var hidden = tape.relu(tape.add_rowvec(
+      tape.matmul(bi, tape.param(*hidden_w_)), tape.param(*hidden_b_)));
+  return tape.add(tape.matmul(hidden, tape.param(*output_w_)), linear_terms);
+}
+
+float FmModel::train_step(util::Rng& rng) {
+  const auto batch = sampler_->sample(config_.batch_size, rng);
+  std::vector<std::uint32_t> users, positives, negatives;
+  users.reserve(batch.size());
+  positives.reserve(batch.size());
+  negatives.reserve(batch.size());
+  for (const core::BprTriple& t : batch) {
+    users.push_back(t.user);
+    positives.push_back(t.positive);
+    negatives.push_back(t.negative);
+  }
+
+  const FeatureBatch pos_features =
+      build_feature_batch(ckg_, item_attributes_, users, positives);
+  const FeatureBatch neg_features =
+      build_feature_batch(ckg_, item_attributes_, users, negatives);
+
+  nn::Tape tape;
+  util::Rng dropout_rng = rng.fork(23);
+  nn::Var pos_scores = score_batch(tape, pos_features, true, dropout_rng);
+  nn::Var neg_scores = score_batch(tape, neg_features, true, dropout_rng);
+
+  nn::Var bpr = tape.reduce_mean(tape.softplus(tape.sub(neg_scores, pos_scores)));
+  // L2 over the embedding table rows used this step (touched rows only,
+  // approximated through the gathered representations).
+  nn::Var reg = tape.reduce_sum(
+      tape.square(tape.gather_param(*factors_, pos_features.flat)));
+  nn::Var loss = tape.add(
+      bpr, tape.scale(reg, config_.l2_coefficient /
+                               static_cast<float>(batch.size())));
+  const float loss_value = tape.value(loss)(0, 0);
+  tape.backward(loss);
+  optimizer_->step(params_);
+  return loss_value;
+}
+
+void FmModel::fit() {
+  const std::size_t batches = sampler_->batches_per_epoch(config_.batch_size);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (std::size_t b = 0; b < batches; ++b) train_step(rng_);
+  }
+  cache_item_sums();
+  fitted_ = true;
+}
+
+void FmModel::cache_item_sums() {
+  // Decompose the bi-interaction for (user u, item i's feature set F_i):
+  //   bi_c = 0.5 * ((vu + s_i)^2 - (vu^2 + ssq_i))_c
+  //        = [0.5 * (s_i^2 - ssq_i)]_c + (vu .* s_i)_c
+  // where s_i / ssq_i are the (squared-)factor sums over F_i = {item,
+  // attrs}. The bracketed item-only part and the linear sums are
+  // precomputed here, leaving a single GEMM per scored user.
+  const nn::Tensor& v = factors_->value();
+  const nn::Tensor& w = linear_->value();
+  const std::size_t d = config_.embedding_dim;
+  item_sum_.resize_zeroed(n_items(), d);
+  item_bi_.resize_zeroed(n_items(), d);
+  item_linear_.assign(n_items(), 0.0f);
+
+  for (std::size_t item = 0; item < n_items(); ++item) {
+    auto sum = item_sum_.row(item);
+    auto bi = item_bi_.row(item);
+    float linear_acc = 0.0f;
+    auto accumulate = [&](std::uint32_t entity) {
+      auto row = v.row(entity);
+      for (std::size_t c = 0; c < d; ++c) {
+        sum[c] += row[c];
+        bi[c] -= row[c] * row[c];  // accumulates -ssq for now
+      }
+      linear_acc += w(entity, 0);
+    };
+    accumulate(ckg_.item_entity(static_cast<std::uint32_t>(item)));
+    for (std::uint32_t attr : item_attributes_[item]) accumulate(attr);
+    for (std::size_t c = 0; c < d; ++c) {
+      bi[c] = 0.5f * (sum[c] * sum[c] + bi[c]);
+    }
+    item_linear_[item] = linear_acc;
+  }
+}
+
+void FmModel::score_items(std::uint32_t user, std::span<float> out) const {
+  if (!fitted_) throw std::logic_error("FmModel: fit() first");
+  if (out.size() != n_items()) {
+    throw std::invalid_argument("FmModel: output span size mismatch");
+  }
+  const nn::Tensor& v = factors_->value();
+  const nn::Tensor& w = linear_->value();
+  const std::size_t d = config_.embedding_dim;
+  auto vu = v.row(ckg_.user_entity(user));
+  const float user_linear = w(ckg_.user_entity(user), 0);
+
+  if (!neural_) {
+    for (std::size_t item = 0; item < n_items(); ++item) {
+      auto sum = item_sum_.row(item);
+      auto bi = item_bi_.row(item);
+      float acc = user_linear + item_linear_[item];
+      for (std::size_t c = 0; c < d; ++c) {
+        acc += bi[c] + vu[c] * sum[c];
+      }
+      out[item] = acc;
+    }
+    return;
+  }
+
+  // NFM: assemble the full bi-interaction matrix for this user, then one
+  // GEMM through the hidden layer.
+  nn::Tensor bi_matrix(n_items(), d);
+  for (std::size_t item = 0; item < n_items(); ++item) {
+    auto sum = item_sum_.row(item);
+    auto bi = item_bi_.row(item);
+    auto dst = bi_matrix.row(item);
+    for (std::size_t c = 0; c < d; ++c) {
+      dst[c] = bi[c] + vu[c] * sum[c];
+    }
+  }
+  nn::Tensor hidden(n_items(), config_.hidden_dim);
+  nn::gemm(bi_matrix, hidden_w_->value(), hidden);
+  const nn::Tensor& b1 = hidden_b_->value();
+  const nn::Tensor& h = output_w_->value();
+  for (std::size_t item = 0; item < n_items(); ++item) {
+    auto row = hidden.row(item);
+    float score = user_linear + item_linear_[item];
+    for (std::size_t j = 0; j < config_.hidden_dim; ++j) {
+      const float pre = row[j] + b1(0, j);
+      if (pre > 0.0f) score += pre * h(j, 0);
+    }
+    out[item] = score;
+  }
+}
+
+}  // namespace ckat::baselines

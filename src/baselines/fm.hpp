@@ -1,0 +1,99 @@
+// Factorization Machine baselines (Table II):
+//   * FM  (Rendle 2011): linear terms + second-order factor
+//     interactions over the (user, item, item-CKG-entities) features.
+//   * NFM (He & Chua 2017): FM's bi-interaction pooling followed by a
+//     one-hidden-layer MLP (the configuration the paper uses).
+// Both are trained with the BPR pairwise loss on the same splits as all
+// other models.
+#pragma once
+
+#include <memory>
+
+#include "baselines/common.hpp"
+#include "core/bpr.hpp"
+#include "eval/recommender.hpp"
+#include "graph/ckg.hpp"
+#include "nn/optim.hpp"
+#include "nn/parameter.hpp"
+#include "nn/tape.hpp"
+#include "util/rng.hpp"
+
+namespace ckat::baselines {
+
+struct FmConfig {
+  std::size_t embedding_dim = 64;
+  std::size_t hidden_dim = 64;  // NFM only
+  float learning_rate = 0.01f;
+  float l2_coefficient = 1e-5f;
+  float dropout = 0.1f;  // NFM only
+  std::size_t batch_size = 2048;
+  int epochs = 40;
+  std::uint64_t seed = 7;
+};
+
+/// Shared machinery; `neural` switches between FM and NFM heads.
+class FmModel : public eval::Recommender {
+ public:
+  FmModel(const graph::CollaborativeKg& ckg,
+          const graph::InteractionSet& train, FmConfig config, bool neural);
+
+  [[nodiscard]] std::string name() const override {
+    return neural_ ? "NFM" : "FM";
+  }
+  void fit() override;
+  void score_items(std::uint32_t user, std::span<float> out) const override;
+  [[nodiscard]] std::size_t n_users() const override {
+    return train_.n_users();
+  }
+  [[nodiscard]] std::size_t n_items() const override {
+    return train_.n_items();
+  }
+
+ private:
+  /// Builds the score head for a feature batch on the tape; returns a
+  /// (B, 1) score Var.
+  nn::Var score_batch(nn::Tape& tape, const FeatureBatch& features,
+                      bool training, util::Rng& dropout_rng);
+
+  float train_step(util::Rng& rng);
+  void cache_item_sums();
+
+  const graph::CollaborativeKg& ckg_;
+  const graph::InteractionSet& train_;
+  FmConfig config_;
+  bool neural_;
+
+  std::vector<std::vector<std::uint32_t>> item_attributes_;
+  nn::ParamStore params_;
+  nn::Parameter* factors_ = nullptr;    // (n_entities, d)
+  nn::Parameter* linear_ = nullptr;     // (n_entities, 1)
+  nn::Parameter* hidden_w_ = nullptr;   // NFM: (d, hidden)
+  nn::Parameter* hidden_b_ = nullptr;   // NFM: (1, hidden)
+  nn::Parameter* output_w_ = nullptr;   // NFM: (hidden, 1)
+  std::unique_ptr<nn::AdamOptimizer> optimizer_;
+  std::unique_ptr<core::BprSampler> sampler_;
+  util::Rng rng_;
+  bool fitted_ = false;
+
+  // Per-item caches for fast full-ranking evaluation (see
+  // cache_item_sums for the decomposition).
+  nn::Tensor item_sum_;
+  nn::Tensor item_bi_;
+  std::vector<float> item_linear_;
+};
+
+class NfmModel final : public FmModel {
+ public:
+  NfmModel(const graph::CollaborativeKg& ckg,
+           const graph::InteractionSet& train, FmConfig config)
+      : FmModel(ckg, train, config, /*neural=*/true) {}
+};
+
+class PlainFmModel final : public FmModel {
+ public:
+  PlainFmModel(const graph::CollaborativeKg& ckg,
+               const graph::InteractionSet& train, FmConfig config)
+      : FmModel(ckg, train, config, /*neural=*/false) {}
+};
+
+}  // namespace ckat::baselines

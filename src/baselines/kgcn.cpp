@@ -1,0 +1,174 @@
+#include "baselines/kgcn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "nn/init.hpp"
+#include "nn/kernels.hpp"
+
+namespace ckat::baselines {
+
+KgcnModel::KgcnModel(const graph::CollaborativeKg& ckg,
+                     const graph::InteractionSet& train, KgcnConfig config)
+    : ckg_(ckg), train_(train), config_(config), rng_(config.seed) {
+  util::Rng neighbor_rng = rng_.fork(1);
+  neighbors_ = sample_neighbors(ckg, config_.neighbor_sample_size,
+                                neighbor_rng);
+  n_relations_ = 2 * ckg.n_relations();
+
+  util::Rng init_rng = rng_.fork(0);
+  user_ = &params_.create("kgcn.user", train.n_users(), config_.embedding_dim);
+  entity_ =
+      &params_.create("kgcn.entity", ckg.n_entities(), config_.embedding_dim);
+  relation_ = &params_.create("kgcn.relation", n_relations_,
+                              config_.embedding_dim);
+  agg_w_ = &params_.create("kgcn.W", config_.embedding_dim,
+                           config_.embedding_dim);
+  agg_b_ = &params_.create("kgcn.b", 1, config_.embedding_dim);
+  nn::xavier_uniform(user_->value(), init_rng);
+  nn::xavier_uniform(entity_->value(), init_rng);
+  nn::xavier_uniform(relation_->value(), init_rng);
+  nn::xavier_uniform(agg_w_->value(), init_rng);
+
+  optimizer_ = std::make_unique<nn::AdamOptimizer>(config_.learning_rate);
+  sampler_ = std::make_unique<core::BprSampler>(train_);
+}
+
+nn::Var KgcnModel::aggregate_items(
+    nn::Tape& tape, nn::Var user_embedding,
+    std::span<const std::uint32_t> item_entities) {
+  const std::size_t batch = item_entities.size();
+  const std::size_t k = config_.neighbor_sample_size;
+
+  std::vector<std::uint32_t> tails, relations, segments, user_rows;
+  tails.reserve(batch * k);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t base = static_cast<std::size_t>(item_entities[b]) * k;
+    for (std::size_t j = 0; j < k; ++j) {
+      tails.push_back(neighbors_.tails[base + j]);
+      relations.push_back(neighbors_.relations[base + j]);
+      segments.push_back(static_cast<std::uint32_t>(b));
+      user_rows.push_back(static_cast<std::uint32_t>(b));
+    }
+  }
+
+  // pi(u, r) = softmax over the K sampled neighbors of u . e_r.
+  nn::Var relation_embeddings = tape.gather_param(*relation_, relations);
+  nn::Var user_expanded = tape.rows(user_embedding, user_rows);
+  nn::Var raw = tape.sum_cols(tape.mul(user_expanded, relation_embeddings));
+  nn::Var attention = tape.segment_softmax(raw, segments);
+
+  nn::Var neighborhood = tape.segment_sum(
+      tape.mul_colvec(tape.gather_param(*entity_, tails), attention),
+      segments, batch);
+  nn::Var combined =
+      tape.add(tape.gather_param(
+                   *entity_, std::vector<std::uint32_t>(item_entities.begin(),
+                                                        item_entities.end())),
+               neighborhood);
+  return tape.relu(tape.add_rowvec(tape.matmul(combined, tape.param(*agg_w_)),
+                                   tape.param(*agg_b_)));
+}
+
+float KgcnModel::train_step(util::Rng& rng) {
+  const auto batch = sampler_->sample(config_.batch_size, rng);
+  std::vector<std::uint32_t> users, pos_entities, neg_entities;
+  for (const core::BprTriple& t : batch) {
+    users.push_back(t.user);
+    pos_entities.push_back(ckg_.item_entity(t.positive));
+    neg_entities.push_back(ckg_.item_entity(t.negative));
+  }
+
+  nn::Tape tape;
+  nn::Var u = tape.gather_param(*user_, users);
+  nn::Var pos_repr = aggregate_items(tape, u, pos_entities);
+  nn::Var neg_repr = aggregate_items(tape, u, neg_entities);
+
+  nn::Var pos_scores = tape.sum_cols(tape.mul(u, pos_repr));
+  nn::Var neg_scores = tape.sum_cols(tape.mul(u, neg_repr));
+  nn::Var bpr = tape.reduce_mean(tape.softplus(tape.sub(neg_scores, pos_scores)));
+  nn::Var reg = tape.reduce_sum(
+      tape.add(tape.add(tape.square(u), tape.square(pos_repr)),
+               tape.square(neg_repr)));
+  nn::Var loss = tape.add(
+      bpr, tape.scale(reg, config_.l2_coefficient /
+                               static_cast<float>(batch.size())));
+  const float loss_value = tape.value(loss)(0, 0);
+  tape.backward(loss);
+  optimizer_->step(params_);
+  return loss_value;
+}
+
+void KgcnModel::fit() {
+  const std::size_t batches = sampler_->batches_per_epoch(config_.batch_size);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (std::size_t b = 0; b < batches; ++b) train_step(rng_);
+  }
+  fitted_ = true;
+}
+
+void KgcnModel::score_items(std::uint32_t user, std::span<float> out) const {
+  if (!fitted_) throw std::logic_error("KgcnModel: fit() first");
+  if (out.size() != n_items()) {
+    throw std::invalid_argument("KgcnModel: output span size mismatch");
+  }
+  const std::size_t d = config_.embedding_dim;
+  const std::size_t k = config_.neighbor_sample_size;
+  const nn::Tensor& e = entity_->value();
+  const nn::Tensor& rel = relation_->value();
+  auto u = user_->value().row(user);
+
+  // u . e_r is shared across all items; precompute per relation.
+  std::vector<float> relation_scores(n_relations_);
+  for (std::size_t r = 0; r < n_relations_; ++r) {
+    float acc = 0.0f;
+    auto row = rel.row(r);
+    for (std::size_t c = 0; c < d; ++c) acc += u[c] * row[c];
+    relation_scores[r] = acc;
+  }
+
+  // Build combined = e_v + e_N for all items, then one GEMM + bias +
+  // ReLU + dot with u.
+  nn::Tensor combined(n_items(), d);
+  std::vector<float> attention(k);
+  for (std::size_t item = 0; item < n_items(); ++item) {
+    const std::uint32_t entity =
+        ckg_.item_entity(static_cast<std::uint32_t>(item));
+    const std::size_t base = static_cast<std::size_t>(entity) * k;
+    float max_score = -std::numeric_limits<float>::infinity();
+    for (std::size_t j = 0; j < k; ++j) {
+      attention[j] = relation_scores[neighbors_.relations[base + j]];
+      max_score = std::max(max_score, attention[j]);
+    }
+    float denominator = 0.0f;
+    for (std::size_t j = 0; j < k; ++j) {
+      attention[j] = std::exp(attention[j] - max_score);
+      denominator += attention[j];
+    }
+    auto dst = combined.row(item);
+    auto ev = e.row(entity);
+    std::copy(ev.begin(), ev.end(), dst.begin());
+    for (std::size_t j = 0; j < k; ++j) {
+      const float p = attention[j] / denominator;
+      auto tail = e.row(neighbors_.tails[base + j]);
+      for (std::size_t c = 0; c < d; ++c) dst[c] += p * tail[c];
+    }
+  }
+
+  nn::Tensor transformed(n_items(), d);
+  nn::gemm(combined, agg_w_->value(), transformed);
+  const nn::Tensor& b = agg_b_->value();
+  for (std::size_t item = 0; item < n_items(); ++item) {
+    auto row = transformed.row(item);
+    float score = 0.0f;
+    for (std::size_t c = 0; c < d; ++c) {
+      const float activated = std::max(row[c] + b(0, c), 0.0f);
+      score += activated * u[c];
+    }
+    out[item] = score;
+  }
+}
+
+}  // namespace ckat::baselines

@@ -1,0 +1,74 @@
+// KGCN (Wang et al. 2019): knowledge graph convolutional network.
+//
+// For a candidate item v and user u, v's fixed-size sampled neighborhood
+// is aggregated with user-relation attention pi(u, r) = softmax(u . r):
+//   e_N = sum_k pi(u, r_k) e_{t_k}
+//   e_v' = ReLU(W (e_v + e_N) + b)       (sum aggregator)
+//   score = u . e_v'
+// The neighbor table is sampled once at construction (the standard
+// receptive-field approximation).
+#pragma once
+
+#include <memory>
+
+#include "baselines/common.hpp"
+#include "core/bpr.hpp"
+#include "eval/recommender.hpp"
+#include "graph/ckg.hpp"
+#include "nn/optim.hpp"
+#include "nn/parameter.hpp"
+#include "nn/tape.hpp"
+#include "util/rng.hpp"
+
+namespace ckat::baselines {
+
+struct KgcnConfig {
+  std::size_t embedding_dim = 64;
+  std::size_t neighbor_sample_size = 16;
+  float learning_rate = 0.005f;
+  float l2_coefficient = 1e-4f;
+  std::size_t batch_size = 2048;
+  int epochs = 40;
+  std::uint64_t seed = 7;
+};
+
+class KgcnModel final : public eval::Recommender {
+ public:
+  KgcnModel(const graph::CollaborativeKg& ckg,
+            const graph::InteractionSet& train, KgcnConfig config);
+
+  [[nodiscard]] std::string name() const override { return "KGCN"; }
+  void fit() override;
+  void score_items(std::uint32_t user, std::span<float> out) const override;
+  [[nodiscard]] std::size_t n_users() const override {
+    return train_.n_users();
+  }
+  [[nodiscard]] std::size_t n_items() const override {
+    return train_.n_items();
+  }
+
+ private:
+  nn::Var aggregate_items(nn::Tape& tape, nn::Var user_embedding,
+                          std::span<const std::uint32_t> item_entities);
+  float train_step(util::Rng& rng);
+
+  const graph::CollaborativeKg& ckg_;
+  const graph::InteractionSet& train_;
+  KgcnConfig config_;
+
+  SampledNeighbors neighbors_;
+  std::size_t n_relations_ = 0;  // with inverses
+
+  nn::ParamStore params_;
+  nn::Parameter* user_ = nullptr;      // (n_users, d)
+  nn::Parameter* entity_ = nullptr;    // (n_entities, d)
+  nn::Parameter* relation_ = nullptr;  // (n_relations, d)
+  nn::Parameter* agg_w_ = nullptr;     // (d, d)
+  nn::Parameter* agg_b_ = nullptr;     // (1, d)
+  std::unique_ptr<nn::AdamOptimizer> optimizer_;
+  std::unique_ptr<core::BprSampler> sampler_;
+  util::Rng rng_;
+  bool fitted_ = false;
+};
+
+}  // namespace ckat::baselines

@@ -1,0 +1,213 @@
+#include "baselines/ripplenet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/init.hpp"
+#include "nn/kernels.hpp"
+
+namespace ckat::baselines {
+
+RippleNetModel::RippleNetModel(const graph::CollaborativeKg& ckg,
+                               const graph::InteractionSet& train,
+                               RippleNetConfig config)
+    : ckg_(ckg), train_(train), config_(config), rng_(config.seed) {
+  util::Rng ripple_rng = rng_.fork(1);
+  ripples_ = build_ripple_sets(ckg, train, config_.n_hops,
+                               config_.ripple_set_size, ripple_rng);
+  n_relations_ = 2 * ckg.n_relations();  // canonical + inverse
+
+  util::Rng init_rng = rng_.fork(0);
+  entity_ = &params_.create("ripple.entity", ckg.n_entities(),
+                            config_.embedding_dim);
+  nn::xavier_uniform(entity_->value(), init_rng);
+  relation_transforms_.reserve(n_relations_);
+  for (std::size_t r = 0; r < n_relations_; ++r) {
+    nn::Parameter& m = params_.create("ripple.R" + std::to_string(r),
+                                      config_.embedding_dim,
+                                      config_.embedding_dim);
+    nn::xavier_uniform(m.value(), init_rng);
+    relation_transforms_.push_back(&m);
+  }
+  optimizer_ = std::make_unique<nn::AdamOptimizer>(config_.learning_rate);
+  sampler_ = std::make_unique<core::BprSampler>(train_);
+}
+
+nn::Var RippleNetModel::score_batch(nn::Tape& tape,
+                                    std::span<const std::uint32_t> users,
+                                    nn::Var item_embedding) {
+  const std::size_t batch = users.size();
+  const std::size_t set_size = config_.ripple_set_size;
+
+  nn::Var user_response{};  // accumulates sum_k o_k, (B, d)
+  for (std::size_t hop = 0; hop < config_.n_hops; ++hop) {
+    // Flatten this hop's ripple entries across the batch.
+    std::vector<std::uint32_t> heads, tails, segments, relations;
+    heads.reserve(batch * set_size);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const std::size_t base =
+          (static_cast<std::size_t>(users[b]) * config_.n_hops + hop) *
+          set_size;
+      for (std::size_t j = 0; j < set_size; ++j) {
+        heads.push_back(ripples_.heads[base + j]);
+        relations.push_back(ripples_.relations[base + j]);
+        tails.push_back(ripples_.tails[base + j]);
+        segments.push_back(static_cast<std::uint32_t>(b));
+      }
+    }
+
+    // Group entries by relation so R_r applies as one GEMM per group;
+    // attention over each user's set is order-independent (segment ops).
+    std::vector<std::size_t> order(heads.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return relations[a] < relations[b];
+                     });
+
+    nn::Var scores{};  // (E, 1) raw attention, in sorted order
+    std::vector<std::uint32_t> sorted_segments, sorted_tails;
+    sorted_segments.reserve(order.size());
+    sorted_tails.reserve(order.size());
+    std::size_t begin = 0;
+    while (begin < order.size()) {
+      const std::uint32_t r = relations[order[begin]];
+      std::size_t end = begin;
+      std::vector<std::uint32_t> group_heads, group_rows;
+      while (end < order.size() && relations[order[end]] == r) {
+        group_heads.push_back(heads[order[end]]);
+        group_rows.push_back(segments[order[end]]);
+        sorted_segments.push_back(segments[order[end]]);
+        sorted_tails.push_back(tails[order[end]]);
+        ++end;
+      }
+      // p_raw = (R_r e_h) . v, with v broadcast per batch row.
+      nn::Var projected =
+          tape.matmul(tape.gather_param(*entity_, group_heads),
+                      tape.param(*relation_transforms_[r]));
+      nn::Var item_rows = tape.rows(item_embedding, group_rows);
+      nn::Var group_scores = tape.sum_cols(tape.mul(projected, item_rows));
+      scores = scores.valid() ? tape.concat_rows(scores, group_scores)
+                              : group_scores;
+      begin = end;
+    }
+
+    nn::Var attention = tape.segment_softmax(scores, sorted_segments);
+    nn::Var tail_embeddings = tape.gather_param(*entity_, sorted_tails);
+    nn::Var hop_response = tape.segment_sum(
+        tape.mul_colvec(tail_embeddings, attention), sorted_segments, batch);
+    user_response = user_response.valid()
+                        ? tape.add(user_response, hop_response)
+                        : hop_response;
+  }
+  return tape.sum_cols(tape.mul(user_response, item_embedding));
+}
+
+float RippleNetModel::train_step(util::Rng& rng) {
+  const auto batch = sampler_->sample(config_.batch_size, rng);
+  std::vector<std::uint32_t> users, pos_entities, neg_entities;
+  for (const core::BprTriple& t : batch) {
+    users.push_back(t.user);
+    pos_entities.push_back(ckg_.item_entity(t.positive));
+    neg_entities.push_back(ckg_.item_entity(t.negative));
+  }
+
+  nn::Tape tape;
+  nn::Var v_pos = tape.gather_param(*entity_, pos_entities);
+  nn::Var v_neg = tape.gather_param(*entity_, neg_entities);
+  nn::Var pos_scores = score_batch(tape, users, v_pos);
+  nn::Var neg_scores = score_batch(tape, users, v_neg);
+
+  nn::Var bpr = tape.reduce_mean(tape.softplus(tape.sub(neg_scores, pos_scores)));
+  nn::Var reg =
+      tape.reduce_sum(tape.add(tape.square(v_pos), tape.square(v_neg)));
+  nn::Var loss = tape.add(
+      bpr, tape.scale(reg, config_.l2_coefficient /
+                               static_cast<float>(batch.size())));
+  const float loss_value = tape.value(loss)(0, 0);
+  tape.backward(loss);
+  optimizer_->step(params_);
+  return loss_value;
+}
+
+void RippleNetModel::fit() {
+  const std::size_t batches = sampler_->batches_per_epoch(config_.batch_size);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (std::size_t b = 0; b < batches; ++b) train_step(rng_);
+  }
+  fitted_ = true;
+}
+
+void RippleNetModel::score_items(std::uint32_t user,
+                                 std::span<float> out) const {
+  if (!fitted_) throw std::logic_error("RippleNetModel: fit() first");
+  if (out.size() != n_items()) {
+    throw std::invalid_argument("RippleNetModel: output span size mismatch");
+  }
+  const std::size_t d = config_.embedding_dim;
+  const std::size_t set_size = config_.ripple_set_size;
+  const nn::Tensor& e = entity_->value();
+
+  // Precompute this user's projected heads and tails per hop, then score
+  // every item against them.
+  const std::size_t total = config_.n_hops * set_size;
+  nn::Tensor projected(total, d);
+  nn::Tensor tails(total, d);
+  for (std::size_t hop = 0; hop < config_.n_hops; ++hop) {
+    const std::size_t base =
+        (static_cast<std::size_t>(user) * config_.n_hops + hop) * set_size;
+    for (std::size_t j = 0; j < set_size; ++j) {
+      const std::size_t row = hop * set_size + j;
+      const std::uint32_t h = ripples_.heads[base + j];
+      const std::uint32_t r = ripples_.relations[base + j];
+      const std::uint32_t t = ripples_.tails[base + j];
+      const nn::Tensor& transform = relation_transforms_[r]->value();
+      auto head_row = e.row(h);
+      auto dst = projected.row(row);
+      for (std::size_t c = 0; c < d; ++c) {
+        float acc = 0.0f;
+        for (std::size_t i = 0; i < d; ++i) {
+          acc += head_row[i] * transform(i, c);
+        }
+        dst[c] = acc;
+      }
+      auto tail_row = e.row(t);
+      std::copy(tail_row.begin(), tail_row.end(), tails.row(row).begin());
+    }
+  }
+
+  std::vector<float> attention(set_size);
+  std::vector<float> response(d);
+  for (std::size_t item = 0; item < n_items(); ++item) {
+    auto v = e.row(ckg_.item_entity(static_cast<std::uint32_t>(item)));
+    std::fill(response.begin(), response.end(), 0.0f);
+    for (std::size_t hop = 0; hop < config_.n_hops; ++hop) {
+      const std::size_t base = hop * set_size;
+      float max_score = -std::numeric_limits<float>::infinity();
+      for (std::size_t j = 0; j < set_size; ++j) {
+        auto p = projected.row(base + j);
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < d; ++c) acc += p[c] * v[c];
+        attention[j] = acc;
+        max_score = std::max(max_score, acc);
+      }
+      float denominator = 0.0f;
+      for (std::size_t j = 0; j < set_size; ++j) {
+        attention[j] = std::exp(attention[j] - max_score);
+        denominator += attention[j];
+      }
+      for (std::size_t j = 0; j < set_size; ++j) {
+        const float p = attention[j] / denominator;
+        auto t = tails.row(base + j);
+        for (std::size_t c = 0; c < d; ++c) response[c] += p * t[c];
+      }
+    }
+    float score = 0.0f;
+    for (std::size_t c = 0; c < d; ++c) score += response[c] * v[c];
+    out[item] = score;
+  }
+}
+
+}  // namespace ckat::baselines

@@ -1,0 +1,45 @@
+// Umbrella header: the library's public API in one include.
+//
+//   #include "ckat.hpp"
+//
+//   auto dataset = ckat::facility::make_ooi_dataset(42);
+//   auto ckg     = dataset.build_default_ckg();
+//   ckat::core::CkatModel model(ckg, dataset.split().train, {});
+//   model.fit();
+//   auto metrics = ckat::eval::evaluate_topk(model, dataset.split());
+//
+// Individual headers remain available for finer-grained includes.
+#pragma once
+
+// Substrates
+#include "graph/adjacency.hpp"      // IWYU pragma: export
+#include "graph/ckg.hpp"            // IWYU pragma: export
+#include "graph/interactions.hpp"   // IWYU pragma: export
+#include "graph/paths.hpp"          // IWYU pragma: export
+#include "graph/triple_store.hpp"   // IWYU pragma: export
+#include "nn/optim.hpp"             // IWYU pragma: export
+#include "nn/serialize.hpp"         // IWYU pragma: export
+#include "nn/tape.hpp"              // IWYU pragma: export
+
+// Facility data
+#include "facility/dataset.hpp"     // IWYU pragma: export
+#include "facility/export.hpp"      // IWYU pragma: export
+#include "facility/multi.hpp"       // IWYU pragma: export
+
+// Models
+#include "baselines/bprmf.hpp"      // IWYU pragma: export
+#include "baselines/cfkg.hpp"       // IWYU pragma: export
+#include "baselines/cke.hpp"        // IWYU pragma: export
+#include "baselines/fm.hpp"         // IWYU pragma: export
+#include "baselines/kgcn.hpp"       // IWYU pragma: export
+#include "baselines/ripplenet.hpp"  // IWYU pragma: export
+#include "core/ckat.hpp"            // IWYU pragma: export
+
+// Evaluation & analysis
+#include "analysis/pattern_similarity.hpp"  // IWYU pragma: export
+#include "analysis/trace_stats.hpp"         // IWYU pragma: export
+#include "analysis/tsne.hpp"                // IWYU pragma: export
+#include "delivery/prefetch.hpp"            // IWYU pragma: export
+#include "eval/evaluator.hpp"               // IWYU pragma: export
+#include "eval/experiments.hpp"             // IWYU pragma: export
+#include "eval/grid_search.hpp"             // IWYU pragma: export

@@ -1,0 +1,37 @@
+#include "core/bpr.hpp"
+
+#include <stdexcept>
+
+namespace ckat::core {
+
+BprSampler::BprSampler(const graph::InteractionSet& train) : train_(train) {
+  if (train.size() == 0) {
+    throw std::invalid_argument("BprSampler: empty training set");
+  }
+}
+
+std::vector<BprTriple> BprSampler::sample(std::size_t batch_size,
+                                          util::Rng& rng) const {
+  auto pairs = train_.pairs();
+  std::vector<BprTriple> batch;
+  batch.reserve(batch_size);
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    const auto& p = pairs[rng.uniform_index(pairs.size())];
+    batch.push_back(
+        BprTriple{p.user, p.item, train_.sample_negative(p.user, rng)});
+  }
+  return batch;
+}
+
+std::size_t BprSampler::n_interactions() const noexcept {
+  return train_.size();
+}
+
+std::size_t BprSampler::batches_per_epoch(std::size_t batch_size) const {
+  if (batch_size == 0) {
+    throw std::invalid_argument("BprSampler: batch size must be > 0");
+  }
+  return (train_.size() + batch_size - 1) / batch_size;
+}
+
+}  // namespace ckat::core

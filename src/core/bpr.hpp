@@ -1,0 +1,37 @@
+// Bayesian Personalized Ranking sampling (Eq. 12): uniform sampling of
+// observed (user, positive item) interactions, each paired with one
+// sampled unobserved negative item (Sec. VI.A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/interactions.hpp"
+#include "util/rng.hpp"
+
+namespace ckat::core {
+
+struct BprTriple {
+  std::uint32_t user = 0;
+  std::uint32_t positive = 0;
+  std::uint32_t negative = 0;
+};
+
+class BprSampler {
+ public:
+  explicit BprSampler(const graph::InteractionSet& train);
+
+  /// Samples `batch_size` (u, i+, i-) triples.
+  [[nodiscard]] std::vector<BprTriple> sample(std::size_t batch_size,
+                                              util::Rng& rng) const;
+
+  [[nodiscard]] std::size_t n_interactions() const noexcept;
+
+  /// Batches per epoch for a given batch size (>= 1).
+  [[nodiscard]] std::size_t batches_per_epoch(std::size_t batch_size) const;
+
+ private:
+  const graph::InteractionSet& train_;
+};
+
+}  // namespace ckat::core

@@ -1,0 +1,305 @@
+#include "core/ckat.hpp"
+
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "nn/init.hpp"
+#include "nn/serialize.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace ckat::core {
+
+CkatModel::CkatModel(const graph::CollaborativeKg& ckg,
+                     const graph::InteractionSet& train, CkatConfig config)
+    : ckg_(ckg),
+      train_(train),
+      config_(std::move(config)),
+      adjacency_(ckg.triples(), ckg.n_entities(), ckg.n_relations(),
+                 config_.inverse_relations),
+      rng_(config_.seed) {
+  if (config_.layer_dims.empty()) {
+    throw std::invalid_argument("CkatModel: at least one propagation layer");
+  }
+  if (train.n_users() != ckg.n_users() || train.n_items() != ckg.n_items()) {
+    throw std::invalid_argument("CkatModel: train set does not match CKG");
+  }
+
+  util::Rng init_rng = rng_.fork(0);
+  TransRConfig transr_config{.entity_dim = config_.embedding_dim,
+                             .relation_dim = config_.embedding_dim,
+                             .margin = config_.transr_margin};
+  transr_ = std::make_unique<TransR>(params_, ckg.n_entities(),
+                                     adjacency_.n_relations(), transr_config,
+                                     init_rng);
+
+  // Aggregator weights per layer: concat consumes (2*d_in), sum (d_in).
+  std::size_t d_in = config_.embedding_dim;
+  for (std::size_t l = 0; l < config_.layer_dims.size(); ++l) {
+    const std::size_t rows =
+        config_.aggregator == Aggregator::kConcat ? 2 * d_in : d_in;
+    nn::Parameter& w = params_.create("ckat.W" + std::to_string(l), rows,
+                                      config_.layer_dims[l]);
+    nn::xavier_uniform(w.value(), init_rng);
+    layer_weights_.push_back(&w);
+    d_in = config_.layer_dims[l];
+  }
+
+  cf_optimizer_ = std::make_unique<nn::AdamOptimizer>(config_.learning_rate);
+  kg_optimizer_ = std::make_unique<nn::AdamOptimizer>(config_.learning_rate);
+  sampler_ = std::make_unique<BprSampler>(train_);
+
+  kg_edges_.reserve(adjacency_.n_edges());
+  for (std::size_t e = 0; e < adjacency_.n_edges(); ++e) {
+    kg_edges_.push_back(KgEdge{adjacency_.heads()[e],
+                               adjacency_.relations()[e],
+                               adjacency_.tails()[e]});
+  }
+
+  refresh_propagation_matrix();
+}
+
+std::size_t CkatModel::n_users() const { return ckg_.n_users(); }
+std::size_t CkatModel::n_items() const { return ckg_.n_items(); }
+
+std::size_t CkatModel::representation_dim() const {
+  return config_.embedding_dim +
+         std::accumulate(config_.layer_dims.begin(), config_.layer_dims.end(),
+                         std::size_t{0});
+}
+
+void CkatModel::refresh_propagation_matrix() {
+  propagation_ = config_.use_attention
+                     ? build_attention_matrix(adjacency_, *transr_)
+                     : build_uniform_matrix(adjacency_);
+}
+
+nn::Var CkatModel::propagate(nn::Tape& tape, bool training,
+                             util::Rng& dropout_rng) {
+  nn::Var ego = tape.param(transr_->entity_embedding());
+  nn::Var representation = ego;  // layer-0 block of e* (Eq. 10)
+
+  nn::Var current = ego;
+  for (std::size_t l = 0; l < config_.layer_dims.size(); ++l) {
+    // e_Nh: attention-weighted neighborhood aggregation (Eq. 3).
+    nn::Var neighborhood =
+        tape.spmm_fixed(propagation_.forward, propagation_.backward, current);
+
+    // Aggregator (Eq. 6-7).
+    nn::Var combined = config_.aggregator == Aggregator::kConcat
+                           ? tape.concat_cols(current, neighborhood)
+                           : tape.add(current, neighborhood);
+    nn::Var transformed = tape.leaky_relu(
+        tape.matmul(combined, tape.param(*layer_weights_[l])));
+    transformed =
+        tape.dropout(transformed, config_.dropout, dropout_rng, training);
+
+    // Per-layer L2 normalization stabilizes the concatenated scale.
+    nn::Var normalized = tape.l2_normalize_rows(transformed);
+    representation = tape.concat_cols(representation, normalized);
+    current = normalized;
+  }
+  return representation;
+}
+
+float CkatModel::cf_step(util::Rng& rng) {
+  const auto batch = sampler_->sample(config_.cf_batch_size, rng);
+
+  std::vector<std::uint32_t> users, positives, negatives;
+  users.reserve(batch.size());
+  positives.reserve(batch.size());
+  negatives.reserve(batch.size());
+  for (const BprTriple& triple : batch) {
+    users.push_back(ckg_.user_entity(triple.user));
+    positives.push_back(ckg_.item_entity(triple.positive));
+    negatives.push_back(ckg_.item_entity(triple.negative));
+  }
+
+  nn::Tape tape;
+  util::Rng dropout_rng = rng.fork(17);
+  nn::Var representation = propagate(tape, /*training=*/true, dropout_rng);
+
+  nn::Var user_repr = tape.rows(representation, users);
+  nn::Var pos_repr = tape.rows(representation, positives);
+  nn::Var neg_repr = tape.rows(representation, negatives);
+
+  nn::Var pos_scores = tape.sum_cols(tape.mul(user_repr, pos_repr));
+  nn::Var neg_scores = tape.sum_cols(tape.mul(user_repr, neg_repr));
+
+  // BPR (Eq. 12): mean softplus(neg - pos) = mean -ln sigma(pos - neg).
+  nn::Var bpr = tape.reduce_mean(tape.softplus(tape.sub(neg_scores, pos_scores)));
+
+  // L2 on the batch representations (the lambda * ||Theta||^2 of Eq. 13,
+  // applied per-batch as in the reference implementations).
+  nn::Var reg = tape.reduce_sum(tape.add(
+      tape.add(tape.square(user_repr), tape.square(pos_repr)),
+      tape.square(neg_repr)));
+  nn::Var loss = tape.add(
+      bpr,
+      tape.scale(reg, config_.l2_coefficient / static_cast<float>(batch.size())));
+
+  const float loss_value = tape.value(loss)(0, 0);
+  tape.backward(loss);
+  cf_optimizer_->step(params_);
+  return loss_value;
+}
+
+float CkatModel::kg_step(util::Rng& rng) {
+  const std::size_t batch_size =
+      std::min(config_.kg_batch_size, kg_edges_.size());
+  std::vector<KgEdge> batch;
+  batch.reserve(batch_size);
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    batch.push_back(kg_edges_[rng.uniform_index(kg_edges_.size())]);
+  }
+  return transr_->train_step(batch, *kg_optimizer_, params_, rng);
+}
+
+void CkatModel::fit() {
+  util::Timer timer;
+  const std::size_t cf_batches =
+      sampler_->batches_per_epoch(config_.cf_batch_size);
+  const std::size_t kg_batches = std::max<std::size_t>(
+      1, (kg_edges_.size() + config_.kg_batch_size - 1) / config_.kg_batch_size);
+
+  history_.clear();
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    EpochStats stats;
+    for (std::size_t b = 0; b < cf_batches; ++b) {
+      stats.cf_loss += cf_step(rng_);
+    }
+    for (std::size_t b = 0; b < kg_batches; ++b) {
+      stats.kg_loss += kg_step(rng_);
+    }
+    stats.cf_loss /= static_cast<float>(cf_batches);
+    stats.kg_loss /= static_cast<float>(kg_batches);
+    history_.push_back(stats);
+
+    // Refresh the attention coefficients from the updated TransR
+    // parameters (KGAT schedule; configurable for the ablation).
+    if (config_.attention_refresh_every > 0 &&
+        (epoch + 1) % config_.attention_refresh_every == 0) {
+      refresh_propagation_matrix();
+    }
+
+    if (config_.verbose) {
+      CKAT_LOG_INFO("[CKAT] epoch %d/%d cf_loss=%.4f kg_loss=%.4f (%s)",
+                    epoch + 1, config_.epochs, stats.cf_loss, stats.kg_loss,
+                    util::format_duration(timer.seconds()).c_str());
+    }
+  }
+
+  cache_final_representations();
+  fitted_ = true;
+}
+
+void CkatModel::cache_final_representations() {
+  nn::Tape tape;
+  util::Rng unused(0);
+  nn::Var representation = propagate(tape, /*training=*/false, unused);
+  final_representations_ = tape.value(representation);
+}
+
+const nn::Tensor& CkatModel::final_representations() const {
+  if (!fitted_) {
+    throw std::logic_error("CkatModel: call fit() before reading representations");
+  }
+  return final_representations_;
+}
+
+void CkatModel::warm_start_from(const CkatModel& previous) {
+  if (previous.config_.embedding_dim != config_.embedding_dim ||
+      previous.config_.layer_dims != config_.layer_dims ||
+      previous.config_.aggregator != config_.aggregator) {
+    throw std::invalid_argument(
+        "warm_start_from: architectures must match (embedding_dim, "
+        "layer_dims, aggregator)");
+  }
+
+  // Entity embeddings: match by stable CKG entity name.
+  std::unordered_map<std::string, std::uint32_t> previous_ids;
+  previous_ids.reserve(previous.ckg_.n_entities());
+  for (std::uint32_t e = 0; e < previous.ckg_.n_entities(); ++e) {
+    previous_ids.emplace(previous.ckg_.entity_name(e), e);
+  }
+  const nn::Tensor& old_entities =
+      previous.transr_->entity_embedding().value();
+  nn::Tensor& new_entities = transr_->entity_embedding().value();
+  std::size_t copied = 0;
+  for (std::uint32_t e = 0; e < ckg_.n_entities(); ++e) {
+    const auto it = previous_ids.find(ckg_.entity_name(e));
+    if (it == previous_ids.end()) continue;
+    auto src = old_entities.row(it->second);
+    std::copy(src.begin(), src.end(), new_entities.row(e).begin());
+    ++copied;
+  }
+  CKAT_LOG_DEBUG("warm_start_from: copied %zu/%zu entity rows", copied,
+                 ckg_.n_entities());
+
+  // Relation embeddings and projections transfer positionally for
+  // relations present in both vocabularies (matched by name).
+  for (std::uint32_t r = 0; r < ckg_.n_relations(); ++r) {
+    const std::string& relation_name = ckg_.relations().name(r);
+    const std::uint32_t old_r = previous.ckg_.relations().find(relation_name);
+    if (old_r == std::numeric_limits<std::uint32_t>::max()) continue;
+    // Copy both the canonical and (if both models use them) the
+    // inverse-relation slots.
+    auto copy_relation = [&](std::uint32_t to, std::uint32_t from) {
+      if (to >= adjacency_.n_relations() ||
+          from >= previous.adjacency_.n_relations()) {
+        return;
+      }
+      auto src = previous.transr_->relation_embedding().value().row(from);
+      std::copy(src.begin(), src.end(),
+                transr_->relation_embedding().value().row(to).begin());
+      transr_->projection(to).value() = previous.transr_->projection(from).value();
+    };
+    copy_relation(r, old_r);
+    copy_relation(r + static_cast<std::uint32_t>(ckg_.n_relations()),
+                  old_r + static_cast<std::uint32_t>(
+                              previous.ckg_.n_relations()));
+  }
+
+  // Aggregator weights are shape-identical by the architecture check.
+  for (std::size_t l = 0; l < layer_weights_.size(); ++l) {
+    layer_weights_[l]->value() = previous.layer_weights_[l]->value();
+  }
+  refresh_propagation_matrix();
+}
+
+void CkatModel::save(const std::string& path) const {
+  if (!fitted_) {
+    throw std::logic_error("CkatModel::save: fit() or load() first");
+  }
+  nn::save_parameters(params_, path);
+}
+
+void CkatModel::load(const std::string& path) {
+  nn::load_parameters(params_, path);
+  refresh_propagation_matrix();
+  cache_final_representations();
+  fitted_ = true;
+}
+
+void CkatModel::score_items(std::uint32_t user, std::span<float> out) const {
+  if (!fitted_) {
+    throw std::logic_error("CkatModel: call fit() before score_items");
+  }
+  if (out.size() != n_items()) {
+    throw std::invalid_argument("CkatModel: output span size mismatch");
+  }
+  const nn::Tensor& repr = final_representations_;
+  auto user_row = repr.row(ckg_.user_entity(user));
+  for (std::size_t v = 0; v < n_items(); ++v) {
+    auto item_row = repr.row(ckg_.item_entity(static_cast<std::uint32_t>(v)));
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < user_row.size(); ++c) {
+      acc += user_row[c] * item_row[c];
+    }
+    out[v] = acc;
+  }
+}
+
+}  // namespace ckat::core

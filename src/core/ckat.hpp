@@ -1,0 +1,141 @@
+// CKAT: Collaborative Knowledge-aware graph ATtention network (Sec. V).
+//
+// Architecture (Fig. 6a):
+//   1. Embedding layer -- TransR over the CKG (Eq. 1-2).
+//   2. Knowledge-aware attentive embedding propagation (Eq. 3-9):
+//      L stacked layers; each aggregates attention-weighted neighbor
+//      messages (fixed coefficients recomputed from TransR parameters
+//      between epochs) and transforms with a concat or sum aggregator
+//      (Eq. 6-7).
+//   3. Prediction layer -- layer-wise concatenation of representations
+//      and inner-product scoring (Eq. 10-11).
+// Training alternates BPR steps on the CF part (Eq. 12) with TransR
+// margin steps on the KG part, optimizing Eq. 13.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/attention.hpp"
+#include "core/bpr.hpp"
+#include "core/transr.hpp"
+#include "eval/recommender.hpp"
+#include "graph/ckg.hpp"
+#include "nn/optim.hpp"
+#include "nn/parameter.hpp"
+#include "nn/tape.hpp"
+
+namespace ckat::core {
+
+enum class Aggregator { kConcat, kSum };
+
+struct CkatConfig {
+  std::size_t embedding_dim = 64;             // Sec. VI.D
+  std::vector<std::size_t> layer_dims = {64, 32, 16};  // depth L = 3
+  Aggregator aggregator = Aggregator::kConcat;
+  bool use_attention = true;  // Table IV ablation switch
+
+  float learning_rate = 0.01f;
+  float l2_coefficient = 1e-5f;
+  float dropout = 0.1f;
+  float transr_margin = 1.0f;
+
+  std::size_t cf_batch_size = 2048;
+  std::size_t kg_batch_size = 4096;
+  int epochs = 25;
+  std::uint64_t seed = 7;
+  bool verbose = false;
+
+  /// Mirror every triple with an inverse relation (Sec. IV's canonical +
+  /// inverse convention). Off = information only flows head -> tail.
+  bool inverse_relations = true;
+  /// Recompute attention coefficients from the TransR parameters every
+  /// N epochs (KGAT schedule: 1). 0 freezes the initial coefficients,
+  /// isolating the value of co-training attention with the embeddings.
+  int attention_refresh_every = 1;
+};
+
+class CkatModel final : public eval::Recommender {
+ public:
+  /// `ckg` and `train` must outlive the model.
+  CkatModel(const graph::CollaborativeKg& ckg,
+            const graph::InteractionSet& train, CkatConfig config);
+
+  [[nodiscard]] std::string name() const override { return "CKAT"; }
+  void fit() override;
+  void score_items(std::uint32_t user, std::span<float> out) const override;
+  [[nodiscard]] std::size_t n_users() const override;
+  [[nodiscard]] std::size_t n_items() const override;
+
+  /// Final concatenated representations e* for all entities
+  /// (available after fit()); rows follow the CKG entity layout.
+  [[nodiscard]] const nn::Tensor& final_representations() const;
+
+  /// Width of e* = d0 + sum(layer_dims).
+  [[nodiscard]] std::size_t representation_dim() const;
+
+  /// Losses per epoch (CF BPR loss, KG TransR loss) for diagnostics.
+  struct EpochStats {
+    float cf_loss = 0.0f;
+    float kg_loss = 0.0f;
+  };
+  [[nodiscard]] const std::vector<EpochStats>& history() const noexcept {
+    return history_;
+  }
+
+  /// Exposes the propagation coefficients (tests/diagnostics).
+  [[nodiscard]] const PropagationMatrix& propagation_matrix() const noexcept {
+    return propagation_;
+  }
+
+  /// Persists all trained parameters to a binary file. The model can be
+  /// restored with load() on an identically-configured CkatModel over
+  /// the same CKG (mismatches are detected and rejected).
+  void save(const std::string& path) const;
+
+  /// Restores parameters saved by save(); the model becomes ready for
+  /// scoring without retraining.
+  void load(const std::string& path);
+
+  /// Warm start (Sec. VI.F's "fine-tuning must be repeated" limitation):
+  /// copies every parameter from `previous` whose entity (matched by
+  /// CKG entity name) or weight matrix also exists here, leaving
+  /// genuinely new entities at their fresh initialization. The previous
+  /// model must share embedding_dim and layer_dims. Call before fit();
+  /// far fewer epochs are then needed to recover full quality.
+  void warm_start_from(const CkatModel& previous);
+
+ private:
+  /// Builds the propagation stack on a tape and returns the final
+  /// concatenated representation Var of shape (n_entities, D*).
+  nn::Var propagate(nn::Tape& tape, bool training, util::Rng& dropout_rng);
+
+  void refresh_propagation_matrix();
+  float cf_step(util::Rng& rng);
+  float kg_step(util::Rng& rng);
+  void cache_final_representations();
+
+  const graph::CollaborativeKg& ckg_;
+  const graph::InteractionSet& train_;
+  CkatConfig config_;
+
+  graph::Adjacency adjacency_;
+  std::vector<KgEdge> kg_edges_;  // all CKG edges (with inverses)
+
+  nn::ParamStore params_;
+  std::unique_ptr<TransR> transr_;
+  std::vector<nn::Parameter*> layer_weights_;
+
+  std::unique_ptr<nn::AdamOptimizer> cf_optimizer_;
+  std::unique_ptr<nn::AdamOptimizer> kg_optimizer_;
+  std::unique_ptr<BprSampler> sampler_;
+  util::Rng rng_;
+
+  PropagationMatrix propagation_;
+  nn::Tensor final_representations_;
+  bool fitted_ = false;
+  std::vector<EpochStats> history_;
+};
+
+}  // namespace ckat::core

@@ -1,0 +1,109 @@
+#include "core/transr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/init.hpp"
+
+namespace ckat::core {
+
+TransR::TransR(nn::ParamStore& store, std::size_t n_entities,
+               std::size_t n_relations, const TransRConfig& config,
+               util::Rng& init_rng)
+    : n_entities_(n_entities), n_relations_(n_relations), config_(config) {
+  if (n_entities == 0 || n_relations == 0) {
+    throw std::invalid_argument("TransR: empty entity or relation set");
+  }
+  entity_ = &store.create("transr.entity", n_entities, config.entity_dim);
+  relation_ =
+      &store.create("transr.relation", n_relations, config.relation_dim);
+  nn::xavier_uniform(entity_->value(), init_rng);
+  nn::xavier_uniform(relation_->value(), init_rng);
+  projections_.reserve(n_relations);
+  for (std::size_t r = 0; r < n_relations; ++r) {
+    nn::Parameter& w = store.create("transr.W" + std::to_string(r),
+                                    config.entity_dim, config.relation_dim);
+    nn::xavier_uniform(w.value(), init_rng);
+    projections_.push_back(&w);
+  }
+}
+
+float TransR::score(const KgEdge& edge) const {
+  const auto& e = entity_->value();
+  const auto& rel = relation_->value();
+  const auto& w = projections_.at(edge.relation)->value();
+  const std::size_t d = config_.entity_dim;
+  const std::size_t k = config_.relation_dim;
+  double acc = 0.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    double ph = 0.0, pt = 0.0;
+    for (std::size_t i = 0; i < d; ++i) {
+      ph += static_cast<double>(e(edge.head, i)) * w(i, j);
+      pt += static_cast<double>(e(edge.tail, i)) * w(i, j);
+    }
+    const double diff = ph + rel(edge.relation, j) - pt;
+    acc += diff * diff;
+  }
+  return static_cast<float>(acc);
+}
+
+float TransR::train_step(std::span<const KgEdge> batch,
+                         nn::Optimizer& optimizer, nn::ParamStore& store,
+                         util::Rng& rng) {
+  if (batch.empty()) return 0.0f;
+
+  // Group the batch by relation so each group shares one W_r GEMM.
+  std::vector<std::size_t> order(batch.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return batch[a].relation < batch[b].relation;
+  });
+
+  nn::Tape tape;
+  nn::Var total_loss{};
+  std::size_t group_begin = 0;
+  while (group_begin < order.size()) {
+    const std::uint32_t r = batch[order[group_begin]].relation;
+    std::size_t group_end = group_begin;
+    std::vector<std::uint32_t> heads, tails, neg_tails;
+    while (group_end < order.size() &&
+           batch[order[group_end]].relation == r) {
+      const KgEdge& edge = batch[order[group_end]];
+      heads.push_back(edge.head);
+      tails.push_back(edge.tail);
+      // Corrupt the tail uniformly (Eq. 2's broken-triple set S').
+      neg_tails.push_back(
+          static_cast<std::uint32_t>(rng.uniform_index(n_entities_)));
+      ++group_end;
+    }
+
+    nn::Var w = tape.param(*projections_[r]);
+    nn::Var e_r = tape.gather_param(*relation_, {r});  // (1, k)
+
+    auto project = [&](const std::vector<std::uint32_t>& ids) {
+      return tape.matmul(tape.gather_param(*entity_, ids), w);
+    };
+    nn::Var head_projected = tape.add_rowvec(project(heads), e_r);
+    nn::Var f_pos =
+        tape.sum_cols(tape.square(tape.sub(head_projected, project(tails))));
+    nn::Var f_neg = tape.sum_cols(
+        tape.square(tape.sub(head_projected, project(neg_tails))));
+
+    // max(0, f_pos + margin - f_neg), summed over the group.
+    nn::Var group_loss = tape.reduce_sum(
+        tape.relu(tape.add_scalar(tape.sub(f_pos, f_neg), config_.margin)));
+    total_loss =
+        total_loss.valid() ? tape.add(total_loss, group_loss) : group_loss;
+    group_begin = group_end;
+  }
+
+  total_loss = tape.scale(total_loss, 1.0f / static_cast<float>(batch.size()));
+  const float loss_value = tape.value(total_loss)(0, 0);
+  tape.backward(total_loss);
+  optimizer.step(store);
+  return loss_value;
+}
+
+}  // namespace ckat::core

@@ -1,0 +1,85 @@
+// TransR knowledge-graph embedding (Sec. V.A, Eq. 1-2): entities live in
+// a d-dimensional space, each relation r has its own k-dimensional space
+// and a projection matrix W_r; valid triples satisfy
+// W_r e_h + e_r ~ W_r e_t. Trained with the margin-based ranking loss of
+// Eq. 2 over corrupted triples.
+//
+// This component owns the entity/relation embeddings and the per-relation
+// projection matrices inside the caller's ParamStore, so CKAT's
+// propagation phase and attention refresh share the same tensors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/optim.hpp"
+#include "nn/parameter.hpp"
+#include "nn/tape.hpp"
+#include "util/rng.hpp"
+
+namespace ckat::core {
+
+struct TransRConfig {
+  std::size_t entity_dim = 64;
+  std::size_t relation_dim = 64;
+  float margin = 1.0f;
+};
+
+/// One knowledge triple in id space (relation ids may include inverses).
+struct KgEdge {
+  std::uint32_t head = 0;
+  std::uint32_t relation = 0;
+  std::uint32_t tail = 0;
+};
+
+class TransR {
+ public:
+  TransR(nn::ParamStore& store, std::size_t n_entities,
+         std::size_t n_relations, const TransRConfig& config,
+         util::Rng& init_rng);
+
+  [[nodiscard]] std::size_t n_entities() const noexcept { return n_entities_; }
+  [[nodiscard]] std::size_t n_relations() const noexcept {
+    return n_relations_;
+  }
+  [[nodiscard]] const TransRConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] nn::Parameter& entity_embedding() noexcept { return *entity_; }
+  [[nodiscard]] const nn::Parameter& entity_embedding() const noexcept {
+    return *entity_;
+  }
+  [[nodiscard]] nn::Parameter& relation_embedding() noexcept {
+    return *relation_;
+  }
+  [[nodiscard]] const nn::Parameter& relation_embedding() const noexcept {
+    return *relation_;
+  }
+  /// Projection matrix W_r, shape (entity_dim, relation_dim).
+  [[nodiscard]] nn::Parameter& projection(std::uint32_t relation) {
+    return *projections_.at(relation);
+  }
+  [[nodiscard]] const nn::Parameter& projection(std::uint32_t relation) const {
+    return *projections_.at(relation);
+  }
+
+  /// Plausibility score f_r(h,r,t) = ||W_r e_h + e_r - W_r e_t||^2
+  /// (Eq. 1). Lower is more plausible.
+  [[nodiscard]] float score(const KgEdge& edge) const;
+
+  /// One margin-loss training step (Eq. 2) on a batch of edges; negative
+  /// tails are drawn uniformly. Returns the batch loss. Gradients are
+  /// accumulated into the ParamStore and applied by `optimizer`.
+  float train_step(std::span<const KgEdge> batch, nn::Optimizer& optimizer,
+                   nn::ParamStore& store, util::Rng& rng);
+
+ private:
+  std::size_t n_entities_;
+  std::size_t n_relations_;
+  TransRConfig config_;
+  nn::Parameter* entity_ = nullptr;
+  nn::Parameter* relation_ = nullptr;
+  std::vector<nn::Parameter*> projections_;
+};
+
+}  // namespace ckat::core

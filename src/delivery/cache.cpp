@@ -1,0 +1,142 @@
+#include "delivery/cache.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace ckat::delivery {
+
+CachePolicy::CachePolicy(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("CachePolicy: capacity must be > 0");
+  }
+}
+
+void CachePolicy::insert(std::uint32_t object) {
+  if (cached_.size() >= capacity_) {
+    const std::uint32_t victim = evict_victim();
+    if (!cached_.erase(victim)) {
+      throw std::logic_error(name() + ": evicted an uncached object");
+    }
+    on_evict(victim);
+  }
+  cached_.insert(object);
+  on_admit(object);
+}
+
+bool CachePolicy::access(std::uint32_t object) {
+  if (cached_.count(object)) {
+    on_touch(object);
+    return true;
+  }
+  insert(object);
+  return false;
+}
+
+bool CachePolicy::prefetch(std::uint32_t object) {
+  if (cached_.count(object)) return false;
+  insert(object);
+  return true;
+}
+
+// ------------------------------------------------------------------ LRU
+
+void LruCache::on_admit(std::uint32_t object) {
+  order_.push_front(object);
+  where_[object] = order_.begin();
+}
+
+void LruCache::on_touch(std::uint32_t object) {
+  order_.splice(order_.begin(), order_, where_.at(object));
+}
+
+std::uint32_t LruCache::evict_victim() { return order_.back(); }
+
+void LruCache::on_evict(std::uint32_t object) {
+  order_.erase(where_.at(object));
+  where_.erase(object);
+}
+
+// ------------------------------------------------------------------ LFU
+
+void LfuCache::on_admit(std::uint32_t object) {
+  stats_[object] = {1, ++clock_};
+}
+
+void LfuCache::on_touch(std::uint32_t object) {
+  auto& [frequency, last] = stats_.at(object);
+  ++frequency;
+  last = ++clock_;
+}
+
+std::uint32_t LfuCache::evict_victim() {
+  std::uint32_t victim = 0;
+  auto best = std::make_pair(std::numeric_limits<std::uint64_t>::max(),
+                             std::numeric_limits<std::uint64_t>::max());
+  for (const auto& [object, stat] : stats_) {
+    if (stat < best) {
+      best = stat;
+      victim = object;
+    }
+  }
+  return victim;
+}
+
+void LfuCache::on_evict(std::uint32_t object) { stats_.erase(object); }
+
+// ----------------------------------------------------------------- FIFO
+
+void FifoCache::on_admit(std::uint32_t object) { queue_.push_back(object); }
+
+std::uint32_t FifoCache::evict_victim() { return queue_.front(); }
+
+void FifoCache::on_evict(std::uint32_t object) {
+  queue_.remove(object);
+}
+
+// --------------------------------------------------------------- Belady
+
+BeladyCache::BeladyCache(std::size_t capacity,
+                         const std::vector<std::uint32_t>& future_accesses)
+    : CachePolicy(capacity) {
+  for (std::size_t i = 0; i < future_accesses.size(); ++i) {
+    positions_[future_accesses[i]].push_back(i);
+  }
+}
+
+std::size_t BeladyCache::next_use(std::uint32_t object) const {
+  const auto it = positions_.find(object);
+  if (it == positions_.end()) {
+    return std::numeric_limits<std::size_t>::max();
+  }
+  const auto& uses = it->second;
+  const auto next = std::lower_bound(uses.begin(), uses.end(), cursor_);
+  return next == uses.end() ? std::numeric_limits<std::size_t>::max() : *next;
+}
+
+std::uint32_t BeladyCache::evict_victim() {
+  std::uint32_t victim = 0;
+  std::size_t farthest = 0;
+  bool first = true;
+  for (std::uint32_t object : cached_) {
+    const std::size_t use = next_use(object);
+    if (first || use > farthest) {
+      farthest = use;
+      victim = object;
+      first = false;
+    }
+  }
+  return victim;
+}
+
+// ---------------------------------------------------------------- factory
+
+std::unique_ptr<CachePolicy> make_cache(const std::string& policy,
+                                        std::size_t capacity) {
+  if (policy == "LRU") return std::make_unique<LruCache>(capacity);
+  if (policy == "LFU") return std::make_unique<LfuCache>(capacity);
+  if (policy == "FIFO") return std::make_unique<FifoCache>(capacity);
+  throw std::invalid_argument("make_cache: unknown policy '" + policy + "'");
+}
+
+}  // namespace ckat::delivery

@@ -1,0 +1,146 @@
+// Data-delivery cache simulation substrate.
+//
+// The paper's conclusion motivates using the recommender for the
+// "'intelligent' discovery and anticipatory delivery of data and data
+// products from large facilities" (and the authors' companion work
+// builds an internet-scale cache service for science data). This module
+// provides the cache-policy substrate that the prefetch simulator
+// (prefetch.hpp) drives with recommendation models: classic demand
+// policies (LRU, LFU, FIFO) plus the clairvoyant Belady policy as an
+// offline upper bound.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ckat::delivery {
+
+/// A fixed-capacity object cache. Objects have unit size (facility data
+/// objects are streamed in comparable chunks at this granularity).
+class CachePolicy {
+ public:
+  explicit CachePolicy(std::size_t capacity);
+  virtual ~CachePolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Demand access: returns true on hit. On miss the object is
+  /// admitted (evicting per policy if full).
+  bool access(std::uint32_t object);
+
+  /// Prefetch insertion: admits the object without counting an access;
+  /// returns false if it was already cached.
+  bool prefetch(std::uint32_t object);
+
+  [[nodiscard]] bool contains(std::uint32_t object) const {
+    return cached_.count(object) > 0;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return cached_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ protected:
+  /// Policy hooks. `admit` runs after the object is inserted; `touch`
+  /// on every access to a cached object; `evict_victim` must name a
+  /// currently-cached object to remove.
+  virtual void on_admit(std::uint32_t object) = 0;
+  virtual void on_touch(std::uint32_t object) = 0;
+  virtual std::uint32_t evict_victim() = 0;
+  virtual void on_evict(std::uint32_t object) = 0;
+
+  std::size_t capacity_;
+  std::set<std::uint32_t> cached_;
+
+ private:
+  void insert(std::uint32_t object);
+};
+
+/// Least-recently-used eviction.
+class LruCache final : public CachePolicy {
+ public:
+  explicit LruCache(std::size_t capacity) : CachePolicy(capacity) {}
+  [[nodiscard]] std::string name() const override { return "LRU"; }
+
+ protected:
+  void on_admit(std::uint32_t object) override;
+  void on_touch(std::uint32_t object) override;
+  std::uint32_t evict_victim() override;
+  void on_evict(std::uint32_t object) override;
+
+ private:
+  std::list<std::uint32_t> order_;  // front = most recent
+  std::unordered_map<std::uint32_t, std::list<std::uint32_t>::iterator> where_;
+};
+
+/// Least-frequently-used eviction (ties broken by recency).
+class LfuCache final : public CachePolicy {
+ public:
+  explicit LfuCache(std::size_t capacity) : CachePolicy(capacity) {}
+  [[nodiscard]] std::string name() const override { return "LFU"; }
+
+ protected:
+  void on_admit(std::uint32_t object) override;
+  void on_touch(std::uint32_t object) override;
+  std::uint32_t evict_victim() override;
+  void on_evict(std::uint32_t object) override;
+
+ private:
+  std::uint64_t clock_ = 0;
+  // (frequency, last-touch) per object; victim = smallest pair.
+  std::map<std::uint32_t, std::pair<std::uint64_t, std::uint64_t>> stats_;
+};
+
+/// First-in-first-out eviction.
+class FifoCache final : public CachePolicy {
+ public:
+  explicit FifoCache(std::size_t capacity) : CachePolicy(capacity) {}
+  [[nodiscard]] std::string name() const override { return "FIFO"; }
+
+ protected:
+  void on_admit(std::uint32_t object) override;
+  void on_touch(std::uint32_t object) override {}
+  std::uint32_t evict_victim() override;
+  void on_evict(std::uint32_t object) override;
+
+ private:
+  std::list<std::uint32_t> queue_;  // front = oldest
+};
+
+/// Belady's clairvoyant policy: evicts the cached object whose next use
+/// lies farthest in the future. Requires the full access sequence up
+/// front; used as the offline optimal reference.
+class BeladyCache final : public CachePolicy {
+ public:
+  BeladyCache(std::size_t capacity,
+              const std::vector<std::uint32_t>& future_accesses);
+  [[nodiscard]] std::string name() const override { return "Belady"; }
+
+  /// Must be called once per demand access, in sequence order, before
+  /// access(); advances the clairvoyant cursor. (The simulator does
+  /// this automatically.)
+  void advance() { ++cursor_; }
+
+ protected:
+  void on_admit(std::uint32_t object) override {}
+  void on_touch(std::uint32_t object) override {}
+  std::uint32_t evict_victim() override;
+  void on_evict(std::uint32_t object) override {}
+
+ private:
+  [[nodiscard]] std::size_t next_use(std::uint32_t object) const;
+
+  // Per object, sorted positions of its accesses in the sequence.
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> positions_;
+  std::size_t cursor_ = 0;
+};
+
+/// Factory for the demand policies (not Belady, which needs the trace).
+std::unique_ptr<CachePolicy> make_cache(const std::string& policy,
+                                        std::size_t capacity);
+
+}  // namespace ckat::delivery

@@ -1,0 +1,140 @@
+#include "delivery/prefetch.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "eval/metrics.hpp"
+
+namespace ckat::delivery {
+
+PrefetchResult simulate_prefetch(
+    const std::vector<facility::QueryRecord>& accesses,
+    const eval::Recommender* model, const PrefetchConfig& config,
+    const std::string& label) {
+  auto cache = make_cache(config.policy, config.cache_capacity);
+
+  PrefetchResult result;
+  result.label = label;
+
+  std::set<std::uint32_t> active_users;
+  std::unordered_set<std::uint32_t> live_prefetched;  // in cache, unused
+  std::unordered_set<std::uint32_t> seen_objects;
+  std::vector<float> scores;
+
+  for (std::size_t i = 0; i < accesses.size(); ++i) {
+    const facility::QueryRecord& rec = accesses[i];
+    const bool cold = seen_objects.insert(rec.object).second;
+    const bool hit = cache->access(rec.object);
+    result.n_accesses++;
+    result.hits += hit;
+    result.cold_accesses += cold;
+    result.cold_hits += cold && hit;
+    if (hit && live_prefetched.erase(rec.object)) {
+      result.prefetch_used++;  // a prefetch paid off
+    }
+    active_users.insert(rec.user);
+
+    const bool round_due = model != nullptr && config.refresh_interval > 0 &&
+                           (i + 1) % config.refresh_interval == 0;
+    if (!round_due) continue;
+
+    // Pool candidates across active users, keep the best-scored ones up
+    // to the round budget (never flood the cache with speculation).
+    scores.resize(model->n_items());
+    std::unordered_map<std::uint32_t, float> candidates;
+    for (std::uint32_t user : active_users) {
+      model->score_items(user, scores);
+      for (std::uint32_t object :
+           eval::top_k_indices(scores, config.per_user_prefetch)) {
+        if (cache->contains(object)) continue;
+        auto [it, inserted] = candidates.try_emplace(object, scores[object]);
+        if (!inserted) it->second = std::max(it->second, scores[object]);
+      }
+    }
+    std::vector<std::pair<float, std::uint32_t>> ranked;
+    ranked.reserve(candidates.size());
+    for (const auto& [object, score] : candidates) {
+      ranked.push_back({score, object});
+    }
+    std::sort(ranked.begin(), ranked.end(), std::greater<>());
+    const auto budget = static_cast<std::size_t>(std::max(
+        1.0, config.round_budget_fraction *
+                 static_cast<double>(config.cache_capacity)));
+    for (std::size_t r = 0; r < std::min(budget, ranked.size()); ++r) {
+      if (cache->prefetch(ranked[r].second)) {
+        result.prefetch_inserted++;
+        live_prefetched.insert(ranked[r].second);
+      }
+    }
+    active_users.clear();
+    // Evicted-but-unused prefetches stay counted as inserted only;
+    // reconcile liveness lazily against the cache.
+    for (auto it = live_prefetched.begin(); it != live_prefetched.end();) {
+      it = cache->contains(*it) ? std::next(it) : live_prefetched.erase(it);
+    }
+  }
+  return result;
+}
+
+PrefetchResult simulate_belady(
+    const std::vector<facility::QueryRecord>& accesses,
+    std::size_t cache_capacity) {
+  std::vector<std::uint32_t> sequence;
+  sequence.reserve(accesses.size());
+  for (const auto& rec : accesses) sequence.push_back(rec.object);
+
+  BeladyCache cache(cache_capacity, sequence);
+  PrefetchResult result;
+  result.label = "Belady (offline optimal)";
+  std::unordered_set<std::uint32_t> seen_objects;
+  for (std::uint32_t object : sequence) {
+    cache.advance();
+    const bool cold = seen_objects.insert(object).second;
+    const bool hit = cache.access(object);
+    result.n_accesses++;
+    result.hits += hit;
+    result.cold_accesses += cold;
+    result.cold_hits += cold && hit;
+  }
+  return result;
+}
+
+TemporalSplit temporal_split(const std::vector<facility::QueryRecord>& trace,
+                             std::size_t n_users, std::size_t n_items,
+                             double fraction) {
+  if (fraction <= 0.0 || fraction >= 1.0) {
+    throw std::invalid_argument("temporal_split: fraction in (0,1)");
+  }
+  TemporalSplit split(n_users, n_items);
+  const auto cut = static_cast<std::size_t>(
+      fraction * static_cast<double>(trace.size()));
+  split.history.assign(trace.begin(), trace.begin() + static_cast<std::ptrdiff_t>(cut));
+  split.future.assign(trace.begin() + static_cast<std::ptrdiff_t>(cut),
+                      trace.end());
+  for (const auto& rec : split.history) {
+    split.train.add(rec.user, rec.object);
+  }
+  split.train.finalize();
+  return split;
+}
+
+PopularityModel::PopularityModel(const graph::InteractionSet& train,
+                                 std::size_t n_users, std::size_t n_items)
+    : n_users_(n_users), n_items_(n_items), popularity_(n_items, 0.0f) {
+  for (const graph::Interaction& x : train.pairs()) {
+    popularity_[x.item] += 1.0f;
+  }
+}
+
+void PopularityModel::score_items(std::uint32_t /*user*/,
+                                  std::span<float> out) const {
+  if (out.size() != n_items_) {
+    throw std::invalid_argument("PopularityModel: output span size mismatch");
+  }
+  std::copy(popularity_.begin(), popularity_.end(), out.begin());
+}
+
+}  // namespace ckat::delivery

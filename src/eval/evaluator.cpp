@@ -1,0 +1,56 @@
+#include "eval/evaluator.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace ckat::eval {
+
+TopKMetrics evaluate_topk(const Recommender& model,
+                          const graph::InteractionSplit& split,
+                          const EvalConfig& config) {
+  const std::size_t n_users = split.test.n_users();
+  const std::size_t n_items = split.test.n_items();
+  if (model.n_users() != n_users || model.n_items() != n_items) {
+    throw std::invalid_argument("evaluate_topk: model/split size mismatch");
+  }
+  if (config.candidate_items != nullptr &&
+      config.candidate_items->size() != n_items) {
+    throw std::invalid_argument("evaluate_topk: candidate mask size mismatch");
+  }
+
+  TopKMetrics total;
+  std::vector<float> scores(n_items);
+  for (std::uint32_t u = 0; u < n_users; ++u) {
+    auto relevant = split.test.items_of(u);
+    if (relevant.empty()) continue;
+    if (config.candidate_items != nullptr) {
+      // Skip users whose test items fall entirely outside the mask.
+      bool any_in_mask = false;
+      for (std::uint32_t item : relevant) {
+        any_in_mask |= (*config.candidate_items)[item];
+      }
+      if (!any_in_mask) continue;
+    }
+
+    model.score_items(u, scores);
+    if (config.candidate_items != nullptr) {
+      for (std::size_t i = 0; i < n_items; ++i) {
+        if (!(*config.candidate_items)[i]) {
+          scores[i] = -std::numeric_limits<float>::infinity();
+        }
+      }
+    }
+    if (config.mask_train_items) {
+      for (std::uint32_t item : split.train.items_of(u)) {
+        scores[item] = -std::numeric_limits<float>::infinity();
+      }
+    }
+    const auto topk = top_k_indices(scores, config.k);
+    total += user_topk_metrics(topk, relevant);
+  }
+  total.finalize();
+  return total;
+}
+
+}  // namespace ckat::eval

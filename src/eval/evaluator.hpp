@@ -1,0 +1,32 @@
+// Full-ranking top-K evaluation protocol (Sec. VI.A-B): for every user
+// with test interactions, rank ALL items the user has not interacted
+// with in training, take the top K, and score against the held-out test
+// items.
+#pragma once
+
+#include <vector>
+
+#include "eval/metrics.hpp"
+#include "eval/recommender.hpp"
+#include "graph/interactions.hpp"
+
+namespace ckat::eval {
+
+struct EvalConfig {
+  std::size_t k = 20;  // paper default (Sec. VI.B)
+  /// Exclude each user's training items from the candidate ranking
+  /// (standard protocol; they are known positives, not discoveries).
+  bool mask_train_items = true;
+  /// Optional restriction of the candidate set: when non-null, only
+  /// items with candidate_items[i] == true are ranked (used e.g. for
+  /// per-facility evaluation of a multi-facility model). Must outlive
+  /// the evaluate_topk call and have size n_items.
+  const std::vector<bool>* candidate_items = nullptr;
+};
+
+/// Evaluates the model over every user that has >= 1 test item.
+TopKMetrics evaluate_topk(const Recommender& model,
+                          const graph::InteractionSplit& split,
+                          const EvalConfig& config = {});
+
+}  // namespace ckat::eval

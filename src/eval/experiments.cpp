@@ -1,0 +1,127 @@
+#include "eval/experiments.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "baselines/bprmf.hpp"
+#include "baselines/cfkg.hpp"
+#include "baselines/cke.hpp"
+#include "baselines/fm.hpp"
+#include "baselines/kgcn.hpp"
+#include "baselines/ripplenet.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace ckat::eval {
+
+const std::vector<std::string>& all_model_names() {
+  static const std::vector<std::string> names = {
+      "BPRMF", "FM", "NFM", "CKE", "CFKG", "RippleNet", "KGCN", "CKAT"};
+  return names;
+}
+
+core::CkatConfig default_ckat_config(std::size_t n_items) {
+  core::CkatConfig config;
+  if (n_items > 1500) {
+    config.cf_batch_size = 1024;
+    config.epochs = 30;
+  } else {
+    config.cf_batch_size = 2048;
+    config.epochs = 25;
+  }
+  return config;
+}
+
+namespace {
+
+std::unique_ptr<Recommender> build_model(const std::string& name,
+                                         const graph::CollaborativeKg& ckg,
+                                         const graph::InteractionSet& train,
+                                         std::uint64_t seed) {
+  if (name == "BPRMF") {
+    baselines::BprmfConfig config;
+    config.seed = seed;
+    config.epochs = util::scaled_epochs(config.epochs);
+    return std::make_unique<baselines::BprmfModel>(train, config);
+  }
+  if (name == "FM" || name == "NFM") {
+    baselines::FmConfig config;
+    config.seed = seed;
+    config.epochs = util::scaled_epochs(config.epochs);
+    if (name == "FM") {
+      return std::make_unique<baselines::PlainFmModel>(ckg, train, config);
+    }
+    return std::make_unique<baselines::NfmModel>(ckg, train, config);
+  }
+  if (name == "CKE") {
+    baselines::CkeConfig config;
+    config.seed = seed;
+    config.epochs = util::scaled_epochs(config.epochs);
+    return std::make_unique<baselines::CkeModel>(ckg, train, config);
+  }
+  if (name == "CFKG") {
+    baselines::CfkgConfig config;
+    config.seed = seed;
+    config.epochs = util::scaled_epochs(config.epochs);
+    return std::make_unique<baselines::CfkgModel>(ckg, train, config);
+  }
+  if (name == "RippleNet") {
+    baselines::RippleNetConfig config;
+    config.seed = seed;
+    config.epochs = util::scaled_epochs(config.epochs);
+    return std::make_unique<baselines::RippleNetModel>(ckg, train, config);
+  }
+  if (name == "KGCN") {
+    baselines::KgcnConfig config;
+    config.seed = seed;
+    config.epochs = util::scaled_epochs(config.epochs);
+    return std::make_unique<baselines::KgcnModel>(ckg, train, config);
+  }
+  if (name == "CKAT") {
+    core::CkatConfig config = default_ckat_config(ckg.n_items());
+    config.seed = seed;
+    config.epochs = util::scaled_epochs(config.epochs);
+    return std::make_unique<core::CkatModel>(ckg, train, config);
+  }
+  throw std::invalid_argument("run_model: unknown model '" + name + "'");
+}
+
+ModelResult fit_and_evaluate(Recommender& model,
+                             const graph::InteractionSplit& split,
+                             std::size_t k) {
+  ModelResult result;
+  result.model = model.name();
+  util::Timer timer;
+  model.fit();
+  result.fit_seconds = timer.seconds();
+  timer.reset();
+  result.metrics = evaluate_topk(model, split, EvalConfig{.k = k});
+  result.eval_seconds = timer.seconds();
+  CKAT_LOG_INFO("%-10s recall@%zu=%.4f ndcg@%zu=%.4f (fit %s, eval %s)",
+                result.model.c_str(), k, result.metrics.recall, k,
+                result.metrics.ndcg,
+                util::format_duration(result.fit_seconds).c_str(),
+                util::format_duration(result.eval_seconds).c_str());
+  return result;
+}
+
+}  // namespace
+
+ModelResult run_model(const std::string& name,
+                      const graph::CollaborativeKg& ckg,
+                      const graph::InteractionSplit& split, std::uint64_t seed,
+                      std::size_t k) {
+  auto model = build_model(name, ckg, split.train, seed);
+  return fit_and_evaluate(*model, split, k);
+}
+
+ModelResult run_ckat(core::CkatConfig config,
+                     const graph::CollaborativeKg& ckg,
+                     const graph::InteractionSplit& split, std::size_t k) {
+  config.epochs = util::scaled_epochs(config.epochs);
+  core::CkatModel model(ckg, split.train, config);
+  return fit_and_evaluate(model, split, k);
+}
+
+}  // namespace ckat::eval

@@ -1,0 +1,48 @@
+// Experiment runner shared by the bench harnesses and examples: builds
+// any of the eight models by name with the paper's default settings,
+// trains it and evaluates recall@20 / ndcg@20 on a split.
+//
+// Training epochs honor CKAT_EPOCH_SCALE_PCT (util::scaled_epochs) so
+// the full table benches can be smoke-run quickly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ckat.hpp"
+#include "eval/evaluator.hpp"
+#include "graph/ckg.hpp"
+#include "graph/interactions.hpp"
+
+namespace ckat::eval {
+
+struct ModelResult {
+  std::string model;
+  TopKMetrics metrics;
+  double fit_seconds = 0.0;
+  double eval_seconds = 0.0;
+};
+
+/// Names accepted by run_model, in the paper's Table II order.
+const std::vector<std::string>& all_model_names();
+
+/// CKAT hyperparameters found by the Sec. VI.D grid search, which
+/// depend on catalog size: larger item sets need smaller CF batches
+/// (more update steps per epoch) and a few more epochs.
+core::CkatConfig default_ckat_config(std::size_t n_items);
+
+/// Builds, trains and evaluates one model. Throws std::invalid_argument
+/// for unknown names. `seed` controls every stochastic component.
+ModelResult run_model(const std::string& name,
+                      const graph::CollaborativeKg& ckg,
+                      const graph::InteractionSplit& split,
+                      std::uint64_t seed = 7, std::size_t k = 20);
+
+/// Trains and evaluates CKAT with an explicit config (for the Table
+/// III-V ablations). The config's epoch count is scaled by
+/// CKAT_EPOCH_SCALE_PCT like every other model.
+ModelResult run_ckat(core::CkatConfig config,
+                     const graph::CollaborativeKg& ckg,
+                     const graph::InteractionSplit& split, std::size_t k = 20);
+
+}  // namespace ckat::eval

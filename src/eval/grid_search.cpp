@@ -1,0 +1,60 @@
+#include "eval/grid_search.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace ckat::eval {
+
+std::vector<GridPoint> paper_grid() {
+  std::vector<GridPoint> grid;
+  for (float lr : {0.05f, 0.01f, 0.005f}) {
+    for (float l2 : {1e-5f, 1e-4f, 1e-3f}) {
+      for (float dropout : {0.0f, 0.1f, 0.3f}) {
+        grid.push_back(GridPoint{lr, l2, dropout});
+      }
+    }
+  }
+  return grid;
+}
+
+GridSearchResult grid_search(const ModelFactory& factory,
+                             const graph::InteractionSet& train,
+                             const std::vector<GridPoint>& grid,
+                             const GridSearchConfig& config) {
+  if (grid.empty()) {
+    throw std::invalid_argument("grid_search: empty grid");
+  }
+  if (!factory) {
+    throw std::invalid_argument("grid_search: null factory");
+  }
+
+  // Carve a validation split out of the training interactions (the
+  // held-out test set must never influence hyperparameters).
+  util::Rng rng(config.seed);
+  const graph::InteractionSplit validation_split =
+      graph::split_interactions(train, config.validation_fraction, rng);
+
+  GridSearchResult result;
+  bool first = true;
+  for (const GridPoint& point : grid) {
+    auto model = factory(point, validation_split.train);
+    model->fit();
+    const TopKMetrics metrics =
+        evaluate_topk(*model, validation_split, EvalConfig{.k = config.k});
+    CKAT_LOG_INFO(
+        "grid point lr=%.4f l2=%g dropout=%.2f -> recall@%zu=%.4f",
+        point.learning_rate, point.l2_coefficient, point.dropout, config.k,
+        metrics.recall);
+    result.trials.push_back({point, metrics});
+    if (first || metrics.recall > result.best_metrics.recall) {
+      result.best = point;
+      result.best_metrics = metrics;
+      first = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace ckat::eval

@@ -1,0 +1,61 @@
+// Hyperparameter grid search (Sec. VI.D: "We apply a grid search for
+// hyperparameters: the learning rate is tuned in {0.05, 0.01, 0.005,
+// 0.001}, the L2 coefficient within {1e-5 ... 1e2}, and the dropout
+// ratio in {0.0 ... 0.8}").
+//
+// The driver carves a validation split out of the training
+// interactions, trains one model per grid point through a
+// caller-supplied factory, and selects the point with the best
+// validation recall@K. The winner should then be retrained on the full
+// training set by the caller.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "eval/evaluator.hpp"
+#include "eval/recommender.hpp"
+#include "graph/interactions.hpp"
+
+namespace ckat::eval {
+
+/// One hyperparameter combination (extend as needed; these are the
+/// dimensions the paper tunes).
+struct GridPoint {
+  float learning_rate = 0.01f;
+  float l2_coefficient = 1e-5f;
+  float dropout = 0.1f;
+
+  friend bool operator==(const GridPoint&, const GridPoint&) = default;
+};
+
+/// The paper's search space (Sec. VI.D), trimmed to the values that are
+/// sane at this data scale.
+std::vector<GridPoint> paper_grid();
+
+/// Builds an untrained model for one grid point over the given
+/// training interactions.
+using ModelFactory = std::function<std::unique_ptr<Recommender>(
+    const GridPoint&, const graph::InteractionSet& train)>;
+
+struct GridSearchConfig {
+  double validation_fraction = 0.8;  // train split kept for fitting
+  std::size_t k = 20;
+  std::uint64_t seed = 17;
+};
+
+struct GridSearchResult {
+  GridPoint best;
+  TopKMetrics best_metrics;
+  /// Every evaluated point with its validation metrics, in grid order.
+  std::vector<std::pair<GridPoint, TopKMetrics>> trials;
+};
+
+/// Runs the search. Throws std::invalid_argument on an empty grid.
+GridSearchResult grid_search(const ModelFactory& factory,
+                             const graph::InteractionSet& train,
+                             const std::vector<GridPoint>& grid,
+                             const GridSearchConfig& config = {});
+
+}  // namespace ckat::eval

@@ -1,0 +1,83 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace ckat::eval {
+
+void TopKMetrics::finalize() {
+  if (n_users == 0) return;
+  const double n = static_cast<double>(n_users);
+  recall /= n;
+  ndcg /= n;
+  precision /= n;
+  hit_rate /= n;
+}
+
+TopKMetrics& TopKMetrics::operator+=(const TopKMetrics& other) {
+  recall += other.recall;
+  ndcg += other.ndcg;
+  precision += other.precision;
+  hit_rate += other.hit_rate;
+  n_users += other.n_users;
+  return *this;
+}
+
+double ideal_dcg(std::size_t n_relevant, std::size_t k) {
+  const std::size_t n = std::min(n_relevant, k);
+  double idcg = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    idcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return idcg;
+}
+
+TopKMetrics user_topk_metrics(std::span<const std::uint32_t> ranked_topk,
+                              std::span<const std::uint32_t> relevant) {
+  TopKMetrics m;
+  m.n_users = 1;
+  if (relevant.empty()) return m;
+
+  std::size_t hits = 0;
+  double dcg = 0.0;
+  for (std::size_t pos = 0; pos < ranked_topk.size(); ++pos) {
+    if (std::binary_search(relevant.begin(), relevant.end(),
+                           ranked_topk[pos])) {
+      ++hits;
+      dcg += 1.0 / std::log2(static_cast<double>(pos) + 2.0);
+    }
+  }
+  m.recall = static_cast<double>(hits) / static_cast<double>(relevant.size());
+  m.precision = ranked_topk.empty()
+                    ? 0.0
+                    : static_cast<double>(hits) /
+                          static_cast<double>(ranked_topk.size());
+  m.hit_rate = hits > 0 ? 1.0 : 0.0;
+  const double idcg = ideal_dcg(relevant.size(), ranked_topk.size());
+  m.ndcg = idcg > 0.0 ? dcg / idcg : 0.0;
+  return m;
+}
+
+std::vector<std::uint32_t> top_k_indices(std::span<const float> scores,
+                                         std::size_t k) {
+  k = std::min(k, scores.size());
+  std::vector<std::uint32_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  auto better = [&](std::uint32_t a, std::uint32_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  };
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    idx.end(), better);
+  idx.resize(k);
+  // Drop -inf entries (items masked out by the evaluator).
+  while (!idx.empty() &&
+         scores[idx.back()] == -std::numeric_limits<float>::infinity()) {
+    idx.pop_back();
+  }
+  return idx;
+}
+
+}  // namespace ckat::eval

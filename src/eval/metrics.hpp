@@ -1,0 +1,37 @@
+// Top-K ranking metrics (Sec. VI.B): recall@K and ndcg@K, plus
+// precision@K and hit-rate@K for completeness.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ckat::eval {
+
+struct TopKMetrics {
+  double recall = 0.0;
+  double ndcg = 0.0;
+  double precision = 0.0;
+  double hit_rate = 0.0;
+  std::size_t n_users = 0;  // users with at least one test item
+
+  /// Averages accumulated sums over n_users (no-op when n_users == 0).
+  void finalize();
+
+  TopKMetrics& operator+=(const TopKMetrics& other);
+};
+
+/// Metrics for one user given the ranked top-K item list and the set of
+/// ground-truth (test) items. `relevant` must be sorted ascending.
+TopKMetrics user_topk_metrics(std::span<const std::uint32_t> ranked_topk,
+                              std::span<const std::uint32_t> relevant);
+
+/// Returns the indices of the K largest scores, ties broken by lower
+/// index (deterministic). Items with score -inf are never returned.
+std::vector<std::uint32_t> top_k_indices(std::span<const float> scores,
+                                         std::size_t k);
+
+/// Ideal DCG for n relevant items at cutoff K.
+double ideal_dcg(std::size_t n_relevant, std::size_t k);
+
+}  // namespace ckat::eval

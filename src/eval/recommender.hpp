@@ -1,0 +1,29 @@
+// Common interface every recommendation model (CKAT + the seven
+// baselines) implements, so the evaluator and the experiment harness are
+// model-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace ckat::eval {
+
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Trains the model on the data it was constructed with.
+  virtual void fit() = 0;
+
+  /// Writes a preference score for every item (out.size() == n_items).
+  /// Higher is better. Must be callable only after fit().
+  virtual void score_items(std::uint32_t user, std::span<float> out) const = 0;
+
+  [[nodiscard]] virtual std::size_t n_users() const = 0;
+  [[nodiscard]] virtual std::size_t n_items() const = 0;
+};
+
+}  // namespace ckat::eval

@@ -1,0 +1,208 @@
+#include "facility/dataset.hpp"
+
+#include <stdexcept>
+
+namespace ckat::facility {
+
+namespace {
+
+struct Preset {
+  PopulationParams population;
+  TraceParams trace;
+  std::size_t gage_stations = 2106;
+};
+
+Preset preset_for(const DatasetConfig& config) {
+  Preset p;
+  if (config.facility == "OOI") {
+    if (config.scale == DatasetScale::kPaper) {
+      p.population = {.n_users = 520,
+                      .n_cities = 48,
+                      .n_organizations = 14,
+                      .city_profile_adoption = 0.88,
+                      .city_size_zipf = 0.9};
+      // Calibrated so the trace reproduces the paper's measured
+      // affinities: 43.1% of queries to one region, 51.6% to one type.
+      p.trace = {.total_queries = 60000,
+                 .region_affinity = 0.38,
+                 .type_affinity = 0.65,
+                 .user_activity_zipf = 0.85,
+                 .object_popularity_zipf = 0.8};
+    } else {
+      p.population = {.n_users = 60,
+                      .n_cities = 12,
+                      .n_organizations = 4,
+                      .city_profile_adoption = 0.88,
+                      .city_size_zipf = 0.9};
+      p.trace = {.total_queries = 4000,
+                 .region_affinity = 0.38,
+                 .type_affinity = 0.70,
+                 .user_activity_zipf = 0.85,
+                 .object_popularity_zipf = 0.8};
+    }
+  } else if (config.facility == "GAGE") {
+    if (config.scale == DatasetScale::kPaper) {
+      p.population = {.n_users = 1150,
+                      .n_cities = 90,
+                      .n_organizations = 16,
+                      .city_profile_adoption = 0.78,
+                      .city_size_zipf = 0.85};
+      // Paper measurements: 36.3% of queries to one region, 68.8% to
+      // one data type.
+      p.trace = {.total_queries = 110000,
+                 .region_affinity = 0.46,
+                 .type_affinity = 0.79,
+                 .user_activity_zipf = 0.85,
+                 .object_popularity_zipf = 0.8};
+      p.gage_stations = 2106;
+    } else {
+      p.population = {.n_users = 80,
+                      .n_cities = 16,
+                      .n_organizations = 4,
+                      .city_profile_adoption = 0.78,
+                      .city_size_zipf = 0.85};
+      p.trace = {.total_queries = 5000,
+                 .region_affinity = 0.33,
+                 .type_affinity = 0.88,
+                 .user_activity_zipf = 0.85,
+                 .object_popularity_zipf = 0.8};
+      p.gage_stations = 220;
+    }
+  } else {
+    throw std::invalid_argument("FacilityDataset: unknown facility '" +
+                                config.facility + "'");
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<graph::KnowledgeSource> extract_knowledge_sources(
+    const FacilityModel& model) {
+  graph::KnowledgeSource loc{kSourceLoc, {}, {}};
+  graph::KnowledgeSource dkg{kSourceDkg, {}, {}};
+  graph::KnowledgeSource md{kSourceMd, {}, {}};
+
+  auto site_name = [&](std::uint32_t s) { return "site:" + model.sites[s].name; };
+  auto region_name = [&](std::uint32_t r) {
+    return "region:" + model.regions[r];
+  };
+  auto type_name = [&](std::uint32_t t) {
+    return "type:" + model.data_types[t].name;
+  };
+  auto discipline_name = [&](std::uint32_t d) {
+    return "disc:" + model.disciplines[d];
+  };
+  auto instrument_name = [&](std::uint32_t i) {
+    return "inst:" + model.instruments[i].name;
+  };
+  auto group_name = [&](std::uint32_t g) {
+    return "group:" + model.instrument_groups[g];
+  };
+  auto delivery_name = [&](std::uint32_t d) {
+    return "dm:" + model.delivery_methods[d];
+  };
+
+  // Fig. 1 shows data objects linked directly to both granularities of
+  // location (site, region) and of domain (data type, discipline); those
+  // direct links give items the paper's "link-avg" degree.
+  for (std::uint32_t o = 0; o < model.objects.size(); ++o) {
+    const DataObject& obj = model.objects[o];
+    loc.item_triples.push_back({o, "locatedAt", site_name(obj.site)});
+    loc.item_triples.push_back({o, "inRegion", region_name(obj.region)});
+    dkg.item_triples.push_back({o, "dataType", type_name(obj.data_type)});
+    dkg.item_triples.push_back(
+        {o, "dataDiscipline", discipline_name(obj.discipline)});
+    md.item_triples.push_back({o, "generatedBy", instrument_name(obj.instrument)});
+    md.item_triples.push_back(
+        {o, "deliveryMethod", delivery_name(obj.delivery_method)});
+  }
+  for (std::uint32_t s = 0; s < model.sites.size(); ++s) {
+    loc.attribute_triples.push_back(
+        {site_name(s), "inRegion", region_name(model.sites[s].region)});
+  }
+  for (std::uint32_t t = 0; t < model.data_types.size(); ++t) {
+    dkg.attribute_triples.push_back(
+        {type_name(t), "dataDiscipline",
+         discipline_name(model.data_types[t].discipline)});
+  }
+  // Instrument groups exist for OOI-style facilities only; GAGE's model
+  // keeps MD to generatedBy + deliveryMethod (7 relations vs OOI's 8).
+  if (model.name == "OOI") {
+    for (std::uint32_t i = 0; i < model.instruments.size(); ++i) {
+      md.attribute_triples.push_back(
+          {instrument_name(i), "instrumentGroup",
+           group_name(model.instruments[i].group)});
+    }
+  }
+
+  return {loc, dkg, md};
+}
+
+FacilityDataset::FacilityDataset(const DatasetConfig& config)
+    : config_(config) {
+  const Preset preset = preset_for(config);
+
+  util::Rng root(config.seed);
+  util::Rng model_rng = root.fork(1);
+  util::Rng user_rng = root.fork(2);
+  util::Rng trace_rng = root.fork(3);
+  util::Rng split_rng = root.fork(4);
+  util::Rng uug_rng = root.fork(5);
+
+  model_ = std::make_unique<FacilityModel>(
+      config.facility == "OOI" ? make_ooi_model(model_rng)
+                               : make_gage_model(model_rng, preset.gage_stations));
+  users_ = std::make_unique<UserPopulation>(*model_, preset.population,
+                                            user_rng);
+
+  QueryTraceGenerator generator(*model_, *users_, preset.trace);
+  trace_ = generator.generate(trace_rng);
+
+  graph::InteractionSet all(users_->n_users(), model_->n_objects());
+  for (const QueryRecord& rec : trace_) all.add(rec.user, rec.object);
+  all.finalize();
+  split_ = std::make_unique<graph::InteractionSplit>(
+      graph::split_interactions(all, config.train_fraction, split_rng));
+
+  uug_pairs_ = users_->same_city_pairs(config.uug_max_neighbors, uug_rng);
+  sources_ = extract_knowledge_sources(*model_);
+}
+
+graph::CollaborativeKg FacilityDataset::build_ckg(
+    const graph::CkgOptions& options) const {
+  for (const std::string& requested : options.sources) {
+    bool found = false;
+    for (const auto& src : sources_) found |= (src.name == requested);
+    if (!found) {
+      throw std::invalid_argument("build_ckg: unknown knowledge source '" +
+                                  requested + "'");
+    }
+  }
+  return graph::CollaborativeKg(split_->train, uug_pairs_, sources_, options);
+}
+
+graph::CollaborativeKg FacilityDataset::build_default_ckg() const {
+  graph::CkgOptions options;
+  options.include_user_user = true;
+  options.sources = {kSourceLoc, kSourceDkg};
+  return build_ckg(options);
+}
+
+FacilityDataset make_ooi_dataset(std::uint64_t seed, DatasetScale scale) {
+  return FacilityDataset(DatasetConfig{.facility = "OOI",
+                                       .scale = scale,
+                                       .seed = seed,
+                                       .train_fraction = 0.8,
+                                       .uug_max_neighbors = 10});
+}
+
+FacilityDataset make_gage_dataset(std::uint64_t seed, DatasetScale scale) {
+  return FacilityDataset(DatasetConfig{.facility = "GAGE",
+                                       .scale = scale,
+                                       .seed = seed,
+                                       .train_fraction = 0.8,
+                                       .uug_max_neighbors = 14});
+}
+
+}  // namespace ckat::facility

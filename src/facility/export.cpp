@@ -1,0 +1,65 @@
+#include "facility/export.hpp"
+
+#include "util/csv.hpp"
+
+namespace ckat::facility {
+
+void export_dataset_csv(const FacilityDataset& dataset,
+                        const std::string& directory) {
+  const FacilityModel& model = dataset.model();
+
+  {
+    util::CsvWriter objects(directory + "/objects.csv");
+    objects.write_row({"object", "site", "region", "instrument", "data_type",
+                       "discipline", "delivery_method"});
+    for (std::size_t o = 0; o < model.objects.size(); ++o) {
+      const DataObject& obj = model.objects[o];
+      objects.write_row({std::to_string(o), model.sites[obj.site].name,
+                         model.regions[obj.region],
+                         model.instruments[obj.instrument].name,
+                         model.data_types[obj.data_type].name,
+                         model.disciplines[obj.discipline],
+                         model.delivery_methods[obj.delivery_method]});
+    }
+  }
+
+  {
+    util::CsvWriter users(directory + "/users.csv");
+    users.write_row({"user", "city", "organization", "preferred_region",
+                     "preferred_discipline"});
+    for (std::uint32_t u = 0; u < dataset.n_users(); ++u) {
+      const UserProfile& profile = dataset.users().user(u);
+      users.write_row(
+          {std::to_string(u), dataset.users().cities()[profile.city],
+           profile.organization == UserProfile::kNoOrg
+               ? "unknown"
+               : dataset.users().organizations()[profile.organization],
+           model.regions[profile.preferred_region],
+           model.disciplines[profile.preferred_discipline]});
+    }
+  }
+
+  {
+    util::CsvWriter trace(directory + "/trace.csv");
+    trace.write_row({"user", "object", "timestamp"});
+    for (const QueryRecord& rec : dataset.trace()) {
+      trace.write_row({std::to_string(rec.user), std::to_string(rec.object),
+                       std::to_string(rec.timestamp)});
+    }
+  }
+
+  {
+    util::CsvWriter interactions(directory + "/interactions.csv");
+    interactions.write_row({"user", "object", "split"});
+    for (const graph::Interaction& x : dataset.split().train.pairs()) {
+      interactions.write_row(
+          {std::to_string(x.user), std::to_string(x.item), "train"});
+    }
+    for (const graph::Interaction& x : dataset.split().test.pairs()) {
+      interactions.write_row(
+          {std::to_string(x.user), std::to_string(x.item), "test"});
+    }
+  }
+}
+
+}  // namespace ckat::facility

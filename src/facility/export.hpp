@@ -1,0 +1,21 @@
+// CSV export of a generated facility dataset, so the synthetic traces
+// and catalogs can be inspected, plotted, or consumed by external
+// tooling (the role MovieLens-style benchmark files play, Sec. VI.A).
+#pragma once
+
+#include <string>
+
+#include "facility/dataset.hpp"
+
+namespace ckat::facility {
+
+/// Writes the dataset into `directory` (which must exist):
+///   objects.csv       item catalog with all attributes (by name)
+///   users.csv         user city / organization / latent profile
+///   trace.csv         the full query trace (user, object, timestamp)
+///   interactions.csv  deduplicated user-item pairs with train/test tag
+/// Throws std::runtime_error on I/O failure.
+void export_dataset_csv(const FacilityDataset& dataset,
+                        const std::string& directory);
+
+}  // namespace ckat::facility

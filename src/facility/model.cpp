@@ -1,0 +1,248 @@
+#include "facility/model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+namespace ckat::facility {
+
+void FacilityModel::validate() const {
+  for (const Site& s : sites) {
+    if (s.region >= regions.size()) {
+      throw std::invalid_argument(name + ": site region out of range");
+    }
+  }
+  for (const DataType& t : data_types) {
+    if (t.discipline >= disciplines.size()) {
+      throw std::invalid_argument(name + ": data type discipline out of range");
+    }
+  }
+  for (const InstrumentClass& ic : instruments) {
+    if (ic.group >= instrument_groups.size()) {
+      throw std::invalid_argument(name + ": instrument group out of range");
+    }
+    if (ic.measured_types.empty()) {
+      throw std::invalid_argument(name + ": instrument measures no types");
+    }
+    for (std::uint32_t t : ic.measured_types) {
+      if (t >= data_types.size()) {
+        throw std::invalid_argument(name + ": measured type out of range");
+      }
+    }
+  }
+  for (const DataObject& o : objects) {
+    if (o.site >= sites.size() || o.region >= regions.size() ||
+        o.instrument >= instruments.size() ||
+        o.data_type >= data_types.size() ||
+        o.discipline >= disciplines.size() ||
+        o.delivery_method >= delivery_methods.size()) {
+      throw std::invalid_argument(name + ": object attribute out of range");
+    }
+    if (o.region != sites[o.site].region) {
+      throw std::invalid_argument(name + ": object region != site region");
+    }
+    if (o.discipline != data_types[o.data_type].discipline) {
+      throw std::invalid_argument(name + ": object discipline mismatch");
+    }
+  }
+}
+
+namespace {
+
+/// Appends one data object per (deployment, measured type) stream.
+void add_streams(FacilityModel& m, std::uint32_t site,
+                 std::uint32_t instrument, util::Rng& rng) {
+  const InstrumentClass& ic = m.instruments[instrument];
+  for (std::uint32_t type : ic.measured_types) {
+    DataObject o;
+    o.site = site;
+    o.region = m.sites[site].region;
+    o.instrument = instrument;
+    o.data_type = type;
+    o.discipline = m.data_types[type].discipline;
+    o.delivery_method =
+        static_cast<std::uint32_t>(rng.uniform_index(m.delivery_methods.size()));
+    m.objects.push_back(o);
+  }
+}
+
+}  // namespace
+
+FacilityModel make_ooi_model(util::Rng& rng) {
+  FacilityModel m;
+  m.name = "OOI";
+
+  // The eight OOI research arrays (Smith et al. 2018).
+  m.regions = {"Cabled Axial",        "Cabled Continental Margin",
+               "Coastal Endurance",   "Coastal Pioneer",
+               "Global Argentine Basin", "Global Irminger Sea",
+               "Global Southern Ocean",  "Global Station Papa"};
+
+  // 55 sites spread over the arrays (array sizes follow the real
+  // deployment: cabled and coastal arrays are denser than global ones).
+  const std::uint32_t sites_per_region[8] = {9, 7, 10, 11, 5, 5, 4, 4};
+  static const char* kSitePrefix[8] = {"AXB", "CCM", "CE", "CP",
+                                       "GA",  "GI",  "GS", "GP"};
+  for (std::uint32_t r = 0; r < 8; ++r) {
+    for (std::uint32_t k = 0; k < sites_per_region[r]; ++k) {
+      m.sites.push_back(
+          Site{std::string(kSitePrefix[r]) + "-Site" + std::to_string(k + 1), r});
+    }
+  }
+
+  m.disciplines = {"Physical",   "Chemical",     "Biological",
+                   "Geophysical", "Meteorological", "Acoustical"};
+
+  // Oceanographic data types (Fig. 1 shows Pressure/Density as examples).
+  const std::vector<std::pair<const char*, std::uint32_t>> types = {
+      {"Pressure", 0},        {"Density", 0},        {"Temperature", 0},
+      {"Salinity", 0},        {"Conductivity", 0},   {"Depth", 0},
+      {"Current Velocity", 0},{"Wave Height", 0},
+      {"Dissolved Oxygen", 1},{"pH", 1},             {"pCO2", 1},
+      {"Nitrate", 1},         {"Methane", 1},
+      {"Chlorophyll-a", 2},   {"Turbidity", 2},      {"Bio-acoustic Backscatter", 2},
+      {"Particulate Matter", 2},
+      {"Seafloor Tilt", 3},   {"Seafloor Pressure", 3}, {"Seismic Velocity", 3},
+      {"Hydrothermal Temperature", 3},
+      {"Wind Speed", 4},      {"Air Temperature", 4}, {"Humidity", 4},
+      {"Ambient Sound", 5},   {"Acoustic Travel Time", 5}};
+  for (const auto& [type_name, disc] : types) {
+    m.data_types.push_back(DataType{type_name, disc});
+  }
+
+  m.instrument_groups = {"Seafloor Package", "Profiler Mooring",
+                         "Surface Mooring",  "Glider",
+                         "Benthic Package",  "Water Column"};
+
+  // 36 instrument classes, each measuring 1-3 related data types.
+  const std::vector<std::tuple<const char*, std::uint32_t,
+                               std::vector<std::uint32_t>>> instruments = {
+      {"CTDBP", 2, {2, 4, 0}},   {"CTDGV", 3, {2, 4, 5}},
+      {"CTDPF", 1, {2, 4, 0}},   {"CTDMO", 2, {2, 4}},
+      {"BOTPT", 0, {18, 17}},    {"ADCPT", 5, {6}},
+      {"ADCPS", 0, {6}},         {"VELPT", 2, {6}},
+      {"VEL3D", 4, {6}},         {"PCO2W", 4, {10}},
+      {"PCO2A", 2, {10}},        {"PHSEN", 4, {9}},
+      {"NUTNR", 5, {11}},        {"DOSTA", 3, {8}},
+      {"DOFST", 1, {8}},         {"FLORT", 3, {13, 14}},
+      {"FLORD", 1, {13}},        {"SPKIR", 2, {2}},
+      {"PARAD", 1, {13}},        {"OPTAA", 5, {14, 16}},
+      {"ZPLSC", 5, {15}},        {"HYDBB", 0, {24}},
+      {"HYDLF", 0, {24}},        {"OBSBB", 0, {19}},
+      {"OBSSP", 0, {19}},        {"PRESF", 4, {0, 7}},
+      {"TMPSF", 0, {20}},        {"THSPH", 0, {9, 20}},
+      {"TRHPH", 0, {20, 4}},     {"RASFL", 0, {12, 11}},
+      {"METBK", 2, {21, 22, 23}},{"WAVSS", 2, {7}},
+      {"FDCHP", 2, {21, 10}},    {"MASSP", 0, {12, 8}},
+      {"HPIES", 0, {25, 0}},     {"PPSDN", 4, {16}}};
+  for (const auto& [instrument_name, group, measured] : instruments) {
+    m.instruments.push_back(InstrumentClass{instrument_name, group, measured});
+  }
+
+  m.delivery_methods = {"Streamed", "Telemetered", "Recovered"};
+
+  // Deployments: every site hosts 5-9 instrument classes appropriate to
+  // a mix of packages; each deployment exposes one object per measured
+  // type. This yields ~650 data objects.
+  for (std::uint32_t s = 0; s < m.sites.size(); ++s) {
+    const std::size_t count = 5 + rng.uniform_index(5);
+    for (std::size_t inst :
+         rng.sample_without_replacement(m.instruments.size(), count)) {
+      add_streams(m, s, static_cast<std::uint32_t>(inst), rng);
+    }
+  }
+
+  m.validate();
+  return m;
+}
+
+FacilityModel make_gage_model(util::Rng& rng, std::size_t n_stations) {
+  FacilityModel m;
+  m.name = "GAGE";
+
+  // 48 contiguous US states host GAGE's domestic stations.
+  m.regions = {"AL", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "ID",
+               "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD", "MA", "MI",
+               "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ", "NM", "NY",
+               "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN",
+               "TX", "UT", "VT", "VA", "WA", "WV", "WI", "WY"};
+
+  // 338 station cities; western states host disproportionately many
+  // stations (plate-boundary coverage), mirrored by a skewed city count.
+  const std::size_t n_cities = 338;
+  std::vector<double> region_weight(m.regions.size(), 1.0);
+  for (const char* heavy : {"CA", "WA", "OR", "NV", "UT", "AZ", "CO", "MT",
+                            "NM", "WY", "ID"}) {
+    for (std::size_t r = 0; r < m.regions.size(); ++r) {
+      if (m.regions[r] == heavy) region_weight[r] = 6.0;
+    }
+  }
+  for (std::size_t c = 0; c < n_cities; ++c) {
+    const auto region =
+        static_cast<std::uint32_t>(rng.weighted_index(region_weight));
+    m.sites.push_back(Site{m.regions[region] + "-City" + std::to_string(c + 1),
+                           region});
+  }
+
+  m.disciplines = {"Geodetic", "Atmospheric", "Seismic", "Hydrological"};
+
+  // The 12 GAGE data types referenced in Sec. III.B.
+  const std::vector<std::pair<const char*, std::uint32_t>> types = {
+      {"Daily Position Time Series", 0}, {"High-rate GNSS", 0},
+      {"RINEX Observations", 0},         {"Velocity Field", 0},
+      {"Real-time Streams", 0},          {"Tropospheric Delay", 1},
+      {"Precipitable Water Vapor", 1},   {"Surface Meteorology", 1},
+      {"Borehole Strainmeter", 2},       {"Borehole Seismic", 2},
+      {"Tiltmeter", 2},                  {"Hydrological Loading", 3}};
+  for (const auto& [type_name, disc] : types) {
+    m.data_types.push_back(DataType{type_name, disc});
+  }
+
+  m.instrument_groups = {"GNSS Station", "Borehole Station", "Met Station"};
+
+  const std::vector<std::tuple<const char*, std::uint32_t,
+                               std::vector<std::uint32_t>>> instruments = {
+      {"Trimble NetR9", 0, {0, 1, 2}},   {"Trimble NetRS", 0, {0, 2}},
+      {"Septentrio PolaRx5", 0, {0, 1, 2, 4}},
+      {"Topcon NET-G3A", 0, {0, 2, 3}},
+      {"GTSM21 Strainmeter", 1, {8, 10}},
+      {"Malin Borehole Seismometer", 1, {9}},
+      {"Vaisala WXT520", 2, {7, 6}},     {"GPS-Met Receiver", 2, {5, 6}},
+      {"Hydrological Sensor", 2, {11}}};
+  for (const auto& [instrument_name, group, measured] : instruments) {
+    m.instruments.push_back(InstrumentClass{instrument_name, group, measured});
+  }
+
+  m.delivery_methods = {"Archive Download", "Real-time Stream"};
+
+  // Stations: mostly GNSS receivers; ~12% borehole, ~10% met-enabled.
+  // Each station contributes one object per 1-2 of its measured types so
+  // n_stations = 2106 yields ~2.9k objects.
+  std::vector<double> instrument_weight = {24, 14, 18, 10, 5, 4, 5, 5, 4};
+  for (std::size_t st = 0; st < n_stations; ++st) {
+    const auto site =
+        static_cast<std::uint32_t>(rng.uniform_index(m.sites.size()));
+    const auto instrument =
+        static_cast<std::uint32_t>(rng.weighted_index(instrument_weight));
+    const InstrumentClass& ic = m.instruments[instrument];
+    const std::size_t n_streams =
+        1 + rng.uniform_index(std::min<std::size_t>(2, ic.measured_types.size()));
+    for (std::size_t k :
+         rng.sample_without_replacement(ic.measured_types.size(), n_streams)) {
+      DataObject o;
+      o.site = site;
+      o.region = m.sites[site].region;
+      o.instrument = instrument;
+      o.data_type = ic.measured_types[k];
+      o.discipline = m.data_types[o.data_type].discipline;
+      o.delivery_method = static_cast<std::uint32_t>(
+          rng.uniform_index(m.delivery_methods.size()));
+      m.objects.push_back(o);
+    }
+  }
+
+  m.validate();
+  return m;
+}
+
+}  // namespace ckat::facility

@@ -1,0 +1,77 @@
+// Structural model of a large-scale science facility (Sec. III.A):
+// regions (OOI research arrays / GAGE states), sites (OOI platforms /
+// GAGE station cities), instrument classes, data types grouped into
+// research disciplines, and the catalog of data objects users query.
+//
+// A data object is one (instrument deployment, data type) stream -- the
+// "item" of the recommendation task. Its attributes feed the
+// item-attribute knowledge graph (LOC / DKG / MD sources, Sec. VI.A).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ckat::facility {
+
+struct Site {
+  std::string name;
+  std::uint32_t region = 0;  // index into FacilityModel::regions
+};
+
+struct DataType {
+  std::string name;
+  std::uint32_t discipline = 0;  // index into FacilityModel::disciplines
+};
+
+struct InstrumentClass {
+  std::string name;
+  std::uint32_t group = 0;  // index into FacilityModel::instrument_groups
+  std::vector<std::uint32_t> measured_types;  // indices into data_types
+};
+
+/// One queryable data object (the recommendation "item").
+struct DataObject {
+  std::uint32_t site = 0;
+  std::uint32_t region = 0;
+  std::uint32_t instrument = 0;
+  std::uint32_t data_type = 0;
+  std::uint32_t discipline = 0;
+  std::uint32_t delivery_method = 0;
+};
+
+struct FacilityModel {
+  std::string name;
+
+  std::vector<std::string> regions;
+  std::vector<Site> sites;
+  std::vector<std::string> disciplines;
+  std::vector<DataType> data_types;
+  std::vector<std::string> instrument_groups;
+  std::vector<InstrumentClass> instruments;
+  std::vector<std::string> delivery_methods;
+
+  std::vector<DataObject> objects;
+
+  [[nodiscard]] std::size_t n_objects() const noexcept {
+    return objects.size();
+  }
+
+  /// Validates all cross-references; throws std::invalid_argument.
+  void validate() const;
+};
+
+/// Builds an OOI-like model: 8 research arrays, 55 sites, 36 instrument
+/// classes, ~two dozen oceanographic data types across 6 disciplines.
+/// Deployment choices are seeded; structure counts are fixed.
+FacilityModel make_ooi_model(util::Rng& rng);
+
+/// Builds a GAGE-like model: 48 states, station cities, GPS/GNSS
+/// receiver classes and 12 geodetic data types across 4 disciplines.
+/// `n_stations` controls the station count (default: paper's 2,106
+/// US stations collapse to ~2.9k objects).
+FacilityModel make_gage_model(util::Rng& rng, std::size_t n_stations = 2106);
+
+}  // namespace ckat::facility

@@ -1,0 +1,137 @@
+#include "facility/multi.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace ckat::facility {
+
+namespace {
+
+/// Copies one facility's interactions into the combined sets with the
+/// given id offsets.
+void copy_interactions(const graph::InteractionSet& from,
+                       graph::InteractionSet& to, std::uint32_t user_offset,
+                       std::uint32_t item_offset) {
+  for (const graph::Interaction& x : from.pairs()) {
+    to.add(user_offset + x.user, item_offset + x.item);
+  }
+}
+
+/// Namespaces a knowledge source into the combined id/name space.
+graph::KnowledgeSource offset_source(const graph::KnowledgeSource& src,
+                                     const std::string& facility,
+                                     std::uint32_t item_offset) {
+  graph::KnowledgeSource out;
+  out.name = src.name;
+  auto namespaced = [&](const std::string& attribute) {
+    // Disciplines align across facilities by name (shared scientific
+    // vocabulary); everything else is facility-scoped.
+    if (attribute.rfind("disc:", 0) == 0) return attribute;
+    return facility + "/" + attribute;
+  };
+  for (const auto& t : src.item_triples) {
+    out.item_triples.push_back(
+        {item_offset + t.item, t.relation, namespaced(t.attribute)});
+  }
+  for (const auto& t : src.attribute_triples) {
+    out.attribute_triples.push_back(
+        {namespaced(t.head), t.relation, namespaced(t.tail)});
+  }
+  return out;
+}
+
+}  // namespace
+
+CombinedFacilities::CombinedFacilities(const FacilityDataset& first,
+                                       const FacilityDataset& second,
+                                       std::size_t cross_city_neighbors,
+                                       util::Rng& rng) {
+  first_users_ = static_cast<std::uint32_t>(first.n_users());
+  first_items_ = static_cast<std::uint32_t>(first.n_items());
+  const std::size_t total_users = first.n_users() + second.n_users();
+  const std::size_t total_items = first.n_items() + second.n_items();
+
+  split_ = std::make_unique<graph::InteractionSplit>(total_users, total_items);
+  copy_interactions(first.split().train, split_->train, 0, 0);
+  copy_interactions(first.split().test, split_->test, 0, 0);
+  copy_interactions(second.split().train, split_->train, first_users_,
+                    first_items_);
+  copy_interactions(second.split().test, split_->test, first_users_,
+                    first_items_);
+  split_->train.finalize();
+  split_->test.finalize();
+
+  // Within-facility UUG links carry over with offsets.
+  for (const auto& [a, b] : first.user_user_pairs()) {
+    uug_pairs_.emplace_back(a, b);
+  }
+  for (const auto& [a, b] : second.user_user_pairs()) {
+    uug_pairs_.emplace_back(first_users_ + a, first_users_ + b);
+  }
+
+  // Cross-facility alignment: users in cities with the same NAME are
+  // co-located (the two datasets draw from one shared city list).
+  std::map<std::string, std::vector<std::uint32_t>> second_by_city_name;
+  for (std::uint32_t u = 0; u < second.n_users(); ++u) {
+    second_by_city_name[second.users().cities()[second.users().user(u).city]]
+        .push_back(first_users_ + u);
+  }
+  for (std::uint32_t u = 0; u < first.n_users(); ++u) {
+    const std::string& city =
+        first.users().cities()[first.users().user(u).city];
+    const auto it = second_by_city_name.find(city);
+    if (it == second_by_city_name.end()) continue;
+    const auto& peers = it->second;
+    const std::size_t take = std::min(cross_city_neighbors, peers.size());
+    for (std::size_t pick : rng.sample_without_replacement(peers.size(),
+                                                           take)) {
+      uug_pairs_.emplace_back(u, peers[pick]);
+      ++n_cross_pairs_;
+    }
+  }
+  std::sort(uug_pairs_.begin(), uug_pairs_.end());
+  uug_pairs_.erase(std::unique(uug_pairs_.begin(), uug_pairs_.end()),
+                   uug_pairs_.end());
+
+  // Knowledge sources: merge per name, namespacing attribute entities.
+  std::map<std::string, graph::KnowledgeSource> merged;
+  for (const auto& src : first.knowledge_sources()) {
+    graph::KnowledgeSource shifted =
+        offset_source(src, first.model().name, 0);
+    merged[src.name] = std::move(shifted);
+  }
+  for (const auto& src : second.knowledge_sources()) {
+    graph::KnowledgeSource shifted =
+        offset_source(src, second.model().name, first_items_);
+    auto& target = merged[src.name];
+    target.name = src.name;
+    target.item_triples.insert(target.item_triples.end(),
+                               shifted.item_triples.begin(),
+                               shifted.item_triples.end());
+    target.attribute_triples.insert(target.attribute_triples.end(),
+                                    shifted.attribute_triples.begin(),
+                                    shifted.attribute_triples.end());
+  }
+  for (auto& [name, src] : merged) sources_.push_back(std::move(src));
+}
+
+std::vector<bool> CombinedFacilities::item_mask(std::size_t facility) const {
+  if (facility > 1) {
+    throw std::invalid_argument("CombinedFacilities: facility index is 0 or 1");
+  }
+  std::vector<bool> mask(n_items(), false);
+  const std::size_t begin = facility == 0 ? 0 : first_items_;
+  const std::size_t end = facility == 0 ? first_items_ : n_items();
+  for (std::size_t i = begin; i < end; ++i) mask[i] = true;
+  return mask;
+}
+
+graph::CollaborativeKg CombinedFacilities::build_ckg() const {
+  graph::CkgOptions options;
+  options.include_user_user = true;
+  options.sources = {kSourceLoc, kSourceDkg};
+  return graph::CollaborativeKg(split_->train, uug_pairs_, sources_, options);
+}
+
+}  // namespace ckat::facility

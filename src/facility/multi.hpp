@@ -1,0 +1,86 @@
+// Multi-facility CKG consolidation -- the extension the paper sketches
+// but does not explore (Sec. IV: "Using entity alignment, KGs from
+// multiple facilities can be consolidated. This can potentially enable
+// recommendations across multiple facilities").
+//
+// Two facility datasets are combined into one id space (users then
+// items concatenated). Entity alignment happens through the user-user
+// graph: users of different facilities who live in the same city are
+// linked, carrying collaborative signal across facilities -- the
+// interdisciplinary-user scenario the paper's introduction motivates.
+// Knowledge sources keep their facility-namespaced attribute entities,
+// except shared vocabulary (disciplines with equal names) which aligns
+// naturally by name.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "facility/dataset.hpp"
+#include "graph/ckg.hpp"
+#include "graph/interactions.hpp"
+
+namespace ckat::facility {
+
+class CombinedFacilities {
+ public:
+  /// Combines two datasets. `cross_city_neighbors` caps how many
+  /// other-facility same-city peers each user is linked to.
+  CombinedFacilities(const FacilityDataset& first,
+                     const FacilityDataset& second,
+                     std::size_t cross_city_neighbors, util::Rng& rng);
+
+  [[nodiscard]] std::size_t n_users() const noexcept {
+    return split_->train.n_users();
+  }
+  [[nodiscard]] std::size_t n_items() const noexcept {
+    return split_->train.n_items();
+  }
+
+  /// Combined train/test interactions (ids offset per facility).
+  [[nodiscard]] const graph::InteractionSplit& split() const noexcept {
+    return *split_;
+  }
+
+  /// Same-city pairs: within each facility plus cross-facility links.
+  [[nodiscard]] const std::vector<std::pair<std::uint32_t, std::uint32_t>>&
+  user_user_pairs() const noexcept {
+    return uug_pairs_;
+  }
+  /// The cross-facility subset of user_user_pairs() (diagnostics).
+  [[nodiscard]] std::size_t n_cross_facility_pairs() const noexcept {
+    return n_cross_pairs_;
+  }
+
+  [[nodiscard]] const std::vector<graph::KnowledgeSource>& knowledge_sources()
+      const noexcept {
+    return sources_;
+  }
+
+  /// Item id offsets: facility 0 items are [0, item_offset(1)),
+  /// facility 1 items are [item_offset(1), n_items()).
+  [[nodiscard]] std::uint32_t user_offset(std::size_t facility) const {
+    return facility == 0 ? 0 : first_users_;
+  }
+  [[nodiscard]] std::uint32_t item_offset(std::size_t facility) const {
+    return facility == 0 ? 0 : first_items_;
+  }
+
+  /// Candidate mask restricting ranking to one facility's items (for
+  /// per-facility evaluation on the combined model).
+  [[nodiscard]] std::vector<bool> item_mask(std::size_t facility) const;
+
+  /// Builds the consolidated CKG (UIG + UUG + both facilities' LOC/DKG).
+  [[nodiscard]] graph::CollaborativeKg build_ckg() const;
+
+ private:
+  std::uint32_t first_users_ = 0;
+  std::uint32_t first_items_ = 0;
+  std::unique_ptr<graph::InteractionSplit> split_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> uug_pairs_;
+  std::size_t n_cross_pairs_ = 0;
+  std::vector<graph::KnowledgeSource> sources_;
+};
+
+}  // namespace ckat::facility

@@ -1,0 +1,75 @@
+// Synthetic user-query trace generator (Sec. III.B substitution).
+//
+// Queries are drawn from an affinity-mixture model calibrated to the
+// paper's measurements:
+//   * with probability `region_affinity` a query is constrained to the
+//     user's preferred region (paper: 43.1% OOI / 36.3% GAGE of queries
+//     hit one region),
+//   * independently, with probability `type_affinity` it is constrained
+//     to one of the user's preferred data types (51.6% / 68.8%),
+//   * the residual mass goes to popularity-weighted background queries
+//     (object popularity ~ Zipf).
+// Per-user activity is Zipf-distributed, giving the heavy-tailed
+// distribution curves of Fig. 3.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "facility/model.hpp"
+#include "facility/users.hpp"
+#include "util/rng.hpp"
+
+namespace ckat::facility {
+
+struct QueryRecord {
+  std::uint32_t user = 0;
+  std::uint32_t object = 0;
+  std::uint64_t timestamp = 0;  // seconds within the simulated year
+};
+
+struct TraceParams {
+  std::size_t total_queries = 60000;
+  double region_affinity = 0.40;
+  double type_affinity = 0.50;
+  double user_activity_zipf = 0.85;
+  double object_popularity_zipf = 0.8;
+};
+
+class QueryTraceGenerator {
+ public:
+  QueryTraceGenerator(const FacilityModel& facility,
+                      const UserPopulation& users, TraceParams params);
+
+  /// Generates the full trace, ordered by timestamp.
+  [[nodiscard]] std::vector<QueryRecord> generate(util::Rng& rng) const;
+
+  /// Draws one query for a specific user (exposed for tests).
+  [[nodiscard]] std::uint32_t sample_object(const UserProfile& user,
+                                            util::Rng& rng) const;
+
+ private:
+  struct Bucket {
+    std::vector<std::uint32_t> objects;
+    util::AliasSampler sampler;
+  };
+
+  /// Sample from a bucket; falls back along the chain
+  /// (region,type) -> (type) -> (region) -> global for empty buckets.
+  [[nodiscard]] std::uint32_t sample_bucket(
+      std::optional<std::uint32_t> region,
+      std::optional<std::uint32_t> type, util::Rng& rng) const;
+
+  const FacilityModel& facility_;
+  const UserPopulation& users_;
+  TraceParams params_;
+
+  std::vector<double> object_popularity_;
+  Bucket global_;
+  std::vector<Bucket> by_region_;
+  std::vector<Bucket> by_type_;
+  std::vector<Bucket> by_region_type_;  // region * n_types + type
+};
+
+}  // namespace ckat::facility

@@ -1,0 +1,168 @@
+#include "facility/users.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ckat::facility {
+
+namespace {
+
+/// Draws a research profile (region, discipline, 2-4 types within the
+/// discipline) uniformly over the facility structure.
+struct ResearchProfile {
+  std::uint32_t region;
+  std::uint32_t discipline;
+  std::vector<std::uint32_t> types;
+};
+
+ResearchProfile draw_profile(const FacilityModel& facility, util::Rng& rng) {
+  ResearchProfile p;
+  p.region = static_cast<std::uint32_t>(
+      rng.uniform_index(facility.regions.size()));
+  p.discipline = static_cast<std::uint32_t>(
+      rng.uniform_index(facility.disciplines.size()));
+  std::vector<std::uint32_t> in_discipline;
+  for (std::uint32_t t = 0; t < facility.data_types.size(); ++t) {
+    if (facility.data_types[t].discipline == p.discipline) {
+      in_discipline.push_back(t);
+    }
+  }
+  if (in_discipline.empty()) {
+    throw std::logic_error("draw_profile: discipline has no data types");
+  }
+  const std::size_t k =
+      1 + rng.uniform_index(std::min<std::size_t>(3, in_discipline.size()));
+  for (std::size_t pick :
+       rng.sample_without_replacement(in_discipline.size(), k)) {
+    p.types.push_back(in_discipline[pick]);
+  }
+  return p;
+}
+
+}  // namespace
+
+UserPopulation::UserPopulation(const FacilityModel& facility,
+                               const PopulationParams& params,
+                               util::Rng& rng) {
+  if (params.n_users == 0 || params.n_cities == 0) {
+    throw std::invalid_argument("UserPopulation: users and cities must be > 0");
+  }
+
+  // Research hubs: a few universities/consortium cities dominate.
+  static const char* kCityNames[] = {
+      "New Brunswick", "Seattle",      "Woods Hole",  "San Diego",
+      "Corvallis",     "Boulder",      "Pasadena",    "Palisades",
+      "Honolulu",      "Fairbanks",    "Miami",       "Narragansett",
+      "College Station", "Norfolk",    "Ann Arbor",   "Madison",
+      "Austin",        "Tucson",       "Salt Lake City", "Golden",
+      "Socorro",       "Berkeley",     "Stanford",    "Cambridge",
+      "New York",      "Columbus",     "Athens",      "Tallahassee",
+      "Baton Rouge",   "Lincoln",      "Laramie",     "Bozeman",
+      "Moscow",        "Reno",         "Eugene",      "Bellingham",
+      "Arcata",        "Santa Cruz",   "La Jolla",    "Monterey"};
+  const std::size_t n_named = sizeof(kCityNames) / sizeof(kCityNames[0]);
+  for (std::size_t c = 0; c < params.n_cities; ++c) {
+    cities_.push_back(c < n_named ? kCityNames[c]
+                                  : "Town-" + std::to_string(c + 1));
+  }
+
+  // The facility's flagship organization sits in the largest city
+  // (index 0): Rutgers for OOI, University of Washington for GAGE --
+  // matching the organizations Fig. 4 highlights.
+  static const char* kOoiOrgNames[] = {
+      "Rutgers University",       "University of Washington",
+      "WHOI",                     "Scripps Institution",
+      "Oregon State University",  "UNAVCO",
+      "Caltech",                  "Lamont-Doherty",
+      "University of Hawaii",     "University of Alaska",
+      "RSMAS Miami",              "URI GSO",
+      "Texas A&M",                "Old Dominion University",
+      "University of Michigan",   "UW-Madison"};
+  const bool is_gage = facility.name == "GAGE";
+  const std::size_t n_orgs = std::min<std::size_t>(
+      params.n_organizations, sizeof(kOoiOrgNames) / sizeof(kOoiOrgNames[0]));
+  for (std::size_t o = 0; o < n_orgs; ++o) {
+    std::size_t pick = o;
+    if (is_gage && o < 2) pick = 1 - o;  // UW leads for GAGE
+    organizations_.push_back(kOoiOrgNames[pick]);
+  }
+  // Organization o sits in city o (hubs first), so org members share a
+  // city and hence a city profile -- the Fig. 4 clustering.
+  if (n_orgs > params.n_cities) {
+    throw std::invalid_argument("UserPopulation: more organizations than cities");
+  }
+
+  // City sizes follow a Zipf law: a few hubs, a long tail.
+  util::ZipfSampler city_sampler(params.n_cities, params.city_size_zipf);
+
+  // Each city gets a latent research profile that most of its users
+  // adopt (Sec. III.B2: same-city users share query patterns).
+  std::vector<ResearchProfile> city_profiles;
+  city_profiles.reserve(params.n_cities);
+  for (std::size_t c = 0; c < params.n_cities; ++c) {
+    city_profiles.push_back(draw_profile(facility, rng));
+  }
+
+  users_.resize(params.n_users);
+  users_by_city_.assign(params.n_cities, {});
+  for (std::uint32_t u = 0; u < params.n_users; ++u) {
+    UserProfile& user = users_[u];
+    user.city = static_cast<std::uint32_t>(city_sampler.sample(rng));
+    users_by_city_[user.city].push_back(u);
+
+    // Users in an organization's home city mostly belong to it; the
+    // paper could only attribute some IPs to organizations.
+    user.organization = (user.city < n_orgs && rng.bernoulli(0.7))
+                            ? user.city
+                            : UserProfile::kNoOrg;
+
+    if (rng.bernoulli(params.city_profile_adoption)) {
+      const ResearchProfile& cp = city_profiles[user.city];
+      user.preferred_region = cp.region;
+      user.preferred_discipline = cp.discipline;
+      user.preferred_types = cp.types;
+    } else {
+      const ResearchProfile own = draw_profile(facility, rng);
+      user.preferred_region = own.region;
+      user.preferred_discipline = own.discipline;
+      user.preferred_types = own.types;
+    }
+  }
+}
+
+std::vector<std::uint32_t> UserPopulation::members_of(std::uint32_t org) const {
+  std::vector<std::uint32_t> members;
+  for (std::uint32_t u = 0; u < users_.size(); ++u) {
+    if (users_[u].organization == org) members.push_back(u);
+  }
+  return members;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+UserPopulation::same_city_pairs(std::size_t max_neighbors,
+                                util::Rng& rng) const {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (const auto& residents : users_by_city_) {
+    if (residents.size() < 2) continue;
+    for (std::size_t i = 0; i < residents.size(); ++i) {
+      // Connect to up to max_neighbors later residents, sampled to keep
+      // hub cities from producing quadratic edge counts.
+      const std::size_t remaining = residents.size() - i - 1;
+      const std::size_t take = std::min(max_neighbors, remaining);
+      if (take == remaining) {
+        for (std::size_t j = i + 1; j < residents.size(); ++j) {
+          pairs.emplace_back(residents[i], residents[j]);
+        }
+      } else {
+        for (std::size_t pick : rng.sample_without_replacement(remaining, take)) {
+          pairs.emplace_back(residents[i], residents[i + 1 + pick]);
+        }
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+}  // namespace ckat::facility

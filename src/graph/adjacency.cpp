@@ -1,0 +1,55 @@
+#include "graph/adjacency.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace ckat::graph {
+
+Adjacency::Adjacency(std::span<const Triple> triples, std::size_t n_entities,
+                     std::size_t n_relations, bool add_inverse) {
+  n_relations_ = add_inverse ? 2 * n_relations : n_relations;
+  const std::size_t n_edges =
+      add_inverse ? 2 * triples.size() : triples.size();
+  heads_.reserve(n_edges);
+  relations_.reserve(n_edges);
+  tails_.reserve(n_edges);
+
+  for (const Triple& t : triples) {
+    if (t.head >= n_entities || t.tail >= n_entities) {
+      throw std::out_of_range("Adjacency: entity id out of range");
+    }
+    if (t.relation >= n_relations) {
+      throw std::out_of_range("Adjacency: relation id out of range");
+    }
+    heads_.push_back(t.head);
+    relations_.push_back(t.relation);
+    tails_.push_back(t.tail);
+    if (add_inverse) {
+      heads_.push_back(t.tail);
+      relations_.push_back(t.relation + static_cast<std::uint32_t>(n_relations));
+      tails_.push_back(t.head);
+    }
+  }
+
+  // Counting sort by head keeps construction O(E + V) and deterministic.
+  offsets_.assign(n_entities + 1, 0);
+  for (std::uint32_t h : heads_) offsets_[h + 1]++;
+  std::partial_sum(offsets_.begin(), offsets_.end(), offsets_.begin());
+
+  std::vector<std::uint32_t> sorted_heads(heads_.size());
+  std::vector<std::uint32_t> sorted_relations(relations_.size());
+  std::vector<std::uint32_t> sorted_tails(tails_.size());
+  std::vector<std::int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t e = 0; e < heads_.size(); ++e) {
+    const std::int64_t pos = cursor[heads_[e]]++;
+    sorted_heads[pos] = heads_[e];
+    sorted_relations[pos] = relations_[e];
+    sorted_tails[pos] = tails_[e];
+  }
+  heads_ = std::move(sorted_heads);
+  relations_ = std::move(sorted_relations);
+  tails_ = std::move(sorted_tails);
+}
+
+}  // namespace ckat::graph

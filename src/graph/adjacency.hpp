@@ -1,0 +1,58 @@
+// Head-grouped edge arrays for the propagation models.
+//
+// The CKAT propagation (Eq. 3) sums attention-weighted neighbor
+// embeddings per head entity: this layout stores all edges sorted by
+// head with CSR-style offsets, so segment ops (softmax over a head's
+// edges, weighted scatter-add) are contiguous.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/triple_store.hpp"
+
+namespace ckat::graph {
+
+class Adjacency {
+ public:
+  /// Builds edge arrays from triples over `n_entities` entities.
+  /// If `add_inverse` is set, each (h, r, t) also contributes
+  /// (t, inverse(r), h) where inverse(r) = r + n_relations (the paper's
+  /// canonical/inverse relation convention, Sec. IV).
+  Adjacency(std::span<const Triple> triples, std::size_t n_entities,
+            std::size_t n_relations, bool add_inverse);
+
+  [[nodiscard]] std::size_t n_entities() const noexcept { return offsets_.size() - 1; }
+  [[nodiscard]] std::size_t n_edges() const noexcept { return tails_.size(); }
+  /// Relation count after inverse augmentation.
+  [[nodiscard]] std::size_t n_relations() const noexcept { return n_relations_; }
+
+  /// Edge arrays, sorted by head; edge e has head heads()[e] etc.
+  [[nodiscard]] std::span<const std::uint32_t> heads() const noexcept { return heads_; }
+  [[nodiscard]] std::span<const std::uint32_t> relations() const noexcept { return relations_; }
+  [[nodiscard]] std::span<const std::uint32_t> tails() const noexcept { return tails_; }
+
+  /// offsets()[h] .. offsets()[h+1] is the edge range of head h.
+  [[nodiscard]] std::span<const std::int64_t> offsets() const noexcept { return offsets_; }
+
+  /// Out-degree of a head entity.
+  [[nodiscard]] std::size_t degree(std::uint32_t head) const {
+    return static_cast<std::size_t>(offsets_[head + 1] - offsets_[head]);
+  }
+
+  /// Edges of one head as index range [begin, end).
+  [[nodiscard]] std::pair<std::int64_t, std::int64_t> edge_range(
+      std::uint32_t head) const {
+    return {offsets_[head], offsets_[head + 1]};
+  }
+
+ private:
+  std::size_t n_relations_ = 0;
+  std::vector<std::uint32_t> heads_;
+  std::vector<std::uint32_t> relations_;
+  std::vector<std::uint32_t> tails_;
+  std::vector<std::int64_t> offsets_;
+};
+
+}  // namespace ckat::graph

@@ -1,0 +1,109 @@
+#include "graph/ckg.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ckat::graph {
+
+CollaborativeKg::CollaborativeKg(
+    const InteractionSet& train_interactions,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& user_user_pairs,
+    const std::vector<KnowledgeSource>& sources, const CkgOptions& options) {
+  n_users_ = train_interactions.n_users();
+  n_items_ = train_interactions.n_items();
+
+  relations_.intern("interact");  // relation 0 by construction
+
+  const auto base = static_cast<std::uint32_t>(n_users_ + n_items_);
+  auto attribute_entity = [&](const std::string& name) {
+    return base + attributes_.intern(name);
+  };
+
+  // G1: user-item interactions (train only -- test items must remain
+  // unseen by every model, Sec. VI.A).
+  for (const Interaction& x : train_interactions.pairs()) {
+    triples_.push_back(
+        Triple{user_entity(x.user), interact_relation(), item_entity(x.item)});
+  }
+
+  // G3: user-user co-location links, represented with the same
+  // "interact" relation as in the paper.
+  if (options.include_user_user) {
+    for (const auto& [a, b] : user_user_pairs) {
+      if (a >= n_users_ || b >= n_users_) {
+        throw std::out_of_range("CollaborativeKg: user pair out of range");
+      }
+      Triple t{user_entity(a), interact_relation(), user_entity(b)};
+      triples_.push_back(t);
+      knowledge_triples_.push_back(t);
+    }
+  }
+
+  // G2: item-attribute knowledge, selected sources only.
+  const std::unordered_set<std::string> wanted(options.sources.begin(),
+                                               options.sources.end());
+  for (const KnowledgeSource& src : sources) {
+    if (!wanted.count(src.name)) continue;
+    for (const auto& it : src.item_triples) {
+      if (it.item >= n_items_) {
+        throw std::out_of_range("CollaborativeKg: item id out of range in " +
+                                src.name);
+      }
+      Triple t{item_entity(it.item), relations_.intern(it.relation),
+               attribute_entity(it.attribute)};
+      triples_.push_back(t);
+      knowledge_triples_.push_back(t);
+    }
+    for (const auto& at : src.attribute_triples) {
+      Triple t{attribute_entity(at.head), relations_.intern(at.relation),
+               attribute_entity(at.tail)};
+      triples_.push_back(t);
+      knowledge_triples_.push_back(t);
+    }
+  }
+
+  n_entities_ = n_users_ + n_items_ + attributes_.size();
+
+  // Deduplicate (different sources may assert the same fact).
+  auto dedup = [](std::vector<Triple>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  dedup(triples_);
+  dedup(knowledge_triples_);
+}
+
+KgStats CollaborativeKg::stats() const {
+  KgStats s;
+  s.n_entities = n_entities_;
+  s.n_relations = relations_.size();
+  s.n_triples = knowledge_triples_.size();
+
+  std::vector<std::size_t> degree(n_entities_, 0);
+  for (const Triple& t : knowledge_triples_) {
+    degree[t.head]++;
+    degree[t.tail]++;
+  }
+  std::size_t total = 0;
+  for (std::uint32_t v = 0; v < n_items_; ++v) {
+    total += degree[item_entity(v)];
+  }
+  s.avg_links_per_item =
+      n_items_ == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(n_items_);
+  return s;
+}
+
+std::string CollaborativeKg::entity_name(std::uint32_t entity) const {
+  if (entity < n_users_) return "user#" + std::to_string(entity);
+  if (entity < n_users_ + n_items_) {
+    return "item#" + std::to_string(entity - n_users_);
+  }
+  if (entity < n_entities_) {
+    return attributes_.name(entity -
+                            static_cast<std::uint32_t>(n_users_ + n_items_));
+  }
+  throw std::out_of_range("CollaborativeKg::entity_name: id out of range");
+}
+
+}  // namespace ckat::graph

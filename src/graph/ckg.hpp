@@ -1,0 +1,123 @@
+// Collaborative knowledge graph (Sec. IV): the entity-aligned union of
+//   G1  user-item bipartite graph (UIG, train interactions only),
+//   G3  user-user bipartite graph (UUG, same-location users),
+//   G2  item-attribute knowledge graph (IAG), decomposed into named
+//       knowledge sources (LOC, DKG, MD) so Table III's combinations can
+//       be built by selecting subsets.
+//
+// Entity id layout (dense, stable):
+//   [0, n_users)                         users
+//   [n_users, n_users + n_items)         items
+//   [n_users + n_items, n_entities)      attribute entities
+//
+// Relation 0 is always "interact" (covering both user-item and user-user
+// links, as in the paper); knowledge-source relations follow. Inverse
+// relations are materialized by graph::Adjacency, not stored here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/adjacency.hpp"
+#include "graph/interactions.hpp"
+#include "graph/triple_store.hpp"
+
+namespace ckat::graph {
+
+/// One named block of auxiliary knowledge (e.g. instrument location).
+struct KnowledgeSource {
+  std::string name;
+
+  /// (item, relation, attribute-entity) facts, e.g.
+  /// (object #17, "locatedAt", "Axial Base").
+  struct ItemTriple {
+    std::uint32_t item;
+    std::string relation;
+    std::string attribute;
+  };
+
+  /// (attribute, relation, attribute) facts between attribute entities,
+  /// e.g. ("Pressure", "dataDiscipline", "Physical").
+  struct AttributeTriple {
+    std::string head;
+    std::string relation;
+    std::string tail;
+  };
+
+  std::vector<ItemTriple> item_triples;
+  std::vector<AttributeTriple> attribute_triples;
+};
+
+/// Selection of what goes into the CKG (Table III rows).
+struct CkgOptions {
+  bool include_user_user = true;
+  std::vector<std::string> sources;  // names of KnowledgeSources to include
+};
+
+class CollaborativeKg {
+ public:
+  /// Builds the CKG from train interactions, user co-location pairs and
+  /// the selected knowledge sources.
+  CollaborativeKg(const InteractionSet& train_interactions,
+                  const std::vector<std::pair<std::uint32_t, std::uint32_t>>&
+                      user_user_pairs,
+                  const std::vector<KnowledgeSource>& sources,
+                  const CkgOptions& options);
+
+  [[nodiscard]] std::size_t n_users() const noexcept { return n_users_; }
+  [[nodiscard]] std::size_t n_items() const noexcept { return n_items_; }
+  [[nodiscard]] std::size_t n_entities() const noexcept { return n_entities_; }
+  /// Canonical relation count (without inverses); >= 1 ("interact").
+  [[nodiscard]] std::size_t n_relations() const noexcept {
+    return relations_.size();
+  }
+
+  [[nodiscard]] std::uint32_t user_entity(std::uint32_t user) const {
+    return user;
+  }
+  [[nodiscard]] std::uint32_t item_entity(std::uint32_t item) const {
+    return static_cast<std::uint32_t>(n_users_) + item;
+  }
+  [[nodiscard]] static constexpr std::uint32_t interact_relation() {
+    return 0;
+  }
+
+  [[nodiscard]] const Vocab& relations() const noexcept { return relations_; }
+
+  /// All canonical-direction triples (interact + knowledge).
+  [[nodiscard]] const std::vector<Triple>& triples() const noexcept {
+    return triples_;
+  }
+  /// Knowledge triples only (UUG + IAG), for Table I statistics and
+  /// TransR training on the KG part.
+  [[nodiscard]] const std::vector<Triple>& knowledge_triples() const noexcept {
+    return knowledge_triples_;
+  }
+
+  /// Full adjacency over all triples, inverse relations added.
+  [[nodiscard]] Adjacency build_adjacency() const {
+    return Adjacency(triples_, n_entities_, relations_.size(),
+                     /*add_inverse=*/true);
+  }
+
+  /// Table I row: entities, canonical relations, knowledge triples, and
+  /// average knowledge links per item.
+  [[nodiscard]] KgStats stats() const;
+
+  /// Name of attribute entity id (for debugging/examples); users/items
+  /// get synthesized names.
+  [[nodiscard]] std::string entity_name(std::uint32_t entity) const;
+
+ private:
+  std::size_t n_users_ = 0;
+  std::size_t n_items_ = 0;
+  std::size_t n_entities_ = 0;
+  Vocab relations_;
+  Vocab attributes_;  // attribute entities, ids offset by n_users + n_items
+  std::vector<Triple> triples_;
+  std::vector<Triple> knowledge_triples_;
+};
+
+}  // namespace ckat::graph

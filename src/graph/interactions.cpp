@@ -1,0 +1,81 @@
+#include "graph/interactions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ckat::graph {
+
+void InteractionSet::add(std::uint32_t user, std::uint32_t item) {
+  if (user >= n_users_) {
+    throw std::out_of_range("InteractionSet::add: user out of range");
+  }
+  if (item >= n_items_) {
+    throw std::out_of_range("InteractionSet::add: item out of range");
+  }
+  by_user_[user].push_back(item);
+  finalized_ = false;
+}
+
+void InteractionSet::finalize() {
+  pairs_.clear();
+  for (std::uint32_t u = 0; u < n_users_; ++u) {
+    auto& items = by_user_[u];
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    for (std::uint32_t item : items) pairs_.push_back(Interaction{u, item});
+  }
+  finalized_ = true;
+}
+
+bool InteractionSet::contains(std::uint32_t user, std::uint32_t item) const {
+  const auto& items = by_user_.at(user);
+  if (finalized_) {
+    return std::binary_search(items.begin(), items.end(), item);
+  }
+  return std::find(items.begin(), items.end(), item) != items.end();
+}
+
+std::uint32_t InteractionSet::sample_negative(std::uint32_t user,
+                                              util::Rng& rng) const {
+  if (!finalized_) {
+    throw std::logic_error("sample_negative: finalize() the set first");
+  }
+  const auto& positives = by_user_.at(user);
+  if (positives.size() >= n_items_) {
+    throw std::logic_error("sample_negative: user interacted with every item");
+  }
+  // Rejection sampling; positives are a small fraction of the catalog.
+  for (;;) {
+    const auto candidate =
+        static_cast<std::uint32_t>(rng.uniform_index(n_items_));
+    if (!std::binary_search(positives.begin(), positives.end(), candidate)) {
+      return candidate;
+    }
+  }
+}
+
+InteractionSplit split_interactions(const InteractionSet& all,
+                                    double train_fraction, util::Rng& rng) {
+  if (train_fraction <= 0.0 || train_fraction > 1.0) {
+    throw std::invalid_argument("split_interactions: fraction in (0,1]");
+  }
+  InteractionSplit split(all.n_users(), all.n_items());
+  for (std::uint32_t u = 0; u < all.n_users(); ++u) {
+    auto items_span = all.items_of(u);
+    std::vector<std::uint32_t> items(items_span.begin(), items_span.end());
+    rng.shuffle(items);
+    // ceil so every active user keeps at least one training item.
+    const auto n_train = static_cast<std::size_t>(
+        std::max<double>(1.0, std::ceil(train_fraction *
+                                        static_cast<double>(items.size()))));
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      (i < n_train ? split.train : split.test).add(u, items[i]);
+    }
+  }
+  split.train.finalize();
+  split.test.finalize();
+  return split;
+}
+
+}  // namespace ckat::graph

@@ -1,0 +1,73 @@
+// User-item interaction data: the user-item bipartite graph G1 of
+// Sec. IV, split into train and test sets (80/20 per user, Sec. VI.A),
+// plus negative sampling support for BPR training.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ckat::graph {
+
+struct Interaction {
+  std::uint32_t user = 0;
+  std::uint32_t item = 0;
+};
+
+class InteractionSet {
+ public:
+  InteractionSet(std::size_t n_users, std::size_t n_items)
+      : n_users_(n_users), n_items_(n_items), by_user_(n_users) {}
+
+  void add(std::uint32_t user, std::uint32_t item);
+
+  [[nodiscard]] std::size_t n_users() const noexcept { return n_users_; }
+  [[nodiscard]] std::size_t n_items() const noexcept { return n_items_; }
+  [[nodiscard]] std::size_t size() const noexcept { return pairs_.size(); }
+
+  [[nodiscard]] std::span<const Interaction> pairs() const noexcept {
+    return pairs_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> items_of(
+      std::uint32_t user) const {
+    return by_user_.at(user);
+  }
+
+  /// Sorts each user's item list and removes duplicates (both in the
+  /// per-user lists and in the flat pair list).
+  void finalize();
+
+  [[nodiscard]] bool contains(std::uint32_t user, std::uint32_t item) const;
+
+  /// Uniformly samples an item the user has NOT interacted with.
+  /// Requires the set to be finalized and the user to have at least one
+  /// non-interacted item.
+  [[nodiscard]] std::uint32_t sample_negative(std::uint32_t user,
+                                              util::Rng& rng) const;
+
+ private:
+  std::size_t n_users_;
+  std::size_t n_items_;
+  std::vector<Interaction> pairs_;
+  std::vector<std::vector<std::uint32_t>> by_user_;
+  bool finalized_ = false;
+};
+
+/// Train/test split of one facility's interactions.
+struct InteractionSplit {
+  InteractionSplit(std::size_t n_users, std::size_t n_items)
+      : train(n_users, n_items), test(n_users, n_items) {}
+
+  InteractionSet train;
+  InteractionSet test;
+};
+
+/// Randomly assigns `train_fraction` of each user's items to the train
+/// set and the rest to test (per-user split, Sec. VI.A). Users with a
+/// single item keep it in train.
+InteractionSplit split_interactions(const InteractionSet& all,
+                                    double train_fraction, util::Rng& rng);
+
+}  // namespace ckat::graph

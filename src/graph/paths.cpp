@@ -1,0 +1,120 @@
+#include "graph/paths.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ckat::graph {
+
+namespace {
+
+struct SearchState {
+  const CollaborativeKg& ckg;
+  const Adjacency& adjacency;
+  const PathSearchOptions& options;
+  std::uint32_t target;
+  std::size_t exact_depth = 0;  // only record paths of this length
+  std::vector<KgPath> found;
+  std::vector<std::uint8_t> on_path;
+  KgPath current;
+  std::size_t expansions = 0;
+
+  SearchState(const CollaborativeKg& g, const Adjacency& adj,
+              const PathSearchOptions& opt, std::uint32_t tgt)
+      : ckg(g),
+        adjacency(adj),
+        options(opt),
+        target(tgt),
+        on_path(g.n_entities(), 0) {}
+
+  /// Depth-limited DFS; with iterative deepening from the caller this
+  /// yields shortest paths first.
+  void dfs(std::uint32_t node, std::size_t remaining_hops) {
+    if (found.size() >= options.max_paths ||
+        expansions >= options.max_expansions) {
+      return;
+    }
+    if (node == target && !current.steps.empty()) {
+      if (current.steps.size() == exact_depth) found.push_back(current);
+      return;  // simple paths cannot re-leave the target
+    }
+    if (remaining_hops == 0) return;
+
+    const auto [begin, end] = adjacency.edge_range(node);
+    for (std::int64_t e = begin; e < end; ++e) {
+      ++expansions;
+      if (expansions >= options.max_expansions) return;
+      const std::uint32_t next = adjacency.tails()[e];
+      if (on_path[next]) continue;
+      const std::uint32_t relation_with_inverse = adjacency.relations()[e];
+      const bool inverse = relation_with_inverse >= ckg.n_relations();
+      const std::uint32_t relation =
+          inverse ? relation_with_inverse -
+                        static_cast<std::uint32_t>(ckg.n_relations())
+                  : relation_with_inverse;
+
+      // Optionally allow interact edges only as the first hop (the
+      // user's own history); everything after must be knowledge, so the
+      // path reads like Fig. 1's attribute chain.
+      if (options.knowledge_intermediate_only &&
+          relation == CollaborativeKg::interact_relation() &&
+          !current.steps.empty()) {
+        continue;
+      }
+
+      on_path[next] = 1;
+      current.steps.push_back(PathStep{relation, inverse, next});
+      dfs(next, remaining_hops - 1);
+      current.steps.pop_back();
+      on_path[next] = 0;
+      if (found.size() >= options.max_paths) return;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<KgPath> find_paths(const CollaborativeKg& ckg,
+                               std::uint32_t source, std::uint32_t target,
+                               const PathSearchOptions& options) {
+  if (source >= ckg.n_entities() || target >= ckg.n_entities()) {
+    throw std::out_of_range("find_paths: entity id out of range");
+  }
+  if (options.max_hops == 0 || options.max_paths == 0) {
+    return {};
+  }
+
+  const Adjacency adjacency = ckg.build_adjacency();
+  std::vector<KgPath> all;
+  // Iterative deepening: collect paths of exactly `depth` hops so
+  // shorter explanations come first; dedup against already-found paths
+  // is implicit (a path of length L is only found at depth L).
+  for (std::size_t depth = 1;
+       depth <= options.max_hops && all.size() < options.max_paths; ++depth) {
+    SearchState state(ckg, adjacency, options, target);
+    state.exact_depth = depth;
+    state.current.start = source;
+    state.on_path[source] = 1;
+    state.dfs(source, depth);
+    for (const KgPath& path : state.found) {
+      if (all.size() >= options.max_paths) break;
+      all.push_back(path);
+    }
+  }
+  return all;
+}
+
+std::string format_path(const CollaborativeKg& ckg, const KgPath& path) {
+  std::string out = ckg.entity_name(path.start);
+  for (const PathStep& step : path.steps) {
+    const std::string& relation = ckg.relations().name(step.relation);
+    if (step.inverse) {
+      out += " <-" + relation + "- ";
+    } else {
+      out += " -" + relation + "-> ";
+    }
+    out += ckg.entity_name(step.entity);
+  }
+  return out;
+}
+
+}  // namespace ckat::graph

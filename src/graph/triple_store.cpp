@@ -1,0 +1,94 @@
+#include "graph/triple_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ckat::graph {
+
+namespace {
+struct TripleHash {
+  std::size_t operator()(const Triple& t) const noexcept {
+    std::size_t h = t.head;
+    h = h * 1000003u ^ t.relation;
+    h = h * 1000003u ^ t.tail;
+    return h;
+  }
+};
+}  // namespace
+
+void TripleStore::add(const std::string& head, const std::string& relation,
+                      const std::string& tail) {
+  triples_.push_back(Triple{entities_.intern(head), relations_.intern(relation),
+                            entities_.intern(tail)});
+}
+
+void TripleStore::add(std::uint32_t head, std::uint32_t relation,
+                      std::uint32_t tail) {
+  if (head >= entities_.size() || tail >= entities_.size()) {
+    throw std::out_of_range("TripleStore::add: entity id out of range");
+  }
+  if (relation >= relations_.size()) {
+    throw std::out_of_range("TripleStore::add: relation id out of range");
+  }
+  triples_.push_back(Triple{head, relation, tail});
+}
+
+void TripleStore::deduplicate() {
+  std::unordered_set<Triple, TripleHash> seen;
+  std::vector<Triple> unique;
+  unique.reserve(triples_.size());
+  for (const Triple& t : triples_) {
+    if (seen.insert(t).second) unique.push_back(t);
+  }
+  triples_ = std::move(unique);
+}
+
+KgStats TripleStore::stats(std::span<const std::uint32_t> items) const {
+  KgStats s;
+  s.n_entities = entities_.size();
+  s.n_relations = relations_.size();
+  s.n_triples = triples_.size();
+
+  if (items.empty()) {
+    if (!entities_.names().empty()) {
+      s.avg_links_per_item = static_cast<double>(2 * triples_.size()) /
+                             static_cast<double>(entities_.size());
+    }
+    return s;
+  }
+
+  std::vector<std::size_t> degree(entities_.size(), 0);
+  for (const Triple& t : triples_) {
+    degree[t.head]++;
+    degree[t.tail]++;
+  }
+  std::size_t total = 0;
+  for (std::uint32_t item : items) {
+    if (item >= degree.size()) {
+      throw std::out_of_range("TripleStore::stats: item id out of range");
+    }
+    total += degree[item];
+  }
+  s.avg_links_per_item =
+      items.empty() ? 0.0
+                    : static_cast<double>(total) / static_cast<double>(items.size());
+  return s;
+}
+
+void TripleStore::merge(const TripleStore& other) {
+  std::vector<std::uint32_t> entity_map(other.entities().size());
+  for (std::uint32_t i = 0; i < other.entities().size(); ++i) {
+    entity_map[i] = entities_.intern(other.entities().name(i));
+  }
+  std::vector<std::uint32_t> relation_map(other.relations().size());
+  for (std::uint32_t i = 0; i < other.relations().size(); ++i) {
+    relation_map[i] = relations_.intern(other.relations().name(i));
+  }
+  for (const Triple& t : other.triples()) {
+    triples_.push_back(Triple{entity_map[t.head], relation_map[t.relation],
+                              entity_map[t.tail]});
+  }
+}
+
+}  // namespace ckat::graph

@@ -1,0 +1,68 @@
+// Knowledge-graph triple storage: G2 = {(h, r, t)} with entity and
+// relation vocabularies (Sec. IV, "Item-attribute graph").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/vocab.hpp"
+
+namespace ckat::graph {
+
+struct Triple {
+  std::uint32_t head = 0;
+  std::uint32_t relation = 0;
+  std::uint32_t tail = 0;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+  friend auto operator<=>(const Triple&, const Triple&) = default;
+};
+
+/// Statistics row of Table I.
+struct KgStats {
+  std::size_t n_entities = 0;
+  std::size_t n_relations = 0;
+  std::size_t n_triples = 0;
+  double avg_links_per_item = 0.0;
+};
+
+class TripleStore {
+ public:
+  /// Adds a triple by name, interning entities and the relation.
+  void add(const std::string& head, const std::string& relation,
+           const std::string& tail);
+
+  /// Adds a triple by pre-interned ids (ids must already exist).
+  void add(std::uint32_t head, std::uint32_t relation, std::uint32_t tail);
+
+  /// Removes exact duplicate triples (stable order of first occurrence).
+  void deduplicate();
+
+  [[nodiscard]] const std::vector<Triple>& triples() const noexcept {
+    return triples_;
+  }
+  [[nodiscard]] Vocab& entities() noexcept { return entities_; }
+  [[nodiscard]] const Vocab& entities() const noexcept { return entities_; }
+  [[nodiscard]] Vocab& relations() noexcept { return relations_; }
+  [[nodiscard]] const Vocab& relations() const noexcept { return relations_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return triples_.size(); }
+
+  /// Computes Table I statistics. `items` restricts the link-average
+  /// denominator to item entities (pass the item id range used by the
+  /// caller); if empty, averages over all entities.
+  [[nodiscard]] KgStats stats(std::span<const std::uint32_t> items = {}) const;
+
+  /// Appends all triples of another store, remapping its vocabularies
+  /// into this store's (entity alignment by name).
+  void merge(const TripleStore& other);
+
+ private:
+  Vocab entities_;
+  Vocab relations_;
+  std::vector<Triple> triples_;
+};
+
+}  // namespace ckat::graph

@@ -1,0 +1,40 @@
+#include "graph/vocab.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace ckat::graph {
+
+std::uint32_t Vocab::intern(const std::string& name) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const auto new_id = static_cast<std::uint32_t>(names_.size());
+  index_.emplace(name, new_id);
+  names_.push_back(name);
+  return new_id;
+}
+
+std::uint32_t Vocab::id(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    throw std::out_of_range("Vocab: unknown name '" + name + "'");
+  }
+  return it->second;
+}
+
+std::uint32_t Vocab::find(const std::string& name) const noexcept {
+  const auto it = index_.find(name);
+  return it == index_.end() ? std::numeric_limits<std::uint32_t>::max()
+                            : it->second;
+}
+
+const std::string& Vocab::name(std::uint32_t id) const {
+  if (id >= names_.size()) throw std::out_of_range("Vocab: id out of range");
+  return names_[id];
+}
+
+bool Vocab::contains(const std::string& name) const noexcept {
+  return index_.count(name) > 0;
+}
+
+}  // namespace ckat::graph

@@ -1,0 +1,38 @@
+// Bidirectional string <-> dense-id vocabulary, used for entities and
+// relations in the knowledge graph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ckat::graph {
+
+class Vocab {
+ public:
+  /// Returns the id for `name`, inserting it if new.
+  std::uint32_t intern(const std::string& name);
+
+  /// Returns the id for `name` or throws std::out_of_range.
+  [[nodiscard]] std::uint32_t id(const std::string& name) const;
+
+  /// Returns the id for `name` or UINT32_MAX if absent.
+  [[nodiscard]] std::uint32_t find(const std::string& name) const noexcept;
+
+  [[nodiscard]] const std::string& name(std::uint32_t id) const;
+
+  [[nodiscard]] bool contains(const std::string& name) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+
+  [[nodiscard]] const std::vector<std::string>& names() const noexcept {
+    return names_;
+  }
+
+ private:
+  std::unordered_map<std::string, std::uint32_t> index_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace ckat::graph

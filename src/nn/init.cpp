@@ -1,0 +1,30 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace ckat::nn {
+
+void xavier_uniform(Tensor& t, util::Rng& rng) {
+  const double fan_sum = static_cast<double>(t.rows() + t.cols());
+  const double limit = std::sqrt(6.0 / fan_sum);
+  uniform_init(t, rng, -limit, limit);
+}
+
+void xavier_normal(Tensor& t, util::Rng& rng) {
+  const double fan_sum = static_cast<double>(t.rows() + t.cols());
+  normal_init(t, rng, std::sqrt(2.0 / fan_sum));
+}
+
+void normal_init(Tensor& t, util::Rng& rng, double stddev) {
+  for (float& v : t.flat()) {
+    v = static_cast<float>(rng.gaussian(0.0, stddev));
+  }
+}
+
+void uniform_init(Tensor& t, util::Rng& rng, double lo, double hi) {
+  for (float& v : t.flat()) {
+    v = static_cast<float>(rng.uniform(lo, hi));
+  }
+}
+
+}  // namespace ckat::nn

@@ -1,0 +1,22 @@
+// Weight initializers. The paper uses the Xavier initializer for all
+// model parameters (Sec. VI.D).
+#pragma once
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace ckat::nn {
+
+/// Xavier/Glorot uniform: U(-sqrt(6/(fan_in+fan_out)), +...).
+void xavier_uniform(Tensor& t, util::Rng& rng);
+
+/// Xavier/Glorot normal: N(0, 2/(fan_in+fan_out)).
+void xavier_normal(Tensor& t, util::Rng& rng);
+
+/// Plain scaled normal N(0, stddev^2).
+void normal_init(Tensor& t, util::Rng& rng, double stddev);
+
+/// Uniform in [lo, hi).
+void uniform_init(Tensor& t, util::Rng& rng, double lo, double hi);
+
+}  // namespace ckat::nn

@@ -1,0 +1,204 @@
+#include "nn/kernels.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace ckat::nn {
+
+namespace {
+void check_gemm_shapes(std::size_t am, std::size_t ak, std::size_t bk,
+                       std::size_t bn, const Tensor& out, const char* name) {
+  if (ak != bk) {
+    throw std::invalid_argument(std::string(name) + ": inner dim mismatch");
+  }
+  if (out.rows() != am || out.cols() != bn) {
+    throw std::invalid_argument(std::string(name) + ": output shape mismatch");
+  }
+}
+}  // namespace
+
+void gemm(const Tensor& a, const Tensor& b, Tensor& out, float alpha,
+          bool accumulate) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  check_gemm_shapes(m, k, b.rows(), n, out, "gemm");
+  if (!accumulate) out.zero();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+#pragma omp parallel for schedule(static) if (m * n * k > 16384)
+  for (std::size_t i = 0; i < m; ++i) {
+    float* orow = po + i * n;
+    const float* arow = pa + i * k;
+    // i-k-j loop order streams B rows; the j-loop vectorizes.
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = alpha * arow[kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+
+void gemm_nt(const Tensor& a, const Tensor& b, Tensor& out, float alpha,
+             bool accumulate) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  check_gemm_shapes(m, k, b.cols(), n, out, "gemm_nt");
+  if (!accumulate) out.zero();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+#pragma omp parallel for schedule(static) if (m * n * k > 16384)
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* orow = po + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      orow[j] += alpha * acc;
+    }
+  }
+}
+
+void gemm_tn(const Tensor& a, const Tensor& b, Tensor& out, float alpha,
+             bool accumulate) {
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  check_gemm_shapes(m, k, b.rows(), n, out, "gemm_tn");
+  if (!accumulate) out.zero();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // Serial over k with rank-1 updates; rows of out are touched by every
+  // k-step, so parallelism here goes over output rows via chunking m.
+#pragma omp parallel for schedule(static) if (m * n * k > 16384)
+  for (std::size_t i = 0; i < m; ++i) {
+    float* orow = po + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aki = alpha * pa[kk * m + i];
+      if (aki == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += aki * brow[j];
+    }
+  }
+}
+
+void axpy(float alpha, const Tensor& x, Tensor& y) {
+  if (!x.same_shape(y)) throw std::invalid_argument("axpy: shape mismatch");
+  const float* px = x.data();
+  float* py = y.data();
+  const std::size_t n = x.size();
+#pragma omp parallel for schedule(static) if (n > 65536)
+  for (std::size_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  CsrMatrix t;
+  t.n_rows = n_cols;
+  t.n_cols = n_rows;
+  t.row_offsets.assign(n_cols + 1, 0);
+  t.col_indices.resize(nnz());
+  t.values.resize(nnz());
+  for (std::uint32_t c : col_indices) t.row_offsets[c + 1]++;
+  std::partial_sum(t.row_offsets.begin(), t.row_offsets.end(),
+                   t.row_offsets.begin());
+  std::vector<std::int64_t> cursor(t.row_offsets.begin(),
+                                   t.row_offsets.end() - 1);
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    for (std::int64_t k = row_offsets[r]; k < row_offsets[r + 1]; ++k) {
+      const std::uint32_t c = col_indices[k];
+      const std::int64_t pos = cursor[c]++;
+      t.col_indices[pos] = static_cast<std::uint32_t>(r);
+      t.values[pos] = values[k];
+    }
+  }
+  return t;
+}
+
+void CsrMatrix::validate() const {
+  if (row_offsets.size() != n_rows + 1) {
+    throw std::invalid_argument("CsrMatrix: row_offsets size mismatch");
+  }
+  if (row_offsets.front() != 0 ||
+      row_offsets.back() != static_cast<std::int64_t>(nnz())) {
+    throw std::invalid_argument("CsrMatrix: row_offsets endpoints invalid");
+  }
+  if (col_indices.size() != values.size()) {
+    throw std::invalid_argument("CsrMatrix: col/value size mismatch");
+  }
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    if (row_offsets[r] > row_offsets[r + 1]) {
+      throw std::invalid_argument("CsrMatrix: row_offsets not monotone");
+    }
+  }
+  for (std::uint32_t c : col_indices) {
+    if (c >= n_cols) throw std::invalid_argument("CsrMatrix: col out of range");
+  }
+}
+
+CsrMatrix csr_from_coo(std::size_t n_rows, std::size_t n_cols,
+                       std::span<const std::uint32_t> rows,
+                       std::span<const std::uint32_t> cols,
+                       std::span<const float> values) {
+  if (rows.size() != cols.size() || rows.size() != values.size()) {
+    throw std::invalid_argument("csr_from_coo: triplet arrays differ in size");
+  }
+  const std::size_t nnz = rows.size();
+  std::vector<std::size_t> order(nnz);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    if (rows[x] != rows[y]) return rows[x] < rows[y];
+    return cols[x] < cols[y];
+  });
+
+  CsrMatrix m;
+  m.n_rows = n_rows;
+  m.n_cols = n_cols;
+  m.col_indices.reserve(nnz);
+  m.values.reserve(nnz);
+  std::vector<std::uint32_t> kept_rows;
+  kept_rows.reserve(nnz);
+  for (std::size_t idx : order) {
+    if (rows[idx] >= n_rows || cols[idx] >= n_cols) {
+      throw std::invalid_argument("csr_from_coo: index out of range");
+    }
+    if (!kept_rows.empty() && kept_rows.back() == rows[idx] &&
+        m.col_indices.back() == cols[idx]) {
+      m.values.back() += values[idx];  // merge duplicate (row, col)
+      continue;
+    }
+    kept_rows.push_back(rows[idx]);
+    m.col_indices.push_back(cols[idx]);
+    m.values.push_back(values[idx]);
+  }
+  m.row_offsets.assign(n_rows + 1, 0);
+  for (std::uint32_t r : kept_rows) m.row_offsets[r + 1]++;
+  std::partial_sum(m.row_offsets.begin(), m.row_offsets.end(),
+                   m.row_offsets.begin());
+  m.validate();
+  return m;
+}
+
+void spmm(const CsrMatrix& a, const Tensor& x, Tensor& out, bool accumulate) {
+  if (x.rows() != a.n_cols) {
+    throw std::invalid_argument("spmm: X rows must equal A cols");
+  }
+  if (out.rows() != a.n_rows || out.cols() != x.cols()) {
+    throw std::invalid_argument("spmm: output shape mismatch");
+  }
+  if (!accumulate) out.zero();
+  const std::size_t d = x.cols();
+  const float* px = x.data();
+  float* po = out.data();
+#pragma omp parallel for schedule(dynamic, 64) if (a.nnz() * d > 65536)
+  for (std::size_t r = 0; r < a.n_rows; ++r) {
+    float* orow = po + r * d;
+    for (std::int64_t k = a.row_offsets[r]; k < a.row_offsets[r + 1]; ++k) {
+      const float v = a.values[k];
+      const float* xrow = px + static_cast<std::size_t>(a.col_indices[k]) * d;
+      for (std::size_t j = 0; j < d; ++j) orow[j] += v * xrow[j];
+    }
+  }
+}
+
+}  // namespace ckat::nn

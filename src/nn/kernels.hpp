@@ -1,0 +1,59 @@
+// Numeric kernels shared by forward and backward passes. All kernels are
+// OpenMP-parallel over rows where the work justifies it; on a single core
+// they degrade to clean serial loops.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace ckat::nn {
+
+/// out (+)= alpha * A @ B.  A: (m,k), B: (k,n), out: (m,n).
+/// If accumulate is false, out is overwritten.
+void gemm(const Tensor& a, const Tensor& b, Tensor& out, float alpha = 1.0f,
+          bool accumulate = false);
+
+/// out (+)= alpha * A @ B^T.  A: (m,k), B: (n,k), out: (m,n).
+void gemm_nt(const Tensor& a, const Tensor& b, Tensor& out,
+             float alpha = 1.0f, bool accumulate = false);
+
+/// out (+)= alpha * A^T @ B.  A: (k,m), B: (k,n), out: (m,n).
+void gemm_tn(const Tensor& a, const Tensor& b, Tensor& out,
+             float alpha = 1.0f, bool accumulate = false);
+
+/// y += alpha * x (shapes must match).
+void axpy(float alpha, const Tensor& x, Tensor& y);
+
+/// Compressed sparse row matrix with float coefficients. Used for the
+/// attention-weighted propagation (A_att @ E) in CKAT and for uniform
+/// neighborhood averaging in the no-attention ablation.
+struct CsrMatrix {
+  std::size_t n_rows = 0;
+  std::size_t n_cols = 0;
+  std::vector<std::int64_t> row_offsets;  // size n_rows + 1
+  std::vector<std::uint32_t> col_indices;
+  std::vector<float> values;
+
+  [[nodiscard]] std::size_t nnz() const noexcept { return values.size(); }
+
+  /// Builds the transpose (needed for the backward pass of spmm).
+  [[nodiscard]] CsrMatrix transposed() const;
+
+  /// Validates internal invariants; throws std::invalid_argument.
+  void validate() const;
+};
+
+/// Builds a CSR matrix from unsorted COO triplets. Duplicate (row,col)
+/// entries are summed.
+CsrMatrix csr_from_coo(std::size_t n_rows, std::size_t n_cols,
+                       std::span<const std::uint32_t> rows,
+                       std::span<const std::uint32_t> cols,
+                       std::span<const float> values);
+
+/// out (+)= A @ X where A is sparse (n_rows, n_cols) and X is (n_cols, d).
+void spmm(const CsrMatrix& a, const Tensor& x, Tensor& out,
+          bool accumulate = false);
+
+}  // namespace ckat::nn

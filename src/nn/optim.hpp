@@ -1,0 +1,52 @@
+// Optimizers. Adam (Kingma & Ba 2014) is the paper's optimizer for all
+// models (Sec. VI.D); SGD is provided for tests and ablations.
+//
+// Embedding parameters whose gradients came only from gathers are
+// updated sparsely: only the touched rows pay the moment update, with
+// global-step bias correction (the "SparseAdam" convention).
+#pragma once
+
+#include "nn/parameter.hpp"
+
+namespace ckat::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients accumulated in the store,
+  /// then clears them.
+  virtual void step(ParamStore& params) = 0;
+};
+
+class SgdOptimizer final : public Optimizer {
+ public:
+  explicit SgdOptimizer(float lr) : lr_(lr) {}
+  void step(ParamStore& params) override;
+
+  [[nodiscard]] float learning_rate() const noexcept { return lr_; }
+
+ private:
+  float lr_;
+};
+
+class AdamOptimizer final : public Optimizer {
+ public:
+  explicit AdamOptimizer(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                         float eps = 1e-8f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  void step(ParamStore& params) override;
+
+  [[nodiscard]] float learning_rate() const noexcept { return lr_; }
+  [[nodiscard]] long step_count() const noexcept { return t_; }
+
+ private:
+  void update_row(Parameter& p, std::size_t row, float bias_correction1,
+                  float bias_correction2);
+
+  float lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+};
+
+}  // namespace ckat::nn

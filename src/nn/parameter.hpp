@@ -1,0 +1,117 @@
+// Trainable parameters and the per-model parameter store.
+//
+// A Parameter owns its value, its gradient accumulator and the optimizer
+// moment buffers. Embedding tables are updated sparsely: ops that gather
+// rows record which rows they touched so the optimizer only pays for
+// those rows (PyTorch "SparseAdam" semantics: global-step bias
+// correction, lazy moment updates).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace ckat::nn {
+
+class Parameter {
+ public:
+  Parameter(std::string name, std::size_t rows, std::size_t cols)
+      : name_(std::move(name)), value_(rows, cols), grad_(rows, cols) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  [[nodiscard]] Tensor& value() noexcept { return value_; }
+  [[nodiscard]] const Tensor& value() const noexcept { return value_; }
+
+  [[nodiscard]] Tensor& grad() noexcept { return grad_; }
+  [[nodiscard]] const Tensor& grad() const noexcept { return grad_; }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return value_.rows(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return value_.cols(); }
+
+  /// Marks a row as touched by a sparse (gather) gradient. Dense ops call
+  /// mark_dense() instead.
+  void mark_row(std::uint32_t row) {
+    if (dense_grad_) return;
+    if (row_touched_.empty()) row_touched_.assign(rows(), 0);
+    if (!row_touched_[row]) {
+      row_touched_[row] = 1;
+      touched_rows_.push_back(row);
+    }
+  }
+
+  /// Marks the whole tensor as having a dense gradient this step.
+  void mark_dense() noexcept { dense_grad_ = true; }
+
+  [[nodiscard]] bool has_dense_grad() const noexcept { return dense_grad_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& touched_rows() const noexcept {
+    return touched_rows_;
+  }
+  [[nodiscard]] bool has_any_grad() const noexcept {
+    return dense_grad_ || !touched_rows_.empty();
+  }
+
+  /// Clears gradients (only touched regions, so this is O(touched)).
+  void zero_grad() noexcept {
+    if (dense_grad_) {
+      grad_.zero();
+    } else {
+      for (std::uint32_t r : touched_rows_) {
+        auto row = grad_.row(r);
+        std::fill(row.begin(), row.end(), 0.0f);
+        row_touched_[r] = 0;
+      }
+    }
+    touched_rows_.clear();
+    dense_grad_ = false;
+  }
+
+  /// Optimizer scratch (moment buffers), managed by the optimizer.
+  Tensor opt_m;
+  Tensor opt_v;
+
+ private:
+  std::string name_;
+  Tensor value_;
+  Tensor grad_;
+  std::vector<std::uint32_t> touched_rows_;
+  std::vector<std::uint8_t> row_touched_;
+  bool dense_grad_ = false;
+};
+
+/// Owns all parameters of one model; iteration order is creation order,
+/// which keeps optimizer behaviour deterministic.
+class ParamStore {
+ public:
+  Parameter& create(const std::string& name, std::size_t rows,
+                    std::size_t cols) {
+    params_.push_back(std::make_unique<Parameter>(name, rows, cols));
+    return *params_.back();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return params_.size(); }
+  Parameter& at(std::size_t i) { return *params_[i]; }
+  [[nodiscard]] const Parameter& at(std::size_t i) const { return *params_[i]; }
+
+  auto begin() { return params_.begin(); }
+  auto end() { return params_.end(); }
+
+  void zero_grad() {
+    for (auto& p : params_) p->zero_grad();
+  }
+
+  /// Total number of scalar parameters (for model summaries).
+  [[nodiscard]] std::size_t parameter_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& p : params_) n += p->value().size();
+    return n;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Parameter>> params_;
+};
+
+}  // namespace ckat::nn

@@ -1,0 +1,97 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace ckat::nn {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'K', 'A', 'T', 'P', 'A', 'R', '1'};
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in, const char* context) {
+  T value;
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) {
+    throw std::runtime_error(std::string("load_parameters: truncated file (") +
+                             context + ")");
+  }
+  return value;
+}
+
+}  // namespace
+
+void save_parameters(const ParamStore& store, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("save_parameters: cannot open " + path);
+  }
+  out.write(kMagic, sizeof(kMagic));
+  write_pod<std::uint64_t>(out, store.size());
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    const Parameter& p = store.at(i);
+    write_pod<std::uint32_t>(out,
+                             static_cast<std::uint32_t>(p.name().size()));
+    out.write(p.name().data(),
+              static_cast<std::streamsize>(p.name().size()));
+    write_pod<std::uint64_t>(out, p.rows());
+    write_pod<std::uint64_t>(out, p.cols());
+    out.write(reinterpret_cast<const char*>(p.value().data()),
+              static_cast<std::streamsize>(p.value().size() * sizeof(float)));
+  }
+  if (!out) {
+    throw std::runtime_error("save_parameters: write failed for " + path);
+  }
+}
+
+void load_parameters(ParamStore& store, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("load_parameters: cannot open " + path);
+  }
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_parameters: bad magic in " + path);
+  }
+  const auto count = read_pod<std::uint64_t>(in, "count");
+  if (count != store.size()) {
+    throw std::runtime_error(
+        "load_parameters: parameter count mismatch (file has " +
+        std::to_string(count) + ", store has " + std::to_string(store.size()) +
+        ")");
+  }
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    Parameter& p = store.at(i);
+    const auto name_len = read_pod<std::uint32_t>(in, "name length");
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    if (!in || name != p.name()) {
+      throw std::runtime_error("load_parameters: parameter name mismatch at " +
+                               std::to_string(i) + " (file '" + name +
+                               "', store '" + p.name() + "')");
+    }
+    const auto rows = read_pod<std::uint64_t>(in, "rows");
+    const auto cols = read_pod<std::uint64_t>(in, "cols");
+    if (rows != p.rows() || cols != p.cols()) {
+      throw std::runtime_error("load_parameters: shape mismatch for '" +
+                               name + "'");
+    }
+    in.read(reinterpret_cast<char*>(p.value().data()),
+            static_cast<std::streamsize>(p.value().size() * sizeof(float)));
+    if (!in) {
+      throw std::runtime_error("load_parameters: truncated values for '" +
+                               name + "'");
+    }
+  }
+}
+
+}  // namespace ckat::nn

@@ -1,0 +1,28 @@
+// Binary parameter serialization, so trained models can be saved and
+// served without retraining.
+//
+// Format (little-endian):
+//   magic "CKATPAR1" | u64 n_params |
+//   per parameter: u32 name_len | name bytes | u64 rows | u64 cols |
+//                  rows*cols f32 values
+// Loading is strict: parameter names, order and shapes must match the
+// store being loaded into (models define their stores deterministically
+// from their configs, so a mismatch means the wrong config).
+#pragma once
+
+#include <string>
+
+#include "nn/parameter.hpp"
+
+namespace ckat::nn {
+
+/// Writes every parameter value in the store to `path`.
+/// Throws std::runtime_error on I/O failure.
+void save_parameters(const ParamStore& store, const std::string& path);
+
+/// Loads values saved by save_parameters into an existing store.
+/// Throws std::runtime_error on I/O failure or any mismatch in
+/// parameter count, names, order or shapes.
+void load_parameters(ParamStore& store, const std::string& path);
+
+}  // namespace ckat::nn

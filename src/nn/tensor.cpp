@@ -1,0 +1,64 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ckat::nn {
+
+Tensor Tensor::from_values(std::size_t rows, std::size_t cols,
+                           std::initializer_list<float> values) {
+  if (values.size() != rows * cols) {
+    throw std::invalid_argument("Tensor::from_values: element count mismatch");
+  }
+  Tensor t(rows, cols);
+  std::copy(values.begin(), values.end(), t.data_.begin());
+  return t;
+}
+
+void Tensor::reshape(std::size_t rows, std::size_t cols) {
+  if (rows * cols != data_.size()) {
+    throw std::invalid_argument("Tensor::reshape: element count mismatch");
+  }
+  rows_ = rows;
+  cols_ = cols;
+}
+
+void Tensor::resize_zeroed(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0f);
+}
+
+double Tensor::sum() const noexcept {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return acc;
+}
+
+double Tensor::squared_norm() const noexcept {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+float Tensor::max_abs() const noexcept {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+void Tensor::check_shape(std::size_t rows, std::size_t cols,
+                         const char* context) const {
+  if (rows_ != rows || cols_ != cols) {
+    throw std::invalid_argument(std::string(context) + ": expected shape (" +
+                                std::to_string(rows) + "," +
+                                std::to_string(cols) + "), got " +
+                                shape_str());
+  }
+}
+
+std::string Tensor::shape_str() const {
+  return "(" + std::to_string(rows_) + "," + std::to_string(cols_) + ")";
+}
+
+}  // namespace ckat::nn

@@ -1,0 +1,91 @@
+// Dense 2-D float32 tensor. This is the single numeric container used by
+// the autodiff engine, the models and the evaluator. Vectors are
+// represented as 1xC or Rx1 tensors; everything is row-major.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ckat::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  Tensor(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  Tensor(std::size_t rows, std::size_t cols, float fill_value)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill_value) {}
+
+  /// Builds a tensor from explicit row-major values.
+  static Tensor from_values(std::size_t rows, std::size_t cols,
+                            std::initializer_list<float> values);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] bool same_shape(const Tensor& other) const noexcept {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  float& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] float* data() noexcept { return data_.data(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+
+  [[nodiscard]] std::span<float> row(std::size_t r) noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const float> row(std::size_t r) const noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::span<float> flat() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> flat() const noexcept { return data_; }
+
+  void fill(float v) noexcept { std::fill(data_.begin(), data_.end(), v); }
+  void zero() noexcept { fill(0.0f); }
+
+  /// Reshapes in place; total element count must be unchanged.
+  void reshape(std::size_t rows, std::size_t cols);
+
+  /// Resizes (destroying contents) to the given shape, zero-filled.
+  void resize_zeroed(std::size_t rows, std::size_t cols);
+
+  /// Sum of all elements (float64 accumulation).
+  [[nodiscard]] double sum() const noexcept;
+  /// Sum of squared elements (float64 accumulation).
+  [[nodiscard]] double squared_norm() const noexcept;
+  /// Largest absolute element; 0 for empty tensors.
+  [[nodiscard]] float max_abs() const noexcept;
+
+  /// Throws std::invalid_argument unless the shape matches.
+  void check_shape(std::size_t rows, std::size_t cols,
+                   const char* context) const;
+
+  [[nodiscard]] std::string shape_str() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace ckat::nn

@@ -1,0 +1,48 @@
+// Minimal command-line flag parser for example/bench executables.
+// Supports --name=value, --name value, and boolean --flag forms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ckat::util {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Non-flag positional arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Program name (argv[0]).
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+/// Reads an integer scale factor from env var CKAT_EPOCH_SCALE_PCT
+/// (percent, default 100). Benches use it to scale training epochs for
+/// quick smoke runs (e.g. 10 = one tenth of the epochs).
+int epoch_scale_percent();
+
+/// Applies epoch_scale_percent() to an epoch count, flooring at 1.
+int scaled_epochs(int epochs);
+
+}  // namespace ckat::util

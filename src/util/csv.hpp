@@ -1,0 +1,36 @@
+// Tiny CSV writer/reader used to emit figure series (Fig. 3-5 data) and to
+// round-trip generated datasets for inspection.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ckat::util {
+
+/// Streams rows to a CSV file; fields containing commas/quotes/newlines
+/// are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_row(const std::vector<std::string>& fields);
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+};
+
+/// Loads an entire CSV file into rows of fields. Handles quoted fields.
+std::vector<std::vector<std::string>> read_csv(const std::string& path);
+
+/// Parses one CSV line into fields (exposed for testing).
+std::vector<std::string> parse_csv_line(const std::string& line);
+
+}  // namespace ckat::util

@@ -1,0 +1,72 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+namespace ckat::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?????";
+}
+}  // namespace
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void init_logging_from_env() {
+  const char* env = std::getenv("CKAT_LOG_LEVEL");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "debug") == 0) set_log_level(LogLevel::kDebug);
+  else if (std::strcmp(env, "info") == 0) set_log_level(LogLevel::kInfo);
+  else if (std::strcmp(env, "warn") == 0) set_log_level(LogLevel::kWarn);
+  else if (std::strcmp(env, "error") == 0) set_log_level(LogLevel::kError);
+}
+
+namespace detail {
+
+void vlog(LogLevel level, std::string_view message) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t tt = std::chrono::system_clock::to_time_t(now);
+  std::tm tm_buf{};
+  localtime_r(&tt, &tm_buf);
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%H:%M:%S", &tm_buf);
+  std::fprintf(stderr, "[%s %s] %.*s\n", stamp, level_name(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+std::string format_message(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace detail
+}  // namespace ckat::util

@@ -1,0 +1,43 @@
+// Minimal leveled logger used across the library. Log output goes to
+// stderr so that bench/table harnesses can print machine-readable tables
+// on stdout.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace ckat::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Reads CKAT_LOG_LEVEL (debug|info|warn|error) once at startup.
+void init_logging_from_env();
+
+namespace detail {
+void vlog(LogLevel level, std::string_view fmt_message);
+std::string format_message(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, const char* fmt, Args... args) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  if constexpr (sizeof...(Args) == 0) {
+    detail::vlog(level, fmt);
+  } else {
+    detail::vlog(level, detail::format_message(fmt, args...));
+  }
+}
+
+#define CKAT_LOG_DEBUG(...) ::ckat::util::log(::ckat::util::LogLevel::kDebug, __VA_ARGS__)
+#define CKAT_LOG_INFO(...) ::ckat::util::log(::ckat::util::LogLevel::kInfo, __VA_ARGS__)
+#define CKAT_LOG_WARN(...) ::ckat::util::log(::ckat::util::LogLevel::kWarn, __VA_ARGS__)
+#define CKAT_LOG_ERROR(...) ::ckat::util::log(::ckat::util::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace ckat::util

@@ -1,0 +1,113 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ckat::util {
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (!(total > 0.0)) {
+    throw std::invalid_argument("weighted_index: total weight must be > 0");
+  }
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point slack lands on the last bin
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("zipf: n must be > 0");
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+  }
+  return weighted_index(w);
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  if (k > n) {
+    throw std::invalid_argument(
+        "sample_without_replacement: k must not exceed n");
+  }
+  if (k * 3 > n) {
+    // Dense case: shuffle a full index vector and truncate.
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    shuffle(idx);
+    idx.resize(k);
+    return idx;
+  }
+  // Sparse case: rejection sampling with a seen-set.
+  std::unordered_set<std::size_t> seen;
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    std::size_t candidate = uniform_index(n);
+    if (seen.insert(candidate).second) out.push_back(candidate);
+  }
+  return out;
+}
+
+void AliasSampler::build(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  if (n == 0) return;
+
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("AliasSampler: negative weight");
+    total += w;
+  }
+  if (!(total > 0.0)) {
+    throw std::invalid_argument("AliasSampler: total weight must be > 0");
+  }
+
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+std::size_t AliasSampler::sample(Rng& rng) const {
+  if (prob_.empty()) throw std::logic_error("AliasSampler: empty sampler");
+  const std::size_t column = rng.uniform_index(prob_.size());
+  return rng.uniform() < prob_[column] ? column : alias_[column];
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+  }
+  alias_.build(w);
+}
+
+}  // namespace ckat::util

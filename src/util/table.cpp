@@ -1,0 +1,93 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ckat::util {
+
+void AsciiTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::add_rule() { rules_.push_back(rows_.size()); }
+
+std::string AsciiTable::metric(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+std::string AsciiTable::number(double v, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string AsciiTable::integer(long long v) {
+  // Groups thousands with commas, matching the paper's table style.
+  char digits[32];
+  std::snprintf(digits, sizeof(digits), "%lld", v < 0 ? -v : v);
+  std::string raw = digits;
+  std::string out;
+  const std::size_t n = raw.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out.push_back(',');
+    out.push_back(raw[i]);
+  }
+  return v < 0 ? "-" + out : out;
+}
+
+std::string AsciiTable::str() const {
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  if (columns == 0) return caption_.empty() ? "" : caption_ + "\n";
+
+  std::vector<std::size_t> width(columns, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < columns; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      line += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  auto render_rule = [&]() {
+    std::string line = "+";
+    for (std::size_t c = 0; c < columns; ++c) {
+      line += std::string(width[c] + 2, '-') + "+";
+    }
+    return line + "\n";
+  };
+
+  std::string out;
+  if (!caption_.empty()) out += caption_ + "\n";
+  out += render_rule();
+  if (!header_.empty()) {
+    out += render_row(header_);
+    out += render_rule();
+  }
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(rules_.begin(), rules_.end(), r) != rules_.end() && r > 0) {
+      out += render_rule();
+    }
+    out += render_row(rows_[r]);
+  }
+  out += render_rule();
+  return out;
+}
+
+void AsciiTable::print() const { std::fputs(str().c_str(), stdout); }
+
+}  // namespace ckat::util

@@ -1,0 +1,43 @@
+// ASCII table rendering for the paper-style result tables printed by the
+// bench harnesses (Tables I-V) and examples.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ckat::util {
+
+/// Column-aligned ASCII table with a caption, printed to any ostream-like
+/// sink via str(). Cells are strings; numeric helpers format in place.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::string caption = "") : caption_(std::move(caption)) {}
+
+  /// Sets the header row. Must be called before add_row for alignment.
+  void set_header(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  /// Formats a double with the paper's 4-decimal metric convention.
+  static std::string metric(double v);
+  static std::string number(double v, int decimals = 2);
+  static std::string integer(long long v);
+
+  /// Renders the full table, caption first.
+  [[nodiscard]] std::string str() const;
+
+  /// Convenience: render to stdout.
+  void print() const;
+
+ private:
+  std::string caption_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> rules_;  // row indices preceded by a rule
+};
+
+}  // namespace ckat::util

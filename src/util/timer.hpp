@@ -1,0 +1,31 @@
+// Wall-clock timing helpers for training loops and benchmarks.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace ckat::util {
+
+/// Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Formats a duration like "1m 23.4s" for progress logs.
+std::string format_duration(double seconds);
+
+}  // namespace ckat::util

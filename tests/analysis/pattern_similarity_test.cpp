@@ -1,0 +1,51 @@
+#include "analysis/pattern_similarity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ckat::analysis {
+namespace {
+
+const facility::FacilityDataset& tiny() {
+  static const facility::FacilityDataset ds =
+      facility::make_ooi_dataset(42, facility::DatasetScale::kTiny);
+  return ds;
+}
+
+TEST(PatternSharing, ProbabilitiesAreValid) {
+  util::Rng rng(1);
+  const PatternSharingResult r = measure_pattern_sharing(tiny(), 2000, rng);
+  for (double p : {r.same_city_locality, r.random_locality,
+                   r.same_city_domain, r.random_domain}) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(PatternSharing, SameCityPairsShareMore) {
+  // The Fig. 5 observation: same-city users are far likelier to share
+  // query patterns than random pairs, in both dimensions.
+  util::Rng rng(2);
+  const PatternSharingResult r = measure_pattern_sharing(tiny(), 4000, rng);
+  EXPECT_GT(r.locality_ratio(), 1.5);
+  EXPECT_GT(r.domain_ratio(), 1.2);
+  EXPECT_GT(r.same_city_locality, r.random_locality);
+  EXPECT_GT(r.same_city_domain, r.random_domain);
+}
+
+TEST(PatternSharing, DeterministicGivenSeed) {
+  util::Rng r1(3), r2(3);
+  const auto a = measure_pattern_sharing(tiny(), 500, r1);
+  const auto b = measure_pattern_sharing(tiny(), 500, r2);
+  EXPECT_DOUBLE_EQ(a.same_city_locality, b.same_city_locality);
+  EXPECT_DOUBLE_EQ(a.random_domain, b.random_domain);
+}
+
+TEST(PatternSharing, RatioHandlesZeroDenominator) {
+  PatternSharingResult r;
+  r.same_city_locality = 0.5;
+  r.random_locality = 0.0;
+  EXPECT_DOUBLE_EQ(r.locality_ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace ckat::analysis

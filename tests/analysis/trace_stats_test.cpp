@@ -1,0 +1,77 @@
+#include "analysis/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ckat::analysis {
+namespace {
+
+const facility::FacilityDataset& tiny() {
+  static const facility::FacilityDataset ds =
+      facility::make_ooi_dataset(42, facility::DatasetScale::kTiny);
+  return ds;
+}
+
+TEST(DistributionCurvesTest, OneEntryPerUserSortedDescending) {
+  const DistributionCurves curves = query_distribution_curves(tiny());
+  EXPECT_EQ(curves.objects_per_user.size(), tiny().n_users());
+  EXPECT_EQ(curves.locations_per_user.size(), tiny().n_users());
+  EXPECT_EQ(curves.types_per_user.size(), tiny().n_users());
+  for (std::size_t i = 1; i < curves.objects_per_user.size(); ++i) {
+    EXPECT_GE(curves.objects_per_user[i - 1], curves.objects_per_user[i]);
+  }
+}
+
+TEST(DistributionCurvesTest, BoundsAreSane) {
+  const DistributionCurves curves = query_distribution_curves(tiny());
+  EXPECT_LE(curves.locations_per_user.front(), tiny().model().sites.size());
+  EXPECT_LE(curves.types_per_user.front(), tiny().model().data_types.size());
+  EXPECT_LE(curves.objects_per_user.front(), tiny().n_items());
+  // Heavy tail: the most active user sees far more objects than median.
+  const auto& objects = curves.objects_per_user;
+  EXPECT_GT(objects.front(), 2 * objects[objects.size() / 2]);
+}
+
+TEST(DistributionCurvesTest, DistinctCountsConsistent) {
+  // A user's distinct types can never exceed their distinct objects.
+  const DistributionCurves curves = query_distribution_curves(tiny());
+  // Curves are independently sorted, so compare aggregate sums instead.
+  std::size_t object_total = 0, type_total = 0;
+  for (std::size_t v : curves.objects_per_user) object_total += v;
+  for (std::size_t v : curves.types_per_user) type_total += v;
+  EXPECT_GE(object_total, type_total);
+}
+
+TEST(Affinities, WithinUnitInterval) {
+  const AffinityMeasurement m = measure_affinities(tiny());
+  EXPECT_GT(m.n_users, 0u);
+  EXPECT_GT(m.modal_region_fraction, 0.0);
+  EXPECT_LE(m.modal_region_fraction, 1.0);
+  EXPECT_GT(m.modal_type_fraction, 0.0);
+  EXPECT_LE(m.modal_type_fraction, 1.0);
+}
+
+TEST(Affinities, MinQueriesFiltersUsers) {
+  const AffinityMeasurement all = measure_affinities(tiny(), 1);
+  const AffinityMeasurement strict = measure_affinities(tiny(), 50);
+  EXPECT_GE(all.n_users, strict.n_users);
+}
+
+TEST(MostActiveMembers, ReturnsOrgMembersByActivity) {
+  // Org 0 is the largest organization by construction.
+  const auto members = most_active_members(tiny(), 0, 4);
+  EXPECT_LE(members.size(), 4u);
+  std::vector<std::size_t> activity(tiny().n_users(), 0);
+  for (const auto& rec : tiny().trace()) activity[rec.user]++;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    EXPECT_EQ(tiny().users().user(members[i]).organization, 0u);
+    if (i > 0) EXPECT_GE(activity[members[i - 1]], activity[members[i]]);
+  }
+}
+
+TEST(MostActiveMembers, UnknownOrgYieldsEmpty) {
+  const auto members = most_active_members(tiny(), 9999, 8);
+  EXPECT_TRUE(members.empty());
+}
+
+}  // namespace
+}  // namespace ckat::analysis

@@ -1,0 +1,137 @@
+#include "analysis/tsne.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ckat::analysis {
+namespace {
+
+/// Two well-separated Gaussian blobs in 10-D.
+nn::Tensor two_blobs(std::size_t per_blob, util::Rng& rng) {
+  nn::Tensor x(2 * per_blob, 10);
+  for (std::size_t i = 0; i < 2 * per_blob; ++i) {
+    const double center = i < per_blob ? -5.0 : 5.0;
+    for (std::size_t c = 0; c < 10; ++c) {
+      x(i, c) = static_cast<float>(rng.gaussian(center, 0.3));
+    }
+  }
+  return x;
+}
+
+TEST(TsneSimilarities, RowsAreProbabilities) {
+  util::Rng rng(1);
+  const nn::Tensor x = two_blobs(10, rng);
+  const nn::Tensor p = tsne_similarities(x, 5.0);
+  ASSERT_EQ(p.rows(), 20u);
+  // Symmetric and globally normalized to 1.
+  double total = 0.0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_FLOAT_EQ(p(i, i), 0.0f);
+    for (std::size_t j = 0; j < 20; ++j) {
+      EXPECT_GE(p(i, j), 0.0f);
+      EXPECT_FLOAT_EQ(p(i, j), p(j, i));
+      total += p(i, j);
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-3);
+}
+
+TEST(TsneSimilarities, NeighborsGetMoreMass) {
+  util::Rng rng(2);
+  const nn::Tensor x = two_blobs(10, rng);
+  const nn::Tensor p = tsne_similarities(x, 5.0);
+  // Point 0's similarity to a same-blob point dwarfs its similarity to
+  // an other-blob point.
+  EXPECT_GT(p(0, 1), 10.0f * p(0, 15));
+}
+
+TEST(TsneSimilarities, RejectsDegenerateInputs) {
+  util::Rng rng(3);
+  const nn::Tensor x = two_blobs(10, rng);
+  EXPECT_THROW(tsne_similarities(x, 0.5), std::invalid_argument);
+  EXPECT_THROW(tsne_similarities(x, 100.0), std::invalid_argument);
+  nn::Tensor tiny(2, 3);
+  EXPECT_THROW(tsne_similarities(tiny, 1.5), std::invalid_argument);
+}
+
+TEST(TsneEmbed, SeparatesClusters) {
+  util::Rng rng(4);
+  const std::size_t per_blob = 15;
+  const nn::Tensor x = two_blobs(per_blob, rng);
+  TsneConfig config;
+  config.perplexity = 8.0;
+  config.iterations = 300;
+  const nn::Tensor y = tsne_embed(x, config);
+  ASSERT_EQ(y.rows(), 2 * per_blob);
+  ASSERT_EQ(y.cols(), 2u);
+
+  // Mean intra-blob distance must be well below inter-blob distance.
+  auto dist = [&](std::size_t i, std::size_t j) {
+    const double dx = y(i, 0) - y(j, 0);
+    const double dy = y(i, 1) - y(j, 1);
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  double intra = 0.0, inter = 0.0;
+  std::size_t n_intra = 0, n_inter = 0;
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    for (std::size_t j = i + 1; j < y.rows(); ++j) {
+      const bool same = (i < per_blob) == (j < per_blob);
+      (same ? intra : inter) += dist(i, j);
+      (same ? n_intra : n_inter) += 1;
+    }
+  }
+  intra /= static_cast<double>(n_intra);
+  inter /= static_cast<double>(n_inter);
+  EXPECT_GT(inter, 2.0 * intra);
+}
+
+TEST(TsneEmbed, DeterministicGivenSeed) {
+  util::Rng rng(5);
+  const nn::Tensor x = two_blobs(8, rng);
+  TsneConfig config;
+  config.perplexity = 4.0;
+  config.iterations = 50;
+  const nn::Tensor a = tsne_embed(x, config);
+  const nn::Tensor b = tsne_embed(x, config);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+// Helper for the feature test: the two most active users overall.
+std::vector<std::uint32_t> most_active_users_for_test(
+    const facility::FacilityDataset& ds) {
+  std::vector<std::size_t> activity(ds.n_users(), 0);
+  for (const auto& rec : ds.trace()) activity[rec.user]++;
+  std::vector<std::uint32_t> users = {0, 1};
+  for (std::uint32_t u = 2; u < ds.n_users(); ++u) {
+    if (activity[u] > activity[users[0]]) users[0] = u;
+  }
+  return users;
+}
+
+TEST(QueryFeatures, OneRowPerUserObjectPair) {
+  const facility::FacilityDataset ds =
+      facility::make_ooi_dataset(42, facility::DatasetScale::kTiny);
+  const auto users = most_active_users_for_test(ds);
+  std::vector<std::uint32_t> point_users, point_objects;
+  const nn::Tensor f =
+      query_feature_matrix(ds, users, point_users, point_objects);
+  EXPECT_EQ(f.rows(), point_users.size());
+  EXPECT_EQ(point_users.size(), point_objects.size());
+  EXPECT_GT(f.rows(), 0u);
+  const std::size_t expected_dims = ds.model().sites.size() +
+                                    ds.model().data_types.size() +
+                                    ds.model().disciplines.size();
+  EXPECT_EQ(f.cols(), expected_dims);
+  // Each row is a 3-hot vector.
+  for (std::size_t r = 0; r < f.rows(); ++r) {
+    double row_sum = 0.0;
+    for (float v : f.row(r)) row_sum += v;
+    EXPECT_DOUBLE_EQ(row_sum, 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace ckat::analysis

@@ -1,0 +1,178 @@
+#include "baselines/common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "facility/dataset.hpp"
+
+namespace ckat::baselines {
+namespace {
+
+struct SharedData {
+  SharedData()
+      : dataset(facility::make_ooi_dataset(42, facility::DatasetScale::kTiny)),
+        ckg(dataset.build_default_ckg()) {}
+  facility::FacilityDataset dataset;
+  graph::CollaborativeKg ckg;
+};
+
+const SharedData& shared() {
+  static const SharedData data;
+  return data;
+}
+
+TEST(ItemAttributes, EveryItemHasLocAndDkgEntities) {
+  const auto attrs = item_attribute_entities(shared().ckg);
+  ASSERT_EQ(attrs.size(), shared().ckg.n_items());
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    // Default CKG: locatedAt + inRegion + dataType + dataDiscipline = 4.
+    EXPECT_EQ(attrs[i].size(), 4u) << "item " << i;
+    for (std::uint32_t e : attrs[i]) {
+      EXPECT_GE(e, shared().ckg.item_entity(0) + shared().ckg.n_items())
+          << "attribute must be an attribute entity";
+      EXPECT_LT(e, shared().ckg.n_entities());
+    }
+  }
+}
+
+TEST(FeatureBatch, LayoutAndContents) {
+  const auto attrs = item_attribute_entities(shared().ckg);
+  const std::vector<std::uint32_t> users = {0, 3};
+  const std::vector<std::uint32_t> items = {1, 2};
+  const FeatureBatch fb =
+      build_feature_batch(shared().ckg, attrs, users, items);
+  EXPECT_EQ(fb.n_samples, 2u);
+  ASSERT_EQ(fb.flat.size(), fb.segments.size());
+  // Sample 0 features: user entity, item entity, then its attributes.
+  EXPECT_EQ(fb.flat[0], shared().ckg.user_entity(0));
+  EXPECT_EQ(fb.flat[1], shared().ckg.item_entity(1));
+  EXPECT_EQ(fb.segments[0], 0u);
+  // Segment ids are non-decreasing 0..n-1.
+  for (std::size_t i = 1; i < fb.segments.size(); ++i) {
+    EXPECT_GE(fb.segments[i], fb.segments[i - 1]);
+  }
+  EXPECT_EQ(fb.segments.back(), 1u);
+}
+
+TEST(FeatureBatch, RejectsSizeMismatch) {
+  const auto attrs = item_attribute_entities(shared().ckg);
+  const std::vector<std::uint32_t> users = {0};
+  const std::vector<std::uint32_t> items = {1, 2};
+  EXPECT_THROW(build_feature_batch(shared().ckg, attrs, users, items),
+               std::invalid_argument);
+}
+
+TEST(SampledNeighborsTest, TableShapeAndValidity) {
+  util::Rng rng(1);
+  const SampledNeighbors n = sample_neighbors(shared().ckg, 4, rng);
+  EXPECT_EQ(n.sample_size, 4u);
+  EXPECT_EQ(n.n_entities(), shared().ckg.n_entities());
+  for (std::size_t i = 0; i < n.tails.size(); ++i) {
+    EXPECT_LT(n.tails[i], shared().ckg.n_entities());
+    EXPECT_LT(n.relations[i], 2 * shared().ckg.n_relations());
+  }
+}
+
+TEST(SampledNeighborsTest, KnowledgeOnlyExcludesInteractNeighbors) {
+  util::Rng rng(2);
+  const SampledNeighbors n =
+      sample_neighbors(shared().ckg, 8, rng, /*knowledge_only=*/true);
+  // An item's sampled neighbors must never be plain users (users only
+  // appear via interact or UUG edges; items have no UUG edges).
+  const std::uint32_t item_entity = shared().ckg.item_entity(0);
+  for (std::size_t j = 0; j < 8; ++j) {
+    const std::uint32_t tail = n.tails[item_entity * 8 + j];
+    EXPECT_GE(tail, shared().ckg.n_users())
+        << "knowledge-only neighbor of an item cannot be a user";
+  }
+}
+
+TEST(SampledNeighborsTest, RejectsZeroSampleSize) {
+  util::Rng rng(3);
+  EXPECT_THROW(sample_neighbors(shared().ckg, 0, rng), std::invalid_argument);
+}
+
+TEST(RippleSetsTest, ShapeAndSeeding) {
+  util::Rng rng(4);
+  const RippleSets r =
+      build_ripple_sets(shared().ckg, shared().dataset.split().train, 2, 8,
+                        rng);
+  EXPECT_EQ(r.n_hops, 2u);
+  EXPECT_EQ(r.set_size, 8u);
+  const std::size_t expected =
+      shared().dataset.n_users() * 2 * 8;
+  EXPECT_EQ(r.heads.size(), expected);
+  EXPECT_EQ(r.relations.size(), expected);
+  EXPECT_EQ(r.tails.size(), expected);
+}
+
+TEST(RippleSetsTest, HopZeroHeadsAreUserItems) {
+  util::Rng rng(5);
+  const auto& train = shared().dataset.split().train;
+  const RippleSets r = build_ripple_sets(shared().ckg, train, 2, 8, rng);
+  for (std::uint32_t u = 0; u < 5; ++u) {
+    auto items = train.items_of(u);
+    if (items.empty()) continue;
+    for (std::size_t j = 0; j < 8; ++j) {
+      const std::uint32_t head = r.heads[(u * 2 + 0) * 8 + j];
+      const bool is_user_item = std::binary_search(
+          items.begin(), items.end(), head - shared().ckg.item_entity(0));
+      EXPECT_TRUE(is_user_item) << "user " << u << " slot " << j;
+    }
+  }
+}
+
+TEST(RippleSetsTest, ColdUserFallsBackToSelfSeed) {
+  // A user with no training items must still get well-formed ripple
+  // sets (seeded on their own user entity, possibly via self-loops).
+  graph::InteractionSet train(2, 3);
+  train.add(0, 0);  // user 1 is cold
+  train.finalize();
+  graph::KnowledgeSource dkg{"DKG", {{0, "dataType", "type:X"}}, {}};
+  graph::CollaborativeKg ckg(train, {}, {dkg},
+                             graph::CkgOptions{false, {"DKG"}});
+  util::Rng rng(9);
+  const RippleSets r = build_ripple_sets(ckg, train, 2, 4, rng);
+  for (std::size_t hop = 0; hop < 2; ++hop) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      const std::size_t slot = (1 * 2 + hop) * 4 + j;
+      EXPECT_LT(r.heads[slot], ckg.n_entities());
+      EXPECT_LT(r.tails[slot], ckg.n_entities());
+    }
+  }
+}
+
+TEST(RippleSetsTest, HopsChainThroughTheGraph) {
+  // Hop-1 heads should largely come from hop-0 tails (the frontier
+  // advances), modulo the self-loop fallback.
+  util::Rng rng(10);
+  const auto& ds = shared().dataset;
+  const RippleSets r =
+      build_ripple_sets(shared().ckg, ds.split().train, 2, 16, rng);
+  std::size_t chained = 0, total = 0;
+  for (std::uint32_t u = 0; u < std::min<std::size_t>(ds.n_users(), 10); ++u) {
+    std::set<std::uint32_t> hop0_tails;
+    for (std::size_t j = 0; j < 16; ++j) {
+      hop0_tails.insert(r.tails[(u * 2 + 0) * 16 + j]);
+    }
+    for (std::size_t j = 0; j < 16; ++j) {
+      chained += hop0_tails.count(r.heads[(u * 2 + 1) * 16 + j]) > 0;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(chained) / static_cast<double>(total), 0.6);
+}
+
+TEST(RippleSetsTest, RejectsDegenerateShape) {
+  util::Rng rng(6);
+  EXPECT_THROW(build_ripple_sets(shared().ckg,
+                                 shared().dataset.split().train, 0, 8, rng),
+               std::invalid_argument);
+  EXPECT_THROW(build_ripple_sets(shared().ckg,
+                                 shared().dataset.split().train, 2, 0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ckat::baselines

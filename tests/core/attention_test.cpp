@@ -1,0 +1,112 @@
+#include "core/attention.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ckat::core {
+namespace {
+
+class AttentionTest : public ::testing::Test {
+ protected:
+  AttentionTest() {
+    // 0 -r0-> 1, 0 -r0-> 2, 1 -r1-> 2 over 4 entities (3 is isolated).
+    triples_ = {{0, 0, 1}, {0, 0, 2}, {1, 1, 2}};
+    adjacency_ = std::make_unique<graph::Adjacency>(triples_, 4, 2,
+                                                    /*add_inverse=*/true);
+    util::Rng rng(1);
+    transr_ = std::make_unique<TransR>(
+        store_, 4, adjacency_->n_relations(),
+        TransRConfig{.entity_dim = 8, .relation_dim = 8}, rng);
+  }
+
+  std::vector<graph::Triple> triples_;
+  std::unique_ptr<graph::Adjacency> adjacency_;
+  nn::ParamStore store_;
+  std::unique_ptr<TransR> transr_;
+};
+
+TEST_F(AttentionTest, RawScoresComputedPerEdge) {
+  const auto scores = raw_attention_scores(*adjacency_, *transr_);
+  EXPECT_EQ(scores.size(), adjacency_->n_edges());
+}
+
+TEST_F(AttentionTest, AttentionRowsSumToOne) {
+  const PropagationMatrix m = build_attention_matrix(*adjacency_, *transr_);
+  ASSERT_EQ(m.forward.n_rows, 4u);
+  for (std::size_t h = 0; h < 4; ++h) {
+    double row_sum = 0.0;
+    for (auto e = m.forward.row_offsets[h]; e < m.forward.row_offsets[h + 1];
+         ++e) {
+      EXPECT_GT(m.forward.values[e], 0.0f);
+      row_sum += m.forward.values[e];
+    }
+    if (adjacency_->degree(static_cast<std::uint32_t>(h)) > 0) {
+      EXPECT_NEAR(row_sum, 1.0, 1e-5) << "head " << h;
+    } else {
+      EXPECT_EQ(row_sum, 0.0) << "isolated head " << h;
+    }
+  }
+}
+
+TEST_F(AttentionTest, UniformMatrixGivesEqualWeights) {
+  const PropagationMatrix m = build_uniform_matrix(*adjacency_);
+  // Head 0 has 2 outgoing edges -> each coefficient 1/2.
+  const auto begin = m.forward.row_offsets[0];
+  const auto end = m.forward.row_offsets[1];
+  ASSERT_EQ(end - begin, 2);
+  EXPECT_FLOAT_EQ(m.forward.values[begin], 0.5f);
+  EXPECT_FLOAT_EQ(m.forward.values[begin + 1], 0.5f);
+}
+
+TEST_F(AttentionTest, BackwardIsTranspose) {
+  const PropagationMatrix m = build_attention_matrix(*adjacency_, *transr_);
+  EXPECT_EQ(m.backward.n_rows, m.forward.n_cols);
+  EXPECT_EQ(m.backward.nnz(), m.forward.nnz());
+  // Spot-check: A^T^T == A.
+  const nn::CsrMatrix round_trip = m.backward.transposed();
+  EXPECT_EQ(round_trip.row_offsets, m.forward.row_offsets);
+  EXPECT_EQ(round_trip.col_indices, m.forward.col_indices);
+}
+
+TEST_F(AttentionTest, AttentionChangesWithParameters) {
+  const PropagationMatrix before = build_attention_matrix(*adjacency_, *transr_);
+  // Perturb the entity embeddings; coefficients must respond.
+  for (float& v : transr_->entity_embedding().value().flat()) v += 0.5f;
+  const PropagationMatrix after = build_attention_matrix(*adjacency_, *transr_);
+  bool any_change = false;
+  for (std::size_t i = 0; i < before.forward.nnz(); ++i) {
+    any_change |= std::abs(before.forward.values[i] -
+                           after.forward.values[i]) > 1e-6f;
+  }
+  EXPECT_TRUE(any_change);
+}
+
+TEST_F(AttentionTest, PropagationPreservesMassOnConstantInput) {
+  // Both matrices are row-stochastic on non-isolated heads, so A @ 1
+  // must equal 1 there (and 0 on isolated entities). This invariant is
+  // what keeps the layer-wise embedding scale stable.
+  for (const PropagationMatrix& m :
+       {build_attention_matrix(*adjacency_, *transr_),
+        build_uniform_matrix(*adjacency_)}) {
+    nn::Tensor ones(4, 3, 1.0f);
+    nn::Tensor out(4, 3);
+    nn::spmm(m.forward, ones, out);
+    for (std::uint32_t h = 0; h < 4; ++h) {
+      const float expected = adjacency_->degree(h) > 0 ? 1.0f : 0.0f;
+      for (std::size_t c = 0; c < 3; ++c) {
+        EXPECT_NEAR(out(h, c), expected, 1e-5f) << "head " << h;
+      }
+    }
+  }
+}
+
+TEST_F(AttentionTest, UniformMatrixIgnoresParameters) {
+  const PropagationMatrix before = build_uniform_matrix(*adjacency_);
+  for (float& v : transr_->entity_embedding().value().flat()) v += 0.5f;
+  const PropagationMatrix after = build_uniform_matrix(*adjacency_);
+  for (std::size_t i = 0; i < before.forward.nnz(); ++i) {
+    EXPECT_FLOAT_EQ(before.forward.values[i], after.forward.values[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ckat::core

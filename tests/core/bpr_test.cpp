@@ -1,0 +1,61 @@
+#include "core/bpr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ckat::core {
+namespace {
+
+graph::InteractionSet small_train() {
+  graph::InteractionSet train(3, 10);
+  train.add(0, 1);
+  train.add(0, 2);
+  train.add(1, 5);
+  train.add(2, 9);
+  train.finalize();
+  return train;
+}
+
+TEST(BprSampler, RejectsEmptyTrainSet) {
+  graph::InteractionSet empty(2, 5);
+  empty.finalize();
+  EXPECT_THROW(BprSampler{empty}, std::invalid_argument);
+}
+
+TEST(BprSampler, SamplesValidTriples) {
+  const auto train = small_train();
+  BprSampler sampler(train);
+  util::Rng rng(1);
+  const auto batch = sampler.sample(500, rng);
+  EXPECT_EQ(batch.size(), 500u);
+  for (const BprTriple& t : batch) {
+    EXPECT_LT(t.user, 3u);
+    EXPECT_TRUE(train.contains(t.user, t.positive));
+    EXPECT_FALSE(train.contains(t.user, t.negative));
+  }
+}
+
+TEST(BprSampler, CoversAllInteractions) {
+  const auto train = small_train();
+  BprSampler sampler(train);
+  util::Rng rng(2);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  for (const BprTriple& t : sampler.sample(1000, rng)) {
+    seen.insert({t.user, t.positive});
+  }
+  EXPECT_EQ(seen.size(), train.size());
+}
+
+TEST(BprSampler, BatchesPerEpoch) {
+  const auto train = small_train();
+  BprSampler sampler(train);
+  EXPECT_EQ(sampler.n_interactions(), 4u);
+  EXPECT_EQ(sampler.batches_per_epoch(2), 2u);
+  EXPECT_EQ(sampler.batches_per_epoch(3), 2u);
+  EXPECT_EQ(sampler.batches_per_epoch(100), 1u);
+  EXPECT_THROW(sampler.batches_per_epoch(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ckat::core

@@ -1,0 +1,265 @@
+#include "core/ckat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.hpp"
+#include "facility/dataset.hpp"
+
+namespace ckat::core {
+namespace {
+
+/// Shared tiny dataset + CKG, built once (CKAT training is the slow
+/// part, not this).
+struct SharedData {
+  SharedData()
+      : dataset(facility::make_ooi_dataset(42, facility::DatasetScale::kTiny)),
+        ckg(dataset.build_default_ckg()) {}
+  facility::FacilityDataset dataset;
+  graph::CollaborativeKg ckg;
+};
+
+const SharedData& shared() {
+  static const SharedData data;
+  return data;
+}
+
+CkatConfig fast_config() {
+  CkatConfig config;
+  config.epochs = 8;
+  config.cf_batch_size = 512;
+  return config;
+}
+
+TEST(Ckat, RepresentationDimIsLayerSum) {
+  CkatModel model(shared().ckg, shared().dataset.split().train, fast_config());
+  EXPECT_EQ(model.representation_dim(), 64u + 64u + 32u + 16u);
+  EXPECT_EQ(model.name(), "CKAT");
+  EXPECT_EQ(model.n_users(), shared().dataset.n_users());
+  EXPECT_EQ(model.n_items(), shared().dataset.n_items());
+}
+
+TEST(Ckat, RequiresFitBeforeScoring) {
+  CkatModel model(shared().ckg, shared().dataset.split().train, fast_config());
+  std::vector<float> scores(model.n_items());
+  EXPECT_THROW(model.score_items(0, scores), std::logic_error);
+  EXPECT_THROW(static_cast<void>(model.final_representations()), std::logic_error);
+}
+
+TEST(Ckat, RejectsEmptyLayerStack) {
+  CkatConfig config = fast_config();
+  config.layer_dims.clear();
+  EXPECT_THROW(
+      CkatModel(shared().ckg, shared().dataset.split().train, config),
+      std::invalid_argument);
+}
+
+TEST(Ckat, PropagationMatrixMatchesAdjacency) {
+  CkatModel model(shared().ckg, shared().dataset.split().train, fast_config());
+  const auto adjacency = shared().ckg.build_adjacency();
+  // Coefficients may merge parallel (h,t) edges, so nnz <= edges.
+  EXPECT_LE(model.propagation_matrix().forward.nnz(), adjacency.n_edges());
+  EXPECT_EQ(model.propagation_matrix().forward.n_rows,
+            shared().ckg.n_entities());
+}
+
+TEST(Ckat, TrainingReducesLossAndLearns) {
+  CkatModel model(shared().ckg, shared().dataset.split().train, fast_config());
+  model.fit();
+  const auto& history = model.history();
+  ASSERT_EQ(history.size(), 8u);
+  EXPECT_LT(history.back().cf_loss, history.front().cf_loss);
+  EXPECT_LT(history.back().kg_loss, history.front().kg_loss);
+
+  const auto metrics = eval::evaluate_topk(model, shared().dataset.split());
+  // Random ranking over ~150 items would land well under 0.1 recall.
+  EXPECT_GT(metrics.recall, 0.12);
+  EXPECT_GT(metrics.ndcg, 0.08);
+}
+
+TEST(Ckat, FinalRepresentationsShape) {
+  CkatModel model(shared().ckg, shared().dataset.split().train, fast_config());
+  model.fit();
+  const nn::Tensor& repr = model.final_representations();
+  EXPECT_EQ(repr.rows(), shared().ckg.n_entities());
+  EXPECT_EQ(repr.cols(), model.representation_dim());
+  EXPECT_GT(repr.max_abs(), 0.0f);
+}
+
+TEST(Ckat, ScoreIsInnerProductOfRepresentations) {
+  CkatModel model(shared().ckg, shared().dataset.split().train, fast_config());
+  model.fit();
+  std::vector<float> scores(model.n_items());
+  model.score_items(3, scores);
+  const nn::Tensor& repr = model.final_representations();
+  auto u = repr.row(shared().ckg.user_entity(3));
+  auto v = repr.row(shared().ckg.item_entity(5));
+  float expected = 0.0f;
+  for (std::size_t c = 0; c < u.size(); ++c) expected += u[c] * v[c];
+  EXPECT_NEAR(scores[5], expected, 1e-4f);
+}
+
+TEST(Ckat, DeterministicGivenSeed) {
+  CkatConfig config = fast_config();
+  config.epochs = 3;
+  CkatModel a(shared().ckg, shared().dataset.split().train, config);
+  CkatModel b(shared().ckg, shared().dataset.split().train, config);
+  a.fit();
+  b.fit();
+  std::vector<float> sa(a.n_items()), sb(b.n_items());
+  a.score_items(0, sa);
+  b.score_items(0, sb);
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i], sb[i]) << "item " << i;
+  }
+}
+
+TEST(Ckat, SumAggregatorTrains) {
+  CkatConfig config = fast_config();
+  config.epochs = 4;
+  config.aggregator = Aggregator::kSum;
+  CkatModel model(shared().ckg, shared().dataset.split().train, config);
+  model.fit();
+  EXPECT_LT(model.history().back().cf_loss, model.history().front().cf_loss);
+}
+
+TEST(Ckat, NoAttentionVariantTrains) {
+  CkatConfig config = fast_config();
+  config.epochs = 4;
+  config.use_attention = false;
+  CkatModel model(shared().ckg, shared().dataset.split().train, config);
+  model.fit();
+  EXPECT_LT(model.history().back().cf_loss, model.history().front().cf_loss);
+}
+
+TEST(Ckat, SingleLayerConfig) {
+  CkatConfig config = fast_config();
+  config.epochs = 3;
+  config.layer_dims = {32};
+  CkatModel model(shared().ckg, shared().dataset.split().train, config);
+  EXPECT_EQ(model.representation_dim(), 64u + 32u);
+  model.fit();
+  const nn::Tensor& repr = model.final_representations();
+  EXPECT_EQ(repr.cols(), 96u);
+}
+
+TEST(Ckat, NoInverseRelationsHalvesEdges) {
+  CkatConfig config = fast_config();
+  config.epochs = 2;
+  config.inverse_relations = false;
+  CkatModel model(shared().ckg, shared().dataset.split().train, config);
+  CkatConfig with = fast_config();
+  CkatModel reference(shared().ckg, shared().dataset.split().train, with);
+  EXPECT_LT(model.propagation_matrix().forward.nnz(),
+            reference.propagation_matrix().forward.nnz());
+  model.fit();
+  EXPECT_LT(model.history().back().cf_loss, model.history().front().cf_loss);
+}
+
+TEST(Ckat, FrozenAttentionScheduleTrains) {
+  CkatConfig config = fast_config();
+  config.epochs = 4;
+  config.attention_refresh_every = 0;  // freeze initial coefficients
+  CkatModel model(shared().ckg, shared().dataset.split().train, config);
+  model.fit();
+  EXPECT_LT(model.history().back().cf_loss, model.history().front().cf_loss);
+}
+
+TEST(Ckat, WarmStartTransfersQuality) {
+  // Train a model on the default CKG, then warm-start a model over the
+  // *extended* CKG (MD source adds entities): without any training the
+  // warm model must already rank far better than a cold one.
+  CkatConfig config = fast_config();
+  config.epochs = 10;
+  CkatModel base(shared().ckg, shared().dataset.split().train, config);
+  base.fit();
+  const auto base_metrics =
+      eval::evaluate_topk(base, shared().dataset.split());
+
+  graph::CkgOptions extended_options;
+  extended_options.include_user_user = true;
+  extended_options.sources = {facility::kSourceLoc, facility::kSourceDkg,
+                              facility::kSourceMd};
+  const auto extended_ckg = shared().dataset.build_ckg(extended_options);
+  ASSERT_GT(extended_ckg.n_entities(), shared().ckg.n_entities());
+
+  CkatConfig warm_config = fast_config();
+  warm_config.epochs = 1;
+  CkatModel warm(extended_ckg, shared().dataset.split().train, warm_config);
+  warm.warm_start_from(base);
+  // Score without further training: reuse cached representations via a
+  // minimal fit of one epoch (fit also refreshes the representation).
+  warm.fit();
+  const auto warm_metrics =
+      eval::evaluate_topk(warm, shared().dataset.split());
+
+  CkatModel cold(extended_ckg, shared().dataset.split().train, warm_config);
+  cold.fit();
+  const auto cold_metrics =
+      eval::evaluate_topk(cold, shared().dataset.split());
+
+  EXPECT_GT(warm_metrics.recall, cold_metrics.recall);
+  EXPECT_GT(warm_metrics.recall, 0.7 * base_metrics.recall);
+}
+
+TEST(Ckat, WarmStartRejectsArchitectureMismatch) {
+  CkatConfig config = fast_config();
+  config.epochs = 1;
+  CkatModel base(shared().ckg, shared().dataset.split().train, config);
+  CkatConfig other = fast_config();
+  other.layer_dims = {16};
+  CkatModel different(shared().ckg, shared().dataset.split().train, other);
+  EXPECT_THROW(different.warm_start_from(base), std::invalid_argument);
+}
+
+TEST(Ckat, SaveLoadRoundTripPreservesScores) {
+  const std::string path = "/tmp/ckat_model_roundtrip.bin";
+  CkatConfig config = fast_config();
+  config.epochs = 3;
+
+  CkatModel trained(shared().ckg, shared().dataset.split().train, config);
+  trained.fit();
+  trained.save(path);
+  std::vector<float> expected(trained.n_items());
+  trained.score_items(2, expected);
+
+  CkatModel restored(shared().ckg, shared().dataset.split().train, config);
+  restored.load(path);
+  std::vector<float> actual(restored.n_items());
+  restored.score_items(2, actual);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "item " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Ckat, SaveRequiresFit) {
+  CkatModel model(shared().ckg, shared().dataset.split().train, fast_config());
+  EXPECT_THROW(model.save("/tmp/ckat_unfitted.bin"), std::logic_error);
+}
+
+TEST(Ckat, LoadRejectsDifferentArchitecture) {
+  const std::string path = "/tmp/ckat_model_arch.bin";
+  CkatConfig config = fast_config();
+  config.epochs = 1;
+  CkatModel trained(shared().ckg, shared().dataset.split().train, config);
+  trained.fit();
+  trained.save(path);
+
+  CkatConfig other = fast_config();
+  other.layer_dims = {32};  // different layer stack
+  CkatModel mismatched(shared().ckg, shared().dataset.split().train, other);
+  EXPECT_THROW(mismatched.load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Ckat, ScoreSpanSizeValidated) {
+  CkatConfig config = fast_config();
+  config.epochs = 1;
+  CkatModel model(shared().ckg, shared().dataset.split().train, config);
+  model.fit();
+  std::vector<float> wrong(model.n_items() + 1);
+  EXPECT_THROW(model.score_items(0, wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ckat::core

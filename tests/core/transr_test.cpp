@@ -1,0 +1,117 @@
+#include "core/transr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ckat::core {
+namespace {
+
+/// A small KG with a clear structure: relation 0 links even->odd
+/// entities; relation 1 links entity i -> i+2.
+std::vector<KgEdge> structured_edges() {
+  std::vector<KgEdge> edges;
+  for (std::uint32_t i = 0; i + 1 < 10; i += 2) {
+    edges.push_back({i, 0, i + 1});
+  }
+  for (std::uint32_t i = 0; i + 2 < 10; ++i) {
+    edges.push_back({i, 1, i + 2});
+  }
+  return edges;
+}
+
+TEST(TransR, ConstructionCreatesParameters) {
+  nn::ParamStore store;
+  util::Rng rng(1);
+  TransR transr(store, 10, 2, TransRConfig{.entity_dim = 8, .relation_dim = 6},
+                rng);
+  EXPECT_EQ(transr.entity_embedding().rows(), 10u);
+  EXPECT_EQ(transr.entity_embedding().cols(), 8u);
+  EXPECT_EQ(transr.relation_embedding().rows(), 2u);
+  EXPECT_EQ(transr.relation_embedding().cols(), 6u);
+  EXPECT_EQ(transr.projection(0).rows(), 8u);
+  EXPECT_EQ(transr.projection(0).cols(), 6u);
+  // entity + relation + 2 projections.
+  EXPECT_EQ(store.size(), 4u);
+}
+
+TEST(TransR, RejectsEmptySets) {
+  nn::ParamStore store;
+  util::Rng rng(1);
+  EXPECT_THROW(TransR(store, 0, 2, TransRConfig{}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(TransR(store, 5, 0, TransRConfig{}, rng),
+               std::invalid_argument);
+}
+
+TEST(TransR, ScoreIsNonNegative) {
+  nn::ParamStore store;
+  util::Rng rng(2);
+  TransR transr(store, 10, 2, TransRConfig{}, rng);
+  for (const KgEdge& e : structured_edges()) {
+    EXPECT_GE(transr.score(e), 0.0f);
+  }
+}
+
+TEST(TransR, TrainingLowersPositiveScores) {
+  nn::ParamStore store;
+  util::Rng rng(3);
+  TransR transr(store, 10, 2,
+                TransRConfig{.entity_dim = 16, .relation_dim = 16}, rng);
+  const auto edges = structured_edges();
+
+  double before = 0.0;
+  for (const KgEdge& e : edges) before += transr.score(e);
+
+  nn::AdamOptimizer opt(0.01f);
+  util::Rng train_rng(4);
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int step = 0; step < 200; ++step) {
+    const float loss = transr.train_step(edges, opt, store, train_rng);
+    if (step == 0) first_loss = loss;
+    last_loss = loss;
+  }
+  double after = 0.0;
+  for (const KgEdge& e : edges) after += transr.score(e);
+
+  EXPECT_LT(last_loss, first_loss);
+  EXPECT_LT(after, before);
+}
+
+TEST(TransR, TrainedModelRanksTrueTriplesAboveCorrupted) {
+  nn::ParamStore store;
+  util::Rng rng(5);
+  TransR transr(store, 10, 2,
+                TransRConfig{.entity_dim = 16, .relation_dim = 16}, rng);
+  const auto edges = structured_edges();
+  nn::AdamOptimizer opt(0.01f);
+  util::Rng train_rng(6);
+  for (int step = 0; step < 300; ++step) {
+    transr.train_step(edges, opt, store, train_rng);
+  }
+  // On average a true triple must score lower (more plausible) than the
+  // same triple with a corrupted tail.
+  util::Rng corrupt_rng(7);
+  int wins = 0, total = 0;
+  for (const KgEdge& e : edges) {
+    for (int trial = 0; trial < 5; ++trial) {
+      KgEdge corrupted = e;
+      corrupted.tail =
+          static_cast<std::uint32_t>(corrupt_rng.uniform_index(10));
+      if (corrupted.tail == e.tail) continue;
+      wins += transr.score(e) < transr.score(corrupted);
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(wins) / total, 0.8);
+}
+
+TEST(TransR, EmptyBatchIsNoOp) {
+  nn::ParamStore store;
+  util::Rng rng(8);
+  TransR transr(store, 4, 1, TransRConfig{}, rng);
+  nn::AdamOptimizer opt(0.01f);
+  util::Rng train_rng(9);
+  EXPECT_EQ(transr.train_step({}, opt, store, train_rng), 0.0f);
+}
+
+}  // namespace
+}  // namespace ckat::core

@@ -1,0 +1,141 @@
+#include "delivery/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ckat::delivery {
+namespace {
+
+TEST(CacheBasics, RejectsZeroCapacity) {
+  EXPECT_THROW(LruCache{0}, std::invalid_argument);
+}
+
+TEST(CacheBasics, MissThenHit) {
+  LruCache cache(2);
+  EXPECT_FALSE(cache.access(1));
+  EXPECT_TRUE(cache.access(1));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CacheBasics, PrefetchInsertsOnce) {
+  LruCache cache(2);
+  EXPECT_TRUE(cache.prefetch(5));
+  EXPECT_FALSE(cache.prefetch(5));
+  EXPECT_TRUE(cache.access(5));  // prefetched object hits
+}
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  LruCache cache(2);
+  cache.access(1);
+  cache.access(2);
+  cache.access(1);  // 1 is now most recent
+  cache.access(3);  // evicts 2
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(Lfu, EvictsLeastFrequentlyUsed) {
+  LfuCache cache(2);
+  cache.access(1);
+  cache.access(1);
+  cache.access(1);
+  cache.access(2);
+  cache.access(3);  // evicts 2 (frequency 1 vs 3)
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(Lfu, TieBrokenByRecency) {
+  LfuCache cache(2);
+  cache.access(1);
+  cache.access(2);  // both frequency 1; 1 older
+  cache.access(3);  // evicts 1
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(Fifo, EvictsOldestRegardlessOfUse) {
+  FifoCache cache(2);
+  cache.access(1);
+  cache.access(2);
+  cache.access(1);  // touching does not rejuvenate in FIFO
+  cache.access(3);  // evicts 1
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(Belady, EvictsFarthestFutureUse) {
+  // Sequence: 1 2 3 1 2  -- at the miss on 3, object 3... capacity 2.
+  const std::vector<std::uint32_t> seq = {1, 2, 3, 1, 2};
+  BeladyCache cache(2, seq);
+  std::size_t hits = 0;
+  for (std::uint32_t object : seq) {
+    cache.advance();
+    hits += cache.access(object);
+  }
+  // Optimal: miss 1, miss 2, miss 3 (evict whichever of 1/2 is used
+  // later... 1 is used at position 3, 2 at position 4 -> evict 2),
+  // hit 1, miss 2. = 1 hit.
+  EXPECT_EQ(hits, 1u);
+}
+
+/// Property: on any sequence, Belady's hit count is >= LRU's and
+/// >= FIFO's (it is offline optimal).
+class BeladyDominance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BeladyDominance, BeatsOnlinePolicies) {
+  util::Rng rng(GetParam());
+  std::vector<std::uint32_t> sequence(400);
+  for (auto& object : sequence) {
+    object = static_cast<std::uint32_t>(rng.zipf(40, 0.8));
+  }
+
+  const std::size_t capacity = 8;
+  auto run_online = [&](CachePolicy& cache) {
+    std::size_t hits = 0;
+    for (std::uint32_t object : sequence) hits += cache.access(object);
+    return hits;
+  };
+  LruCache lru(capacity);
+  FifoCache fifo(capacity);
+  LfuCache lfu(capacity);
+  const std::size_t lru_hits = run_online(lru);
+  const std::size_t fifo_hits = run_online(fifo);
+  const std::size_t lfu_hits = run_online(lfu);
+
+  BeladyCache belady(capacity, sequence);
+  std::size_t belady_hits = 0;
+  for (std::uint32_t object : sequence) {
+    belady.advance();
+    belady_hits += belady.access(object);
+  }
+  EXPECT_GE(belady_hits, lru_hits);
+  EXPECT_GE(belady_hits, fifo_hits);
+  EXPECT_GE(belady_hits, lfu_hits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BeladyDominance,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(CacheFactory, BuildsKnownPolicies) {
+  EXPECT_EQ(make_cache("LRU", 4)->name(), "LRU");
+  EXPECT_EQ(make_cache("LFU", 4)->name(), "LFU");
+  EXPECT_EQ(make_cache("FIFO", 4)->name(), "FIFO");
+  EXPECT_THROW(make_cache("ARC", 4), std::invalid_argument);
+}
+
+TEST(CacheCapacity, NeverExceeded) {
+  util::Rng rng(7);
+  LruCache cache(5);
+  for (int i = 0; i < 500; ++i) {
+    cache.access(static_cast<std::uint32_t>(rng.uniform_index(50)));
+    EXPECT_LE(cache.size(), 5u);
+  }
+}
+
+}  // namespace
+}  // namespace ckat::delivery

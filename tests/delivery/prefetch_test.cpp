@@ -1,0 +1,132 @@
+#include "delivery/prefetch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "facility/dataset.hpp"
+
+namespace ckat::delivery {
+namespace {
+
+/// Clairvoyant recommender: knows each user's future accesses.
+class OracleRecommender final : public eval::Recommender {
+ public:
+  OracleRecommender(std::size_t n_users, std::size_t n_items,
+                    const std::vector<facility::QueryRecord>& future)
+      : n_users_(n_users), n_items_(n_items), counts_(n_users) {
+    for (const auto& rec : future) counts_[rec.user][rec.object]++;
+  }
+  [[nodiscard]] std::string name() const override { return "Oracle"; }
+  void fit() override {}
+  void score_items(std::uint32_t user, std::span<float> out) const override {
+    std::fill(out.begin(), out.end(), 0.0f);
+    for (const auto& [object, count] : counts_.at(user)) {
+      out[object] = static_cast<float>(count);
+    }
+  }
+  [[nodiscard]] std::size_t n_users() const override { return n_users_; }
+  [[nodiscard]] std::size_t n_items() const override { return n_items_; }
+
+ private:
+  std::size_t n_users_;
+  std::size_t n_items_;
+  std::vector<std::map<std::uint32_t, std::size_t>> counts_;
+};
+
+std::vector<facility::QueryRecord> synthetic_accesses(std::size_t n,
+                                                      std::size_t n_users,
+                                                      std::size_t n_objects,
+                                                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<facility::QueryRecord> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].user = static_cast<std::uint32_t>(rng.uniform_index(n_users));
+    // Per-user locality: each user cycles over a small personal set.
+    out[i].object = static_cast<std::uint32_t>(
+        (out[i].user * 7 + rng.zipf(12, 1.0)) % n_objects);
+    out[i].timestamp = i;
+  }
+  return out;
+}
+
+TEST(TemporalSplitTest, PartitionsInOrder) {
+  const auto trace = synthetic_accesses(1000, 10, 100, 1);
+  const TemporalSplit split = temporal_split(trace, 10, 100, 0.8);
+  EXPECT_EQ(split.history.size(), 800u);
+  EXPECT_EQ(split.future.size(), 200u);
+  EXPECT_GT(split.train.size(), 0u);
+  EXPECT_LE(split.history.back().timestamp, split.future.front().timestamp);
+  EXPECT_THROW(temporal_split(trace, 10, 100, 0.0), std::invalid_argument);
+  EXPECT_THROW(temporal_split(trace, 10, 100, 1.0), std::invalid_argument);
+}
+
+TEST(SimulatePrefetch, DemandOnlyMatchesPolicyReplay) {
+  const auto accesses = synthetic_accesses(2000, 8, 60, 2);
+  PrefetchConfig config;
+  config.cache_capacity = 16;
+  config.refresh_interval = 0;  // demand only
+  const PrefetchResult r =
+      simulate_prefetch(accesses, nullptr, config, "demand");
+  EXPECT_EQ(r.n_accesses, 2000u);
+  EXPECT_EQ(r.prefetch_inserted, 0u);
+  EXPECT_GT(r.hit_rate(), 0.0);
+  EXPECT_LT(r.hit_rate(), 1.0);
+}
+
+TEST(SimulatePrefetch, OraclePrefetchBeatsDemandOnly) {
+  const auto accesses = synthetic_accesses(3000, 8, 120, 3);
+  OracleRecommender oracle(8, 120, accesses);
+
+  PrefetchConfig demand;
+  demand.cache_capacity = 12;
+  demand.refresh_interval = 0;
+  const auto base = simulate_prefetch(accesses, nullptr, demand, "demand");
+
+  PrefetchConfig prefetch = demand;
+  prefetch.refresh_interval = 100;
+  prefetch.per_user_prefetch = 4;
+  const auto boosted =
+      simulate_prefetch(accesses, &oracle, prefetch, "oracle");
+
+  EXPECT_GT(boosted.hit_rate(), base.hit_rate());
+  EXPECT_GT(boosted.prefetch_inserted, 0u);
+  EXPECT_GT(boosted.prefetch_precision(), 0.1);
+}
+
+TEST(SimulateBelady, UpperBoundsOnlineDemand) {
+  const auto accesses = synthetic_accesses(2000, 8, 60, 4);
+  PrefetchConfig config;
+  config.cache_capacity = 10;
+  config.refresh_interval = 0;
+  for (const char* policy : {"LRU", "LFU", "FIFO"}) {
+    PrefetchConfig c = config;
+    c.policy = policy;
+    const auto online = simulate_prefetch(accesses, nullptr, c, policy);
+    const auto optimal = simulate_belady(accesses, config.cache_capacity);
+    EXPECT_GE(optimal.hit_rate(), online.hit_rate()) << policy;
+  }
+}
+
+TEST(PopularityModelTest, ScoresFollowTrainingCounts) {
+  graph::InteractionSet train(3, 5);
+  train.add(0, 2);
+  train.add(1, 2);
+  train.add(2, 4);
+  train.finalize();
+  PopularityModel model(train, 3, 5);
+  std::vector<float> scores(5);
+  model.score_items(0, scores);
+  EXPECT_FLOAT_EQ(scores[2], 2.0f);
+  EXPECT_FLOAT_EQ(scores[4], 1.0f);
+  EXPECT_FLOAT_EQ(scores[0], 0.0f);
+  // Identical for every user.
+  std::vector<float> other(5);
+  model.score_items(2, other);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(scores[i], other[i]);
+  std::vector<float> wrong(6);
+  EXPECT_THROW(model.score_items(0, wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ckat::delivery

@@ -1,0 +1,195 @@
+#include "eval/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace ckat::eval {
+namespace {
+
+/// Oracle model: scores each user's designated items highest.
+class OracleModel final : public Recommender {
+ public:
+  OracleModel(std::size_t n_users, std::size_t n_items,
+              std::map<std::uint32_t, std::vector<std::uint32_t>> favorites)
+      : n_users_(n_users), n_items_(n_items), favorites_(std::move(favorites)) {}
+
+  [[nodiscard]] std::string name() const override { return "Oracle"; }
+  void fit() override {}
+  void score_items(std::uint32_t user, std::span<float> out) const override {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = -static_cast<float>(i);  // deterministic low base ranking
+    }
+    const auto it = favorites_.find(user);
+    if (it == favorites_.end()) return;
+    float boost = 1000.0f;
+    for (std::uint32_t item : it->second) {
+      out[item] = boost;
+      boost -= 1.0f;
+    }
+  }
+  [[nodiscard]] std::size_t n_users() const override { return n_users_; }
+  [[nodiscard]] std::size_t n_items() const override { return n_items_; }
+
+ private:
+  std::size_t n_users_;
+  std::size_t n_items_;
+  std::map<std::uint32_t, std::vector<std::uint32_t>> favorites_;
+};
+
+graph::InteractionSplit make_split() {
+  graph::InteractionSplit split(2, 50);
+  split.train.add(0, 0);
+  split.train.add(1, 1);
+  split.test.add(0, 10);
+  split.test.add(0, 11);
+  split.test.add(1, 20);
+  split.train.finalize();
+  split.test.finalize();
+  return split;
+}
+
+TEST(Evaluator, OracleGetsPerfectScores) {
+  const auto split = make_split();
+  OracleModel model(2, 50, {{0, {10, 11}}, {1, {20}}});
+  const TopKMetrics m = evaluate_topk(model, split);
+  EXPECT_EQ(m.n_users, 2u);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.ndcg, 1.0);
+  EXPECT_DOUBLE_EQ(m.hit_rate, 1.0);
+}
+
+TEST(Evaluator, AntiOracleGetsZero) {
+  const auto split = make_split();
+  OracleModel model(2, 50, {});  // never boosts the test items high
+  EvalConfig config;
+  config.k = 5;
+  const TopKMetrics m = evaluate_topk(model, split, config);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+}
+
+TEST(Evaluator, TrainItemsAreMasked) {
+  graph::InteractionSplit split(1, 10);
+  split.train.add(0, 3);
+  split.test.add(0, 4);
+  split.train.finalize();
+  split.test.finalize();
+  // Model loves item 3 (a train item) most, then item 4.
+  OracleModel model(1, 10, {{0, {3, 4}}});
+  EvalConfig config;
+  config.k = 1;
+  const TopKMetrics m = evaluate_topk(model, split, config);
+  // With masking, item 3 is removed and item 4 tops the list.
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+
+  config.mask_train_items = false;
+  const TopKMetrics unmasked = evaluate_topk(model, split, config);
+  EXPECT_DOUBLE_EQ(unmasked.recall, 0.0);
+}
+
+TEST(Evaluator, UsersWithoutTestItemsAreSkipped) {
+  graph::InteractionSplit split(3, 10);
+  split.train.add(0, 0);
+  split.train.add(1, 1);
+  split.train.add(2, 2);
+  split.test.add(1, 5);
+  split.train.finalize();
+  split.test.finalize();
+  OracleModel model(3, 10, {{1, {5}}});
+  const TopKMetrics m = evaluate_topk(model, split);
+  EXPECT_EQ(m.n_users, 1u);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+TEST(Evaluator, CandidateMaskRestrictsRanking) {
+  graph::InteractionSplit split(1, 10);
+  split.train.add(0, 0);
+  split.test.add(0, 4);
+  split.test.add(0, 7);
+  split.train.finalize();
+  split.test.finalize();
+  // Model ranks item 7 highest, then 4.
+  OracleModel model(1, 10, {{0, {7, 4}}});
+
+  // Mask out item 7: only item 4 remains reachable; the user's recall
+  // denominator still counts both test items.
+  std::vector<bool> mask(10, true);
+  mask[7] = false;
+  EvalConfig config;
+  config.k = 1;
+  config.candidate_items = &mask;
+  const TopKMetrics m = evaluate_topk(model, split, config);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);  // found 4, cannot find 7
+}
+
+TEST(Evaluator, UsersOutsideMaskAreSkipped) {
+  graph::InteractionSplit split(2, 10);
+  split.train.add(0, 0);
+  split.train.add(1, 1);
+  split.test.add(0, 4);  // inside mask
+  split.test.add(1, 8);  // outside mask
+  split.train.finalize();
+  split.test.finalize();
+  OracleModel model(2, 10, {{0, {4}}, {1, {8}}});
+  std::vector<bool> mask(10, true);
+  for (std::size_t i = 5; i < 10; ++i) mask[i] = false;
+  EvalConfig config;
+  config.candidate_items = &mask;
+  const TopKMetrics m = evaluate_topk(model, split, config);
+  EXPECT_EQ(m.n_users, 1u);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+TEST(Evaluator, RejectsWrongSizeMask) {
+  const auto split = make_split();
+  OracleModel model(2, 50, {});
+  std::vector<bool> mask(49, true);
+  EvalConfig config;
+  config.candidate_items = &mask;
+  EXPECT_THROW(evaluate_topk(model, split, config), std::invalid_argument);
+}
+
+TEST(Evaluator, RejectsMismatchedModel) {
+  const auto split = make_split();
+  OracleModel wrong_size(2, 49, {});
+  EXPECT_THROW(evaluate_topk(wrong_size, split), std::invalid_argument);
+}
+
+// Property sweep: recall@K is monotone non-decreasing in K, and all
+// metrics stay within [0, 1], for a model that ranks one test item at a
+// controlled position.
+class EvaluatorKSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EvaluatorKSweep, RecallMonotoneAndBounded) {
+  graph::InteractionSplit split(1, 100);
+  split.train.add(0, 0);
+  for (std::uint32_t item = 40; item < 50; ++item) split.test.add(0, item);
+  split.train.finalize();
+  split.test.finalize();
+  // Base ranking is by descending item id offsets; favorites put a few
+  // test items near the top.
+  OracleModel model(1, 100, {{0, {40, 41, 42}}});
+
+  const std::size_t k = GetParam();
+  EvalConfig config;
+  config.k = k;
+  const TopKMetrics at_k = evaluate_topk(model, split, config);
+  EXPECT_GE(at_k.recall, 0.0);
+  EXPECT_LE(at_k.recall, 1.0);
+  EXPECT_GE(at_k.ndcg, 0.0);
+  EXPECT_LE(at_k.ndcg, 1.0);
+  EXPECT_LE(at_k.precision, 1.0);
+
+  if (k > 1) {
+    config.k = k - 1;
+    const TopKMetrics at_k_minus = evaluate_topk(model, split, config);
+    EXPECT_GE(at_k.recall, at_k_minus.recall) << "recall not monotone at k=" << k;
+    EXPECT_GE(at_k.hit_rate, at_k_minus.hit_rate);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, EvaluatorKSweep,
+                         ::testing::Values(1, 2, 3, 5, 10, 20, 50, 100));
+
+}  // namespace
+}  // namespace ckat::eval

@@ -1,0 +1,42 @@
+#include "eval/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ckat::eval {
+namespace {
+
+TEST(ExperimentRegistry, NamesAreInTableTwoOrder) {
+  const auto& names = all_model_names();
+  ASSERT_EQ(names.size(), 8u);
+  EXPECT_EQ(names.front(), "BPRMF");
+  EXPECT_EQ(names[5], "RippleNet");
+  EXPECT_EQ(names[6], "KGCN");
+  EXPECT_EQ(names.back(), "CKAT");
+}
+
+TEST(DefaultCkatConfig, SmallCatalog) {
+  const auto config = default_ckat_config(563);
+  EXPECT_EQ(config.cf_batch_size, 2048u);
+  EXPECT_EQ(config.epochs, 25);
+}
+
+TEST(DefaultCkatConfig, LargeCatalogUsesSmallerBatches) {
+  const auto config = default_ckat_config(3067);
+  EXPECT_EQ(config.cf_batch_size, 1024u);
+  EXPECT_EQ(config.epochs, 30);
+  EXPECT_GT(config.epochs, default_ckat_config(500).epochs);
+}
+
+TEST(DefaultCkatConfig, SharedPaperSettings) {
+  // Settings fixed by Sec. VI.D regardless of catalog size.
+  for (std::size_t n : {100u, 5000u}) {
+    const auto config = default_ckat_config(n);
+    EXPECT_EQ(config.embedding_dim, 64u);
+    EXPECT_EQ(config.layer_dims, (std::vector<std::size_t>{64, 32, 16}));
+    EXPECT_TRUE(config.use_attention);
+    EXPECT_EQ(config.aggregator, core::Aggregator::kConcat);
+  }
+}
+
+}  // namespace
+}  // namespace ckat::eval

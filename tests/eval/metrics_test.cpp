@@ -1,0 +1,112 @@
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace ckat::eval {
+namespace {
+
+TEST(IdealDcg, KnownValues) {
+  EXPECT_DOUBLE_EQ(ideal_dcg(1, 20), 1.0);
+  EXPECT_NEAR(ideal_dcg(2, 20), 1.0 + 1.0 / std::log2(3.0), 1e-12);
+  // Cutoff limits the ideal.
+  EXPECT_DOUBLE_EQ(ideal_dcg(10, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ideal_dcg(0, 20), 0.0);
+}
+
+TEST(UserMetrics, PerfectRanking) {
+  const std::vector<std::uint32_t> ranked = {3, 7};
+  const std::vector<std::uint32_t> relevant = {3, 7};
+  const TopKMetrics m = user_topk_metrics(ranked, relevant);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.ndcg, 1.0);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.hit_rate, 1.0);
+}
+
+TEST(UserMetrics, NoHits) {
+  const std::vector<std::uint32_t> ranked = {1, 2};
+  const std::vector<std::uint32_t> relevant = {5};
+  const TopKMetrics m = user_topk_metrics(ranked, relevant);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.ndcg, 0.0);
+  EXPECT_DOUBLE_EQ(m.hit_rate, 0.0);
+}
+
+TEST(UserMetrics, PartialHitPositionMatters) {
+  // Relevant item at rank 2 (0-indexed position 1).
+  const std::vector<std::uint32_t> ranked = {9, 5, 8};
+  const std::vector<std::uint32_t> relevant = {5};
+  const TopKMetrics m = user_topk_metrics(ranked, relevant);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_NEAR(m.ndcg, 1.0 / std::log2(3.0), 1e-12);
+  EXPECT_NEAR(m.precision, 1.0 / 3.0, 1e-12);
+}
+
+TEST(UserMetrics, RecallDenominatorIsRelevantCount) {
+  const std::vector<std::uint32_t> ranked = {1};
+  const std::vector<std::uint32_t> relevant = {1, 2, 3, 4};
+  const TopKMetrics m = user_topk_metrics(ranked, relevant);
+  EXPECT_DOUBLE_EQ(m.recall, 0.25);
+}
+
+TEST(UserMetrics, EmptyRelevantCountsUserWithZeros) {
+  const std::vector<std::uint32_t> ranked = {1};
+  const TopKMetrics m = user_topk_metrics(ranked, {});
+  EXPECT_EQ(m.n_users, 1u);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+}
+
+TEST(Aggregation, AccumulateAndFinalize) {
+  TopKMetrics total;
+  total += user_topk_metrics(std::vector<std::uint32_t>{1},
+                             std::vector<std::uint32_t>{1});
+  total += user_topk_metrics(std::vector<std::uint32_t>{2},
+                             std::vector<std::uint32_t>{3});
+  EXPECT_EQ(total.n_users, 2u);
+  total.finalize();
+  EXPECT_DOUBLE_EQ(total.recall, 0.5);
+  EXPECT_DOUBLE_EQ(total.hit_rate, 0.5);
+}
+
+TEST(Aggregation, FinalizeOnEmptyIsNoOp) {
+  TopKMetrics m;
+  m.finalize();
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+}
+
+TEST(TopK, ReturnsLargestInOrder) {
+  const std::vector<float> scores = {0.1f, 0.9f, 0.5f, 0.7f};
+  const auto top = top_k_indices(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 3u);
+  EXPECT_EQ(top[2], 2u);
+}
+
+TEST(TopK, TiesBrokenByLowerIndex) {
+  const std::vector<float> scores = {0.5f, 0.5f, 0.5f};
+  const auto top = top_k_indices(scores, 2);
+  EXPECT_EQ(top[0], 0u);
+  EXPECT_EQ(top[1], 1u);
+}
+
+TEST(TopK, KLargerThanSize) {
+  const std::vector<float> scores = {0.2f, 0.1f};
+  const auto top = top_k_indices(scores, 10);
+  EXPECT_EQ(top.size(), 2u);
+}
+
+TEST(TopK, MaskedItemsNeverReturned) {
+  const float ninf = -std::numeric_limits<float>::infinity();
+  const std::vector<float> scores = {0.5f, ninf, ninf, 0.1f};
+  const auto top = top_k_indices(scores, 4);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 0u);
+  EXPECT_EQ(top[1], 3u);
+}
+
+}  // namespace
+}  // namespace ckat::eval

@@ -1,0 +1,174 @@
+#include "facility/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/trace_stats.hpp"
+
+namespace ckat::facility {
+namespace {
+
+// The tiny datasets are cheap; construct once per suite.
+const FacilityDataset& tiny_ooi() {
+  static const FacilityDataset ds = make_ooi_dataset(42, DatasetScale::kTiny);
+  return ds;
+}
+const FacilityDataset& tiny_gage() {
+  static const FacilityDataset ds = make_gage_dataset(42, DatasetScale::kTiny);
+  return ds;
+}
+
+TEST(Dataset, TinyOoiBasicShape) {
+  const auto& ds = tiny_ooi();
+  EXPECT_EQ(ds.n_users(), 60u);
+  EXPECT_GT(ds.n_items(), 100u);
+  EXPECT_EQ(ds.trace().size(), 4000u);
+  EXPECT_GT(ds.split().train.size(), 0u);
+  EXPECT_GT(ds.split().test.size(), 0u);
+}
+
+TEST(Dataset, SplitIsRoughly80To20) {
+  const auto& ds = tiny_gage();
+  const double total =
+      static_cast<double>(ds.split().train.size() + ds.split().test.size());
+  const double train_fraction = ds.split().train.size() / total;
+  EXPECT_GT(train_fraction, 0.75);
+  EXPECT_LT(train_fraction, 0.92);
+}
+
+TEST(Dataset, KnowledgeSourcesAreLocDkgMd) {
+  const auto& sources = tiny_ooi().knowledge_sources();
+  ASSERT_EQ(sources.size(), 3u);
+  EXPECT_EQ(sources[0].name, kSourceLoc);
+  EXPECT_EQ(sources[1].name, kSourceDkg);
+  EXPECT_EQ(sources[2].name, kSourceMd);
+  for (const auto& src : sources) {
+    EXPECT_FALSE(src.item_triples.empty()) << src.name;
+  }
+}
+
+TEST(Dataset, EveryItemHasLocAndDkgFacts) {
+  const auto& ds = tiny_ooi();
+  const auto& loc = ds.knowledge_sources()[0];
+  std::vector<int> located(ds.n_items(), 0);
+  for (const auto& t : loc.item_triples) {
+    if (t.relation == "locatedAt") located[t.item]++;
+  }
+  for (std::size_t i = 0; i < ds.n_items(); ++i) {
+    EXPECT_EQ(located[i], 1) << "item " << i;
+  }
+}
+
+TEST(Dataset, DefaultCkgUsesLocDkgUug) {
+  const auto& ds = tiny_ooi();
+  const auto ckg = ds.build_default_ckg();
+  EXPECT_TRUE(ckg.relations().contains("locatedAt"));
+  EXPECT_TRUE(ckg.relations().contains("dataType"));
+  EXPECT_FALSE(ckg.relations().contains("generatedBy"));  // MD excluded
+  EXPECT_EQ(ckg.n_users(), ds.n_users());
+  EXPECT_EQ(ckg.n_items(), ds.n_items());
+}
+
+TEST(Dataset, CkgWithMdAddsRelations) {
+  const auto& ds = tiny_ooi();
+  graph::CkgOptions options;
+  options.include_user_user = true;
+  options.sources = {kSourceLoc, kSourceDkg, kSourceMd};
+  const auto full = ds.build_ckg(options);
+  EXPECT_TRUE(full.relations().contains("generatedBy"));
+  EXPECT_TRUE(full.relations().contains("deliveryMethod"));
+  // OOI's MD includes instrument groups -> 8 relations total (Table I).
+  EXPECT_EQ(full.n_relations(), 8u);
+}
+
+TEST(Dataset, GageHasSevenRelationsWithMd) {
+  const auto& ds = tiny_gage();
+  graph::CkgOptions options;
+  options.include_user_user = true;
+  options.sources = {kSourceLoc, kSourceDkg, kSourceMd};
+  EXPECT_EQ(ds.build_ckg(options).n_relations(), 7u);  // Table I
+}
+
+TEST(Dataset, UnknownSourceRejected) {
+  const auto& ds = tiny_ooi();
+  graph::CkgOptions options;
+  options.sources = {"NOPE"};
+  EXPECT_THROW(ds.build_ckg(options), std::invalid_argument);
+}
+
+TEST(Dataset, UnknownFacilityRejected) {
+  DatasetConfig config;
+  config.facility = "LIGO";
+  EXPECT_THROW(FacilityDataset{config}, std::invalid_argument);
+}
+
+TEST(Dataset, DeterministicAcrossConstructions) {
+  const FacilityDataset a = make_ooi_dataset(7, DatasetScale::kTiny);
+  const FacilityDataset b = make_ooi_dataset(7, DatasetScale::kTiny);
+  ASSERT_EQ(a.trace().size(), b.trace().size());
+  for (std::size_t i = 0; i < a.trace().size(); ++i) {
+    EXPECT_EQ(a.trace()[i].user, b.trace()[i].user);
+    EXPECT_EQ(a.trace()[i].object, b.trace()[i].object);
+  }
+  EXPECT_EQ(a.user_user_pairs(), b.user_user_pairs());
+}
+
+TEST(Dataset, DifferentSeedsProduceDifferentTraces) {
+  const FacilityDataset a = make_ooi_dataset(7, DatasetScale::kTiny);
+  const FacilityDataset b = make_ooi_dataset(8, DatasetScale::kTiny);
+  std::size_t differences = 0;
+  const std::size_t n = std::min(a.trace().size(), b.trace().size());
+  for (std::size_t i = 0; i < n; ++i) {
+    differences += a.trace()[i].object != b.trace()[i].object;
+  }
+  EXPECT_GT(differences, n / 2);
+}
+
+// Paper-scale calibration: the generated traces must reproduce the
+// affinity fractions measured in Sec. III.B2 and the CKG must land near
+// Table I. These construct the full datasets (a few seconds).
+class PaperScaleCalibration : public ::testing::Test {
+ protected:
+  static const FacilityDataset& ooi() {
+    static const FacilityDataset ds = make_ooi_dataset(42);
+    return ds;
+  }
+  static const FacilityDataset& gage() {
+    static const FacilityDataset ds = make_gage_dataset(42);
+    return ds;
+  }
+};
+
+TEST_F(PaperScaleCalibration, OoiAffinitiesMatchPaper) {
+  const auto m = analysis::measure_affinities(ooi());
+  EXPECT_NEAR(m.modal_region_fraction, 0.431, 0.05);  // paper: 43.1%
+  EXPECT_NEAR(m.modal_type_fraction, 0.516, 0.05);    // paper: 51.6%
+}
+
+TEST_F(PaperScaleCalibration, GageAffinitiesMatchPaper) {
+  const auto m = analysis::measure_affinities(gage());
+  EXPECT_NEAR(m.modal_region_fraction, 0.363, 0.05);  // paper: 36.3%
+  EXPECT_NEAR(m.modal_type_fraction, 0.688, 0.05);    // paper: 68.8%
+}
+
+TEST_F(PaperScaleCalibration, TableOneShape) {
+  graph::CkgOptions full;
+  full.include_user_user = true;
+  full.sources = {kSourceLoc, kSourceDkg, kSourceMd};
+
+  const auto ooi_stats = ooi().build_ckg(full).stats();
+  EXPECT_EQ(ooi_stats.n_relations, 8u);        // paper: 8
+  EXPECT_NEAR(static_cast<double>(ooi_stats.n_entities), 1342.0, 350.0);
+  EXPECT_NEAR(static_cast<double>(ooi_stats.n_triples), 5554.0, 2000.0);
+
+  const auto gage_stats = gage().build_ckg(full).stats();
+  EXPECT_EQ(gage_stats.n_relations, 7u);       // paper: 7
+  EXPECT_NEAR(static_cast<double>(gage_stats.n_entities), 4754.0, 900.0);
+  EXPECT_NEAR(static_cast<double>(gage_stats.n_triples), 20314.0, 8000.0);
+
+  // GAGE's CKG is larger than OOI's in every dimension (as in Table I).
+  EXPECT_GT(gage_stats.n_entities, ooi_stats.n_entities);
+  EXPECT_GT(gage_stats.n_triples, ooi_stats.n_triples);
+}
+
+}  // namespace
+}  // namespace ckat::facility

@@ -1,0 +1,68 @@
+#include "facility/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "util/csv.hpp"
+
+namespace ckat::facility {
+namespace {
+
+class ExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ckat_export_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(ExportTest, WritesAllFourFiles) {
+  const auto dataset = make_ooi_dataset(42, DatasetScale::kTiny);
+  export_dataset_csv(dataset, dir_.string());
+  for (const char* file :
+       {"objects.csv", "users.csv", "trace.csv", "interactions.csv"}) {
+    EXPECT_TRUE(std::filesystem::exists(dir_ / file)) << file;
+  }
+}
+
+TEST_F(ExportTest, RowCountsMatchDataset) {
+  const auto dataset = make_ooi_dataset(42, DatasetScale::kTiny);
+  export_dataset_csv(dataset, dir_.string());
+
+  const auto objects = util::read_csv((dir_ / "objects.csv").string());
+  EXPECT_EQ(objects.size(), dataset.n_items() + 1);  // + header
+  const auto users = util::read_csv((dir_ / "users.csv").string());
+  EXPECT_EQ(users.size(), dataset.n_users() + 1);
+  const auto trace = util::read_csv((dir_ / "trace.csv").string());
+  EXPECT_EQ(trace.size(), dataset.trace().size() + 1);
+  const auto interactions =
+      util::read_csv((dir_ / "interactions.csv").string());
+  EXPECT_EQ(interactions.size(), dataset.split().train.size() +
+                                     dataset.split().test.size() + 1);
+}
+
+TEST_F(ExportTest, ObjectRowsCarryResolvedNames) {
+  const auto dataset = make_ooi_dataset(42, DatasetScale::kTiny);
+  export_dataset_csv(dataset, dir_.string());
+  const auto objects = util::read_csv((dir_ / "objects.csv").string());
+  ASSERT_GT(objects.size(), 1u);
+  const auto& row = objects[1];
+  ASSERT_EQ(row.size(), 7u);
+  const DataObject& first = dataset.model().objects[0];
+  EXPECT_EQ(row[1], dataset.model().sites[first.site].name);
+  EXPECT_EQ(row[4], dataset.model().data_types[first.data_type].name);
+}
+
+TEST_F(ExportTest, FailsOnMissingDirectory) {
+  const auto dataset = make_ooi_dataset(42, DatasetScale::kTiny);
+  EXPECT_THROW(export_dataset_csv(dataset, "/definitely/not/a/dir"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ckat::facility

@@ -1,0 +1,100 @@
+#include "facility/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace ckat::facility {
+namespace {
+
+TEST(OoiModel, MatchesPaperStructureCounts) {
+  util::Rng rng(1);
+  const FacilityModel m = make_ooi_model(rng);
+  EXPECT_EQ(m.name, "OOI");
+  EXPECT_EQ(m.regions.size(), 8u);    // 8 research arrays
+  EXPECT_EQ(m.sites.size(), 55u);     // 55 sites
+  EXPECT_EQ(m.instruments.size(), 36u);  // 36 instrument classes
+  EXPECT_GE(m.data_types.size(), 20u);
+  EXPECT_EQ(m.disciplines.size(), 6u);
+  EXPECT_GT(m.n_objects(), 400u);
+  EXPECT_LT(m.n_objects(), 900u);
+}
+
+TEST(OoiModel, EverySiteHostsObjects) {
+  util::Rng rng(2);
+  const FacilityModel m = make_ooi_model(rng);
+  std::set<std::uint32_t> sites_with_objects;
+  for (const DataObject& o : m.objects) sites_with_objects.insert(o.site);
+  EXPECT_EQ(sites_with_objects.size(), m.sites.size());
+}
+
+TEST(OoiModel, ObjectsConsistentWithInstruments) {
+  util::Rng rng(3);
+  const FacilityModel m = make_ooi_model(rng);
+  for (const DataObject& o : m.objects) {
+    const auto& measured = m.instruments[o.instrument].measured_types;
+    EXPECT_NE(std::find(measured.begin(), measured.end(), o.data_type),
+              measured.end())
+        << "object stream not measured by its instrument";
+  }
+}
+
+TEST(GageModel, MatchesPaperStructureCounts) {
+  util::Rng rng(4);
+  const FacilityModel m = make_gage_model(rng);
+  EXPECT_EQ(m.name, "GAGE");
+  EXPECT_EQ(m.regions.size(), 48u);   // contiguous US states
+  EXPECT_EQ(m.sites.size(), 338u);    // 338 cities
+  EXPECT_EQ(m.data_types.size(), 12u);  // 12 data types
+  EXPECT_EQ(m.disciplines.size(), 4u);
+  // 2,106 stations with 1-2 streams each.
+  EXPECT_GT(m.n_objects(), 2106u);
+  EXPECT_LT(m.n_objects(), 2 * 2106u + 1);
+}
+
+TEST(GageModel, StationCountScales) {
+  util::Rng rng(5);
+  const FacilityModel m = make_gage_model(rng, 100);
+  EXPECT_GE(m.n_objects(), 100u);
+  EXPECT_LE(m.n_objects(), 200u);
+}
+
+TEST(GageModel, WesternStatesAreDenser) {
+  util::Rng rng(6);
+  const FacilityModel m = make_gage_model(rng);
+  std::size_t ca_sites = 0, ct_sites = 0;
+  for (const Site& s : m.sites) {
+    if (m.regions[s.region] == "CA") ++ca_sites;
+    if (m.regions[s.region] == "CT") ++ct_sites;
+  }
+  EXPECT_GT(ca_sites, ct_sites);
+}
+
+TEST(Models, DeterministicGivenSeed) {
+  util::Rng r1(42), r2(42);
+  const FacilityModel a = make_ooi_model(r1);
+  const FacilityModel b = make_ooi_model(r2);
+  ASSERT_EQ(a.n_objects(), b.n_objects());
+  for (std::size_t i = 0; i < a.n_objects(); ++i) {
+    EXPECT_EQ(a.objects[i].site, b.objects[i].site);
+    EXPECT_EQ(a.objects[i].data_type, b.objects[i].data_type);
+  }
+}
+
+TEST(Models, ValidatePassesOnFactories) {
+  util::Rng rng(7);
+  EXPECT_NO_THROW(make_ooi_model(rng).validate());
+  EXPECT_NO_THROW(make_gage_model(rng, 300).validate());
+}
+
+TEST(Models, ValidateCatchesInconsistentObject) {
+  util::Rng rng(8);
+  FacilityModel m = make_ooi_model(rng);
+  m.objects[0].discipline =
+      (m.objects[0].discipline + 1) % m.disciplines.size();
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ckat::facility

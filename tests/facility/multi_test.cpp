@@ -1,0 +1,111 @@
+#include "facility/multi.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ckat::facility {
+namespace {
+
+struct SharedData {
+  SharedData()
+      : ooi(make_ooi_dataset(42, DatasetScale::kTiny)),
+        gage(make_gage_dataset(42, DatasetScale::kTiny)) {
+    util::Rng rng(5);
+    combined = std::make_unique<CombinedFacilities>(ooi, gage, 4, rng);
+  }
+  FacilityDataset ooi;
+  FacilityDataset gage;
+  std::unique_ptr<CombinedFacilities> combined;
+};
+
+const SharedData& shared() {
+  static const SharedData data;
+  return data;
+}
+
+TEST(CombinedFacilitiesTest, IdSpacesConcatenate) {
+  const auto& c = *shared().combined;
+  EXPECT_EQ(c.n_users(), shared().ooi.n_users() + shared().gage.n_users());
+  EXPECT_EQ(c.n_items(), shared().ooi.n_items() + shared().gage.n_items());
+  EXPECT_EQ(c.user_offset(0), 0u);
+  EXPECT_EQ(c.user_offset(1), shared().ooi.n_users());
+  EXPECT_EQ(c.item_offset(1), shared().ooi.n_items());
+}
+
+TEST(CombinedFacilitiesTest, InteractionsCarryOverWithOffsets) {
+  const auto& c = *shared().combined;
+  EXPECT_EQ(c.split().train.size(), shared().ooi.split().train.size() +
+                                        shared().gage.split().train.size());
+  // Spot-check: GAGE user 0's items appear at offset ids.
+  auto original = shared().gage.split().train.items_of(0);
+  auto shifted = c.split().train.items_of(c.user_offset(1));
+  ASSERT_EQ(original.size(), shifted.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(shifted[i], original[i] + c.item_offset(1));
+  }
+}
+
+TEST(CombinedFacilitiesTest, CrossFacilityPairsExist) {
+  const auto& c = *shared().combined;
+  EXPECT_GT(c.n_cross_facility_pairs(), 0u);
+  // Every cross pair links one user per facility.
+  std::size_t observed_cross = 0;
+  for (const auto& [a, b] : c.user_user_pairs()) {
+    const bool a_first = a < c.user_offset(1);
+    const bool b_first = b < c.user_offset(1);
+    observed_cross += (a_first != b_first);
+  }
+  EXPECT_GT(observed_cross, 0u);
+  EXPECT_GE(c.user_user_pairs().size(),
+            shared().ooi.user_user_pairs().size() +
+                shared().gage.user_user_pairs().size());
+}
+
+TEST(CombinedFacilitiesTest, ItemMasksPartition) {
+  const auto& c = *shared().combined;
+  const auto first = c.item_mask(0);
+  const auto second = c.item_mask(1);
+  ASSERT_EQ(first.size(), c.n_items());
+  for (std::size_t i = 0; i < c.n_items(); ++i) {
+    EXPECT_NE(first[i], second[i]) << "masks must partition at item " << i;
+  }
+  EXPECT_THROW(c.item_mask(2), std::invalid_argument);
+}
+
+TEST(CombinedFacilitiesTest, CkgBuildsWithAlignedDisciplines) {
+  const auto& c = *shared().combined;
+  const auto ckg = c.build_ckg();
+  EXPECT_EQ(ckg.n_users(), c.n_users());
+  EXPECT_EQ(ckg.n_items(), c.n_items());
+  EXPECT_GT(ckg.knowledge_triples().size(),
+            shared().ooi.build_default_ckg().knowledge_triples().size());
+  // Facility-scoped attributes are namespaced...
+  bool found_namespaced = false;
+  for (std::uint32_t e = static_cast<std::uint32_t>(c.n_users() + c.n_items());
+       e < ckg.n_entities(); ++e) {
+    found_namespaced |= ckg.entity_name(e).rfind("OOI/", 0) == 0;
+  }
+  EXPECT_TRUE(found_namespaced);
+  // ...while shared disciplines align by bare name (no facility prefix).
+  bool found_shared_discipline = false;
+  for (std::uint32_t e = static_cast<std::uint32_t>(c.n_users() + c.n_items());
+       e < ckg.n_entities(); ++e) {
+    found_shared_discipline |= ckg.entity_name(e).rfind("disc:", 0) == 0;
+  }
+  EXPECT_TRUE(found_shared_discipline);
+}
+
+TEST(CombinedFacilitiesTest, DeterministicGivenSeed) {
+  util::Rng r1(9), r2(9);
+  CombinedFacilities a(shared().ooi, shared().gage, 4, r1);
+  CombinedFacilities b(shared().ooi, shared().gage, 4, r2);
+  EXPECT_EQ(a.user_user_pairs(), b.user_user_pairs());
+}
+
+TEST(CombinedFacilitiesTest, ZeroCrossNeighborsMeansNoCrossPairs) {
+  util::Rng rng(11);
+  CombinedFacilities c(shared().ooi, shared().gage, 0, rng);
+  EXPECT_EQ(c.n_cross_facility_pairs(), 0u);
+}
+
+}  // namespace
+}  // namespace ckat::facility

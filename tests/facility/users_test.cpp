@@ -1,0 +1,127 @@
+#include "facility/users.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "facility/model.hpp"
+
+namespace ckat::facility {
+namespace {
+
+PopulationParams small_params() {
+  return {.n_users = 200,
+          .n_cities = 20,
+          .n_organizations = 5,
+          .city_profile_adoption = 0.9,
+          .city_size_zipf = 0.9};
+}
+
+class UsersTest : public ::testing::Test {
+ protected:
+  UsersTest() : rng_(11), model_(make_ooi_model(rng_)) {}
+  util::Rng rng_;
+  FacilityModel model_;
+};
+
+TEST_F(UsersTest, PopulationCounts) {
+  util::Rng rng(1);
+  UserPopulation pop(model_, small_params(), rng);
+  EXPECT_EQ(pop.n_users(), 200u);
+  EXPECT_EQ(pop.cities().size(), 20u);
+  EXPECT_EQ(pop.organizations().size(), 5u);
+}
+
+TEST_F(UsersTest, ProfilesReferenceFacility) {
+  util::Rng rng(2);
+  UserPopulation pop(model_, small_params(), rng);
+  for (const UserProfile& u : pop.users()) {
+    EXPECT_LT(u.city, 20u);
+    EXPECT_LT(u.preferred_region, model_.regions.size());
+    EXPECT_LT(u.preferred_discipline, model_.disciplines.size());
+    ASSERT_FALSE(u.preferred_types.empty());
+    for (std::uint32_t t : u.preferred_types) {
+      EXPECT_EQ(model_.data_types[t].discipline, u.preferred_discipline)
+          << "preferred types must come from the preferred discipline";
+    }
+  }
+}
+
+TEST_F(UsersTest, SameCityUsersMostlyShareRegion) {
+  util::Rng rng(3);
+  UserPopulation pop(model_, small_params(), rng);
+  std::map<std::uint32_t, std::map<std::uint32_t, int>> region_by_city;
+  std::map<std::uint32_t, int> city_total;
+  for (const UserProfile& u : pop.users()) {
+    region_by_city[u.city][u.preferred_region]++;
+    city_total[u.city]++;
+  }
+  // In cities with >= 10 users, the modal preferred region should
+  // dominate (adoption = 0.9).
+  for (const auto& [city, counts] : region_by_city) {
+    if (city_total[city] < 10) continue;
+    int modal = 0;
+    for (const auto& [region, count] : counts) modal = std::max(modal, count);
+    EXPECT_GT(static_cast<double>(modal) / city_total[city], 0.6)
+        << "city " << city;
+  }
+}
+
+TEST_F(UsersTest, OrganizationMembersShareCity) {
+  util::Rng rng(4);
+  UserPopulation pop(model_, small_params(), rng);
+  for (std::uint32_t org = 0; org < pop.organizations().size(); ++org) {
+    const auto members = pop.members_of(org);
+    for (std::uint32_t u : members) {
+      EXPECT_EQ(pop.user(u).city, org) << "org " << org << " member " << u;
+    }
+  }
+}
+
+TEST_F(UsersTest, SameCityPairsAreValid) {
+  util::Rng rng(5);
+  UserPopulation pop(model_, small_params(), rng);
+  util::Rng pair_rng(6);
+  const auto pairs = pop.same_city_pairs(5, pair_rng);
+  EXPECT_FALSE(pairs.empty());
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  for (const auto& [a, b] : pairs) {
+    EXPECT_LT(a, b) << "pairs must be ordered";
+    EXPECT_EQ(pop.user(a).city, pop.user(b).city);
+    EXPECT_TRUE(seen.insert({a, b}).second) << "duplicate pair";
+  }
+}
+
+TEST_F(UsersTest, NeighborCapLimitsPairCount) {
+  util::Rng rng(7);
+  UserPopulation pop(model_, small_params(), rng);
+  util::Rng r1(8), r2(8);
+  const auto few = pop.same_city_pairs(2, r1);
+  const auto many = pop.same_city_pairs(50, r2);
+  EXPECT_LT(few.size(), many.size());
+  EXPECT_LE(few.size(), pop.n_users() * 2);
+}
+
+TEST_F(UsersTest, DeterministicGivenSeed) {
+  util::Rng r1(9), r2(9);
+  UserPopulation a(model_, small_params(), r1);
+  UserPopulation b(model_, small_params(), r2);
+  for (std::uint32_t u = 0; u < a.n_users(); ++u) {
+    EXPECT_EQ(a.user(u).city, b.user(u).city);
+    EXPECT_EQ(a.user(u).preferred_region, b.user(u).preferred_region);
+  }
+}
+
+TEST_F(UsersTest, RejectsDegenerateParams) {
+  util::Rng rng(10);
+  PopulationParams p = small_params();
+  p.n_users = 0;
+  EXPECT_THROW(UserPopulation(model_, p, rng), std::invalid_argument);
+  p = small_params();
+  p.n_cities = 3;  // fewer cities than organizations
+  EXPECT_THROW(UserPopulation(model_, p, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ckat::facility

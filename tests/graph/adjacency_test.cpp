@@ -1,0 +1,118 @@
+#include "graph/adjacency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ckat::graph {
+namespace {
+
+std::vector<Triple> triangle() {
+  // 0 -r0-> 1, 1 -r1-> 2, 0 -r0-> 2
+  return {{0, 0, 1}, {1, 1, 2}, {0, 0, 2}};
+}
+
+TEST(Adjacency, WithoutInverseKeepsCanonicalEdges) {
+  const auto triples = triangle();
+  Adjacency adj(triples, 3, 2, /*add_inverse=*/false);
+  EXPECT_EQ(adj.n_edges(), 3u);
+  EXPECT_EQ(adj.n_relations(), 2u);
+  EXPECT_EQ(adj.degree(0), 2u);
+  EXPECT_EQ(adj.degree(1), 1u);
+  EXPECT_EQ(adj.degree(2), 0u);
+}
+
+TEST(Adjacency, InverseDoublesEdgesAndRelations) {
+  const auto triples = triangle();
+  Adjacency adj(triples, 3, 2, /*add_inverse=*/true);
+  EXPECT_EQ(adj.n_edges(), 6u);
+  EXPECT_EQ(adj.n_relations(), 4u);
+  EXPECT_EQ(adj.degree(2), 2u);  // two inverse edges land on 2
+}
+
+TEST(Adjacency, EdgesSortedByHead) {
+  const auto triples = triangle();
+  Adjacency adj(triples, 3, 2, /*add_inverse=*/true);
+  for (std::size_t e = 1; e < adj.n_edges(); ++e) {
+    EXPECT_LE(adj.heads()[e - 1], adj.heads()[e]);
+  }
+  // Offsets are consistent with head values.
+  for (std::uint32_t h = 0; h < 3; ++h) {
+    const auto [begin, end] = adj.edge_range(h);
+    for (auto e = begin; e < end; ++e) {
+      EXPECT_EQ(adj.heads()[e], h);
+    }
+  }
+}
+
+TEST(Adjacency, InverseRelationIdsOffsetByCanonicalCount) {
+  const std::vector<Triple> one = {{0, 1, 1}};
+  Adjacency adj(one, 2, 3, /*add_inverse=*/true);
+  ASSERT_EQ(adj.n_edges(), 2u);
+  // Canonical edge from head 0 with relation 1, inverse from 1 with 1+3.
+  const auto [b0, e0] = adj.edge_range(0);
+  ASSERT_EQ(e0 - b0, 1);
+  EXPECT_EQ(adj.relations()[b0], 1u);
+  const auto [b1, e1] = adj.edge_range(1);
+  ASSERT_EQ(e1 - b1, 1);
+  EXPECT_EQ(adj.relations()[b1], 4u);
+  EXPECT_EQ(adj.tails()[b1], 0u);
+}
+
+TEST(Adjacency, RejectsOutOfRangeIds) {
+  const std::vector<Triple> bad_entity = {{5, 0, 1}};
+  EXPECT_THROW(Adjacency(bad_entity, 3, 2, false), std::out_of_range);
+  const std::vector<Triple> bad_relation = {{0, 7, 1}};
+  EXPECT_THROW(Adjacency(bad_relation, 3, 2, false), std::out_of_range);
+}
+
+// Property sweep over random graphs: degree conservation and triple
+// preservation regardless of graph shape.
+class AdjacencyRandomGraphs : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdjacencyRandomGraphs, ConservesEdgesAndTriples) {
+  util::Rng rng(GetParam());
+  const std::size_t n_entities = 20 + rng.uniform_index(30);
+  const std::size_t n_relations = 1 + rng.uniform_index(5);
+  std::vector<Triple> triples(50 + rng.uniform_index(100));
+  for (Triple& t : triples) {
+    t.head = static_cast<std::uint32_t>(rng.uniform_index(n_entities));
+    t.relation = static_cast<std::uint32_t>(rng.uniform_index(n_relations));
+    t.tail = static_cast<std::uint32_t>(rng.uniform_index(n_entities));
+  }
+
+  for (bool inverse : {false, true}) {
+    Adjacency adj(triples, n_entities, n_relations, inverse);
+    const std::size_t expected =
+        inverse ? 2 * triples.size() : triples.size();
+    EXPECT_EQ(adj.n_edges(), expected);
+    // Degree conservation.
+    std::size_t total_degree = 0;
+    for (std::uint32_t h = 0; h < n_entities; ++h) {
+      total_degree += adj.degree(h);
+    }
+    EXPECT_EQ(total_degree, expected);
+    // Every canonical triple appears among its head's edges.
+    for (const Triple& t : triples) {
+      const auto [begin, end] = adj.edge_range(t.head);
+      bool found = false;
+      for (auto e = begin; e < end; ++e) {
+        found |= adj.relations()[e] == t.relation && adj.tails()[e] == t.tail;
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdjacencyRandomGraphs,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(Adjacency, EmptyGraph) {
+  Adjacency adj({}, 4, 2, true);
+  EXPECT_EQ(adj.n_edges(), 0u);
+  EXPECT_EQ(adj.n_entities(), 4u);
+  for (std::uint32_t h = 0; h < 4; ++h) EXPECT_EQ(adj.degree(h), 0u);
+}
+
+}  // namespace
+}  // namespace ckat::graph

@@ -1,0 +1,149 @@
+#include "graph/ckg.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ckat::graph {
+namespace {
+
+/// 2 users, 3 items, LOC source with one site and DKG with one type.
+struct Fixture {
+  Fixture() : train(2, 3) {
+    train.add(0, 0);
+    train.add(0, 1);
+    train.add(1, 2);
+    train.finalize();
+    uug = {{0, 1}};
+
+    KnowledgeSource loc{"LOC", {}, {}};
+    loc.item_triples.push_back({0, "locatedAt", "site:A"});
+    loc.item_triples.push_back({1, "locatedAt", "site:A"});
+    loc.item_triples.push_back({2, "locatedAt", "site:B"});
+    loc.attribute_triples.push_back({"site:A", "inRegion", "region:R"});
+    loc.attribute_triples.push_back({"site:B", "inRegion", "region:R"});
+
+    KnowledgeSource dkg{"DKG", {}, {}};
+    dkg.item_triples.push_back({0, "dataType", "type:P"});
+    dkg.item_triples.push_back({1, "dataType", "type:P"});
+    dkg.item_triples.push_back({2, "dataType", "type:Q"});
+
+    sources = {loc, dkg};
+  }
+
+  InteractionSet train;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> uug;
+  std::vector<KnowledgeSource> sources;
+};
+
+TEST(Ckg, EntityLayout) {
+  Fixture f;
+  CollaborativeKg ckg(f.train, f.uug, f.sources,
+                      CkgOptions{true, {"LOC", "DKG"}});
+  EXPECT_EQ(ckg.n_users(), 2u);
+  EXPECT_EQ(ckg.n_items(), 3u);
+  // Attributes: site:A, site:B, region:R, type:P, type:Q = 5.
+  EXPECT_EQ(ckg.n_entities(), 2u + 3u + 5u);
+  EXPECT_EQ(ckg.user_entity(1), 1u);
+  EXPECT_EQ(ckg.item_entity(0), 2u);
+  EXPECT_EQ(CollaborativeKg::interact_relation(), 0u);
+}
+
+TEST(Ckg, RelationVocabulary) {
+  Fixture f;
+  CollaborativeKg ckg(f.train, f.uug, f.sources,
+                      CkgOptions{true, {"LOC", "DKG"}});
+  // interact, locatedAt, inRegion, dataType.
+  EXPECT_EQ(ckg.n_relations(), 4u);
+  EXPECT_EQ(ckg.relations().id("interact"), 0u);
+  EXPECT_TRUE(ckg.relations().contains("locatedAt"));
+  EXPECT_TRUE(ckg.relations().contains("dataType"));
+}
+
+TEST(Ckg, TripleCounts) {
+  Fixture f;
+  CollaborativeKg ckg(f.train, f.uug, f.sources,
+                      CkgOptions{true, {"LOC", "DKG"}});
+  // Interactions 3 + UUG 1 + LOC (3 + 2) + DKG 3 = 12 total.
+  EXPECT_EQ(ckg.triples().size(), 12u);
+  // Knowledge triples exclude user-item interactions: 1 + 5 + 3 = 9.
+  EXPECT_EQ(ckg.knowledge_triples().size(), 9u);
+}
+
+TEST(Ckg, SourceSelectionFiltersTriples) {
+  Fixture f;
+  CollaborativeKg loc_only(f.train, f.uug, f.sources,
+                           CkgOptions{false, {"LOC"}});
+  // 3 interactions + LOC 5 (no UUG, no DKG).
+  EXPECT_EQ(loc_only.triples().size(), 8u);
+  EXPECT_EQ(loc_only.knowledge_triples().size(), 5u);
+  EXPECT_FALSE(loc_only.relations().contains("dataType"));
+}
+
+TEST(Ckg, UugToggle) {
+  Fixture f;
+  CollaborativeKg without(f.train, f.uug, f.sources,
+                          CkgOptions{false, {"LOC", "DKG"}});
+  CollaborativeKg with(f.train, f.uug, f.sources,
+                       CkgOptions{true, {"LOC", "DKG"}});
+  EXPECT_EQ(with.triples().size(), without.triples().size() + 1);
+}
+
+TEST(Ckg, StatsMatchLayout) {
+  Fixture f;
+  CollaborativeKg ckg(f.train, f.uug, f.sources,
+                      CkgOptions{true, {"LOC", "DKG"}});
+  const KgStats stats = ckg.stats();
+  EXPECT_EQ(stats.n_entities, ckg.n_entities());
+  EXPECT_EQ(stats.n_relations, 4u);
+  EXPECT_EQ(stats.n_triples, 9u);
+  // Each item carries exactly 2 knowledge links (locatedAt + dataType).
+  EXPECT_NEAR(stats.avg_links_per_item, 2.0, 1e-9);
+}
+
+TEST(Ckg, AdjacencyIncludesInverses) {
+  Fixture f;
+  CollaborativeKg ckg(f.train, f.uug, f.sources,
+                      CkgOptions{true, {"LOC", "DKG"}});
+  const Adjacency adj = ckg.build_adjacency();
+  EXPECT_EQ(adj.n_edges(), 2 * ckg.triples().size());
+  EXPECT_EQ(adj.n_relations(), 2 * ckg.n_relations());
+}
+
+TEST(Ckg, EntityNames) {
+  Fixture f;
+  CollaborativeKg ckg(f.train, f.uug, f.sources,
+                      CkgOptions{true, {"LOC", "DKG"}});
+  EXPECT_EQ(ckg.entity_name(0), "user#0");
+  EXPECT_EQ(ckg.entity_name(ckg.item_entity(2)), "item#2");
+  EXPECT_EQ(ckg.entity_name(5), "site:A");
+  EXPECT_THROW(ckg.entity_name(100), std::out_of_range);
+}
+
+TEST(Ckg, RejectsBadUserPair) {
+  Fixture f;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> bad = {{0, 9}};
+  EXPECT_THROW(CollaborativeKg(f.train, bad, f.sources,
+                               CkgOptions{true, {"LOC"}}),
+               std::out_of_range);
+}
+
+TEST(Ckg, RejectsBadItemInSource) {
+  Fixture f;
+  KnowledgeSource broken{"BRK", {{9, "rel", "x"}}, {}};
+  f.sources.push_back(broken);
+  EXPECT_THROW(CollaborativeKg(f.train, f.uug, f.sources,
+                               CkgOptions{false, {"BRK"}}),
+               std::out_of_range);
+}
+
+TEST(Ckg, DeduplicatesRepeatedFacts) {
+  Fixture f;
+  // Duplicate a LOC fact through a second source.
+  KnowledgeSource dup{"DUP", {{0, "locatedAt", "site:A"}}, {}};
+  f.sources.push_back(dup);
+  CollaborativeKg ckg(f.train, f.uug, f.sources,
+                      CkgOptions{true, {"LOC", "DKG", "DUP"}});
+  EXPECT_EQ(ckg.knowledge_triples().size(), 9u);  // unchanged
+}
+
+}  // namespace
+}  // namespace ckat::graph

@@ -1,0 +1,121 @@
+#include "graph/interactions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ckat::graph {
+namespace {
+
+TEST(InteractionSet, AddAndFinalizeDeduplicates) {
+  InteractionSet s(2, 5);
+  s.add(0, 3);
+  s.add(0, 1);
+  s.add(0, 3);  // duplicate
+  s.add(1, 4);
+  s.finalize();
+  EXPECT_EQ(s.size(), 3u);
+  auto items = s.items_of(0);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0], 1u);  // sorted
+  EXPECT_EQ(items[1], 3u);
+}
+
+TEST(InteractionSet, AddValidatesRange) {
+  InteractionSet s(2, 5);
+  EXPECT_THROW(s.add(2, 0), std::out_of_range);
+  EXPECT_THROW(s.add(0, 5), std::out_of_range);
+}
+
+TEST(InteractionSet, Contains) {
+  InteractionSet s(1, 5);
+  s.add(0, 2);
+  EXPECT_TRUE(s.contains(0, 2));
+  EXPECT_FALSE(s.contains(0, 3));
+  s.finalize();
+  EXPECT_TRUE(s.contains(0, 2));
+}
+
+TEST(InteractionSet, SampleNegativeAvoidsPositives) {
+  InteractionSet s(1, 10);
+  for (std::uint32_t i = 0; i < 9; ++i) s.add(0, i);  // only item 9 negative
+  s.finalize();
+  util::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    EXPECT_EQ(s.sample_negative(0, rng), 9u);
+  }
+}
+
+TEST(InteractionSet, SampleNegativeRequiresFinalize) {
+  InteractionSet s(1, 5);
+  s.add(0, 0);
+  util::Rng rng(1);
+  EXPECT_THROW(static_cast<void>(s.sample_negative(0, rng)), std::logic_error);
+}
+
+TEST(InteractionSet, SampleNegativeRejectsSaturatedUser) {
+  InteractionSet s(1, 3);
+  for (std::uint32_t i = 0; i < 3; ++i) s.add(0, i);
+  s.finalize();
+  util::Rng rng(1);
+  EXPECT_THROW(static_cast<void>(s.sample_negative(0, rng)), std::logic_error);
+}
+
+TEST(Split, PerUserFractionsHold) {
+  InteractionSet all(3, 100);
+  for (std::uint32_t i = 0; i < 50; ++i) all.add(0, i);
+  for (std::uint32_t i = 0; i < 10; ++i) all.add(1, i);
+  all.add(2, 7);
+  all.finalize();
+  util::Rng rng(5);
+  const InteractionSplit split = split_interactions(all, 0.8, rng);
+  EXPECT_EQ(split.train.items_of(0).size(), 40u);
+  EXPECT_EQ(split.test.items_of(0).size(), 10u);
+  EXPECT_EQ(split.train.items_of(1).size(), 8u);
+  EXPECT_EQ(split.test.items_of(1).size(), 2u);
+  // Single-interaction users keep their item in train.
+  EXPECT_EQ(split.train.items_of(2).size(), 1u);
+  EXPECT_EQ(split.test.items_of(2).size(), 0u);
+}
+
+TEST(Split, TrainAndTestAreDisjointAndComplete) {
+  InteractionSet all(1, 40);
+  for (std::uint32_t i = 0; i < 30; ++i) all.add(0, i);
+  all.finalize();
+  util::Rng rng(6);
+  const InteractionSplit split = split_interactions(all, 0.8, rng);
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t i : split.train.items_of(0)) seen.insert(i);
+  for (std::uint32_t i : split.test.items_of(0)) {
+    EXPECT_FALSE(seen.count(i)) << "item in both sets";
+    seen.insert(i);
+  }
+  EXPECT_EQ(seen.size(), 30u);
+}
+
+TEST(Split, RejectsBadFraction) {
+  InteractionSet all(1, 5);
+  all.add(0, 0);
+  all.finalize();
+  util::Rng rng(7);
+  EXPECT_THROW(split_interactions(all, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(split_interactions(all, 1.5, rng), std::invalid_argument);
+}
+
+TEST(Split, DeterministicGivenSeed) {
+  InteractionSet all(2, 50);
+  for (std::uint32_t i = 0; i < 20; ++i) all.add(0, i);
+  for (std::uint32_t i = 10; i < 40; ++i) all.add(1, i);
+  all.finalize();
+  util::Rng rng1(9), rng2(9);
+  const auto s1 = split_interactions(all, 0.8, rng1);
+  const auto s2 = split_interactions(all, 0.8, rng2);
+  ASSERT_EQ(s1.train.size(), s2.train.size());
+  for (std::size_t i = 0; i < s1.train.size(); ++i) {
+    EXPECT_EQ(s1.train.pairs()[i].user, s2.train.pairs()[i].user);
+    EXPECT_EQ(s1.train.pairs()[i].item, s2.train.pairs()[i].item);
+  }
+}
+
+}  // namespace
+}  // namespace ckat::graph

@@ -1,0 +1,155 @@
+#include "graph/paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "facility/dataset.hpp"
+
+namespace ckat::graph {
+namespace {
+
+/// The Fig. 1 scenario: two objects connected through shared attributes.
+/// 1 user, 2 items; item 0 -dataType-> P -disc-> Physical <-disc- D
+/// <-dataType- item 1. User interacted with item 0 only.
+struct Fixture {
+  Fixture() : train(1, 2) {
+    train.add(0, 0);
+    train.finalize();
+
+    KnowledgeSource dkg{"DKG", {}, {}};
+    dkg.item_triples.push_back({0, "dataType", "type:Pressure"});
+    dkg.item_triples.push_back({1, "dataType", "type:Density"});
+    dkg.attribute_triples.push_back(
+        {"type:Pressure", "dataDiscipline", "disc:Physical"});
+    dkg.attribute_triples.push_back(
+        {"type:Density", "dataDiscipline", "disc:Physical"});
+    sources = {dkg};
+    ckg = std::make_unique<CollaborativeKg>(
+        train, std::vector<std::pair<std::uint32_t, std::uint32_t>>{},
+        sources, CkgOptions{false, {"DKG"}});
+  }
+
+  InteractionSet train;
+  std::vector<KnowledgeSource> sources;
+  std::unique_ptr<CollaborativeKg> ckg;
+};
+
+TEST(Paths, FindsTheFigureOnePath) {
+  Fixture f;
+  // item 0 to item 1 through Pressure -> Physical <- Density: 4 hops.
+  const auto paths = find_paths(*f.ckg, f.ckg->item_entity(0),
+                                f.ckg->item_entity(1),
+                                PathSearchOptions{.max_hops = 4});
+  ASSERT_FALSE(paths.empty());
+  const KgPath& shortest = paths.front();
+  EXPECT_EQ(shortest.length(), 4u);
+  EXPECT_EQ(shortest.start, f.ckg->item_entity(0));
+  EXPECT_EQ(shortest.end(), f.ckg->item_entity(1));
+  const std::string rendered = format_path(*f.ckg, shortest);
+  EXPECT_NE(rendered.find("type:Pressure"), std::string::npos);
+  EXPECT_NE(rendered.find("disc:Physical"), std::string::npos);
+  EXPECT_NE(rendered.find("type:Density"), std::string::npos);
+}
+
+TEST(Paths, UserToUnseenItemThroughKnowledge) {
+  Fixture f;
+  // user#0 -interact-> item#0 -dataType-> ... -> item#1: 5 hops.
+  const auto paths =
+      find_paths(*f.ckg, f.ckg->user_entity(0), f.ckg->item_entity(1),
+                 PathSearchOptions{.max_hops = 5});
+  ASSERT_FALSE(paths.empty());
+  EXPECT_EQ(paths.front().length(), 5u);
+  const std::string rendered = format_path(*f.ckg, paths.front());
+  EXPECT_EQ(rendered.rfind("user#0", 0), 0u);  // starts at the user
+  EXPECT_NE(rendered.find("-interact->"), std::string::npos);
+}
+
+TEST(Paths, ShorterPathsComeFirst) {
+  Fixture f;
+  // item0 -> type:Pressure is 1 hop; other routes are longer.
+  const std::uint32_t pressure =
+      static_cast<std::uint32_t>(f.ckg->n_users() + f.ckg->n_items());
+  const auto paths = find_paths(*f.ckg, f.ckg->item_entity(0), pressure,
+                                PathSearchOptions{.max_hops = 4,
+                                                  .max_paths = 3});
+  ASSERT_FALSE(paths.empty());
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].length(), paths[i - 1].length());
+  }
+  EXPECT_EQ(paths.front().length(), 1u);
+}
+
+TEST(Paths, InverseStepsAreMarked) {
+  Fixture f;
+  const auto paths = find_paths(*f.ckg, f.ckg->item_entity(0),
+                                f.ckg->item_entity(1),
+                                PathSearchOptions{.max_hops = 4});
+  ASSERT_FALSE(paths.empty());
+  bool any_inverse = false;
+  for (const PathStep& step : paths.front().steps) {
+    any_inverse |= step.inverse;
+  }
+  EXPECT_TRUE(any_inverse);  // the return leg traverses edges backwards
+  const std::string rendered = format_path(*f.ckg, paths.front());
+  EXPECT_NE(rendered.find("<-"), std::string::npos);
+}
+
+TEST(Paths, RespectsHopLimit) {
+  Fixture f;
+  const auto paths = find_paths(*f.ckg, f.ckg->item_entity(0),
+                                f.ckg->item_entity(1),
+                                PathSearchOptions{.max_hops = 3});
+  EXPECT_TRUE(paths.empty());  // the only route needs 4 hops
+}
+
+TEST(Paths, MaxPathsCapsOutput) {
+  Fixture f;
+  const auto paths =
+      find_paths(*f.ckg, f.ckg->user_entity(0), f.ckg->item_entity(1),
+                 PathSearchOptions{.max_hops = 6, .max_paths = 1});
+  EXPECT_LE(paths.size(), 1u);
+}
+
+TEST(Paths, RejectsBadIds) {
+  Fixture f;
+  EXPECT_THROW(find_paths(*f.ckg, 9999, 0, {}), std::out_of_range);
+}
+
+TEST(Paths, NoPathToDisconnectedEntity) {
+  // A second user with no interactions is disconnected.
+  InteractionSet train(2, 2);
+  train.add(0, 0);
+  train.finalize();
+  KnowledgeSource dkg{"DKG", {{0, "dataType", "type:X"}}, {}};
+  CollaborativeKg ckg(train, {}, {dkg}, CkgOptions{false, {"DKG"}});
+  const auto paths = find_paths(ckg, ckg.user_entity(0), ckg.user_entity(1),
+                                PathSearchOptions{.max_hops = 6});
+  EXPECT_TRUE(paths.empty());
+}
+
+TEST(Paths, WorksOnRealDataset) {
+  const auto dataset =
+      facility::make_ooi_dataset(42, facility::DatasetScale::kTiny);
+  const auto ckg = dataset.build_default_ckg();
+  // Find an explanation from a user to some item they did NOT interact
+  // with in training.
+  const std::uint32_t user = 0;
+  std::uint32_t unseen_item = 0;
+  auto items = dataset.split().train.items_of(user);
+  while (std::binary_search(items.begin(), items.end(), unseen_item)) {
+    ++unseen_item;
+  }
+  const auto paths = find_paths(
+      ckg, ckg.user_entity(user),
+      ckg.item_entity(unseen_item),
+      PathSearchOptions{.max_hops = 4, .max_paths = 3});
+  EXPECT_FALSE(paths.empty());
+  for (const KgPath& path : paths) {
+    EXPECT_EQ(path.start, ckg.user_entity(user));
+    EXPECT_EQ(path.end(), ckg.item_entity(unseen_item));
+  }
+}
+
+}  // namespace
+}  // namespace ckat::graph

@@ -1,0 +1,80 @@
+#include "graph/triple_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ckat::graph {
+namespace {
+
+TEST(TripleStore, AddByNameInternsEverything) {
+  TripleStore s;
+  s.add("BOTPT", "measures", "Pressure");
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.entities().size(), 2u);
+  EXPECT_EQ(s.relations().size(), 1u);
+  EXPECT_EQ(s.triples()[0].head, s.entities().id("BOTPT"));
+  EXPECT_EQ(s.triples()[0].tail, s.entities().id("Pressure"));
+}
+
+TEST(TripleStore, AddByIdValidatesRange) {
+  TripleStore s;
+  s.add("a", "r", "b");
+  EXPECT_NO_THROW(s.add(0u, 0u, 1u));
+  EXPECT_THROW(s.add(5u, 0u, 1u), std::out_of_range);
+  EXPECT_THROW(s.add(0u, 3u, 1u), std::out_of_range);
+}
+
+TEST(TripleStore, DeduplicateKeepsFirstOccurrence) {
+  TripleStore s;
+  s.add("a", "r", "b");
+  s.add("c", "r", "d");
+  s.add("a", "r", "b");
+  s.deduplicate();
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.triples()[0].head, s.entities().id("a"));
+  EXPECT_EQ(s.triples()[1].head, s.entities().id("c"));
+}
+
+TEST(TripleStore, StatsCountsBasics) {
+  TripleStore s;
+  s.add("a", "r1", "b");
+  s.add("b", "r2", "c");
+  const KgStats stats = s.stats();
+  EXPECT_EQ(stats.n_entities, 3u);
+  EXPECT_EQ(stats.n_relations, 2u);
+  EXPECT_EQ(stats.n_triples, 2u);
+  // Average degree over all entities: 4 endpoints / 3 entities.
+  EXPECT_NEAR(stats.avg_links_per_item, 4.0 / 3.0, 1e-9);
+}
+
+TEST(TripleStore, StatsWithItemSubset) {
+  TripleStore s;
+  s.add("item", "r", "x");
+  s.add("item", "r", "y");
+  s.add("x", "r", "y");
+  const std::uint32_t item = s.entities().id("item");
+  const std::vector<std::uint32_t> items = {item};
+  const KgStats stats = s.stats(items);
+  EXPECT_NEAR(stats.avg_links_per_item, 2.0, 1e-9);
+}
+
+TEST(TripleStore, StatsRejectsBadItemId) {
+  TripleStore s;
+  s.add("a", "r", "b");
+  const std::vector<std::uint32_t> items = {99};
+  EXPECT_THROW(s.stats(items), std::out_of_range);
+}
+
+TEST(TripleStore, MergeAlignsByName) {
+  TripleStore a;
+  a.add("x", "r", "y");
+  TripleStore b;
+  b.add("y", "r2", "z");  // shares entity "y"
+  a.merge(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.entities().size(), 3u);  // x, y, z -- y aligned
+  EXPECT_EQ(a.relations().size(), 2u);
+  EXPECT_EQ(a.triples()[1].head, a.entities().id("y"));
+}
+
+}  // namespace
+}  // namespace ckat::graph

@@ -1,0 +1,62 @@
+#include "graph/vocab.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace ckat::graph {
+namespace {
+
+TEST(Vocab, InternAssignsSequentialIds) {
+  Vocab v;
+  EXPECT_EQ(v.intern("a"), 0u);
+  EXPECT_EQ(v.intern("b"), 1u);
+  EXPECT_EQ(v.intern("c"), 2u);
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(Vocab, InternIsIdempotent) {
+  Vocab v;
+  EXPECT_EQ(v.intern("x"), 0u);
+  EXPECT_EQ(v.intern("x"), 0u);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(Vocab, IdLookup) {
+  Vocab v;
+  v.intern("alpha");
+  v.intern("beta");
+  EXPECT_EQ(v.id("beta"), 1u);
+  EXPECT_THROW(v.id("gamma"), std::out_of_range);
+}
+
+TEST(Vocab, FindReturnsSentinelForMissing) {
+  Vocab v;
+  v.intern("a");
+  EXPECT_EQ(v.find("a"), 0u);
+  EXPECT_EQ(v.find("zz"), std::numeric_limits<std::uint32_t>::max());
+}
+
+TEST(Vocab, NameRoundTrip) {
+  Vocab v;
+  v.intern("hello");
+  EXPECT_EQ(v.name(0), "hello");
+  EXPECT_THROW(v.name(5), std::out_of_range);
+}
+
+TEST(Vocab, Contains) {
+  Vocab v;
+  v.intern("a");
+  EXPECT_TRUE(v.contains("a"));
+  EXPECT_FALSE(v.contains("b"));
+}
+
+TEST(Vocab, NamesInInsertionOrder) {
+  Vocab v;
+  v.intern("z");
+  v.intern("a");
+  EXPECT_EQ(v.names(), (std::vector<std::string>{"z", "a"}));
+}
+
+}  // namespace
+}  // namespace ckat::graph

@@ -1,0 +1,62 @@
+#include "nn/init.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ckat::nn {
+namespace {
+
+TEST(Init, XavierUniformStaysWithinLimit) {
+  util::Rng rng(11);
+  Tensor t(64, 32);
+  xavier_uniform(t, rng);
+  const float limit = std::sqrt(6.0f / (64 + 32));
+  for (float v : t.flat()) {
+    EXPECT_GE(v, -limit);
+    EXPECT_LT(v, limit);
+  }
+  // Not degenerate: mean near zero, variance near limit^2/3.
+  EXPECT_NEAR(t.sum() / t.size(), 0.0, 0.01);
+  EXPECT_NEAR(t.squared_norm() / t.size(), limit * limit / 3.0f, 0.001);
+}
+
+TEST(Init, XavierNormalHasExpectedVariance) {
+  util::Rng rng(12);
+  Tensor t(128, 128);
+  xavier_normal(t, rng);
+  const double variance = 2.0 / (128 + 128);
+  EXPECT_NEAR(t.sum() / t.size(), 0.0, 0.01);
+  EXPECT_NEAR(t.squared_norm() / t.size(), variance, variance * 0.1);
+}
+
+TEST(Init, NormalInitMoments) {
+  util::Rng rng(13);
+  Tensor t(100, 100);
+  normal_init(t, rng, 0.5);
+  EXPECT_NEAR(t.sum() / t.size(), 0.0, 0.02);
+  EXPECT_NEAR(t.squared_norm() / t.size(), 0.25, 0.02);
+}
+
+TEST(Init, UniformInitRange) {
+  util::Rng rng(14);
+  Tensor t(10, 10);
+  uniform_init(t, rng, 2.0, 3.0);
+  for (float v : t.flat()) {
+    EXPECT_GE(v, 2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+TEST(Init, DeterministicGivenSeed) {
+  Tensor a(8, 8), b(8, 8);
+  util::Rng r1(77), r2(77);
+  xavier_uniform(a, r1);
+  xavier_uniform(b, r2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ckat::nn

@@ -1,0 +1,193 @@
+#include "nn/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/init.hpp"
+#include "util/rng.hpp"
+
+namespace ckat::nn {
+namespace {
+
+/// Reference dense matmul with explicit transpose flags.
+Tensor naive_matmul(const Tensor& a, const Tensor& b, bool ta, bool tb,
+                    float alpha = 1.0f) {
+  const std::size_t m = ta ? a.cols() : a.rows();
+  const std::size_t k = ta ? a.rows() : a.cols();
+  const std::size_t n = tb ? b.rows() : b.cols();
+  Tensor out(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = ta ? a(kk, i) : a(i, kk);
+        const float bv = tb ? b(j, kk) : b(kk, j);
+        acc += static_cast<double>(av) * bv;
+      }
+      out(i, j) = alpha * static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+void expect_near(const Tensor& actual, const Tensor& expected,
+                 float tol = 1e-4f) {
+  ASSERT_TRUE(actual.same_shape(expected));
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual.data()[i], expected.data()[i], tol) << "index " << i;
+  }
+}
+
+class GemmShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapes, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(m * 131 + k * 17 + n);
+  Tensor a(m, k), b(k, n), bt(n, k), at(k, m);
+  uniform_init(a, rng, -1.0, 1.0);
+  uniform_init(b, rng, -1.0, 1.0);
+  uniform_init(bt, rng, -1.0, 1.0);
+  uniform_init(at, rng, -1.0, 1.0);
+
+  Tensor out(m, n);
+  gemm(a, b, out);
+  expect_near(out, naive_matmul(a, b, false, false));
+
+  gemm_nt(a, bt, out);
+  expect_near(out, naive_matmul(a, bt, false, true));
+
+  gemm_tn(at, b, out);
+  expect_near(out, naive_matmul(at, b, true, false));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GemmShapes,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{2, 3, 4},
+                      std::tuple{4, 4, 4}, std::tuple{7, 5, 3},
+                      std::tuple{16, 8, 32}, std::tuple{33, 65, 17},
+                      std::tuple{1, 64, 1}, std::tuple{128, 2, 128}));
+
+TEST(Gemm, AccumulateAddsToExisting) {
+  Tensor a = Tensor::from_values(1, 2, {1, 2});
+  Tensor b = Tensor::from_values(2, 1, {3, 4});
+  Tensor out(1, 1, 100.0f);
+  gemm(a, b, out, 1.0f, /*accumulate=*/true);
+  EXPECT_FLOAT_EQ(out(0, 0), 111.0f);
+}
+
+TEST(Gemm, AlphaScales) {
+  Tensor a = Tensor::from_values(1, 1, {2});
+  Tensor b = Tensor::from_values(1, 1, {3});
+  Tensor out(1, 1);
+  gemm(a, b, out, 0.5f);
+  EXPECT_FLOAT_EQ(out(0, 0), 3.0f);
+}
+
+TEST(Gemm, RejectsShapeMismatch) {
+  Tensor a(2, 3), b(4, 2), out(2, 2);
+  EXPECT_THROW(gemm(a, b, out), std::invalid_argument);
+  Tensor b2(3, 2), out_bad(3, 2);
+  EXPECT_THROW(gemm(a, b2, out_bad), std::invalid_argument);
+}
+
+TEST(Axpy, AddsScaled) {
+  Tensor x = Tensor::from_values(1, 3, {1, 2, 3});
+  Tensor y = Tensor::from_values(1, 3, {10, 10, 10});
+  axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y(0, 0), 12.0f);
+  EXPECT_FLOAT_EQ(y(0, 2), 16.0f);
+}
+
+TEST(Axpy, RejectsShapeMismatch) {
+  Tensor x(1, 3), y(3, 1);
+  EXPECT_THROW(axpy(1.0f, x, y), std::invalid_argument);
+}
+
+TEST(Csr, FromCooSortsAndMergesDuplicates) {
+  std::vector<std::uint32_t> rows = {1, 0, 1, 1};
+  std::vector<std::uint32_t> cols = {2, 1, 0, 2};
+  std::vector<float> vals = {1.0f, 2.0f, 3.0f, 4.0f};
+  CsrMatrix m = csr_from_coo(3, 3, rows, cols, vals);
+  EXPECT_EQ(m.nnz(), 3u);  // (1,2) entries merged
+  EXPECT_EQ(m.row_offsets[0], 0);
+  EXPECT_EQ(m.row_offsets[1], 1);
+  EXPECT_EQ(m.row_offsets[2], 3);
+  EXPECT_EQ(m.row_offsets[3], 3);
+  // Row 1 entries sorted by column: (1,0)=3, (1,2)=5.
+  EXPECT_EQ(m.col_indices[1], 0u);
+  EXPECT_FLOAT_EQ(m.values[1], 3.0f);
+  EXPECT_EQ(m.col_indices[2], 2u);
+  EXPECT_FLOAT_EQ(m.values[2], 5.0f);
+}
+
+TEST(Csr, FromCooRejectsOutOfRange) {
+  std::vector<std::uint32_t> rows = {5};
+  std::vector<std::uint32_t> cols = {0};
+  std::vector<float> vals = {1.0f};
+  EXPECT_THROW(csr_from_coo(3, 3, rows, cols, vals), std::invalid_argument);
+}
+
+TEST(Csr, TransposeRoundTrip) {
+  util::Rng rng(99);
+  std::vector<std::uint32_t> rows, cols;
+  std::vector<float> vals;
+  for (int i = 0; i < 50; ++i) {
+    rows.push_back(static_cast<std::uint32_t>(rng.uniform_index(10)));
+    cols.push_back(static_cast<std::uint32_t>(rng.uniform_index(7)));
+    vals.push_back(rng.uniform_float());
+  }
+  CsrMatrix m = csr_from_coo(10, 7, rows, cols, vals);
+  CsrMatrix tt = m.transposed().transposed();
+  EXPECT_EQ(tt.n_rows, m.n_rows);
+  EXPECT_EQ(tt.nnz(), m.nnz());
+  EXPECT_EQ(tt.row_offsets, m.row_offsets);
+  EXPECT_EQ(tt.col_indices, m.col_indices);
+  for (std::size_t i = 0; i < m.nnz(); ++i) {
+    EXPECT_FLOAT_EQ(tt.values[i], m.values[i]);
+  }
+}
+
+TEST(Csr, SpmmMatchesDense) {
+  util::Rng rng(7);
+  std::vector<std::uint32_t> rows, cols;
+  std::vector<float> vals;
+  Tensor dense(6, 5);
+  for (int i = 0; i < 12; ++i) {
+    const auto r = static_cast<std::uint32_t>(rng.uniform_index(6));
+    const auto c = static_cast<std::uint32_t>(rng.uniform_index(5));
+    const float v = rng.uniform_float();
+    rows.push_back(r);
+    cols.push_back(c);
+    vals.push_back(v);
+    dense(r, c) += v;
+  }
+  CsrMatrix sparse = csr_from_coo(6, 5, rows, cols, vals);
+
+  Tensor x(5, 4);
+  uniform_init(x, rng, -1.0, 1.0);
+  Tensor expected(6, 4);
+  gemm(dense, x, expected);
+  Tensor actual(6, 4);
+  spmm(sparse, x, actual);
+  expect_near(actual, expected);
+}
+
+TEST(Csr, ValidateCatchesBadOffsets) {
+  CsrMatrix m;
+  m.n_rows = 2;
+  m.n_cols = 2;
+  m.row_offsets = {0, 2};  // wrong size (needs n_rows + 1 = 3)
+  m.col_indices = {0, 1};
+  m.values = {1.0f, 1.0f};
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Csr, SpmmRejectsShapeMismatch) {
+  CsrMatrix m = csr_from_coo(2, 2, std::vector<std::uint32_t>{0},
+                             std::vector<std::uint32_t>{1},
+                             std::vector<float>{1.0f});
+  Tensor x(3, 2), out(2, 2);
+  EXPECT_THROW(spmm(m, x, out), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ckat::nn

@@ -1,0 +1,129 @@
+#include "nn/optim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/tape.hpp"
+
+namespace ckat::nn {
+namespace {
+
+/// One gradient step of f(x) = sum((x - target)^2) via the tape.
+float quadratic_step(Parameter& p, float target, Optimizer& opt,
+                     ParamStore& store) {
+  Tape tape;
+  Var x = tape.param(p);
+  Var diff = tape.add_scalar(x, -target);
+  Var loss = tape.reduce_sum(tape.square(diff));
+  const float value = tape.value(loss)(0, 0);
+  tape.backward(loss);
+  opt.step(store);
+  return value;
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  ParamStore store;
+  Parameter& p = store.create("x", 1, 4);
+  p.value().fill(5.0f);
+  SgdOptimizer opt(0.1f);
+  float last = 1e30f;
+  for (int i = 0; i < 50; ++i) {
+    last = quadratic_step(p, 2.0f, opt, store);
+  }
+  EXPECT_LT(last, 1e-6f);
+  EXPECT_NEAR(p.value()(0, 0), 2.0f, 1e-3f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  ParamStore store;
+  Parameter& p = store.create("x", 1, 4);
+  p.value().fill(5.0f);
+  AdamOptimizer opt(0.3f);
+  for (int i = 0; i < 200; ++i) {
+    quadratic_step(p, -1.0f, opt, store);
+  }
+  EXPECT_NEAR(p.value()(0, 0), -1.0f, 1e-2f);
+}
+
+TEST(Adam, FirstStepMagnitudeIsLearningRate) {
+  // With bias correction, the first Adam step is ~lr * sign(grad).
+  ParamStore store;
+  Parameter& p = store.create("x", 1, 1);
+  p.value()(0, 0) = 10.0f;
+  AdamOptimizer opt(0.05f);
+  quadratic_step(p, 0.0f, opt, store);
+  EXPECT_NEAR(p.value()(0, 0), 10.0f - 0.05f, 1e-4f);
+}
+
+TEST(Adam, SparseUpdateTouchesOnlyGatheredRows) {
+  ParamStore store;
+  Parameter& table = store.create("emb", 5, 3);
+  table.value().fill(1.0f);
+  AdamOptimizer opt(0.1f);
+
+  Tape tape;
+  Var g = tape.gather_param(table, {1, 3});
+  Var loss = tape.reduce_sum(tape.square(g));
+  tape.backward(loss);
+  opt.step(store);
+
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      if (r == 1 || r == 3) {
+        EXPECT_LT(table.value()(r, c), 1.0f) << r << "," << c;
+      } else {
+        EXPECT_FLOAT_EQ(table.value()(r, c), 1.0f) << r << "," << c;
+      }
+    }
+  }
+}
+
+TEST(Adam, StepCountAdvancesOnlyWithGradients) {
+  ParamStore store;
+  Parameter& p = store.create("x", 1, 1);
+  p.value()(0, 0) = 1.0f;
+  AdamOptimizer opt(0.1f);
+  EXPECT_EQ(opt.step_count(), 0);
+  quadratic_step(p, 0.0f, opt, store);
+  EXPECT_EQ(opt.step_count(), 1);
+}
+
+TEST(Optimizers, GradClearedAfterStep) {
+  ParamStore store;
+  Parameter& p = store.create("x", 2, 2);
+  p.value().fill(3.0f);
+  SgdOptimizer opt(0.1f);
+  quadratic_step(p, 0.0f, opt, store);
+  EXPECT_FALSE(p.has_any_grad());
+  EXPECT_EQ(p.grad().sum(), 0.0);
+}
+
+TEST(ParamStore, ZeroGradClearsSparseAndDense) {
+  ParamStore store;
+  Parameter& dense = store.create("d", 2, 2);
+  Parameter& sparse = store.create("s", 4, 2);
+  dense.value().fill(1.0f);
+  sparse.value().fill(1.0f);
+  Tape tape;
+  Var loss = tape.reduce_sum(
+      tape.add(tape.reduce_sum(tape.param(dense)),
+               tape.reduce_sum(tape.gather_param(sparse, {2}))));
+  tape.backward(loss);
+  EXPECT_TRUE(dense.has_any_grad());
+  EXPECT_TRUE(sparse.has_any_grad());
+  store.zero_grad();
+  EXPECT_FALSE(dense.has_any_grad());
+  EXPECT_FALSE(sparse.has_any_grad());
+  EXPECT_EQ(sparse.grad().sum(), 0.0);
+}
+
+TEST(ParamStore, ParameterCount) {
+  ParamStore store;
+  store.create("a", 2, 3);
+  store.create("b", 4, 1);
+  EXPECT_EQ(store.parameter_count(), 10u);
+}
+
+}  // namespace
+}  // namespace ckat::nn

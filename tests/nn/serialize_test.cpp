@@ -1,0 +1,119 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "nn/init.hpp"
+#include "util/rng.hpp"
+
+namespace ckat::nn {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("ckat_params_" + std::to_string(::getpid()) + ".bin"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  static void fill_store(ParamStore& store, std::uint64_t seed) {
+    util::Rng rng(seed);
+    store.create("alpha", 4, 8);
+    store.create("beta", 16, 2);
+    for (std::size_t i = 0; i < store.size(); ++i) {
+      uniform_init(store.at(i).value(), rng, -1.0, 1.0);
+    }
+  }
+
+  std::string path_;
+};
+
+TEST_F(SerializeTest, RoundTripPreservesValues) {
+  ParamStore original;
+  fill_store(original, 1);
+  save_parameters(original, path_);
+
+  ParamStore restored;
+  fill_store(restored, 2);  // different values, same structure
+  load_parameters(restored, path_);
+
+  for (std::size_t p = 0; p < original.size(); ++p) {
+    const Tensor& a = original.at(p).value();
+    const Tensor& b = restored.at(p).value();
+    ASSERT_TRUE(a.same_shape(b));
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a.data()[i], b.data()[i]);
+    }
+  }
+}
+
+TEST_F(SerializeTest, RejectsCountMismatch) {
+  ParamStore original;
+  fill_store(original, 1);
+  save_parameters(original, path_);
+
+  ParamStore smaller;
+  smaller.create("alpha", 4, 8);
+  EXPECT_THROW(load_parameters(smaller, path_), std::runtime_error);
+}
+
+TEST_F(SerializeTest, RejectsNameMismatch) {
+  ParamStore original;
+  fill_store(original, 1);
+  save_parameters(original, path_);
+
+  ParamStore renamed;
+  renamed.create("alpha", 4, 8);
+  renamed.create("gamma", 16, 2);  // wrong name
+  EXPECT_THROW(load_parameters(renamed, path_), std::runtime_error);
+}
+
+TEST_F(SerializeTest, RejectsShapeMismatch) {
+  ParamStore original;
+  fill_store(original, 1);
+  save_parameters(original, path_);
+
+  ParamStore reshaped;
+  reshaped.create("alpha", 8, 4);  // transposed shape
+  reshaped.create("beta", 16, 2);
+  EXPECT_THROW(load_parameters(reshaped, path_), std::runtime_error);
+}
+
+TEST_F(SerializeTest, RejectsGarbageFile) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "definitely not a parameter file";
+  out.close();
+  ParamStore store;
+  fill_store(store, 1);
+  EXPECT_THROW(load_parameters(store, path_), std::runtime_error);
+}
+
+TEST_F(SerializeTest, RejectsMissingFile) {
+  ParamStore store;
+  fill_store(store, 1);
+  EXPECT_THROW(load_parameters(store, "/nonexistent/params.bin"),
+               std::runtime_error);
+  EXPECT_THROW(save_parameters(store, "/nonexistent/dir/params.bin"),
+               std::runtime_error);
+}
+
+TEST_F(SerializeTest, RejectsTruncatedFile) {
+  ParamStore original;
+  fill_store(original, 1);
+  save_parameters(original, path_);
+  // Truncate the file to half its size.
+  const auto full_size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, full_size / 2);
+
+  ParamStore restored;
+  fill_store(restored, 2);
+  EXPECT_THROW(load_parameters(restored, path_), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ckat::nn

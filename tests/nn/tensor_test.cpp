@@ -1,0 +1,109 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ckat::nn {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.rows(), 0u);
+  EXPECT_EQ(t.cols(), 0u);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Tensor, ConstructZeroFilled) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 4u);
+  EXPECT_EQ(t.size(), 12u);
+  for (float v : t.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, ConstructWithFillValue) {
+  Tensor t(2, 2, 1.5f);
+  for (float v : t.flat()) EXPECT_EQ(v, 1.5f);
+}
+
+TEST(Tensor, FromValuesRowMajor) {
+  Tensor t = Tensor::from_values(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t(0, 0), 1.0f);
+  EXPECT_EQ(t(0, 2), 3.0f);
+  EXPECT_EQ(t(1, 0), 4.0f);
+  EXPECT_EQ(t(1, 2), 6.0f);
+}
+
+TEST(Tensor, FromValuesRejectsWrongCount) {
+  EXPECT_THROW(Tensor::from_values(2, 2, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementAccessWrites) {
+  Tensor t(2, 2);
+  t(1, 0) = 7.0f;
+  EXPECT_EQ(t(1, 0), 7.0f);
+  EXPECT_EQ(t.row(1)[0], 7.0f);
+}
+
+TEST(Tensor, RowSpanAliasesStorage) {
+  Tensor t(2, 3);
+  auto row = t.row(1);
+  row[2] = 9.0f;
+  EXPECT_EQ(t(1, 2), 9.0f);
+}
+
+TEST(Tensor, FillAndZero) {
+  Tensor t(2, 2);
+  t.fill(3.0f);
+  EXPECT_EQ(t.sum(), 12.0);
+  t.zero();
+  EXPECT_EQ(t.sum(), 0.0);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::from_values(2, 3, {1, 2, 3, 4, 5, 6});
+  t.reshape(3, 2);
+  EXPECT_EQ(t(0, 1), 2.0f);
+  EXPECT_EQ(t(2, 1), 6.0f);
+}
+
+TEST(Tensor, ReshapeRejectsSizeChange) {
+  Tensor t(2, 3);
+  EXPECT_THROW(t.reshape(2, 2), std::invalid_argument);
+}
+
+TEST(Tensor, ResizeZeroedDiscards) {
+  Tensor t(1, 2, 5.0f);
+  t.resize_zeroed(3, 3);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.sum(), 0.0);
+}
+
+TEST(Tensor, SumAndSquaredNorm) {
+  Tensor t = Tensor::from_values(1, 3, {1, -2, 3});
+  EXPECT_DOUBLE_EQ(t.sum(), 2.0);
+  EXPECT_DOUBLE_EQ(t.squared_norm(), 14.0);
+  EXPECT_EQ(t.max_abs(), 3.0f);
+}
+
+TEST(Tensor, SameShape) {
+  EXPECT_TRUE(Tensor(2, 3).same_shape(Tensor(2, 3)));
+  EXPECT_FALSE(Tensor(2, 3).same_shape(Tensor(3, 2)));
+}
+
+TEST(Tensor, CheckShapeThrowsWithContext) {
+  Tensor t(2, 3);
+  EXPECT_NO_THROW(t.check_shape(2, 3, "test"));
+  try {
+    t.check_shape(3, 3, "mycontext");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("mycontext"), std::string::npos);
+  }
+}
+
+TEST(Tensor, ShapeStr) {
+  EXPECT_EQ(Tensor(2, 3).shape_str(), "(2,3)");
+}
+
+}  // namespace
+}  // namespace ckat::nn

@@ -1,0 +1,87 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace ckat::util {
+namespace {
+
+CliArgs make_args(std::vector<const char*> argv) {
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliArgs, ParsesEqualsForm) {
+  auto args = make_args({"prog", "--name=value", "--count=5"});
+  EXPECT_EQ(args.get_string("name", ""), "value");
+  EXPECT_EQ(args.get_int("count", 0), 5);
+}
+
+TEST(CliArgs, ParsesSpaceForm) {
+  auto args = make_args({"prog", "--name", "value"});
+  EXPECT_EQ(args.get_string("name", ""), "value");
+}
+
+TEST(CliArgs, BooleanFlagWithoutValue) {
+  auto args = make_args({"prog", "--verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_TRUE(args.get_bool("verbose", false));
+}
+
+TEST(CliArgs, BoolValueForms) {
+  auto args = make_args({"prog", "--a=true", "--b=0", "--c=yes", "--d=off"});
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_TRUE(args.get_bool("c", false));
+  EXPECT_FALSE(args.get_bool("d", true));
+}
+
+TEST(CliArgs, FallbacksWhenAbsent) {
+  auto args = make_args({"prog"});
+  EXPECT_EQ(args.get_string("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("missing", 9), 9);
+  EXPECT_EQ(args.get_double("missing", 1.5), 1.5);
+  EXPECT_FALSE(args.get_bool("missing", false));
+}
+
+TEST(CliArgs, PositionalArguments) {
+  auto args = make_args({"prog", "pos1", "--flag=1", "pos2"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+  EXPECT_EQ(args.positional()[1], "pos2");
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(CliArgs, DoubleParsing) {
+  auto args = make_args({"prog", "--lr=0.01"});
+  EXPECT_DOUBLE_EQ(args.get_double("lr", 0.0), 0.01);
+}
+
+class EpochScaleTest : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("CKAT_EPOCH_SCALE_PCT"); }
+};
+
+TEST_F(EpochScaleTest, DefaultIsFullScale) {
+  unsetenv("CKAT_EPOCH_SCALE_PCT");
+  EXPECT_EQ(epoch_scale_percent(), 100);
+  EXPECT_EQ(scaled_epochs(40), 40);
+}
+
+TEST_F(EpochScaleTest, ScalesDown) {
+  setenv("CKAT_EPOCH_SCALE_PCT", "10", 1);
+  EXPECT_EQ(scaled_epochs(40), 4);
+}
+
+TEST_F(EpochScaleTest, FloorsAtOne) {
+  setenv("CKAT_EPOCH_SCALE_PCT", "1", 1);
+  EXPECT_EQ(scaled_epochs(5), 1);
+}
+
+TEST_F(EpochScaleTest, InvalidFallsBackTo100) {
+  setenv("CKAT_EPOCH_SCALE_PCT", "garbage", 1);
+  EXPECT_EQ(epoch_scale_percent(), 100);
+}
+
+}  // namespace
+}  // namespace ckat::util

@@ -1,0 +1,77 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <unistd.h>
+
+namespace ckat::util {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("ckat_csv_test_" + std::to_string(::getpid()) + ".csv");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(CsvTest, RoundTripSimple) {
+  {
+    CsvWriter w(path_.string());
+    w.write_row({"a", "b", "c"});
+    w.write_row({"1", "2", "3"});
+  }
+  const auto rows = read_csv(path_.string());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST_F(CsvTest, RoundTripQuotedFields) {
+  {
+    CsvWriter w(path_.string());
+    w.write_row({"has,comma", "has\"quote", "plain"});
+  }
+  const auto rows = read_csv(path_.string());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "has,comma");
+  EXPECT_EQ(rows[0][1], "has\"quote");
+  EXPECT_EQ(rows[0][2], "plain");
+}
+
+TEST(CsvEscape, OnlyWhenNeeded) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("a\"b"), "\"a\"\"b\"");
+}
+
+TEST(CsvParse, HandlesQuotedCommas) {
+  const auto fields = parse_csv_line("\"a,b\",c");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "a,b");
+  EXPECT_EQ(fields[1], "c");
+}
+
+TEST(CsvParse, HandlesEscapedQuotes) {
+  const auto fields = parse_csv_line("\"say \"\"hi\"\"\"");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(CsvParse, EmptyFields) {
+  const auto fields = parse_csv_line("a,,b");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "");
+}
+
+TEST(CsvRead, MissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/definitely/missing.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ckat::util

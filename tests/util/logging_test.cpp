@@ -1,0 +1,61 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace ckat::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override {
+    set_log_level(previous_);
+    unsetenv("CKAT_LOG_LEVEL");
+  }
+  LogLevel previous_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrip) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, EnvInitSetsLevel) {
+  setenv("CKAT_LOG_LEVEL", "warn", 1);
+  init_logging_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST_F(LoggingTest, EnvInitIgnoresUnknown) {
+  set_log_level(LogLevel::kInfo);
+  setenv("CKAT_LOG_LEVEL", "chatty", 1);
+  init_logging_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, FormatMessageHandlesArgs) {
+  const std::string out = detail::format_message("x=%d y=%.2f s=%s", 3, 1.5,
+                                                 "ok");
+  EXPECT_EQ(out, "x=3 y=1.50 s=ok");
+}
+
+TEST_F(LoggingTest, FormatMessageEmpty) {
+  EXPECT_EQ(detail::format_message("%s", ""), "");
+}
+
+TEST_F(LoggingTest, MacrosCompileAndRespectLevel) {
+  set_log_level(LogLevel::kError);
+  // These must not crash; output (if any) goes to stderr.
+  CKAT_LOG_DEBUG("debug %d", 1);
+  CKAT_LOG_INFO("info");
+  CKAT_LOG_WARN("warn %s", "x");
+  CKAT_LOG_ERROR("error");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ckat::util

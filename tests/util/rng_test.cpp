@@ -1,0 +1,228 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace ckat::util {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkIsIndependentOfParentSequence) {
+  // Forking must not disturb the parent's sequence...
+  Rng with_fork(42), without_fork(42);
+  Rng child1 = with_fork.fork(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(with_fork(), without_fork());
+  }
+  // ...and forks of identical parents with the same stream id agree.
+  Rng b(42);
+  Rng child2 = b.fork(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(child1(), child2());
+  }
+  // Different stream ids give different streams.
+  Rng c(42);
+  Rng other = c.fork(2);
+  Rng d(42);
+  Rng same_seed_child = d.fork(1);
+  EXPECT_NE(other(), same_seed_child());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(8);
+  double acc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(9);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t v = rng.uniform_index(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(10);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(12);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianShifted) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(5.0, 0.1);
+  EXPECT_NEAR(sum / n, 5.0, 0.01);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(14);
+  const std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) counts[rng.weighted_index(w)]++;
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(Rng, WeightedIndexRejectsZeroTotal) {
+  Rng rng(15);
+  const std::vector<double> w = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(w), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(16);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SampleWithoutReplacementUnique) {
+  Rng rng(17);
+  for (std::size_t k : {1u, 5u, 50u, 100u}) {
+    auto sample = rng.sample_without_replacement(100, k);
+    EXPECT_EQ(sample.size(), k);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), k);
+    for (std::size_t s : sample) EXPECT_LT(s, 100u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(18);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(AliasSampler, MatchesDistribution) {
+  Rng rng(19);
+  AliasSampler sampler(std::vector<double>{2.0, 1.0, 1.0});
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) counts[sampler.sample(rng)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.5, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.25, 0.02);
+}
+
+TEST(AliasSampler, SingleElement) {
+  Rng rng(20);
+  AliasSampler sampler(std::vector<double>{3.0});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(AliasSampler, RejectsNegativeWeight) {
+  EXPECT_THROW(AliasSampler(std::vector<double>{1.0, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(AliasSampler, RejectsEmptySample) {
+  AliasSampler sampler;
+  Rng rng(21);
+  EXPECT_THROW(static_cast<void>(sampler.sample(rng)), std::logic_error);
+}
+
+TEST(ZipfSampler, HeadHeavierThanTail) {
+  Rng rng(22);
+  ZipfSampler sampler(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) counts[sampler.sample(rng)]++;
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+}
+
+TEST(ZipfSampler, ZeroExponentIsUniform) {
+  Rng rng(23);
+  ZipfSampler sampler(4, 0.0);
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) counts[sampler.sample(rng)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(n), 0.25, 0.02);
+  }
+}
+
+TEST(Rng, ZipfDirectSample) {
+  Rng rng(24);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 5000; ++i) counts[rng.zipf(10, 1.2)]++;
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_THROW(rng.zipf(0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(25);
+  double acc = 0.0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) acc += rng.exponential(2.0);
+  EXPECT_NEAR(acc / n, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace ckat::util

@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ckat::util {
+namespace {
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t("Caption");
+  t.set_header({"model", "recall"});
+  t.add_row({"CKAT", "0.3217"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("Caption"), std::string::npos);
+  EXPECT_NE(out.find("| model |"), std::string::npos);
+  EXPECT_NE(out.find("CKAT"), std::string::npos);
+  EXPECT_NE(out.find("0.3217"), std::string::npos);
+}
+
+TEST(AsciiTable, AlignsColumnWidths) {
+  AsciiTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"longvalue", "x"});
+  const std::string out = t.str();
+  // Header cell must be padded to the widest cell in its column.
+  EXPECT_NE(out.find("| a         |"), std::string::npos);
+}
+
+TEST(AsciiTable, EmptyTableIsJustCaption) {
+  AsciiTable t("only caption");
+  EXPECT_EQ(t.str(), "only caption\n");
+}
+
+TEST(AsciiTable, RuleInsertsSeparator) {
+  AsciiTable t;
+  t.set_header({"x"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string out = t.str();
+  // Expect 4 horizontal rules: top, under header, mid, bottom.
+  std::size_t count = 0, pos = 0;
+  while ((pos = out.find("+---", pos)) != std::string::npos) {
+    ++count;
+    pos += 4;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(AsciiTable, MetricFormatsFourDecimals) {
+  EXPECT_EQ(AsciiTable::metric(0.32174), "0.3217");
+  EXPECT_EQ(AsciiTable::metric(1.0), "1.0000");
+}
+
+TEST(AsciiTable, NumberRespectsDecimals) {
+  EXPECT_EQ(AsciiTable::number(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::number(3.0, 0), "3");
+}
+
+TEST(AsciiTable, IntegerGroupsThousands) {
+  EXPECT_EQ(AsciiTable::integer(5554), "5,554");
+  EXPECT_EQ(AsciiTable::integer(20314), "20,314");
+  EXPECT_EQ(AsciiTable::integer(7), "7");
+  EXPECT_EQ(AsciiTable::integer(1234567), "1,234,567");
+  EXPECT_EQ(AsciiTable::integer(-1234), "-1,234");
+}
+
+TEST(AsciiTable, RaggedRowsTolerated) {
+  AsciiTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"1"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("| 1 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ckat::util

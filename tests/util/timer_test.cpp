@@ -1,0 +1,44 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ckat::util {
+namespace {
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = timer.seconds();
+  EXPECT_GE(elapsed, 0.018);
+  EXPECT_LT(elapsed, 2.0);  // generous upper bound for slow CI
+  EXPECT_NEAR(timer.milliseconds(), timer.seconds() * 1e3,
+              timer.seconds() * 50);
+}
+
+TEST(TimerTest, ResetRestarts) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 0.015);
+}
+
+TEST(FormatDuration, Milliseconds) {
+  EXPECT_EQ(format_duration(0.5), "500ms");
+  EXPECT_EQ(format_duration(0.0014), "1ms");
+}
+
+TEST(FormatDuration, Seconds) {
+  EXPECT_EQ(format_duration(1.0), "1.0s");
+  EXPECT_EQ(format_duration(59.94), "59.9s");
+}
+
+TEST(FormatDuration, Minutes) {
+  EXPECT_EQ(format_duration(60.0), "1m 0.0s");
+  EXPECT_EQ(format_duration(83.4), "1m 23.4s");
+  EXPECT_EQ(format_duration(3725.0), "62m 5.0s");
+}
+
+}  // namespace
+}  // namespace ckat::util
