@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_anticipatory_delivery.dir/ext_anticipatory_delivery.cpp.o"
+  "CMakeFiles/ext_anticipatory_delivery.dir/ext_anticipatory_delivery.cpp.o.d"
+  "ext_anticipatory_delivery"
+  "ext_anticipatory_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_anticipatory_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cold_start.dir/ext_cold_start.cpp.o"
+  "CMakeFiles/ext_cold_start.dir/ext_cold_start.cpp.o.d"
+  "ext_cold_start"
+  "ext_cold_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cold_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_user_locality.dir/fig5_user_locality.cpp.o"
+  "CMakeFiles/fig5_user_locality.dir/fig5_user_locality.cpp.o.d"
+  "fig5_user_locality"
+  "fig5_user_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_user_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_knowledge_sources.dir/table3_knowledge_sources.cpp.o"
+  "CMakeFiles/table3_knowledge_sources.dir/table3_knowledge_sources.cpp.o.d"
+  "table3_knowledge_sources"
+  "table3_knowledge_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_knowledge_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

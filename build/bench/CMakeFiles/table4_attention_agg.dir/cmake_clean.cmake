@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_attention_agg.dir/table4_attention_agg.cpp.o"
+  "CMakeFiles/table4_attention_agg.dir/table4_attention_agg.cpp.o.d"
+  "table4_attention_agg"
+  "table4_attention_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_attention_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

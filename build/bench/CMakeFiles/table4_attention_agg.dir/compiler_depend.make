@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table4_attention_agg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_depth.dir/table5_depth.cpp.o"
+  "CMakeFiles/table5_depth.dir/table5_depth.cpp.o.d"
+  "table5_depth"
+  "table5_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

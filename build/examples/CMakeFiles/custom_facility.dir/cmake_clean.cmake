@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_facility.dir/custom_facility.cpp.o"
+  "CMakeFiles/custom_facility.dir/custom_facility.cpp.o.d"
+  "custom_facility"
+  "custom_facility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_facility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explained_recommendations.dir/explained_recommendations.cpp.o"
+  "CMakeFiles/explained_recommendations.dir/explained_recommendations.cpp.o.d"
+  "explained_recommendations"
+  "explained_recommendations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explained_recommendations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

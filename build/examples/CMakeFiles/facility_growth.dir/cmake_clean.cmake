@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facility_growth.dir/facility_growth.cpp.o"
+  "CMakeFiles/facility_growth.dir/facility_growth.cpp.o.d"
+  "facility_growth"
+  "facility_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facility_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

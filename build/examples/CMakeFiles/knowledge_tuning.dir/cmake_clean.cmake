@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knowledge_tuning.dir/knowledge_tuning.cpp.o"
+  "CMakeFiles/knowledge_tuning.dir/knowledge_tuning.cpp.o.d"
+  "knowledge_tuning"
+  "knowledge_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knowledge_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooi_discovery.dir/ooi_discovery.cpp.o"
+  "CMakeFiles/ooi_discovery.dir/ooi_discovery.cpp.o.d"
+  "ooi_discovery"
+  "ooi_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooi_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

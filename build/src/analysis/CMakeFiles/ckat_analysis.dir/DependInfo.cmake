@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/pattern_similarity.cpp" "src/analysis/CMakeFiles/ckat_analysis.dir/pattern_similarity.cpp.o" "gcc" "src/analysis/CMakeFiles/ckat_analysis.dir/pattern_similarity.cpp.o.d"
+  "/root/repo/src/analysis/trace_stats.cpp" "src/analysis/CMakeFiles/ckat_analysis.dir/trace_stats.cpp.o" "gcc" "src/analysis/CMakeFiles/ckat_analysis.dir/trace_stats.cpp.o.d"
+  "/root/repo/src/analysis/tsne.cpp" "src/analysis/CMakeFiles/ckat_analysis.dir/tsne.cpp.o" "gcc" "src/analysis/CMakeFiles/ckat_analysis.dir/tsne.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/facility/CMakeFiles/ckat_facility.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ckat_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ckat_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ckat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

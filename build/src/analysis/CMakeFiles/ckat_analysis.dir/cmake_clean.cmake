@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckat_analysis.dir/pattern_similarity.cpp.o"
+  "CMakeFiles/ckat_analysis.dir/pattern_similarity.cpp.o.d"
+  "CMakeFiles/ckat_analysis.dir/trace_stats.cpp.o"
+  "CMakeFiles/ckat_analysis.dir/trace_stats.cpp.o.d"
+  "CMakeFiles/ckat_analysis.dir/tsne.cpp.o"
+  "CMakeFiles/ckat_analysis.dir/tsne.cpp.o.d"
+  "libckat_analysis.a"
+  "libckat_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckat_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bprmf.cpp" "src/baselines/CMakeFiles/ckat_baselines.dir/bprmf.cpp.o" "gcc" "src/baselines/CMakeFiles/ckat_baselines.dir/bprmf.cpp.o.d"
+  "/root/repo/src/baselines/cfkg.cpp" "src/baselines/CMakeFiles/ckat_baselines.dir/cfkg.cpp.o" "gcc" "src/baselines/CMakeFiles/ckat_baselines.dir/cfkg.cpp.o.d"
+  "/root/repo/src/baselines/cke.cpp" "src/baselines/CMakeFiles/ckat_baselines.dir/cke.cpp.o" "gcc" "src/baselines/CMakeFiles/ckat_baselines.dir/cke.cpp.o.d"
+  "/root/repo/src/baselines/common.cpp" "src/baselines/CMakeFiles/ckat_baselines.dir/common.cpp.o" "gcc" "src/baselines/CMakeFiles/ckat_baselines.dir/common.cpp.o.d"
+  "/root/repo/src/baselines/fm.cpp" "src/baselines/CMakeFiles/ckat_baselines.dir/fm.cpp.o" "gcc" "src/baselines/CMakeFiles/ckat_baselines.dir/fm.cpp.o.d"
+  "/root/repo/src/baselines/kgcn.cpp" "src/baselines/CMakeFiles/ckat_baselines.dir/kgcn.cpp.o" "gcc" "src/baselines/CMakeFiles/ckat_baselines.dir/kgcn.cpp.o.d"
+  "/root/repo/src/baselines/ripplenet.cpp" "src/baselines/CMakeFiles/ckat_baselines.dir/ripplenet.cpp.o" "gcc" "src/baselines/CMakeFiles/ckat_baselines.dir/ripplenet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ckat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ckat_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ckat_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ckat_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ckat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckat_baselines.dir/bprmf.cpp.o"
+  "CMakeFiles/ckat_baselines.dir/bprmf.cpp.o.d"
+  "CMakeFiles/ckat_baselines.dir/cfkg.cpp.o"
+  "CMakeFiles/ckat_baselines.dir/cfkg.cpp.o.d"
+  "CMakeFiles/ckat_baselines.dir/cke.cpp.o"
+  "CMakeFiles/ckat_baselines.dir/cke.cpp.o.d"
+  "CMakeFiles/ckat_baselines.dir/common.cpp.o"
+  "CMakeFiles/ckat_baselines.dir/common.cpp.o.d"
+  "CMakeFiles/ckat_baselines.dir/fm.cpp.o"
+  "CMakeFiles/ckat_baselines.dir/fm.cpp.o.d"
+  "CMakeFiles/ckat_baselines.dir/kgcn.cpp.o"
+  "CMakeFiles/ckat_baselines.dir/kgcn.cpp.o.d"
+  "CMakeFiles/ckat_baselines.dir/ripplenet.cpp.o"
+  "CMakeFiles/ckat_baselines.dir/ripplenet.cpp.o.d"
+  "libckat_baselines.a"
+  "libckat_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckat_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

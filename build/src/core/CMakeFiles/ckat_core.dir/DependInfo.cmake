@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attention.cpp" "src/core/CMakeFiles/ckat_core.dir/attention.cpp.o" "gcc" "src/core/CMakeFiles/ckat_core.dir/attention.cpp.o.d"
+  "/root/repo/src/core/bpr.cpp" "src/core/CMakeFiles/ckat_core.dir/bpr.cpp.o" "gcc" "src/core/CMakeFiles/ckat_core.dir/bpr.cpp.o.d"
+  "/root/repo/src/core/ckat.cpp" "src/core/CMakeFiles/ckat_core.dir/ckat.cpp.o" "gcc" "src/core/CMakeFiles/ckat_core.dir/ckat.cpp.o.d"
+  "/root/repo/src/core/transr.cpp" "src/core/CMakeFiles/ckat_core.dir/transr.cpp.o" "gcc" "src/core/CMakeFiles/ckat_core.dir/transr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ckat_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ckat_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ckat_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ckat_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

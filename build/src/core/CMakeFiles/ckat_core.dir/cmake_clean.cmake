@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckat_core.dir/attention.cpp.o"
+  "CMakeFiles/ckat_core.dir/attention.cpp.o.d"
+  "CMakeFiles/ckat_core.dir/bpr.cpp.o"
+  "CMakeFiles/ckat_core.dir/bpr.cpp.o.d"
+  "CMakeFiles/ckat_core.dir/ckat.cpp.o"
+  "CMakeFiles/ckat_core.dir/ckat.cpp.o.d"
+  "CMakeFiles/ckat_core.dir/transr.cpp.o"
+  "CMakeFiles/ckat_core.dir/transr.cpp.o.d"
+  "libckat_core.a"
+  "libckat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/delivery/cache.cpp" "src/delivery/CMakeFiles/ckat_delivery.dir/cache.cpp.o" "gcc" "src/delivery/CMakeFiles/ckat_delivery.dir/cache.cpp.o.d"
+  "/root/repo/src/delivery/prefetch.cpp" "src/delivery/CMakeFiles/ckat_delivery.dir/prefetch.cpp.o" "gcc" "src/delivery/CMakeFiles/ckat_delivery.dir/prefetch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/ckat_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/facility/CMakeFiles/ckat_facility.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ckat_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ckat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

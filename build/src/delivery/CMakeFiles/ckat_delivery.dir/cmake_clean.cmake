@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckat_delivery.dir/cache.cpp.o"
+  "CMakeFiles/ckat_delivery.dir/cache.cpp.o.d"
+  "CMakeFiles/ckat_delivery.dir/prefetch.cpp.o"
+  "CMakeFiles/ckat_delivery.dir/prefetch.cpp.o.d"
+  "libckat_delivery.a"
+  "libckat_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckat_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/evaluator.cpp" "src/eval/CMakeFiles/ckat_eval.dir/evaluator.cpp.o" "gcc" "src/eval/CMakeFiles/ckat_eval.dir/evaluator.cpp.o.d"
+  "/root/repo/src/eval/grid_search.cpp" "src/eval/CMakeFiles/ckat_eval.dir/grid_search.cpp.o" "gcc" "src/eval/CMakeFiles/ckat_eval.dir/grid_search.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/eval/CMakeFiles/ckat_eval.dir/metrics.cpp.o" "gcc" "src/eval/CMakeFiles/ckat_eval.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ckat_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ckat_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

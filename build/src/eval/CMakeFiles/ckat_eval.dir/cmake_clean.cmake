@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckat_eval.dir/evaluator.cpp.o"
+  "CMakeFiles/ckat_eval.dir/evaluator.cpp.o.d"
+  "CMakeFiles/ckat_eval.dir/grid_search.cpp.o"
+  "CMakeFiles/ckat_eval.dir/grid_search.cpp.o.d"
+  "CMakeFiles/ckat_eval.dir/metrics.cpp.o"
+  "CMakeFiles/ckat_eval.dir/metrics.cpp.o.d"
+  "libckat_eval.a"
+  "libckat_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckat_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

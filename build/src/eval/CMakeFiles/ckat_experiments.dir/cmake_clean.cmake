@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckat_experiments.dir/experiments.cpp.o"
+  "CMakeFiles/ckat_experiments.dir/experiments.cpp.o.d"
+  "libckat_experiments.a"
+  "libckat_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckat_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

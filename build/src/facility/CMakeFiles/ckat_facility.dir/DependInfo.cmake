@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/facility/dataset.cpp" "src/facility/CMakeFiles/ckat_facility.dir/dataset.cpp.o" "gcc" "src/facility/CMakeFiles/ckat_facility.dir/dataset.cpp.o.d"
+  "/root/repo/src/facility/export.cpp" "src/facility/CMakeFiles/ckat_facility.dir/export.cpp.o" "gcc" "src/facility/CMakeFiles/ckat_facility.dir/export.cpp.o.d"
+  "/root/repo/src/facility/model.cpp" "src/facility/CMakeFiles/ckat_facility.dir/model.cpp.o" "gcc" "src/facility/CMakeFiles/ckat_facility.dir/model.cpp.o.d"
+  "/root/repo/src/facility/multi.cpp" "src/facility/CMakeFiles/ckat_facility.dir/multi.cpp.o" "gcc" "src/facility/CMakeFiles/ckat_facility.dir/multi.cpp.o.d"
+  "/root/repo/src/facility/trace.cpp" "src/facility/CMakeFiles/ckat_facility.dir/trace.cpp.o" "gcc" "src/facility/CMakeFiles/ckat_facility.dir/trace.cpp.o.d"
+  "/root/repo/src/facility/users.cpp" "src/facility/CMakeFiles/ckat_facility.dir/users.cpp.o" "gcc" "src/facility/CMakeFiles/ckat_facility.dir/users.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ckat_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ckat_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

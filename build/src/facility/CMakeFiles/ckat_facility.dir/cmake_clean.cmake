@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckat_facility.dir/dataset.cpp.o"
+  "CMakeFiles/ckat_facility.dir/dataset.cpp.o.d"
+  "CMakeFiles/ckat_facility.dir/export.cpp.o"
+  "CMakeFiles/ckat_facility.dir/export.cpp.o.d"
+  "CMakeFiles/ckat_facility.dir/model.cpp.o"
+  "CMakeFiles/ckat_facility.dir/model.cpp.o.d"
+  "CMakeFiles/ckat_facility.dir/multi.cpp.o"
+  "CMakeFiles/ckat_facility.dir/multi.cpp.o.d"
+  "CMakeFiles/ckat_facility.dir/trace.cpp.o"
+  "CMakeFiles/ckat_facility.dir/trace.cpp.o.d"
+  "CMakeFiles/ckat_facility.dir/users.cpp.o"
+  "CMakeFiles/ckat_facility.dir/users.cpp.o.d"
+  "libckat_facility.a"
+  "libckat_facility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckat_facility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

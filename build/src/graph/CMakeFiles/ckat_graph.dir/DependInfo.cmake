@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/adjacency.cpp" "src/graph/CMakeFiles/ckat_graph.dir/adjacency.cpp.o" "gcc" "src/graph/CMakeFiles/ckat_graph.dir/adjacency.cpp.o.d"
+  "/root/repo/src/graph/ckg.cpp" "src/graph/CMakeFiles/ckat_graph.dir/ckg.cpp.o" "gcc" "src/graph/CMakeFiles/ckat_graph.dir/ckg.cpp.o.d"
+  "/root/repo/src/graph/interactions.cpp" "src/graph/CMakeFiles/ckat_graph.dir/interactions.cpp.o" "gcc" "src/graph/CMakeFiles/ckat_graph.dir/interactions.cpp.o.d"
+  "/root/repo/src/graph/paths.cpp" "src/graph/CMakeFiles/ckat_graph.dir/paths.cpp.o" "gcc" "src/graph/CMakeFiles/ckat_graph.dir/paths.cpp.o.d"
+  "/root/repo/src/graph/triple_store.cpp" "src/graph/CMakeFiles/ckat_graph.dir/triple_store.cpp.o" "gcc" "src/graph/CMakeFiles/ckat_graph.dir/triple_store.cpp.o.d"
+  "/root/repo/src/graph/vocab.cpp" "src/graph/CMakeFiles/ckat_graph.dir/vocab.cpp.o" "gcc" "src/graph/CMakeFiles/ckat_graph.dir/vocab.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ckat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckat_graph.dir/adjacency.cpp.o"
+  "CMakeFiles/ckat_graph.dir/adjacency.cpp.o.d"
+  "CMakeFiles/ckat_graph.dir/ckg.cpp.o"
+  "CMakeFiles/ckat_graph.dir/ckg.cpp.o.d"
+  "CMakeFiles/ckat_graph.dir/interactions.cpp.o"
+  "CMakeFiles/ckat_graph.dir/interactions.cpp.o.d"
+  "CMakeFiles/ckat_graph.dir/paths.cpp.o"
+  "CMakeFiles/ckat_graph.dir/paths.cpp.o.d"
+  "CMakeFiles/ckat_graph.dir/triple_store.cpp.o"
+  "CMakeFiles/ckat_graph.dir/triple_store.cpp.o.d"
+  "CMakeFiles/ckat_graph.dir/vocab.cpp.o"
+  "CMakeFiles/ckat_graph.dir/vocab.cpp.o.d"
+  "libckat_graph.a"
+  "libckat_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckat_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

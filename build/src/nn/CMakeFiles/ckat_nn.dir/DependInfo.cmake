@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/ckat_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/ckat_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/kernels.cpp" "src/nn/CMakeFiles/ckat_nn.dir/kernels.cpp.o" "gcc" "src/nn/CMakeFiles/ckat_nn.dir/kernels.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/nn/CMakeFiles/ckat_nn.dir/optim.cpp.o" "gcc" "src/nn/CMakeFiles/ckat_nn.dir/optim.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/ckat_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/ckat_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/tape.cpp" "src/nn/CMakeFiles/ckat_nn.dir/tape.cpp.o" "gcc" "src/nn/CMakeFiles/ckat_nn.dir/tape.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/ckat_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/ckat_nn.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ckat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckat_nn.dir/init.cpp.o"
+  "CMakeFiles/ckat_nn.dir/init.cpp.o.d"
+  "CMakeFiles/ckat_nn.dir/kernels.cpp.o"
+  "CMakeFiles/ckat_nn.dir/kernels.cpp.o.d"
+  "CMakeFiles/ckat_nn.dir/optim.cpp.o"
+  "CMakeFiles/ckat_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/ckat_nn.dir/serialize.cpp.o"
+  "CMakeFiles/ckat_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/ckat_nn.dir/tape.cpp.o"
+  "CMakeFiles/ckat_nn.dir/tape.cpp.o.d"
+  "CMakeFiles/ckat_nn.dir/tensor.cpp.o"
+  "CMakeFiles/ckat_nn.dir/tensor.cpp.o.d"
+  "libckat_nn.a"
+  "libckat_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckat_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckat_util.dir/cli.cpp.o"
+  "CMakeFiles/ckat_util.dir/cli.cpp.o.d"
+  "CMakeFiles/ckat_util.dir/csv.cpp.o"
+  "CMakeFiles/ckat_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ckat_util.dir/logging.cpp.o"
+  "CMakeFiles/ckat_util.dir/logging.cpp.o.d"
+  "CMakeFiles/ckat_util.dir/rng.cpp.o"
+  "CMakeFiles/ckat_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ckat_util.dir/table.cpp.o"
+  "CMakeFiles/ckat_util.dir/table.cpp.o.d"
+  "CMakeFiles/ckat_util.dir/timer.cpp.o"
+  "CMakeFiles/ckat_util.dir/timer.cpp.o.d"
+  "libckat_util.a"
+  "libckat_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckat_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

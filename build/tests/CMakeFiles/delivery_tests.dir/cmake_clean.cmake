@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delivery_tests.dir/delivery/cache_test.cpp.o"
+  "CMakeFiles/delivery_tests.dir/delivery/cache_test.cpp.o.d"
+  "CMakeFiles/delivery_tests.dir/delivery/prefetch_test.cpp.o"
+  "CMakeFiles/delivery_tests.dir/delivery/prefetch_test.cpp.o.d"
+  "delivery_tests"
+  "delivery_tests.pdb"
+  "delivery_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delivery_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

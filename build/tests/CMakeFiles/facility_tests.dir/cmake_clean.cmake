@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facility_tests.dir/facility/dataset_test.cpp.o"
+  "CMakeFiles/facility_tests.dir/facility/dataset_test.cpp.o.d"
+  "CMakeFiles/facility_tests.dir/facility/export_test.cpp.o"
+  "CMakeFiles/facility_tests.dir/facility/export_test.cpp.o.d"
+  "CMakeFiles/facility_tests.dir/facility/model_test.cpp.o"
+  "CMakeFiles/facility_tests.dir/facility/model_test.cpp.o.d"
+  "CMakeFiles/facility_tests.dir/facility/multi_test.cpp.o"
+  "CMakeFiles/facility_tests.dir/facility/multi_test.cpp.o.d"
+  "CMakeFiles/facility_tests.dir/facility/trace_test.cpp.o"
+  "CMakeFiles/facility_tests.dir/facility/trace_test.cpp.o.d"
+  "CMakeFiles/facility_tests.dir/facility/users_test.cpp.o"
+  "CMakeFiles/facility_tests.dir/facility/users_test.cpp.o.d"
+  "facility_tests"
+  "facility_tests.pdb"
+  "facility_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facility_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

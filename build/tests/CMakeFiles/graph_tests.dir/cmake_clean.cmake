@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_tests.dir/graph/adjacency_test.cpp.o"
+  "CMakeFiles/graph_tests.dir/graph/adjacency_test.cpp.o.d"
+  "CMakeFiles/graph_tests.dir/graph/ckg_test.cpp.o"
+  "CMakeFiles/graph_tests.dir/graph/ckg_test.cpp.o.d"
+  "CMakeFiles/graph_tests.dir/graph/interactions_test.cpp.o"
+  "CMakeFiles/graph_tests.dir/graph/interactions_test.cpp.o.d"
+  "CMakeFiles/graph_tests.dir/graph/paths_test.cpp.o"
+  "CMakeFiles/graph_tests.dir/graph/paths_test.cpp.o.d"
+  "CMakeFiles/graph_tests.dir/graph/triple_store_test.cpp.o"
+  "CMakeFiles/graph_tests.dir/graph/triple_store_test.cpp.o.d"
+  "CMakeFiles/graph_tests.dir/graph/vocab_test.cpp.o"
+  "CMakeFiles/graph_tests.dir/graph/vocab_test.cpp.o.d"
+  "graph_tests"
+  "graph_tests.pdb"
+  "graph_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_tests.dir/nn/init_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/init_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/kernels_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/kernels_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/optim_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/optim_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/serialize_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/serialize_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/tape_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/tape_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/tensor_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/tensor_test.cpp.o.d"
+  "nn_tests"
+  "nn_tests.pdb"
+  "nn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
