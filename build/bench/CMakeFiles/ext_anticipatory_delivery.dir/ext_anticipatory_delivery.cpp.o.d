@@ -200,8 +200,9 @@ bench/CMakeFiles/ext_anticipatory_delivery.dir/ext_anticipatory_delivery.cpp.o: 
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/facility/dataset.hpp \
  /root/repo/src/facility/model.hpp /root/repo/src/util/rng.hpp \
- /usr/include/c++/12/cstddef /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -223,8 +224,7 @@ bench/CMakeFiles/ext_anticipatory_delivery.dir/ext_anticipatory_delivery.cpp.o: 
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/facility/trace.hpp \
- /usr/include/c++/12/optional \
+ /root/repo/src/facility/trace.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/facility/users.hpp /root/repo/src/graph/ckg.hpp \
  /root/repo/src/graph/adjacency.hpp /root/repo/src/graph/triple_store.hpp \
@@ -254,10 +254,11 @@ bench/CMakeFiles/ext_anticipatory_delivery.dir/ext_anticipatory_delivery.cpp.o: 
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/nn/kernels.hpp /root/repo/src/core/bpr.hpp \
- /root/repo/src/eval/recommender.hpp /root/repo/src/delivery/prefetch.hpp \
- /root/repo/src/delivery/cache.hpp /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/eval/recommender.hpp /root/repo/src/nn/serialize.hpp \
+ /root/repo/src/delivery/prefetch.hpp /root/repo/src/delivery/cache.hpp \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/eval/experiments.hpp /root/repo/src/eval/evaluator.hpp \
  /root/repo/src/eval/metrics.hpp

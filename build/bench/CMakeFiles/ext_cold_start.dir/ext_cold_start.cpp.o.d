@@ -251,5 +251,6 @@ bench/CMakeFiles/ext_cold_start.dir/ext_cold_start.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/nn/kernels.hpp /root/repo/src/eval/experiments.hpp \
- /root/repo/src/eval/evaluator.hpp /root/repo/src/eval/metrics.hpp
+ /root/repo/src/nn/kernels.hpp /root/repo/src/nn/serialize.hpp \
+ /root/repo/src/eval/experiments.hpp /root/repo/src/eval/evaluator.hpp \
+ /root/repo/src/eval/metrics.hpp

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_fault_tolerance.cpp" "bench/CMakeFiles/ext_fault_tolerance.dir/ext_fault_tolerance.cpp.o" "gcc" "bench/CMakeFiles/ext_fault_tolerance.dir/ext_fault_tolerance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/ckat_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/facility/CMakeFiles/ckat_facility.dir/DependInfo.cmake"
+  "/root/repo/build/src/serve/CMakeFiles/ckat_serve.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ckat_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ckat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ckat_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ckat_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ckat_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ckat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -198,8 +198,9 @@ bench/CMakeFiles/fig3_query_distributions.dir/fig3_query_distributions.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/facility/model.hpp /root/repo/src/util/rng.hpp \
- /usr/include/c++/12/cstddef /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -221,8 +222,7 @@ bench/CMakeFiles/fig3_query_distributions.dir/fig3_query_distributions.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/facility/trace.hpp \
- /usr/include/c++/12/optional \
+ /root/repo/src/facility/trace.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/facility/users.hpp /root/repo/src/graph/ckg.hpp \
  /root/repo/src/graph/adjacency.hpp /root/repo/src/graph/triple_store.hpp \

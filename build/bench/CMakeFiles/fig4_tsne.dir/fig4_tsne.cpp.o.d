@@ -227,8 +227,8 @@ bench/CMakeFiles/fig4_tsne.dir/fig4_tsne.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/facility/model.hpp /root/repo/src/util/rng.hpp \
- /usr/include/c++/12/cstddef /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/facility/trace.hpp \
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/span /root/repo/src/facility/trace.hpp \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/facility/users.hpp /root/repo/src/graph/ckg.hpp \

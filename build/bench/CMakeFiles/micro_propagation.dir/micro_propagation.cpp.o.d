@@ -248,5 +248,6 @@ bench/CMakeFiles/micro_propagation.dir/micro_propagation.cpp.o: \
  /usr/include/c++/12/optional /root/repo/src/core/bpr.hpp \
  /root/repo/src/graph/interactions.hpp \
  /root/repo/src/eval/recommender.hpp /root/repo/src/graph/ckg.hpp \
- /root/repo/src/facility/dataset.hpp /root/repo/src/facility/model.hpp \
- /root/repo/src/facility/trace.hpp /root/repo/src/facility/users.hpp
+ /root/repo/src/nn/serialize.hpp /root/repo/src/facility/dataset.hpp \
+ /root/repo/src/facility/model.hpp /root/repo/src/facility/trace.hpp \
+ /root/repo/src/facility/users.hpp

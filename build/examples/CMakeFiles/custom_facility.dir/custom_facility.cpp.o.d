@@ -240,9 +240,9 @@ examples/CMakeFiles/custom_facility.dir/custom_facility.cpp.o: \
  /root/repo/src/graph/vocab.hpp /root/repo/src/core/bpr.hpp \
  /root/repo/src/graph/interactions.hpp \
  /root/repo/src/eval/recommender.hpp /root/repo/src/graph/ckg.hpp \
- /root/repo/src/eval/evaluator.hpp /root/repo/src/eval/metrics.hpp \
- /root/repo/src/facility/trace.hpp /root/repo/src/facility/model.hpp \
- /root/repo/src/facility/users.hpp /root/repo/src/util/cli.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/nn/serialize.hpp /root/repo/src/eval/evaluator.hpp \
+ /root/repo/src/eval/metrics.hpp /root/repo/src/facility/trace.hpp \
+ /root/repo/src/facility/model.hpp /root/repo/src/facility/users.hpp \
+ /root/repo/src/util/cli.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h

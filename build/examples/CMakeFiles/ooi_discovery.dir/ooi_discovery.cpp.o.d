@@ -244,7 +244,8 @@ examples/CMakeFiles/ooi_discovery.dir/ooi_discovery.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/nn/kernels.hpp /root/repo/src/graph/adjacency.hpp \
  /root/repo/src/graph/triple_store.hpp /root/repo/src/graph/vocab.hpp \
- /root/repo/src/graph/ckg.hpp /root/repo/src/eval/evaluator.hpp \
- /root/repo/src/eval/metrics.hpp /root/repo/src/facility/dataset.hpp \
- /root/repo/src/facility/model.hpp /root/repo/src/facility/trace.hpp \
- /root/repo/src/facility/users.hpp /root/repo/src/util/cli.hpp
+ /root/repo/src/graph/ckg.hpp /root/repo/src/nn/serialize.hpp \
+ /root/repo/src/eval/evaluator.hpp /root/repo/src/eval/metrics.hpp \
+ /root/repo/src/facility/dataset.hpp /root/repo/src/facility/model.hpp \
+ /root/repo/src/facility/trace.hpp /root/repo/src/facility/users.hpp \
+ /root/repo/src/util/cli.hpp

@@ -241,13 +241,13 @@ src/eval/CMakeFiles/ckat_experiments.dir/experiments.cpp.o: \
  /root/repo/src/graph/vocab.hpp /root/repo/src/core/bpr.hpp \
  /root/repo/src/graph/interactions.hpp \
  /root/repo/src/eval/recommender.hpp /root/repo/src/graph/ckg.hpp \
- /root/repo/src/eval/evaluator.hpp /root/repo/src/eval/metrics.hpp \
- /root/repo/src/baselines/bprmf.hpp /root/repo/src/baselines/cfkg.hpp \
- /root/repo/src/baselines/cke.hpp /root/repo/src/baselines/fm.hpp \
- /root/repo/src/baselines/common.hpp /root/repo/src/baselines/kgcn.hpp \
- /root/repo/src/baselines/ripplenet.hpp /root/repo/src/util/cli.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/nn/serialize.hpp /root/repo/src/eval/evaluator.hpp \
+ /root/repo/src/eval/metrics.hpp /root/repo/src/baselines/bprmf.hpp \
+ /root/repo/src/baselines/cfkg.hpp /root/repo/src/baselines/cke.hpp \
+ /root/repo/src/baselines/fm.hpp /root/repo/src/baselines/common.hpp \
+ /root/repo/src/baselines/kgcn.hpp /root/repo/src/baselines/ripplenet.hpp \
+ /root/repo/src/util/cli.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/logging.hpp \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \

@@ -199,8 +199,9 @@ src/facility/CMakeFiles/ckat_facility.dir/multi.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/facility/dataset.hpp \
  /root/repo/src/facility/model.hpp /root/repo/src/util/rng.hpp \
- /usr/include/c++/12/cstddef /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -222,8 +223,7 @@ src/facility/CMakeFiles/ckat_facility.dir/multi.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/facility/trace.hpp \
- /usr/include/c++/12/optional \
+ /root/repo/src/facility/trace.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/facility/users.hpp /root/repo/src/graph/ckg.hpp \
  /root/repo/src/graph/adjacency.hpp /root/repo/src/graph/triple_store.hpp \

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serve/popularity.cpp" "src/serve/CMakeFiles/ckat_serve.dir/popularity.cpp.o" "gcc" "src/serve/CMakeFiles/ckat_serve.dir/popularity.cpp.o.d"
+  "/root/repo/src/serve/resilient.cpp" "src/serve/CMakeFiles/ckat_serve.dir/resilient.cpp.o" "gcc" "src/serve/CMakeFiles/ckat_serve.dir/resilient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/ckat_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ckat_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ckat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

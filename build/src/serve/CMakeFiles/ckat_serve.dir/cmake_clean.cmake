@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckat_serve.dir/popularity.cpp.o"
+  "CMakeFiles/ckat_serve.dir/popularity.cpp.o.d"
+  "CMakeFiles/ckat_serve.dir/resilient.cpp.o"
+  "CMakeFiles/ckat_serve.dir/resilient.cpp.o.d"
+  "libckat_serve.a"
+  "libckat_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckat_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

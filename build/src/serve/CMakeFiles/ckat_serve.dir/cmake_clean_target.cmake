@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libckat_serve.a"
+)

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/cli.cpp" "src/util/CMakeFiles/ckat_util.dir/cli.cpp.o" "gcc" "src/util/CMakeFiles/ckat_util.dir/cli.cpp.o.d"
   "/root/repo/src/util/csv.cpp" "src/util/CMakeFiles/ckat_util.dir/csv.cpp.o" "gcc" "src/util/CMakeFiles/ckat_util.dir/csv.cpp.o.d"
+  "/root/repo/src/util/fault.cpp" "src/util/CMakeFiles/ckat_util.dir/fault.cpp.o" "gcc" "src/util/CMakeFiles/ckat_util.dir/fault.cpp.o.d"
   "/root/repo/src/util/logging.cpp" "src/util/CMakeFiles/ckat_util.dir/logging.cpp.o" "gcc" "src/util/CMakeFiles/ckat_util.dir/logging.cpp.o.d"
   "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/ckat_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/ckat_util.dir/rng.cpp.o.d"
   "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/ckat_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/ckat_util.dir/table.cpp.o.d"

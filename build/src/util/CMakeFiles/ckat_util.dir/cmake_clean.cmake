@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/ckat_util.dir/cli.cpp.o.d"
   "CMakeFiles/ckat_util.dir/csv.cpp.o"
   "CMakeFiles/ckat_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ckat_util.dir/fault.cpp.o"
+  "CMakeFiles/ckat_util.dir/fault.cpp.o.d"
   "CMakeFiles/ckat_util.dir/logging.cpp.o"
   "CMakeFiles/ckat_util.dir/logging.cpp.o.d"
   "CMakeFiles/ckat_util.dir/rng.cpp.o"

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/core/attention_test.cpp" "tests/CMakeFiles/core_tests.dir/core/attention_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/attention_test.cpp.o.d"
   "/root/repo/tests/core/bpr_test.cpp" "tests/CMakeFiles/core_tests.dir/core/bpr_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/bpr_test.cpp.o.d"
+  "/root/repo/tests/core/ckat_resume_test.cpp" "tests/CMakeFiles/core_tests.dir/core/ckat_resume_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/ckat_resume_test.cpp.o.d"
   "/root/repo/tests/core/ckat_test.cpp" "tests/CMakeFiles/core_tests.dir/core/ckat_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/ckat_test.cpp.o.d"
   "/root/repo/tests/core/transr_test.cpp" "tests/CMakeFiles/core_tests.dir/core/transr_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/transr_test.cpp.o.d"
   )

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/core_tests.dir/core/attention_test.cpp.o.d"
   "CMakeFiles/core_tests.dir/core/bpr_test.cpp.o"
   "CMakeFiles/core_tests.dir/core/bpr_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/ckat_resume_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/ckat_resume_test.cpp.o.d"
   "CMakeFiles/core_tests.dir/core/ckat_test.cpp.o"
   "CMakeFiles/core_tests.dir/core/ckat_test.cpp.o.d"
   "CMakeFiles/core_tests.dir/core/transr_test.cpp.o"

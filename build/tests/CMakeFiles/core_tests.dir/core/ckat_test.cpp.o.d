@@ -240,7 +240,7 @@ tests/CMakeFiles/core_tests.dir/core/ckat_test.cpp.o: \
  /root/repo/src/graph/vocab.hpp /root/repo/src/core/bpr.hpp \
  /root/repo/src/graph/interactions.hpp \
  /root/repo/src/eval/recommender.hpp /root/repo/src/graph/ckg.hpp \
- /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/nn/serialize.hpp /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

@@ -241,8 +241,8 @@ tests/CMakeFiles/eval_tests.dir/eval/experiments_test.cpp.o: \
  /root/repo/src/graph/vocab.hpp /root/repo/src/core/bpr.hpp \
  /root/repo/src/graph/interactions.hpp \
  /root/repo/src/eval/recommender.hpp /root/repo/src/graph/ckg.hpp \
- /root/repo/src/eval/evaluator.hpp /root/repo/src/eval/metrics.hpp \
- /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/nn/serialize.hpp /root/repo/src/eval/evaluator.hpp \
+ /root/repo/src/eval/metrics.hpp /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

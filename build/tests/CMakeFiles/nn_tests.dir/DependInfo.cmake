@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/checkpoint_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/checkpoint_test.cpp.o.d"
   "/root/repo/tests/nn/init_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/init_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/init_test.cpp.o.d"
   "/root/repo/tests/nn/kernels_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/kernels_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/kernels_test.cpp.o.d"
   "/root/repo/tests/nn/optim_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/optim_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/optim_test.cpp.o.d"

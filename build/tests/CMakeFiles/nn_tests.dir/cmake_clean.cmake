@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/nn_tests.dir/nn/checkpoint_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/checkpoint_test.cpp.o.d"
   "CMakeFiles/nn_tests.dir/nn/init_test.cpp.o"
   "CMakeFiles/nn_tests.dir/nn/init_test.cpp.o.d"
   "CMakeFiles/nn_tests.dir/nn/kernels_test.cpp.o"

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/util/cli_test.cpp" "tests/CMakeFiles/util_tests.dir/util/cli_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/cli_test.cpp.o.d"
   "/root/repo/tests/util/csv_test.cpp" "tests/CMakeFiles/util_tests.dir/util/csv_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/csv_test.cpp.o.d"
+  "/root/repo/tests/util/fault_test.cpp" "tests/CMakeFiles/util_tests.dir/util/fault_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/fault_test.cpp.o.d"
   "/root/repo/tests/util/logging_test.cpp" "tests/CMakeFiles/util_tests.dir/util/logging_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/logging_test.cpp.o.d"
   "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/util_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/rng_test.cpp.o.d"
   "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/util_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/table_test.cpp.o.d"

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/util_tests.dir/util/cli_test.cpp.o.d"
   "CMakeFiles/util_tests.dir/util/csv_test.cpp.o"
   "CMakeFiles/util_tests.dir/util/csv_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/fault_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/fault_test.cpp.o.d"
   "CMakeFiles/util_tests.dir/util/logging_test.cpp.o"
   "CMakeFiles/util_tests.dir/util/logging_test.cpp.o.d"
   "CMakeFiles/util_tests.dir/util/rng_test.cpp.o"

@@ -9,6 +9,7 @@ include("/root/repo/build/tests/nn_tests[1]_include.cmake")
 include("/root/repo/build/tests/graph_tests[1]_include.cmake")
 include("/root/repo/build/tests/facility_tests[1]_include.cmake")
 include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/serve_tests[1]_include.cmake")
 include("/root/repo/build/tests/baselines_tests[1]_include.cmake")
 include("/root/repo/build/tests/eval_tests[1]_include.cmake")
 include("/root/repo/build/tests/analysis_tests[1]_include.cmake")

@@ -1,5 +1,8 @@
 #include "core/ckat.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
@@ -7,6 +10,7 @@
 
 #include "nn/init.hpp"
 #include "nn/serialize.hpp"
+#include "util/fault.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
@@ -143,6 +147,14 @@ float CkatModel::cf_step(util::Rng& rng) {
   const float loss_value = tape.value(loss)(0, 0);
   tape.backward(loss);
   cf_optimizer_->step(params_);
+
+  // Fault-injection hook: simulates the NaN gradients a real divergence
+  // produces, so the rollback path is testable on demand.
+  auto& injector = util::FaultInjector::instance();
+  if (injector.enabled() &&
+      injector.should_fire(util::fault_points::kNanLoss)) {
+    return std::numeric_limits<float>::quiet_NaN();
+  }
   return loss_value;
 }
 
@@ -163,9 +175,19 @@ void CkatModel::fit() {
       sampler_->batches_per_epoch(config_.cf_batch_size);
   const std::size_t kg_batches = std::max<std::size_t>(
       1, (kg_edges_.size() + config_.kg_batch_size - 1) / config_.kg_batch_size);
+  const bool checkpointing =
+      config_.checkpoint_every > 0 && !config_.checkpoint_path.empty();
 
   history_.clear();
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+  rollbacks_ = 0;
+  // An epoch-0 checkpoint guarantees a rollback target even when the
+  // very first epochs diverge.
+  if (checkpointing && start_epoch_ == 0) {
+    write_checkpoint(0);
+  }
+  const int first_epoch = start_epoch_;
+  int epoch = start_epoch_;
+  while (epoch < config_.epochs) {
     EpochStats stats;
     for (std::size_t b = 0; b < cf_batches; ++b) {
       stats.cf_loss += cf_step(rng_);
@@ -175,6 +197,35 @@ void CkatModel::fit() {
     }
     stats.cf_loss /= static_cast<float>(cf_batches);
     stats.kg_loss /= static_cast<float>(kg_batches);
+
+    if (!std::isfinite(stats.cf_loss) || !std::isfinite(stats.kg_loss)) {
+      // Compound the reduction across successive rollbacks (restoring
+      // the checkpoint resets lr_scale_ to the value it was saved with).
+      const float reduced_scale = lr_scale_ * config_.rollback_lr_factor;
+      if (checkpointing && rollbacks_ < config_.max_rollbacks &&
+          try_rollback()) {
+        ++rollbacks_;
+        apply_lr_scale(reduced_scale);
+        CKAT_LOG_WARN(
+            "[CKAT] non-finite loss at epoch %d; rolled back to epoch %d "
+            "(rollback %d/%d, lr scale %.3g)",
+            epoch + 1, start_epoch_, rollbacks_, config_.max_rollbacks,
+            lr_scale_);
+        epoch = start_epoch_;
+        // Drop the history entries of the epochs being replayed.
+        history_.resize(static_cast<std::size_t>(
+            std::max(0, start_epoch_ - first_epoch)));
+        continue;
+      }
+      if (checkpointing) {
+        throw std::runtime_error(
+            "CkatModel::fit: training diverged (non-finite loss) and no "
+            "rollback budget or usable checkpoint remains");
+      }
+      // Legacy behaviour without checkpointing: record the bad epoch and
+      // keep going, as before this feature existed.
+    }
+
     history_.push_back(stats);
 
     // Refresh the attention coefficients from the updated TransR
@@ -189,10 +240,87 @@ void CkatModel::fit() {
                     epoch + 1, config_.epochs, stats.cf_loss, stats.kg_loss,
                     util::format_duration(timer.seconds()).c_str());
     }
+
+    ++epoch;
+    if (checkpointing && epoch % config_.checkpoint_every == 0) {
+      write_checkpoint(epoch);
+    }
   }
 
+  start_epoch_ = 0;
   cache_final_representations();
   fitted_ = true;
+}
+
+nn::TrainingCheckpoint CkatModel::make_checkpoint(int epoch) const {
+  nn::TrainingCheckpoint checkpoint;
+  checkpoint.epoch = epoch;
+  checkpoint.cf_steps = cf_optimizer_->step_count();
+  checkpoint.kg_steps = kg_optimizer_->step_count();
+  checkpoint.rng_state = rng_.state();
+  checkpoint.lr_scale = lr_scale_;
+  checkpoint.capture(params_);
+  return checkpoint;
+}
+
+void CkatModel::restore_checkpoint(const nn::TrainingCheckpoint& checkpoint) {
+  checkpoint.restore(params_);
+  cf_optimizer_->set_step_count(checkpoint.cf_steps);
+  kg_optimizer_->set_step_count(checkpoint.kg_steps);
+  rng_.set_state(checkpoint.rng_state);
+  apply_lr_scale(checkpoint.lr_scale);
+  start_epoch_ = checkpoint.epoch;
+  refresh_propagation_matrix();
+}
+
+void CkatModel::resume_from(const std::string& path) {
+  restore_checkpoint(nn::load_checkpoint(path));
+}
+
+void CkatModel::apply_lr_scale(float scale) {
+  lr_scale_ = scale;
+  cf_optimizer_->set_learning_rate(config_.learning_rate * scale);
+  kg_optimizer_->set_learning_rate(config_.learning_rate * scale);
+}
+
+void CkatModel::write_checkpoint(int epoch) {
+  const std::string& path = config_.checkpoint_path;
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec)) {
+    std::filesystem::rename(path, path + ".prev", ec);
+    if (ec) {
+      CKAT_LOG_WARN("[CKAT] checkpoint rotation failed: %s",
+                    ec.message().c_str());
+    }
+  }
+  try {
+    nn::save_checkpoint(make_checkpoint(epoch), path);
+    CKAT_LOG_DEBUG("[CKAT] checkpoint written at epoch %d -> %s", epoch,
+                   path.c_str());
+  } catch (const std::exception& e) {
+    // A failed checkpoint write must not kill a healthy training run;
+    // the rotated previous checkpoint remains the rollback target.
+    CKAT_LOG_WARN("[CKAT] checkpoint write failed at epoch %d: %s", epoch,
+                  e.what());
+  }
+}
+
+bool CkatModel::try_rollback() {
+  for (const std::string& candidate :
+       {config_.checkpoint_path, config_.checkpoint_path + ".prev"}) {
+    std::error_code ec;
+    if (!std::filesystem::exists(candidate, ec)) continue;
+    try {
+      restore_checkpoint(nn::load_checkpoint(candidate));
+      return true;
+    } catch (const std::exception& e) {
+      CKAT_LOG_WARN("[CKAT] rollback candidate %s unusable: %s",
+                    candidate.c_str(), e.what());
+    }
+  }
+  // No checkpoint survived; restart from epoch 0 is not attempted here
+  // because the parameters are already poisoned.
+  return false;
 }
 
 void CkatModel::cache_final_representations() {

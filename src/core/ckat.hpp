@@ -24,6 +24,7 @@
 #include "graph/ckg.hpp"
 #include "nn/optim.hpp"
 #include "nn/parameter.hpp"
+#include "nn/serialize.hpp"
 #include "nn/tape.hpp"
 
 namespace ckat::core {
@@ -54,6 +55,19 @@ struct CkatConfig {
   /// N epochs (KGAT schedule: 1). 0 freezes the initial coefficients,
   /// isolating the value of co-training attention with the embeddings.
   int attention_refresh_every = 1;
+
+  /// Fault tolerance. checkpoint_every > 0 makes fit() write a durable
+  /// training checkpoint to checkpoint_path after every N epochs (the
+  /// previous file is rotated to checkpoint_path + ".prev"). When an
+  /// epoch produces a non-finite CF or KG loss, fit() rolls back to the
+  /// last good checkpoint, multiplies the learning rate by
+  /// rollback_lr_factor and retries, up to max_rollbacks times; with
+  /// checkpointing disabled the legacy record-and-continue behaviour is
+  /// kept.
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
+  float rollback_lr_factor = 0.5f;
+  int max_rollbacks = 3;
 };
 
 class CkatModel final : public eval::Recommender {
@@ -98,6 +112,24 @@ class CkatModel final : public eval::Recommender {
   /// scoring without retraining.
   void load(const std::string& path);
 
+  /// Captures the complete training state (parameters, optimizer moments
+  /// and step counts, RNG, learning-rate scale) as of `epoch` completed
+  /// epochs.
+  [[nodiscard]] nn::TrainingCheckpoint make_checkpoint(int epoch) const;
+
+  /// Applies a checkpoint produced by make_checkpoint (or loaded from
+  /// disk) on an identically-configured model; the next fit() resumes
+  /// from checkpoint.epoch and reproduces the uninterrupted run
+  /// bit-exactly. Throws std::runtime_error on any mismatch.
+  void restore_checkpoint(const nn::TrainingCheckpoint& checkpoint);
+
+  /// Loads a checkpoint file (written by fit()'s periodic checkpointing)
+  /// and restores it; a following fit() continues the interrupted run.
+  void resume_from(const std::string& path);
+
+  /// Number of divergence rollbacks the last fit() performed.
+  [[nodiscard]] int rollback_count() const noexcept { return rollbacks_; }
+
   /// Warm start (Sec. VI.F's "fine-tuning must be repeated" limitation):
   /// copies every parameter from `previous` whose entity (matched by
   /// CKG entity name) or weight matrix also exists here, leaving
@@ -115,6 +147,13 @@ class CkatModel final : public eval::Recommender {
   float cf_step(util::Rng& rng);
   float kg_step(util::Rng& rng);
   void cache_final_representations();
+  void apply_lr_scale(float scale);
+  /// Writes the periodic checkpoint (rotating the previous one); write
+  /// failures are logged, never fatal to training.
+  void write_checkpoint(int epoch);
+  /// Tries checkpoint_path then the rotated ".prev" file; returns false
+  /// when no usable checkpoint exists.
+  bool try_rollback();
 
   const graph::CollaborativeKg& ckg_;
   const graph::InteractionSet& train_;
@@ -136,6 +175,10 @@ class CkatModel final : public eval::Recommender {
   nn::Tensor final_representations_;
   bool fitted_ = false;
   std::vector<EpochStats> history_;
+
+  int start_epoch_ = 0;      // set by restore_checkpoint/resume_from
+  float lr_scale_ = 1.0f;    // current rollback learning-rate multiplier
+  int rollbacks_ = 0;
 };
 
 }  // namespace ckat::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace ckat::delivery {
 
@@ -98,10 +99,26 @@ void FifoCache::on_evict(std::uint32_t object) {
 
 BeladyCache::BeladyCache(std::size_t capacity,
                          const std::vector<std::uint32_t>& future_accesses)
-    : CachePolicy(capacity) {
+    : CachePolicy(capacity), sequence_(future_accesses) {
   for (std::size_t i = 0; i < future_accesses.size(); ++i) {
     positions_[future_accesses[i]].push_back(i);
   }
+}
+
+bool BeladyCache::access(std::uint32_t object) {
+  if (cursor_ >= sequence_.size()) {
+    throw std::logic_error(
+        "BeladyCache: access past the end of the declared sequence");
+  }
+  if (sequence_[cursor_] != object) {
+    throw std::logic_error(
+        "BeladyCache: access to object " + std::to_string(object) +
+        " does not match the declared sequence (expected " +
+        std::to_string(sequence_[cursor_]) + " at position " +
+        std::to_string(cursor_) + ")");
+  }
+  ++cursor_;  // the clairvoyant "now" moves past this access
+  return CachePolicy::access(object);
 }
 
 std::size_t BeladyCache::next_use(std::uint32_t object) const {

@@ -31,8 +31,9 @@ class CachePolicy {
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Demand access: returns true on hit. On miss the object is
-  /// admitted (evicting per policy if full).
-  bool access(std::uint32_t object);
+  /// admitted (evicting per policy if full). Virtual so clairvoyant
+  /// policies can track their position in the access sequence.
+  virtual bool access(std::uint32_t object);
 
   /// Prefetch insertion: admits the object without counting an access;
   /// returns false if it was already cached.
@@ -120,10 +121,12 @@ class BeladyCache final : public CachePolicy {
               const std::vector<std::uint32_t>& future_accesses);
   [[nodiscard]] std::string name() const override { return "Belady"; }
 
-  /// Must be called once per demand access, in sequence order, before
-  /// access(); advances the clairvoyant cursor. (The simulator does
-  /// this automatically.)
-  void advance() { ++cursor_; }
+  /// Demand accesses must follow the future_accesses sequence given at
+  /// construction; the clairvoyant cursor advances automatically (there
+  /// is no separate advance() call for callers to forget, which used to
+  /// silently corrupt hit-rates). An access that does not match the
+  /// declared sequence throws std::logic_error.
+  bool access(std::uint32_t object) override;
 
  protected:
   void on_admit(std::uint32_t object) override {}
@@ -136,6 +139,7 @@ class BeladyCache final : public CachePolicy {
 
   // Per object, sorted positions of its accesses in the sequence.
   std::unordered_map<std::uint32_t, std::vector<std::size_t>> positions_;
+  std::vector<std::uint32_t> sequence_;  // for out-of-order detection
   std::size_t cursor_ = 0;
 };
 

@@ -91,7 +91,6 @@ PrefetchResult simulate_belady(
   result.label = "Belady (offline optimal)";
   std::unordered_set<std::uint32_t> seen_objects;
   for (std::uint32_t object : sequence) {
-    cache.advance();
     const bool cold = seen_objects.insert(object).second;
     const bool hit = cache.access(object);
     result.n_accesses++;

@@ -41,6 +41,13 @@ class AdamOptimizer final : public Optimizer {
   [[nodiscard]] float learning_rate() const noexcept { return lr_; }
   [[nodiscard]] long step_count() const noexcept { return t_; }
 
+  /// Checkpoint/rollback support: the step count feeds the bias
+  /// correction, so restoring parameters and moment buffers without
+  /// restoring it would change the effective update scale.
+  void set_step_count(long t) noexcept { t_ = t; }
+  /// Rollback recovery lowers the learning rate before retrying.
+  void set_learning_rate(float lr) noexcept { lr_ = lr; }
+
  private:
   void update_row(Parameter& p, std::size_t row, float bias_correction1,
                   float bias_correction2);

@@ -1,20 +1,44 @@
 // Binary parameter serialization, so trained models can be saved and
-// served without retraining.
+// served without retraining, plus durable training checkpoints so long
+// runs can survive crashes, divergence and corrupted files.
 //
-// Format (little-endian):
+// Plain parameter format (little-endian, legacy, still supported):
 //   magic "CKATPAR1" | u64 n_params |
 //   per parameter: u32 name_len | name bytes | u64 rows | u64 cols |
 //                  rows*cols f32 values
 // Loading is strict: parameter names, order and shapes must match the
 // store being loaded into (models define their stores deterministically
 // from their configs, so a mismatch means the wrong config).
+//
+// Checkpoint format (version 2, "CKATCKP2"):
+//   header  : magic "CKATCKP2" | u32 version | u32 flags |
+//             i32 epoch | u32 n_tensors | i64 cf_steps | i64 kg_steps |
+//             u64 rng_state[4] | f32 lr_scale | u32 header_crc
+//   tensors : u32 name_len | name bytes | u64 rows | u64 cols |
+//             u8 has_moments | u32 value_crc | value payload |
+//             [u32 m_crc | m payload | u32 v_crc | v payload]
+// Every length field is bounds-checked against sane caps and against the
+// remaining file size before anything is allocated; every payload (and
+// the header itself) carries a CRC32, so truncation, bit-flips and
+// stale/garbage files are each rejected with a descriptive error.
+// Checkpoints are written atomically (temp file + rename): readers never
+// observe a partially written checkpoint, and a failed write leaves the
+// previous checkpoint untouched.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "nn/parameter.hpp"
 
 namespace ckat::nn {
+
+/// CRC32 (IEEE 802.3, reflected 0xEDB88320), the checksum guarding every
+/// checkpoint payload. `seed` chains incremental computations.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0);
 
 /// Writes every parameter value in the store to `path`.
 /// Throws std::runtime_error on I/O failure.
@@ -22,7 +46,50 @@ void save_parameters(const ParamStore& store, const std::string& path);
 
 /// Loads values saved by save_parameters into an existing store.
 /// Throws std::runtime_error on I/O failure or any mismatch in
-/// parameter count, names, order or shapes.
+/// parameter count, names, order or shapes. Corrupt length fields are
+/// rejected before any allocation is attempted.
 void load_parameters(ParamStore& store, const std::string& path);
+
+/// Snapshot of one parameter: its value and (when the optimizer has
+/// touched it) the Adam moment buffers.
+struct TensorSnapshot {
+  std::string name;
+  Tensor value;
+  Tensor opt_m;  // empty when no moments were captured
+  Tensor opt_v;
+};
+
+/// Full training state: everything needed to resume a run bit-exactly —
+/// parameters, optimizer moments and step counts, the training RNG and
+/// the epoch reached. Produced by capture(), applied by restore(), and
+/// made durable with save_checkpoint()/load_checkpoint().
+struct TrainingCheckpoint {
+  std::int32_t epoch = 0;
+  std::int64_t cf_steps = 0;
+  std::int64_t kg_steps = 0;
+  std::array<std::uint64_t, 4> rng_state{};
+  /// Current learning-rate multiplier (reduced by rollback recovery).
+  float lr_scale = 1.0f;
+  std::vector<TensorSnapshot> tensors;
+
+  /// Copies every parameter (value + moment buffers) out of the store.
+  void capture(const ParamStore& store);
+
+  /// Writes the captured values back. Throws std::runtime_error if the
+  /// store does not match the snapshot (count, names or shapes).
+  void restore(ParamStore& store) const;
+};
+
+/// Atomically writes `checkpoint` to `path` (temp file + rename); on any
+/// failure the temp file is removed, the previous file at `path` is left
+/// intact, and std::runtime_error is thrown.
+void save_checkpoint(const TrainingCheckpoint& checkpoint,
+                     const std::string& path);
+
+/// Reads and fully validates a checkpoint. Throws std::runtime_error
+/// with a distinct message for bad magic, unsupported version, header
+/// corruption, implausible length fields, truncation and payload CRC
+/// mismatches.
+TrainingCheckpoint load_checkpoint(const std::string& path);
 
 }  // namespace ckat::nn

@@ -1,0 +1,28 @@
+#include "serve/popularity.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ckat::serve {
+
+PopularityRecommender::PopularityRecommender(
+    const graph::InteractionSet& train)
+    : n_users_(train.n_users()), counts_(train.n_items(), 0.0f) {
+  for (const graph::Interaction& pair : train.pairs()) {
+    counts_[pair.item] += 1.0f;
+  }
+}
+
+void PopularityRecommender::score_items(std::uint32_t user,
+                                        std::span<float> out) const {
+  if (user >= n_users_) {
+    throw std::invalid_argument("PopularityRecommender: user out of range");
+  }
+  if (out.size() != counts_.size()) {
+    throw std::invalid_argument(
+        "PopularityRecommender: output span size mismatch");
+  }
+  std::copy(counts_.begin(), counts_.end(), out.begin());
+}
+
+}  // namespace ckat::serve

@@ -1,0 +1,34 @@
+// Item-popularity recommender: the fallback of last resort in the
+// degraded-mode serving chain. It needs no training beyond counting the
+// train-set interactions, holds no learned state that can corrupt, and
+// scores in O(n_items) with no model evaluation — so it can always
+// answer, even when every learned tier is down.
+#pragma once
+
+#include <vector>
+
+#include "eval/recommender.hpp"
+#include "graph/interactions.hpp"
+
+namespace ckat::serve {
+
+class PopularityRecommender final : public eval::Recommender {
+ public:
+  explicit PopularityRecommender(const graph::InteractionSet& train);
+
+  [[nodiscard]] std::string name() const override { return "Popularity"; }
+  /// Counts are taken in the constructor; fit() is a no-op so the model
+  /// is servable immediately.
+  void fit() override {}
+  void score_items(std::uint32_t user, std::span<float> out) const override;
+  [[nodiscard]] std::size_t n_users() const override { return n_users_; }
+  [[nodiscard]] std::size_t n_items() const override {
+    return counts_.size();
+  }
+
+ private:
+  std::size_t n_users_;
+  std::vector<float> counts_;
+};
+
+}  // namespace ckat::serve

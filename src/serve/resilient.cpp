@@ -1,0 +1,158 @@
+#include "serve/resilient.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/fault.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace ckat::serve {
+
+ResilientRecommender::ResilientRecommender(
+    std::vector<const eval::Recommender*> tiers, ResilientConfig config)
+    : tiers_(std::move(tiers)), config_(config) {
+  if (tiers_.empty()) {
+    throw std::invalid_argument(
+        "ResilientRecommender: at least one tier required");
+  }
+  if (config_.failure_threshold < 1) {
+    throw std::invalid_argument(
+        "ResilientRecommender: failure_threshold must be >= 1");
+  }
+  for (const eval::Recommender* tier : tiers_) {
+    if (tier == nullptr) {
+      throw std::invalid_argument("ResilientRecommender: null tier");
+    }
+    if (tier->n_users() != tiers_.front()->n_users() ||
+        tier->n_items() != tiers_.front()->n_items()) {
+      throw std::invalid_argument(
+          "ResilientRecommender: tiers disagree on n_users/n_items");
+    }
+  }
+  states_.resize(tiers_.size());
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    states_[i].stats.name = tiers_[i]->name();
+  }
+}
+
+std::string ResilientRecommender::name() const {
+  std::string chain = "Resilient(";
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    if (i > 0) chain += " > ";
+    chain += tiers_[i]->name();
+  }
+  return chain + ")";
+}
+
+std::size_t ResilientRecommender::n_users() const {
+  return tiers_.front()->n_users();
+}
+
+std::size_t ResilientRecommender::n_items() const {
+  return tiers_.front()->n_items();
+}
+
+void ResilientRecommender::record_failure(TierState& tier) const {
+  ++tier.stats.failures;
+  ++tier.consecutive_failures;
+  if (!tier.stats.circuit_open &&
+      tier.consecutive_failures >= config_.failure_threshold) {
+    tier.stats.circuit_open = true;
+    tier.requests_since_open = 0;
+    CKAT_LOG_WARN("[serve] circuit opened for tier '%s' after %d "
+                  "consecutive failures",
+                  tier.stats.name.c_str(), tier.consecutive_failures);
+  }
+}
+
+void ResilientRecommender::score_items(std::uint32_t user,
+                                       std::span<float> out) const {
+  ++requests_;
+  auto& injector = util::FaultInjector::instance();
+
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    TierState& tier = states_[i];
+
+    if (tier.stats.circuit_open) {
+      // Half-open probe: after retry_after skipped requests, let one
+      // request through to test whether the tier recovered.
+      if (++tier.requests_since_open < config_.retry_after) {
+        ++tier.stats.skipped_open;
+        continue;
+      }
+      tier.requests_since_open = 0;
+    }
+
+    bool ok = false;
+    util::Timer timer;
+    try {
+      tiers_[i]->score_items(user, out);
+      ok = true;
+    } catch (const std::exception& e) {
+      ++tier.stats.exceptions;
+      CKAT_LOG_DEBUG("[serve] tier '%s' threw: %s", tier.stats.name.c_str(),
+                     e.what());
+    }
+    if (ok && injector.enabled() &&
+        injector.should_fire(std::string(util::fault_points::kScoreThrow) +
+                             ":" + tier.stats.name)) {
+      ++tier.stats.exceptions;
+      ok = false;
+    }
+    if (ok && config_.deadline_ms > 0.0) {
+      // Simulated stall (fault injection) or a genuinely slow tier: the
+      // answer arrived after the budget, so it is discarded as stale.
+      const bool stalled =
+          injector.enabled() &&
+          injector.should_fire(
+              std::string(util::fault_points::kScoreTimeout) + ":" +
+              tier.stats.name);
+      if (stalled || timer.milliseconds() > config_.deadline_ms) {
+        ++tier.stats.deadline_misses;
+        ok = false;
+      }
+    }
+
+    if (ok) {
+      tier.consecutive_failures = 0;
+      if (tier.stats.circuit_open) {
+        tier.stats.circuit_open = false;
+        CKAT_LOG_INFO("[serve] circuit closed for tier '%s' (probe "
+                      "succeeded)",
+                      tier.stats.name.c_str());
+      }
+      ++tier.stats.served;
+      if (i > 0) ++fallback_activations_;
+      return;
+    }
+    record_failure(tier);
+  }
+
+  // Unreachable with a popularity terminal tier, but a serving layer
+  // must degrade, not throw: answer with indifferent scores.
+  std::fill(out.begin(), out.end(), 0.0f);
+  ++zero_filled_;
+}
+
+ResilientRecommender::HealthSnapshot ResilientRecommender::snapshot() const {
+  HealthSnapshot health;
+  health.requests = requests_;
+  health.fallback_activations = fallback_activations_;
+  health.zero_filled = zero_filled_;
+  health.tiers.reserve(states_.size());
+  for (const TierState& tier : states_) {
+    health.tiers.push_back(tier.stats);
+  }
+  return health;
+}
+
+void ResilientRecommender::reset_circuits() {
+  for (TierState& tier : states_) {
+    tier.stats.circuit_open = false;
+    tier.consecutive_failures = 0;
+    tier.requests_since_open = 0;
+  }
+}
+
+}  // namespace ckat::serve

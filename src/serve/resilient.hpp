@@ -1,0 +1,108 @@
+// Degraded-mode serving: a Recommender that never fails to answer.
+//
+// A facility portal keeps serving recommendations even when the primary
+// model misbehaves — throws (unfitted, corrupted state), stalls past the
+// latency budget, or fails repeatedly. ResilientRecommender wraps an
+// ordered fallback chain (e.g. CKAT -> BPRMF -> item popularity) and for
+// each request walks down the chain until a tier answers:
+//
+//  * Deadlines: scoring is single-threaded, so a deadline cannot preempt
+//    a running tier; instead the elapsed time is checked after the call
+//    and an over-deadline answer is treated as a failure (the result is
+//    discarded as stale and the next tier answers). Fault injection can
+//    simulate a stall without actually sleeping.
+//  * Circuit breaking: `failure_threshold` consecutive failures open a
+//    tier's circuit; while open the tier is skipped entirely (no latency
+//    paid on a known-bad model). After `retry_after` further requests
+//    one probe request is let through (half-open); success closes the
+//    circuit.
+//  * Health snapshot: per-tier requests served / failures / deadline
+//    misses / circuit state, plus chain-level fallback activations, so
+//    an operator (or the fault-tolerance bench) can see exactly how
+//    degraded the service is.
+//
+// If every tier fails — which cannot happen with a PopularityRecommender
+// terminal tier — the request is answered with uniform zero scores
+// rather than an exception, and counted in `zero_filled`.
+//
+// Not thread-safe: one ResilientRecommender per serving thread (the
+// wrapped models are only read).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/recommender.hpp"
+
+namespace ckat::serve {
+
+struct ResilientConfig {
+  /// Per-request scoring deadline in milliseconds; 0 disables the check.
+  double deadline_ms = 0.0;
+  /// Consecutive failures that open a tier's circuit.
+  int failure_threshold = 3;
+  /// Requests skipped while open before a half-open probe is allowed.
+  int retry_after = 32;
+};
+
+class ResilientRecommender final : public eval::Recommender {
+ public:
+  /// `tiers` is the fallback chain, most capable first; models must be
+  /// fitted by their owners and outlive this object. All tiers must
+  /// agree on n_users/n_items.
+  ResilientRecommender(std::vector<const eval::Recommender*> tiers,
+                       ResilientConfig config = {});
+
+  [[nodiscard]] std::string name() const override;
+  /// Tiers are trained by their owners (a failed fit there already
+  /// surfaces as scoring failures here); fit() is a no-op.
+  void fit() override {}
+  void score_items(std::uint32_t user, std::span<float> out) const override;
+  [[nodiscard]] std::size_t n_users() const override;
+  [[nodiscard]] std::size_t n_items() const override;
+
+  struct TierStats {
+    std::string name;
+    std::uint64_t served = 0;          // requests answered by this tier
+    std::uint64_t failures = 0;        // exceptions + deadline misses
+    std::uint64_t exceptions = 0;
+    std::uint64_t deadline_misses = 0;
+    std::uint64_t skipped_open = 0;    // skipped while circuit open
+    bool circuit_open = false;
+  };
+
+  struct HealthSnapshot {
+    std::uint64_t requests = 0;
+    /// Requests answered by any tier below the top one.
+    std::uint64_t fallback_activations = 0;
+    /// Requests no tier could answer (zero scores served).
+    std::uint64_t zero_filled = 0;
+    std::vector<TierStats> tiers;
+  };
+
+  [[nodiscard]] HealthSnapshot snapshot() const;
+
+  /// Closes every circuit and clears consecutive-failure counters
+  /// (e.g. after redeploying a repaired model). Cumulative counters are
+  /// kept.
+  void reset_circuits();
+
+ private:
+  struct TierState {
+    TierStats stats;
+    int consecutive_failures = 0;
+    int requests_since_open = 0;
+  };
+
+  void record_failure(TierState& tier) const;
+
+  std::vector<const eval::Recommender*> tiers_;
+  ResilientConfig config_;
+  mutable std::vector<TierState> states_;
+  mutable std::uint64_t requests_ = 0;
+  mutable std::uint64_t fallback_activations_ = 0;
+  mutable std::uint64_t zero_filled_ = 0;
+};
+
+}  // namespace ckat::serve

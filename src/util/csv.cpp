@@ -31,10 +31,15 @@ void CsvWriter::write_row(const std::vector<std::string>& fields) {
   out_ << '\n';
 }
 
-std::vector<std::string> parse_csv_line(const std::string& line) {
-  std::vector<std::string> fields;
-  std::string current;
-  bool in_quotes = false;
+namespace {
+
+/// Consumes one physical line, appending completed fields to `fields`
+/// and leaving the trailing (possibly still-open) field in `current`.
+/// `in_quotes` carries quote state across lines: a quoted field that
+/// contains an embedded newline legally spans several getline() lines.
+void parse_csv_chunk(const std::string& line,
+                     std::vector<std::string>& fields, std::string& current,
+                     bool& in_quotes) {
   for (std::size_t i = 0; i < line.size(); ++i) {
     const char ch = line[i];
     if (in_quotes) {
@@ -57,6 +62,15 @@ std::vector<std::string> parse_csv_line(const std::string& line) {
       current.push_back(ch);
     }
   }
+}
+
+}  // namespace
+
+std::vector<std::string> parse_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  parse_csv_chunk(line, fields, current, in_quotes);
   fields.push_back(std::move(current));
   return fields;
 }
@@ -66,9 +80,23 @@ std::vector<std::vector<std::string>> read_csv(const std::string& path) {
   if (!in) throw std::runtime_error("read_csv: cannot open " + path);
   std::vector<std::vector<std::string>> rows;
   std::string line;
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    rows.push_back(parse_csv_line(line));
+    if (line.empty() && !in_quotes) continue;
+    if (in_quotes) current.push_back('\n');  // the newline getline() ate
+    parse_csv_chunk(line, fields, current, in_quotes);
+    if (!in_quotes) {
+      fields.push_back(std::move(current));
+      current.clear();
+      rows.push_back(std::move(fields));
+      fields.clear();
+    }
+  }
+  if (in_quotes) {
+    throw std::runtime_error("read_csv: unterminated quoted field in " +
+                             path);
   }
   return rows;
 }

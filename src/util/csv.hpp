@@ -27,10 +27,14 @@ class CsvWriter {
   std::ofstream out_;
 };
 
-/// Loads an entire CSV file into rows of fields. Handles quoted fields.
+/// Loads an entire CSV file into rows of fields. Handles quoted fields,
+/// including quoted fields with embedded newlines (quote state carries
+/// across physical lines, so everything CsvWriter::escape emits
+/// round-trips). Throws std::runtime_error on an unterminated quote.
 std::vector<std::vector<std::string>> read_csv(const std::string& path);
 
-/// Parses one CSV line into fields (exposed for testing).
+/// Parses one CSV line into fields (exposed for testing). Unlike
+/// read_csv this treats the line as a complete row.
 std::vector<std::string> parse_csv_line(const std::string& line);
 
 }  // namespace ckat::util

@@ -1,0 +1,65 @@
+#include "util/fault.hpp"
+
+#include "util/rng.hpp"
+
+namespace ckat::util {
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const std::string& point, FaultSpec spec) {
+  auto [it, inserted] = points_.insert_or_assign(point, PointState{});
+  it->second.spec = spec;
+  it->second.rng_state = spec.seed;
+  if (inserted) armed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm(const std::string& point) {
+  if (points_.erase(point) > 0) {
+    armed_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::reset() {
+  armed_.store(0, std::memory_order_relaxed);
+  points_.clear();
+}
+
+bool FaultInjector::should_fire(const std::string& point) {
+  if (!enabled()) return false;
+  const auto it = points_.find(point);
+  if (it == points_.end()) return false;
+
+  PointState& state = it->second;
+  const FaultSpec& spec = state.spec;
+  const std::uint64_t hit = state.hits++;
+
+  if (hit < spec.after) return false;
+  const std::uint64_t limit =
+      spec.limit > 0 ? spec.limit
+                     : (spec.every == 0 ? 1 : ~std::uint64_t{0});
+  if (state.fires >= limit) return false;
+  const std::uint64_t eligible = hit - spec.after;
+  if (spec.every > 0 && eligible % spec.every != 0) return false;
+  if (spec.probability < 1.0) {
+    const double draw =
+        static_cast<double>(splitmix64(state.rng_state) >> 11) * 0x1.0p-53;
+    if (draw >= spec.probability) return false;
+  }
+  ++state.fires;
+  return true;
+}
+
+std::uint64_t FaultInjector::hits(const std::string& point) const {
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FaultInjector::fires(const std::string& point) const {
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+}  // namespace ckat::util

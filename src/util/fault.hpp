@@ -1,0 +1,108 @@
+// Deterministic fault injection for testing failure paths.
+//
+// Production code registers *named injection points* at the places where
+// real deployments fail (checkpoint writes, corrupted reads, diverging
+// losses, slow scoring). By default every point is disarmed and the
+// per-call cost is one relaxed atomic load, so shipping the hooks in
+// release builds is free. Tests and the fault-tolerance bench arm points
+// with a seedable, fully deterministic schedule (fire after K hits,
+// every Nth hit, with probability p) so failure scenarios are
+// bit-reproducible across runs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace ckat::util {
+
+/// Canonical injection-point names wired into the library. Arbitrary
+/// names are allowed; these constants just keep call sites and tests in
+/// agreement.
+namespace fault_points {
+inline constexpr const char* kCheckpointWrite = "checkpoint.write";
+inline constexpr const char* kCheckpointReadBitflip = "checkpoint.read_bitflip";
+inline constexpr const char* kNanLoss = "ckat.nan_loss";
+inline constexpr const char* kScoreTimeout = "serve.score_timeout";
+inline constexpr const char* kScoreThrow = "serve.score_throw";
+}  // namespace fault_points
+
+/// When and how often an armed injection point fires.
+struct FaultSpec {
+  /// First eligible hit index (0-based): hits [0, after) never fire.
+  std::uint64_t after = 0;
+  /// 0 = fire on exactly one eligible hit; N = every Nth eligible hit.
+  std::uint64_t every = 0;
+  /// Cap on total fires (default: single shot when every == 0,
+  /// unlimited otherwise).
+  std::uint64_t limit = 0;
+  /// Probability an otherwise-eligible hit actually fires; draws come
+  /// from a dedicated generator seeded with `seed`, so schedules stay
+  /// deterministic.
+  double probability = 1.0;
+  std::uint64_t seed = 0x5EEDFA117ULL;
+};
+
+class FaultInjector {
+ public:
+  /// Process-wide injector used by all built-in injection points.
+  static FaultInjector& instance();
+
+  /// Arms (or re-arms, resetting counters) a named point.
+  void arm(const std::string& point, FaultSpec spec = {});
+  void disarm(const std::string& point);
+  /// Disarms everything and clears all counters.
+  void reset();
+
+  /// Called by production code at an injection point. Counts a hit and
+  /// returns true when the armed schedule says this hit fails. Disarmed
+  /// points always return false.
+  bool should_fire(const std::string& point);
+
+  /// True when at least one point is armed (fast pre-check so disarmed
+  /// builds pay one atomic load, not a map lookup).
+  [[nodiscard]] bool enabled() const noexcept {
+    return armed_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Diagnostics: how often a point was reached / actually fired.
+  [[nodiscard]] std::uint64_t hits(const std::string& point) const;
+  [[nodiscard]] std::uint64_t fires(const std::string& point) const;
+
+ private:
+  struct PointState {
+    FaultSpec spec;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+    std::uint64_t rng_state = 0;  // splitmix64 stream for `probability`
+  };
+
+  std::atomic<int> armed_{0};
+  std::unordered_map<std::string, PointState> points_;
+};
+
+/// RAII guard that disarms the given point (or every point when
+/// constructed with no name) when the scope exits, so a failing test
+/// cannot leak an armed fault into later tests.
+class FaultScope {
+ public:
+  FaultScope() = default;
+  FaultScope(const std::string& point, FaultSpec spec) : point_(point) {
+    FaultInjector::instance().arm(point, spec);
+  }
+  ~FaultScope() {
+    if (point_.empty()) {
+      FaultInjector::instance().reset();
+    } else {
+      FaultInjector::instance().disarm(point_);
+    }
+  }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  std::string point_;
+};
+
+}  // namespace ckat::util

@@ -7,6 +7,7 @@
 // the xoshiro authors).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstddef>
 #include <cmath>
@@ -41,6 +42,18 @@ class Rng {
   void reseed(std::uint64_t seed) noexcept {
     std::uint64_t sm = seed;
     for (auto& word : state_) word = splitmix64(sm);
+    gauss_cached_ = false;
+  }
+
+  /// Raw generator state for checkpointing; restoring it with
+  /// set_state() resumes the exact same sequence. (The Gaussian pair
+  /// cache is dropped on restore, which only matters to callers mixing
+  /// gaussian() draws across a checkpoint boundary.)
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = state[i];
     gauss_cached_ = false;
   }
 

@@ -74,7 +74,6 @@ TEST(Belady, EvictsFarthestFutureUse) {
   BeladyCache cache(2, seq);
   std::size_t hits = 0;
   for (std::uint32_t object : seq) {
-    cache.advance();
     hits += cache.access(object);
   }
   // Optimal: miss 1, miss 2, miss 3 (evict whichever of 1/2 is used
@@ -110,7 +109,6 @@ TEST_P(BeladyDominance, BeatsOnlinePolicies) {
   BeladyCache belady(capacity, sequence);
   std::size_t belady_hits = 0;
   for (std::uint32_t object : sequence) {
-    belady.advance();
     belady_hits += belady.access(object);
   }
   EXPECT_GE(belady_hits, lru_hits);
@@ -120,6 +118,22 @@ TEST_P(BeladyDominance, BeatsOnlinePolicies) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BeladyDominance,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Belady, RejectsOutOfSequenceAccess) {
+  const std::vector<std::uint32_t> seq = {1, 2, 3};
+  BeladyCache cache(2, seq);
+  EXPECT_FALSE(cache.access(1));
+  // The declared sequence says 2 comes next; any other object is a
+  // caller bug the cache must not silently mis-simulate.
+  EXPECT_THROW(cache.access(3), std::logic_error);
+}
+
+TEST(Belady, RejectsAccessPastDeclaredSequence) {
+  const std::vector<std::uint32_t> seq = {1};
+  BeladyCache cache(2, seq);
+  cache.access(1);
+  EXPECT_THROW(cache.access(1), std::logic_error);
+}
 
 TEST(CacheFactory, BuildsKnownPolicies) {
   EXPECT_EQ(make_cache("LRU", 4)->name(), "LRU");

@@ -102,6 +102,56 @@ TEST_F(SerializeTest, RejectsMissingFile) {
                std::runtime_error);
 }
 
+TEST_F(SerializeTest, RejectsHostileNameLength) {
+  // A hand-crafted file whose first name_len field claims ~2 GB; the
+  // loader must reject it before attempting the allocation.
+  std::ofstream out(path_, std::ios::binary);
+  out.write("CKATPAR1", 8);
+  const std::uint64_t count = 2;
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  const std::uint32_t absurd_len = 0x7FFFFFFF;
+  out.write(reinterpret_cast<const char*>(&absurd_len), sizeof(absurd_len));
+  out.close();
+
+  ParamStore store;
+  fill_store(store, 1);
+  try {
+    load_parameters(store, path_);
+    FAIL() << "expected load_parameters to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("implausible name length"),
+              std::string::npos)
+        << "actual error: " << e.what();
+  }
+}
+
+TEST_F(SerializeTest, RejectsHostileShape) {
+  // Valid preamble and name, then rows/cols fields claiming a tensor far
+  // beyond any sane model size.
+  std::ofstream out(path_, std::ios::binary);
+  out.write("CKATPAR1", 8);
+  const std::uint64_t count = 2;
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  const std::uint32_t name_len = 5;
+  out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+  out.write("alpha", 5);
+  const std::uint64_t absurd_dim = 1ull << 60;
+  out.write(reinterpret_cast<const char*>(&absurd_dim), sizeof(absurd_dim));
+  out.write(reinterpret_cast<const char*>(&absurd_dim), sizeof(absurd_dim));
+  out.close();
+
+  ParamStore store;
+  fill_store(store, 1);
+  try {
+    load_parameters(store, path_);
+    FAIL() << "expected load_parameters to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("implausible shape"),
+              std::string::npos)
+        << "actual error: " << e.what();
+  }
+}
+
 TEST_F(SerializeTest, RejectsTruncatedFile) {
   ParamStore original;
   fill_store(original, 1);

@@ -1,0 +1,264 @@
+// Fallback-chain semantics of the degraded-mode serving layer: tier
+// ordering, circuit breaking with half-open probes, deadline handling
+// via fault injection, health accounting and the zero-fill terminal
+// behaviour.
+#include "serve/resilient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "serve/popularity.hpp"
+#include "util/fault.hpp"
+
+namespace ckat::serve {
+namespace {
+
+/// Scriptable tier: fills a constant score, or throws when told to fail.
+class StubRecommender final : public eval::Recommender {
+ public:
+  StubRecommender(std::string name, std::size_t n_users, std::size_t n_items,
+                  float fill)
+      : name_(std::move(name)), n_users_(n_users), n_items_(n_items),
+        fill_(fill) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  void fit() override {}
+  void score_items(std::uint32_t /*user*/,
+                   std::span<float> out) const override {
+    ++calls_;
+    if (failing_) {
+      throw std::runtime_error(name_ + ": simulated failure");
+    }
+    std::fill(out.begin(), out.end(), fill_);
+  }
+  [[nodiscard]] std::size_t n_users() const override { return n_users_; }
+  [[nodiscard]] std::size_t n_items() const override { return n_items_; }
+
+  void set_failing(bool failing) { failing_ = failing; }
+  [[nodiscard]] std::uint64_t calls() const { return calls_; }
+
+ private:
+  std::string name_;
+  std::size_t n_users_;
+  std::size_t n_items_;
+  float fill_;
+  bool failing_ = false;
+  mutable std::uint64_t calls_ = 0;
+};
+
+class ResilientTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kUsers = 4;
+  static constexpr std::size_t kItems = 6;
+
+  ResilientTest()
+      : primary_("primary", kUsers, kItems, 3.0f),
+        secondary_("secondary", kUsers, kItems, 2.0f),
+        terminal_("terminal", kUsers, kItems, 1.0f) {}
+
+  void TearDown() override { util::FaultInjector::instance().reset(); }
+
+  std::vector<const eval::Recommender*> chain() {
+    return {&primary_, &secondary_, &terminal_};
+  }
+
+  static float first_score(const ResilientRecommender& serving,
+                           std::uint32_t user = 0) {
+    std::vector<float> out(kItems);
+    serving.score_items(user, out);
+    return out[0];
+  }
+
+  StubRecommender primary_;
+  StubRecommender secondary_;
+  StubRecommender terminal_;
+};
+
+TEST_F(ResilientTest, HealthyChainServesFromTopTier) {
+  ResilientRecommender serving(chain());
+  EXPECT_EQ(serving.name(), "Resilient(primary > secondary > terminal)");
+  EXPECT_EQ(serving.n_users(), kUsers);
+  EXPECT_EQ(serving.n_items(), kItems);
+  EXPECT_EQ(first_score(serving), 3.0f);
+
+  const auto health = serving.snapshot();
+  EXPECT_EQ(health.requests, 1u);
+  EXPECT_EQ(health.fallback_activations, 0u);
+  EXPECT_EQ(health.tiers[0].served, 1u);
+  EXPECT_EQ(health.tiers[1].served, 0u);
+}
+
+TEST_F(ResilientTest, ThrowingTierFallsThrough) {
+  primary_.set_failing(true);
+  ResilientRecommender serving(chain());
+  EXPECT_EQ(first_score(serving), 2.0f);
+
+  const auto health = serving.snapshot();
+  EXPECT_EQ(health.fallback_activations, 1u);
+  EXPECT_EQ(health.tiers[0].exceptions, 1u);
+  EXPECT_EQ(health.tiers[0].failures, 1u);
+  EXPECT_EQ(health.tiers[1].served, 1u);
+}
+
+TEST_F(ResilientTest, CircuitOpensAfterConsecutiveFailures) {
+  primary_.set_failing(true);
+  ResilientConfig config;
+  config.failure_threshold = 3;
+  config.retry_after = 100;  // keep the circuit open for this test
+  ResilientRecommender serving(chain(), config);
+
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(first_score(serving), 2.0f);
+  }
+  const auto health = serving.snapshot();
+  EXPECT_TRUE(health.tiers[0].circuit_open);
+  EXPECT_EQ(health.tiers[0].failures, 3u);       // stopped being called
+  EXPECT_EQ(health.tiers[0].skipped_open, 2u);   // requests 4 and 5
+  EXPECT_EQ(primary_.calls(), 3u);
+  EXPECT_EQ(health.tiers[1].served, 5u);
+}
+
+TEST_F(ResilientTest, HalfOpenProbeClosesCircuitAfterRecovery) {
+  primary_.set_failing(true);
+  ResilientConfig config;
+  config.failure_threshold = 2;
+  config.retry_after = 3;
+  ResilientRecommender serving(chain(), config);
+
+  first_score(serving);
+  first_score(serving);  // two failures -> circuit opens
+  ASSERT_TRUE(serving.snapshot().tiers[0].circuit_open);
+
+  primary_.set_failing(false);  // the model is "redeployed"
+  first_score(serving);         // skipped (1 < retry_after)
+  first_score(serving);         // skipped (2 < retry_after)
+  ASSERT_TRUE(serving.snapshot().tiers[0].circuit_open);
+  EXPECT_EQ(first_score(serving), 3.0f);  // probe goes through, succeeds
+
+  const auto health = serving.snapshot();
+  EXPECT_FALSE(health.tiers[0].circuit_open);
+  EXPECT_EQ(health.tiers[0].skipped_open, 2u);
+  EXPECT_EQ(first_score(serving), 3.0f);  // back to normal service
+}
+
+TEST_F(ResilientTest, FailedProbeReopensCircuit) {
+  primary_.set_failing(true);
+  ResilientConfig config;
+  config.failure_threshold = 1;
+  config.retry_after = 2;
+  ResilientRecommender serving(chain(), config);
+
+  first_score(serving);  // opens
+  first_score(serving);  // skipped
+  first_score(serving);  // probe fails, stays open
+  const auto health = serving.snapshot();
+  EXPECT_TRUE(health.tiers[0].circuit_open);
+  EXPECT_EQ(primary_.calls(), 2u);
+}
+
+TEST_F(ResilientTest, InjectedTimeoutCountsAsDeadlineMiss) {
+  ResilientConfig config;
+  config.deadline_ms = 1000.0;  // generous: only the injection can miss it
+  ResilientRecommender serving(chain(), config);
+
+  util::FaultScope stall(
+      std::string(util::fault_points::kScoreTimeout) + ":primary",
+      util::FaultSpec{});
+  EXPECT_EQ(first_score(serving), 2.0f);  // stale answer discarded
+
+  const auto health = serving.snapshot();
+  EXPECT_EQ(health.tiers[0].deadline_misses, 1u);
+  EXPECT_EQ(health.tiers[0].failures, 1u);
+  EXPECT_EQ(health.tiers[0].exceptions, 0u);
+  EXPECT_EQ(health.tiers[1].served, 1u);
+
+  // Injection exhausted: the next request is served by the primary.
+  EXPECT_EQ(first_score(serving), 3.0f);
+}
+
+TEST_F(ResilientTest, InjectedThrowTargetsOneTierOnly) {
+  ResilientRecommender serving(chain());
+  util::FaultScope boom(
+      std::string(util::fault_points::kScoreThrow) + ":secondary",
+      util::FaultSpec{.every = 1});
+  // Primary is healthy, so the secondary injection never matters.
+  EXPECT_EQ(first_score(serving), 3.0f);
+
+  primary_.set_failing(true);
+  // Now the chain reaches the poisoned secondary and must fall through
+  // to the terminal tier.
+  EXPECT_EQ(first_score(serving), 1.0f);
+  const auto health = serving.snapshot();
+  EXPECT_EQ(health.tiers[1].exceptions, 1u);
+  EXPECT_EQ(health.tiers[2].served, 1u);
+}
+
+TEST_F(ResilientTest, AllTiersFailingZeroFillsInsteadOfThrowing) {
+  primary_.set_failing(true);
+  secondary_.set_failing(true);
+  terminal_.set_failing(true);
+  ResilientRecommender serving(chain());
+
+  std::vector<float> out(kItems, 42.0f);
+  EXPECT_NO_THROW(serving.score_items(0, out));
+  for (float s : out) EXPECT_EQ(s, 0.0f);
+  EXPECT_EQ(serving.snapshot().zero_filled, 1u);
+}
+
+TEST_F(ResilientTest, ResetCircuitsRestoresService) {
+  primary_.set_failing(true);
+  ResilientConfig config;
+  config.failure_threshold = 1;
+  config.retry_after = 1000;
+  ResilientRecommender serving(chain(), config);
+  first_score(serving);
+  ASSERT_TRUE(serving.snapshot().tiers[0].circuit_open);
+
+  primary_.set_failing(false);
+  serving.reset_circuits();
+  EXPECT_EQ(first_score(serving), 3.0f);
+  EXPECT_FALSE(serving.snapshot().tiers[0].circuit_open);
+}
+
+TEST_F(ResilientTest, ConstructorValidatesChain) {
+  EXPECT_THROW(ResilientRecommender({}), std::invalid_argument);
+  EXPECT_THROW(ResilientRecommender({&primary_, nullptr}),
+               std::invalid_argument);
+
+  StubRecommender mismatched("odd", kUsers, kItems + 1, 0.0f);
+  EXPECT_THROW(ResilientRecommender({&primary_, &mismatched}),
+               std::invalid_argument);
+
+  ResilientConfig bad;
+  bad.failure_threshold = 0;
+  EXPECT_THROW(ResilientRecommender(chain(), bad), std::invalid_argument);
+}
+
+TEST(PopularityRecommender, ScoresTrainCounts) {
+  graph::InteractionSet train(3, 4);
+  train.add(0, 1);
+  train.add(1, 1);
+  train.add(2, 1);
+  train.add(0, 2);
+  train.finalize();
+
+  PopularityRecommender popularity(train);
+  EXPECT_EQ(popularity.n_users(), 3u);
+  EXPECT_EQ(popularity.n_items(), 4u);
+  std::vector<float> out(4);
+  popularity.score_items(0, out);
+  EXPECT_EQ(out[0], 0.0f);
+  EXPECT_EQ(out[1], 3.0f);
+  EXPECT_EQ(out[2], 1.0f);
+  EXPECT_EQ(out[3], 0.0f);
+
+  std::vector<float> wrong(5);
+  EXPECT_THROW(popularity.score_items(0, wrong), std::invalid_argument);
+  EXPECT_THROW(popularity.score_items(7, out), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ckat::serve

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <unistd.h>
 
 namespace ckat::util {
@@ -66,6 +67,39 @@ TEST(CsvParse, EmptyFields) {
   const auto fields = parse_csv_line("a,,b");
   ASSERT_EQ(fields.size(), 3u);
   EXPECT_EQ(fields[1], "");
+}
+
+TEST_F(CsvTest, RoundTripEmbeddedNewlines) {
+  {
+    CsvWriter w(path_.string());
+    w.write_row({"line1\nline2", "b"});
+    w.write_row({"first\n\nthird", "tail\n"});
+    w.write_row({"plain", "x"});
+  }
+  const auto rows = read_csv(path_.string());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"line1\nline2", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"first\n\nthird", "tail\n"}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"plain", "x"}));
+}
+
+TEST_F(CsvTest, QuotedNewlineWithCommasAndQuotes) {
+  {
+    CsvWriter w(path_.string());
+    w.write_row({"a \"q\",\nwith,commas", "end"});
+  }
+  const auto rows = read_csv(path_.string());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "a \"q\",\nwith,commas");
+  EXPECT_EQ(rows[0][1], "end");
+}
+
+TEST_F(CsvTest, UnterminatedQuoteThrows) {
+  {
+    std::ofstream out(path_);
+    out << "a,\"never closed\nstill open\n";
+  }
+  EXPECT_THROW(read_csv(path_.string()), std::runtime_error);
 }
 
 TEST(CsvRead, MissingFileThrows) {

@@ -1,0 +1,89 @@
+#include "util/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace ckat::util {
+namespace {
+
+TEST(FaultInjector, DisarmedPointsNeverFire) {
+  FaultInjector& injector = FaultInjector::instance();
+  injector.reset();
+  EXPECT_FALSE(injector.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.should_fire("nothing.armed"));
+  }
+  EXPECT_EQ(injector.hits("nothing.armed"), 0u);
+}
+
+TEST(FaultInjector, SingleShotFiresExactlyOnceAfterDelay) {
+  FaultScope guard("p", FaultSpec{.after = 3});
+  FaultInjector& injector = FaultInjector::instance();
+  int fired_at = -1;
+  for (int i = 0; i < 10; ++i) {
+    if (injector.should_fire("p")) fired_at = i;
+  }
+  EXPECT_EQ(fired_at, 3);
+  EXPECT_EQ(injector.fires("p"), 1u);
+  EXPECT_EQ(injector.hits("p"), 10u);
+}
+
+TEST(FaultInjector, PeriodicScheduleFiresEveryNth) {
+  FaultScope guard("p", FaultSpec{.after = 0, .every = 3});
+  FaultInjector& injector = FaultInjector::instance();
+  std::vector<int> fired;
+  for (int i = 0; i < 9; ++i) {
+    if (injector.should_fire("p")) fired.push_back(i);
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 3, 6}));
+}
+
+TEST(FaultInjector, LimitCapsTotalFires) {
+  FaultScope guard("p", FaultSpec{.every = 1, .limit = 2});
+  FaultInjector& injector = FaultInjector::instance();
+  int fires = 0;
+  for (int i = 0; i < 10; ++i) fires += injector.should_fire("p");
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(FaultInjector, ProbabilisticScheduleIsDeterministic) {
+  auto run = [] {
+    FaultScope guard("p", FaultSpec{.every = 1, .probability = 0.3,
+                                    .seed = 99});
+    std::vector<bool> pattern;
+    for (int i = 0; i < 50; ++i) {
+      pattern.push_back(FaultInjector::instance().should_fire("p"));
+    }
+    return pattern;
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first, second);
+  const auto fired =
+      static_cast<std::size_t>(std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fired, 5u);   // ~15 expected at p=0.3
+  EXPECT_LT(fired, 30u);
+}
+
+TEST(FaultInjector, DisarmStopsFiring) {
+  FaultInjector& injector = FaultInjector::instance();
+  injector.arm("p", FaultSpec{.every = 1});
+  EXPECT_TRUE(injector.should_fire("p"));
+  injector.disarm("p");
+  EXPECT_FALSE(injector.should_fire("p"));
+  EXPECT_FALSE(injector.enabled());
+}
+
+TEST(FaultInjector, ScopeGuardDisarmsOnExit) {
+  {
+    FaultScope guard("scoped", FaultSpec{.every = 1});
+    EXPECT_TRUE(FaultInjector::instance().enabled());
+  }
+  EXPECT_FALSE(FaultInjector::instance().enabled());
+  EXPECT_FALSE(FaultInjector::instance().should_fire("scoped"));
+}
+
+}  // namespace
+}  // namespace ckat::util
