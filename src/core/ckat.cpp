@@ -10,11 +10,54 @@
 
 #include "nn/init.hpp"
 #include "nn/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/fault.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
 namespace ckat::core {
+
+namespace {
+
+/// Registry handles for the training loop, resolved once. Histogram
+/// observations are guarded with obs::telemetry_enabled() at the call
+/// sites so a disabled run (CKAT_OBS=0) pays only the branch -- that is
+/// the baseline the overhead measurement in bench/ext_observability
+/// compares against.
+struct TrainTelemetry {
+  obs::Histogram& cf_step_seconds;
+  obs::Histogram& kg_step_seconds;
+  obs::Histogram& epoch_seconds;
+  obs::Gauge& last_cf_loss;
+  obs::Gauge& last_kg_loss;
+  obs::Gauge& epochs_completed;
+  obs::Gauge& lr_scale;
+  obs::Counter& checkpoint_writes;
+  obs::Counter& checkpoint_write_failures;
+  obs::Counter& rollbacks;
+  obs::Counter& nonfinite_epochs;
+
+  static TrainTelemetry& instance() {
+    auto& r = obs::MetricsRegistry::global();
+    static TrainTelemetry t{
+        r.histogram("ckat_train_cf_step_seconds"),
+        r.histogram("ckat_train_kg_step_seconds"),
+        r.histogram("ckat_train_epoch_seconds"),
+        r.gauge("ckat_train_last_cf_loss"),
+        r.gauge("ckat_train_last_kg_loss"),
+        r.gauge("ckat_train_epochs_completed"),
+        r.gauge("ckat_train_lr_scale"),
+        r.counter("ckat_train_checkpoint_writes_total"),
+        r.counter("ckat_train_checkpoint_write_failures_total"),
+        r.counter("ckat_train_rollbacks_total"),
+        r.counter("ckat_train_nonfinite_epochs_total"),
+    };
+    return t;
+  }
+};
+
+}  // namespace
 
 CkatModel::CkatModel(const graph::CollaborativeKg& ckg,
                      const graph::InteractionSet& train, CkatConfig config)
@@ -82,6 +125,7 @@ void CkatModel::refresh_propagation_matrix() {
 
 nn::Var CkatModel::propagate(nn::Tape& tape, bool training,
                              util::Rng& dropout_rng) {
+  obs::TraceSpan span("ckat.propagate");
   nn::Var ego = tape.param(transr_->entity_embedding());
   nn::Var representation = ego;  // layer-0 block of e* (Eq. 10)
 
@@ -177,6 +221,12 @@ void CkatModel::fit() {
       1, (kg_edges_.size() + config_.kg_batch_size - 1) / config_.kg_batch_size);
   const bool checkpointing =
       config_.checkpoint_every > 0 && !config_.checkpoint_path.empty();
+  const bool telemetry = obs::telemetry_enabled();
+  TrainTelemetry& tele = TrainTelemetry::instance();
+  obs::TraceSpan fit_span(
+      "ckat.fit", {{"epochs", std::to_string(config_.epochs)},
+                   {"cf_batches", std::to_string(cf_batches)},
+                   {"kg_batches", std::to_string(kg_batches)}});
 
   history_.clear();
   rollbacks_ = 0;
@@ -188,17 +238,36 @@ void CkatModel::fit() {
   const int first_epoch = start_epoch_;
   int epoch = start_epoch_;
   while (epoch < config_.epochs) {
+    obs::TraceSpan epoch_span("ckat.epoch",
+                              {{"epoch", std::to_string(epoch + 1)}});
+    util::Timer epoch_timer;
     EpochStats stats;
-    for (std::size_t b = 0; b < cf_batches; ++b) {
-      stats.cf_loss += cf_step(rng_);
+    {
+      obs::TraceSpan cf_span("ckat.cf_phase");
+      for (std::size_t b = 0; b < cf_batches; ++b) {
+        util::Timer step_timer;
+        stats.cf_loss += cf_step(rng_);
+        if (telemetry) tele.cf_step_seconds.observe(step_timer.seconds());
+      }
     }
-    for (std::size_t b = 0; b < kg_batches; ++b) {
-      stats.kg_loss += kg_step(rng_);
+    {
+      obs::TraceSpan kg_span("ckat.kg_phase");
+      for (std::size_t b = 0; b < kg_batches; ++b) {
+        util::Timer step_timer;
+        stats.kg_loss += kg_step(rng_);
+        if (telemetry) tele.kg_step_seconds.observe(step_timer.seconds());
+      }
     }
     stats.cf_loss /= static_cast<float>(cf_batches);
     stats.kg_loss /= static_cast<float>(kg_batches);
+    if (telemetry) {
+      tele.epoch_seconds.observe(epoch_timer.seconds());
+      tele.last_cf_loss.set(stats.cf_loss);
+      tele.last_kg_loss.set(stats.kg_loss);
+    }
 
     if (!std::isfinite(stats.cf_loss) || !std::isfinite(stats.kg_loss)) {
+      tele.nonfinite_epochs.inc();
       // Compound the reduction across successive rollbacks (restoring
       // the checkpoint resets lr_scale_ to the value it was saved with).
       const float reduced_scale = lr_scale_ * config_.rollback_lr_factor;
@@ -206,6 +275,14 @@ void CkatModel::fit() {
           try_rollback()) {
         ++rollbacks_;
         apply_lr_scale(reduced_scale);
+        tele.rollbacks.inc();
+        if (telemetry) tele.lr_scale.set(lr_scale_);
+        obs::trace_event(
+            "ckat.rollback",
+            {{"failed_epoch", std::to_string(epoch + 1)},
+             {"resumed_epoch", std::to_string(start_epoch_)},
+             {"rollback", std::to_string(rollbacks_)},
+             {"lr_scale", std::to_string(lr_scale_)}});
         CKAT_LOG_WARN(
             "[CKAT] non-finite loss at epoch %d; rolled back to epoch %d "
             "(rollback %d/%d, lr scale %.3g)",
@@ -242,6 +319,7 @@ void CkatModel::fit() {
     }
 
     ++epoch;
+    if (telemetry) tele.epochs_completed.set(epoch);
     if (checkpointing && epoch % config_.checkpoint_every == 0) {
       write_checkpoint(epoch);
     }
@@ -295,11 +373,17 @@ void CkatModel::write_checkpoint(int epoch) {
   }
   try {
     nn::save_checkpoint(make_checkpoint(epoch), path);
+    TrainTelemetry::instance().checkpoint_writes.inc();
+    obs::trace_event("ckat.checkpoint_write",
+                     {{"epoch", std::to_string(epoch)}});
     CKAT_LOG_DEBUG("[CKAT] checkpoint written at epoch %d -> %s", epoch,
                    path.c_str());
   } catch (const std::exception& e) {
     // A failed checkpoint write must not kill a healthy training run;
     // the rotated previous checkpoint remains the rollback target.
+    TrainTelemetry::instance().checkpoint_write_failures.inc();
+    obs::trace_event("ckat.checkpoint_write_failed",
+                     {{"epoch", std::to_string(epoch)}, {"error", e.what()}});
     CKAT_LOG_WARN("[CKAT] checkpoint write failed at epoch %d: %s", epoch,
                   e.what());
   }

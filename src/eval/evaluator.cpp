@@ -4,6 +4,10 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
+
 namespace ckat::eval {
 
 TopKMetrics evaluate_topk(const Recommender& model,
@@ -19,6 +23,14 @@ TopKMetrics evaluate_topk(const Recommender& model,
     throw std::invalid_argument("evaluate_topk: candidate mask size mismatch");
   }
 
+  const std::string model_name = model.name();
+  obs::TraceSpan span("eval.topk", {{"model", model_name}});
+  const bool telemetry = obs::telemetry_enabled();
+  obs::Histogram* scoring_latency =
+      telemetry ? &obs::MetricsRegistry::global().histogram(
+                      "ckat_eval_score_seconds", {{"model", model_name}})
+                : nullptr;
+
   TopKMetrics total;
   std::vector<float> scores(n_items);
   for (std::uint32_t u = 0; u < n_users; ++u) {
@@ -33,7 +45,11 @@ TopKMetrics evaluate_topk(const Recommender& model,
       if (!any_in_mask) continue;
     }
 
+    util::Timer score_timer;
     model.score_items(u, scores);
+    if (scoring_latency != nullptr) {
+      scoring_latency->observe(score_timer.seconds());
+    }
     if (config.candidate_items != nullptr) {
       for (std::size_t i = 0; i < n_items; ++i) {
         if (!(*config.candidate_items)[i]) {

@@ -1,0 +1,84 @@
+// Minimal JSON document model used by the telemetry layer: metric and
+// report export, trace-line formatting, and test-side round-trip
+// validation. Objects preserve insertion order so exported documents are
+// stable and diffable across runs. This is deliberately not a
+// general-purpose JSON library -- no comments, no NaN/Inf (serialized as
+// null), UTF-8 passed through verbatim.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace ckat::obs {
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  /// Insertion-ordered key/value pairs (duplicate keys: last wins on
+  /// lookup, all are serialized).
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(int i) : value_(static_cast<double>(i)) {}
+  JsonValue(std::int64_t i) : value_(static_cast<double>(i)) {}
+  JsonValue(std::uint64_t u) : value_(static_cast<double>(u)) {}
+  JsonValue(const char* s) : value_(std::string(s)) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(std::string_view s) : value_(std::string(s)) {}
+  JsonValue(Array a) : value_(std::move(a)) {}
+  JsonValue(Object o) : value_(std::move(o)) {}
+
+  static JsonValue array() { return JsonValue(Array{}); }
+  static JsonValue object() { return JsonValue(Object{}); }
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(value_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(value_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  /// Typed accessors; throw std::logic_error on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Object& as_object();
+
+  /// Object field access. `set` appends or overwrites; `find` returns
+  /// nullptr when missing; `at` throws std::out_of_range.
+  void set(std::string_view key, JsonValue value);
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+
+  void push_back(JsonValue value);
+
+  /// Serializes the document. `indent` = 0 gives one compact line;
+  /// otherwise a pretty-printed block with that indent step.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+/// Escapes a string for embedding inside a JSON string literal (no
+/// surrounding quotes).
+std::string json_escape(std::string_view raw);
+
+/// Parses a complete JSON document; throws std::runtime_error with an
+/// offset-annotated message on malformed input or trailing garbage.
+JsonValue json_parse(std::string_view text);
+
+}  // namespace ckat::obs

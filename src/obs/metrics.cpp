@@ -1,0 +1,331 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace ckat::obs {
+
+namespace {
+
+std::atomic<bool> g_telemetry_enabled{[] {
+  const char* env = std::getenv("CKAT_OBS");
+  if (env == nullptr) return true;
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+           std::strcmp(env, "OFF") == 0);
+}()};
+
+void atomic_min(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::string format_double(double d) {
+  char buf[32];
+  if (d == static_cast<double>(static_cast<long long>(d)) &&
+      std::fabs(d) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", d);
+  }
+  return buf;
+}
+
+LabelSet sorted_labels(LabelSet labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+bool telemetry_enabled() noexcept {
+  return g_telemetry_enabled.load(std::memory_order_relaxed);
+}
+
+void set_telemetry_enabled(bool enabled) noexcept {
+  g_telemetry_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      buckets_(upper_bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  if (!std::is_sorted(upper_bounds_.begin(), upper_bounds_.end())) {
+    throw std::invalid_argument("Histogram: bucket bounds must be ascending");
+  }
+}
+
+std::vector<double> Histogram::default_latency_buckets() {
+  // 1us .. ~14s in x3 steps: 16 buckets, covers kernel calls through
+  // multi-second training phases with <= ~3x interpolation error.
+  return exponential_buckets(1e-6, 3.0, 16);
+}
+
+std::vector<double> Histogram::exponential_buckets(double start, double factor,
+                                                   std::size_t count) {
+  if (start <= 0.0 || factor <= 1.0 || count == 0) {
+    throw std::invalid_argument("exponential_buckets: need start > 0, "
+                                "factor > 1, count > 0");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::linear_buckets(double start, double width,
+                                              std::size_t count) {
+  if (width <= 0.0 || count == 0) {
+    throw std::invalid_argument("linear_buckets: need width > 0, count > 0");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(start + width * static_cast<double>(i));
+  }
+  return bounds;
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), v);
+  const std::size_t idx =
+      static_cast<std::size_t>(it - upper_bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+double Histogram::min() const noexcept {
+  const double m = min_.load(std::memory_order_relaxed);
+  return std::isfinite(m) ? m : 0.0;
+}
+
+double Histogram::max() const noexcept {
+  const double m = max_.load(std::memory_order_relaxed);
+  return std::isfinite(m) ? m : 0.0;
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+std::uint64_t Histogram::cumulative_bucket(std::size_t i) const {
+  std::uint64_t acc = 0;
+  for (std::size_t b = 0; b <= std::min(i, upper_bounds_.size()); ++b) {
+    acc += buckets_[b].load(std::memory_order_relaxed);
+  }
+  return acc;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const std::uint64_t in_bucket =
+        buckets_[b].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Interpolate inside this bucket; the +inf overflow bucket and the
+    // first bucket use the observed max/min as their missing edge.
+    const double lo = b == 0 ? min() : upper_bounds_[b - 1];
+    const double hi = b < upper_bounds_.size() ? upper_bounds_[b] : max();
+    const double fraction =
+        in_bucket == 0
+            ? 0.0
+            : (target - static_cast<double>(cumulative)) /
+                  static_cast<double>(in_bucket);
+    const double estimate = lo + (hi - lo) * std::clamp(fraction, 0.0, 1.0);
+    return std::clamp(estimate, min(), max());
+  }
+  return max();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::string render_series_name(const std::string& name,
+                               const LabelSet& labels) {
+  if (labels.empty()) return name;
+  std::string out = name + "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first + "=\"" + labels[i].second + "\"";
+  }
+  return out + "}";
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    const std::string& name, const LabelSet& labels, Kind kind,
+    std::vector<double>* bounds) {
+  const LabelSet sorted = sorted_labels(labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : entries_) {
+    if (entry->name != name || entry->labels != sorted) continue;
+    if (entry->kind != kind) {
+      throw std::logic_error("MetricsRegistry: '" + name +
+                             "' already registered with a different type");
+    }
+    return *entry;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = sorted;
+  entry->kind = kind;
+  switch (kind) {
+    case Kind::kCounter: entry->counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: entry->gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram:
+      entry->histogram = std::make_unique<Histogram>(std::move(*bounds));
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const LabelSet& labels) {
+  return *find_or_create(name, labels, Kind::kCounter, nullptr).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const LabelSet& labels) {
+  return *find_or_create(name, labels, Kind::kGauge, nullptr).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const LabelSet& labels,
+                                      std::vector<double> upper_bounds) {
+  return *find_or_create(name, labels, Kind::kHistogram, &upper_bounds)
+              .histogram;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : entries_) {
+    switch (entry->kind) {
+      case Kind::kCounter: entry->counter->reset(); break;
+      case Kind::kGauge: entry->gauge->reset(); break;
+      case Kind::kHistogram: entry->histogram->reset(); break;
+    }
+  }
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& entry : entries_) {
+    const std::string series = render_series_name(entry->name, entry->labels);
+    switch (entry->kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + entry->name + " counter\n";
+        out += series + " " + std::to_string(entry->counter->value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + entry->name + " gauge\n";
+        out += series + " " + format_double(entry->gauge->value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        out += "# TYPE " + entry->name + " histogram\n";
+        LabelSet with_le = entry->labels;
+        with_le.emplace_back("le", "");
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < h.upper_bounds().size(); ++b) {
+          cumulative = h.cumulative_bucket(b);
+          with_le.back().second = format_double(h.upper_bounds()[b]);
+          out += render_series_name(entry->name + "_bucket", with_le) + " " +
+                 std::to_string(cumulative) + "\n";
+        }
+        with_le.back().second = "+Inf";
+        out += render_series_name(entry->name + "_bucket", with_le) + " " +
+               std::to_string(h.count()) + "\n";
+        out += render_series_name(entry->name + "_sum", entry->labels) + " " +
+               format_double(h.sum()) + "\n";
+        out += render_series_name(entry->name + "_count", entry->labels) +
+               " " + std::to_string(h.count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+JsonValue MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonValue counters = JsonValue::object();
+  JsonValue gauges = JsonValue::object();
+  JsonValue histograms = JsonValue::object();
+  for (const auto& entry : entries_) {
+    const std::string series = render_series_name(entry->name, entry->labels);
+    switch (entry->kind) {
+      case Kind::kCounter:
+        counters.set(series, JsonValue(entry->counter->value()));
+        break;
+      case Kind::kGauge:
+        gauges.set(series, JsonValue(entry->gauge->value()));
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        JsonValue summary = JsonValue::object();
+        summary.set("count", JsonValue(h.count()));
+        summary.set("sum", JsonValue(h.sum()));
+        summary.set("mean", JsonValue(h.mean()));
+        summary.set("min", JsonValue(h.min()));
+        summary.set("max", JsonValue(h.max()));
+        summary.set("p50", JsonValue(h.quantile(0.50)));
+        summary.set("p95", JsonValue(h.quantile(0.95)));
+        summary.set("p99", JsonValue(h.quantile(0.99)));
+        histograms.set(series, std::move(summary));
+        break;
+      }
+    }
+  }
+  JsonValue root = JsonValue::object();
+  root.set("counters", std::move(counters));
+  root.set("gauges", std::move(gauges));
+  root.set("histograms", std::move(histograms));
+  return root;
+}
+
+}  // namespace ckat::obs

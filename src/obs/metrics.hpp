@@ -1,0 +1,171 @@
+// Process-wide metrics: counters, gauges and fixed-bucket histograms.
+//
+// Design targets, in order:
+//  1. Hot-loop cheap. Call sites resolve a metric handle once (constructor
+//     or function-local static) and then touch only lock-free atomics:
+//     a counter increment is one relaxed fetch_add, a histogram observe
+//     is a bucket scan over <= ~30 doubles plus four relaxed atomics.
+//     Registry lookups take a mutex and are meant for setup/export paths.
+//  2. Stable handles. The registry never destroys a metric; `reset()`
+//     zeroes values in place, so references cached across a bench's
+//     repeated scenarios (or in function-local statics) stay valid.
+//  3. Exportable. `to_prometheus()` renders the standard text format
+//     (bucket/sum/count series for histograms); `to_json()` renders one
+//     document with computed p50/p95/p99 summaries for run reports.
+//
+// Labels are first-class: `registry.counter("name", {{"tier","CKAT"}})`
+// creates an independent series per label set, rendered as
+// `name{tier="CKAT"}` on export.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace ckat::obs {
+
+/// Global telemetry kill switch, initialized once from CKAT_OBS
+/// (unset/1/on = enabled, 0/off = disabled). Instrumented call sites
+/// with measurable cost guard on enabled(); the switch exists so the
+/// overhead of instrumentation itself can be measured A/B in one binary
+/// (see bench/ext_observability --overhead).
+[[nodiscard]] bool telemetry_enabled() noexcept;
+void set_telemetry_enabled(bool enabled) noexcept;
+
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) noexcept {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (losses, sizes, scale factors).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double by) noexcept {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Buckets are upper bounds (ascending); an
+/// implicit +inf bucket catches the overflow. Percentiles are estimated
+/// by linear interpolation inside the bucket where the target rank
+/// falls, clamped to the observed min/max, which keeps p50/p95/p99
+/// honest on both narrow and heavy-tailed latency distributions.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// Default latency buckets: 1us .. ~30s, roughly x3 per step.
+  static std::vector<double> default_latency_buckets();
+  static std::vector<double> exponential_buckets(double start, double factor,
+                                                 std::size_t count);
+  static std::vector<double> linear_buckets(double start, double width,
+                                            std::size_t count);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+  /// q in [0,1]; returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  [[nodiscard]] const std::vector<double>& upper_bounds() const noexcept {
+    return upper_bounds_;
+  }
+  /// Cumulative count of observations <= upper_bounds()[i]; index
+  /// upper_bounds().size() is the total (the +inf bucket).
+  [[nodiscard]] std::uint64_t cumulative_bucket(std::size_t i) const;
+
+  void reset() noexcept;
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // size bounds + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+class MetricsRegistry {
+ public:
+  /// Process-wide registry used by all built-in instrumentation.
+  static MetricsRegistry& global();
+
+  /// Find-or-create. The returned reference stays valid for the life of
+  /// the registry. Requesting an existing name with a different metric
+  /// type throws std::logic_error; a histogram re-request ignores the
+  /// bucket argument.
+  Counter& counter(const std::string& name, const LabelSet& labels = {});
+  Gauge& gauge(const std::string& name, const LabelSet& labels = {});
+  Histogram& histogram(const std::string& name, const LabelSet& labels = {},
+                       std::vector<double> upper_bounds =
+                           Histogram::default_latency_buckets());
+
+  /// Zeroes every metric in place; handles stay valid. (Benches reset
+  /// between scenarios so each report covers one scenario.)
+  void reset();
+
+  /// Prometheus text exposition format.
+  [[nodiscard]] std::string to_prometheus() const;
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+  /// sum, mean, min, max, p50, p95, p99}}} -- label sets are rendered
+  /// into the key as name{k="v"}.
+  [[nodiscard]] JsonValue to_json() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;    // base metric name
+    LabelSet labels;     // sorted by key
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(const std::string& name, const LabelSet& labels,
+                        Kind kind, std::vector<double>* bounds);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+/// Renders name{k="v",...} (or just name with no labels) -- the series
+/// key used in both export formats.
+std::string render_series_name(const std::string& name,
+                               const LabelSet& labels);
+
+}  // namespace ckat::obs

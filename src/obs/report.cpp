@@ -1,0 +1,72 @@
+#include "obs/report.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ckat::obs {
+
+RunReport::RunReport(std::string run_name)
+    : run_name_(std::move(run_name)),
+      generated_at_ms_(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count())) {}
+
+void RunReport::set_note(std::string_view key, std::string_view value) {
+  config_.set(key, JsonValue(value));
+}
+
+void RunReport::set_note(std::string_view key, double value) {
+  config_.set(key, JsonValue(value));
+}
+
+void RunReport::add_eval(std::string_view model, double recall, double ndcg,
+                         std::size_t n_users) {
+  JsonValue entry = JsonValue::object();
+  entry.set("recall", JsonValue(recall));
+  entry.set("ndcg", JsonValue(ndcg));
+  entry.set("n_users", JsonValue(n_users));
+  eval_.set(model, std::move(entry));
+}
+
+void RunReport::add_section(std::string_view name, JsonValue value) {
+  sections_.set(name, std::move(value));
+}
+
+void RunReport::capture_metrics(const MetricsRegistry& registry) {
+  metrics_ = registry.to_json();
+  has_metrics_ = true;
+}
+
+JsonValue RunReport::to_json() const {
+  JsonValue root = JsonValue::object();
+  root.set("run", JsonValue(run_name_));
+  root.set("generated_at_ms", JsonValue(generated_at_ms_));
+  if (!config_.as_object().empty()) root.set("config", config_);
+  if (!eval_.as_object().empty()) root.set("eval", eval_);
+  for (const auto& [name, section] : sections_.as_object()) {
+    root.set(name, section);
+  }
+  if (has_metrics_) root.set("metrics", metrics_);
+  return root;
+}
+
+std::string RunReport::to_json_string(int indent) const {
+  return to_json().dump(indent);
+}
+
+void RunReport::write_file(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("RunReport: cannot open '" + path + "'");
+  }
+  const std::string doc = to_json_string();
+  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool ok = written == doc.size() && std::fputc('\n', f) != EOF;
+  if (std::fclose(f) != 0 || !ok) {
+    throw std::runtime_error("RunReport: write to '" + path + "' failed");
+  }
+}
+
+}  // namespace ckat::obs

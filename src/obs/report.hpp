@@ -1,0 +1,65 @@
+// RunReport: one JSON document describing one run -- what was
+// configured, what quality came out, how healthy serving was, and every
+// metric the registry accumulated. The fault-tolerance and
+// observability benches print it so an operator can attribute each
+// fallback activation or rollback to a traced cause; tests round-trip
+// it through json_parse to pin the schema.
+//
+// Layering: obs sits below eval/serve, so the report takes plain
+// numbers and prebuilt JsonValue sections rather than model types.
+// Higher layers provide adapters (e.g. serve::health_to_json).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace ckat::obs {
+
+class RunReport {
+ public:
+  /// `run_name` identifies the scenario (e.g. "ext_observability:OOI").
+  explicit RunReport(std::string run_name);
+
+  /// Free-form configuration notes ("facility" -> "OOI", "epochs" ->
+  /// "12"); rendered under "config".
+  void set_note(std::string_view key, std::string_view value);
+  void set_note(std::string_view key, double value);
+
+  /// Ranking quality for one evaluated model; rendered under
+  /// "eval"."<model>".
+  void add_eval(std::string_view model, double recall, double ndcg,
+                std::size_t n_users);
+
+  /// Arbitrary structured section (serving health, fault schedules...);
+  /// replaces any previous section of the same name.
+  void add_section(std::string_view name, JsonValue value);
+
+  /// Snapshots a registry (counters/gauges/histogram summaries) under
+  /// "metrics". Call last so the snapshot covers the whole run.
+  void capture_metrics(const MetricsRegistry& registry =
+                           MetricsRegistry::global());
+
+  /// The assembled document: {"run": ..., "generated_at_ms": ...,
+  /// "config": {...}, "eval": {...}, <sections...>, "metrics": {...}}.
+  [[nodiscard]] JsonValue to_json() const;
+  [[nodiscard]] std::string to_json_string(int indent = 2) const;
+
+  /// Writes to_json_string() to `path`; throws std::runtime_error on
+  /// I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::string run_name_;
+  std::uint64_t generated_at_ms_;
+  JsonValue config_ = JsonValue::object();
+  JsonValue eval_ = JsonValue::object();
+  JsonValue sections_ = JsonValue::object();
+  JsonValue metrics_ = JsonValue::object();
+  bool has_metrics_ = false;
+};
+
+}  // namespace ckat::obs

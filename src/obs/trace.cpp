@@ -1,0 +1,241 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace ckat::obs {
+
+namespace {
+
+using steady = std::chrono::steady_clock;
+
+/// Process-local epoch so every thread's timestamps share one origin.
+steady::time_point process_epoch() {
+  static const steady::time_point epoch = steady::now();
+  return epoch;
+}
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(steady::now() -
+                                                            process_epoch())
+          .count());
+}
+
+struct Record {
+  bool is_span = false;
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t thread = 0;
+  std::uint64_t start_us = 0;  // ts_us for events
+  std::uint64_t dur_us = 0;
+  std::string name;
+  TraceAttrs attrs;
+};
+
+/// The shared sink. Owns the FILE*; all writes happen under the mutex.
+class TraceSink {
+ public:
+  static TraceSink& instance() {
+    static TraceSink sink;
+    return sink;
+  }
+
+  void set_path(const std::string& path) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+    path_ = path;
+    opened_ = false;
+    configured_.store(!path.empty(), std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool configured() const noexcept {
+    return configured_.load(std::memory_order_relaxed);
+  }
+
+  void write(const std::vector<Record>& records, bool flush) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (path_.empty()) return;
+    if (!opened_) {
+      file_ = std::fopen(path_.c_str(), "w");
+      opened_ = true;  // one attempt; a bad path disables tracing output
+      if (file_ == nullptr) {
+        std::fprintf(stderr, "[obs] cannot open trace file '%s'\n",
+                     path_.c_str());
+        path_.clear();
+        configured_.store(false, std::memory_order_relaxed);
+        return;
+      }
+    }
+    if (file_ == nullptr) return;
+    std::string line;
+    for (const Record& r : records) {
+      line.clear();
+      line += "{\"cat\":\"";
+      line += r.is_span ? "span" : "event";
+      line += "\",\"name\":\"";
+      line += json_escape(r.name);
+      line += "\",\"id\":" + std::to_string(r.id);
+      line += ",\"parent\":" + std::to_string(r.parent);
+      line += ",\"thread\":" + std::to_string(r.thread);
+      if (r.is_span) {
+        line += ",\"start_us\":" + std::to_string(r.start_us);
+        line += ",\"dur_us\":" + std::to_string(r.dur_us);
+      } else {
+        line += ",\"ts_us\":" + std::to_string(r.start_us);
+      }
+      if (!r.attrs.empty()) {
+        line += ",\"attrs\":{";
+        for (std::size_t i = 0; i < r.attrs.size(); ++i) {
+          if (i > 0) line += ',';
+          line += "\"" + json_escape(r.attrs[i].first) + "\":\"" +
+                  json_escape(r.attrs[i].second) + "\"";
+        }
+        line += "}";
+      }
+      line += "}\n";
+      std::fwrite(line.data(), 1, line.size(), file_);
+    }
+    if (flush) std::fflush(file_);
+  }
+
+ private:
+  TraceSink() {
+    if (const char* env = std::getenv("CKAT_TRACE_FILE");
+        env != nullptr && env[0] != '\0') {
+      path_ = env;
+      configured_.store(true, std::memory_order_relaxed);
+    }
+  }
+  ~TraceSink() {
+    // Records still buffered in live threads are lost at process exit;
+    // flush_trace() at end of main is the supported shutdown path.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  std::mutex mutex_;
+  std::string path_;
+  FILE* file_ = nullptr;
+  bool opened_ = false;
+  std::atomic<bool> configured_{false};
+};
+
+constexpr std::size_t kFlushThreshold = 256;
+
+/// Per-thread state: open-span stack for parentage plus the completed
+/// record buffer. The destructor drains the buffer when a thread exits.
+struct ThreadLocalTrace {
+  std::uint64_t thread_id;
+  std::vector<std::uint64_t> open_spans;
+  std::vector<Record> buffer;
+
+  ThreadLocalTrace() {
+    static std::atomic<std::uint64_t> next_thread{1};
+    thread_id = next_thread.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~ThreadLocalTrace() { drain(true); }
+
+  void drain(bool flush) {
+    if (buffer.empty()) return;
+    TraceSink::instance().write(buffer, flush);
+    buffer.clear();
+  }
+
+  void append(Record record) {
+    buffer.push_back(std::move(record));
+    if (buffer.size() >= kFlushThreshold) drain(false);
+  }
+};
+
+ThreadLocalTrace& local_trace() {
+  thread_local ThreadLocalTrace state;
+  return state;
+}
+
+std::uint64_t next_span_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void set_trace_file(const std::string& path) {
+  local_trace().drain(true);
+  TraceSink::instance().set_path(path);
+}
+
+bool trace_enabled() noexcept {
+  return telemetry_enabled() && TraceSink::instance().configured();
+}
+
+void flush_trace() {
+  local_trace().drain(true);
+}
+
+void trace_event(std::string_view name, TraceAttrs attrs) {
+  if (!trace_enabled()) return;
+  ThreadLocalTrace& tl = local_trace();
+  Record r;
+  r.is_span = false;
+  r.id = next_span_id();
+  r.parent = tl.open_spans.empty() ? 0 : tl.open_spans.back();
+  r.thread = tl.thread_id;
+  r.start_us = now_us();
+  r.name = std::string(name);
+  r.attrs = std::move(attrs);
+  tl.append(std::move(r));
+}
+
+TraceSpan::TraceSpan(std::string_view name, TraceAttrs attrs) {
+  if (!trace_enabled()) return;
+  ThreadLocalTrace& tl = local_trace();
+  id_ = next_span_id();
+  parent_ = tl.open_spans.empty() ? 0 : tl.open_spans.back();
+  start_us_ = now_us();
+  name_ = std::string(name);
+  attrs_ = std::move(attrs);
+  tl.open_spans.push_back(id_);
+}
+
+TraceSpan::~TraceSpan() {
+  if (id_ == 0) return;
+  ThreadLocalTrace& tl = local_trace();
+  // The stack discipline holds because spans are scoped objects; a
+  // mismatch would mean a TraceSpan outlived its enclosing scope.
+  if (!tl.open_spans.empty() && tl.open_spans.back() == id_) {
+    tl.open_spans.pop_back();
+  }
+  Record r;
+  r.is_span = true;
+  r.id = id_;
+  r.parent = parent_;
+  r.thread = tl.thread_id;
+  r.start_us = start_us_;
+  r.dur_us = now_us() - start_us_;
+  r.name = std::move(name_);
+  r.attrs = std::move(attrs_);
+  tl.append(std::move(r));
+}
+
+void TraceSpan::add_attr(std::string_view key, std::string_view value) {
+  if (id_ == 0) return;
+  for (auto& [k, v] : attrs_) {
+    if (k == key) {
+      v = std::string(value);
+      return;
+    }
+  }
+  attrs_.emplace_back(std::string(key), std::string(value));
+}
+
+}  // namespace ckat::obs

@@ -1,0 +1,79 @@
+// Scoped tracing: RAII spans with parent/child nesting plus instant
+// events, buffered per thread and flushed as JSON Lines.
+//
+// A span covers one lexical scope (`TraceSpan span("ckat.epoch");`).
+// Spans started while another span is open on the same thread record it
+// as their parent, so a whole fit() -> epoch -> cf_phase -> propagate
+// call tree is reconstructable from the ids alone. Events are
+// zero-duration marks (fault fired, circuit opened, rollback) that
+// attach to whatever span is open when they happen.
+//
+// Output goes to the file named by CKAT_TRACE_FILE (read once at first
+// use) or set programmatically with set_trace_file(); with no sink
+// configured, or with telemetry disabled, a TraceSpan does no work --
+// not even a clock read -- so always-on instrumentation is free in the
+// default build. Completed records accumulate in a per-thread buffer
+// and are appended to the sink under one mutex when the buffer fills,
+// when the thread exits, or on flush_trace().
+//
+// Line schema (one JSON object per line):
+//   {"cat":"span","name":...,"id":N,"parent":N|0,"thread":N,
+//    "start_us":N,"dur_us":N,"attrs":{...}}   [attrs only if non-empty]
+//   {"cat":"event","name":...,"id":N,"parent":N|0,"thread":N,
+//    "ts_us":N,"attrs":{...}}
+// Timestamps are microseconds on the process-local steady clock (same
+// epoch for every thread), so spans and events order globally.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ckat::obs {
+
+using TraceAttrs = std::vector<std::pair<std::string, std::string>>;
+
+/// Routes trace output to `path` (empty disables tracing). Replaces any
+/// sink configured via CKAT_TRACE_FILE; flushes pending records of the
+/// calling thread first. The file is truncated on first write.
+void set_trace_file(const std::string& path);
+
+/// True when a sink is configured and telemetry is enabled.
+[[nodiscard]] bool trace_enabled() noexcept;
+
+/// Appends the calling thread's buffered records to the sink and
+/// fflushes it. Other threads' buffers flush on their own schedule;
+/// call this from the thread that traced (benches and tests are
+/// single-threaded at flush points).
+void flush_trace();
+
+/// Records an instant event under the currently open span (if any).
+void trace_event(std::string_view name, TraceAttrs attrs = {});
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name) : TraceSpan(name, TraceAttrs{}) {}
+  TraceSpan(std::string_view name, TraceAttrs attrs);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches/overwrites an attribute on a live span (no-op when
+  /// tracing was disabled at construction).
+  void add_attr(std::string_view key, std::string_view value);
+
+  /// Span id (0 when tracing was disabled at construction).
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::uint64_t start_us_ = 0;
+  std::string name_;
+  TraceAttrs attrs_;
+};
+
+}  // namespace ckat::obs

@@ -1,13 +1,24 @@
 #include "serve/resilient.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/fault.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
 namespace ckat::serve {
+
+namespace {
+std::string format_deadline_error(double elapsed_ms, double budget_ms) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "deadline exceeded (%.1f ms > budget %.1f ms)",
+                elapsed_ms, budget_ms);
+  return buf;
+}
+}  // namespace
 
 ResilientRecommender::ResilientRecommender(
     std::vector<const eval::Recommender*> tiers, ResilientConfig config)
@@ -31,8 +42,19 @@ ResilientRecommender::ResilientRecommender(
     }
   }
   states_.resize(tiers_.size());
+  auto& registry = obs::MetricsRegistry::global();
   for (std::size_t i = 0; i < tiers_.size(); ++i) {
-    states_[i].stats.name = tiers_[i]->name();
+    TierState& state = states_[i];
+    state.stats.name = tiers_[i]->name();
+    const obs::LabelSet tier_label = {{"tier", state.stats.name}};
+    state.latency_hist =
+        &registry.histogram("ckat_serve_tier_latency_seconds", tier_label);
+    state.open_transitions = &registry.counter(
+        "ckat_serve_circuit_transitions_total",
+        {{"tier", state.stats.name}, {"to", "open"}});
+    state.close_transitions = &registry.counter(
+        "ckat_serve_circuit_transitions_total",
+        {{"tier", state.stats.name}, {"to", "closed"}});
   }
 }
 
@@ -53,13 +75,33 @@ std::size_t ResilientRecommender::n_items() const {
   return tiers_.front()->n_items();
 }
 
-void ResilientRecommender::record_failure(TierState& tier) const {
+void ResilientRecommender::record_latency(TierState& tier,
+                                          double elapsed_ms) const {
+  ++tier.stats.attempts;
+  tier.latency_sum_ms += elapsed_ms;
+  tier.stats.latency_mean_ms =
+      tier.latency_sum_ms / static_cast<double>(tier.stats.attempts);
+  if (tier.stats.attempts == 1 || elapsed_ms < tier.stats.latency_min_ms) {
+    tier.stats.latency_min_ms = elapsed_ms;
+  }
+  tier.stats.latency_max_ms =
+      std::max(tier.stats.latency_max_ms, elapsed_ms);
+  tier.latency_hist->observe(elapsed_ms * 1e-3);
+}
+
+void ResilientRecommender::record_failure(TierState& tier,
+                                          std::string error) const {
   ++tier.stats.failures;
   ++tier.consecutive_failures;
+  tier.stats.last_error = std::move(error);
   if (!tier.stats.circuit_open &&
       tier.consecutive_failures >= config_.failure_threshold) {
     tier.stats.circuit_open = true;
     tier.requests_since_open = 0;
+    tier.open_transitions->inc();
+    obs::trace_event("serve.circuit_open",
+                     {{"tier", tier.stats.name},
+                      {"last_error", tier.stats.last_error}});
     CKAT_LOG_WARN("[serve] circuit opened for tier '%s' after %d "
                   "consecutive failures",
                   tier.stats.name.c_str(), tier.consecutive_failures);
@@ -85,12 +127,14 @@ void ResilientRecommender::score_items(std::uint32_t user,
     }
 
     bool ok = false;
+    std::string error;
     util::Timer timer;
     try {
       tiers_[i]->score_items(user, out);
       ok = true;
     } catch (const std::exception& e) {
       ++tier.stats.exceptions;
+      error = e.what();
       CKAT_LOG_DEBUG("[serve] tier '%s' threw: %s", tier.stats.name.c_str(),
                      e.what());
     }
@@ -98,6 +142,8 @@ void ResilientRecommender::score_items(std::uint32_t user,
         injector.should_fire(std::string(util::fault_points::kScoreThrow) +
                              ":" + tier.stats.name)) {
       ++tier.stats.exceptions;
+      error = std::string("injected fault: ") +
+              util::fault_points::kScoreThrow;
       ok = false;
     }
     if (ok && config_.deadline_ms > 0.0) {
@@ -108,16 +154,24 @@ void ResilientRecommender::score_items(std::uint32_t user,
           injector.should_fire(
               std::string(util::fault_points::kScoreTimeout) + ":" +
               tier.stats.name);
-      if (stalled || timer.milliseconds() > config_.deadline_ms) {
+      const double elapsed_ms = timer.milliseconds();
+      if (stalled || elapsed_ms > config_.deadline_ms) {
         ++tier.stats.deadline_misses;
+        error = stalled ? std::string("injected fault: ") +
+                              util::fault_points::kScoreTimeout
+                        : format_deadline_error(elapsed_ms,
+                                                config_.deadline_ms);
         ok = false;
       }
     }
+    record_latency(tier, timer.milliseconds());
 
     if (ok) {
       tier.consecutive_failures = 0;
       if (tier.stats.circuit_open) {
         tier.stats.circuit_open = false;
+        tier.close_transitions->inc();
+        obs::trace_event("serve.circuit_close", {{"tier", tier.stats.name}});
         CKAT_LOG_INFO("[serve] circuit closed for tier '%s' (probe "
                       "succeeded)",
                       tier.stats.name.c_str());
@@ -126,7 +180,7 @@ void ResilientRecommender::score_items(std::uint32_t user,
       if (i > 0) ++fallback_activations_;
       return;
     }
-    record_failure(tier);
+    record_failure(tier, std::move(error));
   }
 
   // Unreachable with a popularity terminal tier, but a serving layer
@@ -153,6 +207,33 @@ void ResilientRecommender::reset_circuits() {
     tier.consecutive_failures = 0;
     tier.requests_since_open = 0;
   }
+}
+
+obs::JsonValue health_to_json(
+    const ResilientRecommender::HealthSnapshot& health) {
+  obs::JsonValue tiers = obs::JsonValue::array();
+  for (const auto& tier : health.tiers) {
+    obs::JsonValue t = obs::JsonValue::object();
+    t.set("name", obs::JsonValue(tier.name));
+    t.set("served", obs::JsonValue(tier.served));
+    t.set("failures", obs::JsonValue(tier.failures));
+    t.set("exceptions", obs::JsonValue(tier.exceptions));
+    t.set("deadline_misses", obs::JsonValue(tier.deadline_misses));
+    t.set("skipped_open", obs::JsonValue(tier.skipped_open));
+    t.set("circuit_open", obs::JsonValue(tier.circuit_open));
+    t.set("last_error", obs::JsonValue(tier.last_error));
+    t.set("attempts", obs::JsonValue(tier.attempts));
+    t.set("latency_min_ms", obs::JsonValue(tier.latency_min_ms));
+    t.set("latency_mean_ms", obs::JsonValue(tier.latency_mean_ms));
+    t.set("latency_max_ms", obs::JsonValue(tier.latency_max_ms));
+    tiers.push_back(std::move(t));
+  }
+  obs::JsonValue root = obs::JsonValue::object();
+  root.set("requests", obs::JsonValue(health.requests));
+  root.set("fallback_activations", obs::JsonValue(health.fallback_activations));
+  root.set("zero_filled", obs::JsonValue(health.zero_filled));
+  root.set("tiers", std::move(tiers));
+  return root;
 }
 
 }  // namespace ckat::serve

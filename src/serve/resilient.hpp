@@ -34,6 +34,8 @@
 #include <vector>
 
 #include "eval/recommender.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace ckat::serve {
 
@@ -70,6 +72,16 @@ class ResilientRecommender final : public eval::Recommender {
     std::uint64_t deadline_misses = 0;
     std::uint64_t skipped_open = 0;    // skipped while circuit open
     bool circuit_open = false;
+    /// Human-readable cause of the most recent failure ("" when the
+    /// tier has never failed): the exception's what(), "injected fault:
+    /// <point>", or "deadline exceeded (X.X ms > budget Y.Y ms)".
+    std::string last_error;
+    /// Latency over every *attempted* request (served or failed, not
+    /// circuit-skips), so snapshot() stands alone without the registry.
+    std::uint64_t attempts = 0;
+    double latency_min_ms = 0.0;  // 0 until the first attempt
+    double latency_mean_ms = 0.0;
+    double latency_max_ms = 0.0;
   };
 
   struct HealthSnapshot {
@@ -93,9 +105,16 @@ class ResilientRecommender final : public eval::Recommender {
     TierStats stats;
     int consecutive_failures = 0;
     int requests_since_open = 0;
+    double latency_sum_ms = 0.0;
+    /// Registry handles resolved once in the constructor; score_items
+    /// only touches atomics through them.
+    obs::Histogram* latency_hist = nullptr;
+    obs::Counter* open_transitions = nullptr;
+    obs::Counter* close_transitions = nullptr;
   };
 
-  void record_failure(TierState& tier) const;
+  void record_failure(TierState& tier, std::string error) const;
+  void record_latency(TierState& tier, double elapsed_ms) const;
 
   std::vector<const eval::Recommender*> tiers_;
   ResilientConfig config_;
@@ -104,5 +123,10 @@ class ResilientRecommender final : public eval::Recommender {
   mutable std::uint64_t fallback_activations_ = 0;
   mutable std::uint64_t zero_filled_ = 0;
 };
+
+/// Renders a health snapshot for a RunReport section ("serving" in the
+/// observability bench) or any other JSON consumer.
+[[nodiscard]] obs::JsonValue health_to_json(
+    const ResilientRecommender::HealthSnapshot& health);
 
 }  // namespace ckat::serve

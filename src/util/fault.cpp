@@ -1,5 +1,7 @@
 #include "util/fault.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace ckat::util {
@@ -49,6 +51,13 @@ bool FaultInjector::should_fire(const std::string& point) {
     if (draw >= spec.probability) return false;
   }
   ++state.fires;
+  // Every fired fault is telemetry: a per-point counter plus a trace
+  // event under whatever span is open, so a later fallback activation
+  // or rollback in the same trace attributes to its injected cause.
+  obs::MetricsRegistry::global()
+      .counter("ckat_fault_fired_total", {{"point", point}})
+      .inc();
+  obs::trace_event("fault.fired", {{"point", point}});
   return true;
 }
 

@@ -1,15 +1,19 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdarg>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
 
+#include "obs/json.hpp"
+
 namespace ckat::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<bool> g_json{false};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,6 +23,24 @@ const char* level_name(LogLevel level) {
     case LogLevel::kError: return "ERROR";
   }
   return "?????";
+}
+
+std::string lowercase(const char* raw) {
+  std::string out(raw);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string timestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t tt = std::chrono::system_clock::to_time_t(now);
+  std::tm tm_buf{};
+  localtime_r(&tt, &tm_buf);
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%H:%M:%S", &tm_buf);
+  return stamp;
 }
 }  // namespace
 
@@ -30,26 +52,60 @@ void set_log_level(LogLevel level) noexcept {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+bool log_json() noexcept { return g_json.load(std::memory_order_relaxed); }
+
+void set_log_json(bool enabled) noexcept {
+  g_json.store(enabled, std::memory_order_relaxed);
+}
+
 void init_logging_from_env() {
-  const char* env = std::getenv("CKAT_LOG_LEVEL");
-  if (env == nullptr) return;
-  if (std::strcmp(env, "debug") == 0) set_log_level(LogLevel::kDebug);
-  else if (std::strcmp(env, "info") == 0) set_log_level(LogLevel::kInfo);
-  else if (std::strcmp(env, "warn") == 0) set_log_level(LogLevel::kWarn);
-  else if (std::strcmp(env, "error") == 0) set_log_level(LogLevel::kError);
+  if (const char* env = std::getenv("CKAT_LOG_LEVEL")) {
+    const std::string level = lowercase(env);
+    if (level == "debug") set_log_level(LogLevel::kDebug);
+    else if (level == "info") set_log_level(LogLevel::kInfo);
+    else if (level == "warn" || level == "warning") set_log_level(LogLevel::kWarn);
+    else if (level == "error") set_log_level(LogLevel::kError);
+    else {
+      // Warn once per distinct bad value, not per init call: benches
+      // call init_logging_from_env() from several helpers.
+      static std::string warned_value;
+      if (warned_value != level) {
+        warned_value = level;
+        CKAT_LOG_WARN(
+            "unrecognized CKAT_LOG_LEVEL '%s' (expected debug|info|warn|"
+            "error); keeping level '%s'",
+            env, level_name(log_level()));
+      }
+    }
+  }
+  if (const char* env = std::getenv("CKAT_LOG_JSON")) {
+    const std::string flag = lowercase(env);
+    set_log_json(flag == "1" || flag == "true" || flag == "on");
+  }
 }
 
 namespace detail {
 
+std::string render_line(LogLevel level, std::string_view message,
+                        bool as_json) {
+  if (!as_json) {
+    std::string out = "[" + timestamp() + " " + level_name(level) + "] ";
+    out.append(message);
+    return out;
+  }
+  std::string trimmed_level = level_name(level);
+  while (!trimmed_level.empty() && trimmed_level.back() == ' ') {
+    trimmed_level.pop_back();
+  }
+  std::string out = "{\"ts\":\"" + obs::json_escape(timestamp()) +
+                    "\",\"level\":\"" + trimmed_level + "\",\"msg\":\"" +
+                    obs::json_escape(message) + "\"}";
+  return out;
+}
+
 void vlog(LogLevel level, std::string_view message) {
-  const auto now = std::chrono::system_clock::now();
-  const std::time_t tt = std::chrono::system_clock::to_time_t(now);
-  std::tm tm_buf{};
-  localtime_r(&tt, &tm_buf);
-  char stamp[32];
-  std::strftime(stamp, sizeof(stamp), "%H:%M:%S", &tm_buf);
-  std::fprintf(stderr, "[%s %s] %.*s\n", stamp, level_name(level),
-               static_cast<int>(message.size()), message.data());
+  const std::string line = render_line(level, message, log_json());
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 std::string format_message(const char* fmt, ...) {

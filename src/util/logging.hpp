@@ -16,13 +16,25 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 LogLevel log_level() noexcept;
 void set_log_level(LogLevel level) noexcept;
 
-/// Reads CKAT_LOG_LEVEL (debug|info|warn|error) once at startup.
+/// Structured-output switch: when on, each log line is one JSON object
+/// ({"ts": "...", "level": "...", "msg": "..."}) so stderr can be
+/// ingested alongside the CKAT_TRACE_FILE JSONL stream.
+bool log_json() noexcept;
+void set_log_json(bool enabled) noexcept;
+
+/// Reads CKAT_LOG_LEVEL (debug|info|warn|error, case-insensitive; an
+/// unrecognized value keeps the current level and warns once) and
+/// CKAT_LOG_JSON (1/true/on enables structured lines) at startup.
 void init_logging_from_env();
 
 namespace detail {
 void vlog(LogLevel level, std::string_view fmt_message);
 std::string format_message(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
+/// Builds the line vlog writes (minus trailing newline); split out so
+/// tests can validate both the plain and JSON forms.
+std::string render_line(LogLevel level, std::string_view message,
+                        bool as_json);
 }  // namespace detail
 
 template <typename... Args>

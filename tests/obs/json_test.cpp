@@ -1,0 +1,127 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ckat::obs {
+namespace {
+
+TEST(JsonValueTest, ScalarsDumpCompact) {
+  EXPECT_EQ(JsonValue(nullptr).dump(), "null");
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(false).dump(), "false");
+  EXPECT_EQ(JsonValue(42).dump(), "42");
+  EXPECT_EQ(JsonValue(-3).dump(), "-3");
+  EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonValueTest, IntegersPrintWithoutFraction) {
+  EXPECT_EQ(JsonValue(1000000.0).dump(), "1000000");
+  EXPECT_EQ(JsonValue(std::uint64_t{123}).dump(), "123");
+  // Non-integral doubles keep their fraction.
+  EXPECT_EQ(json_parse(JsonValue(0.5).dump()).as_number(), 0.5);
+}
+
+TEST(JsonValueTest, NonFiniteSerializesAsNull) {
+  EXPECT_EQ(JsonValue(std::nan("")).dump(), "null");
+  EXPECT_EQ(JsonValue(HUGE_VAL).dump(), "null");
+}
+
+TEST(JsonValueTest, ObjectPreservesInsertionOrder) {
+  JsonValue obj = JsonValue::object();
+  obj.set("zeta", 1);
+  obj.set("alpha", 2);
+  obj.set("mid", 3);
+  EXPECT_EQ(obj.dump(), "{\"zeta\":1,\"alpha\":2,\"mid\":3}");
+}
+
+TEST(JsonValueTest, SetOverwritesExistingKey) {
+  JsonValue obj = JsonValue::object();
+  obj.set("k", 1);
+  obj.set("k", 2);
+  EXPECT_EQ(obj.as_object().size(), 1u);
+  EXPECT_EQ(obj.at("k").as_number(), 2.0);
+}
+
+TEST(JsonValueTest, FindAndAtSemantics) {
+  JsonValue obj = JsonValue::object();
+  obj.set("present", "yes");
+  ASSERT_NE(obj.find("present"), nullptr);
+  EXPECT_EQ(obj.find("absent"), nullptr);
+  EXPECT_EQ(obj.at("present").as_string(), "yes");
+  EXPECT_THROW(obj.at("absent"), std::out_of_range);
+}
+
+TEST(JsonValueTest, TypeMismatchThrows) {
+  EXPECT_THROW(JsonValue(1.0).as_string(), std::logic_error);
+  EXPECT_THROW(JsonValue("x").as_number(), std::logic_error);
+  EXPECT_THROW(JsonValue(true).as_array(), std::logic_error);
+}
+
+TEST(JsonValueTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+  const std::string dumped = JsonValue("line1\nline2").dump();
+  EXPECT_EQ(dumped, "\"line1\\nline2\"");
+  EXPECT_EQ(json_parse(dumped).as_string(), "line1\nline2");
+}
+
+TEST(JsonValueTest, PrettyPrintIndents) {
+  JsonValue obj = JsonValue::object();
+  obj.set("a", 1);
+  EXPECT_EQ(obj.dump(2), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonParseTest, RoundTripsNestedDocument) {
+  JsonValue root = JsonValue::object();
+  root.set("name", "run");
+  root.set("ok", true);
+  root.set("n", 12);
+  JsonValue arr = JsonValue::array();
+  arr.push_back(1.5);
+  arr.push_back(nullptr);
+  JsonValue inner = JsonValue::object();
+  inner.set("deep", "value with \"quotes\"");
+  arr.push_back(std::move(inner));
+  root.set("items", std::move(arr));
+
+  for (const int indent : {0, 2}) {
+    const JsonValue parsed = json_parse(root.dump(indent));
+    EXPECT_EQ(parsed.at("name").as_string(), "run");
+    EXPECT_TRUE(parsed.at("ok").as_bool());
+    EXPECT_EQ(parsed.at("n").as_number(), 12.0);
+    const auto& items = parsed.at("items").as_array();
+    ASSERT_EQ(items.size(), 3u);
+    EXPECT_EQ(items[0].as_number(), 1.5);
+    EXPECT_TRUE(items[1].is_null());
+    EXPECT_EQ(items[2].at("deep").as_string(), "value with \"quotes\"");
+  }
+}
+
+TEST(JsonParseTest, ParsesUnicodeEscapes) {
+  EXPECT_EQ(json_parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(json_parse("\"\\u00e9\"").as_string(), "\xc3\xa9");  // é
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_THROW(json_parse(""), std::runtime_error);
+  EXPECT_THROW(json_parse("{"), std::runtime_error);
+  EXPECT_THROW(json_parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(json_parse("{\"k\" 1}"), std::runtime_error);
+  EXPECT_THROW(json_parse("tru"), std::runtime_error);
+  EXPECT_THROW(json_parse("\"unterminated"), std::runtime_error);
+}
+
+TEST(JsonParseTest, RejectsTrailingGarbage) {
+  EXPECT_THROW(json_parse("{} extra"), std::runtime_error);
+  EXPECT_THROW(json_parse("1 2"), std::runtime_error);
+}
+
+TEST(JsonParseTest, DuplicateKeysLastWinsOnLookup) {
+  const JsonValue parsed = json_parse("{\"k\": 1, \"k\": 2}");
+  EXPECT_EQ(parsed.at("k").as_number(), 2.0);
+}
+
+}  // namespace
+}  // namespace ckat::obs

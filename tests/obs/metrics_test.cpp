@@ -1,0 +1,181 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace ckat::obs {
+namespace {
+
+TEST(CounterTest, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  Histogram h(Histogram::default_latency_buckets());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, PercentilesOnKnownUniformDistribution) {
+  // Bounds 10,20,...,100; observe 1..100 once each => 10 per bucket.
+  Histogram h(Histogram::linear_buckets(10.0, 10.0, 10));
+  for (int v = 1; v <= 100; ++v) h.observe(static_cast<double>(v));
+
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  // Linear interpolation within the target bucket is exact here.
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 99.0);
+  // Extremes clamp to observed min/max.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(HistogramTest, CumulativeBucketsMatchPrometheusSemantics) {
+  Histogram h(Histogram::linear_buckets(10.0, 10.0, 3));  // 10, 20, 30
+  for (const double v : {5.0, 10.0, 15.0, 25.0, 99.0}) h.observe(v);
+  EXPECT_EQ(h.cumulative_bucket(0), 2u);  // <= 10 (boundary inclusive)
+  EXPECT_EQ(h.cumulative_bucket(1), 3u);  // <= 20
+  EXPECT_EQ(h.cumulative_bucket(2), 4u);  // <= 30
+  EXPECT_EQ(h.cumulative_bucket(3), 5u);  // +inf = total
+}
+
+TEST(HistogramTest, OverflowBucketInterpolatesToObservedMax) {
+  Histogram h(Histogram::linear_buckets(10.0, 10.0, 2));  // 10, 20
+  h.observe(150.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 150.0);
+  EXPECT_DOUBLE_EQ(h.max(), 150.0);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h(Histogram::linear_buckets(1.0, 1.0, 4));
+  h.observe(2.5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.cumulative_bucket(4), 0u);
+}
+
+TEST(HistogramTest, RejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({3.0, 1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram::exponential_buckets(0.0, 2.0, 4),
+               std::invalid_argument);
+  EXPECT_THROW(Histogram::linear_buckets(0.0, -1.0, 4),
+               std::invalid_argument);
+}
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStableHandles) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("requests_total");
+  Counter& b = registry.counter("requests_total");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  // reset() zeroes in place; the handle stays valid.
+  registry.reset();
+  EXPECT_EQ(b.value(), 0u);
+  b.inc();
+  EXPECT_EQ(a.value(), 1u);
+}
+
+TEST(MetricsRegistryTest, LabelSetsAreIndependentSeries) {
+  MetricsRegistry registry;
+  Counter& ckat = registry.counter("latency", {{"tier", "CKAT"}});
+  Counter& mf = registry.counter("latency", {{"tier", "BPRMF"}});
+  EXPECT_NE(&ckat, &mf);
+  // Label order is normalized: {a,b} and {b,a} are the same series.
+  Counter& ab = registry.counter("multi", {{"a", "1"}, {"b", "2"}});
+  Counter& ba = registry.counter("multi", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&ab, &ba);
+}
+
+TEST(MetricsRegistryTest, TypeMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("thing");
+  EXPECT_THROW(registry.gauge("thing"), std::logic_error);
+  EXPECT_THROW(registry.histogram("thing"), std::logic_error);
+}
+
+TEST(MetricsRegistryTest, PrometheusExportRendersAllSeries) {
+  MetricsRegistry registry;
+  registry.counter("reqs_total", {{"tier", "CKAT"}}).inc(7);
+  registry.gauge("loss").set(0.25);
+  Histogram& h =
+      registry.histogram("lat_seconds", {}, Histogram::linear_buckets(1, 1, 2));
+  h.observe(0.5);
+  h.observe(5.0);
+
+  const std::string text = registry.to_prometheus();
+  EXPECT_NE(text.find("# TYPE reqs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("reqs_total{tier=\"CKAT\"} 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE loss gauge"), std::string::npos);
+  EXPECT_NE(text.find("loss 0.25"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"2\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_sum 5.5"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 2"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonExportCarriesHistogramSummaries) {
+  MetricsRegistry registry;
+  registry.counter("c_total").inc(2);
+  registry.gauge("g").set(1.5);
+  Histogram& h =
+      registry.histogram("h", {}, Histogram::linear_buckets(10, 10, 10));
+  for (int v = 1; v <= 100; ++v) h.observe(static_cast<double>(v));
+
+  const JsonValue doc = registry.to_json();
+  EXPECT_EQ(doc.at("counters").at("c_total").as_number(), 2.0);
+  EXPECT_EQ(doc.at("gauges").at("g").as_number(), 1.5);
+  const JsonValue& summary = doc.at("histograms").at("h");
+  EXPECT_EQ(summary.at("count").as_number(), 100.0);
+  EXPECT_EQ(summary.at("p50").as_number(), 50.0);
+  EXPECT_EQ(summary.at("p95").as_number(), 95.0);
+  EXPECT_EQ(summary.at("p99").as_number(), 99.0);
+}
+
+TEST(MetricsRegistryTest, RenderSeriesName) {
+  EXPECT_EQ(render_series_name("plain", {}), "plain");
+  EXPECT_EQ(render_series_name("m", {{"a", "x"}, {"b", "y"}}),
+            "m{a=\"x\",b=\"y\"}");
+}
+
+TEST(TelemetryToggleTest, KillSwitchRoundTrips) {
+  const bool before = telemetry_enabled();
+  set_telemetry_enabled(false);
+  EXPECT_FALSE(telemetry_enabled());
+  set_telemetry_enabled(true);
+  EXPECT_TRUE(telemetry_enabled());
+  set_telemetry_enabled(before);
+}
+
+}  // namespace
+}  // namespace ckat::obs

@@ -1,0 +1,114 @@
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace ckat::obs {
+namespace {
+
+TEST(RunReportTest, RoundTripsThroughJsonParse) {
+  MetricsRegistry registry;
+  registry.counter("ckat_train_rollbacks_total").inc(2);
+  registry.gauge("ckat_train_last_cf_loss").set(0.125);
+  registry.histogram("ckat_eval_score_seconds", {{"model", "CKAT"}})
+      .observe(0.004);
+
+  RunReport report("unit-test-run");
+  report.set_note("facility", "OOI");
+  report.set_note("epochs", 12.0);
+  report.add_eval("CKAT", 0.2668, 0.2052, 60);
+  JsonValue faults = JsonValue::object();
+  faults.set("ckat.nan_loss", 1);
+  report.add_section("fault_schedule", std::move(faults));
+  report.capture_metrics(registry);
+
+  const JsonValue parsed = json_parse(report.to_json_string());
+  EXPECT_EQ(parsed.at("run").as_string(), "unit-test-run");
+  EXPECT_GT(parsed.at("generated_at_ms").as_number(), 0.0);
+  EXPECT_EQ(parsed.at("config").at("facility").as_string(), "OOI");
+  EXPECT_EQ(parsed.at("config").at("epochs").as_number(), 12.0);
+
+  const JsonValue& eval = parsed.at("eval").at("CKAT");
+  EXPECT_DOUBLE_EQ(eval.at("recall").as_number(), 0.2668);
+  EXPECT_DOUBLE_EQ(eval.at("ndcg").as_number(), 0.2052);
+  EXPECT_EQ(eval.at("n_users").as_number(), 60.0);
+
+  EXPECT_EQ(parsed.at("fault_schedule").at("ckat.nan_loss").as_number(), 1.0);
+
+  const JsonValue& metrics = parsed.at("metrics");
+  EXPECT_EQ(metrics.at("counters").at("ckat_train_rollbacks_total")
+                .as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(metrics.at("gauges").at("ckat_train_last_cf_loss")
+                       .as_number(), 0.125);
+  const JsonValue& hist = metrics.at("histograms")
+                              .at("ckat_eval_score_seconds{model=\"CKAT\"}");
+  EXPECT_EQ(hist.at("count").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.at("sum").as_number(), 0.004);
+}
+
+TEST(RunReportTest, SectionsReplaceByName) {
+  RunReport report("r");
+  JsonValue first = JsonValue::object();
+  first.set("v", 1);
+  report.add_section("serving", std::move(first));
+  JsonValue second = JsonValue::object();
+  second.set("v", 2);
+  report.add_section("serving", std::move(second));
+
+  const JsonValue parsed = json_parse(report.to_json_string());
+  EXPECT_EQ(parsed.at("serving").at("v").as_number(), 2.0);
+}
+
+TEST(RunReportTest, CompactAndPrettyOutputsParseIdentically) {
+  RunReport report("r");
+  report.set_note("k", "v");
+  const JsonValue compact = json_parse(report.to_json_string(0));
+  const JsonValue pretty = json_parse(report.to_json_string(4));
+  EXPECT_EQ(compact.at("config").at("k").as_string(),
+            pretty.at("config").at("k").as_string());
+}
+
+TEST(RunReportTest, WriteFileProducesParseableDocument) {
+  const std::string path = ::testing::TempDir() + "ckat_report_test.json";
+  RunReport report("file-run");
+  report.add_eval("popularity", 0.1, 0.05, 10);
+  report.write_file(path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue parsed = json_parse(buffer.str());
+  EXPECT_EQ(parsed.at("run").as_string(), "file-run");
+  EXPECT_EQ(parsed.at("eval").at("popularity").at("n_users").as_number(),
+            10.0);
+  std::remove(path.c_str());
+}
+
+TEST(RunReportTest, WriteFileThrowsOnBadPath) {
+  RunReport report("r");
+  EXPECT_THROW(report.write_file("/nonexistent-dir-xyz/report.json"),
+               std::runtime_error);
+}
+
+TEST(RunReportTest, MetricsSectionAbsentUntilCaptured) {
+  RunReport report("r");
+  const JsonValue parsed = json_parse(report.to_json_string());
+  EXPECT_EQ(parsed.find("metrics"), nullptr);
+  MetricsRegistry registry;
+  report.capture_metrics(registry);
+  const JsonValue with = json_parse(report.to_json_string());
+  ASSERT_NE(with.find("metrics"), nullptr);
+  EXPECT_EQ(with.at("metrics").at("counters").as_object().size(), 0u);
+}
+
+}  // namespace
+}  // namespace ckat::obs

@@ -1,0 +1,154 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace ckat::obs {
+namespace {
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "ckat_trace_test.jsonl";
+    set_trace_file(path_);
+  }
+  void TearDown() override {
+    set_trace_file("");  // disable the sink for subsequent tests
+    std::remove(path_.c_str());
+    set_telemetry_enabled(true);
+  }
+  std::string path_;
+};
+
+TEST_F(TraceTest, NestedSpansRecordParentage) {
+  std::uint64_t outer_id = 0, inner_id = 0;
+  {
+    TraceSpan outer("outer", {{"facility", "OOI"}});
+    outer_id = outer.id();
+    EXPECT_NE(outer_id, 0u);
+    {
+      TraceSpan inner("inner");
+      inner_id = inner.id();
+      trace_event("mark", {{"point", "ckat.nan_loss"}});
+    }
+  }
+  flush_trace();
+
+  // Every line must be a well-formed JSON object with the schema fields.
+  std::map<std::string, JsonValue> by_name;
+  for (const std::string& line : read_lines(path_)) {
+    JsonValue record = json_parse(line);
+    ASSERT_TRUE(record.is_object()) << line;
+    EXPECT_NE(record.find("cat"), nullptr);
+    EXPECT_NE(record.find("name"), nullptr);
+    EXPECT_NE(record.find("thread"), nullptr);
+    by_name.emplace(record.at("name").as_string(), std::move(record));
+  }
+  ASSERT_EQ(by_name.size(), 3u);
+
+  const JsonValue& outer = by_name.at("outer");
+  EXPECT_EQ(outer.at("cat").as_string(), "span");
+  EXPECT_EQ(outer.at("id").as_number(), static_cast<double>(outer_id));
+  EXPECT_EQ(outer.at("parent").as_number(), 0.0);  // top-level
+  EXPECT_EQ(outer.at("attrs").at("facility").as_string(), "OOI");
+  EXPECT_NE(outer.find("dur_us"), nullptr);
+
+  const JsonValue& inner = by_name.at("inner");
+  EXPECT_EQ(inner.at("parent").as_number(), static_cast<double>(outer_id));
+  EXPECT_EQ(inner.find("attrs"), nullptr);  // attrs omitted when empty
+
+  const JsonValue& event = by_name.at("mark");
+  EXPECT_EQ(event.at("cat").as_string(), "event");
+  EXPECT_EQ(event.at("parent").as_number(), static_cast<double>(inner_id));
+  EXPECT_NE(event.find("ts_us"), nullptr);
+  EXPECT_EQ(event.at("attrs").at("point").as_string(), "ckat.nan_loss");
+}
+
+TEST_F(TraceTest, SiblingSpansShareParent) {
+  std::uint64_t parent_id = 0;
+  {
+    TraceSpan parent("parent");
+    parent_id = parent.id();
+    { TraceSpan a("child_a"); }
+    { TraceSpan b("child_b"); }
+  }
+  flush_trace();
+
+  int children = 0;
+  for (const std::string& line : read_lines(path_)) {
+    const JsonValue record = json_parse(line);
+    const std::string& name = record.at("name").as_string();
+    if (name == "child_a" || name == "child_b") {
+      EXPECT_EQ(record.at("parent").as_number(),
+                static_cast<double>(parent_id));
+      ++children;
+    }
+  }
+  EXPECT_EQ(children, 2);
+}
+
+TEST_F(TraceTest, AddAttrAttachesToLiveSpan) {
+  {
+    TraceSpan span("annotated");
+    span.add_attr("epoch", "3");
+    span.add_attr("epoch", "4");  // overwrite
+  }
+  flush_trace();
+
+  bool found = false;
+  for (const std::string& line : read_lines(path_)) {
+    const JsonValue record = json_parse(line);
+    if (record.at("name").as_string() != "annotated") continue;
+    found = true;
+    const auto& attrs = record.at("attrs");
+    EXPECT_EQ(attrs.at("epoch").as_string(), "4");
+    EXPECT_EQ(attrs.as_object().size(), 1u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TraceTest, DisabledTracingDoesNoWork) {
+  set_trace_file("");
+  EXPECT_FALSE(trace_enabled());
+  TraceSpan span("ghost");
+  EXPECT_EQ(span.id(), 0u);
+  span.add_attr("k", "v");  // must be a safe no-op
+  trace_event("ghost_event");
+  flush_trace();
+}
+
+TEST_F(TraceTest, TelemetryKillSwitchDisablesTracing) {
+  set_telemetry_enabled(false);
+  EXPECT_FALSE(trace_enabled());
+  { TraceSpan span("off"); EXPECT_EQ(span.id(), 0u); }
+  set_telemetry_enabled(true);
+  EXPECT_TRUE(trace_enabled());
+  { TraceSpan span("on"); EXPECT_NE(span.id(), 0u); }
+  flush_trace();
+
+  std::vector<std::string> names;
+  for (const std::string& line : read_lines(path_)) {
+    names.push_back(json_parse(line).at("name").as_string());
+  }
+  EXPECT_EQ(names, std::vector<std::string>{"on"});
+}
+
+}  // namespace
+}  // namespace ckat::obs

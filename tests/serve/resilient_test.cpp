@@ -237,6 +237,88 @@ TEST_F(ResilientTest, ConstructorValidatesChain) {
   EXPECT_THROW(ResilientRecommender(chain(), bad), std::invalid_argument);
 }
 
+TEST_F(ResilientTest, LastErrorCapturesExceptionMessage) {
+  primary_.set_failing(true);
+  ResilientRecommender serving(chain());
+  first_score(serving);
+
+  const auto health = serving.snapshot();
+  EXPECT_EQ(health.tiers[0].last_error, "primary: simulated failure");
+  EXPECT_TRUE(health.tiers[1].last_error.empty());  // healthy tier
+}
+
+TEST_F(ResilientTest, LastErrorDescribesInjectedTimeout) {
+  ResilientConfig config;
+  config.deadline_ms = 1000.0;
+  ResilientRecommender serving(chain(), config);
+  util::FaultScope stall(
+      std::string(util::fault_points::kScoreTimeout) + ":primary",
+      util::FaultSpec{});
+  first_score(serving);
+
+  const auto health = serving.snapshot();
+  EXPECT_FALSE(health.tiers[0].last_error.empty());
+  // The message names the injected stall or the deadline it blew.
+  const std::string& err = health.tiers[0].last_error;
+  EXPECT_TRUE(err.find("deadline") != std::string::npos ||
+              err.find("serve.score_timeout") != std::string::npos)
+      << err;
+}
+
+TEST_F(ResilientTest, LatencyStatsCoverAttemptedRequestsOnly) {
+  primary_.set_failing(true);
+  ResilientConfig config;
+  config.failure_threshold = 2;
+  config.retry_after = 100;
+  ResilientRecommender serving(chain(), config);
+
+  for (int i = 0; i < 5; ++i) first_score(serving);
+
+  const auto health = serving.snapshot();
+  // Two real attempts, then the open circuit skips the tier: skips must
+  // not contribute zero-latency samples.
+  EXPECT_EQ(health.tiers[0].attempts, 2u);
+  EXPECT_EQ(health.tiers[1].attempts, 5u);
+  EXPECT_GT(health.tiers[1].latency_mean_ms, 0.0);
+  EXPECT_LE(health.tiers[1].latency_min_ms, health.tiers[1].latency_mean_ms);
+  EXPECT_LE(health.tiers[1].latency_mean_ms, health.tiers[1].latency_max_ms);
+}
+
+TEST_F(ResilientTest, UnattemptedTierReportsZeroLatency) {
+  ResilientRecommender serving(chain());
+  first_score(serving);
+  const auto health = serving.snapshot();
+  EXPECT_EQ(health.tiers[1].attempts, 0u);
+  EXPECT_EQ(health.tiers[1].latency_min_ms, 0.0);
+  EXPECT_EQ(health.tiers[1].latency_mean_ms, 0.0);
+  EXPECT_EQ(health.tiers[1].latency_max_ms, 0.0);
+}
+
+TEST_F(ResilientTest, HealthToJsonRendersAllTierFields) {
+  primary_.set_failing(true);
+  ResilientRecommender serving(chain());
+  first_score(serving);
+
+  const obs::JsonValue doc = health_to_json(serving.snapshot());
+  EXPECT_EQ(doc.at("requests").as_number(), 1.0);
+  EXPECT_EQ(doc.at("fallback_activations").as_number(), 1.0);
+  EXPECT_EQ(doc.at("zero_filled").as_number(), 0.0);
+
+  const auto& tiers = doc.at("tiers").as_array();
+  ASSERT_EQ(tiers.size(), 3u);
+  EXPECT_EQ(tiers[0].at("name").as_string(), "primary");
+  EXPECT_EQ(tiers[0].at("exceptions").as_number(), 1.0);
+  EXPECT_EQ(tiers[0].at("last_error").as_string(),
+            "primary: simulated failure");
+  EXPECT_EQ(tiers[1].at("served").as_number(), 1.0);
+  for (const char* field :
+       {"served", "failures", "exceptions", "deadline_misses", "skipped_open",
+        "attempts", "circuit_open", "latency_min_ms", "latency_mean_ms",
+        "latency_max_ms"}) {
+    EXPECT_NE(tiers[0].find(field), nullptr) << field;
+  }
+}
+
 TEST(PopularityRecommender, ScoresTrainCounts) {
   graph::InteractionSet train(3, 4);
   train.add(0, 1);

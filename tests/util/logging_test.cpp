@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
+
+#include "obs/json.hpp"
 
 namespace ckat::util {
 namespace {
@@ -12,10 +15,22 @@ class LoggingTest : public ::testing::Test {
   void SetUp() override { previous_ = log_level(); }
   void TearDown() override {
     set_log_level(previous_);
+    set_log_json(false);
     unsetenv("CKAT_LOG_LEVEL");
+    unsetenv("CKAT_LOG_JSON");
   }
   LogLevel previous_;
 };
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
 
 TEST_F(LoggingTest, LevelRoundTrip) {
   set_log_level(LogLevel::kDebug);
@@ -35,6 +50,62 @@ TEST_F(LoggingTest, EnvInitIgnoresUnknown) {
   setenv("CKAT_LOG_LEVEL", "chatty", 1);
   init_logging_from_env();
   EXPECT_EQ(log_level(), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, EnvInitIsCaseInsensitive) {
+  const std::pair<const char*, LogLevel> cases[] = {
+      {"DEBUG", LogLevel::kDebug},
+      {"Info", LogLevel::kInfo},
+      {"WARN", LogLevel::kWarn},
+      {"Warning", LogLevel::kWarn},  // accepted alias
+      {"eRrOr", LogLevel::kError},
+  };
+  for (const auto& [value, expected] : cases) {
+    setenv("CKAT_LOG_LEVEL", value, 1);
+    init_logging_from_env();
+    EXPECT_EQ(log_level(), expected) << value;
+  }
+}
+
+TEST_F(LoggingTest, EnvInitWarnsOnceForUnrecognizedLevel) {
+  set_log_level(LogLevel::kInfo);
+  setenv("CKAT_LOG_LEVEL", "verbose", 1);
+  ::testing::internal::CaptureStderr();
+  init_logging_from_env();
+  init_logging_from_env();  // same bad value: no second warning
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(count_occurrences(err, "unrecognized CKAT_LOG_LEVEL"), 1u);
+  EXPECT_NE(err.find("verbose"), std::string::npos);
+  EXPECT_EQ(log_level(), LogLevel::kInfo);  // level untouched
+}
+
+TEST_F(LoggingTest, EnvInitTogglesJsonMode) {
+  setenv("CKAT_LOG_JSON", "1", 1);
+  init_logging_from_env();
+  EXPECT_TRUE(log_json());
+  setenv("CKAT_LOG_JSON", "TRUE", 1);
+  init_logging_from_env();
+  EXPECT_TRUE(log_json());
+  setenv("CKAT_LOG_JSON", "0", 1);
+  init_logging_from_env();
+  EXPECT_FALSE(log_json());
+}
+
+TEST_F(LoggingTest, RenderLinePlainFormat) {
+  const std::string line =
+      detail::render_line(LogLevel::kWarn, "disk full", false);
+  EXPECT_EQ(line.front(), '[');
+  EXPECT_NE(line.find("WARN"), std::string::npos);
+  EXPECT_NE(line.find("] disk full"), std::string::npos);
+}
+
+TEST_F(LoggingTest, RenderLineJsonIsParseable) {
+  const std::string line = detail::render_line(
+      LogLevel::kError, "bad \"value\"\nnext", true);
+  const obs::JsonValue parsed = obs::json_parse(line);
+  EXPECT_EQ(parsed.at("level").as_string(), "ERROR");
+  EXPECT_EQ(parsed.at("msg").as_string(), "bad \"value\"\nnext");
+  EXPECT_FALSE(parsed.at("ts").as_string().empty());
 }
 
 TEST_F(LoggingTest, FormatMessageHandlesArgs) {

@@ -40,5 +40,14 @@ TEST(FormatDuration, Minutes) {
   EXPECT_EQ(format_duration(3725.0), "62m 5.0s");
 }
 
+TEST(FormatDuration, EdgeCases) {
+  EXPECT_EQ(format_duration(0.0), "0ms");
+  EXPECT_EQ(format_duration(1e-7), "0ms");       // below ms resolution
+  EXPECT_EQ(format_duration(0.9996), "1000ms");  // rounds up inside ms band
+  EXPECT_EQ(format_duration(59.999), "60.0s");   // band chosen before rounding
+  EXPECT_EQ(format_duration(60.01), "1m 0.0s");
+  EXPECT_EQ(format_duration(119.96), "1m 60.0s");
+}
+
 }  // namespace
 }  // namespace ckat::util
