@@ -1,0 +1,339 @@
+// Chaos soak for the overload-safe serving gateway (extension).
+//
+// Concurrent clients hammer a ServeGateway through three phases:
+//
+//  1. normal   — healthy traffic, small bursts: everything is served.
+//  2. spike    — a traffic burst far past queue capacity while the
+//                primary tier misbehaves (real injected latency past
+//                the deadline, injected throws, bit-flipped outputs):
+//                the gateway must shed at the door and on expiry, keep
+//                answering from the fallbacks, and never lose a request.
+//  3. recovery — faults disarmed, circuits reset, normal pacing again:
+//                service returns to (near-)full quality.
+//
+// The harness is *self-checking*: it exits non-zero unless
+//   * conservation holds — every submitted request resolved with exactly
+//     one status and submitted == served + zero_filled + sheds;
+//   * served requests honoured their deadline (p99 admission-to-answer
+//     within budget, small measurement slack);
+//   * the spike actually shed (queue-full and expiry sheds observed)
+//     while the normal and recovery phases served >= 95%;
+//   * every circuit is closed again at the end;
+//   * the queue never exceeded its configured bound.
+//
+// Tiers are deterministic synthetic models (scoring is arithmetic, not
+// training) so the soak runs in seconds and failures reproduce.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "serve/gateway.hpp"
+#include "serve/resilient.hpp"
+#include "util/cli.hpp"
+#include "util/fault.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace ckat;
+
+/// Deterministic synthetic tier: score(user, item) is pure arithmetic,
+/// safe for concurrent reads, tier quality encoded in `weight` so a
+/// fallback answer is visibly different from a primary one.
+class SyntheticTier final : public eval::Recommender {
+ public:
+  SyntheticTier(std::string name, std::size_t n_users, std::size_t n_items,
+                float weight)
+      : name_(std::move(name)), n_users_(n_users), n_items_(n_items),
+        weight_(weight) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  void fit() override {}
+  void score_items(std::uint32_t user, std::span<float> out) const override {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = weight_ *
+               static_cast<float>((user * 31u + i * 17u) % 97u) / 97.0f;
+    }
+  }
+  [[nodiscard]] std::size_t n_users() const override { return n_users_; }
+  [[nodiscard]] std::size_t n_items() const override { return n_items_; }
+
+ private:
+  std::string name_;
+  std::size_t n_users_;
+  std::size_t n_items_;
+  float weight_;
+};
+
+struct PhaseOutcome {
+  std::string name;
+  serve::GatewayStats stats;           // this phase only (diffed)
+  std::vector<double> served_total_ms; // per served request
+  std::uint64_t client_answers = 0;    // futures that resolved
+  std::uint64_t client_retries = 0;    // re-submissions after a shed
+};
+
+serve::GatewayStats diff(const serve::GatewayStats& after,
+                         const serve::GatewayStats& before) {
+  serve::GatewayStats d;
+  d.submitted = after.submitted - before.submitted;
+  d.accepted = after.accepted - before.accepted;
+  d.served = after.served - before.served;
+  d.zero_filled = after.zero_filled - before.zero_filled;
+  d.shed_queue_full = after.shed_queue_full - before.shed_queue_full;
+  d.shed_expired = after.shed_expired - before.shed_expired;
+  d.shed_retry_budget = after.shed_retry_budget - before.shed_retry_budget;
+  d.shed_shutdown = after.shed_shutdown - before.shed_shutdown;
+  d.queue_high_water = after.queue_high_water;
+  return d;
+}
+
+/// Drives `clients` threads, each submitting `bursts` bursts of
+/// `burst_size` requests, collecting every future, and retrying a shed
+/// request at most once with the deterministic client backoff.
+PhaseOutcome run_phase(serve::ServeGateway& gateway, std::string name,
+                       int clients, int bursts, int burst_size,
+                       bool retry_sheds) {
+  obs::TraceSpan span("soak.phase", {{"phase", name}});
+  PhaseOutcome outcome;
+  outcome.name = std::move(name);
+  const serve::GatewayStats before = gateway.stats();
+
+  std::mutex merge_mutex;
+  std::atomic<std::uint64_t> answers{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<double> local_served_ms;
+      const std::string client_id = "client-" + std::to_string(c);
+      for (int b = 0; b < bursts; ++b) {
+        std::vector<std::future<serve::ScoreResult>> futures;
+        std::vector<serve::ScoreRequest> submitted;
+        futures.reserve(static_cast<std::size_t>(burst_size));
+        for (int i = 0; i < burst_size; ++i) {
+          serve::ScoreRequest request;
+          request.user = static_cast<std::uint32_t>((c * 131 + b * 17 + i));
+          request.priority = (i % 4 == 0) ? serve::Priority::kHigh
+                                          : serve::Priority::kNormal;
+          request.client_id = client_id;
+          submitted.push_back(request);
+          futures.push_back(gateway.submit(std::move(request)));
+        }
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+          serve::ScoreResult result = futures[i].get();
+          answers.fetch_add(1);
+          const bool shed =
+              result.status != serve::RequestStatus::kServed &&
+              result.status != serve::RequestStatus::kZeroFilled;
+          if (shed && retry_sheds) {
+            // One paced retry per shed request: spends a retry token,
+            // waits the deterministic jittered backoff first.
+            const double wait_ms = serve::retry_backoff_ms(
+                1, std::hash<std::string>{}(client_id),
+                /*base_ms=*/1.0, /*cap_ms=*/4.0);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(wait_ms));
+            serve::ScoreRequest retry = submitted[i];
+            retry.is_retry = true;
+            retries.fetch_add(1);
+            result = gateway.submit(std::move(retry)).get();
+            answers.fetch_add(1);
+          }
+          if (result.status == serve::RequestStatus::kServed) {
+            local_served_ms.push_back(result.total_ms);
+          }
+        }
+      }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      outcome.served_total_ms.insert(outcome.served_total_ms.end(),
+                                     local_served_ms.begin(),
+                                     local_served_ms.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  outcome.stats = diff(gateway.stats(), before);
+  outcome.client_answers = answers.load();
+  outcome.client_retries = retries.load();
+  return outcome;
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(values.size() - 1));
+  return values[rank];
+}
+
+obs::JsonValue phase_to_json(const PhaseOutcome& phase) {
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc.set("submitted", static_cast<double>(phase.stats.submitted));
+  doc.set("served", static_cast<double>(phase.stats.served));
+  doc.set("zero_filled", static_cast<double>(phase.stats.zero_filled));
+  doc.set("shed_queue_full",
+          static_cast<double>(phase.stats.shed_queue_full));
+  doc.set("shed_expired", static_cast<double>(phase.stats.shed_expired));
+  doc.set("shed_retry_budget",
+          static_cast<double>(phase.stats.shed_retry_budget));
+  doc.set("shed_shutdown", static_cast<double>(phase.stats.shed_shutdown));
+  doc.set("client_retries", static_cast<double>(phase.client_retries));
+  doc.set("served_p50_ms", percentile(phase.served_total_ms, 0.50));
+  doc.set("served_p99_ms", percentile(phase.served_total_ms, 0.99));
+  return doc;
+}
+
+int g_check_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  if (!ok) ++g_check_failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const int clients = static_cast<int>(args.get_int("clients", 6));
+  const int workers = static_cast<int>(args.get_int("workers", 3));
+  const auto queue_depth =
+      static_cast<std::size_t>(args.get_int("queue-depth", 64));
+  const double deadline_ms = args.get_double("deadline-ms", 40.0);
+  const int spike_bursts = static_cast<int>(args.get_int("spike-bursts", 2));
+
+  const std::size_t n_users = 512;
+  const std::size_t n_items = 64;
+  SyntheticTier primary("ckat-synth", n_users, n_items, 3.0f);
+  SyntheticTier secondary("bprmf-synth", n_users, n_items, 2.0f);
+  SyntheticTier terminal("popularity-synth", n_users, n_items, 1.0f);
+
+  serve::GatewayConfig config;
+  config.threads = workers;
+  config.queue_depth = queue_depth;
+  config.default_deadline_ms = deadline_ms;
+  config.resilient.failure_threshold = 3;
+  config.resilient.retry_after = 16;
+  serve::ServeGateway gateway({&primary, &secondary, &terminal}, config);
+
+  std::printf(
+      "overload soak: %d clients x %d workers, queue depth %zu, "
+      "deadline %.0f ms\n\n",
+      clients, gateway.threads(), gateway.queue_depth(), deadline_ms);
+
+  util::FaultInjector::instance().reset();
+  std::vector<PhaseOutcome> phases;
+
+  // Phase 1 — normal: small bursts stay well inside the queue bound.
+  phases.push_back(
+      run_phase(gateway, "normal", clients, /*bursts=*/4, /*burst_size=*/4,
+                /*retry_sheds=*/false));
+
+  // Phase 2 — spike: burst far past queue capacity while the primary
+  // tier stalls (real sleeps past the deadline), throws and flips bits.
+  {
+    util::FaultScope slow(
+        std::string(util::fault_points::kScoreDelay) + ":" + primary.name(),
+        util::FaultSpec{.every = 2, .delay_ms = deadline_ms * 1.5});
+    util::FaultScope boom(
+        std::string(util::fault_points::kScoreThrow) + ":" + primary.name(),
+        util::FaultSpec{.every = 5});
+    util::FaultScope flip(
+        std::string(util::fault_points::kScoreBitflip) + ":" + primary.name(),
+        util::FaultSpec{.every = 7});
+    phases.push_back(run_phase(gateway, "spike", clients, spike_bursts,
+                               /*burst_size=*/48, /*retry_sheds=*/true));
+  }
+
+  // Phase 3 — recovery: faults disarmed, circuits reset by the operator.
+  gateway.reset_circuits();
+  phases.push_back(
+      run_phase(gateway, "recovery", clients, /*bursts=*/4, /*burst_size=*/4,
+                /*retry_sheds=*/false));
+
+  std::printf("%-9s %10s %8s %6s %7s %8s %7s %9s %8s\n", "phase",
+              "submitted", "served", "zero", "qfull", "expired", "retryB",
+              "p99(ms)", "retries");
+  for (const auto& phase : phases) {
+    std::printf("%-9s %10llu %8llu %6llu %7llu %8llu %7llu %9.2f %8llu\n",
+                phase.name.c_str(),
+                static_cast<unsigned long long>(phase.stats.submitted),
+                static_cast<unsigned long long>(phase.stats.served),
+                static_cast<unsigned long long>(phase.stats.zero_filled),
+                static_cast<unsigned long long>(phase.stats.shed_queue_full),
+                static_cast<unsigned long long>(phase.stats.shed_expired),
+                static_cast<unsigned long long>(phase.stats.shed_retry_budget),
+                percentile(phase.served_total_ms, 0.99),
+                static_cast<unsigned long long>(phase.client_retries));
+  }
+
+  const serve::GatewayStats total = gateway.stats();
+  const auto health = gateway.aggregated_health();
+
+  std::printf("\nself-checks:\n");
+  check(total.submitted == total.served + total.zero_filled +
+                               total.shed_total(),
+        "conservation: submitted == served + zero_filled + sheds");
+  std::uint64_t total_answers = 0;
+  for (const auto& phase : phases) total_answers += phase.client_answers;
+  check(total_answers == total.submitted,
+        "every future resolved exactly once (client answers == submitted)");
+  check(total.queue_high_water <= gateway.queue_depth(),
+        "queue never exceeded its bound");
+
+  std::vector<double> all_served_ms;
+  for (const auto& phase : phases) {
+    all_served_ms.insert(all_served_ms.end(), phase.served_total_ms.begin(),
+                         phase.served_total_ms.end());
+  }
+  const double p99 = percentile(all_served_ms, 0.99);
+  check(p99 <= deadline_ms * 1.05 + 5.0,
+        "p99 admission-to-answer of served requests within the deadline");
+
+  const auto& normal = phases[0];
+  const auto& spike = phases[1];
+  const auto& recovery = phases[2];
+  check(normal.stats.served >=
+            static_cast<std::uint64_t>(0.95 * normal.stats.submitted),
+        "normal phase served >= 95%");
+  check(spike.stats.shed_queue_full > 0,
+        "spike shed at admission (queue full)");
+  check(spike.stats.shed_expired > 0,
+        "spike shed expired requests (real latency ate the budget)");
+  check(recovery.stats.served >=
+            static_cast<std::uint64_t>(0.95 * recovery.stats.submitted),
+        "recovery phase served >= 95% (service restored after the spike)");
+  bool any_open = false;
+  for (const auto& tier : health.tiers) any_open |= tier.circuit_open;
+  check(!any_open, "all circuits closed at the end of the soak");
+
+  obs::RunReport report("ext_overload_soak");
+  report.set_note("clients", static_cast<double>(clients));
+  report.set_note("workers", static_cast<double>(gateway.threads()));
+  report.set_note("queue_depth", static_cast<double>(gateway.queue_depth()));
+  report.set_note("deadline_ms", deadline_ms);
+  obs::JsonValue phase_section = obs::JsonValue::object();
+  for (const auto& phase : phases) {
+    phase_section.set(phase.name, phase_to_json(phase));
+  }
+  report.add_section("phases", phase_section);
+  report.add_section("serving", serve::health_to_json(health));
+  report.capture_metrics();
+  std::printf("\n%s\n", report.to_json_string().c_str());
+
+  gateway.shutdown();
+  if (g_check_failures > 0) {
+    std::printf("\n%d self-check(s) FAILED\n", g_check_failures);
+    return 1;
+  }
+  std::printf("\nall self-checks passed\n");
+  return 0;
+}

@@ -1,0 +1,337 @@
+#include "serve/gateway.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace ckat::serve {
+
+namespace {
+
+/// Parses a positive integer from an environment variable; 0 when the
+/// variable is unset or unusable (caller falls back to its default).
+long env_positive_long(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || value <= 0) {
+    CKAT_LOG_WARN("[gateway] ignoring %s='%s' (want a positive integer)",
+                  name, raw);
+    return 0;
+  }
+  return value;
+}
+
+double ms_between(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+const char* to_string(RequestStatus status) noexcept {
+  switch (status) {
+    case RequestStatus::kServed: return "served";
+    case RequestStatus::kZeroFilled: return "zero_filled";
+    case RequestStatus::kShedQueueFull: return "shed_queue_full";
+    case RequestStatus::kShedExpired: return "shed_expired";
+    case RequestStatus::kShedRetryBudget: return "shed_retry_budget";
+    case RequestStatus::kShedShutdown: return "shed_shutdown";
+  }
+  return "unknown";
+}
+
+double retry_backoff_ms(int attempt, std::uint64_t client_hash,
+                        double base_ms, double cap_ms) noexcept {
+  if (attempt < 1) attempt = 1;
+  // Exponential growth capped before the jitter so the cap is a real
+  // ceiling, computed without pow() overflow for absurd attempt counts.
+  double backoff = base_ms;
+  for (int i = 1; i < attempt && backoff < cap_ms; ++i) backoff *= 2.0;
+  backoff = std::min(backoff, cap_ms);
+  // Deterministic jitter in [0.5, 1.0): the same (client, attempt)
+  // always waits the same time, but clients decorrelate.
+  std::uint64_t state =
+      client_hash ^ (0x9E3779B97F4A7C15ULL *
+                     (static_cast<std::uint64_t>(attempt) + 1));
+  const double u =
+      static_cast<double>(util::splitmix64(state) >> 11) * 0x1.0p-53;
+  return backoff * (0.5 + 0.5 * u);
+}
+
+GatewayConfig GatewayConfig::from_env() {
+  GatewayConfig config;
+  config.threads = static_cast<int>(env_positive_long("CKAT_SERVE_THREADS"));
+  config.queue_depth =
+      static_cast<std::size_t>(env_positive_long("CKAT_SERVE_QUEUE_DEPTH"));
+  return config;
+}
+
+ServeGateway::ServeGateway(std::vector<const eval::Recommender*> tiers,
+                           GatewayConfig config)
+    : config_(config),
+      queue_(config.queue_depth > 0 ? config.queue_depth : 256) {
+  if (tiers.empty()) {
+    throw std::invalid_argument("ServeGateway: at least one tier required");
+  }
+  if (tiers.front() == nullptr) {
+    throw std::invalid_argument("ServeGateway: null tier");
+  }
+  n_items_ = tiers.front()->n_items();
+
+  int threads = config_.threads;
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = static_cast<int>(std::clamp(hw == 0 ? 2u : hw / 2, 2u, 8u));
+  }
+  config_.threads = threads;
+  config_.queue_depth = queue_.capacity();
+
+  // The chain walk gets its budget per request from the gateway; a
+  // config-level deadline would double-count the queue wait.
+  ResilientConfig chain_config = config_.resilient;
+  chain_config.deadline_ms = 0.0;
+
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->chain = std::make_unique<ResilientRecommender>(tiers,
+                                                           chain_config);
+    workers_.push_back(std::move(worker));
+  }
+
+  auto& registry = obs::MetricsRegistry::global();
+  auto outcome_counter = [&registry](const char* outcome) {
+    return &registry.counter("ckat_gateway_requests_total",
+                             {{"outcome", outcome}});
+  };
+  requests_served_ = outcome_counter("served");
+  requests_zero_filled_ = outcome_counter("zero_filled");
+  requests_shed_queue_full_ = outcome_counter("shed_queue_full");
+  requests_shed_expired_ = outcome_counter("shed_expired");
+  requests_shed_retry_budget_ = outcome_counter("shed_retry_budget");
+  requests_shed_shutdown_ = outcome_counter("shed_shutdown");
+  queue_wait_seconds_ = &registry.histogram("ckat_gateway_queue_seconds");
+  request_seconds_ = &registry.histogram("ckat_gateway_served_seconds");
+  queue_high_water_gauge_ =
+      &registry.gauge("ckat_gateway_queue_high_water");
+
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
+  }
+  CKAT_LOG_INFO("[gateway] serving with %d workers, queue depth %zu",
+                threads, queue_.capacity());
+}
+
+ServeGateway::~ServeGateway() { shutdown(); }
+
+bool ServeGateway::spend_retry_token(const std::string& client_id) {
+  std::lock_guard<std::mutex> lock(retry_mutex_);
+  auto [it, inserted] =
+      retry_tokens_.try_emplace(client_id, config_.initial_retry_tokens);
+  if (it->second < 1.0) return false;
+  it->second -= 1.0;
+  return true;
+}
+
+void ServeGateway::credit_retry_token(const std::string& client_id) {
+  std::lock_guard<std::mutex> lock(retry_mutex_);
+  auto [it, inserted] =
+      retry_tokens_.try_emplace(client_id, config_.initial_retry_tokens);
+  // The cap bounds how large a burst of retries a long-quiet client can
+  // unleash at once.
+  it->second = std::min(it->second + config_.retry_ratio,
+                        2.0 * config_.initial_retry_tokens);
+}
+
+void ServeGateway::resolve_shed(Job&& job, RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kShedQueueFull:
+      shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      requests_shed_queue_full_->inc();
+      break;
+    case RequestStatus::kShedExpired:
+      shed_expired_.fetch_add(1, std::memory_order_relaxed);
+      requests_shed_expired_->inc();
+      break;
+    case RequestStatus::kShedRetryBudget:
+      shed_retry_budget_.fetch_add(1, std::memory_order_relaxed);
+      requests_shed_retry_budget_->inc();
+      break;
+    case RequestStatus::kShedShutdown:
+      shed_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      requests_shed_shutdown_->inc();
+      break;
+    case RequestStatus::kServed:
+    case RequestStatus::kZeroFilled:
+      break;  // not sheds; handled by the worker loop
+  }
+  obs::trace_event("gateway.shed", {{"reason", to_string(status)},
+                                    {"client", job.request.client_id}});
+  ScoreResult result;
+  result.status = status;
+  job.promise.set_value(std::move(result));
+}
+
+std::future<ScoreResult> ServeGateway::submit(ScoreRequest request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  Job job;
+  job.request = std::move(request);
+  auto future = job.promise.get_future();
+
+  if (stopping_.load(std::memory_order_relaxed)) {
+    resolve_shed(std::move(job), RequestStatus::kShedShutdown);
+    return future;
+  }
+
+  if (job.request.is_retry && !spend_retry_token(job.request.client_id)) {
+    resolve_shed(std::move(job), RequestStatus::kShedRetryBudget);
+    return future;
+  }
+
+  const double deadline_ms = job.request.deadline_ms > 0.0
+                                 ? job.request.deadline_ms
+                                 : config_.default_deadline_ms;
+  job.admitted_at = Clock::now();
+  job.deadline_ms = deadline_ms > 0.0 ? deadline_ms : 0.0;
+  job.deadline_at =
+      job.deadline_ms > 0.0
+          ? job.admitted_at + std::chrono::duration_cast<Clock::duration>(
+                                  std::chrono::duration<double, std::milli>(
+                                      job.deadline_ms))
+          : Clock::time_point::max();
+
+  const bool is_retry = job.request.is_retry;
+  const std::string client_id = job.request.client_id;
+  const bool high_priority = job.request.priority == Priority::kHigh;
+  // try_push only consumes the job on kOk; on rejection we still own it
+  // and resolve its promise with the shed reason.
+  switch (queue_.try_push(std::move(job), high_priority)) {
+    case BoundedPriorityQueue<Job>::PushResult::kOk:
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      if (!is_retry) credit_retry_token(client_id);
+      break;
+    case BoundedPriorityQueue<Job>::PushResult::kFull:
+      resolve_shed(std::move(job), RequestStatus::kShedQueueFull);
+      break;
+    case BoundedPriorityQueue<Job>::PushResult::kClosed:
+      resolve_shed(std::move(job), RequestStatus::kShedShutdown);
+      break;
+  }
+  return future;
+}
+
+void ServeGateway::worker_loop(Worker& worker) {
+  while (auto job = queue_.pop()) {
+    const auto dequeued_at = Clock::now();
+    if (job->deadline_ms > 0.0 && dequeued_at >= job->deadline_at) {
+      // Stale before any work happened: shed without touching the
+      // chain, so an overloaded queue cannot also waste worker time.
+      resolve_shed(std::move(*job), RequestStatus::kShedExpired);
+      continue;
+    }
+    const double remaining_ms =
+        job->deadline_ms > 0.0 ? ms_between(dequeued_at, job->deadline_at)
+                               : 0.0;
+
+    ScoreResult result;
+    result.scores.resize(n_items_);
+    result.queue_ms = ms_between(job->admitted_at, dequeued_at);
+    ResilientRecommender::ScoreOutcome outcome;
+    {
+      std::lock_guard<std::mutex> lock(worker.mutex);
+      outcome = worker.chain->score_with_budget(
+          job->request.user, result.scores, remaining_ms);
+    }
+    queue_wait_seconds_->observe(result.queue_ms * 1e-3);
+    result.total_ms = ms_between(job->admitted_at, Clock::now());
+
+    using Kind = ResilientRecommender::ScoreOutcome::Kind;
+    switch (outcome.kind) {
+      case Kind::kServed:
+        result.status = RequestStatus::kServed;
+        result.tier = outcome.tier;
+        served_.fetch_add(1, std::memory_order_relaxed);
+        requests_served_->inc();
+        request_seconds_->observe(result.total_ms * 1e-3);
+        break;
+      case Kind::kZeroFilled:
+        result.status = RequestStatus::kZeroFilled;
+        zero_filled_.fetch_add(1, std::memory_order_relaxed);
+        requests_zero_filled_->inc();
+        break;
+      case Kind::kBudgetExhausted:
+        result.scores.clear();
+        resolve_shed(std::move(*job), RequestStatus::kShedExpired);
+        continue;
+    }
+    job->promise.set_value(std::move(result));
+  }
+}
+
+void ServeGateway::shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  if (shutdown_done_) return;
+  stopping_.store(true, std::memory_order_relaxed);
+
+  // Close admission and take ownership of everything still queued;
+  // workers finish their in-flight request, observe the closed queue
+  // and exit.
+  std::vector<Job> leftovers = queue_.drain();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  for (auto& job : leftovers) {
+    resolve_shed(std::move(job), RequestStatus::kShedShutdown);
+  }
+  queue_high_water_gauge_->set(
+      static_cast<double>(queue_.high_water_mark()));
+  obs::trace_event(
+      "gateway.drain",
+      {{"shed_shutdown", std::to_string(leftovers.size())}});
+  CKAT_LOG_INFO("[gateway] drained: %zu queued requests shed at shutdown",
+                leftovers.size());
+  shutdown_done_ = true;
+}
+
+GatewayStats ServeGateway::stats() const {
+  GatewayStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.served = served_.load(std::memory_order_relaxed);
+  stats.zero_filled = zero_filled_.load(std::memory_order_relaxed);
+  stats.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
+  stats.shed_expired = shed_expired_.load(std::memory_order_relaxed);
+  stats.shed_retry_budget =
+      shed_retry_budget_.load(std::memory_order_relaxed);
+  stats.shed_shutdown = shed_shutdown_.load(std::memory_order_relaxed);
+  stats.queue_high_water = queue_.high_water_mark();
+  queue_high_water_gauge_->set(static_cast<double>(stats.queue_high_water));
+  return stats;
+}
+
+ResilientRecommender::HealthSnapshot ServeGateway::aggregated_health() const {
+  std::vector<ResilientRecommender::HealthSnapshot> parts;
+  parts.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    parts.push_back(worker->chain->snapshot());
+  }
+  return aggregate_health(parts);
+}
+
+void ServeGateway::reset_circuits() {
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    worker->chain->reset_circuits();
+  }
+}
+
+}  // namespace ckat::serve

@@ -1,0 +1,239 @@
+// Overload-safe concurrent serving front-end.
+//
+// ServeGateway is the multi-threaded layer between portal clients and
+// the degraded-mode fallback chains: requests are admitted into a
+// bounded two-priority queue (queue.hpp) and executed by a fixed pool
+// of workers, each owning a private ResilientRecommender chain over the
+// shared (read-only) models — so the chain itself stays single-threaded
+// while the gateway scales across cores. Overload protection, in the
+// order a request meets it:
+//
+//  * Admission control: a full queue rejects at the door
+//    (kShedQueueFull) instead of buffering doomed work; retries carry a
+//    per-client budget (Finagle-style token bucket: each accepted
+//    first-try request earns `retry_ratio` tokens, each retry spends
+//    one) so a retry storm from one client cannot amplify an outage.
+//    Clients pace retries with retry_backoff_ms(): exponential growth,
+//    deterministic jitter.
+//  * Expiry on dequeue: a request whose deadline passed while queued is
+//    shed (kShedExpired) without touching a worker's chain.
+//  * Deadline propagation: the worker hands the chain only the budget
+//    still remaining after queueing; the tier walk propagates it
+//    further (see resilient.hpp). A walk that runs out of budget is
+//    shed as expired.
+//  * Graceful drain: shutdown() closes admission, lets in-flight
+//    requests finish, sheds everything still queued (kShedShutdown,
+//    counted — never silently dropped), then joins the workers.
+//
+// Every submitted request resolves its future with exactly one status,
+// so accounting is conservative by construction:
+//   submitted == served + zero_filled + shed_queue_full + shed_expired
+//                + shed_retry_budget + shed_shutdown
+// The chaos soak bench (bench/ext_overload_soak) asserts this under
+// concurrent clients, injected faults and real latency.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/queue.hpp"
+#include "serve/resilient.hpp"
+
+namespace ckat::serve {
+
+enum class Priority : std::uint8_t { kNormal = 0, kHigh = 1 };
+
+enum class RequestStatus : std::uint8_t {
+  kServed,           // a tier answered within the deadline
+  kZeroFilled,       // every tier failed; indifferent scores returned
+  kShedQueueFull,    // rejected at admission: queue at capacity
+  kShedExpired,      // deadline passed in the queue or mid-walk
+  kShedRetryBudget,  // rejected at admission: client retry budget empty
+  kShedShutdown,     // still queued when the gateway drained
+};
+
+[[nodiscard]] const char* to_string(RequestStatus status) noexcept;
+
+struct ScoreRequest {
+  std::uint32_t user = 0;
+  Priority priority = Priority::kNormal;
+  /// Per-request deadline; 0 uses GatewayConfig::default_deadline_ms.
+  double deadline_ms = 0.0;
+  /// Retry-budget key; "" shares one anonymous budget.
+  std::string client_id;
+  /// True when the client re-submits after a shed/failure; spends one
+  /// retry token at admission.
+  bool is_retry = false;
+};
+
+struct ScoreResult {
+  RequestStatus status = RequestStatus::kShedShutdown;
+  /// One score per item for kServed (real answer) and kZeroFilled
+  /// (all-zero degraded answer); empty for every shed status.
+  std::vector<float> scores;
+  /// Serving tier index (0 = top) for kServed, else -1.
+  int tier = -1;
+  /// Admission to dequeue (0 for admission-time sheds).
+  double queue_ms = 0.0;
+  /// Admission to answer (0 for admission-time sheds).
+  double total_ms = 0.0;
+};
+
+struct GatewayConfig {
+  /// Worker pool size; 0 = CKAT_SERVE_THREADS, else half the hardware
+  /// threads clamped to [2, 8].
+  int threads = 0;
+  /// Queue capacity; 0 = CKAT_SERVE_QUEUE_DEPTH, else 256.
+  std::size_t queue_depth = 0;
+  /// Deadline for requests that do not carry their own; 0 disables
+  /// deadline enforcement entirely (nothing is ever shed as expired).
+  double default_deadline_ms = 50.0;
+  /// Per-worker fallback-chain configuration. deadline_ms is ignored —
+  /// the gateway propagates each request's remaining budget instead.
+  ResilientConfig resilient;
+  /// Retry tokens earned per accepted first-try request.
+  double retry_ratio = 0.1;
+  /// Tokens a fresh client starts with (burst allowance).
+  double initial_retry_tokens = 10.0;
+
+  /// Resolves 0-valued fields from CKAT_SERVE_THREADS /
+  /// CKAT_SERVE_QUEUE_DEPTH (invalid or unset values fall back to the
+  /// built-in defaults above).
+  static GatewayConfig from_env();
+};
+
+/// Cumulative request accounting. All counters are monotonic; the
+/// conservation identity in the file header ties them together.
+struct GatewayStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;  // admitted into the queue
+  std::uint64_t served = 0;
+  std::uint64_t zero_filled = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_expired = 0;
+  std::uint64_t shed_retry_budget = 0;
+  std::uint64_t shed_shutdown = 0;
+  std::size_t queue_high_water = 0;
+  /// Total sheds of every kind.
+  [[nodiscard]] std::uint64_t shed_total() const noexcept {
+    return shed_queue_full + shed_expired + shed_retry_budget +
+           shed_shutdown;
+  }
+};
+
+/// Client-side pacing between retry attempts (attempt 1 = first retry):
+/// base * 2^(attempt-1), capped, with deterministic jitter in
+/// [0.5, 1.0) x the backoff drawn from (client_hash, attempt) — the
+/// same client retries on the same schedule every run, but distinct
+/// clients do not thundering-herd in lockstep.
+[[nodiscard]] double retry_backoff_ms(int attempt, std::uint64_t client_hash,
+                                      double base_ms = 5.0,
+                                      double cap_ms = 200.0) noexcept;
+
+class ServeGateway {
+ public:
+  /// `tiers` is the shared fallback chain (most capable first); the
+  /// models must be fitted, thread-safe for concurrent reads, and
+  /// outlive the gateway. Each worker wraps them in its own
+  /// ResilientRecommender so circuit state needs no cross-thread locks.
+  explicit ServeGateway(std::vector<const eval::Recommender*> tiers,
+                        GatewayConfig config = GatewayConfig::from_env());
+  ~ServeGateway();
+
+  ServeGateway(const ServeGateway&) = delete;
+  ServeGateway& operator=(const ServeGateway&) = delete;
+
+  /// Thread-safe. Always returns a future that resolves with exactly
+  /// one status; admission-time sheds resolve immediately.
+  std::future<ScoreResult> submit(ScoreRequest request);
+
+  /// Graceful drain: closes admission, finishes in-flight requests,
+  /// sheds queued ones (kShedShutdown) and joins the workers.
+  /// Idempotent; also called by the destructor.
+  void shutdown();
+
+  [[nodiscard]] GatewayStats stats() const;
+  /// Fleet view across every worker's chain (see aggregate_health()).
+  [[nodiscard]] ResilientRecommender::HealthSnapshot aggregated_health()
+      const;
+  /// Operator override forwarded to every worker's chain.
+  void reset_circuits();
+
+  [[nodiscard]] int threads() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return queue_.capacity();
+  }
+  [[nodiscard]] std::size_t n_items() const noexcept { return n_items_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    ScoreRequest request;
+    std::promise<ScoreResult> promise;
+    Clock::time_point admitted_at;
+    Clock::time_point deadline_at;
+    double deadline_ms = 0.0;  // 0 = no deadline
+  };
+
+  /// One worker: a private chain (single-threaded by design) plus the
+  /// mutex that lets snapshot()/reset_circuits() read it from other
+  /// threads without racing the serving loop. Uncontended in steady
+  /// state — only the owning worker and occasional health reads lock.
+  struct Worker {
+    std::unique_ptr<ResilientRecommender> chain;
+    std::mutex mutex;
+    std::thread thread;
+  };
+
+  void worker_loop(Worker& worker);
+  void resolve_shed(Job&& job, RequestStatus status);
+  bool spend_retry_token(const std::string& client_id);
+  void credit_retry_token(const std::string& client_id);
+
+  GatewayConfig config_;
+  std::size_t n_items_ = 0;
+  BoundedPriorityQueue<Job> queue_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stopping_{false};
+  std::mutex shutdown_mutex_;
+  bool shutdown_done_ = false;  // guarded by shutdown_mutex_
+
+  std::mutex retry_mutex_;
+  std::unordered_map<std::string, double> retry_tokens_;
+
+  // Conservation counters (relaxed atomics: summed, never compared
+  // across each other mid-flight).
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> zero_filled_{0};
+  std::atomic<std::uint64_t> shed_queue_full_{0};
+  std::atomic<std::uint64_t> shed_expired_{0};
+  std::atomic<std::uint64_t> shed_retry_budget_{0};
+  std::atomic<std::uint64_t> shed_shutdown_{0};
+
+  // Metric handles resolved once in the constructor (registry lookups
+  // lock; increments are relaxed atomics).
+  obs::Counter* requests_served_ = nullptr;
+  obs::Counter* requests_zero_filled_ = nullptr;
+  obs::Counter* requests_shed_queue_full_ = nullptr;
+  obs::Counter* requests_shed_expired_ = nullptr;
+  obs::Counter* requests_shed_retry_budget_ = nullptr;
+  obs::Counter* requests_shed_shutdown_ = nullptr;
+  obs::Histogram* queue_wait_seconds_ = nullptr;
+  obs::Histogram* request_seconds_ = nullptr;
+  obs::Gauge* queue_high_water_gauge_ = nullptr;
+};
+
+}  // namespace ckat::serve

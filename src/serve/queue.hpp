@@ -1,0 +1,133 @@
+// Bounded two-priority MPMC work queue for the serving gateway.
+//
+// The queue is the admission-control point of the serving front-end:
+// it is *bounded* so that an overloaded portal rejects work at the door
+// (callers see kFull and shed) instead of buffering unbounded requests
+// whose deadlines will have long expired by the time a worker picks
+// them up. Two priority bands cover the portal reality that an
+// interactive "scientist is waiting" request must overtake a batch
+// prefetch sweep: pop() always drains the high band first, FIFO within
+// each band.
+//
+// Concurrency model: one mutex + one condition variable. Producers
+// never block (try_push returns kFull/kClosed immediately); consumers
+// block in pop() until an item arrives or the queue is closed and
+// drained. close()/drain() wake every consumer so a worker pool can
+// shut down deterministically: drain() hands the caller everything
+// still queued (to be shed and counted — never silently dropped) while
+// in-flight items, by definition already popped, finish on their
+// workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace ckat::serve {
+
+template <typename T>
+class BoundedPriorityQueue {
+ public:
+  enum class PushResult { kOk, kFull, kClosed };
+
+  explicit BoundedPriorityQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedPriorityQueue(const BoundedPriorityQueue&) = delete;
+  BoundedPriorityQueue& operator=(const BoundedPriorityQueue&) = delete;
+
+  /// Non-blocking admission: kFull when the two bands together hold
+  /// `capacity` items (the caller sheds), kClosed after close()/drain().
+  /// The item is only consumed on kOk — on rejection the caller keeps
+  /// it (and, in the gateway, still owes its promise an answer).
+  PushResult try_push(T&& item, bool high_priority = false) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return PushResult::kClosed;
+      if (high_.size() + normal_.size() >= capacity_) {
+        return PushResult::kFull;
+      }
+      auto& band = high_priority ? high_ : normal_;
+      band.push_back(std::move(item));
+      const std::size_t depth = high_.size() + normal_.size();
+      if (depth > high_water_) high_water_ = depth;
+    }
+    not_empty_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Blocks until an item is available (high band first) or the queue
+  /// is closed and empty, which returns nullopt — the consumer's signal
+  /// to exit its loop.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] {
+      return closed_ || !high_.empty() || !normal_.empty();
+    });
+    auto& band = !high_.empty() ? high_ : normal_;
+    if (band.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(band.front());
+    band.pop_front();
+    return item;
+  }
+
+  /// Closes the queue and returns everything still buffered, high band
+  /// first, so the caller can shed each item with an answer attached.
+  std::vector<T> drain() {
+    std::vector<T> leftovers;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+      leftovers.reserve(high_.size() + normal_.size());
+      for (auto& item : high_) leftovers.push_back(std::move(item));
+      for (auto& item : normal_) leftovers.push_back(std::move(item));
+      high_.clear();
+      normal_.clear();
+    }
+    not_empty_.notify_all();
+    return leftovers;
+  }
+
+  /// Closes without draining: consumers keep popping what is buffered,
+  /// then see nullopt.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return high_.size() + normal_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Deepest the queue has been since construction — the overload
+  /// fingerprint an operator checks first when sizing `capacity`.
+  [[nodiscard]] std::size_t high_water_mark() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return high_water_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::deque<T> high_;
+  std::deque<T> normal_;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace ckat::serve

@@ -1,8 +1,12 @@
 #include "serve/resilient.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
+#include <thread>
 
 #include "obs/trace.hpp"
 #include "util/fault.hpp"
@@ -17,6 +21,21 @@ std::string format_deadline_error(double elapsed_ms, double budget_ms) {
   std::snprintf(buf, sizeof(buf), "deadline exceeded (%.1f ms > budget %.1f ms)",
                 elapsed_ms, budget_ms);
   return buf;
+}
+
+std::string format_corruption_error(std::size_t index) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "non-finite score at index %zu",
+                index);
+  return buf;
+}
+
+/// Index of the first non-finite score, or npos when the answer is clean.
+std::size_t first_non_finite(std::span<const float> out) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (!std::isfinite(out[i])) return i;
+  }
+  return static_cast<std::size_t>(-1);
 }
 }  // namespace
 
@@ -110,11 +129,32 @@ void ResilientRecommender::record_failure(TierState& tier,
 
 void ResilientRecommender::score_items(std::uint32_t user,
                                        std::span<float> out) const {
+  score_with_budget(user, out, config_.deadline_ms);
+}
+
+ResilientRecommender::ScoreOutcome ResilientRecommender::score_with_budget(
+    std::uint32_t user, std::span<float> out, double budget_ms) const {
   ++requests_;
   auto& injector = util::FaultInjector::instance();
+  ScoreOutcome outcome;
+  util::Timer walk_timer;
 
   for (std::size_t i = 0; i < tiers_.size(); ++i) {
     TierState& tier = states_[i];
+
+    // Deadline propagation: a tier only gets the budget still unspent
+    // when it starts. Once the walk itself is over budget, attempting
+    // further tiers would just serve answers the caller already
+    // considers stale — stop and let the caller shed.
+    const double tier_budget_ms =
+        budget_ms > 0.0 ? budget_ms - walk_timer.milliseconds() : 0.0;
+    if (budget_ms > 0.0 && tier_budget_ms <= 0.0) {
+      ++budget_exhausted_;
+      std::fill(out.begin(), out.end(), 0.0f);
+      outcome.kind = ScoreOutcome::Kind::kBudgetExhausted;
+      outcome.elapsed_ms = walk_timer.milliseconds();
+      return outcome;
+    }
 
     if (tier.stats.circuit_open) {
       // Half-open probe: after retry_after skipped requests, let one
@@ -129,6 +169,18 @@ void ResilientRecommender::score_items(std::uint32_t user,
     bool ok = false;
     std::string error;
     util::Timer timer;
+    // Real latency injection: the sleep lands inside the timed region,
+    // so deadline misses and budget exhaustion reflect true elapsed
+    // time (unlike the simulated kScoreTimeout stall below).
+    if (injector.enabled()) {
+      const double delay_ms = injector.fire_delay_ms(
+          std::string(util::fault_points::kScoreDelay) + ":" +
+          tier.stats.name);
+      if (delay_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay_ms));
+      }
+    }
     try {
       tiers_[i]->score_items(user, out);
       ok = true;
@@ -146,21 +198,37 @@ void ResilientRecommender::score_items(std::uint32_t user,
               util::fault_points::kScoreThrow;
       ok = false;
     }
-    if (ok && config_.deadline_ms > 0.0) {
+    if (ok) {
+      // Corrupted answers (NaN/inf from bad model state, or an injected
+      // bit-flip) must never reach a client: fail the tier instead.
+      if (!out.empty() && injector.enabled() &&
+          injector.should_fire(
+              std::string(util::fault_points::kScoreBitflip) + ":" +
+              tier.stats.name)) {
+        out[user % out.size()] = std::numeric_limits<float>::quiet_NaN();
+      }
+      const std::size_t bad = first_non_finite(out);
+      if (bad != static_cast<std::size_t>(-1)) {
+        ++tier.stats.corrupted;
+        error = format_corruption_error(bad);
+        ok = false;
+      }
+    }
+    if (ok && budget_ms > 0.0) {
       // Simulated stall (fault injection) or a genuinely slow tier: the
-      // answer arrived after the budget, so it is discarded as stale.
+      // answer arrived after the remaining budget, so it is discarded
+      // as stale.
       const bool stalled =
           injector.enabled() &&
           injector.should_fire(
               std::string(util::fault_points::kScoreTimeout) + ":" +
               tier.stats.name);
       const double elapsed_ms = timer.milliseconds();
-      if (stalled || elapsed_ms > config_.deadline_ms) {
+      if (stalled || elapsed_ms > tier_budget_ms) {
         ++tier.stats.deadline_misses;
         error = stalled ? std::string("injected fault: ") +
                               util::fault_points::kScoreTimeout
-                        : format_deadline_error(elapsed_ms,
-                                                config_.deadline_ms);
+                        : format_deadline_error(elapsed_ms, tier_budget_ms);
         ok = false;
       }
     }
@@ -178,7 +246,10 @@ void ResilientRecommender::score_items(std::uint32_t user,
       }
       ++tier.stats.served;
       if (i > 0) ++fallback_activations_;
-      return;
+      outcome.kind = ScoreOutcome::Kind::kServed;
+      outcome.tier = static_cast<int>(i);
+      outcome.elapsed_ms = walk_timer.milliseconds();
+      return outcome;
     }
     record_failure(tier, std::move(error));
   }
@@ -187,6 +258,9 @@ void ResilientRecommender::score_items(std::uint32_t user,
   // must degrade, not throw: answer with indifferent scores.
   std::fill(out.begin(), out.end(), 0.0f);
   ++zero_filled_;
+  outcome.kind = ScoreOutcome::Kind::kZeroFilled;
+  outcome.elapsed_ms = walk_timer.milliseconds();
+  return outcome;
 }
 
 ResilientRecommender::HealthSnapshot ResilientRecommender::snapshot() const {
@@ -194,6 +268,7 @@ ResilientRecommender::HealthSnapshot ResilientRecommender::snapshot() const {
   health.requests = requests_;
   health.fallback_activations = fallback_activations_;
   health.zero_filled = zero_filled_;
+  health.budget_exhausted = budget_exhausted_;
   health.tiers.reserve(states_.size());
   for (const TierState& tier : states_) {
     health.tiers.push_back(tier.stats);
@@ -219,6 +294,7 @@ obs::JsonValue health_to_json(
     t.set("failures", obs::JsonValue(tier.failures));
     t.set("exceptions", obs::JsonValue(tier.exceptions));
     t.set("deadline_misses", obs::JsonValue(tier.deadline_misses));
+    t.set("corrupted", obs::JsonValue(tier.corrupted));
     t.set("skipped_open", obs::JsonValue(tier.skipped_open));
     t.set("circuit_open", obs::JsonValue(tier.circuit_open));
     t.set("last_error", obs::JsonValue(tier.last_error));
@@ -232,8 +308,53 @@ obs::JsonValue health_to_json(
   root.set("requests", obs::JsonValue(health.requests));
   root.set("fallback_activations", obs::JsonValue(health.fallback_activations));
   root.set("zero_filled", obs::JsonValue(health.zero_filled));
+  root.set("budget_exhausted", obs::JsonValue(health.budget_exhausted));
   root.set("tiers", std::move(tiers));
   return root;
+}
+
+ResilientRecommender::HealthSnapshot aggregate_health(
+    const std::vector<ResilientRecommender::HealthSnapshot>& parts) {
+  ResilientRecommender::HealthSnapshot total;
+  for (const auto& part : parts) {
+    total.requests += part.requests;
+    total.fallback_activations += part.fallback_activations;
+    total.zero_filled += part.zero_filled;
+    total.budget_exhausted += part.budget_exhausted;
+    if (total.tiers.size() < part.tiers.size()) {
+      total.tiers.resize(part.tiers.size());
+    }
+    for (std::size_t i = 0; i < part.tiers.size(); ++i) {
+      const auto& tier = part.tiers[i];
+      auto& merged = total.tiers[i];
+      if (merged.name.empty()) merged.name = tier.name;
+      merged.served += tier.served;
+      merged.failures += tier.failures;
+      merged.exceptions += tier.exceptions;
+      merged.deadline_misses += tier.deadline_misses;
+      merged.corrupted += tier.corrupted;
+      merged.skipped_open += tier.skipped_open;
+      merged.circuit_open = merged.circuit_open || tier.circuit_open;
+      if (merged.last_error.empty()) merged.last_error = tier.last_error;
+      if (tier.attempts > 0) {
+        if (merged.attempts == 0 ||
+            tier.latency_min_ms < merged.latency_min_ms) {
+          merged.latency_min_ms = tier.latency_min_ms;
+        }
+        merged.latency_max_ms =
+            std::max(merged.latency_max_ms, tier.latency_max_ms);
+        // Attempt-weighted mean: sum the per-worker latency totals back
+        // up before dividing by the fleet-wide attempt count.
+        const double merged_sum =
+            merged.latency_mean_ms * static_cast<double>(merged.attempts) +
+            tier.latency_mean_ms * static_cast<double>(tier.attempts);
+        merged.attempts += tier.attempts;
+        merged.latency_mean_ms =
+            merged_sum / static_cast<double>(merged.attempts);
+      }
+    }
+  }
+  return total;
 }
 
 }  // namespace ckat::serve

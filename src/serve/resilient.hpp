@@ -6,11 +6,21 @@
 // ordered fallback chain (e.g. CKAT -> BPRMF -> item popularity) and for
 // each request walks down the chain until a tier answers:
 //
-//  * Deadlines: scoring is single-threaded, so a deadline cannot preempt
-//    a running tier; instead the elapsed time is checked after the call
+//  * Deadlines: scoring is synchronous, so a deadline cannot preempt a
+//    running tier; instead the elapsed time is checked after the call
 //    and an over-deadline answer is treated as a failure (the result is
-//    discarded as stale and the next tier answers). Fault injection can
-//    simulate a stall without actually sleeping.
+//    discarded as stale and the next tier answers). The budget
+//    *propagates*: each tier is judged against the time remaining when
+//    it started, not the full budget, so a slow upper tier cannot spend
+//    the whole deadline and still hand lower tiers a fresh allowance.
+//    When the budget runs out mid-walk the remaining tiers are not
+//    attempted (score_with_budget reports kBudgetExhausted and the
+//    caller — e.g. the gateway — sheds the request). Fault injection
+//    can simulate a stall without sleeping (serve.score_timeout) or
+//    inject real latency (serve.score_delay).
+//  * Output validation: a tier that answers with non-finite scores
+//    (NaN/inf from corrupted state, or an injected serve.score_bitflip)
+//    is treated as failed — corrupted answers never reach a client.
 //  * Circuit breaking: `failure_threshold` consecutive failures open a
 //    tier's circuit; while open the tier is skipped entirely (no latency
 //    paid on a known-bad model). After `retry_after` further requests
@@ -26,7 +36,8 @@
 // rather than an exception, and counted in `zero_filled`.
 //
 // Not thread-safe: one ResilientRecommender per serving thread (the
-// wrapped models are only read).
+// wrapped models are only read). The gateway (gateway.hpp) runs one
+// chain per worker and merges their snapshots with aggregate_health().
 #pragma once
 
 #include <cstdint>
@@ -64,12 +75,35 @@ class ResilientRecommender final : public eval::Recommender {
   [[nodiscard]] std::size_t n_users() const override;
   [[nodiscard]] std::size_t n_items() const override;
 
+  /// How one walk of the fallback chain ended.
+  struct ScoreOutcome {
+    enum class Kind {
+      kServed,           // a tier answered within its remaining budget
+      kZeroFilled,       // every tier was attempted and failed
+      kBudgetExhausted,  // budget ran out before a tier could answer;
+                         // out is zero-filled, remaining tiers skipped
+    };
+    Kind kind = Kind::kZeroFilled;
+    /// Index of the serving tier (0 = top) when kind == kServed.
+    int tier = -1;
+    /// Wall-clock spent inside the walk.
+    double elapsed_ms = 0.0;
+  };
+
+  /// Per-request deadline variant of score_items(): walks the chain
+  /// with `budget_ms` total (0 disables the deadline check), giving
+  /// each tier only the budget still remaining when it starts.
+  /// score_items() forwards here with the configured deadline_ms.
+  ScoreOutcome score_with_budget(std::uint32_t user, std::span<float> out,
+                                 double budget_ms) const;
+
   struct TierStats {
     std::string name;
     std::uint64_t served = 0;          // requests answered by this tier
-    std::uint64_t failures = 0;        // exceptions + deadline misses
+    std::uint64_t failures = 0;        // exceptions + misses + corruptions
     std::uint64_t exceptions = 0;
     std::uint64_t deadline_misses = 0;
+    std::uint64_t corrupted = 0;       // non-finite scores in the answer
     std::uint64_t skipped_open = 0;    // skipped while circuit open
     bool circuit_open = false;
     /// Human-readable cause of the most recent failure ("" when the
@@ -90,6 +124,8 @@ class ResilientRecommender final : public eval::Recommender {
     std::uint64_t fallback_activations = 0;
     /// Requests no tier could answer (zero scores served).
     std::uint64_t zero_filled = 0;
+    /// Walks stopped early because the per-request budget ran out.
+    std::uint64_t budget_exhausted = 0;
     std::vector<TierStats> tiers;
   };
 
@@ -122,11 +158,20 @@ class ResilientRecommender final : public eval::Recommender {
   mutable std::uint64_t requests_ = 0;
   mutable std::uint64_t fallback_activations_ = 0;
   mutable std::uint64_t zero_filled_ = 0;
+  mutable std::uint64_t budget_exhausted_ = 0;
 };
 
 /// Renders a health snapshot for a RunReport section ("serving" in the
 /// observability bench) or any other JSON consumer.
 [[nodiscard]] obs::JsonValue health_to_json(
     const ResilientRecommender::HealthSnapshot& health);
+
+/// Merges per-worker snapshots of identical chains (same tiers in the
+/// same order) into one fleet view: counters are summed, a tier's
+/// circuit reads open when it is open on *any* worker, latency extrema
+/// are fleet-wide and the mean is attempt-weighted. Used by the gateway
+/// so operators see one incident, not M partial ones.
+[[nodiscard]] ResilientRecommender::HealthSnapshot aggregate_health(
+    const std::vector<ResilientRecommender::HealthSnapshot>& parts);
 
 }  // namespace ckat::serve

@@ -12,6 +12,7 @@ FaultInjector& FaultInjector::instance() {
 }
 
 void FaultInjector::arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = points_.insert_or_assign(point, PointState{});
   it->second.spec = spec;
   it->second.rng_state = spec.seed;
@@ -19,22 +20,19 @@ void FaultInjector::arm(const std::string& point, FaultSpec spec) {
 }
 
 void FaultInjector::disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (points_.erase(point) > 0) {
     armed_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
   armed_.store(0, std::memory_order_relaxed);
   points_.clear();
 }
 
-bool FaultInjector::should_fire(const std::string& point) {
-  if (!enabled()) return false;
-  const auto it = points_.find(point);
-  if (it == points_.end()) return false;
-
-  PointState& state = it->second;
+bool FaultInjector::advance_schedule(PointState& state) {
   const FaultSpec& spec = state.spec;
   const std::uint64_t hit = state.hits++;
 
@@ -51,22 +49,50 @@ bool FaultInjector::should_fire(const std::string& point) {
     if (draw >= spec.probability) return false;
   }
   ++state.fires;
-  // Every fired fault is telemetry: a per-point counter plus a trace
-  // event under whatever span is open, so a later fallback activation
-  // or rollback in the same trace attributes to its injected cause.
-  obs::MetricsRegistry::global()
-      .counter("ckat_fault_fired_total", {{"point", point}})
-      .inc();
-  obs::trace_event("fault.fired", {{"point", point}});
   return true;
 }
 
+bool FaultInjector::fire_common(const std::string& point, double* delay_ms) {
+  if (!enabled()) return false;
+  bool fired = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = points_.find(point);
+    if (it == points_.end()) return false;
+    fired = advance_schedule(it->second);
+    if (fired && delay_ms != nullptr) *delay_ms = it->second.spec.delay_ms;
+  }
+  if (fired) {
+    // Every fired fault is telemetry: a per-point counter plus a trace
+    // event under whatever span is open, so a later fallback activation
+    // or rollback in the same trace attributes to its injected cause.
+    // Emitted outside the lock: the metrics registry and trace sink
+    // have their own synchronization.
+    obs::MetricsRegistry::global()
+        .counter("ckat_fault_fired_total", {{"point", point}})
+        .inc();
+    obs::trace_event("fault.fired", {{"point", point}});
+  }
+  return fired;
+}
+
+bool FaultInjector::should_fire(const std::string& point) {
+  return fire_common(point, nullptr);
+}
+
+double FaultInjector::fire_delay_ms(const std::string& point) {
+  double delay = 0.0;
+  return fire_common(point, &delay) ? delay : 0.0;
+}
+
 std::uint64_t FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.hits;
 }
 
 std::uint64_t FaultInjector::fires(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.fires;
 }

@@ -8,10 +8,17 @@
 // with a seedable, fully deterministic schedule (fire after K hits,
 // every Nth hit, with probability p) so failure scenarios are
 // bit-reproducible across runs.
+//
+// Thread-safe: injection points sit on production scoring paths that the
+// serve gateway drives from a worker pool, so the schedule state behind
+// the `armed_` pre-check is guarded by a mutex. Disarmed builds still
+// pay exactly one relaxed atomic load per call; the lock is only taken
+// while at least one point is armed (tests, benches, chaos runs).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -26,6 +33,13 @@ inline constexpr const char* kCheckpointReadBitflip = "checkpoint.read_bitflip";
 inline constexpr const char* kNanLoss = "ckat.nan_loss";
 inline constexpr const char* kScoreTimeout = "serve.score_timeout";
 inline constexpr const char* kScoreThrow = "serve.score_throw";
+/// Real latency injection: the serving tier walk sleeps `delay_ms`
+/// before scoring, so deadline and shed paths see true elapsed time
+/// (unlike kScoreTimeout, which only simulates a stall post-hoc).
+inline constexpr const char* kScoreDelay = "serve.score_delay";
+/// Memory-corruption injection: a scored output value is replaced with
+/// NaN after the tier answers, exercising the non-finite output guard.
+inline constexpr const char* kScoreBitflip = "serve.score_bitflip";
 }  // namespace fault_points
 
 /// When and how often an armed injection point fires.
@@ -42,6 +56,9 @@ struct FaultSpec {
   /// deterministic.
   double probability = 1.0;
   std::uint64_t seed = 0x5EEDFA117ULL;
+  /// For delay points (fire_delay_ms): how long a firing hit sleeps.
+  /// Ignored by should_fire().
+  double delay_ms = 0.0;
 };
 
 class FaultInjector {
@@ -59,6 +76,12 @@ class FaultInjector {
   /// returns true when the armed schedule says this hit fails. Disarmed
   /// points always return false.
   bool should_fire(const std::string& point);
+
+  /// Latency-injection variant: same schedule semantics as
+  /// should_fire(), but a firing hit returns the spec's `delay_ms`
+  /// (how long the call site should actually sleep) instead of true.
+  /// Non-firing hits and disarmed points return 0.
+  double fire_delay_ms(const std::string& point);
 
   /// True when at least one point is armed (fast pre-check so disarmed
   /// builds pay one atomic load, not a map lookup).
@@ -78,7 +101,17 @@ class FaultInjector {
     std::uint64_t rng_state = 0;  // splitmix64 stream for `probability`
   };
 
+  /// Advances the schedule of an armed point by one hit; returns whether
+  /// that hit fires. Caller holds mutex_.
+  static bool advance_schedule(PointState& state);
+  /// should_fire/fire_delay_ms shared body; emits telemetry outside the
+  /// lock. Returns true (and the delay) when the hit fires.
+  bool fire_common(const std::string& point, double* delay_ms);
+
+  /// Count of armed points, readable without mutex_ so disarmed call
+  /// sites stay lock-free; all transitions happen under mutex_.
   std::atomic<int> armed_{0};
+  mutable std::mutex mutex_;
   std::unordered_map<std::string, PointState> points_;
 };
 

@@ -1,0 +1,302 @@
+// Circuit-breaker edge cases and deadline-budget propagation: repeated
+// half-open probe cycles, reset_circuits() preserving cumulative
+// counters, last_error content for every failure kind (exception,
+// injected throw, simulated stall, real latency past the budget,
+// bit-flipped output), and score_with_budget() handing lower tiers only
+// the *remaining* budget.
+#include "serve/resilient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "util/fault.hpp"
+
+namespace ckat::serve {
+namespace {
+
+/// Scriptable tier: fills a constant score, or throws when told to fail.
+class StubRecommender final : public eval::Recommender {
+ public:
+  StubRecommender(std::string name, std::size_t n_users, std::size_t n_items,
+                  float fill)
+      : name_(std::move(name)), n_users_(n_users), n_items_(n_items),
+        fill_(fill) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  void fit() override {}
+  void score_items(std::uint32_t /*user*/,
+                   std::span<float> out) const override {
+    ++calls_;
+    if (failing_) {
+      throw std::runtime_error(name_ + ": simulated failure");
+    }
+    std::fill(out.begin(), out.end(), fill_);
+  }
+  [[nodiscard]] std::size_t n_users() const override { return n_users_; }
+  [[nodiscard]] std::size_t n_items() const override { return n_items_; }
+
+  void set_failing(bool failing) { failing_ = failing; }
+  void set_fill(float fill) { fill_ = fill; }
+  [[nodiscard]] std::uint64_t calls() const { return calls_; }
+
+ private:
+  std::string name_;
+  std::size_t n_users_;
+  std::size_t n_items_;
+  float fill_;
+  bool failing_ = false;
+  mutable std::uint64_t calls_ = 0;
+};
+
+class CircuitEdgeTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kUsers = 4;
+  static constexpr std::size_t kItems = 6;
+
+  CircuitEdgeTest()
+      : primary_("primary", kUsers, kItems, 3.0f),
+        secondary_("secondary", kUsers, kItems, 2.0f),
+        terminal_("terminal", kUsers, kItems, 1.0f) {}
+
+  void TearDown() override { util::FaultInjector::instance().reset(); }
+
+  std::vector<const eval::Recommender*> chain() {
+    return {&primary_, &secondary_, &terminal_};
+  }
+
+  static float first_score(const ResilientRecommender& serving,
+                           std::uint32_t user = 0) {
+    std::vector<float> out(kItems);
+    serving.score_items(user, out);
+    return out[0];
+  }
+
+  StubRecommender primary_;
+  StubRecommender secondary_;
+  StubRecommender terminal_;
+};
+
+// The half-open machinery must survive *repeated* failed probes: each
+// probe failure restarts the retry_after countdown, and skip accounting
+// keeps accumulating across cycles until a probe finally succeeds.
+TEST_F(CircuitEdgeTest, RepeatedFailedProbesKeepCountingSkips) {
+  primary_.set_failing(true);
+  ResilientConfig config;
+  config.failure_threshold = 1;
+  config.retry_after = 3;
+  ResilientRecommender serving(chain(), config);
+
+  first_score(serving);  // fails -> circuit opens (calls: 1)
+  // Two full open->probe->fail cycles: requests 2,3 skip, 4 probes and
+  // fails; 5,6 skip, 7 probes and fails.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(first_score(serving), 2.0f);
+  }
+  auto health = serving.snapshot();
+  EXPECT_TRUE(health.tiers[0].circuit_open);
+  EXPECT_EQ(primary_.calls(), 3u);
+  EXPECT_EQ(health.tiers[0].skipped_open, 4u);
+
+  // The model recovers; the *next* probe (after retry_after more skips)
+  // closes the circuit.
+  primary_.set_failing(false);
+  EXPECT_EQ(first_score(serving), 2.0f);  // skip 5
+  EXPECT_EQ(first_score(serving), 2.0f);  // skip 6
+  EXPECT_EQ(first_score(serving), 3.0f);  // probe succeeds, circuit closes
+
+  health = serving.snapshot();
+  EXPECT_FALSE(health.tiers[0].circuit_open);
+  EXPECT_EQ(health.tiers[0].skipped_open, 6u);
+  EXPECT_EQ(health.tiers[0].failures, 3u);
+  EXPECT_EQ(first_score(serving), 3.0f);  // steady state restored
+  EXPECT_EQ(serving.snapshot().tiers[0].served, 2u);
+}
+
+TEST_F(CircuitEdgeTest, ResetCircuitsPreservesCumulativeCounters) {
+  ResilientConfig config;
+  config.failure_threshold = 2;
+  config.retry_after = 1000;
+  ResilientRecommender serving(chain(), config);
+
+  first_score(serving);  // healthy request for latency/served history
+  primary_.set_failing(true);
+  for (int i = 0; i < 5; ++i) first_score(serving);
+
+  const auto before = serving.snapshot();
+  ASSERT_TRUE(before.tiers[0].circuit_open);
+  ASSERT_EQ(before.tiers[0].exceptions, 2u);
+  ASSERT_EQ(before.tiers[0].skipped_open, 3u);
+
+  serving.reset_circuits();
+
+  const auto after = serving.snapshot();
+  EXPECT_FALSE(after.tiers[0].circuit_open);
+  // reset_circuits() is an operator action about *future* routing; it
+  // must not rewrite history.
+  EXPECT_EQ(after.requests, before.requests);
+  EXPECT_EQ(after.fallback_activations, before.fallback_activations);
+  EXPECT_EQ(after.tiers[0].served, before.tiers[0].served);
+  EXPECT_EQ(after.tiers[0].failures, before.tiers[0].failures);
+  EXPECT_EQ(after.tiers[0].exceptions, before.tiers[0].exceptions);
+  EXPECT_EQ(after.tiers[0].skipped_open, before.tiers[0].skipped_open);
+  EXPECT_EQ(after.tiers[0].attempts, before.tiers[0].attempts);
+  EXPECT_EQ(after.tiers[0].last_error, before.tiers[0].last_error);
+  EXPECT_EQ(after.tiers[0].latency_mean_ms, before.tiers[0].latency_mean_ms);
+
+  // The consecutive-failure streak was cleared too: one fresh failure is
+  // below the threshold of 2, so the circuit stays closed...
+  first_score(serving);
+  EXPECT_FALSE(serving.snapshot().tiers[0].circuit_open);
+  // ...and the second consecutive failure opens it again.
+  first_score(serving);
+  EXPECT_TRUE(serving.snapshot().tiers[0].circuit_open);
+}
+
+TEST_F(CircuitEdgeTest, LastErrorNamesInjectedThrow) {
+  ResilientRecommender serving(chain());
+  util::FaultScope boom(
+      std::string(util::fault_points::kScoreThrow) + ":primary",
+      util::FaultSpec{});
+  EXPECT_EQ(first_score(serving), 2.0f);
+  EXPECT_EQ(serving.snapshot().tiers[0].last_error,
+            "injected fault: serve.score_throw");
+}
+
+TEST_F(CircuitEdgeTest, LastErrorNamesInjectedStall) {
+  ResilientConfig config;
+  config.deadline_ms = 1000.0;
+  ResilientRecommender serving(chain(), config);
+  util::FaultScope stall(
+      std::string(util::fault_points::kScoreTimeout) + ":primary",
+      util::FaultSpec{});
+  EXPECT_EQ(first_score(serving), 2.0f);
+  EXPECT_EQ(serving.snapshot().tiers[0].last_error,
+            "injected fault: serve.score_timeout");
+}
+
+TEST_F(CircuitEdgeTest, LastErrorDescribesRealDeadlineMiss) {
+  ResilientConfig config;
+  config.deadline_ms = 10.0;
+  ResilientRecommender serving(chain(), config);
+  // Real injected latency: the tier genuinely sleeps past the budget,
+  // so the recorded error is the measured-deadline message, not the
+  // injected-stall one. The overrun also ate the whole request budget,
+  // so the walk ends budget-exhausted with a zero-filled answer rather
+  // than handing a lower tier time that no longer exists.
+  util::FaultScope slow(
+      std::string(util::fault_points::kScoreDelay) + ":primary",
+      util::FaultSpec{.delay_ms = 40.0});
+  EXPECT_EQ(first_score(serving), 0.0f);
+
+  const auto health = serving.snapshot();
+  EXPECT_EQ(health.budget_exhausted, 1u);
+  EXPECT_EQ(health.tiers[0].deadline_misses, 1u);
+  EXPECT_NE(health.tiers[0].last_error.find("deadline exceeded"),
+            std::string::npos)
+      << health.tiers[0].last_error;
+  // The attempt really took that long (the sleep is inside the timed
+  // region): latency reflects true elapsed time.
+  EXPECT_GE(health.tiers[0].latency_max_ms, 40.0);
+}
+
+TEST_F(CircuitEdgeTest, BitflippedOutputFailsTierAndNamesCorruption) {
+  ResilientRecommender serving(chain());
+  util::FaultScope flip(
+      std::string(util::fault_points::kScoreBitflip) + ":primary",
+      util::FaultSpec{});
+  // The corrupted answer is discarded; the client sees the fallback.
+  std::vector<float> out(kItems);
+  serving.score_items(0, out);
+  for (float s : out) {
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_EQ(s, 2.0f);
+  }
+
+  const auto health = serving.snapshot();
+  EXPECT_EQ(health.tiers[0].corrupted, 1u);
+  EXPECT_EQ(health.tiers[0].failures, 1u);
+  EXPECT_EQ(health.tiers[0].exceptions, 0u);
+  EXPECT_NE(health.tiers[0].last_error.find("non-finite score"),
+            std::string::npos);
+
+  // Single-shot injection: the next request is served by the primary.
+  EXPECT_EQ(first_score(serving), 3.0f);
+}
+
+TEST_F(CircuitEdgeTest, ModelProducedNanIsCaughtWithoutInjection) {
+  primary_.set_fill(std::numeric_limits<float>::quiet_NaN());
+  ResilientRecommender serving(chain());
+  EXPECT_EQ(first_score(serving), 2.0f);
+  const auto health = serving.snapshot();
+  EXPECT_EQ(health.tiers[0].corrupted, 1u);
+  EXPECT_EQ(health.tiers[1].served, 1u);
+}
+
+TEST_F(CircuitEdgeTest, ScoreWithBudgetZeroDisablesDeadline) {
+  ResilientRecommender serving(chain());
+  std::vector<float> out(kItems);
+  const auto outcome = serving.score_with_budget(0, out, 0.0);
+  EXPECT_EQ(outcome.kind,
+            ResilientRecommender::ScoreOutcome::Kind::kServed);
+  EXPECT_EQ(outcome.tier, 0);
+  EXPECT_EQ(out[0], 3.0f);
+}
+
+// Budget *propagation*: a lower tier is judged against what is left of
+// the request budget, not the full budget. The secondary here is fast
+// enough for a fresh allowance but not for the remainder the slow
+// failing primary left behind — and once the budget is gone the walk
+// stops without even attempting the terminal tier.
+TEST_F(CircuitEdgeTest, RemainingBudgetPropagatesDownTheChain) {
+  primary_.set_failing(true);
+  util::FaultScope slow_primary(
+      std::string(util::fault_points::kScoreDelay) + ":primary",
+      util::FaultSpec{.every = 1, .delay_ms = 100.0});
+  util::FaultScope slow_secondary(
+      std::string(util::fault_points::kScoreDelay) + ":secondary",
+      util::FaultSpec{.every = 1, .delay_ms = 450.0});
+
+  ResilientRecommender serving(chain());
+  std::vector<float> out(kItems, 42.0f);
+  const auto outcome = serving.score_with_budget(0, out, 500.0);
+
+  EXPECT_EQ(outcome.kind,
+            ResilientRecommender::ScoreOutcome::Kind::kBudgetExhausted);
+  EXPECT_GE(outcome.elapsed_ms, 500.0);
+  for (float s : out) EXPECT_EQ(s, 0.0f);  // degraded answer, never stale
+
+  const auto health = serving.snapshot();
+  EXPECT_EQ(health.budget_exhausted, 1u);
+  // Primary burned ~100 ms and threw; the secondary's 450 ms fits the
+  // full 500 ms budget but not the ~400 ms remainder.
+  EXPECT_EQ(health.tiers[0].exceptions, 1u);
+  EXPECT_EQ(health.tiers[1].deadline_misses, 1u);
+  EXPECT_EQ(health.tiers[1].attempts, 1u);
+  // The terminal tier was never attempted: no budget left to spend.
+  EXPECT_EQ(health.tiers[2].attempts, 0u);
+  EXPECT_EQ(terminal_.calls(), 0u);
+}
+
+TEST_F(CircuitEdgeTest, BudgetExhaustionSurfacesInHealthJson) {
+  primary_.set_failing(true);
+  util::FaultScope slow(
+      std::string(util::fault_points::kScoreDelay) + ":primary",
+      util::FaultSpec{.every = 1, .delay_ms = 50.0});
+  ResilientRecommender serving(chain());
+  std::vector<float> out(kItems);
+  serving.score_with_budget(0, out, 20.0);
+
+  const obs::JsonValue doc = health_to_json(serving.snapshot());
+  EXPECT_EQ(doc.at("budget_exhausted").as_number(), 1.0);
+  const auto& tiers = doc.at("tiers").as_array();
+  ASSERT_NE(tiers[0].find("corrupted"), nullptr);
+  EXPECT_EQ(tiers[0].at("corrupted").as_number(), 0.0);
+}
+
+}  // namespace
+}  // namespace ckat::serve

@@ -1,0 +1,384 @@
+// Admission-controlled concurrent serving: worker-pool correctness,
+// load shedding (queue-full, expiry, retry budget), graceful drain,
+// cross-worker health aggregation, env configuration and deterministic
+// retry backoff. The conservation identity
+//   submitted == served + zero_filled + shed_*
+// is asserted after every scenario — no request may vanish.
+#include "serve/gateway.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/fault.hpp"
+
+namespace ckat::serve {
+namespace {
+
+/// Thread-safe scriptable tier for gateway tests: constant fill score,
+/// optional per-call sleep, optional failure.
+class ConcurrentStub final : public eval::Recommender {
+ public:
+  ConcurrentStub(std::string name, std::size_t n_users, std::size_t n_items,
+                 float fill)
+      : name_(std::move(name)), n_users_(n_users), n_items_(n_items),
+        fill_(fill) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  void fit() override {}
+  void score_items(std::uint32_t /*user*/,
+                   std::span<float> out) const override {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    const int delay = delay_ms_.load(std::memory_order_relaxed);
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+    if (failing_.load(std::memory_order_relaxed)) {
+      throw std::runtime_error(name_ + ": simulated failure");
+    }
+    std::fill(out.begin(), out.end(), fill_);
+  }
+  [[nodiscard]] std::size_t n_users() const override { return n_users_; }
+  [[nodiscard]] std::size_t n_items() const override { return n_items_; }
+
+  void set_delay_ms(int ms) { delay_ms_.store(ms); }
+  void set_failing(bool failing) { failing_.store(failing); }
+  [[nodiscard]] std::uint64_t calls() const { return calls_.load(); }
+
+ private:
+  std::string name_;
+  std::size_t n_users_;
+  std::size_t n_items_;
+  float fill_;
+  std::atomic<int> delay_ms_{0};
+  std::atomic<bool> failing_{false};
+  mutable std::atomic<std::uint64_t> calls_{0};
+};
+
+void expect_conservation(const GatewayStats& stats) {
+  EXPECT_EQ(stats.submitted,
+            stats.served + stats.zero_filled + stats.shed_total())
+      << "served=" << stats.served << " zero=" << stats.zero_filled
+      << " qfull=" << stats.shed_queue_full
+      << " expired=" << stats.shed_expired
+      << " retry=" << stats.shed_retry_budget
+      << " shutdown=" << stats.shed_shutdown;
+}
+
+class GatewayTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kUsers = 8;
+  static constexpr std::size_t kItems = 6;
+
+  GatewayTest()
+      : primary_("primary", kUsers, kItems, 3.0f),
+        fallback_("fallback", kUsers, kItems, 1.0f) {}
+
+  void TearDown() override { util::FaultInjector::instance().reset(); }
+
+  std::vector<const eval::Recommender*> chain() {
+    return {&primary_, &fallback_};
+  }
+
+  /// No deadline by default: scheduling noise on CI must not turn a
+  /// correctness test into a latency test.
+  static GatewayConfig config(int threads, std::size_t depth) {
+    GatewayConfig config;
+    config.threads = threads;
+    config.queue_depth = depth;
+    config.default_deadline_ms = 0.0;
+    return config;
+  }
+
+  ConcurrentStub primary_;
+  ConcurrentStub fallback_;
+};
+
+TEST_F(GatewayTest, ServesRequestsAcrossWorkerPool) {
+  ServeGateway gateway(chain(), config(3, 32));
+  EXPECT_EQ(gateway.threads(), 3);
+  EXPECT_EQ(gateway.queue_depth(), 32u);
+
+  std::vector<std::future<ScoreResult>> futures;
+  for (std::uint32_t u = 0; u < 24; ++u) {
+    ScoreRequest request;
+    request.user = u % kUsers;
+    request.client_id = "client-a";
+    futures.push_back(gateway.submit(std::move(request)));
+  }
+  for (auto& future : futures) {
+    ScoreResult result = future.get();
+    ASSERT_EQ(result.status, RequestStatus::kServed);
+    EXPECT_EQ(result.tier, 0);
+    ASSERT_EQ(result.scores.size(), kItems);
+    for (float s : result.scores) EXPECT_EQ(s, 3.0f);
+    EXPECT_GE(result.total_ms, result.queue_ms);
+  }
+  const GatewayStats stats = gateway.stats();
+  EXPECT_EQ(stats.submitted, 24u);
+  EXPECT_EQ(stats.served, 24u);
+  expect_conservation(stats);
+}
+
+TEST_F(GatewayTest, AllTiersFailingZeroFillsWithDegradedAnswer) {
+  primary_.set_failing(true);
+  fallback_.set_failing(true);
+  ServeGateway gateway(chain(), config(2, 8));
+  ScoreResult result = gateway.submit({}).get();
+  EXPECT_EQ(result.status, RequestStatus::kZeroFilled);
+  ASSERT_EQ(result.scores.size(), kItems);
+  for (float s : result.scores) EXPECT_EQ(s, 0.0f);
+  const GatewayStats stats = gateway.stats();
+  EXPECT_EQ(stats.zero_filled, 1u);
+  expect_conservation(stats);
+}
+
+TEST_F(GatewayTest, FullQueueShedsAtAdmission) {
+  primary_.set_delay_ms(20);
+  ServeGateway gateway(chain(), config(1, 2));
+
+  std::vector<std::future<ScoreResult>> futures;
+  for (std::uint32_t u = 0; u < 12; ++u) {
+    ScoreRequest request;
+    request.user = 0;
+    futures.push_back(gateway.submit(std::move(request)));
+  }
+  std::uint64_t served = 0;
+  std::uint64_t shed = 0;
+  for (auto& future : futures) {
+    const ScoreResult result = future.get();
+    if (result.status == RequestStatus::kServed) {
+      ++served;
+    } else {
+      ASSERT_EQ(result.status, RequestStatus::kShedQueueFull);
+      EXPECT_TRUE(result.scores.empty());
+      ++shed;
+    }
+  }
+  EXPECT_GT(shed, 0u);          // the bound rejected at the door
+  EXPECT_GT(served, 0u);        // but admitted work was answered
+  EXPECT_EQ(served + shed, 12u);
+  const GatewayStats stats = gateway.stats();
+  EXPECT_EQ(stats.shed_queue_full, shed);
+  EXPECT_LE(stats.queue_high_water, 2u);
+  expect_conservation(stats);
+}
+
+TEST_F(GatewayTest, ExpiredRequestsNeverReachAChain) {
+  primary_.set_delay_ms(40);
+  GatewayConfig cfg = config(1, 16);
+  cfg.default_deadline_ms = 15.0;  // every request outlives its budget
+  ServeGateway gateway(chain(), cfg);
+
+  std::vector<std::future<ScoreResult>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(gateway.submit({}));
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().status, RequestStatus::kShedExpired);
+  }
+  const GatewayStats stats = gateway.stats();
+  EXPECT_EQ(stats.shed_expired, 4u);
+  EXPECT_EQ(stats.served, 0u);
+  expect_conservation(stats);
+  // The first request reached the chain and missed its deadline there;
+  // the ones behind it expired in the queue without costing a call.
+  EXPECT_LT(primary_.calls(), 4u);
+}
+
+TEST_F(GatewayTest, RetryBudgetBoundsRetryStorms) {
+  GatewayConfig cfg = config(2, 32);
+  cfg.initial_retry_tokens = 2.0;
+  cfg.retry_ratio = 0.0;  // nothing earned back: exactly 2 retries exist
+  ServeGateway gateway(chain(), cfg);
+
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  for (int i = 0; i < 6; ++i) {
+    ScoreRequest request;
+    request.client_id = "stormy";
+    request.is_retry = true;
+    const ScoreResult result = gateway.submit(std::move(request)).get();
+    if (result.status == RequestStatus::kShedRetryBudget) {
+      ++rejected;
+    } else {
+      ASSERT_EQ(result.status, RequestStatus::kServed);
+      ++admitted;
+    }
+  }
+  EXPECT_EQ(admitted, 2u);
+  EXPECT_EQ(rejected, 4u);
+
+  // A different client has its own untouched budget.
+  ScoreRequest other;
+  other.client_id = "calm";
+  other.is_retry = true;
+  EXPECT_EQ(gateway.submit(std::move(other)).get().status,
+            RequestStatus::kServed);
+  expect_conservation(gateway.stats());
+}
+
+TEST_F(GatewayTest, FirstTryTrafficEarnsRetryTokensBack) {
+  GatewayConfig cfg = config(1, 32);
+  cfg.initial_retry_tokens = 1.0;
+  cfg.retry_ratio = 1.0;  // 1 accepted first-try = 1 retry allowance
+  ServeGateway gateway(chain(), cfg);
+
+  auto retry = [&] {
+    ScoreRequest request;
+    request.client_id = "worker-bee";
+    request.is_retry = true;
+    return gateway.submit(std::move(request)).get().status;
+  };
+  EXPECT_EQ(retry(), RequestStatus::kServed);            // spends the seed
+  EXPECT_EQ(retry(), RequestStatus::kShedRetryBudget);   // budget empty
+  ScoreRequest first_try;
+  first_try.client_id = "worker-bee";
+  EXPECT_EQ(gateway.submit(std::move(first_try)).get().status,
+            RequestStatus::kServed);                     // earns one back
+  EXPECT_EQ(retry(), RequestStatus::kServed);
+}
+
+TEST_F(GatewayTest, GracefulShutdownShedsQueuedFinishesInFlight) {
+  primary_.set_delay_ms(50);
+  ServeGateway gateway(chain(), config(1, 16));
+
+  std::vector<std::future<ScoreResult>> futures;
+  for (int i = 0; i < 6; ++i) futures.push_back(gateway.submit({}));
+  // Give the single worker time to pick up the first request, then
+  // drain while the rest are still queued.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  gateway.shutdown();
+
+  std::uint64_t served = 0;
+  std::uint64_t shed_shutdown = 0;
+  for (auto& future : futures) {
+    const ScoreResult result = future.get();
+    if (result.status == RequestStatus::kServed) {
+      ++served;
+    } else {
+      ASSERT_EQ(result.status, RequestStatus::kShedShutdown);
+      ++shed_shutdown;
+    }
+  }
+  EXPECT_GE(served, 1u);         // the in-flight request finished
+  EXPECT_GE(shed_shutdown, 1u);  // the queue was shed, not abandoned
+  EXPECT_EQ(served + shed_shutdown, 6u);
+  expect_conservation(gateway.stats());
+
+  // Admission after drain sheds immediately and keeps counting.
+  EXPECT_EQ(gateway.submit({}).get().status, RequestStatus::kShedShutdown);
+  expect_conservation(gateway.stats());
+  gateway.shutdown();  // idempotent
+}
+
+TEST_F(GatewayTest, AggregatedHealthMergesEveryWorkerChain) {
+  ServeGateway gateway(chain(), config(3, 32));
+  std::vector<std::future<ScoreResult>> futures;
+  for (int i = 0; i < 30; ++i) futures.push_back(gateway.submit({}));
+  for (auto& future : futures) future.get();
+
+  const auto health = gateway.aggregated_health();
+  EXPECT_EQ(health.requests, 30u);
+  ASSERT_EQ(health.tiers.size(), 2u);
+  EXPECT_EQ(health.tiers[0].name, "primary");
+  EXPECT_EQ(health.tiers[0].served, 30u);
+  EXPECT_EQ(health.tiers[0].attempts, 30u);
+  EXPECT_FALSE(health.tiers[0].circuit_open);
+  EXPECT_EQ(health.tiers[1].served, 0u);
+}
+
+TEST_F(GatewayTest, ResetCircuitsReachesEveryWorker) {
+  primary_.set_failing(true);
+  GatewayConfig cfg = config(2, 32);
+  cfg.resilient.failure_threshold = 1;
+  cfg.resilient.retry_after = 1000;
+  ServeGateway gateway(chain(), cfg);
+
+  std::vector<std::future<ScoreResult>> futures;
+  for (int i = 0; i < 10; ++i) futures.push_back(gateway.submit({}));
+  for (auto& future : futures) future.get();
+  ASSERT_TRUE(gateway.aggregated_health().tiers[0].circuit_open);
+
+  primary_.set_failing(false);
+  gateway.reset_circuits();
+  EXPECT_FALSE(gateway.aggregated_health().tiers[0].circuit_open);
+  EXPECT_EQ(gateway.submit({}).get().tier, 0);
+}
+
+TEST_F(GatewayTest, ConcurrentClientsConserveEveryRequest) {
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 100;
+  primary_.set_delay_ms(1);
+  ServeGateway gateway(chain(), config(2, 8));
+
+  std::atomic<std::uint64_t> answered{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        ScoreRequest request;
+        request.user = static_cast<std::uint32_t>(i % kUsers);
+        request.client_id = "client-" + std::to_string(c);
+        request.priority =
+            (i % 4 == 0) ? Priority::kHigh : Priority::kNormal;
+        const ScoreResult result = gateway.submit(std::move(request)).get();
+        if (result.status == RequestStatus::kServed) answered.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  const GatewayStats stats = gateway.stats();
+  EXPECT_EQ(stats.submitted,
+            static_cast<std::uint64_t>(kClients) * kPerClient);
+  EXPECT_EQ(stats.served, answered.load());
+  expect_conservation(stats);
+}
+
+TEST(GatewayConfig, FromEnvReadsServeVariables) {
+  setenv("CKAT_SERVE_THREADS", "3", 1);
+  setenv("CKAT_SERVE_QUEUE_DEPTH", "7", 1);
+  GatewayConfig config = GatewayConfig::from_env();
+  EXPECT_EQ(config.threads, 3);
+  EXPECT_EQ(config.queue_depth, 7u);
+
+  setenv("CKAT_SERVE_THREADS", "not-a-number", 1);
+  setenv("CKAT_SERVE_QUEUE_DEPTH", "-4", 1);
+  config = GatewayConfig::from_env();
+  EXPECT_EQ(config.threads, 0);       // invalid -> built-in default
+  EXPECT_EQ(config.queue_depth, 0u);
+
+  unsetenv("CKAT_SERVE_THREADS");
+  unsetenv("CKAT_SERVE_QUEUE_DEPTH");
+  config = GatewayConfig::from_env();
+  EXPECT_EQ(config.threads, 0);
+  EXPECT_EQ(config.queue_depth, 0u);
+}
+
+TEST(RetryBackoff, DeterministicJitteredExponentialWithCap) {
+  // Same (attempt, client) -> same wait, bit for bit.
+  EXPECT_EQ(retry_backoff_ms(3, 42), retry_backoff_ms(3, 42));
+  // Distinct clients decorrelate.
+  EXPECT_NE(retry_backoff_ms(3, 42), retry_backoff_ms(3, 43));
+
+  // Jittered exponential: attempt k lands in [raw/2, raw) where raw
+  // doubles from base_ms and saturates at cap_ms.
+  const double base = 5.0;
+  const double cap = 200.0;
+  double raw = base;
+  for (int attempt = 1; attempt <= 12; ++attempt) {
+    for (std::uint64_t client : {0ull, 7ull, 12345ull}) {
+      const double wait = retry_backoff_ms(attempt, client, base, cap);
+      EXPECT_GE(wait, raw * 0.5) << "attempt " << attempt;
+      EXPECT_LT(wait, raw) << "attempt " << attempt;
+    }
+    raw = std::min(raw * 2.0, cap);
+  }
+}
+
+}  // namespace
+}  // namespace ckat::serve

@@ -312,11 +312,12 @@ TEST_F(ResilientTest, HealthToJsonRendersAllTierFields) {
             "primary: simulated failure");
   EXPECT_EQ(tiers[1].at("served").as_number(), 1.0);
   for (const char* field :
-       {"served", "failures", "exceptions", "deadline_misses", "skipped_open",
-        "attempts", "circuit_open", "latency_min_ms", "latency_mean_ms",
-        "latency_max_ms"}) {
+       {"served", "failures", "exceptions", "deadline_misses", "corrupted",
+        "skipped_open", "attempts", "circuit_open", "latency_min_ms",
+        "latency_mean_ms", "latency_max_ms"}) {
     EXPECT_NE(tiers[0].find(field), nullptr) << field;
   }
+  EXPECT_EQ(doc.at("budget_exhausted").as_number(), 0.0);
 }
 
 TEST(PopularityRecommender, ScoresTrainCounts) {

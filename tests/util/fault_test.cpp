@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 #include <vector>
 
 namespace ckat::util {
@@ -83,6 +85,92 @@ TEST(FaultInjector, ScopeGuardDisarmsOnExit) {
   }
   EXPECT_FALSE(FaultInjector::instance().enabled());
   EXPECT_FALSE(FaultInjector::instance().should_fire("scoped"));
+}
+
+TEST(FaultInjector, DelayPointReturnsDelayOnFiringHitsOnly) {
+  FaultScope guard("slow", FaultSpec{.every = 2, .delay_ms = 12.5});
+  FaultInjector& injector = FaultInjector::instance();
+  std::vector<double> delays;
+  for (int i = 0; i < 6; ++i) {
+    delays.push_back(injector.fire_delay_ms("slow"));
+  }
+  EXPECT_EQ(delays, (std::vector<double>{12.5, 0.0, 12.5, 0.0, 12.5, 0.0}));
+  EXPECT_EQ(injector.hits("slow"), 6u);
+  EXPECT_EQ(injector.fires("slow"), 3u);
+}
+
+TEST(FaultInjector, DelayDefaultsToZeroEvenWhenFiring) {
+  // A point armed without delay_ms still follows its schedule (the fire
+  // is counted) but asks the call site to sleep 0 ms.
+  FaultScope guard("slow", FaultSpec{.every = 1});
+  FaultInjector& injector = FaultInjector::instance();
+  EXPECT_EQ(injector.fire_delay_ms("slow"), 0.0);
+  EXPECT_EQ(injector.fires("slow"), 1u);
+}
+
+TEST(FaultInjector, DisarmedDelayPointIsSilent) {
+  FaultInjector& injector = FaultInjector::instance();
+  injector.reset();
+  EXPECT_EQ(injector.fire_delay_ms("nothing.armed"), 0.0);
+  EXPECT_EQ(injector.hits("nothing.armed"), 0u);
+}
+
+// Concurrency: the schedule must count every hit exactly once across
+// threads — an every=1 point fires on each of N*M hits, no more, no
+// less. (This is the TSan target for the injector.)
+TEST(FaultInjector, ConcurrentHitsAreCountedExactly) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  FaultScope guard("hot", FaultSpec{.every = 1});
+  FaultInjector& injector = FaultInjector::instance();
+
+  std::atomic<std::uint64_t> observed_fires{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      std::uint64_t local = 0;
+      for (int i = 0; i < kPerThread; ++i) {
+        if (injector.should_fire("hot")) ++local;
+      }
+      observed_fires.fetch_add(local);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto total = static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(observed_fires.load(), total);
+  EXPECT_EQ(injector.hits("hot"), total);
+  EXPECT_EQ(injector.fires("hot"), total);
+}
+
+// Arm/disarm racing against hot should_fire() calls on the same and on
+// unarmed points: no crashes, no torn state, and the unarmed point
+// never fires.
+TEST(FaultInjector, ConcurrentArmDisarmIsSafe) {
+  FaultInjector& injector = FaultInjector::instance();
+  injector.reset();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> stray_fires{0};
+  std::vector<std::thread> hammers;
+  for (int t = 0; t < 4; ++t) {
+    hammers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        injector.should_fire("flappy");
+        if (injector.should_fire("never.armed")) stray_fires.fetch_add(1);
+      }
+    });
+  }
+  for (int i = 0; i < 500; ++i) {
+    injector.arm("flappy", FaultSpec{.every = 3});
+    injector.disarm("flappy");
+  }
+  stop.store(true);
+  for (auto& t : hammers) t.join();
+
+  EXPECT_EQ(stray_fires.load(), 0u);
+  injector.reset();
+  EXPECT_FALSE(injector.enabled());
 }
 
 }  // namespace
