@@ -10,8 +10,10 @@
 
 #include "nn/init.hpp"
 #include "nn/serialize.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/contract.hpp"
 #include "util/fault.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -40,18 +42,19 @@ struct TrainTelemetry {
 
   static TrainTelemetry& instance() {
     auto& r = obs::MetricsRegistry::global();
+    namespace names = obs::metric_names;
     static TrainTelemetry t{
-        r.histogram("ckat_train_cf_step_seconds"),
-        r.histogram("ckat_train_kg_step_seconds"),
-        r.histogram("ckat_train_epoch_seconds"),
-        r.gauge("ckat_train_last_cf_loss"),
-        r.gauge("ckat_train_last_kg_loss"),
-        r.gauge("ckat_train_epochs_completed"),
-        r.gauge("ckat_train_lr_scale"),
-        r.counter("ckat_train_checkpoint_writes_total"),
-        r.counter("ckat_train_checkpoint_write_failures_total"),
-        r.counter("ckat_train_rollbacks_total"),
-        r.counter("ckat_train_nonfinite_epochs_total"),
+        r.histogram(names::kTrainCfStepSeconds),
+        r.histogram(names::kTrainKgStepSeconds),
+        r.histogram(names::kTrainEpochSeconds),
+        r.gauge(names::kTrainLastCfLoss),
+        r.gauge(names::kTrainLastKgLoss),
+        r.gauge(names::kTrainEpochsCompleted),
+        r.gauge(names::kTrainLrScale),
+        r.counter(names::kTrainCheckpointWritesTotal),
+        r.counter(names::kTrainCheckpointWriteFailuresTotal),
+        r.counter(names::kTrainRollbacksTotal),
+        r.counter(names::kTrainNonfiniteEpochsTotal),
     };
     return t;
   }
@@ -327,6 +330,26 @@ void CkatModel::fit() {
 
   start_epoch_ = 0;
   cache_final_representations();
+
+#if defined(CKAT_VALIDATE)
+  // Post-fit boundary: the cached representations feed every score()
+  // call; a NaN that slipped past the divergence-rollback guard would
+  // otherwise poison serving silently.
+  {
+    const float* data = final_representations_.data();
+    std::size_t bad = final_representations_.size();
+    for (std::size_t i = 0; i < final_representations_.size(); ++i) {
+      if (!std::isfinite(data[i])) {
+        bad = i;
+        break;
+      }
+    }
+    CKAT_CHECK_INVARIANT(
+        bad == final_representations_.size(),
+        "non-finite final representation at flat index " +
+            std::to_string(bad));
+  }
+#endif
   fitted_ = true;
 }
 

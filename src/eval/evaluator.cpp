@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
@@ -28,7 +29,8 @@ TopKMetrics evaluate_topk(const Recommender& model,
   const bool telemetry = obs::telemetry_enabled();
   obs::Histogram* scoring_latency =
       telemetry ? &obs::MetricsRegistry::global().histogram(
-                      "ckat_eval_score_seconds", {{"model", model_name}})
+                      obs::metric_names::kEvalScoreSeconds,
+                      {{"model", model_name}})
                 : nullptr;
 
   TopKMetrics total;

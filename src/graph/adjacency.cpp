@@ -4,6 +4,11 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/contract.hpp"
+#if defined(CKAT_VALIDATE)
+#include "graph/validator.hpp"
+#endif
+
 namespace ckat::graph {
 
 Adjacency::Adjacency(std::span<const Triple> triples, std::size_t n_entities,
@@ -50,6 +55,15 @@ Adjacency::Adjacency(std::span<const Triple> triples, std::size_t n_entities,
   heads_ = std::move(sorted_heads);
   relations_ = std::move(sorted_relations);
   tails_ = std::move(sorted_tails);
+
+#if defined(CKAT_VALIDATE)
+  // Subgraph-merge boundary: the counting sort above is the only place
+  // the CSR layout is established, so a bug here corrupts every
+  // propagation pass downstream.
+  const auto issues = CkgValidator::validate(*this);
+  CKAT_CHECK_INVARIANT(issues.empty(),
+                       "Adjacency CSR: " + format_issues(issues));
+#endif
 }
 
 }  // namespace ckat::graph

@@ -4,6 +4,11 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "util/contract.hpp"
+#if defined(CKAT_VALIDATE)
+#include "graph/validator.hpp"
+#endif
+
 namespace ckat::graph {
 
 CollaborativeKg::CollaborativeKg(
@@ -72,6 +77,15 @@ CollaborativeKg::CollaborativeKg(
   };
   dedup(triples_);
   dedup(knowledge_triples_);
+
+#if defined(CKAT_VALIDATE)
+  // Subgraph-merge boundary: UIG + UUG + selected IAG sources were just
+  // fused under the dense entity-id layout; check segment alignment and
+  // vocab ranges before any model consumes the graph.
+  const auto issues = CkgValidator::validate(*this);
+  CKAT_CHECK_INVARIANT(issues.empty(),
+                       "CollaborativeKg: " + format_issues(issues));
+#endif
 }
 
 KgStats CollaborativeKg::stats() const {

@@ -4,6 +4,11 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "util/contract.hpp"
+#if defined(CKAT_VALIDATE)
+#include "graph/validator.hpp"
+#endif
+
 namespace ckat::graph {
 
 namespace {
@@ -89,6 +94,14 @@ void TripleStore::merge(const TripleStore& other) {
     triples_.push_back(Triple{entity_map[t.head], relation_map[t.relation],
                               entity_map[t.tail]});
   }
+
+#if defined(CKAT_VALIDATE)
+  // Subgraph-merge boundary: the remap above must land every id inside
+  // the merged vocabularies (entity alignment by name).
+  const auto issues = CkgValidator::validate(*this);
+  CKAT_CHECK_INVARIANT(issues.empty(),
+                       "TripleStore::merge: " + format_issues(issues));
+#endif
 }
 
 }  // namespace ckat::graph

@@ -1,0 +1,228 @@
+#include "graph/validator.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ckat::graph {
+
+namespace {
+
+/// Caps per-class noise: a corrupt array yields thousands of identical
+/// issues; the first few locate the bug, the count says how widespread.
+constexpr std::size_t kMaxIssuesPerCheck = 8;
+
+class IssueList {
+ public:
+  void add(std::string check, std::string detail) {
+    std::size_t& seen = per_check_[check];
+    ++seen;
+    if (seen <= kMaxIssuesPerCheck) {
+      issues_.push_back({std::move(check), std::move(detail)});
+    }
+  }
+  [[nodiscard]] std::vector<ValidationIssue> take() { return std::move(issues_); }
+
+ private:
+  std::vector<ValidationIssue> issues_;
+  std::unordered_map<std::string, std::size_t> per_check_;
+};
+
+}  // namespace
+
+std::string format_issues(std::span<const ValidationIssue> issues,
+                          std::size_t max_items) {
+  if (issues.empty()) return "no issues";
+  std::string out = std::to_string(issues.size()) + " issue(s): ";
+  const std::size_t shown = std::min(issues.size(), max_items);
+  for (std::size_t i = 0; i < shown; ++i) {
+    if (i > 0) out += "; ";
+    out += issues[i].check + " (" + issues[i].detail + ")";
+  }
+  if (shown < issues.size()) out += "; ...";
+  return out;
+}
+
+std::vector<ValidationIssue> validate_csr(
+    std::span<const std::int64_t> offsets,
+    std::span<const std::uint32_t> heads,
+    std::span<const std::uint32_t> relations,
+    std::span<const std::uint32_t> tails, std::size_t n_entities,
+    std::size_t n_relations) {
+  IssueList issues;
+  const std::size_t n_edges = heads.size();
+
+  if (relations.size() != n_edges || tails.size() != n_edges) {
+    issues.add("csr.edge_arrays",
+               "heads/relations/tails sizes " + std::to_string(n_edges) + "/" +
+                   std::to_string(relations.size()) + "/" +
+                   std::to_string(tails.size()));
+  }
+  if (offsets.size() != n_entities + 1) {
+    issues.add("csr.offsets_size",
+               "got " + std::to_string(offsets.size()) + ", want " +
+                   std::to_string(n_entities + 1));
+    return issues.take();  // offset-indexed checks below would be UB
+  }
+  if (offsets.front() != 0) {
+    issues.add("csr.offsets_anchor",
+               "offsets[0] = " + std::to_string(offsets.front()));
+  }
+  if (offsets.back() != static_cast<std::int64_t>(n_edges)) {
+    issues.add("csr.offsets_bounds",
+               "offsets.back() = " + std::to_string(offsets.back()) +
+                   ", nnz = " + std::to_string(n_edges));
+  }
+  std::int64_t degree_sum = 0;
+  for (std::size_t h = 0; h < n_entities; ++h) {
+    const std::int64_t begin = offsets[h];
+    const std::int64_t end = offsets[h + 1];
+    if (end < begin) {
+      issues.add("csr.offsets_monotone",
+                 "offsets[" + std::to_string(h + 1) + "] = " +
+                     std::to_string(end) + " < offsets[" + std::to_string(h) +
+                     "] = " + std::to_string(begin));
+      continue;
+    }
+    degree_sum += end - begin;
+    if (begin < 0 || end > static_cast<std::int64_t>(n_edges)) {
+      issues.add("csr.offsets_bounds",
+                 "head " + std::to_string(h) + " range [" +
+                     std::to_string(begin) + ", " + std::to_string(end) + ")");
+      continue;
+    }
+    for (std::int64_t e = begin; e < end; ++e) {
+      if (heads[static_cast<std::size_t>(e)] != h) {
+        issues.add("csr.head_bucket",
+                   "edge " + std::to_string(e) + " has head " +
+                       std::to_string(heads[static_cast<std::size_t>(e)]) +
+                       ", bucketed under " + std::to_string(h));
+      }
+    }
+  }
+  if (degree_sum != static_cast<std::int64_t>(n_edges)) {
+    issues.add("csr.degree_sum",
+               "sum of degrees " + std::to_string(degree_sum) + " != nnz " +
+                   std::to_string(n_edges));
+  }
+  for (std::size_t e = 0; e < n_edges; ++e) {
+    if (heads[e] >= n_entities ||
+        (e < tails.size() && tails[e] >= n_entities)) {
+      issues.add("csr.entity_range",
+                 "edge " + std::to_string(e) + ": head " +
+                     std::to_string(heads[e]) + " tail " +
+                     std::to_string(e < tails.size() ? tails[e] : 0) +
+                     ", n_entities " + std::to_string(n_entities));
+    }
+    if (e < relations.size() && relations[e] >= n_relations) {
+      issues.add("csr.relation_range",
+                 "edge " + std::to_string(e) + ": relation " +
+                     std::to_string(relations[e]) + ", n_relations " +
+                     std::to_string(n_relations));
+    }
+  }
+  return issues.take();
+}
+
+std::vector<ValidationIssue> validate_ckg_triples(
+    std::span<const Triple> triples, std::size_t n_users, std::size_t n_items,
+    std::size_t n_entities, std::size_t n_relations) {
+  IssueList issues;
+  if (n_users + n_items > n_entities) {
+    issues.add("ckg.segment_sizes",
+               "users " + std::to_string(n_users) + " + items " +
+                   std::to_string(n_items) + " > entities " +
+                   std::to_string(n_entities));
+    return issues.take();
+  }
+  const std::uint32_t items_begin = static_cast<std::uint32_t>(n_users);
+  const std::uint32_t attrs_begin =
+      static_cast<std::uint32_t>(n_users + n_items);
+  const auto is_user = [&](std::uint32_t e) { return e < items_begin; };
+  const auto is_item = [&](std::uint32_t e) {
+    return e >= items_begin && e < attrs_begin;
+  };
+  const auto is_attr = [&](std::uint32_t e) { return e >= attrs_begin; };
+
+  for (std::size_t i = 0; i < triples.size(); ++i) {
+    const Triple& t = triples[i];
+    const std::string at = "triple " + std::to_string(i) + " (" +
+                           std::to_string(t.head) + ", " +
+                           std::to_string(t.relation) + ", " +
+                           std::to_string(t.tail) + ")";
+    if (t.head >= n_entities || t.tail >= n_entities) {
+      issues.add("ckg.entity_range",
+                 at + ", n_entities " + std::to_string(n_entities));
+      continue;
+    }
+    if (t.relation >= n_relations) {
+      issues.add("ckg.relation_range",
+                 at + ", n_relations " + std::to_string(n_relations));
+      continue;
+    }
+    if (t.relation == CollaborativeKg::interact_relation()) {
+      // UIG user->item or UUG user->user.
+      if (!is_user(t.head) || is_attr(t.tail)) {
+        issues.add("ckg.interact_alignment", at);
+      }
+    } else {
+      // IAG item->attribute or attribute->attribute.
+      if (is_user(t.head) || is_user(t.tail) || !is_attr(t.tail)) {
+        issues.add("ckg.knowledge_alignment", at);
+      }
+    }
+  }
+  return issues.take();
+}
+
+std::vector<ValidationIssue> validate_store_triples(
+    std::span<const Triple> triples, std::size_t n_entities,
+    std::size_t n_relations) {
+  IssueList issues;
+  for (std::size_t i = 0; i < triples.size(); ++i) {
+    const Triple& t = triples[i];
+    if (t.head >= n_entities || t.tail >= n_entities) {
+      issues.add("store.entity_range",
+                 "triple " + std::to_string(i) + ": head " +
+                     std::to_string(t.head) + " tail " +
+                     std::to_string(t.tail) + ", n_entities " +
+                     std::to_string(n_entities));
+    }
+    if (t.relation >= n_relations) {
+      issues.add("store.relation_range",
+                 "triple " + std::to_string(i) + ": relation " +
+                     std::to_string(t.relation) + ", n_relations " +
+                     std::to_string(n_relations));
+    }
+  }
+  return issues.take();
+}
+
+std::vector<ValidationIssue> CkgValidator::validate(
+    const Adjacency& adjacency) {
+  return validate_csr(adjacency.offsets(), adjacency.heads(),
+                      adjacency.relations(), adjacency.tails(),
+                      adjacency.n_entities(), adjacency.n_relations());
+}
+
+std::vector<ValidationIssue> CkgValidator::validate(
+    const CollaborativeKg& ckg) {
+  std::vector<ValidationIssue> issues = validate_ckg_triples(
+      ckg.triples(), ckg.n_users(), ckg.n_items(), ckg.n_entities(),
+      ckg.n_relations());
+  // Both vectors are sorted + deduplicated by construction, so subset
+  // checking is one linear merge pass.
+  if (!std::includes(ckg.triples().begin(), ckg.triples().end(),
+                     ckg.knowledge_triples().begin(),
+                     ckg.knowledge_triples().end())) {
+    issues.push_back({"ckg.knowledge_subset",
+                      "knowledge_triples() is not a subset of triples()"});
+  }
+  return issues;
+}
+
+std::vector<ValidationIssue> CkgValidator::validate(const TripleStore& store) {
+  return validate_store_triples(store.triples(), store.entities().size(),
+                                store.relations().size());
+}
+
+}  // namespace ckat::graph

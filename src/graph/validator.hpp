@@ -1,0 +1,84 @@
+// Structural validation of the CKG and its CSR adjacency.
+//
+// KGAT-style pipelines fail silently when graph construction drifts: a
+// mis-sorted CSR, an entity id outside its segment or a relation outside
+// the vocab produces plausible-looking (wrong) embeddings rather than a
+// crash. CkgValidator machine-checks the layout contracts documented in
+// ckg.hpp and adjacency.hpp:
+//
+//   CSR        offsets monotone, 0-anchored, in-bounds; degree-sum equals
+//              nnz; edge arrays equal length; edges bucketed under the
+//              head their CSR slot claims.
+//   Alignment  the dense entity-id layout [users | items | attributes] is
+//              respected by every triple: "interact" edges (relation 0)
+//              connect user->item or user->user (UIG/UUG), knowledge
+//              edges connect item->attribute or attribute->attribute
+//              (IAG) under a non-interact relation.
+//   Vocab      every relation id is within the relation vocabulary.
+//
+// The free functions operate on raw spans so tests can hand in
+// deliberately corrupted arrays; the class wrappers validate live
+// objects. Construction-time hooks in Adjacency / CollaborativeKg /
+// TripleStore::merge run these under -DCKAT_VALIDATE=ON only (see
+// util/contract.hpp); calling the validator directly works in any build.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/adjacency.hpp"
+#include "graph/ckg.hpp"
+#include "graph/triple_store.hpp"
+
+namespace ckat::graph {
+
+/// One detected breakage. `check` is a stable machine-readable class
+/// (tests match on it); `detail` pinpoints the offending index/value.
+struct ValidationIssue {
+  std::string check;
+  std::string detail;
+};
+
+/// Joins issues into one human-readable line for contract messages.
+[[nodiscard]] std::string format_issues(
+    std::span<const ValidationIssue> issues, std::size_t max_items = 4);
+
+/// Validates a head-grouped CSR edge layout. Checks (issue `check` ids):
+///   csr.offsets_size, csr.offsets_anchor, csr.offsets_monotone,
+///   csr.offsets_bounds, csr.degree_sum, csr.edge_arrays,
+///   csr.head_bucket, csr.entity_range, csr.relation_range
+[[nodiscard]] std::vector<ValidationIssue> validate_csr(
+    std::span<const std::int64_t> offsets,
+    std::span<const std::uint32_t> heads,
+    std::span<const std::uint32_t> relations,
+    std::span<const std::uint32_t> tails, std::size_t n_entities,
+    std::size_t n_relations);
+
+/// Validates CKG triples against the dense entity-id segment layout.
+/// Checks: ckg.segment_sizes, ckg.relation_range, ckg.entity_range,
+///   ckg.interact_alignment, ckg.knowledge_alignment
+[[nodiscard]] std::vector<ValidationIssue> validate_ckg_triples(
+    std::span<const Triple> triples, std::size_t n_users,
+    std::size_t n_items, std::size_t n_entities, std::size_t n_relations);
+
+/// Validates raw triple-store contents against its vocab sizes.
+/// Checks: store.entity_range, store.relation_range
+[[nodiscard]] std::vector<ValidationIssue> validate_store_triples(
+    std::span<const Triple> triples, std::size_t n_entities,
+    std::size_t n_relations);
+
+class CkgValidator {
+ public:
+  [[nodiscard]] static std::vector<ValidationIssue> validate(
+      const Adjacency& adjacency);
+  /// Runs the triple/alignment checks plus knowledge_triples() being a
+  /// subset of triples() (check id: ckg.knowledge_subset).
+  [[nodiscard]] static std::vector<ValidationIssue> validate(
+      const CollaborativeKg& ckg);
+  [[nodiscard]] static std::vector<ValidationIssue> validate(
+      const TripleStore& store);
+};
+
+}  // namespace ckat::graph

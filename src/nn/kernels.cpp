@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdint>
 
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #endif
 
@@ -45,9 +46,9 @@ struct KernelCounters {
 
   explicit KernelCounters(const char* op)
       : calls(obs::MetricsRegistry::global().counter(
-            "ckat_kernel_calls_total", {{"op", op}})),
+            obs::metric_names::kKernelCallsTotal, {{"op", op}})),
         cycles(obs::MetricsRegistry::global().counter(
-            "ckat_kernel_cycles_total", {{"op", op}})) {}
+            obs::metric_names::kKernelCyclesTotal, {{"op", op}})) {}
 };
 
 class KernelScope {

@@ -1,0 +1,60 @@
+// Central registry of every metric series name the library emits.
+//
+// Call sites resolve registry handles by these constants instead of
+// ad-hoc string literals: ckat-lint (rule ckat-metric-registry) rejects a
+// literal first argument to .counter()/.gauge()/.histogram() anywhere in
+// src/ so a name can only be introduced here — one place to scan for the
+// full telemetry surface (DESIGN.md section 7 documents the semantics),
+// one place a rename has to touch, and no silent near-duplicate series
+// ("ckat_gateway_request_total" vs "..._requests_total") from a typo at
+// a call site. Label *values* remain free-form at the call site; only
+// series names are registered.
+#pragma once
+
+namespace ckat::obs::metric_names {
+
+// Fault injection (src/util/fault.cpp), labeled {point}.
+inline constexpr const char* kFaultFiredTotal = "ckat_fault_fired_total";
+
+// nn kernel cycle counters (src/nn/kernels.cpp, CKAT_PROFILE_KERNELS
+// builds only), labeled {op}.
+inline constexpr const char* kKernelCallsTotal = "ckat_kernel_calls_total";
+inline constexpr const char* kKernelCyclesTotal = "ckat_kernel_cycles_total";
+
+// CKAT training loop (src/core/ckat.cpp).
+inline constexpr const char* kTrainCfStepSeconds = "ckat_train_cf_step_seconds";
+inline constexpr const char* kTrainKgStepSeconds = "ckat_train_kg_step_seconds";
+inline constexpr const char* kTrainEpochSeconds = "ckat_train_epoch_seconds";
+inline constexpr const char* kTrainLastCfLoss = "ckat_train_last_cf_loss";
+inline constexpr const char* kTrainLastKgLoss = "ckat_train_last_kg_loss";
+inline constexpr const char* kTrainEpochsCompleted =
+    "ckat_train_epochs_completed";
+inline constexpr const char* kTrainLrScale = "ckat_train_lr_scale";
+inline constexpr const char* kTrainCheckpointWritesTotal =
+    "ckat_train_checkpoint_writes_total";
+inline constexpr const char* kTrainCheckpointWriteFailuresTotal =
+    "ckat_train_checkpoint_write_failures_total";
+inline constexpr const char* kTrainRollbacksTotal = "ckat_train_rollbacks_total";
+inline constexpr const char* kTrainNonfiniteEpochsTotal =
+    "ckat_train_nonfinite_epochs_total";
+
+// Evaluator scoring latency (src/eval/evaluator.cpp), labeled {model}.
+inline constexpr const char* kEvalScoreSeconds = "ckat_eval_score_seconds";
+
+// Degraded-mode serving chain (src/serve/resilient.cpp), labeled {tier}
+// (+ {to} for circuit transitions).
+inline constexpr const char* kServeTierLatencySeconds =
+    "ckat_serve_tier_latency_seconds";
+inline constexpr const char* kServeCircuitTransitionsTotal =
+    "ckat_serve_circuit_transitions_total";
+
+// Serving gateway (src/serve/gateway.cpp), labeled {outcome}.
+inline constexpr const char* kGatewayRequestsTotal =
+    "ckat_gateway_requests_total";
+inline constexpr const char* kGatewayQueueSeconds = "ckat_gateway_queue_seconds";
+inline constexpr const char* kGatewayServedSeconds =
+    "ckat_gateway_served_seconds";
+inline constexpr const char* kGatewayQueueHighWater =
+    "ckat_gateway_queue_high_water";
+
+}  // namespace ckat::obs::metric_names

@@ -8,12 +8,14 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/env.hpp"
+
 namespace ckat::obs {
 
 namespace {
 
 std::atomic<bool> g_telemetry_enabled{[] {
-  const char* env = std::getenv("CKAT_OBS");
+  const char* env = util::env_raw("CKAT_OBS");
   if (env == nullptr) return true;
   return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
            std::strcmp(env, "OFF") == 0);

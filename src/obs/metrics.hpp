@@ -160,7 +160,7 @@ class MetricsRegistry {
                         Kind kind, std::vector<double>* bounds);
 
   mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Entry>> entries_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // guarded by mutex_
 };
 
 /// Renders name{k="v",...} (or just name with no labels) -- the series

@@ -8,6 +8,7 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "util/env.hpp"
 
 namespace ckat::obs {
 
@@ -110,7 +111,7 @@ class TraceSink {
 
  private:
   TraceSink() {
-    if (const char* env = std::getenv("CKAT_TRACE_FILE");
+    if (const char* env = util::env_raw("CKAT_TRACE_FILE");
         env != nullptr && env[0] != '\0') {
       path_ = env;
       configured_.store(true, std::memory_order_relaxed);

@@ -5,7 +5,10 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "obs/metric_names.hpp"
 #include "obs/trace.hpp"
+#include "util/contract.hpp"
+#include "util/env.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -16,7 +19,7 @@ namespace {
 /// Parses a positive integer from an environment variable; 0 when the
 /// variable is unset or unusable (caller falls back to its default).
 long env_positive_long(const char* name) {
-  const char* raw = std::getenv(name);
+  const char* raw = util::env_raw(name);
   if (raw == nullptr || *raw == '\0') return 0;
   char* end = nullptr;
   const long value = std::strtol(raw, &end, 10);
@@ -108,7 +111,7 @@ ServeGateway::ServeGateway(std::vector<const eval::Recommender*> tiers,
 
   auto& registry = obs::MetricsRegistry::global();
   auto outcome_counter = [&registry](const char* outcome) {
-    return &registry.counter("ckat_gateway_requests_total",
+    return &registry.counter(obs::metric_names::kGatewayRequestsTotal,
                              {{"outcome", outcome}});
   };
   requests_served_ = outcome_counter("served");
@@ -117,10 +120,12 @@ ServeGateway::ServeGateway(std::vector<const eval::Recommender*> tiers,
   requests_shed_expired_ = outcome_counter("shed_expired");
   requests_shed_retry_budget_ = outcome_counter("shed_retry_budget");
   requests_shed_shutdown_ = outcome_counter("shed_shutdown");
-  queue_wait_seconds_ = &registry.histogram("ckat_gateway_queue_seconds");
-  request_seconds_ = &registry.histogram("ckat_gateway_served_seconds");
+  queue_wait_seconds_ =
+      &registry.histogram(obs::metric_names::kGatewayQueueSeconds);
+  request_seconds_ =
+      &registry.histogram(obs::metric_names::kGatewayServedSeconds);
   queue_high_water_gauge_ =
-      &registry.gauge("ckat_gateway_queue_high_water");
+      &registry.gauge(obs::metric_names::kGatewayQueueHighWater);
 
   for (auto& worker : workers_) {
     worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
@@ -298,6 +303,21 @@ void ServeGateway::shutdown() {
       {{"shed_shutdown", std::to_string(leftovers.size())}});
   CKAT_LOG_INFO("[gateway] drained: %zu queued requests shed at shutdown",
                 leftovers.size());
+
+#if defined(CKAT_VALIDATE)
+  // Conservation self-check: with admission closed, the queue drained
+  // and every worker joined, nothing is in flight, so the identity from
+  // the file header must hold exactly.
+  {
+    const GatewayStats s = stats();
+    CKAT_CHECK_INVARIANT(
+        s.submitted == s.served + s.zero_filled + s.shed_total(),
+        "gateway conservation: submitted=" + std::to_string(s.submitted) +
+            " served=" + std::to_string(s.served) +
+            " zero_filled=" + std::to_string(s.zero_filled) +
+            " shed_total=" + std::to_string(s.shed_total()));
+  }
+#endif
   shutdown_done_ = true;
 }
 

@@ -210,7 +210,7 @@ class ServeGateway {
   bool shutdown_done_ = false;  // guarded by shutdown_mutex_
 
   std::mutex retry_mutex_;
-  std::unordered_map<std::string, double> retry_tokens_;
+  std::unordered_map<std::string, double> retry_tokens_;  // guarded by retry_mutex_
 
   // Conservation counters (relaxed atomics: summed, never compared
   // across each other mid-flight).

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metric_names.hpp"
 #include "obs/trace.hpp"
 #include "util/fault.hpp"
 #include "util/logging.hpp"
@@ -66,13 +67,13 @@ ResilientRecommender::ResilientRecommender(
     TierState& state = states_[i];
     state.stats.name = tiers_[i]->name();
     const obs::LabelSet tier_label = {{"tier", state.stats.name}};
-    state.latency_hist =
-        &registry.histogram("ckat_serve_tier_latency_seconds", tier_label);
+    state.latency_hist = &registry.histogram(
+        obs::metric_names::kServeTierLatencySeconds, tier_label);
     state.open_transitions = &registry.counter(
-        "ckat_serve_circuit_transitions_total",
+        obs::metric_names::kServeCircuitTransitionsTotal,
         {{"tier", state.stats.name}, {"to", "open"}});
     state.close_transitions = &registry.counter(
-        "ckat_serve_circuit_transitions_total",
+        obs::metric_names::kServeCircuitTransitionsTotal,
         {{"tier", state.stats.name}, {"to", "closed"}});
   }
 }

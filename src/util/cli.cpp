@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "util/env.hpp"
+
 namespace ckat::util {
 
 CliArgs::CliArgs(int argc, const char* const* argv) {
@@ -57,7 +59,7 @@ bool CliArgs::get_bool(const std::string& name, bool fallback) const {
 }
 
 int epoch_scale_percent() {
-  const char* env = std::getenv("CKAT_EPOCH_SCALE_PCT");
+  const char* env = env_raw("CKAT_EPOCH_SCALE_PCT");
   if (env == nullptr) return 100;
   const int pct = std::atoi(env);
   return pct > 0 ? pct : 100;

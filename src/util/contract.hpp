@@ -1,0 +1,68 @@
+// Debug runtime contracts, compiled in under -DCKAT_VALIDATE=ON.
+//
+// CKAT_ASSERT checks a local precondition; CKAT_CHECK_INVARIANT checks a
+// cross-cutting structural invariant (CSR layout, entity alignment,
+// gateway conservation). Both throw ContractViolation with file:line and
+// the failed expression, so validate-build tests can EXPECT_THROW on
+// deliberately corrupted inputs instead of relying on death tests.
+//
+// In the default build both macros compile to a no-op that does not
+// evaluate its arguments: guard any non-trivial validation work (building
+// issue lists, scanning tensors) in `#if defined(CKAT_VALIDATE)` blocks
+// so release binaries carry zero cost. See DESIGN.md section 10 for the
+// measured overhead of the validate build.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ckat::util {
+
+/// Thrown by CKAT_ASSERT / CKAT_CHECK_INVARIANT in validate builds.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// True when the build carries runtime contracts (-DCKAT_VALIDATE=ON).
+[[nodiscard]] constexpr bool validate_enabled() noexcept {
+#if defined(CKAT_VALIDATE)
+  return true;
+#else
+  return false;
+#endif
+}
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const std::string& detail,
+                                       const char* file, int line) {
+  std::string message = std::string(file) + ":" + std::to_string(line) + ": " +
+                        kind + " failed: " + expr;
+  if (!detail.empty()) message += " -- " + detail;
+  throw ContractViolation(message);
+}
+
+}  // namespace ckat::util
+
+#if defined(CKAT_VALIDATE)
+#define CKAT_ASSERT(cond, detail)                                        \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::ckat::util::contract_fail("CKAT_ASSERT", #cond, (detail),        \
+                                  __FILE__, __LINE__);                   \
+    }                                                                    \
+  } while (0)
+#define CKAT_CHECK_INVARIANT(cond, detail)                               \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::ckat::util::contract_fail("CKAT_CHECK_INVARIANT", #cond,         \
+                                  (detail), __FILE__, __LINE__);         \
+    }                                                                    \
+  } while (0)
+#else
+// sizeof keeps the condition type-checked (so contracts cannot bit-rot in
+// the default build) without evaluating it. The detail expression is
+// dropped entirely; keep side effects out of both arguments.
+#define CKAT_ASSERT(cond, detail) ((void)sizeof(!(cond)))
+#define CKAT_CHECK_INVARIANT(cond, detail) ((void)sizeof(!(cond)))
+#endif

@@ -1,0 +1,69 @@
+// Central registry of every CKAT_* runtime environment variable.
+//
+// This header is the single place the process reads the environment:
+// ckat-lint (tools/ckat_lint) rejects `getenv` anywhere else in the tree
+// and rejects any "CKAT_*" string literal that is not registered below,
+// and it cross-checks this list against the README's runtime-
+// configuration table in both directions — a variable cannot ship
+// undocumented, and the README cannot document a variable that no code
+// reads.
+//
+// Header-only on purpose: ckat_obs sits below ckat_util in the link
+// graph (util links obs PUBLIC), yet obs/metrics.cpp and obs/trace.cpp
+// also read CKAT_* variables. Keeping the registry free of out-of-line
+// symbols lets every layer include it without a dependency cycle.
+//
+// To add a variable: add an X(...) row here, document it in the README
+// table ("Runtime configuration"), and read it via env_raw(). Build-time
+// CMake options (CKAT_VALIDATE, CKAT_SANITIZE, ...) are not environment
+// variables and do not belong in this list.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "util/contract.hpp"
+
+namespace ckat::util {
+
+// name, one-line summary (kept in sync with the README table by lint's
+// presence check; the prose there is the authoritative documentation).
+#define CKAT_ENV_REGISTRY(X)                                            \
+  X(CKAT_LOG_LEVEL, "log threshold: debug|info|warn|error")             \
+  X(CKAT_LOG_JSON, "1/true/on renders each stderr log line as JSON")    \
+  X(CKAT_TRACE_FILE, "path that enables JSONL scoped tracing")          \
+  X(CKAT_OBS, "0/off disables metrics and tracing")                     \
+  X(CKAT_EPOCH_SCALE_PCT, "1-100 scales every model's training epochs") \
+  X(CKAT_SERVE_THREADS, "serving-gateway worker pool size")             \
+  X(CKAT_SERVE_QUEUE_DEPTH, "bound of the gateway admission queue")
+
+/// One registry row, exposed for tooling (ckat-lint, run reports).
+struct EnvVarInfo {
+  const char* name;
+  const char* summary;
+};
+
+inline constexpr EnvVarInfo kEnvRegistry[] = {
+#define X(name, summary) {#name, summary},
+    CKAT_ENV_REGISTRY(X)
+#undef X
+};
+
+[[nodiscard]] inline bool env_registered(std::string_view name) noexcept {
+  for (const EnvVarInfo& var : kEnvRegistry) {
+    if (name == var.name) return true;
+  }
+  return false;
+}
+
+/// The project's only environment read. Returns nullptr when unset.
+/// Validate builds reject unregistered names so a new variable cannot
+/// bypass the registry at runtime even if it slips past lint.
+[[nodiscard]] inline const char* env_raw(const char* name) {
+  CKAT_ASSERT(env_registered(name),
+              std::string("unregistered environment variable: ") + name);
+  return std::getenv(name);  // NOLINT(ckat-env-registry): the registry's own lookup
+}
+
+}  // namespace ckat::util

@@ -1,5 +1,6 @@
 #include "util/fault.hpp"
 
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/rng.hpp"
@@ -16,18 +17,21 @@ void FaultInjector::arm(const std::string& point, FaultSpec spec) {
   auto [it, inserted] = points_.insert_or_assign(point, PointState{});
   it->second.spec = spec;
   it->second.rng_state = spec.seed;
+  // NOLINTNEXTLINE(ckat-relaxed-atomic): write is under mutex_; relaxed load in enabled() only gates a racy fast path
   if (inserted) armed_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void FaultInjector::disarm(const std::string& point) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (points_.erase(point) > 0) {
+    // NOLINTNEXTLINE(ckat-relaxed-atomic): write is under mutex_; pairs with the racy pre-check in enabled()
     armed_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void FaultInjector::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
+  // NOLINTNEXTLINE(ckat-relaxed-atomic): write is under mutex_; pairs with the racy pre-check in enabled()
   armed_.store(0, std::memory_order_relaxed);
   points_.clear();
 }
@@ -69,7 +73,7 @@ bool FaultInjector::fire_common(const std::string& point, double* delay_ms) {
     // Emitted outside the lock: the metrics registry and trace sink
     // have their own synchronization.
     obs::MetricsRegistry::global()
-        .counter("ckat_fault_fired_total", {{"point", point}})
+        .counter(obs::metric_names::kFaultFiredTotal, {{"point", point}})
         .inc();
     obs::trace_event("fault.fired", {{"point", point}});
   }

@@ -86,6 +86,7 @@ class FaultInjector {
   /// True when at least one point is armed (fast pre-check so disarmed
   /// builds pay one atomic load, not a map lookup).
   [[nodiscard]] bool enabled() const noexcept {
+    // NOLINTNEXTLINE(ckat-relaxed-atomic): racy pre-check only; a stale 0 just skips injection for one call, callers that fire re-check under mutex_
     return armed_.load(std::memory_order_relaxed) > 0;
   }
 
@@ -112,7 +113,7 @@ class FaultInjector {
   /// sites stay lock-free; all transitions happen under mutex_.
   std::atomic<int> armed_{0};
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, PointState> points_;
+  std::unordered_map<std::string, PointState> points_;  // guarded by mutex_
 };
 
 /// RAII guard that disarms the given point (or every point when

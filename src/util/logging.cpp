@@ -8,6 +8,7 @@
 #include <ctime>
 
 #include "obs/json.hpp"
+#include "util/env.hpp"
 
 namespace ckat::util {
 
@@ -59,7 +60,7 @@ void set_log_json(bool enabled) noexcept {
 }
 
 void init_logging_from_env() {
-  if (const char* env = std::getenv("CKAT_LOG_LEVEL")) {
+  if (const char* env = env_raw("CKAT_LOG_LEVEL")) {
     const std::string level = lowercase(env);
     if (level == "debug") set_log_level(LogLevel::kDebug);
     else if (level == "info") set_log_level(LogLevel::kInfo);
@@ -78,7 +79,7 @@ void init_logging_from_env() {
       }
     }
   }
-  if (const char* env = std::getenv("CKAT_LOG_JSON")) {
+  if (const char* env = env_raw("CKAT_LOG_JSON")) {
     const std::string flag = lowercase(env);
     set_log_json(flag == "1" || flag == "true" || flag == "on");
   }

@@ -1,0 +1,282 @@
+#include "graph/validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/contract.hpp"
+
+namespace ckat::graph {
+namespace {
+
+bool has_check(const std::vector<ValidationIssue>& issues,
+               const std::string& check) {
+  return std::any_of(issues.begin(), issues.end(),
+                     [&](const ValidationIssue& i) { return i.check == check; });
+}
+
+std::vector<Triple> triangle() {
+  return {{0, 0, 1}, {0, 0, 2}, {1, 1, 2}};
+}
+
+// -- validate_csr: one test per breakage class ------------------------------
+
+TEST(ValidateCsr, ValidAdjacencyHasNoIssues) {
+  const auto triples = triangle();
+  Adjacency adj(triples, 3, 2, /*add_inverse=*/true);
+  EXPECT_TRUE(CkgValidator::validate(adj).empty());
+}
+
+TEST(ValidateCsr, WrongOffsetsSize) {
+  const std::vector<std::int64_t> offsets = {0, 1};  // want n_entities + 1 = 4
+  const std::vector<std::uint32_t> heads = {0};
+  const auto issues = validate_csr(offsets, heads, heads, heads, 3, 2);
+  EXPECT_TRUE(has_check(issues, "csr.offsets_size"));
+}
+
+TEST(ValidateCsr, OffsetsNotAnchoredAtZero) {
+  const std::vector<std::int64_t> offsets = {1, 2, 3, 3};
+  const std::vector<std::uint32_t> heads = {0, 1, 2};
+  const auto issues = validate_csr(offsets, heads, heads, heads, 3, 3);
+  EXPECT_TRUE(has_check(issues, "csr.offsets_anchor"));
+}
+
+TEST(ValidateCsr, NonMonotoneOffsets) {
+  const std::vector<std::int64_t> offsets = {0, 2, 1, 3};
+  const std::vector<std::uint32_t> heads = {0, 0, 2};
+  const auto issues = validate_csr(offsets, heads, heads, heads, 3, 3);
+  EXPECT_TRUE(has_check(issues, "csr.offsets_monotone"));
+}
+
+TEST(ValidateCsr, OffsetsPastNnz) {
+  const std::vector<std::int64_t> offsets = {0, 2, 3, 5};  // nnz is 3
+  const std::vector<std::uint32_t> heads = {0, 0, 1};
+  const auto issues = validate_csr(offsets, heads, heads, heads, 3, 3);
+  EXPECT_TRUE(has_check(issues, "csr.offsets_bounds"));
+}
+
+TEST(ValidateCsr, DegreeSumBelowNnz) {
+  // Offsets only account for 2 of the 3 edges.
+  const std::vector<std::int64_t> offsets = {0, 1, 2, 2};
+  const std::vector<std::uint32_t> heads = {0, 1, 2};
+  const auto issues = validate_csr(offsets, heads, heads, heads, 3, 3);
+  EXPECT_TRUE(has_check(issues, "csr.degree_sum"));
+}
+
+TEST(ValidateCsr, EdgeBucketedUnderWrongHead) {
+  // Slot [0, 2) belongs to head 0, but edge 1 records head 1.
+  const std::vector<std::int64_t> offsets = {0, 2, 3, 3};
+  const std::vector<std::uint32_t> heads = {0, 1, 1};
+  const std::vector<std::uint32_t> rels = {0, 0, 0};
+  const std::vector<std::uint32_t> tails = {1, 2, 2};
+  const auto issues = validate_csr(offsets, heads, rels, tails, 3, 3);
+  EXPECT_TRUE(has_check(issues, "csr.head_bucket"));
+}
+
+TEST(ValidateCsr, EntityOutOfRange) {
+  const std::vector<std::int64_t> offsets = {0, 1, 1, 1};
+  const std::vector<std::uint32_t> heads = {0};
+  const std::vector<std::uint32_t> rels = {0};
+  const std::vector<std::uint32_t> tails = {99};
+  const auto issues = validate_csr(offsets, heads, rels, tails, 3, 3);
+  EXPECT_TRUE(has_check(issues, "csr.entity_range"));
+}
+
+TEST(ValidateCsr, RelationOutOfRange) {
+  const std::vector<std::int64_t> offsets = {0, 1, 1, 1};
+  const std::vector<std::uint32_t> heads = {0};
+  const std::vector<std::uint32_t> rels = {7};
+  const std::vector<std::uint32_t> tails = {1};
+  const auto issues = validate_csr(offsets, heads, rels, tails, 3, 3);
+  EXPECT_TRUE(has_check(issues, "csr.relation_range"));
+}
+
+TEST(ValidateCsr, MismatchedEdgeArrays) {
+  const std::vector<std::int64_t> offsets = {0, 2, 2, 2};
+  const std::vector<std::uint32_t> heads = {0, 0};
+  const std::vector<std::uint32_t> rels = {0};  // one short
+  const std::vector<std::uint32_t> tails = {1, 2};
+  const auto issues = validate_csr(offsets, heads, rels, tails, 3, 3);
+  EXPECT_TRUE(has_check(issues, "csr.edge_arrays"));
+}
+
+// -- validate_ckg_triples: entity-alignment classes -------------------------
+// Layout: 2 users [0,2), 2 items [2,4), 1 attribute [4,5); relation 0 is
+// "interact", relation 1 a knowledge relation.
+
+constexpr std::size_t kUsers = 2, kItems = 2, kEntities = 5, kRelations = 2;
+
+TEST(ValidateCkg, AlignedTriplesHaveNoIssues) {
+  const std::vector<Triple> triples = {
+      {0, 0, 2},  // UIG user -> item
+      {0, 0, 1},  // UUG user -> user
+      {2, 1, 4},  // IAG item -> attribute
+      {4, 1, 4},  // IAG attribute -> attribute
+  };
+  EXPECT_TRUE(validate_ckg_triples(triples, kUsers, kItems, kEntities,
+                                   kRelations)
+                  .empty());
+}
+
+TEST(ValidateCkg, SegmentSizesExceedEntities) {
+  const auto issues = validate_ckg_triples({}, 4, 4, 5, kRelations);
+  EXPECT_TRUE(has_check(issues, "ckg.segment_sizes"));
+}
+
+TEST(ValidateCkg, EntityOutOfRange) {
+  const std::vector<Triple> triples = {{9, 0, 2}};
+  const auto issues =
+      validate_ckg_triples(triples, kUsers, kItems, kEntities, kRelations);
+  EXPECT_TRUE(has_check(issues, "ckg.entity_range"));
+}
+
+TEST(ValidateCkg, RelationOutOfRange) {
+  const std::vector<Triple> triples = {{0, 7, 2}};
+  const auto issues =
+      validate_ckg_triples(triples, kUsers, kItems, kEntities, kRelations);
+  EXPECT_TRUE(has_check(issues, "ckg.relation_range"));
+}
+
+TEST(ValidateCkg, InteractEdgeFromItemBreaksAlignment) {
+  const std::vector<Triple> triples = {{2, 0, 3}};  // item -> item interact
+  const auto issues =
+      validate_ckg_triples(triples, kUsers, kItems, kEntities, kRelations);
+  EXPECT_TRUE(has_check(issues, "ckg.interact_alignment"));
+}
+
+TEST(ValidateCkg, InteractEdgeIntoAttributeBreaksAlignment) {
+  const std::vector<Triple> triples = {{0, 0, 4}};  // user -> attribute
+  const auto issues =
+      validate_ckg_triples(triples, kUsers, kItems, kEntities, kRelations);
+  EXPECT_TRUE(has_check(issues, "ckg.interact_alignment"));
+}
+
+TEST(ValidateCkg, KnowledgeEdgeTouchingUserBreaksAlignment) {
+  const std::vector<Triple> head_user = {{0, 1, 4}};
+  EXPECT_TRUE(has_check(validate_ckg_triples(head_user, kUsers, kItems,
+                                             kEntities, kRelations),
+                        "ckg.knowledge_alignment"));
+  const std::vector<Triple> tail_user = {{2, 1, 1}};
+  EXPECT_TRUE(has_check(validate_ckg_triples(tail_user, kUsers, kItems,
+                                             kEntities, kRelations),
+                        "ckg.knowledge_alignment"));
+}
+
+TEST(ValidateCkg, KnowledgeEdgeIntoItemBreaksAlignment) {
+  const std::vector<Triple> triples = {{2, 1, 3}};  // item -> item knowledge
+  const auto issues =
+      validate_ckg_triples(triples, kUsers, kItems, kEntities, kRelations);
+  EXPECT_TRUE(has_check(issues, "ckg.knowledge_alignment"));
+}
+
+// -- validate_store_triples -------------------------------------------------
+
+TEST(ValidateStore, OutOfRangeIdsAreFlagged) {
+  const std::vector<Triple> triples = {{9, 0, 0}, {0, 9, 0}};
+  const auto issues = validate_store_triples(triples, 3, 2);
+  EXPECT_TRUE(has_check(issues, "store.entity_range"));
+  EXPECT_TRUE(has_check(issues, "store.relation_range"));
+}
+
+TEST(ValidateStore, LiveStorePasses) {
+  TripleStore store;
+  store.add("item:0", "locatedAt", "site:A");
+  store.add("site:A", "inRegion", "region:R");
+  EXPECT_TRUE(CkgValidator::validate(store).empty());
+}
+
+TEST(ValidateStore, MergeKeepsStoreValid) {
+  TripleStore a;
+  a.add("item:0", "locatedAt", "site:A");
+  TripleStore b;
+  b.add("item:1", "locatedAt", "site:A");
+  b.add("site:A", "inRegion", "region:R");
+  // Under -DCKAT_VALIDATE=ON this also exercises the merge-boundary
+  // contract hook (which throws on any validator issue).
+  a.merge(b);
+  EXPECT_TRUE(CkgValidator::validate(a).empty());
+  EXPECT_EQ(a.size(), 3u);
+}
+
+// -- format_issues ----------------------------------------------------------
+
+TEST(FormatIssues, CapsAndCounts) {
+  std::vector<ValidationIssue> issues;
+  for (int i = 0; i < 6; ++i) {
+    issues.push_back({"csr.head_bucket", "edge " + std::to_string(i)});
+  }
+  const std::string line = format_issues(issues, 2);
+  EXPECT_NE(line.find("6 issue(s)"), std::string::npos) << line;
+  EXPECT_NE(line.find("..."), std::string::npos) << line;
+  EXPECT_EQ(format_issues({}), "no issues");
+}
+
+// -- contract macros and construction-time hooks ----------------------------
+
+// The Adjacency/TripleStore ctors pre-validate their inputs eagerly
+// (std::out_of_range in every build); the CKAT_VALIDATE hooks guard the
+// *internal* layout those ctors establish.
+TEST(Contracts, AdjacencyCtorRejectsOutOfRangeInputsEagerly) {
+  const std::vector<Triple> bad_relation = {{0, 5, 1}};
+  EXPECT_THROW(Adjacency(bad_relation, 2, 2, /*add_inverse=*/false),
+               std::out_of_range);
+  const std::vector<Triple> bad_tail = {{0, 0, 9}};
+  EXPECT_THROW(Adjacency(bad_tail, 2, 1, /*add_inverse=*/false),
+               std::out_of_range);
+}
+
+/// A knowledge source that names its relation "interact" hijacks the
+/// reserved UIG/UUG relation id 0 for an item->attribute edge -- a
+/// structurally corrupt CKG that nothing else in construction rejects.
+CollaborativeKg build_hijacked_ckg() {
+  InteractionSet train(2, 2);
+  train.add(0, 0);
+  train.finalize();
+  KnowledgeSource rogue{"ROGUE", {}, {}};
+  rogue.item_triples.push_back({0, "interact", "site:A"});
+  return CollaborativeKg(train, {}, {rogue}, CkgOptions{false, {"ROGUE"}});
+}
+
+#if defined(CKAT_VALIDATE)
+
+TEST(Contracts, AssertEvaluatesAndThrowsInValidateBuild) {
+  int calls = 0;
+  CKAT_ASSERT(++calls == 1, "should pass");
+  EXPECT_EQ(calls, 1);
+  EXPECT_THROW(CKAT_ASSERT(false, "deliberate failure"),
+               util::ContractViolation);
+  EXPECT_THROW(CKAT_CHECK_INVARIANT(1 == 2, "deliberate failure"),
+               util::ContractViolation);
+}
+
+TEST(Contracts, CkgCtorHookRefusesHijackedInteractRelation) {
+  EXPECT_THROW(build_hijacked_ckg(), util::ContractViolation);
+}
+
+TEST(Contracts, ConstructionHooksAcceptValidGraphs) {
+  const auto triples = triangle();
+  EXPECT_NO_THROW(Adjacency(triples, 3, 2, /*add_inverse=*/true));
+}
+
+#else  // !CKAT_VALIDATE
+
+TEST(Contracts, AssertCompilesOutUnevaluated) {
+  int calls = 0;
+  CKAT_ASSERT(++calls == 1, "never evaluated");
+  CKAT_CHECK_INVARIANT(++calls == 1, "never evaluated");
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Contracts, DirectValidationStillFlagsHijackedInteractRelation) {
+  // Without CKAT_VALIDATE the ctor hook is compiled out: the corrupt
+  // CKG constructs silently, and only the validator flags it.
+  const CollaborativeKg ckg = build_hijacked_ckg();
+  EXPECT_TRUE(
+      has_check(CkgValidator::validate(ckg), "ckg.interact_alignment"));
+}
+
+#endif  // CKAT_VALIDATE
+
+}  // namespace
+}  // namespace ckat::graph

@@ -1,0 +1,7 @@
+// Fixture: detached thread.
+#include <thread>
+
+void fixture_detach_bad() {
+  std::thread worker([] {});
+  worker.detach();
+}

@@ -1,0 +1,7 @@
+// Fixture: joined thread.
+#include <thread>
+
+void fixture_detach_clean() {
+  std::thread worker([] {});
+  worker.join();
+}

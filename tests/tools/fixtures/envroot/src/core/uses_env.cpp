@@ -1,0 +1,4 @@
+// Fixture: references an unregistered CKAT_* variable in a string
+// literal (plus a registered one, which is fine).
+const char* fixture_registered() { return "CKAT_ALPHA"; }
+const char* fixture_unregistered() { return "CKAT_DELTA"; }

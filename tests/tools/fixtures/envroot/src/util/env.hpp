@@ -1,0 +1,7 @@
+// Fixture registry: CKAT_BETA is registered but undocumented in the
+// fixture README (one side of the bidirectional check).
+#pragma once
+
+#define CKAT_ENV_REGISTRY(X)                  \
+  X(CKAT_ALPHA, "fixture variable alpha")     \
+  X(CKAT_BETA, "fixture variable beta")

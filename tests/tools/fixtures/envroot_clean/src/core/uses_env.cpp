@@ -1,0 +1,2 @@
+// Fixture: only registered CKAT_* tokens appear in literals.
+const char* fixture_registered() { return "CKAT_ALPHA"; }

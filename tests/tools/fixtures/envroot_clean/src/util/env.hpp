@@ -1,0 +1,5 @@
+// Fixture registry: in sync with the fixture README.
+#pragma once
+
+#define CKAT_ENV_REGISTRY(X) \
+  X(CKAT_ALPHA, "fixture variable alpha")

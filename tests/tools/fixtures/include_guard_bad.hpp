@@ -1,0 +1,2 @@
+// Fixture: header with no #pragma once / #ifndef guard.
+inline int fixture_include_guard_bad() { return 1; }

@@ -1,0 +1,4 @@
+// Fixture: properly guarded header.
+#pragma once
+
+inline int fixture_include_guard_clean() { return 1; }

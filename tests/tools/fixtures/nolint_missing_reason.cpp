@@ -1,0 +1,8 @@
+// Fixture: ckat NOLINT without a reason -- it neither suppresses the
+// underlying diagnostic nor passes itself.
+#include <thread>
+
+void fixture_nolint_missing_reason() {
+  std::thread worker([] {});
+  worker.detach();  // NOLINT(ckat-detached-thread)
+}

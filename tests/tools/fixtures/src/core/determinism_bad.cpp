@@ -1,0 +1,16 @@
+// Fixture: every ckat-determinism pattern, one per line.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int fixture_determinism_bad() {
+  std::srand(42);
+  int a = std::rand();
+  long b = std::time(nullptr);
+  std::random_device rd;
+  std::mt19937 unseeded;
+  auto wall = std::chrono::system_clock::now().time_since_epoch().count();
+  long ticks = std::clock();
+  return a + static_cast<int>(b + rd() + unseeded() + wall + ticks);
+}

@@ -1,0 +1,10 @@
+// Fixture: the deterministic counterparts -- seeded engine, steady clock.
+#include <chrono>
+#include <random>
+
+int fixture_determinism_clean(unsigned seed) {
+  std::mt19937 seeded(seed);
+  std::mt19937_64 also_seeded{seed};
+  auto t0 = std::chrono::steady_clock::now().time_since_epoch().count();
+  return static_cast<int>(seeded() + also_seeded() + t0);
+}

@@ -1,0 +1,7 @@
+// Fixture: the same relaxed counter is fine under src/obs/ (allowlisted
+// metrics hot path).
+#include <atomic>
+
+void fixture_relaxed_clean(std::atomic<int>& counter) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+}

@@ -1,0 +1,4 @@
+// Fixture: direct getenv() instead of util::env_raw().
+#include <cstdlib>
+
+const char* fixture_env_bad() { return std::getenv("PATH"); }

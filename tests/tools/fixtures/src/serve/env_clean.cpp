@@ -1,0 +1,3 @@
+// Fixture: no direct environment reads (env_raw is the blessed path; the
+// real declaration lives in src/util/env.hpp which fixtures do not pull in).
+const char* fixture_env_clean() { return "no environment access here"; }

@@ -1,0 +1,14 @@
+// Fixture: ad-hoc metric name literals at the call site.
+struct FakeCounter {
+  void inc() {}
+};
+struct FakeRegistry {
+  FakeCounter& counter(const char*) { return c_; }
+  FakeCounter& gauge(const char*) { return c_; }
+  FakeCounter c_;
+};
+
+void fixture_metric_bad(FakeRegistry& reg) {
+  reg.counter("ckat_adhoc_total").inc();
+  reg.gauge("ckat_adhoc_value").inc();
+}

@@ -1,0 +1,15 @@
+// Fixture: metric names referenced through constants, not literals.
+namespace metric_names {
+inline constexpr const char* kAdhocTotal = "ckat_adhoc_total";
+}
+struct FakeCounter {
+  void inc() {}
+};
+struct FakeRegistry {
+  FakeCounter& counter(const char*) { return c_; }
+  FakeCounter c_;
+};
+
+void fixture_metric_clean(FakeRegistry& reg) {
+  reg.counter(metric_names::kAdhocTotal).inc();
+}

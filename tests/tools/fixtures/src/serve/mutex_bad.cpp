@@ -1,0 +1,11 @@
+// Fixture: guarded member touched without a lock guard.
+#include <mutex>
+
+class FixtureCounters {
+ public:
+  void unsafe_add(int by) { total_ += by; }
+
+ private:
+  std::mutex mutex_;
+  int total_ = 0;  // guarded by mutex_
+};

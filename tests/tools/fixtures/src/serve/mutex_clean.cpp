@@ -1,0 +1,14 @@
+// Fixture: guarded member always touched under a lock guard.
+#include <mutex>
+
+class FixtureCounters {
+ public:
+  void safe_add(int by) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_ += by;
+  }
+
+ private:
+  std::mutex mutex_;
+  int total_ = 0;  // guarded by mutex_
+};

@@ -1,0 +1,6 @@
+// Fixture: memory_order_relaxed outside the allowlisted files.
+#include <atomic>
+
+void fixture_relaxed_bad(std::atomic<int>& counter) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+}

@@ -1,0 +1,8 @@
+// Fixture: using-namespace directive in a header.
+#pragma once
+
+#include <string>
+
+using namespace std;
+
+inline string fixture_using_namespace_bad() { return "leaky"; }

@@ -1,0 +1,6 @@
+// Fixture: qualified names only.
+#pragma once
+
+#include <string>
+
+inline std::string fixture_using_namespace_clean() { return "contained"; }

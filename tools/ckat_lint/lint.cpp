@@ -1,0 +1,814 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace ckat::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule catalogue and per-rule configuration
+// ---------------------------------------------------------------------------
+
+constexpr const char* kDeterminism = "ckat-determinism";
+constexpr const char* kEnvRegistry = "ckat-env-registry";
+constexpr const char* kMetricRegistry = "ckat-metric-registry";
+constexpr const char* kRelaxedAtomic = "ckat-relaxed-atomic";
+constexpr const char* kDetachedThread = "ckat-detached-thread";
+constexpr const char* kMutexGuard = "ckat-mutex-guard";
+constexpr const char* kIncludeGuard = "ckat-include-guard";
+constexpr const char* kUsingNamespace = "ckat-using-namespace";
+constexpr const char* kNolintReason = "ckat-nolint-reason";
+constexpr const char* kIo = "ckat-io";
+
+/// Directories whose code must be bit-reproducible: all randomness flows
+/// from util::Rng and all timing from util::Timer (steady_clock).
+constexpr const char* kDeterministicDirs[] = {"src/core/", "src/nn/",
+                                              "src/graph/", "src/baselines/"};
+
+/// Files allowed to use memory_order_relaxed without a per-line NOLINT.
+/// Keep this list short and justified; everything else suppresses with
+/// `// NOLINT(ckat-relaxed-atomic): <reason>`.
+constexpr const char* kRelaxedAllowlist[] = {
+    // Metrics hot path: counters are summed at export time, never used
+    // to order other memory operations.
+    "src/obs/",
+    // Log level / warn-once flags: monotonic configuration reads.
+    "src/util/logging.cpp",
+    // Gateway conservation counters: documented in gateway.hpp ("summed,
+    // never compared across each other mid-flight").
+    "src/serve/gateway.cpp",
+};
+
+/// "CKAT_*" tokens that are legitimately not runtime environment
+/// variables (contract macros, build-time CMake options, the registry's
+/// own macro name).
+const std::set<std::string>& builtin_ckat_tokens() {
+  static const std::set<std::string> tokens = {
+      "CKAT_ASSERT",          "CKAT_CHECK_INVARIANT", "CKAT_VALIDATE",
+      "CKAT_SANITIZE",        "CKAT_PROFILE_KERNELS", "CKAT_ENV_REGISTRY",
+  };
+  return tokens;
+}
+
+bool is_header(const std::string& path) {
+  return path.ends_with(".hpp") || path.ends_with(".h") ||
+         path.ends_with(".hh");
+}
+
+bool path_contains(const std::string& path, const char* fragment) {
+  return path.find(fragment) != std::string::npos;
+}
+
+bool in_deterministic_dir(const std::string& path) {
+  for (const char* dir : kDeterministicDirs) {
+    if (path_contains(path, dir)) return true;
+  }
+  return false;
+}
+
+bool in_relaxed_allowlist(const std::string& path) {
+  for (const char* entry : kRelaxedAllowlist) {
+    if (path_contains(path, entry)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Lexing: strip comments, blank string/char literal contents, drop
+// preprocessor lines for the brace-tracking pass.
+// ---------------------------------------------------------------------------
+
+struct StringLiteral {
+  std::size_t line = 0;  // 1-based
+  std::string text;
+};
+
+struct SourceFile {
+  std::string path;
+  std::vector<std::string> raw;
+  /// Comments stripped, literal contents blanked (delimiters kept).
+  std::vector<std::string> code;
+  /// `code` with preprocessor lines additionally blanked; used by the
+  /// brace tracker so unbalanced braces in macros cannot skew it.
+  std::vector<std::string> code_nopp;
+  std::vector<StringLiteral> strings;
+  bool readable = false;
+};
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+/// Single pass over the raw text producing comment/string-stripped lines
+/// plus the collected string-literal contents.
+void lex(SourceFile& file) {
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delim;        // raw-string closing delimiter ")delim"
+  std::string literal;          // current string literal contents
+  std::size_t literal_line = 0;
+
+  file.code.reserve(file.raw.size());
+  for (std::size_t li = 0; li < file.raw.size(); ++li) {
+    const std::string& in = file.raw[li];
+    std::string out(in.size(), ' ');
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const char c = in[i];
+      const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            state = State::kLineComment;
+            ++i;
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            ++i;
+          } else if (c == '"' && i >= 1 && (in[i - 1] == 'R')) {
+            // Raw string R"delim( ... )delim"
+            out[i] = '"';
+            std::string delim;
+            std::size_t j = i + 1;
+            while (j < in.size() && in[j] != '(') delim += in[j++];
+            raw_delim = ")" + delim + "\"";
+            state = State::kRawString;
+            literal.clear();
+            literal_line = li + 1;
+            i = j;  // skip past '('
+          } else if (c == '"') {
+            out[i] = '"';
+            state = State::kString;
+            literal.clear();
+            literal_line = li + 1;
+          } else if (c == '\'') {
+            out[i] = '\'';
+            state = State::kChar;
+          } else {
+            out[i] = c;
+          }
+          break;
+        case State::kLineComment:
+          break;  // reset at end of line
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            ++i;
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            literal += c;
+            if (next != '\0') literal += next;
+            ++i;
+          } else if (c == '"') {
+            out[i] = '"';
+            file.strings.push_back({literal_line, literal});
+            state = State::kCode;
+          } else {
+            literal += c;
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            out[i] = '\'';
+            state = State::kCode;
+          }
+          break;
+        case State::kRawString:
+          if (c == ')' && in.compare(i, raw_delim.size(), raw_delim) == 0) {
+            file.strings.push_back({literal_line, literal});
+            i += raw_delim.size() - 1;
+            out[i] = '"';
+            state = State::kCode;
+          } else {
+            literal += c;
+          }
+          break;
+      }
+    }
+    if (state == State::kLineComment) state = State::kCode;
+    file.code.push_back(out);
+  }
+
+  // Blank preprocessor lines (and their backslash continuations).
+  file.code_nopp = file.code;
+  bool continuation = false;
+  for (std::size_t li = 0; li < file.code_nopp.size(); ++li) {
+    const std::string& line = file.code_nopp[li];
+    const std::size_t first = line.find_first_not_of(" \t");
+    const bool directive =
+        first != std::string::npos && line[first] == '#';
+    if (directive || continuation) {
+      continuation = !line.empty() && line.back() == '\\';
+      file.code_nopp[li] = std::string(line.size(), ' ');
+    } else {
+      continuation = false;
+    }
+  }
+}
+
+SourceFile load(const std::string& path) {
+  SourceFile file;
+  file.path = path;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return file;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  file.raw = split_lines(buffer.str());
+  file.readable = true;
+  lex(file);
+  return file;
+}
+
+// ---------------------------------------------------------------------------
+// NOLINT suppressions
+// ---------------------------------------------------------------------------
+
+struct Suppression {
+  std::size_t target_line = 0;   // line the suppression applies to
+  std::size_t comment_line = 0;  // line the comment sits on
+  std::set<std::string> rules;
+  bool has_reason = false;
+};
+
+void trim(std::string& s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.erase(s.begin());
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.pop_back();
+  }
+}
+
+std::vector<Suppression> collect_suppressions(const SourceFile& file) {
+  std::vector<Suppression> out;
+  for (std::size_t li = 0; li < file.raw.size(); ++li) {
+    const std::string& line = file.raw[li];
+    for (const char* marker : {"NOLINTNEXTLINE(", "NOLINT("}) {
+      std::size_t pos = line.find(marker);
+      if (pos == std::string::npos) continue;
+      // "NOLINT(" also matches inside "NOLINTNEXTLINE(" -- skip the dup.
+      if (std::string(marker) == "NOLINT(" && pos >= 8 &&
+          line.compare(pos - 8, 8, "NEXTLINE") == 0) {
+        continue;
+      }
+      const std::size_t open = pos + std::string(marker).size() - 1;
+      const std::size_t close = line.find(')', open);
+      if (close == std::string::npos) continue;
+      Suppression sup;
+      sup.comment_line = li + 1;
+      sup.target_line =
+          std::string(marker) == "NOLINTNEXTLINE(" ? li + 2 : li + 1;
+      std::string rules = line.substr(open + 1, close - open - 1);
+      std::istringstream items(rules);
+      std::string item;
+      bool any_ckat = false;
+      while (std::getline(items, item, ',')) {
+        trim(item);
+        if (item.rfind("ckat-", 0) == 0) any_ckat = true;
+        sup.rules.insert(item);
+      }
+      if (!any_ckat) continue;  // clang-tidy suppressions are not ours
+      std::string rest = line.substr(close + 1);
+      trim(rest);
+      sup.has_reason = rest.size() > 1 && rest.front() == ':';
+      out.push_back(std::move(sup));
+      break;  // one suppression comment per line
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-file context: guarded members, env registry, README table
+// ---------------------------------------------------------------------------
+
+struct GuardedMember {
+  std::string mutex_name;
+  std::string declared_in;
+};
+
+struct EnvRegistryEntry {
+  std::size_t line = 0;
+};
+
+struct Context {
+  std::map<std::string, GuardedMember> guarded;
+  bool have_registry = false;
+  std::map<std::string, EnvRegistryEntry> env_vars;  // name -> decl line
+  std::string env_hpp_path;
+  std::string readme_path;
+};
+
+/// Extracts the member name from a declaration line annotated with
+/// "// guarded by <mutex>": the last identifier before '=', '{' or ';'.
+std::string declared_member_name(const std::string& code_line) {
+  std::size_t end = code_line.size();
+  for (const char stop : {'=', '{', ';'}) {
+    const std::size_t pos = code_line.find(stop);
+    end = std::min(end, pos == std::string::npos ? code_line.size() : pos);
+  }
+  const std::string decl = code_line.substr(0, end);
+  static const std::regex ident("[A-Za-z_][A-Za-z0-9_]*");
+  std::string last;
+  for (auto it = std::sregex_iterator(decl.begin(), decl.end(), ident);
+       it != std::sregex_iterator(); ++it) {
+    last = it->str();
+  }
+  return last;
+}
+
+void collect_guarded_members(const SourceFile& file, Context& ctx) {
+  static const std::regex annotation("//\\s*guarded by\\s+([A-Za-z_]\\w*)");
+  for (std::size_t li = 0; li < file.raw.size(); ++li) {
+    std::smatch m;
+    if (!std::regex_search(file.raw[li], m, annotation)) continue;
+    const std::string member = declared_member_name(file.code[li]);
+    if (member.empty()) continue;
+    ctx.guarded[member] = GuardedMember{m[1].str(), file.path};
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The analyzer
+// ---------------------------------------------------------------------------
+
+class Analyzer {
+ public:
+  Analyzer(const LintOptions& options) : options_(options) {}
+
+  std::vector<Diagnostic> run(const std::vector<std::string>& paths) {
+    std::vector<SourceFile> files;
+    files.reserve(paths.size());
+    for (const std::string& path : paths) {
+      files.push_back(load(path));
+      if (!files.back().readable) {
+        add(path, 0, kIo, Severity::kError, "cannot read file");
+      }
+    }
+    if (!options_.root.empty()) load_registry();
+    for (const SourceFile& file : files) {
+      if (file.readable) collect_guarded_members(file, ctx_);
+    }
+    if (ctx_.have_registry) check_registry_vs_readme();
+    for (const SourceFile& file : files) {
+      if (file.readable) analyze(file);
+    }
+    std::sort(diags_.begin(), diags_.end(),
+              [](const Diagnostic& a, const Diagnostic& b) {
+                return std::tie(a.file, a.line, a.rule) <
+                       std::tie(b.file, b.line, b.rule);
+              });
+    return std::move(diags_);
+  }
+
+ private:
+  void add(std::string file, std::size_t line, std::string rule,
+           Severity severity, std::string message) {
+    diags_.push_back(
+        {std::move(file), line, std::move(rule), severity, std::move(message)});
+  }
+
+  // -- registry loading -----------------------------------------------------
+
+  void load_registry() {
+    ctx_.env_hpp_path = options_.root + "/src/util/env.hpp";
+    ctx_.readme_path = options_.root + "/README.md";
+    SourceFile env_hpp = load(ctx_.env_hpp_path);
+    if (!env_hpp.readable) {
+      add(ctx_.env_hpp_path, 0, kIo, Severity::kError,
+          "cannot read the env-var registry");
+      return;
+    }
+    static const std::regex row("^\\s*X\\((CKAT_[A-Z0-9_]+)");
+    for (std::size_t li = 0; li < env_hpp.raw.size(); ++li) {
+      std::smatch m;
+      if (std::regex_search(env_hpp.raw[li], m, row)) {
+        ctx_.env_vars[m[1].str()] = EnvRegistryEntry{li + 1};
+      }
+    }
+    ctx_.have_registry = true;
+  }
+
+  /// Both directions: every registered variable documented in the
+  /// README's runtime-configuration table, every table row registered.
+  void check_registry_vs_readme() {
+    SourceFile readme = load(ctx_.readme_path);
+    if (!readme.readable) {
+      add(ctx_.readme_path, 0, kIo, Severity::kError, "cannot read README");
+      return;
+    }
+    std::map<std::string, std::size_t> documented;  // var -> line
+    bool in_section = false;
+    static const std::regex cell("`(CKAT_[A-Z0-9_]+)`");
+    for (std::size_t li = 0; li < readme.raw.size(); ++li) {
+      const std::string& line = readme.raw[li];
+      if (line.find("Runtime configuration") != std::string::npos &&
+          line.rfind("#", 0) == 0) {
+        in_section = true;
+        continue;
+      }
+      if (in_section && (line.rfind("## ", 0) == 0 || line.rfind("# ", 0) == 0)) {
+        in_section = false;
+      }
+      if (!in_section || line.rfind("|", 0) != 0) continue;
+      std::smatch m;
+      if (std::regex_search(line, m, cell)) {
+        documented.emplace(m[1].str(), li + 1);
+      }
+    }
+    for (const auto& [name, entry] : ctx_.env_vars) {
+      if (!documented.count(name)) {
+        add(ctx_.env_hpp_path, entry.line, kEnvRegistry, Severity::kError,
+            "registered variable " + name +
+                " is missing from the README runtime-configuration table");
+      }
+    }
+    for (const auto& [name, line] : documented) {
+      if (!ctx_.env_vars.count(name)) {
+        add(ctx_.readme_path, line, kEnvRegistry, Severity::kError,
+            "README documents " + name +
+                " but it is not registered in src/util/env.hpp");
+      }
+    }
+  }
+
+  // -- per-file analysis ----------------------------------------------------
+
+  void analyze(const SourceFile& file) {
+    const std::vector<Suppression> suppressions = collect_suppressions(file);
+    std::vector<Diagnostic> candidates;
+    const auto candidate = [&](std::size_t line, const char* rule,
+                               Severity severity, std::string message) {
+      candidates.push_back(
+          {file.path, line, rule, severity, std::move(message)});
+    };
+
+    if (in_deterministic_dir(file.path)) check_determinism(file, candidate);
+    check_env(file, candidate);
+    if (path_contains(file.path, "src/") &&
+        !file.path.ends_with("metric_names.hpp")) {
+      check_metrics(file, candidate);
+    }
+    if (path_contains(file.path, "src/") && !in_relaxed_allowlist(file.path)) {
+      check_relaxed(file, candidate);
+    }
+    check_detached(file, candidate);
+    check_mutex_guard(file, candidate);
+    if (is_header(file.path)) {
+      check_include_guard(file, candidate);
+      check_using_namespace(file, candidate);
+    }
+
+    // Apply suppressions; a reason-less ckat NOLINT never suppresses and
+    // is flagged itself.
+    for (const Suppression& sup : suppressions) {
+      if (!sup.has_reason) {
+        add(file.path, sup.comment_line, kNolintReason, Severity::kError,
+            "NOLINT of a ckat rule requires a reason: "
+            "// NOLINT(ckat-...): <why this site is exempt>");
+      }
+    }
+    for (Diagnostic& diag : candidates) {
+      const bool suppressed = std::any_of(
+          suppressions.begin(), suppressions.end(),
+          [&](const Suppression& sup) {
+            return sup.has_reason && sup.target_line == diag.line &&
+                   sup.rules.count(diag.rule) > 0;
+          });
+      if (!suppressed) diags_.push_back(std::move(diag));
+    }
+  }
+
+  template <typename Emit>
+  void check_determinism(const SourceFile& file, const Emit& candidate) {
+    struct Pattern {
+      std::regex regex;
+      const char* what;
+      const char* fix;
+    };
+    static const std::vector<Pattern> patterns = {
+        {std::regex("\\bs?rand\\s*\\("), "rand()/srand()",
+         "use util::Rng seeded from the experiment seed"},
+        {std::regex("\\btime\\s*\\(\\s*(nullptr|NULL|0)\\s*\\)"),
+         "time(nullptr)", "derive timestamps outside the model layer"},
+        {std::regex("\\brandom_device\\b"), "std::random_device",
+         "use util::Rng; hardware entropy breaks bit-reproducibility"},
+        {std::regex("\\bmt19937(_64)?\\s+[A-Za-z_]\\w*\\s*(;|\\{\\s*\\})"),
+         "unseeded std::mt19937",
+         "seed explicitly, or use util::Rng"},
+        {std::regex("\\bsystem_clock\\b"), "wall-clock read (system_clock)",
+         "use util::Timer / steady_clock; wall time is not reproducible"},
+        {std::regex("\\bgettimeofday\\b"), "wall-clock read (gettimeofday)",
+         "use util::Timer / steady_clock"},
+        {std::regex("\\bclock\\s*\\(\\s*\\)"), "clock()",
+         "use util::Timer / steady_clock"},
+    };
+    for (std::size_t li = 0; li < file.code.size(); ++li) {
+      for (const Pattern& p : patterns) {
+        if (std::regex_search(file.code[li], p.regex)) {
+          candidate(li + 1, kDeterminism, Severity::kError,
+                    std::string(p.what) +
+                        " in a deterministic directory; " + p.fix);
+        }
+      }
+    }
+  }
+
+  template <typename Emit>
+  void check_env(const SourceFile& file, const Emit& candidate) {
+    static const std::regex getenv_call("\\bgetenv\\s*\\(");
+    for (std::size_t li = 0; li < file.code.size(); ++li) {
+      if (std::regex_search(file.code[li], getenv_call)) {
+        candidate(li + 1, kEnvRegistry, Severity::kError,
+                  "direct getenv(); read the environment through "
+                  "util::env_raw() (src/util/env.hpp)");
+      }
+    }
+    if (!ctx_.have_registry) return;
+    // env.hpp declares the registry tokens; don't flag the declarations.
+    if (file.path == ctx_.env_hpp_path ||
+        file.path.ends_with("src/util/env.hpp")) {
+      return;
+    }
+    static const std::regex token("CKAT_[A-Z0-9_]+");
+    for (const StringLiteral& literal : file.strings) {
+      for (auto it = std::sregex_iterator(literal.text.begin(),
+                                          literal.text.end(), token);
+           it != std::sregex_iterator(); ++it) {
+        const std::string name = it->str();
+        if (ctx_.env_vars.count(name) || builtin_ckat_tokens().count(name)) {
+          continue;
+        }
+        candidate(literal.line, kEnvRegistry, Severity::kError,
+                  "string literal references unregistered variable " + name +
+                      "; add it to CKAT_ENV_REGISTRY in src/util/env.hpp "
+                      "and the README table");
+      }
+    }
+  }
+
+  template <typename Emit>
+  void check_metrics(const SourceFile& file, const Emit& candidate) {
+    static const std::regex call(
+        "[.>]\\s*(counter|gauge|histogram)\\s*\\(\\s*\"");
+    for (std::size_t li = 0; li < file.code.size(); ++li) {
+      std::smatch m;
+      if (std::regex_search(file.code[li], m, call)) {
+        candidate(li + 1, kMetricRegistry, Severity::kError,
+                  "ad-hoc metric name literal at a ." + m[1].str() +
+                      "() call; declare the series name in "
+                      "obs/metric_names.hpp and reference the constant");
+      }
+    }
+  }
+
+  template <typename Emit>
+  void check_relaxed(const SourceFile& file, const Emit& candidate) {
+    for (std::size_t li = 0; li < file.code.size(); ++li) {
+      if (file.code[li].find("memory_order_relaxed") != std::string::npos) {
+        candidate(li + 1, kRelaxedAtomic, Severity::kError,
+                  "memory_order_relaxed outside the allowlisted hot-path "
+                  "files; use acquire/release (or add a NOLINT with the "
+                  "reason the relaxed ordering is safe)");
+      }
+    }
+  }
+
+  template <typename Emit>
+  void check_detached(const SourceFile& file, const Emit& candidate) {
+    static const std::regex detach("\\.\\s*detach\\s*\\(\\s*\\)");
+    for (std::size_t li = 0; li < file.code.size(); ++li) {
+      if (std::regex_search(file.code[li], detach)) {
+        candidate(li + 1, kDetachedThread, Severity::kError,
+                  "detached thread; join explicitly (shutdown must be able "
+                  "to drain every worker)");
+      }
+    }
+  }
+
+  /// Heuristic: inside each top-level function body, a member annotated
+  /// "// guarded by <mutex>" must co-occur with a lock guard. Tracks
+  /// braces on preprocessor-free text; constructors/destructors are
+  /// exempt (single-threaded setup).
+  template <typename Emit>
+  void check_mutex_guard(const SourceFile& file, const Emit& candidate) {
+    if (ctx_.guarded.empty()) return;
+    static const std::regex ctor_dtor("(~?)([A-Za-z_]\\w*)::~?\\2\\s*\\(");
+
+    // Phase 1: brace-track (on preprocessor-free text) which top-level
+    // function body each line belongs to. A line that merely contains
+    // part of a function (one-liner bodies, the closing brace) counts as
+    // belonging to it -- over-approximating by whole lines keeps the
+    // heuristic simple.
+    struct Function {
+      bool is_ctor = false;
+      bool saw_lock = false;
+      std::map<std::string, std::size_t> uses;  // member -> first line
+    };
+    std::vector<Function> functions;
+    std::vector<std::vector<std::size_t>> line_functions(
+        file.code_nopp.size());
+    struct Block {
+      bool is_function = false;
+    };
+    std::vector<Block> stack;
+    std::size_t current = SIZE_MAX;  // index into `functions`
+    std::size_t function_depth = 0;
+    std::string header;
+
+    for (std::size_t li = 0; li < file.code_nopp.size(); ++li) {
+      const auto mark = [&] {
+        if (current == SIZE_MAX) return;
+        std::vector<std::size_t>& marks = line_functions[li];
+        if (marks.empty() || marks.back() != current) marks.push_back(current);
+      };
+      mark();
+      for (char c : file.code_nopp[li]) {
+        if (c == '{') {
+          Block block;
+          if (current == SIZE_MAX) {
+            static const std::regex type_keyword(
+                "\\b(class|struct|union|enum|namespace)\\b");
+            const bool looks_like_function =
+                header.find('(') != std::string::npos &&
+                header.find(')') != std::string::npos &&
+                header.find('=') == std::string::npos &&
+                !std::regex_search(header, type_keyword);
+            if (looks_like_function) {
+              block.is_function = true;
+              current = functions.size();
+              Function fn;
+              fn.is_ctor = std::regex_search(header, ctor_dtor);
+              functions.push_back(fn);
+              function_depth = stack.size();
+              mark();
+            }
+          }
+          stack.push_back(block);
+          header.clear();
+        } else if (c == '}') {
+          if (!stack.empty()) {
+            const Block block = stack.back();
+            stack.pop_back();
+            if (block.is_function && current != SIZE_MAX &&
+                stack.size() == function_depth) {
+              current = SIZE_MAX;
+            }
+          }
+          header.clear();
+        } else if (c == ';') {
+          header.clear();
+        } else {
+          header += c;
+        }
+      }
+      header += ' ';  // line break acts as whitespace in the header
+    }
+
+    // Phase 2: per line, record lock guards and guarded-member uses
+    // against every function the line belongs to.
+    for (std::size_t li = 0; li < file.code_nopp.size(); ++li) {
+      if (line_functions[li].empty()) continue;
+      const std::string& line = file.code_nopp[li];
+      const bool has_lock = line.find("lock_guard") != std::string::npos ||
+                            line.find("unique_lock") != std::string::npos ||
+                            line.find("scoped_lock") != std::string::npos ||
+                            line.find("shared_lock") != std::string::npos ||
+                            line.find(".lock(") != std::string::npos ||
+                            line.find("->lock(") != std::string::npos;
+      for (const std::size_t fn : line_functions[li]) {
+        if (has_lock) functions[fn].saw_lock = true;
+        for (const auto& [member, info] : ctx_.guarded) {
+          std::size_t pos = line.find(member);
+          while (pos != std::string::npos) {
+            const bool left_ok =
+                pos == 0 ||
+                (!std::isalnum(static_cast<unsigned char>(line[pos - 1])) &&
+                 line[pos - 1] != '_');
+            const std::size_t end = pos + member.size();
+            const bool right_ok =
+                end >= line.size() ||
+                (!std::isalnum(static_cast<unsigned char>(line[end])) &&
+                 line[end] != '_');
+            if (left_ok && right_ok) {
+              functions[fn].uses.emplace(member, li + 1);
+              break;
+            }
+            pos = line.find(member, pos + 1);
+          }
+        }
+      }
+    }
+
+    for (const Function& fn : functions) {
+      if (fn.is_ctor || fn.saw_lock) continue;
+      for (const auto& [member, lineno] : fn.uses) {
+        candidate(lineno, kMutexGuard, Severity::kWarning,
+                  "member '" + member + "' (guarded by " +
+                      ctx_.guarded.at(member).mutex_name +
+                      ") is used in a function with no lock guard");
+      }
+    }
+  }
+
+  template <typename Emit>
+  void check_include_guard(const SourceFile& file, const Emit& candidate) {
+    for (std::size_t li = 0; li < file.code.size(); ++li) {
+      std::string line = file.code[li];
+      trim(line);
+      if (line.empty()) continue;
+      if (line.rfind("#pragma once", 0) == 0 || line.rfind("#ifndef", 0) == 0) {
+        return;
+      }
+      candidate(li + 1, kIncludeGuard, Severity::kError,
+                "header does not start with #pragma once (or an #ifndef "
+                "include guard)");
+      return;
+    }
+  }
+
+  template <typename Emit>
+  void check_using_namespace(const SourceFile& file, const Emit& candidate) {
+    static const std::regex directive("^\\s*using\\s+namespace\\b");
+    for (std::size_t li = 0; li < file.code.size(); ++li) {
+      if (std::regex_search(file.code[li], directive)) {
+        candidate(li + 1, kUsingNamespace, Severity::kError,
+                  "using-namespace directive in a header leaks into every "
+                  "includer; qualify names instead");
+      }
+    }
+  }
+
+  LintOptions options_;
+  Context ctx_;
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalogue() {
+  static const std::vector<RuleInfo> catalogue = {
+      {kDeterminism, Severity::kError,
+       "no rand()/time(nullptr)/random_device/unseeded mt19937/wall-clock "
+       "in src/core, src/nn, src/graph, src/baselines"},
+      {kEnvRegistry, Severity::kError,
+       "getenv only via src/util/env.hpp; CKAT_* literals registered and "
+       "documented in the README table (both directions)"},
+      {kMetricRegistry, Severity::kError,
+       "metric series names come from obs/metric_names.hpp, not call-site "
+       "literals"},
+      {kRelaxedAtomic, Severity::kError,
+       "memory_order_relaxed only in allowlisted files or under a "
+       "reasoned NOLINT"},
+      {kDetachedThread, Severity::kError, "no detached threads"},
+      {kMutexGuard, Severity::kWarning,
+       "members annotated '// guarded by <mutex>' are only touched under "
+       "a lock guard (heuristic)"},
+      {kIncludeGuard, Severity::kError,
+       "headers start with #pragma once or an #ifndef guard"},
+      {kUsingNamespace, Severity::kError, "no using-namespace in headers"},
+      {kNolintReason, Severity::kError,
+       "every NOLINT(ckat-*) carries ': <reason>'"},
+  };
+  return catalogue;
+}
+
+std::vector<Diagnostic> run_lint(const std::vector<std::string>& files,
+                                 const LintOptions& options) {
+  return Analyzer(options).run(files);
+}
+
+std::string render(const Diagnostic& diagnostic) {
+  return diagnostic.file + ":" + std::to_string(diagnostic.line) + ": " +
+         (diagnostic.severity == Severity::kError ? "error" : "warning") +
+         ": [" + diagnostic.rule + "] " + diagnostic.message;
+}
+
+}  // namespace ckat::lint

@@ -1,0 +1,77 @@
+// ckat-lint: project-specific static analysis for the CKAT tree.
+//
+// A dependency-free (std-only) line/lexer-level analyzer that machine-
+// checks the conventions the codebase otherwise enforces by review:
+//
+//   ckat-determinism      no rand()/srand(), time(nullptr), random_device,
+//                         unseeded mt19937 or wall-clock (system_clock)
+//                         reads inside the deterministic model directories
+//                         (src/core, src/nn, src/graph, src/baselines).
+//   ckat-env-registry     getenv() only inside src/util/env.hpp, every
+//                         "CKAT_*" string literal registered there, and
+//                         registry <-> README runtime-configuration table
+//                         consistent in both directions.
+//   ckat-metric-registry  no string-literal metric names at
+//                         .counter()/.gauge()/.histogram() call sites in
+//                         src/; names come from obs/metric_names.hpp.
+//   ckat-relaxed-atomic   memory_order_relaxed only in the allowlisted
+//                         hot-path files (see lint.cpp) or under NOLINT.
+//   ckat-detached-thread  no std::thread::detach().
+//   ckat-mutex-guard      members annotated "// guarded by <mutex>" must
+//                         not be touched in functions without a lock
+//                         guard (heuristic; reported as warning).
+//   ckat-include-guard    headers start with #pragma once (or #ifndef).
+//   ckat-using-namespace  no using-namespace directives in headers.
+//   ckat-nolint-reason    every NOLINT(ckat-*) carries a ": reason".
+//
+// Suppression: `// NOLINT(ckat-rule): reason` on the offending line or
+// `// NOLINTNEXTLINE(ckat-rule): reason` on the line above. The reason
+// string is mandatory; a bare ckat NOLINT is itself a diagnostic.
+//
+// Matching runs on comment-stripped, string-blanked text (a lexer pass
+// tracks //, /*...*/, string and char literals across lines), so code in
+// comments or messages cannot trip rules; the env-registry rule
+// additionally sees the extracted string-literal contents.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ckat::lint {
+
+enum class Severity { kWarning, kError };
+
+struct Diagnostic {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  Severity severity = Severity::kError;
+  std::string message;
+};
+
+struct LintOptions {
+  /// Project root used for the registry cross-checks (README.md and
+  /// src/util/env.hpp). Empty = skip those checks (fixture mode).
+  std::string root;
+};
+
+/// One rule's id/severity/description, for --list-rules and tests.
+struct RuleInfo {
+  const char* id;
+  Severity severity;
+  const char* description;
+};
+
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalogue();
+
+/// Runs every rule over `files` (paths to readable sources). Diagnostics
+/// come back sorted by (file, line, rule). Unreadable files produce a
+/// "ckat-io" error diagnostic rather than aborting the run.
+[[nodiscard]] std::vector<Diagnostic> run_lint(
+    const std::vector<std::string>& files, const LintOptions& options);
+
+/// Renders "file:line: severity: [rule] message".
+[[nodiscard]] std::string render(const Diagnostic& diagnostic);
+
+}  // namespace ckat::lint
