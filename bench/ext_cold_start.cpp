@@ -42,7 +42,8 @@ double bucket_recall(const eval::Recommender& model,
       scores[item] = -std::numeric_limits<float>::infinity();
     }
     total += eval::user_topk_metrics(eval::top_k_indices(scores, 20),
-                                     relevant);
+                                     relevant, 20,
+                                     model.n_items() - degree);
   }
   total.finalize();
   return total.n_users > 0 ? total.recall : 0.0;

@@ -1,0 +1,195 @@
+// Ranking-throughput microbench for the batched ranking engine
+// (extension; DESIGN.md §11).
+//
+// A synthetic dot-product model (seeded random user/item embedding
+// tables, the same memory-access shape as CKAT's cached e* scoring) is
+// evaluated with the legacy per-user serial protocol
+// (evaluate_topk_serial) and with the batched engine (evaluate_topk),
+// and the users/sec of both are reported as one JSON record
+//   {"bench":"ranking", ..., "serial_users_per_sec":..,
+//    "batched_users_per_sec":.., "speedup":.., "identical":true}
+// optionally written to a BENCH_ranking.json file via --out.
+//
+// The harness is *self-checking*: it exits non-zero unless the batched
+// TopKMetrics are bit-identical to the serial ones at every measured
+// configuration — a throughput number for a wrong ranking is
+// worthless. CI's bench-smoke step runs it on a tiny catalog for
+// exactly this divergence check.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/evaluator.hpp"
+#include "eval/ranker.hpp"
+#include "graph/interactions.hpp"
+#include "nn/kernels.hpp"
+#include "obs/json.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ckat;
+
+/// Dot-product model over dense random embedding tables; score_batch
+/// is the same gather + tiled GEMM the real embedding models use.
+class SyntheticDotModel final : public eval::Recommender {
+ public:
+  SyntheticDotModel(std::size_t n_users, std::size_t n_items,
+                    std::size_t dim, std::uint64_t seed)
+      : n_users_(n_users), n_items_(n_items), dim_(dim),
+        user_table_(n_users * dim), item_table_(n_items * dim) {
+    util::Rng rng(seed);
+    for (float& x : user_table_) x = rng.uniform_float() - 0.5f;
+    for (float& x : item_table_) x = rng.uniform_float() - 0.5f;
+  }
+
+  [[nodiscard]] std::string name() const override { return "SyntheticDot"; }
+  void fit() override {}
+  void score_items(std::uint32_t user, std::span<float> out) const override {
+    for (std::size_t v = 0; v < n_items_; ++v) {
+      float acc = 0.0f;
+      for (std::size_t c = 0; c < dim_; ++c) {
+        acc += user_table_[user * dim_ + c] * item_table_[v * dim_ + c];
+      }
+      out[v] = acc;
+    }
+  }
+  void score_batch(std::span<const std::uint32_t> users,
+                   std::span<float> out) const override {
+    std::vector<float> block(users.size() * dim_);
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      for (std::size_t c = 0; c < dim_; ++c) {
+        block[i * dim_ + c] = user_table_[users[i] * dim_ + c];
+      }
+    }
+    nn::gemm_nt_into(block, users.size(), dim_, item_table_, n_items_, out);
+  }
+  [[nodiscard]] std::size_t n_users() const override { return n_users_; }
+  [[nodiscard]] std::size_t n_items() const override { return n_items_; }
+
+ private:
+  std::size_t n_users_;
+  std::size_t n_items_;
+  std::size_t dim_;
+  std::vector<float> user_table_;
+  std::vector<float> item_table_;
+};
+
+graph::InteractionSplit make_split(std::size_t n_users, std::size_t n_items,
+                                   std::uint64_t seed) {
+  graph::InteractionSplit split(n_users, n_items);
+  util::Rng rng(seed);
+  for (std::uint32_t u = 0; u < n_users; ++u) {
+    const std::size_t n_train = 2 + rng.uniform_index(6);
+    for (std::size_t i = 0; i < n_train; ++i) {
+      split.train.add(u, static_cast<std::uint32_t>(
+                             rng.uniform_index(n_items)));
+    }
+    const std::size_t n_test = 1 + rng.uniform_index(3);
+    for (std::size_t i = 0; i < n_test; ++i) {
+      split.test.add(u, static_cast<std::uint32_t>(
+                            rng.uniform_index(n_items)));
+    }
+  }
+  split.train.finalize();
+  split.test.finalize();
+  return split;
+}
+
+bool bit_identical(const eval::TopKMetrics& a, const eval::TopKMetrics& b) {
+  return a.n_users == b.n_users && a.recall == b.recall &&
+         a.ndcg == b.ndcg && a.precision == b.precision &&
+         a.hit_rate == b.hit_rate;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const auto n_users = static_cast<std::size_t>(args.get_int("users", 2000));
+  const auto n_items = static_cast<std::size_t>(args.get_int("items", 20000));
+  const auto dim = static_cast<std::size_t>(args.get_int("dim", 32));
+  const auto k = static_cast<std::size_t>(args.get_int("k", 20));
+  const auto block = static_cast<std::size_t>(args.get_int("block", 64));
+  const int threads = static_cast<int>(args.get_int("threads", 4));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1234));
+  const std::string out_path = args.get_string("out", "");
+
+  const SyntheticDotModel model(n_users, n_items, dim, seed);
+  const auto split = make_split(n_users, n_items, seed + 1);
+
+  eval::EvalConfig config;
+  config.k = k;
+
+  // Warm-up pass (page in both tables) + correctness reference.
+  const eval::TopKMetrics serial_metrics =
+      eval::evaluate_topk_serial(model, split, config);
+
+  util::Timer serial_timer;
+  const eval::TopKMetrics serial_again =
+      eval::evaluate_topk_serial(model, split, config);
+  const double serial_s = serial_timer.seconds();
+
+  // Divergence self-check across every measured thread count.
+  bool identical = bit_identical(serial_metrics, serial_again);
+  double batched_1t_s = 0.0;
+  double batched_s = 0.0;
+  for (const int t : {1, threads}) {
+    eval::EvalConfig batched_config = config;
+    batched_config.threads = t;
+    batched_config.block_size = block;
+    eval::evaluate_topk(model, split, batched_config);  // warm-up
+    util::Timer timer;
+    const eval::TopKMetrics batched =
+        eval::evaluate_topk(model, split, batched_config);
+    const double elapsed = timer.seconds();
+    (t == 1 ? batched_1t_s : batched_s) = elapsed;
+    if (!bit_identical(serial_metrics, batched)) {
+      identical = false;
+      std::fprintf(stderr,
+                   "FAIL: batched metrics diverge from serial at "
+                   "threads=%d block=%zu\n",
+                   t, block);
+    }
+  }
+  if (threads == 1) batched_s = batched_1t_s;
+
+  const double evaluated_users = static_cast<double>(serial_metrics.n_users);
+  const double serial_ups = evaluated_users / serial_s;
+  const double batched_1t_ups = evaluated_users / batched_1t_s;
+  const double batched_ups = evaluated_users / batched_s;
+
+  obs::JsonValue record = obs::JsonValue::object();
+  record.set("bench", obs::JsonValue(std::string("ranking")));
+  record.set("users", obs::JsonValue(static_cast<std::uint64_t>(n_users)));
+  record.set("items", obs::JsonValue(static_cast<std::uint64_t>(n_items)));
+  record.set("dim", obs::JsonValue(static_cast<std::uint64_t>(dim)));
+  record.set("k", obs::JsonValue(static_cast<std::uint64_t>(k)));
+  record.set("block", obs::JsonValue(static_cast<std::uint64_t>(block)));
+  record.set("threads", obs::JsonValue(static_cast<std::uint64_t>(
+                            static_cast<std::size_t>(threads))));
+  record.set("evaluated_users",
+             obs::JsonValue(static_cast<std::uint64_t>(
+                 serial_metrics.n_users)));
+  record.set("serial_users_per_sec", obs::JsonValue(serial_ups));
+  record.set("batched_1t_users_per_sec", obs::JsonValue(batched_1t_ups));
+  record.set("batched_users_per_sec", obs::JsonValue(batched_ups));
+  record.set("speedup", obs::JsonValue(batched_ups / serial_ups));
+  record.set("identical", obs::JsonValue(identical));
+
+  const std::string json = record.dump();
+  std::printf("%s\n", json.c_str());
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open --out file %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  }
+  return identical ? 0 : 1;
+}

@@ -1,8 +1,11 @@
 #include "baselines/bprmf.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 #include "nn/init.hpp"
+#include "nn/kernels.hpp"
 #include "nn/tape.hpp"
 
 namespace ckat::baselines {
@@ -71,6 +74,26 @@ void BprmfModel::score_items(std::uint32_t user, std::span<float> out) const {
     for (std::size_t c = 0; c < u.size(); ++c) acc += u[c] * q[c];
     out[v] = acc;
   }
+}
+
+void BprmfModel::score_batch(std::span<const std::uint32_t> users,
+                             std::span<float> out) const {
+  if (!fitted_) throw std::logic_error("BprmfModel: fit() first");
+  if (out.size() != users.size() * n_items()) {
+    throw std::invalid_argument("BprmfModel: output span size mismatch");
+  }
+  const nn::Tensor& user_table = user_factors_->value();
+  const nn::Tensor& item_table = item_factors_->value();
+  const std::size_t dim = user_table.cols();
+  std::vector<float> user_block(users.size() * dim);
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    const auto user_row = user_table.row(users[i]);
+    std::copy(user_row.begin(), user_row.end(),
+              user_block.begin() + static_cast<std::ptrdiff_t>(i * dim));
+  }
+  const std::span<const float> item_panel{item_table.data(),
+                                          n_items() * dim};
+  nn::gemm_nt_into(user_block, users.size(), dim, item_panel, n_items(), out);
 }
 
 }  // namespace ckat::baselines

@@ -30,6 +30,10 @@ class BprmfModel final : public eval::Recommender {
   [[nodiscard]] std::string name() const override { return "BPRMF"; }
   void fit() override;
   void score_items(std::uint32_t user, std::span<float> out) const override;
+  /// One tiled GEMM of the gathered user factors against the item
+  /// factor table; bit-identical to score_items per user.
+  void score_batch(std::span<const std::uint32_t> users,
+                   std::span<float> out) const override;
   [[nodiscard]] std::size_t n_users() const override {
     return train_.n_users();
   }

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "nn/init.hpp"
+#include "nn/kernels.hpp"
 #include "nn/serialize.hpp"
 #include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
@@ -535,6 +536,31 @@ void CkatModel::score_items(std::uint32_t user, std::span<float> out) const {
     }
     out[v] = acc;
   }
+}
+
+void CkatModel::score_batch(std::span<const std::uint32_t> users,
+                            std::span<float> out) const {
+  if (!fitted_) {
+    throw std::logic_error("CkatModel: call fit() before score_batch");
+  }
+  if (out.size() != users.size() * n_items()) {
+    throw std::invalid_argument("CkatModel: output span size mismatch");
+  }
+  const nn::Tensor& repr = final_representations_;
+  const std::size_t dim = repr.cols();
+  // Gather the user rows into a dense block. The item rows need no
+  // gather: the entity layout puts all items contiguously right after
+  // the users, so the item panel is a view into e* itself.
+  std::vector<float> user_block(users.size() * dim);
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    const auto user_row = repr.row(ckg_.user_entity(users[i]));
+    std::copy(user_row.begin(), user_row.end(),
+              user_block.begin() + static_cast<std::ptrdiff_t>(i * dim));
+  }
+  const std::span<const float> item_panel{
+      repr.data() + static_cast<std::size_t>(ckg_.item_entity(0)) * dim,
+      n_items() * dim};
+  nn::gemm_nt_into(user_block, users.size(), dim, item_panel, n_items(), out);
 }
 
 }  // namespace ckat::core

@@ -79,6 +79,12 @@ class CkatModel final : public eval::Recommender {
   [[nodiscard]] std::string name() const override { return "CKAT"; }
   void fit() override;
   void score_items(std::uint32_t user, std::span<float> out) const override;
+  /// Batched scoring as one tiled GEMM over e*: the CKG entity layout
+  /// keeps item rows contiguous after the user rows, so the item panel
+  /// is the representation table itself (no copy). Bit-identical to
+  /// score_items (same per-coordinate accumulation order).
+  void score_batch(std::span<const std::uint32_t> users,
+                   std::span<float> out) const override;
   [[nodiscard]] std::size_t n_users() const override;
   [[nodiscard]] std::size_t n_items() const override;
 

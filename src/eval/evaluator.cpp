@@ -2,8 +2,10 @@
 
 #include <limits>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "eval/ranker.hpp"
 #include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -11,18 +13,122 @@
 
 namespace ckat::eval {
 
-TopKMetrics evaluate_topk(const Recommender& model,
-                          const graph::InteractionSplit& split,
-                          const EvalConfig& config) {
-  const std::size_t n_users = split.test.n_users();
-  const std::size_t n_items = split.test.n_items();
-  if (model.n_users() != n_users || model.n_items() != n_items) {
+namespace {
+
+void validate_inputs(const Recommender& model,
+                     const graph::InteractionSplit& split,
+                     const EvalConfig& config) {
+  if (model.n_users() != split.test.n_users() ||
+      model.n_items() != split.test.n_items()) {
     throw std::invalid_argument("evaluate_topk: model/split size mismatch");
   }
   if (config.candidate_items != nullptr &&
-      config.candidate_items->size() != n_items) {
+      config.candidate_items->size() != split.test.n_items()) {
     throw std::invalid_argument("evaluate_topk: candidate mask size mismatch");
   }
+}
+
+/// Users the protocol ranks, plus the audit trail of the ones it does
+/// not: users without test items, and users whose test items all fall
+/// outside the candidate mask.
+struct EligibleUsers {
+  std::vector<std::uint32_t> users;
+  std::size_t skipped_no_test = 0;
+  std::size_t skipped_outside_mask = 0;
+};
+
+EligibleUsers collect_eligible_users(const graph::InteractionSplit& split,
+                                     const EvalConfig& config) {
+  EligibleUsers out;
+  const std::size_t n_users = split.test.n_users();
+  for (std::uint32_t u = 0; u < n_users; ++u) {
+    const auto relevant = split.test.items_of(u);
+    if (relevant.empty()) {
+      ++out.skipped_no_test;
+      continue;
+    }
+    if (config.candidate_items != nullptr) {
+      bool any_in_mask = false;
+      for (const std::uint32_t item : relevant) {
+        any_in_mask |= (*config.candidate_items)[item];
+      }
+      if (!any_in_mask) {
+        ++out.skipped_outside_mask;
+        continue;
+      }
+    }
+    out.users.push_back(u);
+  }
+  return out;
+}
+
+void record_skips(const std::string& model_name, const EligibleUsers& users) {
+  if (!obs::telemetry_enabled()) return;
+  auto& registry = obs::MetricsRegistry::global();
+  if (users.skipped_no_test > 0) {
+    registry
+        .counter(obs::metric_names::kEvalUsersSkippedTotal,
+                 {{"model", model_name}, {"reason", "no_test_items"}})
+        .inc(users.skipped_no_test);
+  }
+  if (users.skipped_outside_mask > 0) {
+    registry
+        .counter(obs::metric_names::kEvalUsersSkippedTotal,
+                 {{"model", model_name}, {"reason", "outside_mask"}})
+        .inc(users.skipped_outside_mask);
+  }
+}
+
+/// Number of items the masking protocol leaves rankable for `user`:
+/// the candidate-set size minus the user's in-candidate train items.
+/// This is the @k denominator basis (see user_topk_metrics).
+std::size_t user_candidate_count(std::uint32_t user, std::size_t base,
+                                 const graph::InteractionSplit& split,
+                                 const EvalConfig& config) {
+  std::size_t n = base;
+  if (!config.mask_train_items) return n;
+  for (const std::uint32_t item : split.train.items_of(user)) {
+    if (config.candidate_items == nullptr || (*config.candidate_items)[item]) {
+      --n;
+    }
+  }
+  return n;
+}
+
+void apply_masks(std::uint32_t user, std::span<float> row,
+                 const graph::InteractionSplit& split,
+                 const EvalConfig& config) {
+  constexpr float kMasked = -std::numeric_limits<float>::infinity();
+  // Candidate mask first, train mask second: a train item outside the
+  // candidate set is already -inf either way, so the order only matters
+  // for reasoning, not results.
+  if (config.candidate_items != nullptr) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (!(*config.candidate_items)[i]) row[i] = kMasked;
+    }
+  }
+  if (config.mask_train_items) {
+    for (const std::uint32_t item : split.train.items_of(user)) {
+      row[item] = kMasked;
+    }
+  }
+}
+
+std::size_t base_candidate_count(std::size_t n_items,
+                                 const EvalConfig& config) {
+  if (config.candidate_items == nullptr) return n_items;
+  std::size_t n = 0;
+  for (const bool in : *config.candidate_items) n += in ? 1 : 0;
+  return n;
+}
+
+}  // namespace
+
+TopKMetrics evaluate_topk(const Recommender& model,
+                          const graph::InteractionSplit& split,
+                          const EvalConfig& config) {
+  validate_inputs(model, split, config);
+  const std::size_t n_items = split.test.n_items();
 
   const std::string model_name = model.name();
   obs::TraceSpan span("eval.topk", {{"model", model_name}});
@@ -33,39 +139,79 @@ TopKMetrics evaluate_topk(const Recommender& model,
                       {{"model", model_name}})
                 : nullptr;
 
+  const EligibleUsers eligible = collect_eligible_users(split, config);
+  record_skips(model_name, eligible);
+  const std::size_t base_candidates = base_candidate_count(n_items, config);
+
+  RankerConfig ranker_config;
+  ranker_config.k = config.k;
+  ranker_config.block_size = config.block_size;
+  ranker_config.threads = config.threads;
+  if (scoring_latency != nullptr) {
+    // Histogram::observe is atomic, so this is safe from ranker worker
+    // threads; one observation per block keeps the overhead per user
+    // sub-linear.
+    ranker_config.score_observer = [scoring_latency](double seconds,
+                                                     std::size_t /*users*/) {
+      scoring_latency->observe(seconds);
+    };
+  }
+  const BatchRanker ranker(model, ranker_config);
+
+  // Per-user metrics land in their slot, then are summed serially in
+  // slot order: the final totals are bit-identical at every thread
+  // count and block size (see DESIGN.md §11).
+  std::vector<TopKMetrics> per_user(eligible.users.size());
+  ranker.rank(
+      eligible.users,
+      [&split, &config](std::uint32_t user, std::span<float> row) {
+        apply_masks(user, row, split, config);
+      },
+      [&](std::size_t slot, std::uint32_t user,
+          std::span<const std::uint32_t> topk) {
+        per_user[slot] = user_topk_metrics(
+            topk, split.test.items_of(user), config.k,
+            user_candidate_count(user, base_candidates, split, config));
+      });
+
+  TopKMetrics total;
+  for (const TopKMetrics& m : per_user) total += m;
+  total.finalize();
+  return total;
+}
+
+TopKMetrics evaluate_topk_serial(const Recommender& model,
+                                 const graph::InteractionSplit& split,
+                                 const EvalConfig& config) {
+  validate_inputs(model, split, config);
+  const std::size_t n_items = split.test.n_items();
+
+  const std::string model_name = model.name();
+  obs::TraceSpan span("eval.topk_serial", {{"model", model_name}});
+  const bool telemetry = obs::telemetry_enabled();
+  obs::Histogram* scoring_latency =
+      telemetry ? &obs::MetricsRegistry::global().histogram(
+                      obs::metric_names::kEvalScoreSeconds,
+                      {{"model", model_name}})
+                : nullptr;
+
+  const EligibleUsers eligible = collect_eligible_users(split, config);
+  record_skips(model_name, eligible);
+  const std::size_t base_candidates = base_candidate_count(n_items, config);
+
   TopKMetrics total;
   std::vector<float> scores(n_items);
-  for (std::uint32_t u = 0; u < n_users; ++u) {
-    auto relevant = split.test.items_of(u);
-    if (relevant.empty()) continue;
-    if (config.candidate_items != nullptr) {
-      // Skip users whose test items fall entirely outside the mask.
-      bool any_in_mask = false;
-      for (std::uint32_t item : relevant) {
-        any_in_mask |= (*config.candidate_items)[item];
-      }
-      if (!any_in_mask) continue;
-    }
-
+  for (const std::uint32_t u : eligible.users) {
     util::Timer score_timer;
     model.score_items(u, scores);
     if (scoring_latency != nullptr) {
       scoring_latency->observe(score_timer.seconds());
     }
-    if (config.candidate_items != nullptr) {
-      for (std::size_t i = 0; i < n_items; ++i) {
-        if (!(*config.candidate_items)[i]) {
-          scores[i] = -std::numeric_limits<float>::infinity();
-        }
-      }
-    }
-    if (config.mask_train_items) {
-      for (std::uint32_t item : split.train.items_of(u)) {
-        scores[item] = -std::numeric_limits<float>::infinity();
-      }
-    }
+    apply_masks(u, scores, split, config);
     const auto topk = top_k_indices(scores, config.k);
-    total += user_topk_metrics(topk, relevant);
+    total += user_topk_metrics(
+        topk, split.test.items_of(u), config.k,
+        user_candidate_count(u, base_candidates, split, config));
   }
   total.finalize();
   return total;

@@ -1,7 +1,9 @@
 // Full-ranking top-K evaluation protocol (Sec. VI.A-B): for every user
 // with test interactions, rank ALL items the user has not interacted
 // with in training, take the top K, and score against the held-out test
-// items.
+// items. evaluate_topk runs on the batched ranking engine
+// (eval/ranker.hpp); evaluate_topk_serial is the reference per-user
+// implementation the batched path is tested bit-identical against.
 #pragma once
 
 #include <vector>
@@ -22,11 +24,31 @@ struct EvalConfig {
   /// per-facility evaluation of a multi-facility model). Must outlive
   /// the evaluate_topk call and have size n_items.
   const std::vector<bool>* candidate_items = nullptr;
+  /// Worker threads for the batched engine. 0 = CKAT_EVAL_THREADS
+  /// (default 1). Only raise above 1 for models whose score_batch /
+  /// score_items are safe for concurrent const calls —
+  /// serve::ResilientRecommender is not. Metrics are bit-identical at
+  /// every thread count (per-user results are reduced in user order).
+  int threads = 0;
+  /// Users per score_batch block. 0 = CKAT_EVAL_BLOCK (default 64).
+  std::size_t block_size = 0;
 };
 
-/// Evaluates the model over every user that has >= 1 test item.
+/// Evaluates the model over every user that has >= 1 test item, using
+/// the batched ranking engine. Users skipped by the protocol (no test
+/// items, or all test items outside the candidate mask) are counted in
+/// the eval users-skipped counter, labeled by reason, so skips are
+/// auditable instead of silent.
 TopKMetrics evaluate_topk(const Recommender& model,
                           const graph::InteractionSplit& split,
                           const EvalConfig& config = {});
+
+/// Reference implementation: one score_items call and one full-row
+/// top-K per user, always single-threaded (threads/block_size are
+/// ignored). Kept as the bit-identical oracle for the batched engine
+/// and for the ranking microbenchmark's serial baseline.
+TopKMetrics evaluate_topk_serial(const Recommender& model,
+                                 const graph::InteractionSplit& split,
+                                 const EvalConfig& config = {});
 
 }  // namespace ckat::eval

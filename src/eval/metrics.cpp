@@ -3,9 +3,27 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <numeric>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 namespace ckat::eval {
+
+namespace {
+
+/// Rankable = a score the comparator can order without UB and that the
+/// evaluator semantics allow to be recommended: NaN is comparator
+/// poison (it breaks strict weak ordering, so a masked -inf could
+/// "escape" into the middle of the list) and -inf is the evaluator's
+/// mask marker. Both are filtered explicitly instead of relying on
+/// comparator behavior.
+inline bool rankable(float score) noexcept {
+  return !std::isnan(score) &&
+         score != -std::numeric_limits<float>::infinity();
+}
+
+}  // namespace
 
 void TopKMetrics::finalize() {
   if (n_users == 0) return;
@@ -35,14 +53,17 @@ double ideal_dcg(std::size_t n_relevant, std::size_t k) {
 }
 
 TopKMetrics user_topk_metrics(std::span<const std::uint32_t> ranked_topk,
-                              std::span<const std::uint32_t> relevant) {
+                              std::span<const std::uint32_t> relevant,
+                              std::size_t k, std::size_t n_candidates) {
   TopKMetrics m;
   m.n_users = 1;
   if (relevant.empty()) return m;
 
+  const std::size_t effective_k = std::min(k, n_candidates);
+  const std::size_t depth = std::min(ranked_topk.size(), effective_k);
   std::size_t hits = 0;
   double dcg = 0.0;
-  for (std::size_t pos = 0; pos < ranked_topk.size(); ++pos) {
+  for (std::size_t pos = 0; pos < depth; ++pos) {
     if (std::binary_search(relevant.begin(), relevant.end(),
                            ranked_topk[pos])) {
       ++hits;
@@ -50,34 +71,81 @@ TopKMetrics user_topk_metrics(std::span<const std::uint32_t> ranked_topk,
     }
   }
   m.recall = static_cast<double>(hits) / static_cast<double>(relevant.size());
-  m.precision = ranked_topk.empty()
+  m.precision = effective_k == 0
                     ? 0.0
                     : static_cast<double>(hits) /
-                          static_cast<double>(ranked_topk.size());
+                          static_cast<double>(effective_k);
   m.hit_rate = hits > 0 ? 1.0 : 0.0;
-  const double idcg = ideal_dcg(relevant.size(), ranked_topk.size());
+  const double idcg = ideal_dcg(relevant.size(), effective_k);
   m.ndcg = idcg > 0.0 ? dcg / idcg : 0.0;
   return m;
 }
 
-std::vector<std::uint32_t> top_k_indices(std::span<const float> scores,
-                                         std::size_t k) {
+void top_k_row(std::span<const float> scores, std::size_t k,
+               std::vector<std::uint32_t>& out) {
+  out.clear();
   k = std::min(k, scores.size());
-  std::vector<std::uint32_t> idx(scores.size());
-  std::iota(idx.begin(), idx.end(), 0u);
-  auto better = [&](std::uint32_t a, std::uint32_t b) {
+  if (k == 0) return;
+  // better(a, b): a ranks strictly above b. NaN never reaches the
+  // comparator (filtered at insertion), so this is a strict weak order.
+  const auto better = [&scores](std::uint32_t a, std::uint32_t b) noexcept {
     if (scores[a] != scores[b]) return scores[a] > scores[b];
     return a < b;
   };
-  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
-                    idx.end(), better);
-  idx.resize(k);
-  // Drop -inf entries (items masked out by the evaluator).
-  while (!idx.empty() &&
-         scores[idx.back()] == -std::numeric_limits<float>::infinity()) {
-    idx.pop_back();
+  // Bounded min-heap: `out` holds the best <= k ids seen so far as a
+  // heap whose top is the WORST kept entry, so each remaining item
+  // costs one comparison against the current cutoff.
+  const auto n = static_cast<std::uint32_t>(scores.size());
+  std::uint32_t i = 0;
+  // Fill phase: exact heap insertion until k rankable entries exist
+  // (or the row is exhausted — fewer than k rankable scores).
+  for (; i < n && out.size() < k; ++i) {
+    if (!rankable(scores[i])) continue;
+    out.push_back(i);
+    std::push_heap(out.begin(), out.end(), better);
   }
-  return idx;
+  const auto replace_if_better = [&](std::uint32_t id) {
+    if (!rankable(scores[id])) return;
+    if (better(id, out.front())) {
+      std::pop_heap(out.begin(), out.end(), better);
+      out.back() = id;
+      std::push_heap(out.begin(), out.end(), better);
+    }
+  };
+#if defined(__SSE2__)
+  // Skip-scan: almost every remaining item loses to the cutoff, so
+  // test 8 at a time against it and fall back to the exact insertion
+  // logic only for blocks that contain a potential winner. cmpge is
+  // ordered (NaN compares false, matching the rankable() filter) and
+  // `>= cutoff` is a superset of better(i, front) — ties with larger
+  // index pass the vector test and are then rejected scalar — so the
+  // selected set is identical to the plain loop's.
+  if (out.size() == k) {
+    while (i + 8 <= n) {
+      const __m128 cutoff = _mm_set1_ps(scores[out.front()]);
+      const __m128 ge_lo =
+          _mm_cmpge_ps(_mm_loadu_ps(scores.data() + i), cutoff);
+      const __m128 ge_hi =
+          _mm_cmpge_ps(_mm_loadu_ps(scores.data() + i + 4), cutoff);
+      if (_mm_movemask_ps(_mm_or_ps(ge_lo, ge_hi)) == 0) {
+        i += 8;
+        continue;
+      }
+      for (const std::uint32_t end = i + 8; i < end; ++i) {
+        replace_if_better(i);
+      }
+    }
+  }
+#endif
+  for (; i < n; ++i) replace_if_better(i);
+  std::sort(out.begin(), out.end(), better);
+}
+
+std::vector<std::uint32_t> top_k_indices(std::span<const float> scores,
+                                         std::size_t k) {
+  std::vector<std::uint32_t> out;
+  top_k_row(scores, k, out);
+  return out;
 }
 
 }  // namespace ckat::eval

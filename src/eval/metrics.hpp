@@ -21,15 +21,39 @@ struct TopKMetrics {
   TopKMetrics& operator+=(const TopKMetrics& other);
 };
 
-/// Metrics for one user given the ranked top-K item list and the set of
-/// ground-truth (test) items. `relevant` must be sorted ascending.
+/// Metrics for one user. `ranked_topk` is the ranked recommendation list
+/// (at most min(k, n_candidates) entries — shorter only when the model
+/// scored candidates as unrankable, see top_k_indices). `relevant` must
+/// be sorted ascending.
+///
+/// @k semantics: the precision denominator and the ideal-DCG cutoff are
+/// min(k, n_candidates), where n_candidates is the number of items the
+/// masking protocol left rankable for this user — NOT the length of
+/// ranked_topk. A user whose candidate set is smaller than k is judged
+/// against what was reachable, but a model that wastes candidate slots
+/// on unrankable scores (NaN from a degraded tier) still pays the full
+/// denominator instead of getting precision inflated by its own
+/// shrunken list.
 TopKMetrics user_topk_metrics(std::span<const std::uint32_t> ranked_topk,
-                              std::span<const std::uint32_t> relevant);
+                              std::span<const std::uint32_t> relevant,
+                              std::size_t k, std::size_t n_candidates);
 
 /// Returns the indices of the K largest scores, ties broken by lower
-/// index (deterministic). Items with score -inf are never returned.
+/// index (deterministic). Unrankable entries — score -inf (masked items)
+/// or NaN (corrupted models) — are never returned, so the result has
+/// min(k, #rankable) entries. +inf is a legitimate "infinitely good"
+/// score and ranks first.
 std::vector<std::uint32_t> top_k_indices(std::span<const float> scores,
                                          std::size_t k);
+
+/// Allocation-free core of top_k_indices: reduces one score row to its
+/// top k with a bounded min-heap (no n-sized index vector, no full
+/// sort), writing the ranked ids into `out` (cleared first; its capacity
+/// is reused across calls — the batched ranking engine calls this once
+/// per user per block). Same ordering and unrankable-score contract as
+/// top_k_indices.
+void top_k_row(std::span<const float> scores, std::size_t k,
+               std::vector<std::uint32_t>& out);
 
 /// Ideal DCG for n relevant items at cutoff K.
 double ideal_dcg(std::size_t n_relevant, std::size_t k);

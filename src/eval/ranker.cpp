@@ -1,0 +1,125 @@
+#include "eval/ranker.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "eval/metrics.hpp"
+#include "util/env.hpp"
+#include "util/timer.hpp"
+
+namespace ckat::eval {
+
+namespace {
+
+long env_positive_long(const char* name, long fallback, long lo, long hi) {
+  const char* raw = util::env_raw(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || value <= 0) return fallback;
+  return std::clamp(value, lo, hi);
+}
+
+}  // namespace
+
+int resolve_eval_threads(int requested) {
+  if (requested > 0) return std::min(requested, 64);
+  return static_cast<int>(env_positive_long("CKAT_EVAL_THREADS", 1, 1, 64));
+}
+
+std::size_t resolve_eval_block(std::size_t requested) {
+  if (requested > 0) return std::min<std::size_t>(requested, 4096);
+  return static_cast<std::size_t>(
+      env_positive_long("CKAT_EVAL_BLOCK", 64, 1, 4096));
+}
+
+BatchRanker::BatchRanker(const Recommender& model, RankerConfig config)
+    : model_(model), config_(std::move(config)) {
+  config_.threads = resolve_eval_threads(config_.threads);
+  config_.block_size = resolve_eval_block(config_.block_size);
+}
+
+void BatchRanker::rank_range(std::span<const std::uint32_t> users,
+                             std::size_t slot0, const MaskFn& mask,
+                             const VisitFn& visit) const {
+  const std::size_t n_items = model_.n_items();
+  const std::size_t block = std::min(config_.block_size, users.size());
+  // One score buffer and one top-K vector per shard, reused across
+  // blocks: the hot loop allocates nothing per user.
+  std::vector<float> scores(block * n_items);
+  std::vector<std::uint32_t> topk;
+  topk.reserve(config_.k);
+  for (std::size_t b0 = 0; b0 < users.size(); b0 += block) {
+    const std::size_t bn = std::min(block, users.size() - b0);
+    const auto chunk = users.subspan(b0, bn);
+    const auto block_scores = std::span<float>(scores).first(bn * n_items);
+    util::Timer score_timer;
+    model_.score_batch(chunk, block_scores);
+    if (config_.score_observer) {
+      config_.score_observer(score_timer.seconds(), bn);
+    }
+    for (std::size_t i = 0; i < bn; ++i) {
+      const auto row = block_scores.subspan(i * n_items, n_items);
+      if (mask) mask(chunk[i], row);
+      top_k_row(row, config_.k, topk);
+      visit(slot0 + b0 + i, chunk[i], topk);
+    }
+  }
+}
+
+void BatchRanker::rank(std::span<const std::uint32_t> users,
+                       const MaskFn& mask, const VisitFn& visit) const {
+  if (!visit) {
+    throw std::invalid_argument("BatchRanker::rank: visit must be callable");
+  }
+  if (users.empty()) return;
+  const auto n_threads =
+      std::min(static_cast<std::size_t>(config_.threads), users.size());
+  if (n_threads <= 1) {
+    rank_range(users, 0, mask, visit);
+    return;
+  }
+  // Contiguous shards under std::thread rather than an OpenMP team:
+  // the TSan CI job covers this code, and libgomp's barriers are not
+  // TSan-instrumented (false positives), while std::thread join gives
+  // a clean happens-before edge. See DESIGN.md §11.
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> workers;
+  workers.reserve(n_threads);
+  const std::size_t base = users.size() / n_threads;
+  const std::size_t extra = users.size() % n_threads;
+  std::size_t start = 0;
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    const std::size_t len = base + (t < extra ? 1 : 0);
+    workers.emplace_back([this, shard = users.subspan(start, len), start,
+                          &mask, &visit, &first_error, &error_mutex] {
+      try {
+        rank_range(shard, start, mask, visit);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+    start += len;
+  }
+  for (auto& worker : workers) worker.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<std::vector<std::uint32_t>> BatchRanker::top_k(
+    std::span<const std::uint32_t> users, const MaskFn& mask) const {
+  std::vector<std::vector<std::uint32_t>> result(users.size());
+  rank(users, mask,
+       [&result](std::size_t slot, std::uint32_t /*user*/,
+                 std::span<const std::uint32_t> topk) {
+         result[slot].assign(topk.begin(), topk.end());
+       });
+  return result;
+}
+
+}  // namespace ckat::eval

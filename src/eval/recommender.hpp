@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string>
 
 namespace ckat::eval {
@@ -21,6 +22,25 @@ class Recommender {
   /// Writes a preference score for every item (out.size() == n_items).
   /// Higher is better. Must be callable only after fit().
   virtual void score_items(std::uint32_t user, std::span<float> out) const = 0;
+
+  /// Scores a block of users at once: out holds users.size() * n_items()
+  /// floats, row-major (row i = the catalog scores of users[i]). The
+  /// default loops score_items per user, so every model keeps working;
+  /// models backed by dense embedding tables override it with one tiled
+  /// GEMM over the block (see eval/ranker.hpp). Overrides must produce
+  /// bit-identical scores to score_items — the batched evaluator relies
+  /// on it to reproduce the serial protocol exactly.
+  virtual void score_batch(std::span<const std::uint32_t> users,
+                           std::span<float> out) const {
+    const std::size_t stride = n_items();
+    if (out.size() != users.size() * stride) {
+      throw std::invalid_argument(
+          "Recommender::score_batch: output span size mismatch");
+    }
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      score_items(users[i], out.subspan(i * stride, stride));
+    }
+  }
 
   [[nodiscard]] virtual std::size_t n_users() const = 0;
   [[nodiscard]] virtual std::size_t n_items() const = 0;

@@ -4,6 +4,10 @@
 #include <numeric>
 #include <stdexcept>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #ifdef CKAT_PROFILE_KERNELS
 #include <chrono>
 #include <cstdint>
@@ -116,6 +120,97 @@ void gemm_nt(const Tensor& a, const Tensor& b, Tensor& out, float alpha,
       float acc = 0.0f;
       for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
       orow[j] += alpha * acc;
+    }
+  }
+}
+
+void gemm_nt_into(std::span<const float> a, std::size_t m, std::size_t k,
+                  std::span<const float> b, std::size_t n,
+                  std::span<float> out) {
+  CKAT_KERNEL_SCOPE("gemm_nt_into");
+  if (a.size() != m * k || b.size() != n * k) {
+    throw std::invalid_argument("gemm_nt_into: input size mismatch");
+  }
+  if (out.size() != m * n) {
+    throw std::invalid_argument("gemm_nt_into: output size mismatch");
+  }
+  if (m == 0 || n == 0) return;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  if (k == 0) {
+    std::fill(out.begin(), out.end(), 0.0f);
+    return;
+  }
+  // kNr B rows per tile, re-packed k-major (ptile[kk * kNr + r] = row
+  // j0+r, coord kk) once per tile and reused across all m A rows.
+  //
+  // Why this shape: a single dot product is a sequential dependency
+  // chain the bit-identity contract forbids reassociating, so per-dot
+  // throughput is capped by FP-add latency and no amount of -O3 helps.
+  // The kNr lanes here are *independent* chains — lane r sums item
+  // j0+r's products in plain kk order, exactly like the scalar loop —
+  // so each step is broadcast(a[kk]) * contiguous lane load, and the
+  // four accumulator vectors overlap the FP-add latency of each other.
+  //
+  // The hot loop is written with SSE2 intrinsics rather than left to
+  // the auto-vectorizer: GCC 12 SLP-vectorizes the equivalent scalar
+  // lane loop *across kk* and emits a shuffle-bound in-register
+  // transpose that runs slower than the plain per-user loop. SSE2 is
+  // part of the x86-64 baseline ABI, so the guard only ever falls back
+  // on non-x86 targets. Bit-identity holds in both paths: packed
+  // mulps/addps round each lane exactly like scalar mulss/addss, and
+  // neither path can contract to FMA (the baseline ISA has no FMA
+  // instruction, and the fallback writes `a * b` then `+=` as separate
+  // expressions).
+  constexpr std::size_t kNr = 16;
+  std::vector<float> ptile(kNr * k);
+  for (std::size_t j0 = 0; j0 + kNr <= n; j0 += kNr) {
+    for (std::size_t r = 0; r < kNr; ++r) {
+      const float* brow = pb + (j0 + r) * k;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        ptile[kk * kNr + r] = brow[kk];
+      }
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* arow = pa + i * k;
+      float* orow = po + i * n + j0;
+#if defined(__SSE2__)
+      __m128 acc0 = _mm_setzero_ps();
+      __m128 acc1 = _mm_setzero_ps();
+      __m128 acc2 = _mm_setzero_ps();
+      __m128 acc3 = _mm_setzero_ps();
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const __m128 av = _mm_set1_ps(arow[kk]);
+        const float* bp = ptile.data() + kk * kNr;
+        acc0 = _mm_add_ps(acc0, _mm_mul_ps(av, _mm_loadu_ps(bp)));
+        acc1 = _mm_add_ps(acc1, _mm_mul_ps(av, _mm_loadu_ps(bp + 4)));
+        acc2 = _mm_add_ps(acc2, _mm_mul_ps(av, _mm_loadu_ps(bp + 8)));
+        acc3 = _mm_add_ps(acc3, _mm_mul_ps(av, _mm_loadu_ps(bp + 12)));
+      }
+      _mm_storeu_ps(orow, acc0);
+      _mm_storeu_ps(orow + 4, acc1);
+      _mm_storeu_ps(orow + 8, acc2);
+      _mm_storeu_ps(orow + 12, acc3);
+#else
+      float acc[kNr] = {};
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float a = arow[kk];
+        const float* bp = ptile.data() + kk * kNr;
+        for (std::size_t r = 0; r < kNr; ++r) acc[r] += a * bp[r];
+      }
+      for (std::size_t r = 0; r < kNr; ++r) orow[r] = acc[r];
+#endif
+    }
+  }
+  // Remainder rows (n % kNr): plain scalar dots, same element order.
+  for (std::size_t j = n - n % kNr; j < n; ++j) {
+    const float* brow = pb + j * k;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* arow = pa + i * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      po[i * n + j] = acc;
     }
   }
 }

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "nn/tensor.hpp"
@@ -18,6 +19,20 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& out, float alpha = 1.0f,
 /// out (+)= alpha * A @ B^T.  A: (m,k), B: (n,k), out: (m,n).
 void gemm_nt(const Tensor& a, const Tensor& b, Tensor& out,
              float alpha = 1.0f, bool accumulate = false);
+
+/// out = A @ B^T written straight into a caller-owned row-major buffer:
+/// out[i*n + j] = dot(A row i, B row j). The batched ranking engine
+/// (eval/ranker.hpp) scores a block of users against the item-embedding
+/// table with this: A is the gathered user block (m,k), B the item
+/// table (n,k). Tiled over B rows so the item panel is streamed from
+/// memory once per *block* instead of once per user; each output is an
+/// independent dot product accumulated in index order, so results are
+/// bit-identical to a per-user score_items loop. Deliberately serial:
+/// callers parallelize across user sub-blocks (see BatchRanker), and a
+/// nested OpenMP team here would oversubscribe their threads.
+void gemm_nt_into(std::span<const float> a, std::size_t m, std::size_t k,
+                  std::span<const float> b, std::size_t n,
+                  std::span<float> out);
 
 /// out (+)= alpha * A^T @ B.  A: (k,m), B: (k,n), out: (m,n).
 void gemm_tn(const Tensor& a, const Tensor& b, Tensor& out,

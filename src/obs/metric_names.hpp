@@ -39,7 +39,15 @@ inline constexpr const char* kTrainNonfiniteEpochsTotal =
     "ckat_train_nonfinite_epochs_total";
 
 // Evaluator scoring latency (src/eval/evaluator.cpp), labeled {model}.
+// One observation per score_batch block in the batched engine (one per
+// user in evaluate_topk_serial).
 inline constexpr const char* kEvalScoreSeconds = "ckat_eval_score_seconds";
+// Users excluded from the top-K evaluation population, labeled {model,
+// reason}: reason="no_test_items" (nothing held out for the user) or
+// "outside_mask" (every test item falls outside candidate_items). Makes
+// the recall/ndcg denominator auditable against the raw user count.
+inline constexpr const char* kEvalUsersSkippedTotal =
+    "ckat_eval_users_skipped_total";
 
 // Degraded-mode serving chain (src/serve/resilient.cpp), labeled {tier}
 // (+ {to} for circuit transitions).

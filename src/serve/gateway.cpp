@@ -246,14 +246,19 @@ void ServeGateway::worker_loop(Worker& worker) {
         job->deadline_ms > 0.0 ? ms_between(dequeued_at, job->deadline_at)
                                : 0.0;
 
+    const bool is_batch = !job->request.users.empty();
     ScoreResult result;
-    result.scores.resize(n_items_);
+    result.scores.resize((is_batch ? job->request.users.size() : 1) *
+                         n_items_);
     result.queue_ms = ms_between(job->admitted_at, dequeued_at);
     ResilientRecommender::ScoreOutcome outcome;
     {
       std::lock_guard<std::mutex> lock(worker.mutex);
-      outcome = worker.chain->score_with_budget(
-          job->request.user, result.scores, remaining_ms);
+      outcome = is_batch
+                    ? worker.chain->score_batch_with_budget(
+                          job->request.users, result.scores, remaining_ms)
+                    : worker.chain->score_with_budget(
+                          job->request.user, result.scores, remaining_ms);
     }
     queue_wait_seconds_->observe(result.queue_ms * 1e-3);
     result.total_ms = ms_between(job->admitted_at, Clock::now());

@@ -64,6 +64,14 @@ enum class RequestStatus : std::uint8_t {
 
 struct ScoreRequest {
   std::uint32_t user = 0;
+  /// Non-empty makes this a *batch* request: `user` is ignored, the
+  /// worker's chain scores all of `users` in one batched walk
+  /// (score_batch_with_budget) and the result carries
+  /// users.size() * n_items scores, row-major in `users` order. The
+  /// whole batch occupies one queue slot, shares one deadline and
+  /// resolves with one status — gateway conservation counts it as one
+  /// request.
+  std::vector<std::uint32_t> users;
   Priority priority = Priority::kNormal;
   /// Per-request deadline; 0 uses GatewayConfig::default_deadline_ms.
   double deadline_ms = 0.0;
@@ -77,7 +85,8 @@ struct ScoreRequest {
 struct ScoreResult {
   RequestStatus status = RequestStatus::kShedShutdown;
   /// One score per item for kServed (real answer) and kZeroFilled
-  /// (all-zero degraded answer); empty for every shed status.
+  /// (all-zero degraded answer); empty for every shed status. Batch
+  /// requests get users.size() rows of n_items scores, row-major.
   std::vector<float> scores;
   /// Serving tier index (0 = top) for kServed, else -1.
   int tier = -1;

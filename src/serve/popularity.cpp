@@ -25,4 +25,19 @@ void PopularityRecommender::score_items(std::uint32_t user,
   std::copy(counts_.begin(), counts_.end(), out.begin());
 }
 
+void PopularityRecommender::score_batch(std::span<const std::uint32_t> users,
+                                        std::span<float> out) const {
+  if (out.size() != users.size() * counts_.size()) {
+    throw std::invalid_argument(
+        "PopularityRecommender: output span size mismatch");
+  }
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    if (users[i] >= n_users_) {
+      throw std::invalid_argument("PopularityRecommender: user out of range");
+    }
+    std::copy(counts_.begin(), counts_.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(i * counts_.size()));
+  }
+}
+
 }  // namespace ckat::serve

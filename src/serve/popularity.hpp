@@ -21,6 +21,10 @@ class PopularityRecommender final : public eval::Recommender {
   /// is servable immediately.
   void fit() override {}
   void score_items(std::uint32_t user, std::span<float> out) const override;
+  /// Every row is the same popularity vector; one validated copy per
+  /// user, no per-user virtual dispatch.
+  void score_batch(std::span<const std::uint32_t> users,
+                   std::span<float> out) const override;
   [[nodiscard]] std::size_t n_users() const override { return n_users_; }
   [[nodiscard]] std::size_t n_items() const override {
     return counts_.size();

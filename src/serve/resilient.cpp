@@ -135,7 +135,39 @@ void ResilientRecommender::score_items(std::uint32_t user,
 
 ResilientRecommender::ScoreOutcome ResilientRecommender::score_with_budget(
     std::uint32_t user, std::span<float> out, double budget_ms) const {
-  ++requests_;
+  const std::size_t bitflip_index = out.empty() ? 0 : user % out.size();
+  return walk_chain(out, budget_ms, 1, bitflip_index,
+                    [user](const eval::Recommender& tier,
+                           std::span<float> scores) {
+                      tier.score_items(user, scores);
+                    });
+}
+
+ResilientRecommender::ScoreOutcome
+ResilientRecommender::score_batch_with_budget(
+    std::span<const std::uint32_t> users, std::span<float> out,
+    double budget_ms) const {
+  if (users.empty()) {
+    throw std::invalid_argument(
+        "ResilientRecommender: score_batch_with_budget needs >= 1 user");
+  }
+  if (out.size() != users.size() * n_items()) {
+    throw std::invalid_argument(
+        "ResilientRecommender: output span size mismatch");
+  }
+  const std::size_t bitflip_index =
+      out.empty() ? 0 : users.front() % out.size();
+  return walk_chain(out, budget_ms, users.size(), bitflip_index,
+                    [users](const eval::Recommender& tier,
+                            std::span<float> scores) {
+                      tier.score_batch(users, scores);
+                    });
+}
+
+ResilientRecommender::ScoreOutcome ResilientRecommender::walk_chain(
+    std::span<float> out, double budget_ms, std::uint64_t weight,
+    std::size_t bitflip_index, const TierInvoke& invoke) const {
+  requests_ += weight;
   auto& injector = util::FaultInjector::instance();
   ScoreOutcome outcome;
   util::Timer walk_timer;
@@ -150,7 +182,7 @@ ResilientRecommender::ScoreOutcome ResilientRecommender::score_with_budget(
     const double tier_budget_ms =
         budget_ms > 0.0 ? budget_ms - walk_timer.milliseconds() : 0.0;
     if (budget_ms > 0.0 && tier_budget_ms <= 0.0) {
-      ++budget_exhausted_;
+      budget_exhausted_ += weight;
       std::fill(out.begin(), out.end(), 0.0f);
       outcome.kind = ScoreOutcome::Kind::kBudgetExhausted;
       outcome.elapsed_ms = walk_timer.milliseconds();
@@ -183,7 +215,7 @@ ResilientRecommender::ScoreOutcome ResilientRecommender::score_with_budget(
       }
     }
     try {
-      tiers_[i]->score_items(user, out);
+      invoke(*tiers_[i], out);
       ok = true;
     } catch (const std::exception& e) {
       ++tier.stats.exceptions;
@@ -206,7 +238,7 @@ ResilientRecommender::ScoreOutcome ResilientRecommender::score_with_budget(
           injector.should_fire(
               std::string(util::fault_points::kScoreBitflip) + ":" +
               tier.stats.name)) {
-        out[user % out.size()] = std::numeric_limits<float>::quiet_NaN();
+        out[bitflip_index] = std::numeric_limits<float>::quiet_NaN();
       }
       const std::size_t bad = first_non_finite(out);
       if (bad != static_cast<std::size_t>(-1)) {
@@ -245,8 +277,8 @@ ResilientRecommender::ScoreOutcome ResilientRecommender::score_with_budget(
                       "succeeded)",
                       tier.stats.name.c_str());
       }
-      ++tier.stats.served;
-      if (i > 0) ++fallback_activations_;
+      tier.stats.served += weight;
+      if (i > 0) fallback_activations_ += weight;
       outcome.kind = ScoreOutcome::Kind::kServed;
       outcome.tier = static_cast<int>(i);
       outcome.elapsed_ms = walk_timer.milliseconds();
@@ -258,7 +290,7 @@ ResilientRecommender::ScoreOutcome ResilientRecommender::score_with_budget(
   // Unreachable with a popularity terminal tier, but a serving layer
   // must degrade, not throw: answer with indifferent scores.
   std::fill(out.begin(), out.end(), 0.0f);
-  ++zero_filled_;
+  zero_filled_ += weight;
   outcome.kind = ScoreOutcome::Kind::kZeroFilled;
   outcome.elapsed_ms = walk_timer.milliseconds();
   return outcome;

@@ -41,6 +41,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -97,6 +98,28 @@ class ResilientRecommender final : public eval::Recommender {
   ScoreOutcome score_with_budget(std::uint32_t user, std::span<float> out,
                                  double budget_ms) const;
 
+  /// Batched walk for the gateway's batch path: one walk of the chain
+  /// scores ALL of `users` (out holds users.size() * n_items floats,
+  /// row-major) via each tier's score_batch, under one shared budget.
+  /// The whole block succeeds or fails together — one corrupted row
+  /// fails the tier for the block and the next tier rescores everyone,
+  /// keeping the all-rows-finite guarantee of the per-user path.
+  ///
+  /// Accounting: requests / served / zero_filled / budget_exhausted /
+  /// fallback_activations advance by users.size() (user granularity,
+  /// so conservation identities match the per-user path), while
+  /// per-tier attempts / exceptions / corrupted / deadline_misses /
+  /// skipped_open advance by 1 per tier *invocation* (a block is one
+  /// attempt — one latency observation, one circuit-breaker step).
+  ///
+  /// The inherited score_batch() deliberately keeps the default
+  /// per-user fallback loop: evaluate_topk over a resilient chain
+  /// (fault-tolerance and observability benches) depends on per-user
+  /// walk accounting such as fallback activations per user.
+  ScoreOutcome score_batch_with_budget(std::span<const std::uint32_t> users,
+                                       std::span<float> out,
+                                       double budget_ms) const;
+
   struct TierStats {
     std::string name;
     std::uint64_t served = 0;          // requests answered by this tier
@@ -148,6 +171,19 @@ class ResilientRecommender final : public eval::Recommender {
     obs::Counter* open_transitions = nullptr;
     obs::Counter* close_transitions = nullptr;
   };
+
+  /// Scores one tier's answer into `out` (score_items for the single
+  /// path, score_batch for the batched path).
+  using TierInvoke =
+      std::function<void(const eval::Recommender& tier, std::span<float> out)>;
+
+  /// Shared fallback walk behind score_with_budget and
+  /// score_batch_with_budget. `weight` is the number of logical user
+  /// requests the walk answers; `bitflip_index` is where an injected
+  /// serve.score_bitflip lands.
+  ScoreOutcome walk_chain(std::span<float> out, double budget_ms,
+                          std::uint64_t weight, std::size_t bitflip_index,
+                          const TierInvoke& invoke) const;
 
   void record_failure(TierState& tier, std::string error) const;
   void record_latency(TierState& tier, double elapsed_ms) const;

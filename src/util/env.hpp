@@ -36,7 +36,9 @@ namespace ckat::util {
   X(CKAT_OBS, "0/off disables metrics and tracing")                     \
   X(CKAT_EPOCH_SCALE_PCT, "1-100 scales every model's training epochs") \
   X(CKAT_SERVE_THREADS, "serving-gateway worker pool size")             \
-  X(CKAT_SERVE_QUEUE_DEPTH, "bound of the gateway admission queue")
+  X(CKAT_SERVE_QUEUE_DEPTH, "bound of the gateway admission queue")     \
+  X(CKAT_EVAL_THREADS, "batched ranking engine worker threads")         \
+  X(CKAT_EVAL_BLOCK, "users per score_batch block in the ranker")
 
 /// One registry row, exposed for tooling (ckat-lint, run reports).
 struct EnvVarInfo {

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <map>
+#include <vector>
 
 namespace ckat::eval {
 namespace {
@@ -153,6 +156,71 @@ TEST(Evaluator, RejectsMismatchedModel) {
   const auto split = make_split();
   OracleModel wrong_size(2, 49, {});
   EXPECT_THROW(evaluate_topk(wrong_size, split), std::invalid_argument);
+}
+
+// Satellite bugfix pin at the protocol level: masking leaves fewer
+// than k candidates, so @k denominators come from the candidate count,
+// not the (shorter) recommendation list.
+TEST(Evaluator, MaskLeavingFewerThanKCandidatesUsesCandidateDenominator) {
+  graph::InteractionSplit split(1, 10);
+  split.train.add(0, 0);
+  split.test.add(0, 4);
+  split.test.add(0, 6);
+  split.train.finalize();
+  split.test.finalize();
+  OracleModel model(1, 10, {{0, {4, 6}}});
+  // Candidates {0, 4, 6}; train masking removes 0 -> 2 rankable items.
+  std::vector<bool> mask(10, false);
+  mask[0] = mask[4] = mask[6] = true;
+  EvalConfig config;
+  config.k = 20;
+  config.candidate_items = &mask;
+  const TopKMetrics m = evaluate_topk(model, split, config);
+  // Both candidates are hits: a perfect sweep of the reachable set is
+  // precision 1.0 (not 2/20) and ndcg 1.0 (ideal over 2 positions).
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.ndcg, 1.0);
+  const TopKMetrics serial = evaluate_topk_serial(model, split, config);
+  EXPECT_EQ(m.precision, serial.precision);
+  EXPECT_EQ(m.ndcg, serial.ndcg);
+}
+
+// Satellite bugfix pin: a degraded model emitting NaN for most of the
+// catalog must not have its precision inflated by its own shortened
+// list, and NaN/-inf items must never be recommended.
+TEST(Evaluator, NanScoresShrinkTheListWithoutInflatingPrecision) {
+  class DegradedModel final : public Recommender {
+   public:
+    [[nodiscard]] std::string name() const override { return "Degraded"; }
+    void fit() override {}
+    void score_items(std::uint32_t /*user*/,
+                     std::span<float> out) const override {
+      std::fill(out.begin(), out.end(),
+                std::numeric_limits<float>::quiet_NaN());
+      out[2] = 1.0f;  // the only rankable score
+    }
+    [[nodiscard]] std::size_t n_users() const override { return 1; }
+    [[nodiscard]] std::size_t n_items() const override { return 10; }
+  };
+  graph::InteractionSplit split(1, 10);
+  split.train.add(0, 0);
+  split.test.add(0, 2);
+  split.test.add(0, 5);
+  split.train.finalize();
+  split.test.finalize();
+  const DegradedModel model;
+  EvalConfig config;
+  config.k = 3;
+  const TopKMetrics m = evaluate_topk(model, split, config);
+  // One hit in a 1-entry list, but 9 candidates at k=3: precision is
+  // 1/3, not 1.0 — serving NaN for the rest of the catalog is not a
+  // perfect ranking.
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+  EXPECT_NEAR(m.precision, 1.0 / 3.0, 1e-12);
+  const TopKMetrics serial = evaluate_topk_serial(model, split, config);
+  EXPECT_EQ(m.precision, serial.precision);
+  EXPECT_EQ(m.ndcg, serial.ndcg);
 }
 
 // Property sweep: recall@K is monotone non-decreasing in K, and all

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace ckat::eval {
 namespace {
@@ -19,7 +22,7 @@ TEST(IdealDcg, KnownValues) {
 TEST(UserMetrics, PerfectRanking) {
   const std::vector<std::uint32_t> ranked = {3, 7};
   const std::vector<std::uint32_t> relevant = {3, 7};
-  const TopKMetrics m = user_topk_metrics(ranked, relevant);
+  const TopKMetrics m = user_topk_metrics(ranked, relevant, 2, 10);
   EXPECT_DOUBLE_EQ(m.recall, 1.0);
   EXPECT_DOUBLE_EQ(m.ndcg, 1.0);
   EXPECT_DOUBLE_EQ(m.precision, 1.0);
@@ -29,7 +32,7 @@ TEST(UserMetrics, PerfectRanking) {
 TEST(UserMetrics, NoHits) {
   const std::vector<std::uint32_t> ranked = {1, 2};
   const std::vector<std::uint32_t> relevant = {5};
-  const TopKMetrics m = user_topk_metrics(ranked, relevant);
+  const TopKMetrics m = user_topk_metrics(ranked, relevant, 2, 10);
   EXPECT_DOUBLE_EQ(m.recall, 0.0);
   EXPECT_DOUBLE_EQ(m.ndcg, 0.0);
   EXPECT_DOUBLE_EQ(m.hit_rate, 0.0);
@@ -39,7 +42,7 @@ TEST(UserMetrics, PartialHitPositionMatters) {
   // Relevant item at rank 2 (0-indexed position 1).
   const std::vector<std::uint32_t> ranked = {9, 5, 8};
   const std::vector<std::uint32_t> relevant = {5};
-  const TopKMetrics m = user_topk_metrics(ranked, relevant);
+  const TopKMetrics m = user_topk_metrics(ranked, relevant, 3, 10);
   EXPECT_DOUBLE_EQ(m.recall, 1.0);
   EXPECT_NEAR(m.ndcg, 1.0 / std::log2(3.0), 1e-12);
   EXPECT_NEAR(m.precision, 1.0 / 3.0, 1e-12);
@@ -48,13 +51,13 @@ TEST(UserMetrics, PartialHitPositionMatters) {
 TEST(UserMetrics, RecallDenominatorIsRelevantCount) {
   const std::vector<std::uint32_t> ranked = {1};
   const std::vector<std::uint32_t> relevant = {1, 2, 3, 4};
-  const TopKMetrics m = user_topk_metrics(ranked, relevant);
+  const TopKMetrics m = user_topk_metrics(ranked, relevant, 1, 10);
   EXPECT_DOUBLE_EQ(m.recall, 0.25);
 }
 
 TEST(UserMetrics, EmptyRelevantCountsUserWithZeros) {
   const std::vector<std::uint32_t> ranked = {1};
-  const TopKMetrics m = user_topk_metrics(ranked, {});
+  const TopKMetrics m = user_topk_metrics(ranked, {}, 1, 10);
   EXPECT_EQ(m.n_users, 1u);
   EXPECT_DOUBLE_EQ(m.recall, 0.0);
 }
@@ -62,9 +65,9 @@ TEST(UserMetrics, EmptyRelevantCountsUserWithZeros) {
 TEST(Aggregation, AccumulateAndFinalize) {
   TopKMetrics total;
   total += user_topk_metrics(std::vector<std::uint32_t>{1},
-                             std::vector<std::uint32_t>{1});
+                             std::vector<std::uint32_t>{1}, 1, 10);
   total += user_topk_metrics(std::vector<std::uint32_t>{2},
-                             std::vector<std::uint32_t>{3});
+                             std::vector<std::uint32_t>{3}, 1, 10);
   EXPECT_EQ(total.n_users, 2u);
   total.finalize();
   EXPECT_DOUBLE_EQ(total.recall, 0.5);
@@ -75,6 +78,42 @@ TEST(Aggregation, FinalizeOnEmptyIsNoOp) {
   TopKMetrics m;
   m.finalize();
   EXPECT_DOUBLE_EQ(m.recall, 0.0);
+}
+
+// Satellite bugfix pin: when masking leaves fewer than k candidates,
+// the @k denominators use min(k, n_candidates) — a full sweep of a
+// 3-item candidate set is precision 1.0 at k=20, not 3/20, and ndcg
+// uses the 3-deep ideal.
+TEST(UserMetrics, FewerCandidatesThanKJudgedAgainstCandidates) {
+  const std::vector<std::uint32_t> ranked = {4, 9, 2};
+  const std::vector<std::uint32_t> relevant = {2, 4, 9};
+  const TopKMetrics m = user_topk_metrics(ranked, relevant, 20, 3);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.ndcg, 1.0);
+}
+
+// The inverse inflation guard: a model whose unrankable (NaN) scores
+// shrank the ranked list below min(k, n_candidates) still pays the
+// full denominator — a 1-hit list of length 1 at k=3 over 10
+// candidates is precision 1/3, not 1/1.
+TEST(UserMetrics, ShortRankedListDoesNotInflatePrecision) {
+  const std::vector<std::uint32_t> ranked = {5};
+  const std::vector<std::uint32_t> relevant = {5, 6};
+  const TopKMetrics m = user_topk_metrics(ranked, relevant, 3, 10);
+  EXPECT_NEAR(m.precision, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+  // iDCG is over min(k, n_candidates) = 3 positions (2 relevant), not
+  // over the 1-entry list.
+  EXPECT_NEAR(m.ndcg, 1.0 / (1.0 + 1.0 / std::log2(3.0)), 1e-12);
+}
+
+TEST(UserMetrics, ZeroCandidatesYieldsZeroPrecision) {
+  const TopKMetrics m =
+      user_topk_metrics({}, std::vector<std::uint32_t>{1}, 20, 0);
+  EXPECT_EQ(m.n_users, 1u);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.ndcg, 0.0);
 }
 
 TEST(TopK, ReturnsLargestInOrder) {
@@ -106,6 +145,76 @@ TEST(TopK, MaskedItemsNeverReturned) {
   ASSERT_EQ(top.size(), 2u);
   EXPECT_EQ(top[0], 0u);
   EXPECT_EQ(top[1], 3u);
+}
+
+// Satellite bugfix pins: NaN breaks strict weak ordering, so it must
+// never reach the comparator, and -inf (the mask marker) must never be
+// recommended even when it would fill out an undersized list.
+TEST(TopK, NanScoresAreNeverReturned) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<float> scores = {0.5f, nan, 0.9f, nan, 0.1f};
+  const auto top = top_k_indices(scores, 5);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 2u);
+  EXPECT_EQ(top[1], 0u);
+  EXPECT_EQ(top[2], 4u);
+}
+
+TEST(TopK, AllUnrankableCatalogYieldsEmptyList) {
+  const float ninf = -std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<float> all_masked = {ninf, ninf, ninf};
+  EXPECT_TRUE(top_k_indices(all_masked, 2).empty());
+  const std::vector<float> corrupted = {nan, ninf, nan};
+  EXPECT_TRUE(top_k_indices(corrupted, 2).empty());
+}
+
+TEST(TopK, PositiveInfinityRanksFirst) {
+  const float pinf = std::numeric_limits<float>::infinity();
+  const std::vector<float> scores = {0.5f, pinf, 0.9f};
+  const auto top = top_k_indices(scores, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 2u);
+}
+
+TEST(TopK, RowVariantReusesBufferAcrossCalls) {
+  std::vector<std::uint32_t> out;
+  top_k_row(std::vector<float>{0.1f, 0.9f, 0.5f}, 2, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], 2u);
+  // A second call on a smaller row must fully replace the contents.
+  top_k_row(std::vector<float>{3.0f}, 2, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0u);
+  top_k_row(std::vector<float>{}, 2, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TopK, HeapAndFullSortAgreeOnRandomRows) {
+  // Cross-check the bounded-heap reduction against a straightforward
+  // full sort on deterministic pseudo-random scores (with ties).
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  const auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<float>((state >> 40) % 97) / 97.0f;
+  };
+  for (std::size_t n : {1u, 7u, 64u, 257u}) {
+    std::vector<float> scores(n);
+    for (float& s : scores) s = next();
+    for (std::size_t k : {1u, 5u, 20u, 300u}) {
+      std::vector<std::uint32_t> ids(n);
+      for (std::uint32_t i = 0; i < n; ++i) ids[i] = i;
+      std::sort(ids.begin(), ids.end(),
+                [&scores](std::uint32_t a, std::uint32_t b) {
+                  if (scores[a] != scores[b]) return scores[a] > scores[b];
+                  return a < b;
+                });
+      ids.resize(std::min(k, n));
+      EXPECT_EQ(top_k_indices(scores, k), ids) << "n=" << n << " k=" << k;
+    }
+  }
 }
 
 }  // namespace

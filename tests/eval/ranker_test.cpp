@@ -1,0 +1,316 @@
+#include "eval/ranker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "eval/evaluator.hpp"
+#include "nn/kernels.hpp"
+#include "obs/metric_names.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace ckat::eval {
+namespace {
+
+/// Dot-product model over seeded random factor tables. With use_gemm
+/// it overrides score_batch the way the real embedding models do
+/// (gather user rows, one gemm_nt_into against the item table);
+/// without, it exercises the inherited per-user fallback.
+class SyntheticDotModel final : public Recommender {
+ public:
+  SyntheticDotModel(std::size_t n_users, std::size_t n_items,
+                    std::size_t dim, bool use_gemm, std::uint64_t seed = 7)
+      : n_users_(n_users),
+        n_items_(n_items),
+        dim_(dim),
+        use_gemm_(use_gemm),
+        user_table_(n_users * dim),
+        item_table_(n_items * dim) {
+    util::Rng rng(seed);
+    for (float& x : user_table_) x = rng.uniform_float() - 0.5f;
+    for (float& x : item_table_) x = rng.uniform_float() - 0.5f;
+  }
+
+  [[nodiscard]] std::string name() const override { return "SyntheticDot"; }
+  void fit() override {}
+  void score_items(std::uint32_t user, std::span<float> out) const override {
+    for (std::size_t v = 0; v < n_items_; ++v) {
+      float acc = 0.0f;
+      for (std::size_t c = 0; c < dim_; ++c) {
+        acc += user_table_[user * dim_ + c] * item_table_[v * dim_ + c];
+      }
+      out[v] = acc;
+    }
+  }
+  void score_batch(std::span<const std::uint32_t> users,
+                   std::span<float> out) const override {
+    ++batch_calls_;
+    if (!use_gemm_) {
+      Recommender::score_batch(users, out);
+      return;
+    }
+    std::vector<float> block(users.size() * dim_);
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      for (std::size_t c = 0; c < dim_; ++c) {
+        block[i * dim_ + c] = user_table_[users[i] * dim_ + c];
+      }
+    }
+    nn::gemm_nt_into(block, users.size(), dim_, item_table_, n_items_, out);
+  }
+  [[nodiscard]] std::size_t n_users() const override { return n_users_; }
+  [[nodiscard]] std::size_t n_items() const override { return n_items_; }
+  [[nodiscard]] std::uint64_t batch_calls() const {
+    return batch_calls_.load();
+  }
+
+ private:
+  std::size_t n_users_;
+  std::size_t n_items_;
+  std::size_t dim_;
+  bool use_gemm_;
+  std::vector<float> user_table_;
+  std::vector<float> item_table_;
+  mutable std::atomic<std::uint64_t> batch_calls_{0};
+};
+
+/// A random but reproducible split: every user gets a few train and
+/// test items, some users deliberately get none of either.
+graph::InteractionSplit make_random_split(std::size_t n_users,
+                                          std::size_t n_items,
+                                          std::uint64_t seed = 42) {
+  graph::InteractionSplit split(n_users, n_items);
+  util::Rng rng(seed);
+  for (std::uint32_t u = 0; u < n_users; ++u) {
+    if (u % 7 == 3) continue;  // no interactions at all
+    const std::size_t n_train = 1 + rng.uniform_index(4);
+    for (std::size_t i = 0; i < n_train; ++i) {
+      split.train.add(u, static_cast<std::uint32_t>(
+                             rng.uniform_index(n_items)));
+    }
+    if (u % 5 == 1) continue;  // train-only user: skipped by protocol
+    const std::size_t n_test = 1 + rng.uniform_index(3);
+    for (std::size_t i = 0; i < n_test; ++i) {
+      split.test.add(u, static_cast<std::uint32_t>(
+                            rng.uniform_index(n_items)));
+    }
+  }
+  split.train.finalize();
+  split.test.finalize();
+  return split;
+}
+
+void expect_bit_identical(const TopKMetrics& a, const TopKMetrics& b) {
+  EXPECT_EQ(a.n_users, b.n_users);
+  EXPECT_EQ(a.recall, b.recall);
+  EXPECT_EQ(a.ndcg, b.ndcg);
+  EXPECT_EQ(a.precision, b.precision);
+  EXPECT_EQ(a.hit_rate, b.hit_rate);
+}
+
+TEST(ScoreBatch, DefaultFallbackMatchesScoreItems) {
+  const SyntheticDotModel model(10, 33, 8, /*use_gemm=*/false);
+  const std::vector<std::uint32_t> users = {9, 0, 4, 4};
+  std::vector<float> batched(users.size() * model.n_items());
+  model.score_batch(users, batched);
+  std::vector<float> row(model.n_items());
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    model.score_items(users[i], row);
+    for (std::size_t v = 0; v < row.size(); ++v) {
+      EXPECT_EQ(batched[i * row.size() + v], row[v]) << i << "," << v;
+    }
+  }
+}
+
+TEST(ScoreBatch, GemmOverrideBitIdenticalToScoreItems) {
+  const SyntheticDotModel model(17, 101, 13, /*use_gemm=*/true);
+  std::vector<std::uint32_t> users(model.n_users());
+  for (std::uint32_t u = 0; u < users.size(); ++u) users[u] = u;
+  std::vector<float> batched(users.size() * model.n_items());
+  model.score_batch(users, batched);
+  std::vector<float> row(model.n_items());
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    model.score_items(users[i], row);
+    for (std::size_t v = 0; v < row.size(); ++v) {
+      EXPECT_EQ(batched[i * row.size() + v], row[v]) << i << "," << v;
+    }
+  }
+}
+
+TEST(ScoreBatch, SizeMismatchThrows) {
+  const SyntheticDotModel model(4, 10, 4, false);
+  const std::vector<std::uint32_t> users = {0, 1};
+  std::vector<float> wrong(model.n_items());  // needs 2 rows
+  EXPECT_THROW(model.score_batch(users, wrong), std::invalid_argument);
+}
+
+TEST(BatchRanker, TopKMatchesSerialReductionAndUsesBlocks) {
+  const SyntheticDotModel model(30, 64, 8, true);
+  RankerConfig config;
+  config.k = 5;
+  config.block_size = 7;
+  config.threads = 1;
+  const BatchRanker ranker(model, config);
+  std::vector<std::uint32_t> users(model.n_users());
+  for (std::uint32_t u = 0; u < users.size(); ++u) users[u] = u;
+  const auto lists = ranker.top_k(users);
+  ASSERT_EQ(lists.size(), users.size());
+  std::vector<float> row(model.n_items());
+  for (std::uint32_t u = 0; u < users.size(); ++u) {
+    model.score_items(u, row);
+    EXPECT_EQ(lists[u], top_k_indices(row, config.k)) << "user " << u;
+  }
+  // 30 users in blocks of 7 -> 5 score_batch calls.
+  EXPECT_EQ(model.batch_calls(), 5u);
+}
+
+TEST(BatchRanker, WorkerExceptionsPropagateToCaller) {
+  class ThrowingModel final : public Recommender {
+   public:
+    [[nodiscard]] std::string name() const override { return "Throwing"; }
+    void fit() override {}
+    void score_items(std::uint32_t user, std::span<float> out) const override {
+      if (user == 13) throw std::runtime_error("boom");
+      std::fill(out.begin(), out.end(), 0.0f);
+    }
+    [[nodiscard]] std::size_t n_users() const override { return 32; }
+    [[nodiscard]] std::size_t n_items() const override { return 4; }
+  };
+  const ThrowingModel model;
+  RankerConfig config;
+  config.threads = 4;
+  config.block_size = 3;
+  const BatchRanker ranker(model, config);
+  std::vector<std::uint32_t> users(model.n_users());
+  for (std::uint32_t u = 0; u < users.size(); ++u) users[u] = u;
+  EXPECT_THROW(ranker.top_k(users), std::runtime_error);
+}
+
+// The tentpole determinism property: batched metrics are bit-identical
+// to the serial reference at every thread count and block size, for
+// both the GEMM override and the per-user fallback, with full masking
+// in play.
+TEST(BatchRanker, EvaluatorBitIdenticalAcrossThreadsAndBlocks) {
+  const std::size_t n_users = 60;
+  const std::size_t n_items = 90;
+  const auto split = make_random_split(n_users, n_items);
+  std::vector<bool> candidates(n_items, true);
+  for (std::size_t i = 0; i < n_items; i += 9) candidates[i] = false;
+
+  for (const bool use_gemm : {false, true}) {
+    const SyntheticDotModel model(n_users, n_items, 12, use_gemm);
+    EvalConfig config;
+    config.k = 10;
+    config.candidate_items = &candidates;
+    const TopKMetrics serial = evaluate_topk_serial(model, split, config);
+    EXPECT_GT(serial.n_users, 0u);
+
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    for (const int threads : {1, 4, static_cast<int>(hw)}) {
+      for (const std::size_t block : {std::size_t{1}, std::size_t{5},
+                                      std::size_t{64}}) {
+        EvalConfig batched_config = config;
+        batched_config.threads = threads;
+        batched_config.block_size = block;
+        const TopKMetrics batched =
+            evaluate_topk(model, split, batched_config);
+        SCOPED_TRACE(::testing::Message()
+                     << "gemm=" << use_gemm << " threads=" << threads
+                     << " block=" << block);
+        expect_bit_identical(serial, batched);
+      }
+    }
+  }
+}
+
+TEST(BatchRanker, EmptyCatalogIsHandled) {
+  const SyntheticDotModel model(3, 0, 4, true);
+  graph::InteractionSplit split(3, 0);
+  split.train.finalize();
+  split.test.finalize();
+  const TopKMetrics serial = evaluate_topk_serial(model, split);
+  const TopKMetrics batched = evaluate_topk(model, split);
+  EXPECT_EQ(serial.n_users, 0u);
+  expect_bit_identical(serial, batched);
+}
+
+TEST(BatchRanker, KLargerThanCatalogIsHandled) {
+  const std::size_t n_items = 6;
+  const SyntheticDotModel model(8, n_items, 4, true);
+  const auto split = make_random_split(8, n_items);
+  EvalConfig config;
+  config.k = 50;
+  const TopKMetrics serial = evaluate_topk_serial(model, split, config);
+  EvalConfig batched_config = config;
+  batched_config.threads = 2;
+  batched_config.block_size = 3;
+  const TopKMetrics batched = evaluate_topk(model, split, batched_config);
+  expect_bit_identical(serial, batched);
+}
+
+// Satellite: protocol skips are auditable through the users-skipped
+// counter, labeled by reason.
+TEST(Evaluator, SkippedUsersAreCounted) {
+  const bool telemetry_before = obs::telemetry_enabled();
+  obs::set_telemetry_enabled(true);
+  const SyntheticDotModel model(6, 12, 4, true);
+  graph::InteractionSplit split(6, 12);
+  split.train.add(1, 0);
+  split.test.add(0, 3);  // eligible
+  split.test.add(2, 7);  // all test items outside the mask below
+  split.train.finalize();
+  split.test.finalize();
+  std::vector<bool> candidates(12, true);
+  candidates[7] = false;
+  EvalConfig config;
+  config.candidate_items = &candidates;
+
+  auto& registry = obs::MetricsRegistry::global();
+  auto& no_test = registry.counter(
+      obs::metric_names::kEvalUsersSkippedTotal,
+      {{"model", model.name()}, {"reason", "no_test_items"}});
+  auto& outside = registry.counter(
+      obs::metric_names::kEvalUsersSkippedTotal,
+      {{"model", model.name()}, {"reason", "outside_mask"}});
+  const auto no_test_before = no_test.value();
+  const auto outside_before = outside.value();
+
+  const TopKMetrics m = evaluate_topk(model, split, config);
+  EXPECT_EQ(m.n_users, 1u);
+  // Users 1, 3, 4, 5 have no test items; user 2's only test item is
+  // masked out.
+  EXPECT_EQ(no_test.value() - no_test_before, 4u);
+  EXPECT_EQ(outside.value() - outside_before, 1u);
+  obs::set_telemetry_enabled(telemetry_before);
+}
+
+TEST(RankerEnv, ExplicitValuesWinAndClamp) {
+  EXPECT_EQ(resolve_eval_threads(5), 5);
+  EXPECT_EQ(resolve_eval_threads(1000), 64);
+  EXPECT_EQ(resolve_eval_block(9), 9u);
+  EXPECT_EQ(resolve_eval_block(1 << 20), 4096u);
+}
+
+TEST(RankerEnv, EnvironmentFillsZeroRequests) {
+  setenv("CKAT_EVAL_THREADS", "3", 1);
+  setenv("CKAT_EVAL_BLOCK", "17", 1);
+  EXPECT_EQ(resolve_eval_threads(0), 3);
+  EXPECT_EQ(resolve_eval_block(0), 17u);
+  setenv("CKAT_EVAL_THREADS", "not-a-number", 1);
+  setenv("CKAT_EVAL_BLOCK", "-4", 1);
+  EXPECT_EQ(resolve_eval_threads(0), 1);
+  EXPECT_EQ(resolve_eval_block(0), 64u);
+  unsetenv("CKAT_EVAL_THREADS");
+  unsetenv("CKAT_EVAL_BLOCK");
+  EXPECT_EQ(resolve_eval_threads(0), 1);
+  EXPECT_EQ(resolve_eval_block(0), 64u);
+}
+
+}  // namespace
+}  // namespace ckat::eval

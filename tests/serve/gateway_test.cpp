@@ -125,6 +125,44 @@ TEST_F(GatewayTest, ServesRequestsAcrossWorkerPool) {
   expect_conservation(stats);
 }
 
+TEST_F(GatewayTest, BatchRequestServesAllRowsAsOneRequest) {
+  ServeGateway gateway(chain(), config(2, 16));
+
+  ScoreRequest request;
+  request.users = {0, 3, 5, 1};
+  request.user = 99;  // ignored for batch requests
+  request.client_id = "batch-client";
+  ScoreResult result = gateway.submit(std::move(request)).get();
+
+  ASSERT_EQ(result.status, RequestStatus::kServed);
+  EXPECT_EQ(result.tier, 0);
+  ASSERT_EQ(result.scores.size(), 4 * kItems);
+  for (float s : result.scores) EXPECT_EQ(s, 3.0f);
+
+  // One queue slot, one future, one accounted request.
+  const GatewayStats stats = gateway.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.served, 1u);
+  expect_conservation(stats);
+  // The chain-level accounting still sees the individual users.
+  EXPECT_EQ(gateway.aggregated_health().requests, 4u);
+}
+
+TEST_F(GatewayTest, BatchRequestFallsBackAsOneBlock) {
+  primary_.set_failing(true);
+  ServeGateway gateway(chain(), config(1, 16));
+
+  ScoreRequest request;
+  request.users = {2, 4};
+  ScoreResult result = gateway.submit(std::move(request)).get();
+
+  ASSERT_EQ(result.status, RequestStatus::kServed);
+  EXPECT_EQ(result.tier, 1);
+  ASSERT_EQ(result.scores.size(), 2 * kItems);
+  for (float s : result.scores) EXPECT_EQ(s, 1.0f);
+  expect_conservation(gateway.stats());
+}
+
 TEST_F(GatewayTest, AllTiersFailingZeroFillsWithDegradedAnswer) {
   primary_.set_failing(true);
   fallback_.set_failing(true);

@@ -320,6 +320,100 @@ TEST_F(ResilientTest, HealthToJsonRendersAllTierFields) {
   EXPECT_EQ(doc.at("budget_exhausted").as_number(), 0.0);
 }
 
+TEST_F(ResilientTest, BatchWalkMatchesPerUserScores) {
+  ResilientRecommender serving(chain());
+  const std::vector<std::uint32_t> users = {0, 2, 1};
+  std::vector<float> batched(users.size() * kItems);
+  const auto outcome = serving.score_batch_with_budget(users, batched, 0.0);
+  EXPECT_EQ(outcome.kind,
+            ResilientRecommender::ScoreOutcome::Kind::kServed);
+  EXPECT_EQ(outcome.tier, 0);
+  std::vector<float> row(kItems);
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    ResilientRecommender reference(chain());
+    reference.score_items(users[i], row);
+    for (std::size_t v = 0; v < kItems; ++v) {
+      EXPECT_EQ(batched[i * kItems + v], row[v]) << i << "," << v;
+    }
+  }
+}
+
+TEST_F(ResilientTest, BatchWalkAccountsUsersAndAttemptsSeparately) {
+  ResilientRecommender serving(chain());
+  const std::vector<std::uint32_t> users = {0, 1, 2};
+  std::vector<float> out(users.size() * kItems);
+  serving.score_batch_with_budget(users, out, 0.0);
+  const auto health = serving.snapshot();
+  // Request-level counters move at user granularity so the gateway's
+  // conservation identities still describe users served...
+  EXPECT_EQ(health.requests, 3u);
+  EXPECT_EQ(health.tiers[0].served, 3u);
+  // ...while one block is one tier attempt (one latency observation,
+  // one circuit-breaker step) and one underlying score_batch call per
+  // user-loop of the default fallback.
+  EXPECT_EQ(health.tiers[0].attempts, 1u);
+  EXPECT_EQ(primary_.calls(), 3u);  // default score_batch loops per user
+}
+
+TEST_F(ResilientTest, BatchFallsThroughAsOneBlock) {
+  primary_.set_failing(true);
+  ResilientRecommender serving(chain());
+  const std::vector<std::uint32_t> users = {0, 1};
+  std::vector<float> out(users.size() * kItems);
+  const auto outcome = serving.score_batch_with_budget(users, out, 0.0);
+  EXPECT_EQ(outcome.kind,
+            ResilientRecommender::ScoreOutcome::Kind::kServed);
+  EXPECT_EQ(outcome.tier, 1);
+  for (float s : out) EXPECT_EQ(s, 2.0f);
+  const auto health = serving.snapshot();
+  EXPECT_EQ(health.fallback_activations, 2u);  // both users fell back
+  EXPECT_EQ(health.tiers[0].exceptions, 1u);   // one failed attempt
+  EXPECT_EQ(health.tiers[1].served, 2u);
+}
+
+TEST_F(ResilientTest, CorruptedRowFailsWholeBatchTier) {
+  ResilientRecommender serving(chain());
+  util::FaultScope bitflip(
+      std::string(util::fault_points::kScoreBitflip) + ":primary",
+      util::FaultSpec{.every = 1});
+  const std::vector<std::uint32_t> users = {0, 1, 2, 3};
+  std::vector<float> out(users.size() * kItems);
+  const auto outcome = serving.score_batch_with_budget(users, out, 0.0);
+  // One NaN row poisons the block: the whole batch is rescored by the
+  // secondary so no client row can carry a non-finite score.
+  EXPECT_EQ(outcome.kind,
+            ResilientRecommender::ScoreOutcome::Kind::kServed);
+  EXPECT_EQ(outcome.tier, 1);
+  for (float s : out) EXPECT_EQ(s, 2.0f);
+  const auto health = serving.snapshot();
+  EXPECT_EQ(health.tiers[0].corrupted, 1u);
+  EXPECT_EQ(health.tiers[1].served, 4u);
+}
+
+TEST_F(ResilientTest, BatchAllTiersFailingZeroFillsEveryRow) {
+  primary_.set_failing(true);
+  secondary_.set_failing(true);
+  terminal_.set_failing(true);
+  ResilientRecommender serving(chain());
+  const std::vector<std::uint32_t> users = {0, 1};
+  std::vector<float> out(users.size() * kItems, 42.0f);
+  const auto outcome = serving.score_batch_with_budget(users, out, 0.0);
+  EXPECT_EQ(outcome.kind,
+            ResilientRecommender::ScoreOutcome::Kind::kZeroFilled);
+  for (float s : out) EXPECT_EQ(s, 0.0f);
+  EXPECT_EQ(serving.snapshot().zero_filled, 2u);
+}
+
+TEST_F(ResilientTest, BatchValidatesArguments) {
+  ResilientRecommender serving(chain());
+  std::vector<float> out(kItems);
+  EXPECT_THROW(serving.score_batch_with_budget({}, out, 0.0),
+               std::invalid_argument);
+  const std::vector<std::uint32_t> users = {0, 1};
+  EXPECT_THROW(serving.score_batch_with_budget(users, out, 0.0),
+               std::invalid_argument);  // out holds one row, not two
+}
+
 TEST(PopularityRecommender, ScoresTrainCounts) {
   graph::InteractionSet train(3, 4);
   train.add(0, 1);
