@@ -1,0 +1,504 @@
+// Chaos soak for streaming ingestion + online refresh + hot-swap
+// serving (extension).
+//
+// A small synthetic facility is replayed as a stream
+// (facility/stream.hpp): a bootstrap corpus trains generation v1, then
+// ingestion windows arrive as CkgDeltas while concurrent clients hammer
+// the gateway. Phases:
+//
+//  1. normal   — healthy traffic against the bootstrap model.
+//  2. spike    — overload bursts with the primary tier misbehaving
+//                (injected latency/throws/bit-flips) AND a live
+//                refresher thread applying stream windows: >= 3 hot
+//                swaps land mid-spike, one delta is rejected by an
+//                injected ingest.bad_delta, and swap.torn_read fires
+//                against acquire() throughout.
+//  3. rollback — with traffic paused, a publish cycle is failed on
+//                purpose (swap.publish_fail): the refresher rolls back
+//                and the previously-serving model keeps answering
+//                bit-identically (probed before/after).
+//  4. recovery — the failed window is re-ingested cleanly; cold-start
+//                users/items from it are servable on the new version;
+//                normal traffic over the grown vocabulary.
+//
+// Self-checking (exit non-zero on violation):
+//  * zero dropped requests — every submitted future resolved with
+//    exactly one status, and conservation holds in total AND per model
+//    version (sum over versions == served/zero_filled totals);
+//  * no torn version reads reached a client — every resolution's
+//    model_version is a published generation and its score-row width
+//    is exactly that generation's n_items (while injected tears made
+//    acquire() visibly retry);
+//  * >= 3 hot swaps completed during the overload spike;
+//  * the fault-injected rollback left the prior model serving
+//    bit-identical scores on the same version;
+//  * cold-start entities are servable within one refresh cycle.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "facility/dataset.hpp"
+#include "facility/model.hpp"
+#include "facility/stream.hpp"
+#include "facility/users.hpp"
+#include "graph/interactions.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "serve/gateway.hpp"
+#include "serve/refresh.hpp"
+#include "serve/swap.hpp"
+#include "util/cli.hpp"
+#include "util/fault.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ckat;
+
+int g_check_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  if (!ok) ++g_check_failures;
+}
+
+/// Published generations' dimensions, shared between the refresher
+/// thread (writer) and client threads (readers).
+class VersionBook {
+ public:
+  void record(std::uint64_t version, std::size_t n_users,
+              std::size_t n_items) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    dims_[version] = {n_users, n_items};
+  }
+  /// True iff `version` is published and a single-user row of
+  /// `row_width` matches its item vocabulary.
+  [[nodiscard]] bool consistent(std::uint64_t version,
+                                std::size_t row_width) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = dims_.find(version);
+    return it != dims_.end() && it->second.second == row_width;
+  }
+  [[nodiscard]] std::size_t versions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dims_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, std::pair<std::size_t, std::size_t>>
+      dims_;  // guarded by mutex_
+};
+
+struct PhaseTally {
+  std::uint64_t answers = 0;        // futures resolved
+  std::uint64_t served = 0;
+  std::uint64_t zero_filled = 0;
+  std::uint64_t sheds = 0;
+  std::uint64_t version_violations = 0;  // mixed-version / unknown version
+};
+
+/// One client-side resolution check: non-shed answers must be entirely
+/// on one *published* version (correct row width for that version).
+void tally_result(const serve::ScoreResult& result, const VersionBook& book,
+                  PhaseTally& tally) {
+  ++tally.answers;
+  switch (result.status) {
+    case serve::RequestStatus::kServed:
+      ++tally.served;
+      if (!book.consistent(result.model_version, result.scores.size())) {
+        ++tally.version_violations;
+      }
+      break;
+    case serve::RequestStatus::kZeroFilled:
+      ++tally.zero_filled;
+      // Zero-fill on version 0 (acquire gave up under injected tears)
+      // carries no scores; any versioned zero-fill must still be
+      // row-consistent.
+      if (result.model_version != 0 &&
+          !book.consistent(result.model_version, result.scores.size())) {
+        ++tally.version_violations;
+      }
+      break;
+    default:
+      ++tally.sheds;
+      break;
+  }
+}
+
+/// Drives `clients` threads in bursts until at least `min_bursts` ran
+/// AND `stop_when` (if set) reads true.
+PhaseTally run_phase(serve::ServeGateway& gateway, const std::string& name,
+                     const VersionBook& book, int clients, int min_bursts,
+                     int burst_size, std::size_t user_range,
+                     const std::atomic<bool>* stop_when) {
+  obs::TraceSpan span("refresh_soak.phase", {{"phase", name}});
+  std::mutex merge_mutex;
+  PhaseTally total;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      PhaseTally local;
+      const std::string client_id = "client-" + std::to_string(c);
+      int burst = 0;
+      while (burst < min_bursts ||
+             (stop_when != nullptr &&
+              !stop_when->load(std::memory_order_acquire))) {
+        std::vector<std::future<serve::ScoreResult>> futures;
+        futures.reserve(static_cast<std::size_t>(burst_size));
+        for (int i = 0; i < burst_size; ++i) {
+          serve::ScoreRequest request;
+          request.user = static_cast<std::uint32_t>(
+              (static_cast<std::size_t>(c) * 131 +
+               static_cast<std::size_t>(burst) * 17 +
+               static_cast<std::size_t>(i)) %
+              user_range);
+          request.priority = (i % 4 == 0) ? serve::Priority::kHigh
+                                          : serve::Priority::kNormal;
+          request.client_id = client_id;
+          futures.push_back(gateway.submit(std::move(request)));
+        }
+        for (auto& future : futures) {
+          tally_result(future.get(), book, local);
+        }
+        ++burst;
+      }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      total.answers += local.answers;
+      total.served += local.served;
+      total.zero_filled += local.zero_filled;
+      total.sheds += local.sheds;
+      total.version_violations += local.version_violations;
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::printf(
+      "phase %-8s answers=%llu served=%llu zero=%llu sheds=%llu "
+      "version_violations=%llu\n",
+      name.c_str(), static_cast<unsigned long long>(total.answers),
+      static_cast<unsigned long long>(total.served),
+      static_cast<unsigned long long>(total.zero_filled),
+      static_cast<unsigned long long>(total.sheds),
+      static_cast<unsigned long long>(total.version_violations));
+  return total;
+}
+
+/// Scores `users` one by one through the gateway (no faults armed) and
+/// returns (model_version, scores) per user.
+std::vector<std::pair<std::uint64_t, std::vector<float>>> probe(
+    serve::ServeGateway& gateway, const std::vector<std::uint32_t>& users) {
+  std::vector<std::pair<std::uint64_t, std::vector<float>>> out;
+  out.reserve(users.size());
+  for (const std::uint32_t user : users) {
+    serve::ScoreRequest request;
+    request.user = user;
+    request.deadline_ms = 1000.0;
+    request.client_id = "probe";
+    serve::ScoreResult result = gateway.submit(std::move(request)).get();
+    out.emplace_back(result.model_version, std::move(result.scores));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const int clients = static_cast<int>(args.get_int("clients", 4));
+  const int workers = static_cast<int>(args.get_int("workers", 3));
+  const auto queue_depth =
+      static_cast<std::size_t>(args.get_int("queue-depth", 128));
+  const double deadline_ms = args.get_double("deadline-ms", 60.0);
+  const int spike_min_bursts =
+      static_cast<int>(args.get_int("spike-min-bursts", 3));
+  const std::string checkpoint_path =
+      args.get_string("checkpoint", "ext_refresh_soak.ckpt");
+
+  // --- Facility stream: small GAGE-like facility, 5 ingestion windows.
+  util::Rng facility_rng(11);
+  const facility::FacilityModel model =
+      facility::make_gage_model(facility_rng, /*n_stations=*/60);
+  facility::PopulationParams pop;
+  pop.n_users = 48;
+  pop.n_cities = 10;
+  pop.n_organizations = 6;
+  util::Rng pop_rng(12);
+  const facility::UserPopulation users(model, pop, pop_rng);
+
+  facility::TraceParams trace;
+  facility::StreamParams stream_params;
+  stream_params.n_windows = 5;
+  stream_params.queries_per_window = 300;
+  stream_params.bootstrap_queries = 900;
+  stream_params.initial_user_fraction = 0.65;
+  stream_params.initial_item_fraction = 0.65;
+  stream_params.seed = 42;
+  facility::FacilityStream stream(model, users, trace, stream_params);
+
+  const std::size_t bootstrap_users = stream.active_users();
+  graph::InteractionSet bootstrap_all(stream.active_users(),
+                                      stream.active_items());
+  for (const facility::QueryRecord& q : stream.bootstrap_queries()) {
+    bootstrap_all.add(q.user, q.object);
+  }
+  bootstrap_all.finalize();
+  util::Rng split_rng(123);
+  graph::InteractionSplit split =
+      graph::split_interactions(bootstrap_all, 0.8, split_rng);
+
+  // --- Refresher + hot-swappable gateway over one ModelHandle.
+  serve::RefreshConfig refresh_config;
+  refresh_config.model.embedding_dim = 16;
+  refresh_config.model.layer_dims = {8};
+  refresh_config.model.epochs = 3;
+  refresh_config.model.cf_batch_size = 256;
+  refresh_config.model.kg_batch_size = 512;
+  refresh_config.model.seed = 7;
+  refresh_config.epochs = 1;
+  refresh_config.guardrail_eps = 0.5;  // chaos soak: swaps, not quality
+  refresh_config.eval_k = 10;
+  refresh_config.checkpoint_path = checkpoint_path;
+  refresh_config.ckg_options.sources = {facility::kSourceLoc,
+                                        facility::kSourceDkg};
+
+  auto handle = std::make_shared<serve::ModelHandle>();
+  serve::OnlineRefresher refresher(
+      handle, std::move(split), stream.bootstrap_user_pairs(2),
+      stream.bootstrap_sources(), refresh_config);
+
+  util::FaultInjector::instance().reset();
+  const serve::RefreshOutcome boot = refresher.bootstrap();
+  if (boot.status != serve::RefreshOutcome::Status::kPublished) {
+    std::printf("bootstrap failed: %s\n", boot.error.c_str());
+    return 1;
+  }
+  VersionBook book;
+  book.record(boot.version, refresher.serving_users(),
+              refresher.serving_items());
+
+  serve::GatewayConfig gateway_config;
+  gateway_config.threads = workers;
+  gateway_config.queue_depth = queue_depth;
+  gateway_config.default_deadline_ms = deadline_ms;
+  gateway_config.resilient.failure_threshold = 3;
+  gateway_config.resilient.retry_after = 16;
+  serve::ServeGateway gateway(handle, gateway_config);
+
+  std::printf(
+      "refresh soak: %zu bootstrap users / %zu items, %d clients x %d "
+      "workers, %zu windows\n\n",
+      stream.active_users(), stream.active_items(), clients,
+      gateway.threads(), stream_params.n_windows);
+
+  // --- Phase 1: normal traffic on the bootstrap generation.
+  const PhaseTally normal =
+      run_phase(gateway, "normal", book, clients, /*min_bursts=*/4,
+                /*burst_size=*/8, bootstrap_users, nullptr);
+
+  // --- Phase 2: overload spike + live refresh. The refresher thread
+  // applies three stream windows (the second is first rejected by an
+  // injected ingest.bad_delta, then re-applied cleanly), so >= 3 hot
+  // swaps land while bursts are in flight and torn reads are injected.
+  std::atomic<bool> refresh_done{false};
+  std::uint64_t spike_swaps = 0;
+  std::uint64_t bad_delta_rejects = 0;
+  std::thread refresh_thread([&] {
+    for (int window = 0; window < 3; ++window) {
+      const facility::StreamWindow stream_window = stream.stream_window();
+      if (window == 1) {
+        util::FaultScope bad(util::fault_points::kIngestBadDelta,
+                             util::FaultSpec{.every = 1});
+        const serve::RefreshOutcome rejected =
+            refresher.ingest(stream_window.delta);
+        if (rejected.status ==
+            serve::RefreshOutcome::Status::kRejectedBadDelta) {
+          ++bad_delta_rejects;
+        }
+      }
+      const serve::RefreshOutcome outcome =
+          refresher.ingest(stream_window.delta);
+      if (outcome.status == serve::RefreshOutcome::Status::kPublished) {
+        ++spike_swaps;
+        book.record(outcome.version, refresher.serving_users(),
+                    refresher.serving_items());
+      } else {
+        std::printf("window %d not published: %s\n", window,
+                    outcome.error.c_str());
+      }
+    }
+    refresh_done.store(true, std::memory_order_release);
+  });
+
+  PhaseTally spike;
+  {
+    util::FaultScope slow(
+        std::string(util::fault_points::kScoreDelay) + ":CKAT",
+        util::FaultSpec{.every = 3, .delay_ms = deadline_ms * 1.2});
+    util::FaultScope boom(
+        std::string(util::fault_points::kScoreThrow) + ":CKAT",
+        util::FaultSpec{.every = 5});
+    util::FaultScope flip(
+        std::string(util::fault_points::kScoreBitflip) + ":CKAT",
+        util::FaultSpec{.every = 7});
+    util::FaultScope torn(util::fault_points::kSwapTornRead,
+                          util::FaultSpec{.every = 40});
+    spike = run_phase(gateway, "spike", book, clients, spike_min_bursts,
+                      /*burst_size=*/32, bootstrap_users, &refresh_done);
+  }
+  refresh_thread.join();
+  const std::uint64_t torn_retries = handle->torn_read_retries();
+
+  // --- Phase 3: fault-injected rollback, probed for bit-identity.
+  gateway.reset_circuits();
+  std::vector<std::uint32_t> probe_users;
+  for (std::uint32_t u = 0; u < 8 && u < bootstrap_users; ++u) {
+    probe_users.push_back(u);
+  }
+  const auto before_rollback = probe(gateway, probe_users);
+  const facility::StreamWindow held_window = stream.stream_window();
+  serve::RefreshOutcome failed_publish;
+  {
+    util::FaultScope fail(util::fault_points::kSwapPublishFail,
+                          util::FaultSpec{.every = 1});
+    failed_publish = refresher.ingest(held_window.delta);
+  }
+  const auto after_rollback = probe(gateway, probe_users);
+  bool rollback_bit_identical = before_rollback.size() == after_rollback.size();
+  if (rollback_bit_identical) {
+    for (std::size_t i = 0; i < before_rollback.size(); ++i) {
+      rollback_bit_identical =
+          rollback_bit_identical &&
+          before_rollback[i].first == after_rollback[i].first &&
+          before_rollback[i].second == after_rollback[i].second;
+    }
+  }
+
+  // --- Phase 4: clean re-ingest of the failed window; its cold-start
+  // entities must be servable on the new generation.
+  const std::size_t users_before_reingest = refresher.serving_users();
+  const serve::RefreshOutcome reingest = refresher.ingest(held_window.delta);
+  bool cold_start_served = false;
+  std::size_t grown_items = refresher.serving_items();
+  if (reingest.status == serve::RefreshOutcome::Status::kPublished) {
+    book.record(reingest.version, refresher.serving_users(), grown_items);
+    if (reingest.delta_stats.users_added > 0) {
+      serve::ScoreRequest request;
+      request.user = static_cast<std::uint32_t>(users_before_reingest);
+      request.deadline_ms = 1000.0;
+      request.client_id = "cold-start";
+      const serve::ScoreResult result =
+          gateway.submit(std::move(request)).get();
+      cold_start_served =
+          result.status == serve::RequestStatus::kServed &&
+          result.model_version == reingest.version &&
+          result.scores.size() == grown_items;
+    }
+  }
+
+  const PhaseTally recovery =
+      run_phase(gateway, "recovery", book, clients, /*min_bursts=*/4,
+                /*burst_size=*/8, refresher.serving_users(), nullptr);
+
+  gateway.shutdown();
+  const serve::GatewayStats total = gateway.stats();
+
+  // --- Self-checks.
+  std::printf("\nself-checks:\n");
+  check(total.submitted ==
+            total.served + total.zero_filled + total.shed_total(),
+        "conservation: submitted == served + zero_filled + sheds");
+  std::uint64_t versioned_served = 0;
+  std::uint64_t versioned_zero = 0;
+  for (const auto& v : total.by_version) {
+    versioned_served += v.served;
+    versioned_zero += v.zero_filled;
+  }
+  check(versioned_served == total.served &&
+            versioned_zero == total.zero_filled,
+        "per-version conservation across swaps (sum over versions == "
+        "totals)");
+  const std::uint64_t answers = normal.answers + spike.answers +
+                                recovery.answers +
+                                2 * probe_users.size() +
+                                (cold_start_served ? 1 : 0);
+  check(answers <= total.submitted &&
+            normal.answers + spike.answers + recovery.answers ==
+                normal.served + normal.zero_filled + normal.sheds +
+                    spike.served + spike.zero_filled + spike.sheds +
+                    recovery.served + recovery.zero_filled + recovery.sheds,
+        "zero dropped requests: every client future resolved exactly once");
+  check(spike_swaps >= 3,
+        "at least 3 hot swaps completed during the overload spike (got " +
+            std::to_string(spike_swaps) + ")");
+  check(normal.version_violations + spike.version_violations +
+                recovery.version_violations ==
+            0,
+        "no torn/mixed-version reads reached a client");
+  check(torn_retries > 0,
+        "injected swap.torn_read made acquire() retry (retries=" +
+            std::to_string(torn_retries) + ")");
+  check(bad_delta_rejects == 1,
+        "injected ingest.bad_delta rejected a window without changing "
+        "the serving model");
+  check(failed_publish.status ==
+                serve::RefreshOutcome::Status::kPublishFailed &&
+            refresher.rollbacks() >= 1,
+        "fault-injected publish failure rolled back (rollbacks=" +
+            std::to_string(refresher.rollbacks()) + ")");
+  check(rollback_bit_identical,
+        "prior model kept serving bit-identical scores after the "
+        "rollback");
+  check(reingest.status == serve::RefreshOutcome::Status::kPublished,
+        "failed window re-ingested cleanly after the fault cleared");
+  check(cold_start_served,
+        "cold-start user servable on the new generation within one "
+        "refresh cycle");
+  check(total.queue_high_water <= gateway.queue_depth(),
+        "queue never exceeded its bound");
+
+  obs::RunReport report("ext_refresh_soak");
+  report.set_note("clients", static_cast<double>(clients));
+  report.set_note("workers", static_cast<double>(gateway.threads()));
+  report.set_note("spike_swaps", static_cast<double>(spike_swaps));
+  report.set_note("torn_read_retries", static_cast<double>(torn_retries));
+  report.set_note("rollbacks", static_cast<double>(refresher.rollbacks()));
+  report.set_note("versions_published", static_cast<double>(book.versions()));
+  obs::JsonValue conservation = obs::JsonValue::object();
+  conservation.set("submitted", static_cast<double>(total.submitted));
+  conservation.set("served", static_cast<double>(total.served));
+  conservation.set("zero_filled", static_cast<double>(total.zero_filled));
+  conservation.set("shed_total", static_cast<double>(total.shed_total()));
+  obs::JsonValue by_version = obs::JsonValue::array();
+  for (const auto& v : total.by_version) {
+    obs::JsonValue row = obs::JsonValue::object();
+    row.set("version", static_cast<double>(v.version));
+    row.set("served", static_cast<double>(v.served));
+    row.set("zero_filled", static_cast<double>(v.zero_filled));
+    by_version.push_back(std::move(row));
+  }
+  conservation.set("by_version", std::move(by_version));
+  report.add_section("conservation", conservation);
+  obs::JsonValue health_section = obs::JsonValue::array();
+  for (const auto& snapshot : gateway.aggregated_health_by_version()) {
+    health_section.push_back(serve::health_to_json(snapshot));
+  }
+  report.add_section("serving_by_version", health_section);
+  report.capture_metrics();
+  std::printf("\n%s\n", report.to_json_string().c_str());
+
+  std::remove(checkpoint_path.c_str());
+  if (g_check_failures > 0) {
+    std::printf("\n%d self-check(s) FAILED\n", g_check_failures);
+    return 1;
+  }
+  std::printf("\nall self-checks passed\n");
+  return 0;
+}

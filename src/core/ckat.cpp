@@ -505,6 +505,195 @@ void CkatModel::warm_start_from(const CkatModel& previous) {
   refresh_propagation_matrix();
 }
 
+namespace {
+
+/// Indexes a checkpoint's tensors by name; throws a clear error when a
+/// required tensor is absent.
+class CheckpointIndex {
+ public:
+  explicit CheckpointIndex(const nn::TrainingCheckpoint& checkpoint) {
+    for (const nn::TensorSnapshot& t : checkpoint.tensors) {
+      by_name_.emplace(t.name, &t);
+    }
+  }
+  [[nodiscard]] const nn::TensorSnapshot& require(
+      const std::string& name) const {
+    const auto it = by_name_.find(name);
+    if (it == by_name_.end()) {
+      throw std::runtime_error(
+          "warm_start_from_checkpoint: checkpoint has no tensor '" + name +
+          "'");
+    }
+    return *it->second;
+  }
+
+ private:
+  std::unordered_map<std::string, const nn::TensorSnapshot*> by_name_;
+};
+
+/// Copies snapshot row `from` into parameter row `to` — value and, when
+/// the snapshot carried optimizer moments, the Adam moment rows too
+/// (allocating zeroed moment tensors on first use so untouched new rows
+/// start the refresh with fresh moments).
+void transfer_row(nn::Parameter& p, const nn::TensorSnapshot& snapshot,
+                  std::uint32_t to, std::uint32_t from) {
+  auto src = snapshot.value.row(from);
+  std::copy(src.begin(), src.end(), p.value().row(to).begin());
+  if (snapshot.opt_m.empty()) return;
+  if (p.opt_m.empty()) {
+    p.opt_m.resize_zeroed(p.rows(), p.cols());
+    p.opt_v.resize_zeroed(p.rows(), p.cols());
+  }
+  auto m = snapshot.opt_m.row(from);
+  std::copy(m.begin(), m.end(), p.opt_m.row(to).begin());
+  auto v = snapshot.opt_v.row(from);
+  std::copy(v.begin(), v.end(), p.opt_v.row(to).begin());
+}
+
+/// Whole-tensor transfer for shape-stable parameters (projections,
+/// aggregator weights).
+void transfer_tensor(nn::Parameter& p, const nn::TensorSnapshot& snapshot) {
+  if (!snapshot.value.same_shape(p.value())) {
+    throw std::runtime_error(
+        "warm_start_from_checkpoint: shape mismatch for '" + snapshot.name +
+        "' (" + std::to_string(snapshot.value.rows()) + " x " +
+        std::to_string(snapshot.value.cols()) + " in the checkpoint, " +
+        std::to_string(p.rows()) + " x " + std::to_string(p.cols()) +
+        " here)");
+  }
+  p.value() = snapshot.value;
+  if (!snapshot.opt_m.empty()) {
+    p.opt_m = snapshot.opt_m;
+    p.opt_v = snapshot.opt_v;
+  }
+}
+
+}  // namespace
+
+void CkatModel::warm_start_from_checkpoint(
+    const nn::TrainingCheckpoint& checkpoint,
+    const graph::CollaborativeKg& previous_ckg) {
+  constexpr std::uint32_t kAbsent = 0xFFFFFFFFu;
+  const CheckpointIndex index(checkpoint);
+
+  // -- Entity table. The checkpoint must describe previous_ckg exactly,
+  // and the stream contract is append-only: a checkpoint with more
+  // entities than this model's vocabulary would silently truncate the
+  // model it claims to resume, so it is rejected loudly instead.
+  const nn::TensorSnapshot& entities = index.require("transr.entity");
+  if (entities.value.rows() != previous_ckg.n_entities()) {
+    throw std::runtime_error(
+        "warm_start_from_checkpoint: checkpoint entity table has " +
+        std::to_string(entities.value.rows()) +
+        " rows but the previous CKG has " +
+        std::to_string(previous_ckg.n_entities()) + " entities");
+  }
+  if (entities.value.rows() > ckg_.n_entities()) {
+    throw std::runtime_error(
+        "warm_start_from_checkpoint: checkpoint entity count (" +
+        std::to_string(entities.value.rows()) +
+        ") exceeds the current vocabulary (" +
+        std::to_string(ckg_.n_entities()) +
+        "); refusing to truncate — the stream contract is append-only");
+  }
+  if (entities.value.cols() != config_.embedding_dim) {
+    throw std::runtime_error(
+        "warm_start_from_checkpoint: embedding_dim mismatch (checkpoint " +
+        std::to_string(entities.value.cols()) + ", model " +
+        std::to_string(config_.embedding_dim) + ")");
+  }
+  nn::Parameter& entity_param = transr_->entity_embedding();
+  for (std::uint32_t e = 0; e < previous_ckg.n_entities(); ++e) {
+    const std::uint32_t target = ckg_.find_entity(previous_ckg.entity_name(e));
+    if (target == kAbsent) {
+      throw std::runtime_error(
+          "warm_start_from_checkpoint: entity '" +
+          previous_ckg.entity_name(e) +
+          "' from the checkpoint is missing from the current CKG "
+          "(streams are append-only; refusing a lossy warm start)");
+    }
+    transfer_row(entity_param, entities, target, e);
+  }
+
+  // -- Relations. Rows (and projection indices) follow the augmented
+  // layout [canonical | inverse]; the inverse slot of relation r sits at
+  // r + n_relations, which shifts when the vocabulary grows — map both
+  // slots by name.
+  const nn::TensorSnapshot& relations = index.require("transr.relation");
+  const auto prev_n_relations =
+      static_cast<std::uint32_t>(previous_ckg.n_relations());
+  const auto n_relations = static_cast<std::uint32_t>(ckg_.n_relations());
+  const bool inverses =
+      adjacency_.n_relations() == 2 * static_cast<std::size_t>(n_relations);
+  if (relations.value.rows() !=
+      static_cast<std::size_t>(prev_n_relations) * (inverses ? 2 : 1)) {
+    throw std::runtime_error(
+        "warm_start_from_checkpoint: relation table has " +
+        std::to_string(relations.value.rows()) + " rows but the previous "
+        "CKG implies " +
+        std::to_string(prev_n_relations * (inverses ? 2 : 1)));
+  }
+  nn::Parameter& relation_param = transr_->relation_embedding();
+  for (std::uint32_t r = 0; r < prev_n_relations; ++r) {
+    const std::uint32_t target =
+        ckg_.relations().find(previous_ckg.relations().name(r));
+    if (target == kAbsent) {
+      throw std::runtime_error(
+          "warm_start_from_checkpoint: relation '" +
+          previous_ckg.relations().name(r) +
+          "' from the checkpoint is missing from the current CKG");
+    }
+    transfer_row(relation_param, relations, target, r);
+    transfer_tensor(transr_->projection(target),
+                    index.require("transr.W" + std::to_string(r)));
+    if (inverses) {
+      transfer_row(relation_param, relations, target + n_relations,
+                   r + prev_n_relations);
+      transfer_tensor(
+          transr_->projection(target + n_relations),
+          index.require("transr.W" + std::to_string(r + prev_n_relations)));
+    }
+  }
+
+  // -- Aggregator weights are shape-stable across graph growth.
+  for (std::size_t l = 0; l < layer_weights_.size(); ++l) {
+    transfer_tensor(*layer_weights_[l],
+                    index.require("ckat.W" + std::to_string(l)));
+  }
+
+  // -- Optimizer trajectory: the refresh continues the run instead of
+  // restarting Adam's bias correction from step 0.
+  cf_optimizer_->set_step_count(checkpoint.cf_steps);
+  kg_optimizer_->set_step_count(checkpoint.kg_steps);
+  rng_.set_state(checkpoint.rng_state);
+  apply_lr_scale(checkpoint.lr_scale);
+  start_epoch_ = 0;
+  refresh_propagation_matrix();
+}
+
+void CkatModel::refresh_fit(int epochs) {
+  if (epochs < 0) {
+    throw std::invalid_argument("refresh_fit: epochs must be >= 0");
+  }
+  // Bounded pass: run exactly `epochs` epochs from the current
+  // parameters. Periodic checkpointing is suppressed — the refresher
+  // publishes a checkpoint only for models that pass the guardrail.
+  const int saved_epochs = config_.epochs;
+  const int saved_checkpoint_every = config_.checkpoint_every;
+  config_.epochs = epochs;
+  config_.checkpoint_every = 0;
+  start_epoch_ = 0;
+  try {
+    fit();
+  } catch (...) {
+    config_.epochs = saved_epochs;
+    config_.checkpoint_every = saved_checkpoint_every;
+    throw;
+  }
+  config_.epochs = saved_epochs;
+  config_.checkpoint_every = saved_checkpoint_every;
+}
+
 void CkatModel::save(const std::string& path) const {
   if (!fitted_) {
     throw std::logic_error("CkatModel::save: fit() or load() first");

@@ -144,6 +144,30 @@ class CkatModel final : public eval::Recommender {
   /// far fewer epochs are then needed to recover full quality.
   void warm_start_from(const CkatModel& previous);
 
+  /// Online-refresh warm start (serve/refresh.hpp): resumes from a
+  /// CKATCKP2 checkpoint captured on a model over `previous_ckg`, on
+  /// this model's *grown* CKG. Entity/relation rows transfer by stable
+  /// CKG name bit-exactly — parameter values AND Adam moments — so an
+  /// immediately-following refresh_fit continues the optimizer
+  /// trajectory; genuinely new entities keep their fresh Xavier rows
+  /// and zero moments. Optimizer step counts, RNG state and the
+  /// learning-rate scale are restored from the checkpoint.
+  ///
+  /// Rejects (std::runtime_error, clear message): a checkpoint whose
+  /// entity table does not match `previous_ckg`, a checkpoint whose
+  /// entity count exceeds this model's vocabulary, or any entity /
+  /// relation of `previous_ckg` that is missing here — the stream
+  /// contract is append-only, so silent truncation is always a bug.
+  void warm_start_from_checkpoint(const nn::TrainingCheckpoint& checkpoint,
+                                  const graph::CollaborativeKg& previous_ckg);
+
+  /// Bounded-epoch training pass for online refresh: runs exactly
+  /// `epochs` epochs from the current (warm-started) parameters and
+  /// re-caches representations. epochs == 0 is valid and just
+  /// propagates the transferred embeddings (making cold-start entities
+  /// scoreable without any training).
+  void refresh_fit(int epochs);
+
  private:
   /// Builds the propagation stack on a tape and returns the final
   /// concatenated representation Var of shape (n_entities, D*).

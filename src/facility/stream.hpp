@@ -1,0 +1,139 @@
+// Streaming replay of a facility's query year (Sec. III.B traces as
+// *streams* instead of one frozen snapshot).
+//
+// FacilityStream splits the synthetic facility into an initial active
+// prefix of users and data objects (the bootstrap corpus a first model
+// is trained on) and a sequence of ingestion windows. Each
+// stream_window() call activates the next slice of cold-start users and
+// instruments' objects, samples that window's queries from the same
+// affinity-mixture model as QueryTraceGenerator, and packages everything
+// as a graph::CkgDelta ready for CollaborativeKg::apply_delta:
+//
+//  * Cold-start entities: user/item ids are the global prefix ids, so a
+//    window's new entities are exactly the append-only id growth the
+//    delta contract expects.
+//  * Entity alignment: knowledge facts for newly activated objects use
+//    the same "site:"/"region:"/"type:"/"disc:"/"inst:" attribute naming
+//    as dataset.cpp's extract_knowledge_sources; the stream tracks which
+//    names it has already emitted and declares only the genuinely-new
+//    ones in delta.new_attributes/new_relations (a mid-stream instrument
+//    introduces "inst:..." attributes, and the first such window
+//    introduces the "generatedBy" relation itself).
+//  * Seasonal drift: a per-window share of queries is sampled under a
+//    rotated copy of the user's preferred region, so affinities shift
+//    over the stream the way a facility's seasonal campaigns do.
+//
+// Deterministic: one util::Rng seeded from StreamParams::seed drives the
+// whole stream; the same seed replays the same windows bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "facility/trace.hpp"
+#include "graph/ckg.hpp"
+#include "graph/delta.hpp"
+#include "util/rng.hpp"
+
+namespace ckat::facility {
+
+struct StreamParams {
+  /// Ingestion windows after the bootstrap corpus.
+  std::size_t n_windows = 6;
+  std::size_t queries_per_window = 1500;
+  /// Queries in the bootstrap corpus (window 0, no delta).
+  std::size_t bootstrap_queries = 4000;
+  /// Fraction of users / data objects active at bootstrap; the rest
+  /// cold-start in equal slices across the windows.
+  double initial_user_fraction = 0.7;
+  double initial_item_fraction = 0.7;
+  /// Share of a window's queries drawn under the drifted (rotated)
+  /// region preference.
+  double drift_share = 0.3;
+  /// Same-city links emitted per cold-start user.
+  std::size_t uug_neighbors_per_new_user = 3;
+  std::uint64_t seed = 42;
+};
+
+/// One ingestion window: the graph growth plus the raw timestamped
+/// queries (delta.interactions holds the same (user, object) pairs).
+struct StreamWindow {
+  std::size_t index = 0;  // 1-based; 0 is the bootstrap corpus
+  graph::CkgDelta delta;
+  std::vector<QueryRecord> queries;
+};
+
+class FacilityStream {
+ public:
+  /// `facility` and `users` must outlive the stream.
+  FacilityStream(const FacilityModel& facility, const UserPopulation& users,
+                 TraceParams trace, StreamParams params);
+
+  [[nodiscard]] std::size_t active_users() const noexcept {
+    return active_users_;
+  }
+  [[nodiscard]] std::size_t active_items() const noexcept {
+    return active_items_;
+  }
+  [[nodiscard]] std::size_t windows_emitted() const noexcept {
+    return window_index_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept {
+    return window_index_ >= params_.n_windows;
+  }
+
+  /// Bootstrap corpus over the initial active prefix (call once, before
+  /// the first stream_window()).
+  [[nodiscard]] std::vector<QueryRecord> bootstrap_queries();
+
+  /// LOC + DKG knowledge restricted to the active prefix — the sources
+  /// the bootstrap CKG is built from. Attribute facts are emitted only
+  /// for attributes an active object references, so later windows can
+  /// genuinely introduce new ones.
+  [[nodiscard]] std::vector<graph::KnowledgeSource> bootstrap_sources() const;
+
+  /// Same-city pairs among the initially-active users (G3 seed).
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>>
+  bootstrap_user_pairs(std::size_t max_neighbors);
+
+  /// Emits the next ingestion window and advances the active prefix.
+  /// Throws std::logic_error when the stream is exhausted.
+  [[nodiscard]] StreamWindow stream_window();
+
+ private:
+  [[nodiscard]] std::uint32_t sample_active_user();
+  [[nodiscard]] std::uint32_t sample_active_object(const UserProfile& profile);
+  /// Registers `name` if unseen and appends it to `out` (the delta's
+  /// declaration list).
+  void declare_attribute(const std::string& name,
+                         std::vector<std::string>& out);
+  void declare_relation(const std::string& name,
+                        std::vector<std::string>& out);
+  /// Knowledge facts (and any new declarations) for one newly activated
+  /// object, appended to `delta`.
+  void emit_object_knowledge(std::uint32_t object, graph::CkgDelta& delta);
+
+  const FacilityModel& facility_;
+  const UserPopulation& users_;
+  QueryTraceGenerator generator_;
+  TraceParams trace_;
+  StreamParams params_;
+  util::Rng rng_;
+
+  std::size_t active_users_ = 0;
+  std::size_t active_items_ = 0;
+  std::size_t window_index_ = 0;
+
+  std::unordered_set<std::string> known_attributes_;
+  std::unordered_set<std::string> known_relations_;
+
+  /// Zipf activity sampler over the active user prefix, rebuilt when the
+  /// prefix grows (user_weights_size_ tracks the built size).
+  util::AliasSampler user_sampler_;
+  std::size_t user_weights_size_ = 0;
+};
+
+}  // namespace ckat::facility

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "graph/adjacency.hpp"
+#include "graph/delta.hpp"
 #include "graph/interactions.hpp"
 #include "graph/triple_store.hpp"
 
@@ -109,6 +110,31 @@ class CollaborativeKg {
   /// Name of attribute entity id (for debugging/examples); users/items
   /// get synthesized names.
   [[nodiscard]] std::string entity_name(std::uint32_t entity) const;
+
+  /// Id of the entity with `name` ("user#i" / "item#j" / attribute
+  /// name), or UINT32_MAX when absent. Inverse of entity_name().
+  [[nodiscard]] std::uint32_t find_entity(const std::string& name) const;
+
+  /// Applies one append-only ingestion window (delta.hpp) in place:
+  /// appends new users/items/attributes/relations, shifts existing
+  /// item/attribute ids by the monotone growth remap, and merges the
+  /// new edges into the sorted triple arrays.
+  ///
+  /// The triple arrays stay sorted without a full re-sort: the remap
+  /// preserves their order, so only the delta's own edges are sorted
+  /// (O(d log d)) and spliced in with one in-place merge pass — the CSR
+  /// any consumer builds next only reorders where segments actually
+  /// changed. Validation is all-or-nothing: a rejected delta (thrown as
+  /// std::invalid_argument with a stable `delta.*` check id, see
+  /// delta.cpp) leaves the graph untouched, so a serving snapshot can
+  /// keep using it. Under -DCKAT_VALIDATE the merged graph re-runs the
+  /// full CkgValidator contract from construction.
+  ///
+  /// NOTE: apply_delta invalidates the entity ids held by anything built
+  /// from this graph (models, adjacencies). Serving-path consumers must
+  /// copy the graph per model version (see serve/refresh.hpp) instead of
+  /// mutating a shared instance.
+  DeltaStats apply_delta(const CkgDelta& delta);
 
  private:
   std::size_t n_users_ = 0;

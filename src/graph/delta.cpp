@@ -1,0 +1,243 @@
+// CollaborativeKg::apply_delta — streaming growth of the CKG.
+//
+// Corruption classes rejected here (stable check ids, mirrored by
+// tests/graph/ckg_delta_test.cpp):
+//   delta.duplicate_alignment  declared-new attribute/relation name that
+//                              already exists in the vocab, or repeats
+//                              within the delta
+//   delta.unknown_relation     knowledge fact under a relation neither
+//                              in the vocab nor declared new
+//   delta.unknown_attribute    knowledge fact referencing an attribute
+//                              neither in the vocab nor declared new
+//   delta.reserved_relation    knowledge fact under "interact" (relation
+//                              0 is G1/G3-only by the layout contract)
+//   delta.id_range             user/item id outside the post-delta id
+//                              space
+//   delta.injected             ingest.bad_delta fault fired (chaos runs)
+//
+// Validation is complete before any mutation: a throw leaves the graph
+// bit-identical to its pre-call state (strong exception guarantee).
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+#include "graph/ckg.hpp"
+#include "util/contract.hpp"
+#include "util/fault.hpp"
+#if defined(CKAT_VALIDATE)
+#include "graph/validator.hpp"
+#endif
+
+namespace ckat::graph {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& check, const std::string& detail) {
+  throw std::invalid_argument("apply_delta[" + check + "]: " + detail);
+}
+
+/// Sorts/dedups `additions` and splices them into the sorted `dst`
+/// without re-sorting the existing prefix; returns the net growth.
+std::size_t merge_sorted(std::vector<Triple>& dst,
+                         std::vector<Triple> additions) {
+  std::sort(additions.begin(), additions.end());
+  additions.erase(std::unique(additions.begin(), additions.end()),
+                  additions.end());
+  const std::size_t before = dst.size();
+  const auto middle = static_cast<std::ptrdiff_t>(before);
+  dst.insert(dst.end(), additions.begin(), additions.end());
+  std::inplace_merge(dst.begin(), dst.begin() + middle, dst.end());
+  dst.erase(std::unique(dst.begin(), dst.end()), dst.end());
+  return dst.size() - before;
+}
+
+}  // namespace
+
+std::uint32_t CollaborativeKg::find_entity(const std::string& name) const {
+  constexpr std::uint32_t kAbsent = 0xFFFFFFFFu;
+  auto parse_index = [](const std::string& text, std::size_t limit,
+                        std::uint32_t& out) {
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos) {
+      return false;
+    }
+    const unsigned long long value = std::stoull(text);
+    if (value >= limit) return false;
+    out = static_cast<std::uint32_t>(value);
+    return true;
+  };
+  std::uint32_t index = 0;
+  if (name.rfind("user#", 0) == 0) {
+    if (!parse_index(name.substr(5), n_users_, index)) return kAbsent;
+    return user_entity(index);
+  }
+  if (name.rfind("item#", 0) == 0) {
+    if (!parse_index(name.substr(5), n_items_, index)) return kAbsent;
+    return item_entity(index);
+  }
+  const std::uint32_t attr = attributes_.find(name);
+  if (attr == kAbsent) return kAbsent;
+  return static_cast<std::uint32_t>(n_users_ + n_items_) + attr;
+}
+
+DeltaStats CollaborativeKg::apply_delta(const CkgDelta& delta) {
+  auto& injector = util::FaultInjector::instance();
+  if (injector.enabled() &&
+      injector.should_fire(util::fault_points::kIngestBadDelta)) {
+    reject("delta.injected", "injected fault: ingest.bad_delta");
+  }
+
+  const std::size_t new_n_users = n_users_ + delta.n_new_users;
+  const std::size_t new_n_items = n_items_ + delta.n_new_items;
+
+  // -- Phase 1: validate everything against (vocab + declarations);
+  // nothing below this block runs unless the whole delta is admissible.
+  std::unordered_set<std::string> pending_attributes;
+  for (const std::string& name : delta.new_attributes) {
+    if (attributes_.contains(name)) {
+      reject("delta.duplicate_alignment",
+             "new attribute '" + name + "' already in the vocab");
+    }
+    if (!pending_attributes.insert(name).second) {
+      reject("delta.duplicate_alignment",
+             "attribute '" + name + "' declared twice");
+    }
+  }
+  std::unordered_set<std::string> pending_relations;
+  for (const std::string& name : delta.new_relations) {
+    if (relations_.contains(name)) {
+      reject("delta.duplicate_alignment",
+             "new relation '" + name + "' already in the vocab");
+    }
+    if (!pending_relations.insert(name).second) {
+      reject("delta.duplicate_alignment",
+             "relation '" + name + "' declared twice");
+    }
+  }
+  auto attribute_known = [&](const std::string& name) {
+    return attributes_.contains(name) || pending_attributes.count(name) > 0;
+  };
+  for (const CkgDelta::Knowledge& k : delta.knowledge) {
+    if (k.relation == "interact") {
+      reject("delta.reserved_relation",
+             "knowledge fact under relation 0 ('interact')");
+    }
+    if (!relations_.contains(k.relation) &&
+        pending_relations.count(k.relation) == 0) {
+      reject("delta.unknown_relation", "'" + k.relation + "'");
+    }
+    if (!attribute_known(k.attribute)) {
+      reject("delta.unknown_attribute", "tail '" + k.attribute + "'");
+    }
+    if (k.head_attribute.empty()) {
+      if (k.item >= new_n_items) {
+        reject("delta.id_range",
+               "knowledge head item " + std::to_string(k.item) + " >= " +
+                   std::to_string(new_n_items));
+      }
+    } else if (!attribute_known(k.head_attribute)) {
+      reject("delta.unknown_attribute", "head '" + k.head_attribute + "'");
+    }
+  }
+  for (const Interaction& x : delta.interactions) {
+    if (x.user >= new_n_users || x.item >= new_n_items) {
+      reject("delta.id_range",
+             "interaction (" + std::to_string(x.user) + ", " +
+                 std::to_string(x.item) + ") outside " +
+                 std::to_string(new_n_users) + " x " +
+                 std::to_string(new_n_items));
+    }
+  }
+  for (const auto& [a, b] : delta.user_user_pairs) {
+    if (a >= new_n_users || b >= new_n_users) {
+      reject("delta.id_range", "user pair (" + std::to_string(a) + ", " +
+                                   std::to_string(b) + ") outside " +
+                                   std::to_string(new_n_users) + " users");
+    }
+  }
+
+  // -- Phase 2: grow the id space. The remap is strictly monotone in
+  // the entity id (users fixed, items +n_new_users, attributes
+  // +n_new_users+n_new_items), and Triple orders by (head, relation,
+  // tail), so the sorted triple arrays stay sorted — merge, not resort.
+  DeltaStats stats;
+  stats.users_added = delta.n_new_users;
+  stats.items_added = delta.n_new_items;
+  stats.relations_added = delta.new_relations.size();
+  stats.attributes_added = delta.new_attributes.size();
+
+  const std::uint32_t old_item_base = static_cast<std::uint32_t>(n_users_);
+  const std::uint32_t old_attr_base =
+      static_cast<std::uint32_t>(n_users_ + n_items_);
+  const std::uint32_t item_shift = delta.n_new_users;
+  const std::uint32_t attr_shift = delta.n_new_users + delta.n_new_items;
+  if (attr_shift != 0) {
+    auto remap = [&](std::uint32_t e) {
+      if (e >= old_attr_base) return e + attr_shift;
+      if (e >= old_item_base) return e + item_shift;
+      return e;
+    };
+    auto remap_all = [&](std::vector<Triple>& v) {
+      for (Triple& t : v) {
+        t.head = remap(t.head);
+        t.tail = remap(t.tail);
+      }
+    };
+    remap_all(triples_);
+    remap_all(knowledge_triples_);
+    stats.entities_remapped =
+        (item_shift != 0 ? n_items_ : 0) + attributes_.size();
+  }
+
+  n_users_ = new_n_users;
+  n_items_ = new_n_items;
+  for (const std::string& name : delta.new_relations) relations_.intern(name);
+  for (const std::string& name : delta.new_attributes) {
+    attributes_.intern(name);
+  }
+  n_entities_ = n_users_ + n_items_ + attributes_.size();
+
+  // -- Phase 3: build the new edges in post-delta ids and merge them in.
+  const auto attr_base = static_cast<std::uint32_t>(n_users_ + n_items_);
+  auto attribute_entity = [&](const std::string& name) {
+    return attr_base + attributes_.id(name);
+  };
+
+  std::vector<Triple> added;
+  std::vector<Triple> added_knowledge;
+  added.reserve(delta.interactions.size() + delta.user_user_pairs.size() +
+                delta.knowledge.size());
+  for (const Interaction& x : delta.interactions) {
+    added.push_back(
+        Triple{user_entity(x.user), interact_relation(), item_entity(x.item)});
+  }
+  for (const auto& [a, b] : delta.user_user_pairs) {
+    Triple t{user_entity(a), interact_relation(), user_entity(b)};
+    added.push_back(t);
+    added_knowledge.push_back(t);
+  }
+  for (const CkgDelta::Knowledge& k : delta.knowledge) {
+    const std::uint32_t head = k.head_attribute.empty()
+                                   ? item_entity(k.item)
+                                   : attribute_entity(k.head_attribute);
+    Triple t{head, relations_.id(k.relation), attribute_entity(k.attribute)};
+    added.push_back(t);
+    added_knowledge.push_back(t);
+  }
+  stats.triples_added = merge_sorted(triples_, std::move(added));
+  stats.knowledge_triples_added =
+      merge_sorted(knowledge_triples_, std::move(added_knowledge));
+
+#if defined(CKAT_VALIDATE)
+  // Streaming-merge boundary: same contract as construction — segment
+  // alignment, vocab ranges and knowledge ⊆ triples must survive the
+  // remap + merge before any model consumes the grown graph.
+  const auto issues = CkgValidator::validate(*this);
+  CKAT_CHECK_INVARIANT(issues.empty(),
+                       "apply_delta: " + format_issues(issues));
+#endif
+  return stats;
+}
+
+}  // namespace ckat::graph

@@ -1,0 +1,85 @@
+// Append-only streaming updates to a CollaborativeKg.
+//
+// A CkgDelta is one window of newly-arrived facility activity: users and
+// items appended to the dense id space, fresh interactions/co-location
+// pairs, and knowledge facts for the new items. Attribute entities and
+// relations are referenced *by name* so the producer (a trace stream, an
+// ingest daemon) never needs to know the consumer's current vocabulary —
+// CollaborativeKg::apply_delta aligns names against the existing vocab
+// and appends the genuinely-new ones, exactly like the initial
+// construction does across knowledge sources.
+//
+// The entity-id contract (ckg.hpp: [users | items | attributes]) makes
+// growth a *monotone* remap: users keep their ids, every existing item
+// id shifts up by n_new_users, every existing attribute id shifts up by
+// n_new_users + n_new_items. Entity names are stable under this remap
+// ("user#3" stays "user#3"), which is what lets a warm-started model
+// (core/ckat.hpp) carry embedding rows across refresh cycles by name.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/interactions.hpp"
+
+namespace ckat::graph {
+
+/// One append-only ingestion window. All user/item ids are in the
+/// *post-delta* id space: an existing user keeps its id, the i-th new
+/// user is `old_n_users + i` (same for items).
+struct CkgDelta {
+  /// Producer-assigned window number (diagnostics only).
+  std::uint64_t sequence = 0;
+
+  /// Cold-start entities appended to the id space this window.
+  std::uint32_t n_new_users = 0;
+  std::uint32_t n_new_items = 0;
+
+  /// Names this delta introduces. apply_delta rejects a declared-new
+  /// name that already exists (or repeats) — a "duplicate alignment" is
+  /// how an out-of-sync producer corrupts the entity layout silently.
+  std::vector<std::string> new_relations;
+  std::vector<std::string> new_attributes;
+
+  /// New user-item interactions (G1 edges, post-delta ids).
+  std::vector<Interaction> interactions;
+  /// New same-location user pairs (G3 edges, post-delta ids).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> user_user_pairs;
+
+  /// One knowledge fact (G2 edge). The head is either an item (when
+  /// `head_attribute` is empty) or an attribute entity by name; the tail
+  /// is always an attribute by name. Every referenced attribute /
+  /// relation must exist in the CKG vocab or be declared above.
+  struct Knowledge {
+    std::string head_attribute;  // "" = head is `item`
+    std::uint32_t item = 0;
+    std::string relation;
+    std::string attribute;
+  };
+  std::vector<Knowledge> knowledge;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return n_new_users == 0 && n_new_items == 0 && interactions.empty() &&
+           user_user_pairs.empty() && knowledge.empty() &&
+           new_relations.empty() && new_attributes.empty();
+  }
+};
+
+/// What one apply_delta call changed, for logs/metrics and the soak's
+/// conservation bookkeeping.
+struct DeltaStats {
+  std::size_t users_added = 0;
+  std::size_t items_added = 0;
+  std::size_t attributes_added = 0;
+  std::size_t relations_added = 0;
+  /// Net new rows in triples() / knowledge_triples() after dedup.
+  std::size_t triples_added = 0;
+  std::size_t knowledge_triples_added = 0;
+  /// Existing entity ids shifted by the monotone growth remap.
+  std::size_t entities_remapped = 0;
+};
+
+}  // namespace ckat::graph

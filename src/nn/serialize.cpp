@@ -144,8 +144,22 @@ void load_parameters(ParamStore& store, const std::string& path) {
                                "' (corrupt file?)");
     }
     if (rows != p.rows() || cols != p.cols()) {
-      throw std::runtime_error("load_parameters: shape mismatch for '" +
-                               name + "'");
+      // A larger row count is the warm-start footgun: a checkpoint from
+      // a grown vocabulary silently truncated into a smaller model
+      // would score garbage for every remapped id. Name the counts so
+      // the operator sees *which* direction the mismatch runs.
+      std::string message = "load_parameters: shape mismatch for '" + name +
+                            "' (file has " + std::to_string(rows) + " x " +
+                            std::to_string(cols) + ", store expects " +
+                            std::to_string(p.rows()) + " x " +
+                            std::to_string(p.cols()) + ")";
+      if (rows > p.rows()) {
+        message +=
+            "; the file's entity count exceeds this model's vocabulary — "
+            "a checkpoint from a larger vocabulary cannot be loaded into "
+            "a smaller model (use warm_start_from_checkpoint for growth)";
+      }
+      throw std::runtime_error(message);
     }
     in.read(reinterpret_cast<char*>(p.value().data()),
             static_cast<std::streamsize>(p.value().size() * sizeof(float)));

@@ -65,4 +65,21 @@ inline constexpr const char* kGatewayServedSeconds =
 inline constexpr const char* kGatewayQueueHighWater =
     "ckat_gateway_queue_high_water";
 
+// Atomic model hot-swap (src/serve/swap.cpp).
+inline constexpr const char* kSwapPublishesTotal = "ckat_swap_publishes_total";
+inline constexpr const char* kSwapTornReadRetriesTotal =
+    "ckat_swap_torn_read_retries_total";
+inline constexpr const char* kSwapModelVersion = "ckat_swap_model_version";
+
+// Online refresh cycles (src/serve/refresh.cpp). Deltas labeled
+// {outcome}: published | rejected_bad_delta | rejected_guardrail |
+// publish_failed; rollbacks labeled {reason}: guardrail | publish_fail.
+inline constexpr const char* kRefreshIngestDeltasTotal =
+    "ckat_refresh_ingest_deltas_total";
+inline constexpr const char* kRefreshPublishesTotal =
+    "ckat_refresh_publishes_total";
+inline constexpr const char* kRefreshRollbacksTotal =
+    "ckat_refresh_rollbacks_total";
+inline constexpr const char* kRefreshFitSeconds = "ckat_refresh_fit_seconds";
+
 }  // namespace ckat::obs::metric_names

@@ -76,17 +76,40 @@ GatewayConfig GatewayConfig::from_env() {
   return config;
 }
 
-ServeGateway::ServeGateway(std::vector<const eval::Recommender*> tiers,
-                           GatewayConfig config)
-    : config_(config),
-      queue_(config.queue_depth > 0 ? config.queue_depth : 256) {
+namespace {
+
+/// Wraps a static tier list in a handle with exactly one published
+/// version (the legacy non-swapping construction path).
+std::shared_ptr<ModelHandle> make_static_handle(
+    std::vector<const eval::Recommender*> tiers) {
   if (tiers.empty()) {
     throw std::invalid_argument("ServeGateway: at least one tier required");
   }
   if (tiers.front() == nullptr) {
     throw std::invalid_argument("ServeGateway: null tier");
   }
-  n_items_ = tiers.front()->n_items();
+  auto handle = std::make_shared<ModelHandle>();
+  const std::size_t n_users = tiers.front()->n_users();
+  const std::size_t n_items = tiers.front()->n_items();
+  handle->publish(std::move(tiers), n_users, n_items);
+  return handle;
+}
+
+}  // namespace
+
+ServeGateway::ServeGateway(std::vector<const eval::Recommender*> tiers,
+                           GatewayConfig config)
+    : ServeGateway(make_static_handle(std::move(tiers)), config) {}
+
+ServeGateway::ServeGateway(std::shared_ptr<ModelHandle> handle,
+                           GatewayConfig config)
+    : config_(config),
+      handle_(std::move(handle)),
+      queue_(config.queue_depth > 0 ? config.queue_depth : 256) {
+  if (handle_ == nullptr || !handle_->has_version()) {
+    throw std::invalid_argument(
+        "ServeGateway: handle must have a published model version");
+  }
 
   int threads = config_.threads;
   if (threads <= 0) {
@@ -95,17 +118,24 @@ ServeGateway::ServeGateway(std::vector<const eval::Recommender*> tiers,
   }
   config_.threads = threads;
   config_.queue_depth = queue_.capacity();
+  if (config_.keep_versions == 0) {
+    const long keep = env_positive_long("CKAT_SWAP_KEEP_VERSIONS");
+    config_.keep_versions = keep > 0 ? static_cast<std::size_t>(keep) : 2;
+  }
 
   // The chain walk gets its budget per request from the gateway; a
   // config-level deadline would double-count the queue wait.
-  ResilientConfig chain_config = config_.resilient;
-  chain_config.deadline_ms = 0.0;
+  chain_config_ = config_.resilient;
+  chain_config_.deadline_ms = 0.0;
 
+  // Build each worker's chain for the current version eagerly: the
+  // ResilientRecommender constructor validates tier agreement, so a
+  // malformed initial version fails here instead of inside a worker.
+  const auto snapshot = handle_->acquire();
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) {
     auto worker = std::make_unique<Worker>();
-    worker->chain = std::make_unique<ResilientRecommender>(tiers,
-                                                           chain_config);
+    chain_for(*worker, snapshot);
     workers_.push_back(std::move(worker));
   }
 
@@ -233,6 +263,38 @@ std::future<ScoreResult> ServeGateway::submit(ScoreRequest request) {
   return future;
 }
 
+ResilientRecommender& ServeGateway::chain_for(
+    Worker& worker, const std::shared_ptr<const ModelVersion>& snapshot) {
+  // NOLINTNEXTLINE(ckat-mutex-guard): caller holds worker.mutex (worker_loop) or the worker has no thread yet (constructor)
+  for (auto& entry : worker.chains) {
+    if (entry.version->version == snapshot->version) return *entry.chain;
+  }
+  VersionedChain entry;
+  entry.version = snapshot;
+  entry.chain =
+      std::make_unique<ResilientRecommender>(snapshot->tiers, chain_config_);
+  entry.chain->set_model_version(snapshot->version);
+  worker.chains.push_back(std::move(entry));
+  // Prune oldest-first past the cache bound; the entry just added is
+  // always kept, so the serving version never churns.
+  const std::size_t keep = std::max<std::size_t>(config_.keep_versions, 1);
+  while (worker.chains.size() > keep) {
+    worker.chains.erase(worker.chains.begin());
+  }
+  return *worker.chains.back().chain;
+}
+
+void ServeGateway::count_version_resolution(std::uint64_t version,
+                                            bool served) {
+  std::lock_guard<std::mutex> lock(version_counts_mutex_);
+  auto& counts = version_counts_[version];
+  if (served) {
+    ++counts.first;
+  } else {
+    ++counts.second;
+  }
+}
+
 void ServeGateway::worker_loop(Worker& worker) {
   while (auto job = queue_.pop()) {
     const auto dequeued_at = Clock::now();
@@ -247,18 +309,60 @@ void ServeGateway::worker_loop(Worker& worker) {
                                : 0.0;
 
     const bool is_batch = !job->request.users.empty();
+    const std::size_t rows = is_batch ? job->request.users.size() : 1;
     ScoreResult result;
-    result.scores.resize((is_batch ? job->request.users.size() : 1) *
-                         n_items_);
     result.queue_ms = ms_between(job->admitted_at, dequeued_at);
+
+    // Resolve the serving model per request: everything downstream —
+    // row width, chain, accounting — comes from this one snapshot, so
+    // a concurrent publish can never produce a mixed-version answer.
+    std::shared_ptr<const ModelVersion> snapshot;
+    try {
+      snapshot = handle_->acquire();
+    } catch (const std::exception& error) {
+      // Torn reads persisted past the retry bound (injected chaos).
+      // The request still resolves exactly once: a zero-filled
+      // degraded answer, accounted under version 0.
+      CKAT_LOG_WARN("[gateway] acquire failed, zero-filling: %s",
+                    error.what());
+      result.status = RequestStatus::kZeroFilled;
+      result.total_ms = ms_between(job->admitted_at, Clock::now());
+      zero_filled_.fetch_add(1, std::memory_order_relaxed);
+      requests_zero_filled_->inc();
+      count_version_resolution(0, false);
+      job->promise.set_value(std::move(result));
+      continue;
+    }
+    result.model_version = snapshot->version;
+    result.scores.resize(rows * snapshot->n_items);
+
+    // A user id beyond this version's vocabulary (a client that heard
+    // about a cold-start user before the refresh published it) gets a
+    // zero-filled answer of this version's row shape — never a tier
+    // call that would index out of range.
+    bool users_in_range = true;
+    if (is_batch) {
+      for (const std::uint32_t user : job->request.users) {
+        if (user >= snapshot->n_users) {
+          users_in_range = false;
+          break;
+        }
+      }
+    } else {
+      users_in_range = job->request.user < snapshot->n_users;
+    }
+
     ResilientRecommender::ScoreOutcome outcome;
-    {
+    if (!users_in_range) {
+      outcome.kind = ResilientRecommender::ScoreOutcome::Kind::kZeroFilled;
+    } else {
       std::lock_guard<std::mutex> lock(worker.mutex);
+      ResilientRecommender& chain = chain_for(worker, snapshot);
       outcome = is_batch
-                    ? worker.chain->score_batch_with_budget(
+                    ? chain.score_batch_with_budget(
                           job->request.users, result.scores, remaining_ms)
-                    : worker.chain->score_with_budget(
-                          job->request.user, result.scores, remaining_ms);
+                    : chain.score_with_budget(job->request.user,
+                                              result.scores, remaining_ms);
     }
     queue_wait_seconds_->observe(result.queue_ms * 1e-3);
     result.total_ms = ms_between(job->admitted_at, Clock::now());
@@ -271,11 +375,13 @@ void ServeGateway::worker_loop(Worker& worker) {
         served_.fetch_add(1, std::memory_order_relaxed);
         requests_served_->inc();
         request_seconds_->observe(result.total_ms * 1e-3);
+        count_version_resolution(snapshot->version, true);
         break;
       case Kind::kZeroFilled:
         result.status = RequestStatus::kZeroFilled;
         zero_filled_.fetch_add(1, std::memory_order_relaxed);
         requests_zero_filled_->inc();
+        count_version_resolution(snapshot->version, false);
         break;
       case Kind::kBudgetExhausted:
         result.scores.clear();
@@ -321,6 +427,22 @@ void ServeGateway::shutdown() {
             " served=" + std::to_string(s.served) +
             " zero_filled=" + std::to_string(s.zero_filled) +
             " shed_total=" + std::to_string(s.shed_total()));
+    // Per-version extension: every served/zero-filled resolution was
+    // attributed to exactly one model generation.
+    std::uint64_t versioned_served = 0;
+    std::uint64_t versioned_zero_filled = 0;
+    for (const auto& v : s.by_version) {
+      versioned_served += v.served;
+      versioned_zero_filled += v.zero_filled;
+    }
+    CKAT_CHECK_INVARIANT(
+        versioned_served == s.served &&
+            versioned_zero_filled == s.zero_filled,
+        "gateway per-version conservation: versioned_served=" +
+            std::to_string(versioned_served) + " served=" +
+            std::to_string(s.served) + " versioned_zero_filled=" +
+            std::to_string(versioned_zero_filled) + " zero_filled=" +
+            std::to_string(s.zero_filled));
   }
 #endif
   shutdown_done_ = true;
@@ -339,6 +461,13 @@ GatewayStats ServeGateway::stats() const {
   stats.shed_shutdown = shed_shutdown_.load(std::memory_order_relaxed);
   stats.queue_high_water = queue_.high_water_mark();
   queue_high_water_gauge_->set(static_cast<double>(stats.queue_high_water));
+  {
+    std::lock_guard<std::mutex> lock(version_counts_mutex_);
+    stats.by_version.reserve(version_counts_.size());
+    for (const auto& [version, counts] : version_counts_) {
+      stats.by_version.push_back({version, counts.first, counts.second});
+    }
+  }
   return stats;
 }
 
@@ -347,15 +476,42 @@ ResilientRecommender::HealthSnapshot ServeGateway::aggregated_health() const {
   parts.reserve(workers_.size());
   for (const auto& worker : workers_) {
     std::lock_guard<std::mutex> lock(worker->mutex);
-    parts.push_back(worker->chain->snapshot());
+    for (const auto& entry : worker->chains) {
+      parts.push_back(entry.chain->snapshot());
+    }
   }
+  // aggregate_health keeps only the newest generation present, so the
+  // fleet view stays coherent mid-swap (workers that have not yet
+  // served on the new version simply contribute nothing).
   return aggregate_health(parts);
+}
+
+std::vector<ResilientRecommender::HealthSnapshot>
+ServeGateway::aggregated_health_by_version() const {
+  std::map<std::uint64_t,
+           std::vector<ResilientRecommender::HealthSnapshot>>
+      grouped;
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    for (const auto& entry : worker->chains) {
+      auto snapshot = entry.chain->snapshot();
+      grouped[snapshot.model_version].push_back(std::move(snapshot));
+    }
+  }
+  std::vector<ResilientRecommender::HealthSnapshot> merged;
+  merged.reserve(grouped.size());
+  for (const auto& [version, parts] : grouped) {
+    merged.push_back(aggregate_health(parts));
+  }
+  return merged;
 }
 
 void ServeGateway::reset_circuits() {
   for (const auto& worker : workers_) {
     std::lock_guard<std::mutex> lock(worker->mutex);
-    worker->chain->reset_circuits();
+    for (const auto& entry : worker->chains) {
+      entry.chain->reset_circuits();
+    }
   }
 }
 

@@ -31,12 +31,21 @@
 //                + shed_retry_budget + shed_shutdown
 // The chaos soak bench (bench/ext_overload_soak) asserts this under
 // concurrent clients, injected faults and real latency.
+//
+// Hot swap (swap.hpp): workers resolve the serving model per request
+// through a shared ModelHandle, so a refresher can publish a new
+// version — even one with a *grown* vocabulary — without pausing the
+// pool. Each request scores, sizes its rows and is accounted entirely
+// on the version it acquired; per-version served/zero_filled counts
+// extend the identity above (sum over versions == totals), which the
+// refresh soak (bench/ext_refresh_soak) asserts across live swaps.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -46,6 +55,7 @@
 
 #include "serve/queue.hpp"
 #include "serve/resilient.hpp"
+#include "serve/swap.hpp"
 
 namespace ckat::serve {
 
@@ -90,6 +100,11 @@ struct ScoreResult {
   std::vector<float> scores;
   /// Serving tier index (0 = top) for kServed, else -1.
   int tier = -1;
+  /// Model generation that produced (or zero-filled) the answer; 0 for
+  /// admission-time sheds that never reached a worker. A request always
+  /// resolves entirely on one version — scores, n_items row width and
+  /// this tag all come from the same acquire()d snapshot.
+  std::uint64_t model_version = 0;
   /// Admission to dequeue (0 for admission-time sheds).
   double queue_ms = 0.0;
   /// Admission to answer (0 for admission-time sheds).
@@ -112,6 +127,11 @@ struct GatewayConfig {
   double retry_ratio = 0.1;
   /// Tokens a fresh client starts with (burst allowance).
   double initial_retry_tokens = 10.0;
+  /// Per-worker cache of versioned chains kept alive after a hot swap
+  /// (the newest is always kept; older entries let a just-acquired
+  /// snapshot reuse its circuit state instead of rebuilding the chain).
+  /// 0 = CKAT_SWAP_KEEP_VERSIONS, else 2.
+  std::size_t keep_versions = 0;
 
   /// Resolves 0-valued fields from CKAT_SERVE_THREADS /
   /// CKAT_SERVE_QUEUE_DEPTH (invalid or unset values fall back to the
@@ -131,6 +151,18 @@ struct GatewayStats {
   std::uint64_t shed_retry_budget = 0;
   std::uint64_t shed_shutdown = 0;
   std::size_t queue_high_water = 0;
+  /// Per-model-version resolution counts, ascending by version. Extends
+  /// the conservation identity across hot swaps:
+  ///   sum(by_version.served) == served  and
+  ///   sum(by_version.zero_filled) == zero_filled
+  /// (version 0 collects requests resolved when no snapshot could be
+  /// acquired, e.g. torn reads past the retry bound).
+  struct VersionCounts {
+    std::uint64_t version = 0;
+    std::uint64_t served = 0;
+    std::uint64_t zero_filled = 0;
+  };
+  std::vector<VersionCounts> by_version;
   /// Total sheds of every kind.
   [[nodiscard]] std::uint64_t shed_total() const noexcept {
     return shed_queue_full + shed_expired + shed_retry_budget +
@@ -149,10 +181,19 @@ struct GatewayStats {
 
 class ServeGateway {
  public:
-  /// `tiers` is the shared fallback chain (most capable first); the
-  /// models must be fitted, thread-safe for concurrent reads, and
-  /// outlive the gateway. Each worker wraps them in its own
-  /// ResilientRecommender so circuit state needs no cross-thread locks.
+  /// Hot-swappable gateway: workers serve whatever version `handle`
+  /// currently publishes, re-acquiring the snapshot per request. The
+  /// handle must already have a published version; later publishes
+  /// swap the serving model without pausing workers (in-flight
+  /// requests finish on the version they acquired).
+  explicit ServeGateway(std::shared_ptr<ModelHandle> handle,
+                        GatewayConfig config = GatewayConfig::from_env());
+
+  /// Static-chain convenience: wraps `tiers` (most capable first) in a
+  /// single published version. The models must be fitted, thread-safe
+  /// for concurrent reads, and outlive the gateway. Each worker wraps
+  /// them in its own ResilientRecommender so circuit state needs no
+  /// cross-thread locks.
   explicit ServeGateway(std::vector<const eval::Recommender*> tiers,
                         GatewayConfig config = GatewayConfig::from_env());
   ~ServeGateway();
@@ -170,10 +211,20 @@ class ServeGateway {
   void shutdown();
 
   [[nodiscard]] GatewayStats stats() const;
-  /// Fleet view across every worker's chain (see aggregate_health()).
+  /// Fleet view of the *current* model version: merges only the worker
+  /// chains serving handle()->version(), so the snapshot is coherent
+  /// even while a swap or drain is in progress (counters from an older
+  /// generation's chains never mix in; see aggregated_health_by_version
+  /// for the full history).
   [[nodiscard]] ResilientRecommender::HealthSnapshot aggregated_health()
       const;
-  /// Operator override forwarded to every worker's chain.
+  /// One merged snapshot per model version still cached by any worker,
+  /// ascending by version. Each snapshot's model_version tags which
+  /// generation its counters belong to.
+  [[nodiscard]] std::vector<ResilientRecommender::HealthSnapshot>
+  aggregated_health_by_version() const;
+  /// Operator override forwarded to every worker's chain (all cached
+  /// versions).
   void reset_circuits();
 
   [[nodiscard]] int threads() const noexcept {
@@ -182,7 +233,13 @@ class ServeGateway {
   [[nodiscard]] std::size_t queue_depth() const noexcept {
     return queue_.capacity();
   }
-  [[nodiscard]] std::size_t n_items() const noexcept { return n_items_; }
+  /// Item-vocabulary width of the *current* version (grows across hot
+  /// swaps; a ScoreResult's row width is result-side, from the version
+  /// that served it).
+  [[nodiscard]] std::size_t n_items() const { return handle_->acquire()->n_items; }
+  [[nodiscard]] const std::shared_ptr<ModelHandle>& handle() const noexcept {
+    return handle_;
+  }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -195,23 +252,40 @@ class ServeGateway {
     double deadline_ms = 0.0;  // 0 = no deadline
   };
 
-  /// One worker: a private chain (single-threaded by design) plus the
-  /// mutex that lets snapshot()/reset_circuits() read it from other
-  /// threads without racing the serving loop. Uncontended in steady
-  /// state — only the owning worker and occasional health reads lock.
-  struct Worker {
+  /// One worker's chain over one model version. The chain holds raw
+  /// tier pointers into the version's payload, so `version` must be
+  /// declared first: members destroy in reverse order, tearing down the
+  /// chain before its backing model can be released.
+  struct VersionedChain {
+    std::shared_ptr<const ModelVersion> version;
     std::unique_ptr<ResilientRecommender> chain;
+  };
+
+  /// One worker: private per-version chains (single-threaded by design,
+  /// newest last) plus the mutex that lets snapshot()/reset_circuits()
+  /// read them from other threads without racing the serving loop.
+  /// Uncontended in steady state — only the owning worker and
+  /// occasional health reads lock.
+  struct Worker {
+    std::vector<VersionedChain> chains;  // guarded by mutex
     std::mutex mutex;
     std::thread thread;
   };
 
   void worker_loop(Worker& worker);
+  /// Finds or builds the worker's chain for `snapshot`, pruning the
+  /// oldest cached versions past config_.keep_versions. Caller holds
+  /// worker.mutex.
+  ResilientRecommender& chain_for(
+      Worker& worker, const std::shared_ptr<const ModelVersion>& snapshot);
+  void count_version_resolution(std::uint64_t version, bool served);
   void resolve_shed(Job&& job, RequestStatus status);
   bool spend_retry_token(const std::string& client_id);
   void credit_retry_token(const std::string& client_id);
 
   GatewayConfig config_;
-  std::size_t n_items_ = 0;
+  std::shared_ptr<ModelHandle> handle_;
+  ResilientConfig chain_config_;  // per-worker chain template
   BoundedPriorityQueue<Job> queue_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> stopping_{false};
@@ -220,6 +294,11 @@ class ServeGateway {
 
   std::mutex retry_mutex_;
   std::unordered_map<std::string, double> retry_tokens_;  // guarded by retry_mutex_
+
+  mutable std::mutex version_counts_mutex_;
+  /// version -> (served, zero_filled); extends conservation per version.
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>
+      version_counts_;  // guarded by version_counts_mutex_
 
   // Conservation counters (relaxed atomics: summed, never compared
   // across each other mid-flight).

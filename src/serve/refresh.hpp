@@ -1,0 +1,177 @@
+// Online model refresh: streamed CKG deltas in, hot-swapped models out.
+//
+// OnlineRefresher closes the loop the paper leaves open in Sec. VI.F
+// ("fine-tuning must be repeated when the graph changes"): instead of
+// retraining from scratch on every graph change, each ingestion cycle
+//
+//   1. copies the serving CKG and applies the delta
+//      (CollaborativeKg::apply_delta — validated, append-only growth),
+//   2. builds a candidate CkatModel over the grown graph and
+//      warm-starts it from the latest CKATCKP2 checkpoint
+//      (warm_start_from_checkpoint: existing rows AND Adam moments
+//      transfer bit-exactly; cold-start entities keep fresh Xavier
+//      rows),
+//   3. runs a bounded refresh_fit (CKAT_REFRESH_EPOCHS),
+//   4. evaluates the candidate on a FIXED bootstrap holdout and rolls
+//      back if recall regressed more than CKAT_REFRESH_GUARDRAIL_EPS
+//      below the serving model's recall on the same holdout — the
+//      prior model keeps serving, bit-identically, and the rollback is
+//      counted (ckat_refresh_rollbacks_total{reason}),
+//   5. publishes through ModelHandle::publish (atomic hot swap; a
+//      failed publish — e.g. injected swap.publish_fail — also rolls
+//      back) and only then persists the new checkpoint.
+//
+// The guardrail evaluation compares candidate and serving model on the
+// *bootstrap-dimensioned* holdout via a prefix projection: entity ids
+// are append-only, so the candidate's first n_users/n_items rows are
+// exactly the bootstrap population and recall@K is computed over an
+// identical candidate set for both models.
+//
+// Not thread-safe: one refresher, driven from one refresh thread; the
+// gateway reads concurrently through the ModelHandle only.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/ckat.hpp"
+#include "graph/ckg.hpp"
+#include "graph/delta.hpp"
+#include "graph/interactions.hpp"
+#include "obs/metrics.hpp"
+#include "serve/popularity.hpp"
+#include "serve/swap.hpp"
+
+namespace ckat::serve {
+
+struct RefreshConfig {
+  /// Training epochs per refresh cycle; < 0 resolves from
+  /// CKAT_REFRESH_EPOCHS (default 2). 0 is valid: publish the
+  /// warm-started model with only the propagation refreshed.
+  int epochs = -1;
+  /// Maximum tolerated holdout-recall regression (serving - candidate)
+  /// before the cycle rolls back; < 0 resolves from
+  /// CKAT_REFRESH_GUARDRAIL_EPS (default 0.02).
+  double guardrail_eps = -1.0;
+  /// Cutoff for the guardrail recall@K evaluation.
+  std::size_t eval_k = 20;
+  /// Architecture and bootstrap training budget of every generation.
+  core::CkatConfig model;
+  /// CKATCKP2 file this refresher owns (rewritten after each publish).
+  std::string checkpoint_path;
+  /// Source selection for the bootstrap CKG build.
+  graph::CkgOptions ckg_options;
+};
+
+struct RefreshOutcome {
+  enum class Status {
+    kPublished,         // candidate is now serving
+    kRejectedBadDelta,  // apply_delta refused the delta; nothing changed
+    kRejectedGuardrail, // candidate regressed; prior model keeps serving
+    kPublishFailed,     // swap failed; prior model keeps serving
+  };
+  Status status = Status::kPublished;
+  /// Version now serving (the new one for kPublished, the prior one
+  /// otherwise; 0 when nothing is published yet).
+  std::uint64_t version = 0;
+  /// Guardrail recalls on the fixed bootstrap holdout (0 when the
+  /// cycle never reached evaluation).
+  double candidate_recall = 0.0;
+  double serving_recall = 0.0;
+  graph::DeltaStats delta_stats;
+  /// Failure detail for the rejected statuses.
+  std::string error;
+};
+
+[[nodiscard]] const char* to_string(RefreshOutcome::Status status) noexcept;
+
+class OnlineRefresher {
+ public:
+  /// `bootstrap_split` carries the initial corpus (train feeds the CKG
+  /// and the first fit; the whole split is retained as the fixed
+  /// guardrail holdout). `user_user_pairs` / `sources` seed the
+  /// bootstrap CKG; later growth arrives exclusively via ingest().
+  OnlineRefresher(std::shared_ptr<ModelHandle> handle,
+                  graph::InteractionSplit bootstrap_split,
+                  std::vector<std::pair<std::uint32_t, std::uint32_t>>
+                      user_user_pairs,
+                  std::vector<graph::KnowledgeSource> sources,
+                  RefreshConfig config);
+  ~OnlineRefresher();
+
+  OnlineRefresher(const OnlineRefresher&) = delete;
+  OnlineRefresher& operator=(const OnlineRefresher&) = delete;
+
+  /// Trains the first generation on the bootstrap corpus, persists its
+  /// checkpoint and publishes it. Call exactly once, before ingest().
+  RefreshOutcome bootstrap();
+
+  /// One full refresh cycle for `delta` (see file header). Leaves the
+  /// serving model untouched on every failure path.
+  RefreshOutcome ingest(const graph::CkgDelta& delta);
+
+  [[nodiscard]] std::uint64_t serving_version() const noexcept {
+    return handle_->version();
+  }
+  /// Guardrail + publish-failure rollbacks so far.
+  [[nodiscard]] std::uint64_t rollbacks() const noexcept {
+    return rollbacks_;
+  }
+  /// Dimensions of the generation currently serving.
+  [[nodiscard]] std::size_t serving_users() const;
+  [[nodiscard]] std::size_t serving_items() const;
+
+ private:
+  /// Everything one published generation needs to stay alive while any
+  /// worker still holds its snapshot: the grown graph, the train set
+  /// the model references, the model, and the popularity fallback.
+  /// Published as the ModelVersion payload. Field order matters: the
+  /// model holds references into ckg/train, so it must destroy first
+  /// (members destroy in reverse declaration order).
+  struct Bundle {
+    graph::InteractionSet train;
+    graph::CollaborativeKg ckg;
+    std::unique_ptr<core::CkatModel> model;
+    std::unique_ptr<PopularityRecommender> popularity;
+
+    Bundle(graph::InteractionSet train_set, graph::CollaborativeKg graph)
+        : train(std::move(train_set)), ckg(std::move(graph)) {}
+  };
+
+  /// Recall@eval_k of `model` on the fixed bootstrap holdout, via the
+  /// prefix projection described in the file header.
+  [[nodiscard]] double holdout_recall(const eval::Recommender& model) const;
+  /// Publishes `bundle` and persists its checkpoint; on publish
+  /// failure counts a rollback and leaves the prior generation
+  /// serving.
+  RefreshOutcome publish_bundle(std::shared_ptr<Bundle> bundle,
+                                double candidate_recall,
+                                RefreshOutcome outcome);
+
+  std::shared_ptr<ModelHandle> handle_;
+  graph::InteractionSplit holdout_;  // fixed bootstrap-dimension split
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> bootstrap_uug_;
+  std::vector<graph::KnowledgeSource> bootstrap_sources_;
+  RefreshConfig config_;
+  int resolved_epochs_ = 2;
+  double resolved_eps_ = 0.02;
+
+  std::shared_ptr<Bundle> serving_bundle_;  // serving generation (also in payload)
+  double serving_recall_ = 0.0;
+  std::uint64_t rollbacks_ = 0;
+  bool checkpoint_written_ = false;
+
+  obs::Counter* deltas_published_ = nullptr;
+  obs::Counter* deltas_bad_ = nullptr;
+  obs::Counter* deltas_guardrail_ = nullptr;
+  obs::Counter* deltas_publish_failed_ = nullptr;
+  obs::Counter* publishes_ = nullptr;
+  obs::Counter* rollbacks_guardrail_ = nullptr;
+  obs::Counter* rollbacks_publish_fail_ = nullptr;
+  obs::Histogram* fit_seconds_ = nullptr;
+};
+
+}  // namespace ckat::serve

@@ -298,6 +298,7 @@ ResilientRecommender::ScoreOutcome ResilientRecommender::walk_chain(
 
 ResilientRecommender::HealthSnapshot ResilientRecommender::snapshot() const {
   HealthSnapshot health;
+  health.model_version = model_version_;
   health.requests = requests_;
   health.fallback_activations = fallback_activations_;
   health.zero_filled = zero_filled_;
@@ -338,6 +339,7 @@ obs::JsonValue health_to_json(
     tiers.push_back(std::move(t));
   }
   obs::JsonValue root = obs::JsonValue::object();
+  root.set("model_version", obs::JsonValue(health.model_version));
   root.set("requests", obs::JsonValue(health.requests));
   root.set("fallback_activations", obs::JsonValue(health.fallback_activations));
   root.set("zero_filled", obs::JsonValue(health.zero_filled));
@@ -349,7 +351,14 @@ obs::JsonValue health_to_json(
 ResilientRecommender::HealthSnapshot aggregate_health(
     const std::vector<ResilientRecommender::HealthSnapshot>& parts) {
   ResilientRecommender::HealthSnapshot total;
+  // Coherence across hot swaps: merge only the newest generation
+  // present. Mixing counters from chains over different model versions
+  // would add apples to oranges (different vocab widths, tier history).
   for (const auto& part : parts) {
+    total.model_version = std::max(total.model_version, part.model_version);
+  }
+  for (const auto& part : parts) {
+    if (part.model_version != total.model_version) continue;
     total.requests += part.requests;
     total.fallback_activations += part.fallback_activations;
     total.zero_filled += part.zero_filled;

@@ -142,6 +142,11 @@ class ResilientRecommender final : public eval::Recommender {
   };
 
   struct HealthSnapshot {
+    /// Model generation the counters belong to (0 = unversioned, the
+    /// standalone-chain default). aggregate_health() refuses to mix
+    /// generations, so a snapshot is always internally coherent even
+    /// when taken mid-swap.
+    std::uint64_t model_version = 0;
     std::uint64_t requests = 0;
     /// Requests answered by any tier below the top one.
     std::uint64_t fallback_activations = 0;
@@ -153,6 +158,12 @@ class ResilientRecommender final : public eval::Recommender {
   };
 
   [[nodiscard]] HealthSnapshot snapshot() const;
+
+  /// Tags every future snapshot() with the model generation this chain
+  /// serves (the gateway sets it when it builds a chain for a version).
+  void set_model_version(std::uint64_t version) noexcept {
+    model_version_ = version;
+  }
 
   /// Closes every circuit and clears consecutive-failure counters
   /// (e.g. after redeploying a repaired model). Cumulative counters are
@@ -190,6 +201,7 @@ class ResilientRecommender final : public eval::Recommender {
 
   std::vector<const eval::Recommender*> tiers_;
   ResilientConfig config_;
+  std::uint64_t model_version_ = 0;
   mutable std::vector<TierState> states_;
   mutable std::uint64_t requests_ = 0;
   mutable std::uint64_t fallback_activations_ = 0;
@@ -207,6 +219,13 @@ class ResilientRecommender final : public eval::Recommender {
 /// circuit reads open when it is open on *any* worker, latency extrema
 /// are fleet-wide and the mean is attempt-weighted. Used by the gateway
 /// so operators see one incident, not M partial ones.
+///
+/// Version coherence: when parts span model generations (a swap is in
+/// flight and some workers still hold the old chain), only the parts of
+/// the *newest* generation present are merged — a fleet view never sums
+/// counters across versions, because tier order, vocabulary width and
+/// circuit history all changed at the swap. The result carries that
+/// generation in model_version.
 [[nodiscard]] ResilientRecommender::HealthSnapshot aggregate_health(
     const std::vector<ResilientRecommender::HealthSnapshot>& parts);
 

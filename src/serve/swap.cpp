@@ -1,0 +1,120 @@
+#include "serve/swap.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metric_names.hpp"
+#include "obs/trace.hpp"
+#include "util/env.hpp"
+#include "util/fault.hpp"
+#include "util/logging.hpp"
+
+namespace ckat::serve {
+
+namespace {
+
+int resolve_max_retries(int configured) {
+  if (configured >= 0) return configured;
+  const char* raw = util::env_raw("CKAT_SWAP_MAX_RETRIES");
+  if (raw == nullptr || *raw == '\0') return 8;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || value < 0) {
+    CKAT_LOG_WARN(
+        "[swap] ignoring CKAT_SWAP_MAX_RETRIES='%s' (want a non-negative "
+        "integer)",
+        raw);
+    return 8;
+  }
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+ModelHandle::ModelHandle(int max_acquire_retries)
+    : max_acquire_retries_(resolve_max_retries(max_acquire_retries)) {
+  auto& registry = obs::MetricsRegistry::global();
+  publishes_total_ =
+      &registry.counter(obs::metric_names::kSwapPublishesTotal);
+  torn_retries_total_ =
+      &registry.counter(obs::metric_names::kSwapTornReadRetriesTotal);
+  version_gauge_ = &registry.gauge(obs::metric_names::kSwapModelVersion);
+}
+
+std::uint64_t ModelHandle::publish(
+    std::vector<const eval::Recommender*> tiers, std::size_t n_users,
+    std::size_t n_items, std::shared_ptr<const void> payload) {
+  // Validate and fire the injected failure BEFORE touching any state:
+  // a failed publish must leave the previous version serving
+  // bit-identically.
+  if (tiers.empty()) {
+    throw std::invalid_argument("ModelHandle::publish: empty tier list");
+  }
+  for (const eval::Recommender* tier : tiers) {
+    if (tier == nullptr) {
+      throw std::invalid_argument("ModelHandle::publish: null tier");
+    }
+  }
+  auto& injector = util::FaultInjector::instance();
+  if (injector.enabled() && injector.should_fire(util::fault_points::kSwapPublishFail)) {
+    throw std::runtime_error(std::string("injected fault: ") +
+                             util::fault_points::kSwapPublishFail);
+  }
+
+  std::uint64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    version = epoch_.load(std::memory_order_relaxed) + 1;  // NOLINT(ckat-relaxed-atomic): read under mutex_, the only writer context — no concurrent ordering to establish
+    auto next = std::make_shared<ModelVersion>();
+    next->version = version;
+    next->tiers = std::move(tiers);
+    next->n_users = n_users;
+    next->n_items = n_items;
+    next->payload = std::move(payload);
+    next->version_seal = version;
+    current_ = std::move(next);
+    // Mirror is advanced only here, under the same mutex, so it stays
+    // monotone and equal to current_->version.
+    epoch_.store(version, std::memory_order_relaxed);  // NOLINT(ckat-relaxed-atomic): monotone counter mirrored for lock-free version(); the snapshot itself synchronizes through mutex_, so no ordering is needed here
+  }
+  publishes_total_->inc();
+  version_gauge_->set(static_cast<double>(version));
+  obs::trace_event("swap.publish", {{"version", std::to_string(version)}});
+  return version;
+}
+
+std::shared_ptr<const ModelVersion> ModelHandle::acquire() const {
+  auto& injector = util::FaultInjector::instance();
+  for (int attempt = 0; attempt <= max_acquire_retries_; ++attempt) {
+    std::shared_ptr<const ModelVersion> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      snapshot = current_;
+    }
+    if (snapshot == nullptr) {
+      throw std::logic_error(
+          "ModelHandle::acquire: no model version published yet");
+    }
+    bool torn = !snapshot->sealed();
+    if (injector.enabled() && injector.should_fire(util::fault_points::kSwapTornRead)) {
+      torn = true;  // simulated tear: discard the snapshot and retry
+    }
+    if (!torn) return snapshot;
+    torn_read_retries_.fetch_add(1, std::memory_order_relaxed);  // NOLINT(ckat-relaxed-atomic): diagnostic tally, only ever summed
+    torn_retries_total_->inc();
+  }
+  throw std::runtime_error(
+      "ModelHandle::acquire: torn version read persisted after " +
+      std::to_string(max_acquire_retries_ + 1) + " attempts");
+}
+
+std::uint64_t ModelHandle::version() const noexcept {
+  return epoch_.load(std::memory_order_relaxed);  // NOLINT(ckat-relaxed-atomic): monotone mirror read for polling; consistency comes from acquire()
+}
+
+std::uint64_t ModelHandle::torn_read_retries() const noexcept {
+  return torn_read_retries_.load(std::memory_order_relaxed);  // NOLINT(ckat-relaxed-atomic): diagnostic tally, only ever summed
+}
+
+}  // namespace ckat::serve

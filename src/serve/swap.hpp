@@ -1,0 +1,117 @@
+// Atomic model hot-swap: versioned publication of serving models.
+//
+// ModelHandle is the single point a refresher publishes a new model
+// through and every gateway worker reads the current model from. The
+// design is RCU-style:
+//
+//  * publish() builds an immutable ModelVersion (tier pointers, vocab
+//    dimensions, and a shared_ptr payload keeping the backing objects
+//    alive) and swaps it in under a mutex. Writers are rare (one per
+//    refresh cycle) so a mutex on the publish side costs nothing.
+//  * acquire() hands a reader a shared_ptr snapshot. In-flight requests
+//    keep scoring against the version they acquired even while a newer
+//    one is published — a version dies only when the last reader (or
+//    cached worker chain) releases it, so a swap never pauses workers
+//    and never invalidates a request mid-walk.
+//  * Torn-read detection: every ModelVersion carries a version_seal that
+//    must equal its version. A snapshot whose seal mismatches (or an
+//    injected swap.torn_read fault) is discarded and re-acquired, up to
+//    CKAT_SWAP_MAX_RETRIES times; persistent tearing throws rather than
+//    serving a Frankenstein model. Retries are counted in
+//    ckat_swap_torn_read_retries_total.
+//  * Fault injection: swap.publish_fail fires *before* any state
+//    changes, so a failed publish leaves the previous version serving
+//    bit-identically (the refresher's rollback guarantee builds on
+//    this).
+//
+// The monotone version counter is also mirrored in a relaxed atomic so
+// version() can answer without taking the mutex (operators poll it).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "eval/recommender.hpp"
+#include "obs/metrics.hpp"
+
+namespace ckat::serve {
+
+/// One immutable published model generation. Readers treat every field
+/// as const after publication.
+struct ModelVersion {
+  /// Monotone generation number, 1-based (0 = never published).
+  std::uint64_t version = 0;
+  /// Fallback chain for this generation, most capable first. The
+  /// pointees are kept alive by `payload` (or by the caller, for the
+  /// legacy static-tiers path).
+  std::vector<const eval::Recommender*> tiers;
+  /// Vocabulary dimensions of this generation; a gateway worker sizes
+  /// score rows with these, never with a newer version's.
+  std::size_t n_users = 0;
+  std::size_t n_items = 0;
+  /// Owns whatever backs `tiers` (e.g. an OnlineRefresher bundle);
+  /// may be null when the tiers outlive the handle by contract.
+  std::shared_ptr<const void> payload;
+  /// Torn-read guard: always written equal to `version`. A reader that
+  /// observes a mismatch saw a torn snapshot and must re-acquire.
+  std::uint64_t version_seal = 0;
+
+  [[nodiscard]] bool sealed() const noexcept {
+    return version != 0 && version == version_seal;
+  }
+};
+
+class ModelHandle {
+ public:
+  /// `max_acquire_retries` < 0 resolves from CKAT_SWAP_MAX_RETRIES
+  /// (default 8).
+  explicit ModelHandle(int max_acquire_retries = -1);
+
+  ModelHandle(const ModelHandle&) = delete;
+  ModelHandle& operator=(const ModelHandle&) = delete;
+
+  /// Publishes the next generation and returns its version number.
+  /// Thread-safe. Throws std::invalid_argument on an empty/null tier
+  /// list and std::runtime_error when the swap.publish_fail fault
+  /// fires — in both cases the previous version keeps serving,
+  /// untouched.
+  std::uint64_t publish(std::vector<const eval::Recommender*> tiers,
+                        std::size_t n_users, std::size_t n_items,
+                        std::shared_ptr<const void> payload = nullptr);
+
+  /// Returns a consistent snapshot of the current version. Thread-safe;
+  /// in-flight holders of older snapshots are unaffected by concurrent
+  /// publishes. Throws std::logic_error before the first publish and
+  /// std::runtime_error when torn reads persist past the retry bound.
+  [[nodiscard]] std::shared_ptr<const ModelVersion> acquire() const;
+
+  /// Latest published version number (0 before the first publish).
+  /// Lock-free; may trail acquire() by one publication instant.
+  [[nodiscard]] std::uint64_t version() const noexcept;
+
+  [[nodiscard]] bool has_version() const noexcept { return version() != 0; }
+
+  /// Cumulative torn-read retries (injected or real); the soak gates on
+  /// every retry converging within bounds.
+  [[nodiscard]] std::uint64_t torn_read_retries() const noexcept;
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const ModelVersion> current_;  // guarded by mutex_
+  // Mirror of current_->version for lock-free polling. Monotone and
+  // only advanced under mutex_; readers need no ordering with the
+  // snapshot itself (acquire() gets that from the mutex).
+  std::atomic<std::uint64_t> epoch_{0};
+  mutable std::atomic<std::uint64_t> torn_read_retries_{0};
+  int max_acquire_retries_ = 8;
+
+  obs::Counter* publishes_total_ = nullptr;
+  mutable obs::Counter* torn_retries_total_ = nullptr;
+  obs::Gauge* version_gauge_ = nullptr;
+};
+
+}  // namespace ckat::serve

@@ -38,7 +38,11 @@ namespace ckat::util {
   X(CKAT_SERVE_THREADS, "serving-gateway worker pool size")             \
   X(CKAT_SERVE_QUEUE_DEPTH, "bound of the gateway admission queue")     \
   X(CKAT_EVAL_THREADS, "batched ranking engine worker threads")         \
-  X(CKAT_EVAL_BLOCK, "users per score_batch block in the ranker")
+  X(CKAT_EVAL_BLOCK, "users per score_batch block in the ranker")       \
+  X(CKAT_REFRESH_EPOCHS, "training epochs per online refresh cycle")    \
+  X(CKAT_REFRESH_GUARDRAIL_EPS, "max recall regression before rollback") \
+  X(CKAT_SWAP_KEEP_VERSIONS, "model versions a gateway worker caches")  \
+  X(CKAT_SWAP_MAX_RETRIES, "torn-read re-acquire attempts before error")
 
 /// One registry row, exposed for tooling (ckat-lint, run reports).
 struct EnvVarInfo {

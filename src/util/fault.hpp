@@ -40,6 +40,16 @@ inline constexpr const char* kScoreDelay = "serve.score_delay";
 /// Memory-corruption injection: a scored output value is replaced with
 /// NaN after the tier answers, exercising the non-finite output guard.
 inline constexpr const char* kScoreBitflip = "serve.score_bitflip";
+/// Hot-swap publication failure: ModelHandle::publish throws before
+/// mutating anything, so a refresh cycle must roll back to the serving
+/// model (serve/swap.hpp).
+inline constexpr const char* kSwapPublishFail = "swap.publish_fail";
+/// Simulated torn version read: ModelHandle::acquire sees a snapshot
+/// whose seal mismatches and must retry (serve/swap.hpp).
+inline constexpr const char* kSwapTornRead = "swap.torn_read";
+/// Corrupted ingestion window: CollaborativeKg::apply_delta rejects the
+/// delta as if producer-side validation failed (graph/delta.cpp).
+inline constexpr const char* kIngestBadDelta = "ingest.bad_delta";
 }  // namespace fault_points
 
 /// When and how often an armed injection point fires.

@@ -1,0 +1,234 @@
+// CollaborativeKg::apply_delta — append-only streaming growth. One test
+// per corruption class listed in src/graph/delta.cpp, plus the monotone
+// remap / strong-exception-guarantee contracts.
+#include "graph/delta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "graph/ckg.hpp"
+#include "graph/validator.hpp"
+#include "util/fault.hpp"
+
+namespace ckat::graph {
+namespace {
+
+/// Same 2x3 fixture as ckg_test.cpp: attributes are site:A, site:B,
+/// region:R, type:P, type:Q; relations interact/locatedAt/inRegion/
+/// dataType.
+struct Fixture {
+  Fixture() : train(2, 3) {
+    train.add(0, 0);
+    train.add(0, 1);
+    train.add(1, 2);
+    train.finalize();
+    uug = {{0, 1}};
+
+    KnowledgeSource loc{"LOC", {}, {}};
+    loc.item_triples.push_back({0, "locatedAt", "site:A"});
+    loc.item_triples.push_back({1, "locatedAt", "site:A"});
+    loc.item_triples.push_back({2, "locatedAt", "site:B"});
+    loc.attribute_triples.push_back({"site:A", "inRegion", "region:R"});
+    loc.attribute_triples.push_back({"site:B", "inRegion", "region:R"});
+
+    KnowledgeSource dkg{"DKG", {}, {}};
+    dkg.item_triples.push_back({0, "dataType", "type:P"});
+    dkg.item_triples.push_back({1, "dataType", "type:P"});
+    dkg.item_triples.push_back({2, "dataType", "type:Q"});
+
+    sources = {loc, dkg};
+  }
+
+  [[nodiscard]] CollaborativeKg make() const {
+    return CollaborativeKg(train, uug, sources,
+                           CkgOptions{true, {"LOC", "DKG"}});
+  }
+
+  InteractionSet train;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> uug;
+  std::vector<KnowledgeSource> sources;
+};
+
+/// One window: 1 new user (id 2), 1 new item (id 3), a fresh site and a
+/// fresh relation, with edges touching both old and new ids.
+CkgDelta growth_delta() {
+  CkgDelta delta;
+  delta.sequence = 1;
+  delta.n_new_users = 1;
+  delta.n_new_items = 1;
+  delta.new_attributes = {"site:C"};
+  delta.new_relations = {"generatedBy"};
+  delta.interactions = {{2, 3}, {0, 3}};
+  delta.user_user_pairs = {{2, 0}};
+  delta.knowledge.push_back({"", 3, "locatedAt", "site:C"});
+  delta.knowledge.push_back({"site:C", 0, "inRegion", "region:R"});
+  delta.knowledge.push_back({"", 3, "generatedBy", "type:Q"});
+  return delta;
+}
+
+bool rejected_with(const CollaborativeKg& before, CkgDelta delta,
+                   const std::string& check) {
+  CollaborativeKg ckg = before;
+  try {
+    ckg.apply_delta(delta);
+  } catch (const std::invalid_argument& e) {
+    const bool right_check =
+        std::string(e.what()).find("apply_delta[" + check + "]") !=
+        std::string::npos;
+    // Strong exception guarantee: a rejected delta leaves the graph
+    // exactly as constructed.
+    const bool untouched = ckg.n_entities() == before.n_entities() &&
+                           ckg.triples().size() == before.triples().size() &&
+                           ckg.n_relations() == before.n_relations();
+    return right_check && untouched;
+  }
+  return false;
+}
+
+TEST(CkgDelta, HappyPathGrowsEveryVocabulary) {
+  Fixture f;
+  CollaborativeKg ckg = f.make();
+  const DeltaStats stats = ckg.apply_delta(growth_delta());
+
+  EXPECT_EQ(ckg.n_users(), 3u);
+  EXPECT_EQ(ckg.n_items(), 4u);
+  EXPECT_EQ(ckg.n_entities(), 3u + 4u + 6u);  // site:C joins 5 attributes
+  EXPECT_TRUE(ckg.relations().contains("generatedBy"));
+  EXPECT_EQ(stats.users_added, 1u);
+  EXPECT_EQ(stats.items_added, 1u);
+  EXPECT_EQ(stats.attributes_added, 1u);
+  EXPECT_EQ(stats.relations_added, 1u);
+  // 2 interactions + 1 UUG + 3 knowledge facts, all new.
+  EXPECT_EQ(stats.triples_added, 6u);
+  EXPECT_EQ(stats.knowledge_triples_added, 4u);
+  // 3 old items + 5 old attributes shifted by the growth remap.
+  EXPECT_EQ(stats.entities_remapped, 8u);
+}
+
+TEST(CkgDelta, GrownGraphPassesTheValidator) {
+  Fixture f;
+  CollaborativeKg ckg = f.make();
+  ckg.apply_delta(growth_delta());
+  const auto issues = CkgValidator::validate(ckg);
+  EXPECT_TRUE(issues.empty()) << format_issues(issues);
+}
+
+TEST(CkgDelta, RemapIsMonotoneAndNameStable) {
+  Fixture f;
+  CollaborativeKg ckg = f.make();
+  const std::uint32_t site_a_before = ckg.find_entity("site:A");
+  ckg.apply_delta(growth_delta());
+  // Users keep their ids; items shift by n_new_users; attributes by
+  // n_new_users + n_new_items. Names survive the remap.
+  EXPECT_EQ(ckg.find_entity("user#0"), 0u);
+  EXPECT_EQ(ckg.item_entity(0), 3u);  // was 2
+  EXPECT_EQ(ckg.find_entity("site:A"), site_a_before + 2);
+  // Sorted-triple invariant survives the merge (validator checks more;
+  // this is the cheap direct probe).
+  const auto& triples = ckg.triples();
+  for (std::size_t i = 1; i < triples.size(); ++i) {
+    EXPECT_FALSE(triples[i] < triples[i - 1]);
+  }
+}
+
+TEST(CkgDelta, EmptyDeltaIsANoOp) {
+  Fixture f;
+  CollaborativeKg ckg = f.make();
+  const std::size_t triples_before = ckg.triples().size();
+  const DeltaStats stats = ckg.apply_delta(CkgDelta{});
+  EXPECT_EQ(stats.triples_added, 0u);
+  EXPECT_EQ(stats.entities_remapped, 0u);
+  EXPECT_EQ(ckg.triples().size(), triples_before);
+}
+
+TEST(CkgDelta, DuplicateInteractionsDedupAgainstExistingEdges) {
+  Fixture f;
+  CollaborativeKg ckg = f.make();
+  CkgDelta delta;
+  delta.interactions = {{0, 0}, {0, 0}, {1, 0}};  // (0,0) already exists
+  const DeltaStats stats = ckg.apply_delta(delta);
+  EXPECT_EQ(stats.triples_added, 1u);
+}
+
+// -- Corruption classes, one test each --------------------------------
+
+TEST(CkgDelta, RejectsAttributeAlreadyInVocab) {
+  Fixture f;
+  CkgDelta delta;
+  delta.new_attributes = {"site:A"};
+  EXPECT_TRUE(rejected_with(f.make(), delta, "delta.duplicate_alignment"));
+}
+
+TEST(CkgDelta, RejectsRelationDeclaredTwice) {
+  Fixture f;
+  CkgDelta delta;
+  delta.new_relations = {"generatedBy", "generatedBy"};
+  EXPECT_TRUE(rejected_with(f.make(), delta, "delta.duplicate_alignment"));
+}
+
+TEST(CkgDelta, RejectsUnknownRelation) {
+  Fixture f;
+  CkgDelta delta;
+  delta.knowledge.push_back({"", 0, "neverDeclared", "site:A"});
+  EXPECT_TRUE(rejected_with(f.make(), delta, "delta.unknown_relation"));
+}
+
+TEST(CkgDelta, RejectsUnknownAttribute) {
+  Fixture f;
+  CkgDelta delta;
+  delta.knowledge.push_back({"", 0, "locatedAt", "site:nowhere"});
+  EXPECT_TRUE(rejected_with(f.make(), delta, "delta.unknown_attribute"));
+}
+
+TEST(CkgDelta, RejectsKnowledgeUnderReservedRelation) {
+  Fixture f;
+  CkgDelta delta;
+  delta.knowledge.push_back({"", 0, "interact", "site:A"});
+  EXPECT_TRUE(rejected_with(f.make(), delta, "delta.reserved_relation"));
+}
+
+TEST(CkgDelta, RejectsInteractionOutsidePostDeltaIdSpace) {
+  Fixture f;
+  CkgDelta delta;
+  delta.n_new_users = 1;
+  delta.interactions = {{3, 0}};  // post-delta user space is [0, 3)
+  EXPECT_TRUE(rejected_with(f.make(), delta, "delta.id_range"));
+}
+
+TEST(CkgDelta, RejectsUserPairOutsideIdSpace) {
+  Fixture f;
+  CkgDelta delta;
+  delta.user_user_pairs = {{0, 2}};
+  EXPECT_TRUE(rejected_with(f.make(), delta, "delta.id_range"));
+}
+
+TEST(CkgDelta, RejectsKnowledgeHeadItemOutsideIdSpace) {
+  Fixture f;
+  CkgDelta delta;
+  delta.knowledge.push_back({"", 3, "locatedAt", "site:A"});
+  EXPECT_TRUE(rejected_with(f.make(), delta, "delta.id_range"));
+}
+
+TEST(CkgDelta, InjectedBadDeltaFaultRejectsBeforeAnyMutation) {
+  Fixture f;
+  util::FaultScope bad(util::fault_points::kIngestBadDelta,
+                       util::FaultSpec{.every = 1});
+  EXPECT_TRUE(rejected_with(f.make(), growth_delta(), "delta.injected"));
+}
+
+TEST(CkgDelta, SameDeltaSucceedsOnceTheFaultClears) {
+  Fixture f;
+  CollaborativeKg ckg = f.make();
+  {
+    util::FaultScope bad(util::fault_points::kIngestBadDelta,
+                         util::FaultSpec{.every = 1});
+    EXPECT_THROW(ckg.apply_delta(growth_delta()), std::invalid_argument);
+  }
+  EXPECT_NO_THROW(ckg.apply_delta(growth_delta()));
+  EXPECT_EQ(ckg.n_users(), 3u);
+}
+
+}  // namespace
+}  // namespace ckat::graph

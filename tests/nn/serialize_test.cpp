@@ -84,6 +84,30 @@ TEST_F(SerializeTest, RejectsShapeMismatch) {
   EXPECT_THROW(load_parameters(reshaped, path_), std::runtime_error);
 }
 
+TEST_F(SerializeTest, OversizedCheckpointNamesTheGrowthDirection) {
+  // A checkpoint from a grown vocabulary must not silently truncate
+  // into a smaller model; the error points at warm_start_from_checkpoint.
+  ParamStore grown;
+  grown.create("alpha", 6, 8);  // two more entity rows than the store
+  grown.create("beta", 16, 2);
+  util::Rng rng(3);
+  for (std::size_t i = 0; i < grown.size(); ++i) {
+    uniform_init(grown.at(i).value(), rng, -1.0, 1.0);
+  }
+  save_parameters(grown, path_);
+
+  ParamStore smaller;
+  fill_store(smaller, 1);  // alpha is 4 x 8
+  try {
+    load_parameters(smaller, path_);
+    FAIL() << "oversized checkpoint was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds this model's vocabulary"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST_F(SerializeTest, RejectsGarbageFile) {
   std::ofstream out(path_, std::ios::binary);
   out << "definitely not a parameter file";

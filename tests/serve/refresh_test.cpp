@@ -1,0 +1,278 @@
+// OnlineRefresher: bootstrap -> ingest -> publish lifecycle on a tiny
+// deterministic corpus, plus every rollback path — injected bad delta,
+// structural rejection, guardrail regression and publish failure (with
+// the prior model probed for bit-identical serving).
+#include "serve/refresh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "graph/delta.hpp"
+#include "util/fault.hpp"
+
+namespace ckat::serve {
+namespace {
+
+/// 8 users x 8 items in two clean blocks: users 0-3 interact with items
+/// 0-3 (site A), users 4-7 with items 4-7 (site B). Each user holds one
+/// block item out as holdout test — recall@k is discriminative (k < 8)
+/// and the block structure gives CKAT real signal to learn.
+struct Corpus {
+  Corpus() : split(8, 8) {
+    for (std::uint32_t u = 0; u < 8; ++u) {
+      const std::uint32_t base = u < 4 ? 0 : 4;
+      for (std::uint32_t j = 0; j < 4; ++j) {
+        const std::uint32_t item = base + ((u + j) % 4);
+        if (j == 3) {
+          split.test.add(u, item);
+        } else {
+          split.train.add(u, item);
+        }
+      }
+    }
+    split.train.finalize();
+    split.test.finalize();
+
+    uug = {{0, 1}, {2, 3}, {4, 5}, {6, 7}};
+
+    graph::KnowledgeSource loc{"LOC", {}, {}};
+    for (std::uint32_t item = 0; item < 8; ++item) {
+      loc.item_triples.push_back(
+          {item, "locatedAt", item < 4 ? "site:A" : "site:B"});
+    }
+    loc.attribute_triples.push_back({"site:A", "inRegion", "region:R"});
+    loc.attribute_triples.push_back({"site:B", "inRegion", "region:R"});
+    sources = {loc};
+  }
+
+  graph::InteractionSplit split;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> uug;
+  std::vector<graph::KnowledgeSource> sources;
+};
+
+/// One clean growth window: user 8 and item 8 join site A's block.
+graph::CkgDelta growth_delta() {
+  graph::CkgDelta delta;
+  delta.sequence = 1;
+  delta.n_new_users = 1;
+  delta.n_new_items = 1;
+  delta.interactions = {{8, 8}, {8, 0}, {8, 1}, {0, 8}};
+  delta.user_user_pairs = {{8, 0}};
+  delta.knowledge.push_back({"", 8, "locatedAt", "site:A"});
+  return delta;
+}
+
+class RefreshTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    checkpoint_path_ =
+        (std::filesystem::temp_directory_path() /
+         ("ckat_refresh_" + std::to_string(::getpid()) + ".ckpt"))
+            .string();
+  }
+  void TearDown() override {
+    util::FaultInjector::instance().reset();
+    std::filesystem::remove(checkpoint_path_);
+  }
+
+  [[nodiscard]] RefreshConfig config() const {
+    RefreshConfig rc;
+    rc.model.embedding_dim = 8;
+    rc.model.layer_dims = {8};
+    rc.model.epochs = 6;
+    rc.model.cf_batch_size = 64;
+    rc.model.kg_batch_size = 64;
+    rc.model.seed = 7;
+    rc.epochs = 1;
+    rc.guardrail_eps = 1.0;  // recall in [0, 1]: never trips by default
+    rc.eval_k = 3;
+    rc.checkpoint_path = checkpoint_path_;
+    rc.ckg_options.include_user_user = true;
+    rc.ckg_options.sources = {"LOC"};
+    return rc;
+  }
+
+  /// Refresher + handle over the fixture corpus.
+  struct Rig {
+    std::shared_ptr<ModelHandle> handle = std::make_shared<ModelHandle>();
+    std::unique_ptr<OnlineRefresher> refresher;
+  };
+  [[nodiscard]] Rig make_rig(RefreshConfig rc) const {
+    Corpus corpus;
+    Rig rig;
+    rig.refresher = std::make_unique<OnlineRefresher>(
+        rig.handle, std::move(corpus.split), corpus.uug, corpus.sources,
+        std::move(rc));
+    return rig;
+  }
+
+  /// Full score rows for users [0, n_users) straight off the serving
+  /// snapshot's primary tier (no gateway, no faults).
+  [[nodiscard]] static std::vector<std::vector<float>> probe(
+      const ModelHandle& handle) {
+    const auto snapshot = handle.acquire();
+    std::vector<std::vector<float>> rows;
+    for (std::uint32_t u = 0; u < snapshot->n_users; ++u) {
+      std::vector<float> row(snapshot->n_items);
+      snapshot->tiers.front()->score_items(u, row);
+      rows.push_back(std::move(row));
+    }
+    return rows;
+  }
+
+  std::string checkpoint_path_;
+};
+
+TEST_F(RefreshTest, CtorValidatesHandleAndCheckpointPath) {
+  Corpus corpus;
+  RefreshConfig rc = config();
+  EXPECT_THROW(OnlineRefresher(nullptr, corpus.split, corpus.uug,
+                               corpus.sources, rc),
+               std::invalid_argument);
+  rc.checkpoint_path.clear();
+  EXPECT_THROW(OnlineRefresher(std::make_shared<ModelHandle>(),
+                               corpus.split, corpus.uug, corpus.sources,
+                               rc),
+               std::invalid_argument);
+}
+
+TEST_F(RefreshTest, IngestBeforeBootstrapThrows) {
+  Rig rig = make_rig(config());
+  EXPECT_THROW((void)rig.refresher->ingest(growth_delta()),
+               std::logic_error);
+}
+
+TEST_F(RefreshTest, BootstrapPublishesVersionOneAndWritesCheckpoint) {
+  Rig rig = make_rig(config());
+  const RefreshOutcome outcome = rig.refresher->bootstrap();
+  EXPECT_EQ(outcome.status, RefreshOutcome::Status::kPublished);
+  EXPECT_EQ(outcome.version, 1u);
+  EXPECT_EQ(rig.handle->version(), 1u);
+  EXPECT_EQ(rig.refresher->serving_users(), 8u);
+  EXPECT_EQ(rig.refresher->serving_items(), 8u);
+  EXPECT_TRUE(std::filesystem::exists(checkpoint_path_));
+  // The snapshot serves a real CKAT tier plus the popularity fallback.
+  const auto snapshot = rig.handle->acquire();
+  ASSERT_EQ(snapshot->tiers.size(), 2u);
+  EXPECT_THROW((void)rig.refresher->bootstrap(), std::logic_error);
+}
+
+TEST_F(RefreshTest, IngestGrowsVocabularyAndServesColdStartUsers) {
+  Rig rig = make_rig(config());
+  ASSERT_EQ(rig.refresher->bootstrap().status,
+            RefreshOutcome::Status::kPublished);
+  const RefreshOutcome outcome = rig.refresher->ingest(growth_delta());
+  EXPECT_EQ(outcome.status, RefreshOutcome::Status::kPublished)
+      << outcome.error;
+  EXPECT_EQ(outcome.version, 2u);
+  EXPECT_EQ(outcome.delta_stats.users_added, 1u);
+  EXPECT_EQ(rig.refresher->serving_users(), 9u);
+  EXPECT_EQ(rig.refresher->serving_items(), 9u);
+  // The cold-start user scores over the grown item vocabulary without
+  // throwing — servable within the cycle that introduced it.
+  const auto snapshot = rig.handle->acquire();
+  std::vector<float> row(snapshot->n_items);
+  EXPECT_NO_THROW(snapshot->tiers.front()->score_items(8, row));
+}
+
+TEST_F(RefreshTest, InjectedBadDeltaRejectsWithoutStateChange) {
+  Rig rig = make_rig(config());
+  ASSERT_EQ(rig.refresher->bootstrap().status,
+            RefreshOutcome::Status::kPublished);
+  RefreshOutcome outcome;
+  {
+    util::FaultScope bad(util::fault_points::kIngestBadDelta,
+                         util::FaultSpec{.every = 1});
+    outcome = rig.refresher->ingest(growth_delta());
+  }
+  EXPECT_EQ(outcome.status, RefreshOutcome::Status::kRejectedBadDelta);
+  EXPECT_EQ(outcome.version, 1u);  // prior generation keeps serving
+  EXPECT_EQ(rig.handle->version(), 1u);
+  EXPECT_EQ(rig.refresher->rollbacks(), 0u);  // nothing was built to roll back
+  // The exact same delta lands once the fault clears.
+  EXPECT_EQ(rig.refresher->ingest(growth_delta()).status,
+            RefreshOutcome::Status::kPublished);
+}
+
+TEST_F(RefreshTest, StructurallyBadDeltaNamesTheCorruptionClass) {
+  Rig rig = make_rig(config());
+  ASSERT_EQ(rig.refresher->bootstrap().status,
+            RefreshOutcome::Status::kPublished);
+  graph::CkgDelta delta;
+  delta.knowledge.push_back({"", 0, "neverDeclared", "site:A"});
+  const RefreshOutcome outcome = rig.refresher->ingest(delta);
+  EXPECT_EQ(outcome.status, RefreshOutcome::Status::kRejectedBadDelta);
+  EXPECT_NE(outcome.error.find("delta.unknown_relation"),
+            std::string::npos)
+      << outcome.error;
+}
+
+TEST_F(RefreshTest, PublishFailureRollsBackAndPriorModelServesBitIdentically) {
+  Rig rig = make_rig(config());
+  ASSERT_EQ(rig.refresher->bootstrap().status,
+            RefreshOutcome::Status::kPublished);
+  const auto before = probe(*rig.handle);
+
+  RefreshOutcome outcome;
+  {
+    util::FaultScope fail(util::fault_points::kSwapPublishFail,
+                          util::FaultSpec{.every = 1});
+    outcome = rig.refresher->ingest(growth_delta());
+  }
+  EXPECT_EQ(outcome.status, RefreshOutcome::Status::kPublishFailed);
+  EXPECT_EQ(outcome.version, 1u);
+  EXPECT_EQ(rig.refresher->rollbacks(), 1u);
+
+  const auto after = probe(*rig.handle);
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t u = 0; u < before.size(); ++u) {
+    ASSERT_EQ(after[u].size(), before[u].size());
+    for (std::size_t i = 0; i < before[u].size(); ++i) {
+      EXPECT_EQ(after[u][i], before[u][i])
+          << "user " << u << " item " << i
+          << " changed across a failed publish";
+    }
+  }
+  // The retry publishes the same window as version 2 (not 3: the failed
+  // publish never consumed a version number).
+  const RefreshOutcome retry = rig.refresher->ingest(growth_delta());
+  EXPECT_EQ(retry.status, RefreshOutcome::Status::kPublished);
+  EXPECT_EQ(retry.version, 2u);
+}
+
+TEST_F(RefreshTest, GuardrailRegressionRollsBack) {
+  // A propagation-only refresh (epochs = 0) over a poisoned graph —
+  // every item gains an edge to an untrained junk attribute — perturbs
+  // every representation without any training to compensate. With a
+  // zero-tolerance guardrail the cycle must roll back and keep v1.
+  RefreshConfig rc = config();
+  rc.epochs = 0;
+  rc.guardrail_eps = 0.0;
+  Rig rig = make_rig(rc);
+  const RefreshOutcome boot = rig.refresher->bootstrap();
+  ASSERT_EQ(boot.status, RefreshOutcome::Status::kPublished);
+
+  graph::CkgDelta poison;
+  poison.sequence = 1;
+  poison.new_relations = {"junkRel"};
+  poison.new_attributes = {"junk:blob"};
+  for (std::uint32_t item = 0; item < 8; ++item) {
+    poison.knowledge.push_back({"", item, "junkRel", "junk:blob"});
+  }
+  const RefreshOutcome outcome = rig.refresher->ingest(poison);
+  EXPECT_EQ(outcome.status, RefreshOutcome::Status::kRejectedGuardrail)
+      << "candidate " << outcome.candidate_recall << " vs serving "
+      << outcome.serving_recall;
+  EXPECT_LT(outcome.candidate_recall, outcome.serving_recall);
+  EXPECT_EQ(rig.handle->version(), 1u);
+  EXPECT_GE(rig.refresher->rollbacks(), 1u);
+}
+
+}  // namespace
+}  // namespace ckat::serve

@@ -1,0 +1,298 @@
+// ModelHandle RCU-style hot swap: publish/acquire semantics, torn-read
+// retry + exhaustion, injected publish failure, and the gateway swap
+// hammer — concurrent publishers growing the vocabulary under live
+// traffic across {1, 4} worker pools (the TSan target). Every request
+// must resolve entirely on one published generation: version tag and
+// score-row width always agree.
+#include "serve/swap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "serve/gateway.hpp"
+#include "util/fault.hpp"
+
+namespace ckat::serve {
+namespace {
+
+/// Thread-safe constant-fill tier (same shape as the gateway tests').
+class ConcurrentStub final : public eval::Recommender {
+ public:
+  ConcurrentStub(std::string name, std::size_t n_users, std::size_t n_items,
+                 float fill)
+      : name_(std::move(name)), n_users_(n_users), n_items_(n_items),
+        fill_(fill) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  void fit() override {}
+  void score_items(std::uint32_t /*user*/,
+                   std::span<float> out) const override {
+    std::fill(out.begin(), out.end(), fill_);
+  }
+  [[nodiscard]] std::size_t n_users() const override { return n_users_; }
+  [[nodiscard]] std::size_t n_items() const override { return n_items_; }
+
+ private:
+  std::string name_;
+  std::size_t n_users_;
+  std::size_t n_items_;
+  float fill_;
+};
+
+class SwapTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::FaultInjector::instance().reset(); }
+};
+
+TEST_F(SwapTest, AcquireBeforeFirstPublishThrows) {
+  ModelHandle handle;
+  EXPECT_FALSE(handle.has_version());
+  EXPECT_EQ(handle.version(), 0u);
+  EXPECT_THROW((void)handle.acquire(), std::logic_error);
+}
+
+TEST_F(SwapTest, PublishRejectsEmptyAndNullTiers) {
+  ModelHandle handle;
+  ConcurrentStub tier("t", 2, 3, 1.0f);
+  EXPECT_THROW(handle.publish({}, 2, 3), std::invalid_argument);
+  EXPECT_THROW(handle.publish({&tier, nullptr}, 2, 3),
+               std::invalid_argument);
+  EXPECT_FALSE(handle.has_version());
+}
+
+TEST_F(SwapTest, VersionsAreMonotoneAndSnapshotsAreSealed) {
+  ModelHandle handle;
+  ConcurrentStub tier("t", 2, 3, 1.0f);
+  EXPECT_EQ(handle.publish({&tier}, 2, 3), 1u);
+  EXPECT_EQ(handle.publish({&tier}, 2, 4), 2u);
+  const auto snapshot = handle.acquire();
+  EXPECT_EQ(snapshot->version, 2u);
+  EXPECT_EQ(snapshot->n_items, 4u);
+  EXPECT_TRUE(snapshot->sealed());
+  EXPECT_EQ(handle.version(), 2u);
+}
+
+TEST_F(SwapTest, OldSnapshotOutlivesANewerPublish) {
+  ModelHandle handle;
+  ConcurrentStub old_tier("old", 2, 3, 1.0f);
+  ConcurrentStub new_tier("new", 2, 5, 2.0f);
+  handle.publish({&old_tier}, 2, 3);
+  const auto held = handle.acquire();
+  handle.publish({&new_tier}, 2, 5);
+  // The held snapshot still describes generation 1 bit-for-bit.
+  EXPECT_EQ(held->version, 1u);
+  EXPECT_EQ(held->n_items, 3u);
+  EXPECT_EQ(held->tiers.front()->name(), "old");
+  EXPECT_EQ(handle.acquire()->version, 2u);
+}
+
+TEST_F(SwapTest, PayloadKeepsTheGenerationAlive) {
+  ModelHandle handle;
+  auto owned = std::make_shared<ConcurrentStub>("owned", 2, 3, 1.0f);
+  std::weak_ptr<ConcurrentStub> watch = owned;
+  handle.publish({owned.get()}, 2, 3, owned);
+  owned.reset();
+  // The published version is the only owner now.
+  EXPECT_FALSE(watch.expired());
+  const auto snapshot = handle.acquire();
+  EXPECT_EQ(snapshot->tiers.front()->name(), "owned");
+}
+
+TEST_F(SwapTest, InjectedTornReadRetriesThenSucceeds) {
+  ModelHandle handle(/*max_acquire_retries=*/4);
+  ConcurrentStub tier("t", 2, 3, 1.0f);
+  handle.publish({&tier}, 2, 3);
+  util::FaultScope torn(util::fault_points::kSwapTornRead,
+                        util::FaultSpec{.every = 1, .limit = 2});
+  const auto snapshot = handle.acquire();  // 2 tears, then a clean read
+  EXPECT_EQ(snapshot->version, 1u);
+  EXPECT_EQ(handle.torn_read_retries(), 2u);
+}
+
+TEST_F(SwapTest, PersistentTornReadExhaustsTheRetryBound) {
+  ModelHandle handle(/*max_acquire_retries=*/2);
+  ConcurrentStub tier("t", 2, 3, 1.0f);
+  handle.publish({&tier}, 2, 3);
+  util::FaultScope torn(util::fault_points::kSwapTornRead,
+                        util::FaultSpec{.every = 1});
+  EXPECT_THROW((void)handle.acquire(), std::runtime_error);
+  EXPECT_EQ(handle.torn_read_retries(), 3u);  // initial try + 2 retries
+}
+
+TEST_F(SwapTest, InjectedPublishFailureLeavesPriorVersionServing) {
+  ModelHandle handle;
+  ConcurrentStub tier("t", 2, 3, 1.0f);
+  handle.publish({&tier}, 2, 3);
+  {
+    util::FaultScope fail(util::fault_points::kSwapPublishFail,
+                          util::FaultSpec{.every = 1});
+    EXPECT_THROW(handle.publish({&tier}, 2, 4), std::runtime_error);
+  }
+  // The failed publish must not have advanced anything.
+  EXPECT_EQ(handle.version(), 1u);
+  const auto snapshot = handle.acquire();
+  EXPECT_EQ(snapshot->version, 1u);
+  EXPECT_EQ(snapshot->n_items, 3u);
+  // And a clean retry lands as version 2, not 3.
+  EXPECT_EQ(handle.publish({&tier}, 2, 4), 2u);
+}
+
+TEST_F(SwapTest, MaxRetriesReadFromEnvironment) {
+  ::setenv("CKAT_SWAP_MAX_RETRIES", "0", 1);
+  ModelHandle handle;  // resolves from env
+  ::unsetenv("CKAT_SWAP_MAX_RETRIES");
+  ConcurrentStub tier("t", 2, 3, 1.0f);
+  handle.publish({&tier}, 2, 3);
+  util::FaultScope torn(util::fault_points::kSwapTornRead,
+                        util::FaultSpec{.every = 1});
+  EXPECT_THROW((void)handle.acquire(), std::runtime_error);
+  EXPECT_EQ(handle.torn_read_retries(), 1u);
+}
+
+// -- Gateway swap hammer (the TSan target) ----------------------------
+//
+// A publisher thread grows the item vocabulary generation by generation
+// while client threads hammer submit(). Checked per answer: the version
+// tag is a published generation, and the score-row width is exactly
+// that generation's n_items — a torn read would break one of the two.
+void hammer(int workers) {
+  constexpr std::size_t kUsers = 6;
+  constexpr int kGenerations = 6;
+  constexpr int kClients = 3;
+  constexpr int kRequestsPerClient = 120;
+
+  // Generation v has n_items = 4 + v, fill = v. Tiers owned here and
+  // kept alive past shutdown.
+  std::vector<std::shared_ptr<ConcurrentStub>> generations;
+  for (int v = 1; v <= kGenerations; ++v) {
+    generations.push_back(std::make_shared<ConcurrentStub>(
+        "gen" + std::to_string(v), kUsers,
+        static_cast<std::size_t>(4 + v), static_cast<float>(v)));
+  }
+
+  auto handle = std::make_shared<ModelHandle>();
+  handle->publish({generations[0].get()}, kUsers, 5, generations[0]);
+
+  GatewayConfig config;
+  config.threads = workers;
+  config.queue_depth = 256;
+  config.default_deadline_ms = 0.0;  // correctness, not latency
+  ServeGateway gateway(std::move(handle), config);
+
+  std::atomic<bool> done{false};
+  std::thread publisher([&] {
+    for (int v = 2; v <= kGenerations; ++v) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      gateway.handle()->publish({generations[v - 1].get()}, kUsers,
+                                static_cast<std::size_t>(4 + v),
+                                generations[v - 1]);
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::mutex violations_mutex;
+  std::vector<std::string> violations;  // guarded by violations_mutex
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClient ||
+                      !done.load(std::memory_order_acquire);
+           ++i) {
+        ScoreRequest request;
+        request.user = static_cast<std::uint32_t>((c + i) % kUsers);
+        request.client_id = "hammer-" + std::to_string(c);
+        const ScoreResult result = gateway.submit(std::move(request)).get();
+        if (result.status != RequestStatus::kServed) continue;
+        const std::uint64_t v = result.model_version;
+        const std::size_t want_items = 4 + static_cast<std::size_t>(v);
+        std::string problem;
+        if (v < 1 || v > kGenerations) {
+          problem = "unpublished version " + std::to_string(v);
+        } else if (result.scores.size() != want_items) {
+          problem = "version " + std::to_string(v) + " answered " +
+                    std::to_string(result.scores.size()) + " scores, want " +
+                    std::to_string(want_items);
+        } else if (result.scores.front() != static_cast<float>(v)) {
+          problem = "version " + std::to_string(v) +
+                    " scores from another generation's tier";
+        }
+        if (!problem.empty()) {
+          std::lock_guard<std::mutex> lock(violations_mutex);
+          violations.push_back(std::move(problem));
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  publisher.join();
+  gateway.shutdown();
+
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " torn/mixed answers, first: "
+      << violations.front();
+
+  const GatewayStats stats = gateway.stats();
+  EXPECT_EQ(stats.submitted,
+            stats.served + stats.zero_filled + stats.shed_total());
+  std::uint64_t versioned_served = 0;
+  for (const auto& v : stats.by_version) versioned_served += v.served;
+  EXPECT_EQ(versioned_served, stats.served);
+  // The hammer overlapped several generations, not just the first.
+  EXPECT_GE(stats.by_version.size(), 2u);
+}
+
+TEST_F(SwapTest, GatewayHotSwapHammerSingleWorker) { hammer(1); }
+
+TEST_F(SwapTest, GatewayHotSwapHammerFourWorkers) { hammer(4); }
+
+TEST_F(SwapTest, GatewayZeroFillsUsersBeyondTheServingGeneration) {
+  ConcurrentStub tier("t", 4, 3, 1.0f);
+  auto handle = std::make_shared<ModelHandle>();
+  handle->publish({&tier}, 4, 3);
+  GatewayConfig config;
+  config.threads = 1;
+  config.queue_depth = 8;
+  config.default_deadline_ms = 0.0;
+  ServeGateway gateway(handle, config);
+
+  ScoreRequest cold;
+  cold.user = 4;  // first user beyond the generation's n_users
+  const ScoreResult result = gateway.submit(std::move(cold)).get();
+  EXPECT_EQ(result.status, RequestStatus::kZeroFilled);
+  EXPECT_EQ(result.model_version, 1u);
+  EXPECT_EQ(result.scores.size(), 3u);
+  EXPECT_TRUE(std::all_of(result.scores.begin(), result.scores.end(),
+                          [](float s) { return s == 0.0f; }));
+
+  // After a wider generation ships, the same user is served for real.
+  ConcurrentStub wider("t2", 6, 3, 2.0f);
+  handle->publish({&wider}, 6, 3);
+  ScoreRequest warm;
+  warm.user = 4;
+  const ScoreResult served = gateway.submit(std::move(warm)).get();
+  EXPECT_EQ(served.status, RequestStatus::kServed);
+  EXPECT_EQ(served.model_version, 2u);
+  EXPECT_EQ(served.scores.front(), 2.0f);
+
+  gateway.shutdown();
+  const GatewayStats stats = gateway.stats();
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> counts;
+  for (const auto& v : stats.by_version) {
+    counts[v.version] = {v.served, v.zero_filled};
+  }
+  EXPECT_EQ(counts[1].second, 1u);  // the zero-fill landed on v1
+  EXPECT_EQ(counts[2].first, 1u);   // the served answer on v2
+}
+
+}  // namespace
+}  // namespace ckat::serve
