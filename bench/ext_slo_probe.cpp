@@ -1,0 +1,541 @@
+// Self-checking probe for the SLO burn-rate engine and the anomaly
+// flight recorder (extension).
+//
+// Each phase runs a fresh gateway (its own SloEngine) so the verdicts
+// are isolated:
+//
+//  1. clean        — paced healthy traffic: neither SLO fires.
+//  2. availability — every tier throws (injected): all requests
+//                    zero-fill, the availability burn alert fires, the
+//                    latency alert stays silent, and the opening
+//                    circuit writes a `circuit_open` flight dump.
+//  3. latency      — the single tier is slowed past the latency budget
+//                    (requests still serve): the p99 latency alert
+//                    fires, availability stays silent.
+//  4. shed spike   — a burst far past a tiny queue sheds at admission:
+//                    the `shed_spike` anomaly dumps.
+//  5. torn read    — injected swap.torn_read exhausts acquire()'s
+//                    retry bound: `torn_read_exhausted` dumps.
+//  6. rollback     — a real OnlineRefresher cycle is failed at publish
+//                    (injected swap.publish_fail): `refresh_rollback`
+//                    dumps and the prior generation keeps serving.
+//  7. overhead     — the same traffic with telemetry killed
+//                    (CKAT_OBS=0 path): tracing/SLO/flight must all
+//                    disarm and per-request cost must stay within a
+//                    lenient noise bound of the instrumented run.
+//
+// Every dump is validated as a one-header JSONL file, and the phase-2
+// dump must contain at least one *connected* per-request span tree —
+// a `gateway.request` root whose descendants (queue hop, worker, tier
+// walk) all resolve their parent within the trace and span at least
+// two threads. Exits non-zero on any violated check.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "facility/dataset.hpp"
+#include "facility/model.hpp"
+#include "facility/stream.hpp"
+#include "facility/users.hpp"
+#include "graph/interactions.hpp"
+#include "obs/flight.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace.hpp"
+#include "serve/gateway.hpp"
+#include "serve/refresh.hpp"
+#include "serve/swap.hpp"
+#include "util/cli.hpp"
+#include "util/fault.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ckat;
+
+int g_check_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  std::fprintf(stderr, "  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  if (!ok) ++g_check_failures;
+}
+
+/// Deterministic synthetic tier (scoring is pure arithmetic).
+class SyntheticTier final : public eval::Recommender {
+ public:
+  SyntheticTier(std::string name, std::size_t n_users, std::size_t n_items)
+      : name_(std::move(name)), n_users_(n_users), n_items_(n_items) {}
+  [[nodiscard]] std::string name() const override { return name_; }
+  void fit() override {}
+  void score_items(std::uint32_t user, std::span<float> out) const override {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = static_cast<float>((user * 31u + i * 17u) % 97u) / 97.0f;
+    }
+  }
+  [[nodiscard]] std::size_t n_users() const override { return n_users_; }
+  [[nodiscard]] std::size_t n_items() const override { return n_items_; }
+
+ private:
+  std::string name_;
+  std::size_t n_users_;
+  std::size_t n_items_;
+};
+
+/// Short-window SLO pair reusing the gateway's feed names so its
+/// events keep flowing into these specs.
+std::vector<obs::SloSpec> probe_slos(double latency_budget_ms) {
+  obs::SloSpec avail;
+  avail.name = "availability";
+  avail.kind = obs::SloSpec::Kind::kAvailability;
+  avail.objective = 0.99;
+  avail.fast_window_s = 5.0;
+  avail.slow_window_s = 50.0;
+  avail.fast_burn = 3.0;
+  avail.slow_burn = 2.0;
+  avail.min_events = 10;
+
+  obs::SloSpec latency;
+  latency.name = "latency_p99";
+  latency.kind = obs::SloSpec::Kind::kLatency;
+  latency.objective = latency_budget_ms;
+  latency.quantile = 0.99;
+  latency.fast_window_s = 5.0;
+  latency.slow_window_s = 50.0;
+  latency.fast_burn = 3.0;
+  latency.slow_burn = 2.0;
+  latency.min_events = 10;
+  return {avail, latency};
+}
+
+const obs::SloAlert* find_alert(const std::vector<obs::SloAlert>& alerts,
+                                const std::string& name) {
+  for (const obs::SloAlert& alert : alerts) {
+    if (alert.slo == name) return &alert;
+  }
+  return nullptr;
+}
+
+/// Submits `n` requests one at a time (collecting each answer before
+/// the next submit) and returns the resolved statuses.
+std::vector<serve::RequestStatus> paced_traffic(serve::ServeGateway& gateway,
+                                                int n) {
+  std::vector<serve::RequestStatus> statuses;
+  statuses.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    serve::ScoreRequest request;
+    request.user = static_cast<std::uint32_t>(i % 8);
+    request.client_id = "probe";
+    statuses.push_back(gateway.submit(std::move(request)).get().status);
+  }
+  return statuses;
+}
+
+std::uint64_t count_status(const std::vector<serve::RequestStatus>& statuses,
+                           serve::RequestStatus status) {
+  return static_cast<std::uint64_t>(
+      std::count(statuses.begin(), statuses.end(), status));
+}
+
+/// Parses a flight dump: header must be {"cat":"anomaly","kind":...},
+/// every body line must parse as one trace-schema JSON record.
+struct DumpContents {
+  bool valid = false;
+  std::string kind;
+  std::vector<obs::JsonValue> records;
+};
+
+DumpContents read_dump(const std::string& path) {
+  DumpContents dump;
+  std::ifstream in(path);
+  std::string line;
+  if (!std::getline(in, line)) return dump;
+  try {
+    const obs::JsonValue header = obs::json_parse(line);
+    if (header.at("cat").as_string() != "anomaly") return dump;
+    dump.kind = header.at("kind").as_string();
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      dump.records.push_back(obs::json_parse(line));
+    }
+  } catch (const std::exception&) {
+    return dump;
+  }
+  dump.valid = !dump.records.empty();
+  return dump;
+}
+
+/// True when the dump contains at least one connected per-request span
+/// tree: a `gateway.request` root, every other record's parent
+/// resolving within the same trace, >= 2 distinct threads, and the
+/// worker + tier-walk spans present.
+bool has_connected_request_tree(const DumpContents& dump) {
+  struct Node {
+    std::string name;
+    std::uint64_t id = 0;
+    std::uint64_t parent = 0;
+    std::uint64_t thread = 0;
+  };
+  std::map<std::uint64_t, std::vector<Node>> traces;
+  for (const obs::JsonValue& json : dump.records) {
+    const obs::JsonValue* trace = json.find("trace");
+    if (trace == nullptr) continue;
+    Node node;
+    node.name = json.at("name").as_string();
+    node.id = json.at("id").as_uint64();
+    node.parent = json.at("parent").as_uint64();
+    node.thread = json.at("thread").as_uint64();
+    traces[trace->as_uint64()].push_back(std::move(node));
+  }
+  for (const auto& [trace_id, nodes] : traces) {
+    std::set<std::uint64_t> ids;
+    std::set<std::uint64_t> threads;
+    std::set<std::string> names;
+    const Node* root = nullptr;
+    for (const Node& node : nodes) {
+      ids.insert(node.id);
+      threads.insert(node.thread);
+      names.insert(node.name);
+      if (node.name == "gateway.request") root = &node;
+    }
+    if (root == nullptr || root->parent != 0) continue;
+    if (threads.size() < 2) continue;
+    if (!names.count("gateway.worker") || !names.count("serve.walk")) {
+      continue;
+    }
+    bool connected = true;
+    for (const Node& node : nodes) {
+      if (node.id != root->id && !ids.count(node.parent)) {
+        connected = false;
+        break;
+      }
+    }
+    if (connected) return true;
+  }
+  return false;
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const int paced_requests =
+      static_cast<int>(args.get_int("paced-requests", 40));
+  const int overhead_requests =
+      static_cast<int>(args.get_int("overhead-requests", 200));
+  const double latency_budget_ms = args.get_double("latency-budget-ms", 20.0);
+  const std::string flight_dir =
+      args.get_string("flight-dir", "ext_slo_probe_flight");
+  const std::string checkpoint_path =
+      args.get_string("checkpoint", "ext_slo_probe.ckpt");
+
+  std::filesystem::create_directories(flight_dir);
+  for (const auto& entry : std::filesystem::directory_iterator(flight_dir)) {
+    // Stale dumps from a previous run would satisfy the presence checks.
+    if (entry.path().filename().string().rfind("flight_", 0) == 0) {
+      std::filesystem::remove(entry.path());
+    }
+  }
+  util::FaultInjector::instance().reset();
+  obs::set_telemetry_enabled(true);
+  obs::set_flight_dir(flight_dir);
+  obs::set_flight_window_s(120.0);
+  obs::set_flight_cooldown_s(0.0);
+
+  const std::size_t n_users = 64;
+  const std::size_t n_items = 32;
+  SyntheticTier primary("primary", n_users, n_items);
+  SyntheticTier fallback("fallback", n_users, n_items);
+
+  serve::GatewayConfig base_config;
+  base_config.threads = 4;
+  base_config.queue_depth = 64;
+  base_config.default_deadline_ms = 0.0;  // never shed on latency phases
+  base_config.resilient.failure_threshold = 3;
+  base_config.slos = probe_slos(latency_budget_ms);
+
+  std::map<std::string, std::string> dumps;  // anomaly kind -> path
+
+  // --- Phase 1: clean traffic, neither SLO fires.
+  std::fprintf(stderr, "phase 1: clean\n");
+  {
+    serve::ServeGateway gateway({&primary, &fallback}, base_config);
+    const auto statuses = paced_traffic(gateway, paced_requests);
+    const auto alerts = gateway.slo_alerts();
+    const obs::SloAlert* avail = find_alert(alerts, "availability");
+    const obs::SloAlert* latency = find_alert(alerts, "latency_p99");
+    check(count_status(statuses, serve::RequestStatus::kServed) ==
+              static_cast<std::uint64_t>(paced_requests),
+          "clean phase served every request");
+    check(avail != nullptr && !avail->firing && avail->bad == 0,
+          "clean phase: availability alert silent");
+    check(latency != nullptr && !latency->firing,
+          "clean phase: latency alert silent");
+    gateway.shutdown();
+  }
+
+  // --- Phase 2: every tier throws -> zero-fills burn the availability
+  // budget; the opening circuit writes a flight dump.
+  std::fprintf(stderr, "phase 2: availability fault\n");
+  const std::uint64_t dumps_before_circuit = obs::flight_dump_count();
+  {
+    serve::ServeGateway gateway({&primary, &fallback}, base_config);
+    util::FaultScope boom_primary(
+        std::string(util::fault_points::kScoreThrow) + ":" + primary.name(),
+        util::FaultSpec{.every = 1});
+    util::FaultScope boom_fallback(
+        std::string(util::fault_points::kScoreThrow) + ":" + fallback.name(),
+        util::FaultSpec{.every = 1});
+    const auto statuses = paced_traffic(gateway, paced_requests);
+    const auto alerts = gateway.slo_alerts();
+    const obs::SloAlert* avail = find_alert(alerts, "availability");
+    const obs::SloAlert* latency = find_alert(alerts, "latency_p99");
+    check(count_status(statuses, serve::RequestStatus::kZeroFilled) ==
+              static_cast<std::uint64_t>(paced_requests),
+          "availability phase zero-filled every request");
+    check(avail != nullptr && avail->firing,
+          "tier faults fire the availability burn alert");
+    check(latency != nullptr && !latency->firing,
+          "tier faults leave the latency alert silent");
+    gateway.shutdown();
+  }
+  check(obs::flight_dump_count() > dumps_before_circuit,
+        "circuit open wrote a flight dump");
+
+  // --- Phase 3: the tier serves, slowly -> p99 latency alert.
+  std::fprintf(stderr, "phase 3: latency fault\n");
+  {
+    serve::ServeGateway gateway({&primary}, base_config);
+    util::FaultScope slow(
+        std::string(util::fault_points::kScoreDelay) + ":" + primary.name(),
+        util::FaultSpec{.every = 1, .delay_ms = latency_budget_ms * 3.0});
+    const auto statuses = paced_traffic(gateway, paced_requests / 2);
+    const auto alerts = gateway.slo_alerts();
+    const obs::SloAlert* avail = find_alert(alerts, "availability");
+    const obs::SloAlert* latency = find_alert(alerts, "latency_p99");
+    check(count_status(statuses, serve::RequestStatus::kServed) ==
+              static_cast<std::uint64_t>(paced_requests / 2),
+          "latency phase still served every request");
+    check(latency != nullptr && latency->firing,
+          "latency fault fires the p99 burn alert");
+    check(avail != nullptr && !avail->firing,
+          "latency fault leaves the availability alert silent");
+    gateway.shutdown();
+  }
+
+  // --- Phase 4: burst past a tiny queue -> shed_spike anomaly.
+  std::fprintf(stderr, "phase 4: shed spike\n");
+  const std::uint64_t dumps_before_spike = obs::flight_dump_count();
+  {
+    serve::GatewayConfig spike_config = base_config;
+    spike_config.threads = 1;
+    spike_config.queue_depth = 2;
+    spike_config.shed_spike_threshold = 8;
+    serve::ServeGateway gateway({&primary}, spike_config);
+    util::FaultScope slow(
+        std::string(util::fault_points::kScoreDelay) + ":" + primary.name(),
+        util::FaultSpec{.every = 1, .delay_ms = 10.0});
+    std::vector<std::future<serve::ScoreResult>> futures;
+    for (int i = 0; i < 64; ++i) {
+      serve::ScoreRequest request;
+      request.user = static_cast<std::uint32_t>(i % 8);
+      request.client_id = "burst";
+      futures.push_back(gateway.submit(std::move(request)));
+    }
+    std::uint64_t sheds = 0;
+    for (auto& future : futures) {
+      if (future.get().status == serve::RequestStatus::kShedQueueFull) {
+        ++sheds;
+      }
+    }
+    check(sheds >= 8, "burst shed at admission (sheds=" +
+                          std::to_string(sheds) + ")");
+    gateway.shutdown();
+  }
+  check(obs::flight_dump_count() > dumps_before_spike,
+        "shed spike wrote a flight dump");
+
+  // --- Phase 5: torn reads past the retry bound -> dump + throw.
+  std::fprintf(stderr, "phase 5: torn read exhaustion\n");
+  const std::uint64_t dumps_before_torn = obs::flight_dump_count();
+  {
+    serve::ModelHandle handle(/*max_acquire_retries=*/1);
+    handle.publish({&primary}, n_users, n_items);
+    util::FaultScope torn(util::fault_points::kSwapTornRead,
+                          util::FaultSpec{.every = 1});
+    bool threw = false;
+    try {
+      (void)handle.acquire();
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    check(threw, "torn reads past the retry bound threw");
+  }
+  check(obs::flight_dump_count() > dumps_before_torn,
+        "torn-read exhaustion wrote a flight dump");
+
+  // --- Phase 6: a real refresh cycle failed at publish -> rollback
+  // dump, prior generation keeps serving.
+  std::fprintf(stderr, "phase 6: refresh rollback\n");
+  const std::uint64_t dumps_before_rollback = obs::flight_dump_count();
+  {
+    util::Rng facility_rng(11);
+    const facility::FacilityModel model =
+        facility::make_gage_model(facility_rng, /*n_stations=*/30);
+    facility::PopulationParams pop;
+    pop.n_users = 24;
+    pop.n_cities = 6;
+    pop.n_organizations = 4;
+    util::Rng pop_rng(12);
+    const facility::UserPopulation users(model, pop, pop_rng);
+    facility::TraceParams trace;
+    facility::StreamParams stream_params;
+    stream_params.n_windows = 1;
+    stream_params.queries_per_window = 150;
+    stream_params.bootstrap_queries = 300;
+    stream_params.seed = 42;
+    facility::FacilityStream stream(model, users, trace, stream_params);
+
+    graph::InteractionSet bootstrap_all(stream.active_users(),
+                                        stream.active_items());
+    for (const facility::QueryRecord& q : stream.bootstrap_queries()) {
+      bootstrap_all.add(q.user, q.object);
+    }
+    bootstrap_all.finalize();
+    util::Rng split_rng(123);
+    graph::InteractionSplit split =
+        graph::split_interactions(bootstrap_all, 0.8, split_rng);
+
+    serve::RefreshConfig refresh_config;
+    refresh_config.model.embedding_dim = 8;
+    refresh_config.model.layer_dims = {4};
+    refresh_config.model.epochs = 1;
+    refresh_config.model.seed = 7;
+    refresh_config.epochs = 0;
+    refresh_config.guardrail_eps = 0.5;
+    refresh_config.eval_k = 10;
+    refresh_config.checkpoint_path = checkpoint_path;
+    refresh_config.ckg_options.sources = {facility::kSourceLoc,
+                                          facility::kSourceDkg};
+
+    auto handle = std::make_shared<serve::ModelHandle>();
+    serve::OnlineRefresher refresher(handle, std::move(split),
+                                     stream.bootstrap_user_pairs(2),
+                                     stream.bootstrap_sources(),
+                                     refresh_config);
+    const serve::RefreshOutcome boot = refresher.bootstrap();
+    check(boot.status == serve::RefreshOutcome::Status::kPublished,
+          "refresher bootstrapped generation v1");
+    const std::uint64_t serving_before = refresher.serving_version();
+    serve::RefreshOutcome failed;
+    {
+      util::FaultScope fail(util::fault_points::kSwapPublishFail,
+                            util::FaultSpec{.every = 1});
+      failed = refresher.ingest(stream.stream_window().delta);
+    }
+    check(failed.status == serve::RefreshOutcome::Status::kPublishFailed &&
+              refresher.serving_version() == serving_before,
+          "failed publish rolled back; prior generation keeps serving");
+  }
+  check(obs::flight_dump_count() > dumps_before_rollback,
+        "refresh rollback wrote a flight dump");
+  std::remove(checkpoint_path.c_str());
+
+  // --- Dump validation: every anomaly class produced a parseable
+  // one-header JSONL file (filenames carry the kind: flight_<seq>_<kind>);
+  // the circuit dump reconstructs at least one connected per-request
+  // span tree across threads.
+  std::fprintf(stderr, "\nflight dump validation:\n");
+  for (const auto& entry : std::filesystem::directory_iterator(flight_dir)) {
+    const std::string name = entry.path().filename().string();
+    for (const char* kind : {"circuit_open", "shed_spike",
+                             "torn_read_exhausted", "refresh_rollback"}) {
+      if (name.find(kind) != std::string::npos && !dumps.count(kind)) {
+        dumps[kind] = entry.path().string();
+      }
+    }
+  }
+  for (const char* kind : {"circuit_open", "shed_spike",
+                           "torn_read_exhausted", "refresh_rollback"}) {
+    if (!dumps.count(kind)) {
+      check(false, std::string(kind) + " dump present in " + flight_dir);
+      continue;
+    }
+    const std::string& path = dumps.at(kind);
+    const DumpContents dump = read_dump(path);
+    check(dump.valid && dump.kind == kind,
+          std::string(kind) + " dump is valid JSONL (" + path + ")");
+    if (std::string(kind) == "circuit_open") {
+      check(has_connected_request_tree(dump),
+            "circuit_open dump reconstructs a connected request tree "
+            "across threads");
+    }
+  }
+
+  // --- Phase 7: kill switch. Telemetry off must disarm tracing, SLO
+  // recording and the recorder, and cost no more than the instrumented
+  // path (lenient noise bound — this is a smoke gate, not a benchmark).
+  std::fprintf(stderr, "\nphase 7: overhead with telemetry on vs off\n");
+  double on_ms = 0.0;
+  double off_ms = 0.0;
+  {
+    serve::ServeGateway gateway({&primary, &fallback}, base_config);
+    const auto start = std::chrono::steady_clock::now();
+    paced_traffic(gateway, overhead_requests);
+    on_ms = elapsed_ms(start);
+    gateway.shutdown();
+  }
+  obs::set_telemetry_enabled(false);
+  {
+    serve::ServeGateway gateway({&primary, &fallback}, base_config);
+    const auto start = std::chrono::steady_clock::now();
+    paced_traffic(gateway, overhead_requests);
+    off_ms = elapsed_ms(start);
+    const std::uint64_t dumps_while_off = obs::flight_dump_count();
+    check(obs::flight_anomaly("kill_switch_probe").empty() &&
+              obs::flight_dump_count() == dumps_while_off,
+          "telemetry off disarms the flight recorder");
+    check(find_alert(gateway.slo_alerts(), "availability")->good == 0,
+          "telemetry off stops feeding the SLO engine");
+    gateway.shutdown();
+  }
+  obs::set_telemetry_enabled(true);
+  std::fprintf(stderr, "  on=%.1f ms off=%.1f ms for %d paced requests\n", on_ms,
+              off_ms, overhead_requests);
+  check(off_ms <= on_ms * 2.0 + 50.0,
+        "telemetry off costs no more than on (within noise)");
+
+  obs::RunReport report("ext_slo_probe");
+  report.set_note("paced_requests", static_cast<double>(paced_requests));
+  report.set_note("overhead_on_ms", on_ms);
+  report.set_note("overhead_off_ms", off_ms);
+  report.set_note("flight_dumps", static_cast<double>(obs::flight_dump_count()));
+  obs::JsonValue dump_section = obs::JsonValue::object();
+  for (const auto& [kind, path] : dumps) dump_section.set(kind, path);
+  report.add_section("flight_dumps", dump_section);
+  report.capture_metrics();
+  std::printf("%s\n", report.to_json_string().c_str());
+
+  obs::set_flight_dir("");
+  if (g_check_failures > 0) {
+    std::fprintf(stderr, "\n%d self-check(s) FAILED\n", g_check_failures);
+    return 1;
+  }
+  std::fprintf(stderr, "\nall self-checks passed\n");
+  return 0;
+}

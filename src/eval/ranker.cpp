@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "eval/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/env.hpp"
 #include "util/timer.hpp"
 
@@ -93,11 +94,19 @@ void BatchRanker::rank(std::span<const std::uint32_t> users,
   workers.reserve(n_threads);
   const std::size_t base = users.size() / n_threads;
   const std::size_t extra = users.size() % n_threads;
+  // Capture the caller's trace lineage before fanning out so each
+  // shard's span joins the caller's per-request tree instead of
+  // rooting a disconnected trace on its own thread.
+  const obs::TraceContext trace_ctx = obs::current_trace_context();
   std::size_t start = 0;
   for (std::size_t t = 0; t < n_threads; ++t) {
     const std::size_t len = base + (t < extra ? 1 : 0);
-    workers.emplace_back([this, shard = users.subspan(start, len), start,
-                          &mask, &visit, &first_error, &error_mutex] {
+    workers.emplace_back([this, shard = users.subspan(start, len), start, t,
+                          trace_ctx, &mask, &visit, &first_error,
+                          &error_mutex] {
+      obs::TraceSpan shard_span("ranker.shard", trace_ctx,
+                                {{"shard", std::to_string(t)},
+                                 {"users", std::to_string(shard.size())}});
       try {
         rank_range(shard, start, mask, visit);
       } catch (...) {

@@ -1,0 +1,234 @@
+#include "obs/flight.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metric_names.hpp"
+#include "obs/metrics.hpp"
+#include "util/env.hpp"
+
+namespace ckat::obs {
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* raw = util::env_raw(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  return v;
+}
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& instance() {
+    static FlightRecorder recorder;
+    return recorder;
+  }
+
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  void set_dir(const std::string& dir) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    dir_ = dir;
+    armed_.store(!dir.empty(), std::memory_order_relaxed);
+  }
+
+  void set_capacity(std::size_t records) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = records < 16 ? 16 : records;
+    ring_.clear();
+    ring_.shrink_to_fit();
+    head_ = 0;
+  }
+
+  void set_window_s(double seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    window_us_ = seconds <= 0.0
+                     ? 0
+                     : static_cast<std::uint64_t>(seconds * 1e6);
+  }
+
+  void set_cooldown_s(double seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cooldown_us_ = seconds <= 0.0
+                       ? 0
+                       : static_cast<std::uint64_t>(seconds * 1e6);
+  }
+
+  void record(const TraceRecord& r) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (dir_.empty()) return;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(r);
+      return;
+    }
+    ring_[head_] = r;
+    head_ = (head_ + 1) % capacity_;
+  }
+
+  std::string anomaly(std::string_view kind, TraceAttrs attrs) {
+    // Snapshot under the lock; format and write the file outside it so
+    // recording threads never block on disk I/O.
+    std::string dir;
+    std::uint64_t seq = 0;
+    std::vector<TraceRecord> window;
+    const std::uint64_t now = trace_now_us();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (dir_.empty()) return "";
+      const std::string kind_key(kind);
+      const auto it = last_dump_us_.find(kind_key);
+      if (cooldown_us_ > 0 && it != last_dump_us_.end() &&
+          now - it->second < cooldown_us_) {
+        MetricsRegistry::global()
+            .counter(metric_names::kFlightSuppressedTotal,
+                     {{"anomaly", kind_key}})
+            .inc();
+        return "";
+      }
+      last_dump_us_[kind_key] = now;
+      dir = dir_;
+      seq = ++seq_;
+      window.reserve(ring_.size());
+      const std::uint64_t cutoff =
+          window_us_ > 0 && now > window_us_ ? now - window_us_ : 0;
+      // Oldest-first: ring_[head_..end) then ring_[0..head_).
+      for (std::size_t i = 0; i < ring_.size(); ++i) {
+        const TraceRecord& r = ring_[(head_ + i) % ring_.size()];
+        const std::uint64_t end_us =
+            r.is_span ? r.start_us + r.dur_us : r.start_us;
+        if (end_us >= cutoff) window.push_back(r);
+      }
+    }
+
+    const std::string path = dir + "/flight_" + std::to_string(seq) + "_" +
+                             std::string(kind) + ".jsonl";
+    FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "[obs] cannot open flight dump '%s'\n",
+                   path.c_str());
+      return "";
+    }
+    std::string header = "{\"cat\":\"anomaly\",\"kind\":\"";
+    header += json_escape(std::string(kind));
+    header += "\",\"ts_us\":" + std::to_string(now);
+    header += ",\"records\":" + std::to_string(window.size());
+    if (!attrs.empty()) {
+      header += ",\"attrs\":{";
+      for (std::size_t i = 0; i < attrs.size(); ++i) {
+        if (i > 0) header += ',';
+        header += "\"" + json_escape(attrs[i].first) + "\":\"" +
+                  json_escape(attrs[i].second) + "\"";
+      }
+      header += "}";
+    }
+    header += "}\n";
+    std::fwrite(header.data(), 1, header.size(), file);
+    for (const TraceRecord& r : window) {
+      const std::string line = format_trace_record(r) + "\n";
+      std::fwrite(line.data(), 1, line.size(), file);
+    }
+    std::fclose(file);
+
+    MetricsRegistry::global()
+        .counter(metric_names::kFlightDumpsTotal,
+                 {{"anomaly", std::string(kind)}})
+        .inc();
+    dumps_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      last_dump_path_ = path;
+    }
+    return path;
+  }
+
+  [[nodiscard]] std::string last_dump() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return last_dump_path_;
+  }
+
+  [[nodiscard]] std::uint64_t dump_count() const noexcept {
+    return dumps_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FlightRecorder() {
+    if (const char* env = util::env_raw("CKAT_FLIGHT_DIR");
+        env != nullptr && env[0] != '\0') {
+      dir_ = env;
+      armed_.store(true, std::memory_order_relaxed);
+    }
+    const double events = env_double("CKAT_FLIGHT_EVENTS", 4096.0);
+    capacity_ = events < 16.0 ? 16 : static_cast<std::size_t>(events);
+    const double window_s = env_double("CKAT_FLIGHT_SECONDS", 30.0);
+    window_us_ =
+        window_s <= 0.0 ? 0 : static_cast<std::uint64_t>(window_s * 1e6);
+  }
+
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> dumps_{0};
+
+  std::mutex mutex_;
+  std::string dir_;                   // guarded by mutex_
+  std::vector<TraceRecord> ring_;     // guarded by mutex_
+  std::size_t head_ = 0;              // guarded by mutex_
+  std::size_t capacity_ = 4096;       // guarded by mutex_
+  std::uint64_t window_us_ = 0;       // guarded by mutex_
+  std::uint64_t cooldown_us_ = 5'000'000;  // guarded by mutex_
+  std::uint64_t seq_ = 0;             // guarded by mutex_
+  std::string last_dump_path_;        // guarded by mutex_
+  std::unordered_map<std::string, std::uint64_t>
+      last_dump_us_;  // per-kind cooldown clock, guarded by mutex_
+};
+
+}  // namespace
+
+bool flight_enabled() noexcept {
+  return telemetry_enabled() && FlightRecorder::instance().armed();
+}
+
+void set_flight_dir(const std::string& dir) {
+  FlightRecorder::instance().set_dir(dir);
+}
+
+void set_flight_capacity(std::size_t records) {
+  FlightRecorder::instance().set_capacity(records);
+}
+
+void set_flight_window_s(double seconds) {
+  FlightRecorder::instance().set_window_s(seconds);
+}
+
+void set_flight_cooldown_s(double seconds) {
+  FlightRecorder::instance().set_cooldown_s(seconds);
+}
+
+void flight_record(const TraceRecord& record) {
+  if (!flight_enabled()) return;
+  FlightRecorder::instance().record(record);
+}
+
+std::string flight_anomaly(std::string_view kind, TraceAttrs attrs) {
+  if (!flight_enabled()) return "";
+  return FlightRecorder::instance().anomaly(kind, std::move(attrs));
+}
+
+std::string last_flight_dump() {
+  return FlightRecorder::instance().last_dump();
+}
+
+std::uint64_t flight_dump_count() noexcept {
+  return FlightRecorder::instance().dump_count();
+}
+
+}  // namespace ckat::obs

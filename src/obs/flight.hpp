@@ -1,0 +1,67 @@
+// Anomaly flight recorder: a bounded in-memory ring of recent trace
+// records that dumps the last N seconds to a JSONL file when an anomaly
+// fires.
+//
+// Always-on full tracing is too expensive for long soaks, but the
+// moments that matter — a circuit opening, a refresh rollback, a shed
+// spike, torn-read exhaustion — are exactly the moments where the
+// per-request record of the preceding seconds explains *why*. The
+// recorder keeps that record cheaply: every completed span/event is
+// copied into a fixed-capacity ring under one short-held mutex (no
+// I/O, no allocation beyond the record's strings), and flight_anomaly()
+// snapshots the window and writes it out, off the hot path.
+//
+// Armed by CKAT_FLIGHT_DIR (or set_flight_dir()); disarmed, the
+// per-record hook is a single relaxed load. Dumps land as
+// `<dir>/flight_<seq>_<kind>.jsonl`: one `{"cat":"anomaly",...}` header
+// line followed by the windowed records in trace.hpp line schema, so
+// the same tooling parses trace files and flight dumps. A per-kind
+// cooldown (default 5s) keeps an anomaly storm from flooding the disk;
+// suppressed dumps are counted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/trace.hpp"
+
+namespace ckat::obs {
+
+/// True when the recorder is armed (a dump directory is configured and
+/// telemetry is enabled).
+[[nodiscard]] bool flight_enabled() noexcept;
+
+/// Configures the dump directory ("" disarms). Overrides
+/// CKAT_FLIGHT_DIR; the directory must already exist.
+void set_flight_dir(const std::string& dir);
+
+/// Ring capacity in records (min 16). Overrides CKAT_FLIGHT_EVENTS
+/// (default 4096). Clears the ring.
+void set_flight_capacity(std::size_t records);
+
+/// Dump window in seconds: records older than this at anomaly time are
+/// not dumped. Overrides CKAT_FLIGHT_SECONDS (default 30).
+void set_flight_window_s(double seconds);
+
+/// Minimum seconds between dumps of the same anomaly kind (default 5;
+/// 0 disables the cooldown).
+void set_flight_cooldown_s(double seconds);
+
+/// Copies one completed record into the ring. Called by the tracing
+/// layer for every completed span/event; cheap no-op when disarmed.
+void flight_record(const TraceRecord& record);
+
+/// Fires an anomaly: writes the windowed ring contents to a fresh dump
+/// file. Returns the dump path, or "" when disarmed or suppressed by
+/// the per-kind cooldown.
+std::string flight_anomaly(std::string_view kind, TraceAttrs attrs = {});
+
+/// Path of the most recent dump ("" when none yet).
+[[nodiscard]] std::string last_flight_dump();
+
+/// Dumps written since process start (suppressed ones excluded).
+[[nodiscard]] std::uint64_t flight_dump_count() noexcept;
+
+}  // namespace ckat::obs

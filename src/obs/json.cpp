@@ -1,8 +1,11 @@
 #include "obs/json.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 namespace ckat::obs {
@@ -39,8 +42,59 @@ bool JsonValue::as_bool() const {
 }
 
 double JsonValue::as_number() const {
+  if (std::holds_alternative<std::int64_t>(value_)) {
+    return static_cast<double>(std::get<std::int64_t>(value_));
+  }
+  if (std::holds_alternative<std::uint64_t>(value_)) {
+    return static_cast<double>(std::get<std::uint64_t>(value_));
+  }
   if (!is_number()) type_error("number");
   return std::get<double>(value_);
+}
+
+std::int64_t JsonValue::as_int64() const {
+  if (std::holds_alternative<std::int64_t>(value_)) {
+    return std::get<std::int64_t>(value_);
+  }
+  if (std::holds_alternative<std::uint64_t>(value_)) {
+    const std::uint64_t u = std::get<std::uint64_t>(value_);
+    if (u > static_cast<std::uint64_t>(
+                std::numeric_limits<std::int64_t>::max())) {
+      type_error("int64 (out of range)");
+    }
+    return static_cast<std::int64_t>(u);
+  }
+  if (std::holds_alternative<double>(value_)) {
+    const double d = std::get<double>(value_);
+    // Exact-representability window: doubles at or beyond 2^63 cannot
+    // be int64, and any fractional part means the value is not an id.
+    if (std::isfinite(d) && d == std::floor(d) && d >= -9.223372036854776e18 &&
+        d < 9.223372036854776e18) {
+      return static_cast<std::int64_t>(d);
+    }
+    type_error("int64 (not an exact integer)");
+  }
+  type_error("int64");
+}
+
+std::uint64_t JsonValue::as_uint64() const {
+  if (std::holds_alternative<std::uint64_t>(value_)) {
+    return std::get<std::uint64_t>(value_);
+  }
+  if (std::holds_alternative<std::int64_t>(value_)) {
+    const std::int64_t i = std::get<std::int64_t>(value_);
+    if (i < 0) type_error("uint64 (negative)");
+    return static_cast<std::uint64_t>(i);
+  }
+  if (std::holds_alternative<double>(value_)) {
+    const double d = std::get<double>(value_);
+    if (std::isfinite(d) && d == std::floor(d) && d >= 0.0 &&
+        d < 1.8446744073709552e19) {
+      return static_cast<std::uint64_t>(d);
+    }
+    type_error("uint64 (not an exact integer)");
+  }
+  type_error("uint64");
 }
 
 const std::string& JsonValue::as_string() const {
@@ -135,6 +189,17 @@ void JsonValue::dump_to(std::string& out, int indent, int depth) const {
     out += "null";
   } else if (is_bool()) {
     out += std::get<bool>(value_) ? "true" : "false";
+  } else if (std::holds_alternative<std::int64_t>(value_)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(std::get<std::int64_t>(value_)));
+    out += buf;
+  } else if (std::holds_alternative<std::uint64_t>(value_)) {
+    char buf[32];
+    std::snprintf(
+        buf, sizeof(buf), "%llu",
+        static_cast<unsigned long long>(std::get<std::uint64_t>(value_)));
+    out += buf;
   } else if (is_number()) {
     append_number(out, std::get<double>(value_));
   } else if (is_string()) {
@@ -360,6 +425,25 @@ class Parser {
     }
     if (pos_ == start) fail("invalid value");
     const std::string token(text_.substr(start, pos_ - start));
+    // Integral tokens keep their native width (64-bit ids round-trip
+    // exactly); fractional/exponent tokens and out-of-range integers
+    // fall back to double.
+    if (token.find_first_of(".eE") == std::string::npos) {
+      char* iend = nullptr;
+      errno = 0;
+      if (token[0] == '-') {
+        const long long v = std::strtoll(token.c_str(), &iend, 10);
+        if (errno == 0 && iend == token.c_str() + token.size()) {
+          return JsonValue(static_cast<std::int64_t>(v));
+        }
+      } else {
+        const unsigned long long v = std::strtoull(token.c_str(), &iend, 10);
+        if (errno == 0 && iend == token.c_str() + token.size()) {
+          return JsonValue(static_cast<std::uint64_t>(v));
+        }
+      }
+      errno = 0;
+    }
     char* end = nullptr;
     const double d = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size()) fail("invalid number");

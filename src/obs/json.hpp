@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -27,9 +28,19 @@ class JsonValue {
   JsonValue(std::nullptr_t) : value_(nullptr) {}
   JsonValue(bool b) : value_(b) {}
   JsonValue(double d) : value_(d) {}
-  JsonValue(int i) : value_(static_cast<double>(i)) {}
-  JsonValue(std::int64_t i) : value_(static_cast<double>(i)) {}
-  JsonValue(std::uint64_t u) : value_(static_cast<double>(u)) {}
+  /// Integers keep their native width: 64-bit span/trace ids above 2^53
+  /// would silently lose precision as doubles. Signed types store as
+  /// int64, unsigned as uint64.
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonValue(T i) {
+    if constexpr (std::is_signed_v<T>) {
+      value_ = static_cast<std::int64_t>(i);
+    } else {
+      value_ = static_cast<std::uint64_t>(i);
+    }
+  }
   JsonValue(const char* s) : value_(std::string(s)) {}
   JsonValue(std::string s) : value_(std::move(s)) {}
   JsonValue(std::string_view s) : value_(std::string(s)) {}
@@ -41,7 +52,15 @@ class JsonValue {
 
   [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
   [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(value_); }
-  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(value_); }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(value_) || is_integer();
+  }
+  /// True when the value holds a native integer alternative (parsed
+  /// from an integral token, or constructed from an integral type).
+  [[nodiscard]] bool is_integer() const {
+    return std::holds_alternative<std::int64_t>(value_) ||
+           std::holds_alternative<std::uint64_t>(value_);
+  }
   [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(value_); }
   [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(value_); }
   [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(value_); }
@@ -49,6 +68,12 @@ class JsonValue {
   /// Typed accessors; throw std::logic_error on type mismatch.
   [[nodiscard]] bool as_bool() const;
   [[nodiscard]] double as_number() const;
+  /// Exact integer accessors; accept any number alternative whose value
+  /// is exactly representable in the requested type, throw
+  /// std::logic_error otherwise (out of range, fractional, negative for
+  /// as_uint64).
+  [[nodiscard]] std::int64_t as_int64() const;
+  [[nodiscard]] std::uint64_t as_uint64() const;
   [[nodiscard]] const std::string& as_string() const;
   [[nodiscard]] const Array& as_array() const;
   [[nodiscard]] Array& as_array();
@@ -70,7 +95,9 @@ class JsonValue {
  private:
   void dump_to(std::string& out, int indent, int depth) const;
 
-  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+  std::variant<std::nullptr_t, bool, double, std::int64_t, std::uint64_t,
+               std::string, Array, Object>
+      value_;
 };
 
 /// Escapes a string for embedding inside a JSON string literal (no

@@ -82,4 +82,24 @@ inline constexpr const char* kRefreshRollbacksTotal =
     "ckat_refresh_rollbacks_total";
 inline constexpr const char* kRefreshFitSeconds = "ckat_refresh_fit_seconds";
 
+// Trace sink housekeeping (src/obs/trace.cpp): CKAT_TRACE_MAX_MB
+// rotations of the JSONL file, and request traces discarded by the
+// CKAT_TRACE_SAMPLE tail sampler.
+inline constexpr const char* kTraceRotationsTotal =
+    "ckat_trace_rotations_total";
+inline constexpr const char* kTraceSampledOutTotal =
+    "ckat_trace_sampled_out_total";
+
+// Anomaly flight recorder (src/obs/flight.cpp), labeled {anomaly}:
+// dumps written, and dumps suppressed by the per-kind cooldown.
+inline constexpr const char* kFlightDumpsTotal = "ckat_flight_dumps_total";
+inline constexpr const char* kFlightSuppressedTotal =
+    "ckat_flight_suppressed_total";
+
+// SLO burn-rate engine (src/obs/slo.cpp). Burn rates labeled
+// {slo, window=fast|slow}; alert state/edges labeled {slo}.
+inline constexpr const char* kSloBurnRate = "ckat_slo_burn_rate";
+inline constexpr const char* kSloAlertActive = "ckat_slo_alert_active";
+inline constexpr const char* kSloAlertsTotal = "ckat_slo_alerts_total";
+
 }  // namespace ckat::obs::metric_names

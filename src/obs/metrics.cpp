@@ -65,7 +65,8 @@ Histogram::Histogram(std::vector<double> upper_bounds)
     : upper_bounds_(std::move(upper_bounds)),
       buckets_(upper_bounds_.size() + 1),
       min_(std::numeric_limits<double>::infinity()),
-      max_(-std::numeric_limits<double>::infinity()) {
+      max_(-std::numeric_limits<double>::infinity()),
+      exemplars_(upper_bounds_.size() + 1) {
   if (!std::is_sorted(upper_bounds_.begin(), upper_bounds_.end())) {
     throw std::invalid_argument("Histogram: bucket bounds must be ascending");
   }
@@ -116,6 +117,23 @@ void Histogram::observe(double v) noexcept {
   sum_.fetch_add(v, std::memory_order_relaxed);
   atomic_min(min_, v);
   atomic_max(max_, v);
+}
+
+void Histogram::observe_with_exemplar(double v, std::uint64_t trace_id) {
+  observe(v);
+  if (trace_id == 0) return;
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), v);
+  const std::size_t idx =
+      static_cast<std::size_t>(it - upper_bounds_.begin());
+  std::unique_lock<std::mutex> lock(exemplar_mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) return;  // export in progress: skip, stay cheap
+  exemplars_[idx] = Exemplar{v, trace_id};
+}
+
+std::vector<Histogram::Exemplar> Histogram::exemplars() const {
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  return exemplars_;
 }
 
 double Histogram::min() const noexcept {
@@ -179,6 +197,8 @@ void Histogram::reset() noexcept {
              std::memory_order_relaxed);
   max_.store(-std::numeric_limits<double>::infinity(),
              std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  for (auto& e : exemplars_) e = Exemplar{};
 }
 
 MetricsRegistry& MetricsRegistry::global() {
@@ -269,6 +289,14 @@ std::string MetricsRegistry::to_prometheus() const {
         break;
       case Kind::kHistogram: {
         const Histogram& h = *entry->histogram;
+        const std::vector<Histogram::Exemplar> exemplars = h.exemplars();
+        // OpenMetrics-style exemplar suffix on a _bucket line:
+        //   ... count # {trace_id="N"} value
+        const auto exemplar_suffix = [&](std::size_t b) -> std::string {
+          if (b >= exemplars.size() || exemplars[b].trace_id == 0) return "";
+          return " # {trace_id=\"" + std::to_string(exemplars[b].trace_id) +
+                 "\"} " + format_double(exemplars[b].value);
+        };
         out += "# TYPE " + entry->name + " histogram\n";
         LabelSet with_le = entry->labels;
         with_le.emplace_back("le", "");
@@ -277,11 +305,12 @@ std::string MetricsRegistry::to_prometheus() const {
           cumulative = h.cumulative_bucket(b);
           with_le.back().second = format_double(h.upper_bounds()[b]);
           out += render_series_name(entry->name + "_bucket", with_le) + " " +
-                 std::to_string(cumulative) + "\n";
+                 std::to_string(cumulative) + exemplar_suffix(b) + "\n";
         }
         with_le.back().second = "+Inf";
         out += render_series_name(entry->name + "_bucket", with_le) + " " +
-               std::to_string(h.count()) + "\n";
+               std::to_string(h.count()) +
+               exemplar_suffix(h.upper_bounds().size()) + "\n";
         out += render_series_name(entry->name + "_sum", entry->labels) + " " +
                format_double(h.sum()) + "\n";
         out += render_series_name(entry->name + "_count", entry->labels) +
@@ -318,6 +347,21 @@ JsonValue MetricsRegistry::to_json() const {
         summary.set("p50", JsonValue(h.quantile(0.50)));
         summary.set("p95", JsonValue(h.quantile(0.95)));
         summary.set("p99", JsonValue(h.quantile(0.99)));
+        JsonValue exemplars = JsonValue::array();
+        const std::vector<Histogram::Exemplar> slots = h.exemplars();
+        for (std::size_t b = 0; b < slots.size(); ++b) {
+          if (slots[b].trace_id == 0) continue;
+          JsonValue exemplar = JsonValue::object();
+          exemplar.set("le", b < h.upper_bounds().size()
+                                 ? JsonValue(h.upper_bounds()[b])
+                                 : JsonValue("+Inf"));
+          exemplar.set("value", JsonValue(slots[b].value));
+          exemplar.set("trace_id", JsonValue(slots[b].trace_id));
+          exemplars.push_back(std::move(exemplar));
+        }
+        if (!exemplars.as_array().empty()) {
+          summary.set("exemplars", std::move(exemplars));
+        }
         histograms.set(series, std::move(summary));
         break;
       }

@@ -89,6 +89,22 @@ class Histogram {
 
   void observe(double v) noexcept;
 
+  /// Like observe(), but additionally records {v, trace_id} as the
+  /// bucket's exemplar — the breadcrumb linking a latency bucket to one
+  /// concrete request trace (OpenMetrics exemplars). trace_id == 0
+  /// degrades to a plain observe(). The exemplar slot is best-effort
+  /// (try-lock; contended updates are skipped) so the hot path never
+  /// blocks on the export path.
+  void observe_with_exemplar(double v, std::uint64_t trace_id);
+
+  /// One exemplar slot per bucket (upper_bounds().size() + 1 entries,
+  /// +inf last); trace_id == 0 means the bucket has none yet.
+  struct Exemplar {
+    double value = 0.0;
+    std::uint64_t trace_id = 0;
+  };
+  [[nodiscard]] std::vector<Exemplar> exemplars() const;
+
   [[nodiscard]] std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
   }
@@ -117,6 +133,8 @@ class Histogram {
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_;
   std::atomic<double> max_;
+  mutable std::mutex exemplar_mutex_;
+  std::vector<Exemplar> exemplars_;  // size bounds + 1, guarded by exemplar_mutex_
 };
 
 class MetricsRegistry {

@@ -1,0 +1,197 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "obs/metric_names.hpp"
+#include "obs/trace.hpp"
+#include "util/env.hpp"
+
+namespace ckat::obs {
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* raw = util::env_raw(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  return v;
+}
+
+/// Error budget: the tolerated bad fraction. Availability target 0.99
+/// tolerates 1%; a latency SLO at quantile 0.99 tolerates 1% of served
+/// requests over budget.
+double error_budget(const SloSpec& spec) {
+  const double target = spec.kind == SloSpec::Kind::kAvailability
+                            ? spec.objective
+                            : spec.quantile;
+  const double budget = 1.0 - std::clamp(target, 0.0, 1.0 - 1e-9);
+  return budget;
+}
+
+}  // namespace
+
+SloEngine::SloEngine(std::vector<SloSpec> specs) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  series_.reserve(specs.size());
+  for (SloSpec& spec : specs) {
+    Series series;
+    // One bucket per second across the slow window, plus slack so a
+    // record landing in the current second never evicts one still
+    // inside the window.
+    const auto slots =
+        static_cast<std::size_t>(std::ceil(spec.slow_window_s)) + 2;
+    series.ring.assign(slots < 4 ? 4 : slots, Bucket{});
+    series.fast_gauge = &registry.gauge(
+        metric_names::kSloBurnRate,
+        {{"slo", spec.name}, {"window", "fast"}});
+    series.slow_gauge = &registry.gauge(
+        metric_names::kSloBurnRate,
+        {{"slo", spec.name}, {"window", "slow"}});
+    series.alert_gauge = &registry.gauge(metric_names::kSloAlertActive,
+                                         {{"slo", spec.name}});
+    series.alerts_total = &registry.counter(metric_names::kSloAlertsTotal,
+                                            {{"slo", spec.name}});
+    series.spec = std::move(spec);
+    series_.push_back(std::move(series));
+  }
+}
+
+std::vector<SloSpec> SloEngine::default_serving_slos(double deadline_ms) {
+  const double avail_target =
+      std::clamp(env_double("CKAT_SLO_AVAIL_TARGET", 0.99), 0.5, 1.0 - 1e-9);
+  const double fallback_budget = deadline_ms > 0.0 ? deadline_ms : 50.0;
+  const double p99_ms = env_double("CKAT_SLO_P99_MS", fallback_budget);
+  const double fast_s = std::max(1.0, env_double("CKAT_SLO_FAST_S", 60.0));
+  const double slow_s =
+      std::max(fast_s, env_double("CKAT_SLO_SLOW_S", 600.0));
+
+  SloSpec availability;
+  availability.name = "availability";
+  availability.kind = SloSpec::Kind::kAvailability;
+  availability.objective = avail_target;
+  availability.fast_window_s = fast_s;
+  availability.slow_window_s = slow_s;
+
+  SloSpec latency;
+  latency.name = "latency_p99";
+  latency.kind = SloSpec::Kind::kLatency;
+  latency.objective = p99_ms;
+  latency.quantile = 0.99;
+  latency.fast_window_s = fast_s;
+  latency.slow_window_s = slow_s;
+
+  return {availability, latency};
+}
+
+void SloEngine::record(std::string_view slo, bool good) {
+  record_event(static_cast<double>(trace_now_us()) * 1e-6, slo, good);
+}
+
+void SloEngine::record_latency(std::string_view slo, double ms) {
+  record_latency_at(static_cast<double>(trace_now_us()) * 1e-6, slo, ms);
+}
+
+std::vector<SloAlert> SloEngine::evaluate() {
+  return evaluate_at(static_cast<double>(trace_now_us()) * 1e-6);
+}
+
+void SloEngine::record_at(double t_s, std::string_view slo, bool good) {
+  record_event(t_s, slo, good);
+}
+
+void SloEngine::record_latency_at(double t_s, std::string_view slo,
+                                  double ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Series& series : series_) {
+    if (series.spec.name != slo) continue;
+    if (series.spec.kind != SloSpec::Kind::kLatency) continue;
+    const bool good = ms <= series.spec.objective;
+    const auto second = static_cast<std::int64_t>(t_s);
+    Bucket& bucket = series.ring[static_cast<std::size_t>(second) %
+                                 series.ring.size()];
+    if (bucket.second != second) {
+      bucket = Bucket{second, 0, 0};
+    }
+    if (good) {
+      ++bucket.good;
+    } else {
+      ++bucket.bad;
+    }
+  }
+}
+
+void SloEngine::record_event(double t_s, std::string_view slo, bool good) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Series& series : series_) {
+    if (series.spec.name != slo) continue;
+    if (series.spec.kind != SloSpec::Kind::kAvailability) continue;
+    const auto second = static_cast<std::int64_t>(t_s);
+    Bucket& bucket = series.ring[static_cast<std::size_t>(second) %
+                                 series.ring.size()];
+    if (bucket.second != second) {
+      bucket = Bucket{second, 0, 0};
+    }
+    if (good) {
+      ++bucket.good;
+    } else {
+      ++bucket.bad;
+    }
+  }
+}
+
+double SloEngine::burn_rate(const Series& series, double now_s,
+                            double window_s, std::uint64_t* good_out,
+                            std::uint64_t* bad_out) {
+  const auto now_second = static_cast<std::int64_t>(now_s);
+  const std::int64_t window_seconds = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(window_s)));
+  std::uint64_t good = 0;
+  std::uint64_t bad = 0;
+  for (const Bucket& bucket : series.ring) {
+    if (bucket.second < 0) continue;
+    if (bucket.second > now_second) continue;
+    if (now_second - bucket.second >= window_seconds) continue;
+    good += bucket.good;
+    bad += bucket.bad;
+  }
+  if (good_out != nullptr) *good_out = good;
+  if (bad_out != nullptr) *bad_out = bad;
+  const std::uint64_t total = good + bad;
+  if (total == 0) return 0.0;
+  const double bad_fraction =
+      static_cast<double>(bad) / static_cast<double>(total);
+  return bad_fraction / error_budget(series.spec);
+}
+
+std::vector<SloAlert> SloEngine::evaluate_at(double t_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SloAlert> alerts;
+  alerts.reserve(series_.size());
+  for (Series& series : series_) {
+    SloAlert alert;
+    alert.slo = series.spec.name;
+    alert.fast_burn =
+        burn_rate(series, t_s, series.spec.fast_window_s, nullptr, nullptr);
+    alert.slow_burn = burn_rate(series, t_s, series.spec.slow_window_s,
+                                &alert.good, &alert.bad);
+    const std::uint64_t total = alert.good + alert.bad;
+    alert.firing = total >= series.spec.min_events &&
+                   alert.fast_burn >= series.spec.fast_burn &&
+                   alert.slow_burn >= series.spec.slow_burn;
+    series.fast_gauge->set(alert.fast_burn);
+    series.slow_gauge->set(alert.slow_burn);
+    series.alert_gauge->set(alert.firing ? 1.0 : 0.0);
+    if (alert.firing && !series.was_firing) {
+      series.alerts_total->inc();
+    }
+    series.was_firing = alert.firing;
+    alerts.push_back(std::move(alert));
+  }
+  return alerts;
+}
+
+}  // namespace ckat::obs

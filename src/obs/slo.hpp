@@ -1,0 +1,127 @@
+// Declarative SLOs with multi-window burn-rate alerting.
+//
+// An SloSpec states an objective — availability ("99% of requests get a
+// real answer") or latency ("99% of served requests finish within the
+// budget") — and the engine continuously judges it over sliding
+// windows of one-second buckets. Alerting follows the multi-window
+// burn-rate recipe: the *burn rate* is the fraction of requests
+// violating the objective divided by the allowed fraction (the error
+// budget), so burn 1.0 means "consuming the budget exactly as fast as
+// allowed". An alert fires only when BOTH a short window (fast —
+// catches the spike) and a long window (slow — proves it is sustained)
+// exceed their thresholds, which is what keeps one bad second from
+// paging while a real incident still alerts within the fast window.
+//
+// Both SLO kinds reduce to good/bad events per second: availability
+// counts served vs shed/zero-filled, latency counts served requests
+// under vs over the budget (so "p99 <= budget" is the objective
+// "at most 1-quantile of requests over budget"). Evaluation exports
+// ckat_slo_burn_rate{slo,window}, ckat_slo_alert_active{slo} and
+// rising-edge ckat_slo_alerts_total{slo} through the global registry.
+//
+// Time comes from the shared trace clock (trace_now_us); the *_at
+// variants take explicit seconds so tests and probes are deterministic.
+// Thread-safe; record() is a mutex plus two integer increments.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ckat::obs {
+
+struct SloSpec {
+  enum class Kind : std::uint8_t { kAvailability, kLatency };
+
+  /// Series label and the key record()/record_latency() select by.
+  std::string name = "availability";
+  Kind kind = Kind::kAvailability;
+
+  /// kAvailability: target good fraction in (0,1), e.g. 0.99 -> error
+  /// budget 1%. kLatency: the per-request latency budget in ms.
+  double objective = 0.99;
+  /// kLatency only: the quantile the budget applies to ("p99 <=
+  /// budget_ms" -> 0.99); the error budget is 1 - quantile.
+  double quantile = 0.99;
+
+  double fast_window_s = 60.0;
+  double slow_window_s = 600.0;
+  /// Burn-rate thresholds; the alert fires when the fast AND slow
+  /// window burn rates both exceed theirs.
+  double fast_burn = 6.0;
+  double slow_burn = 3.0;
+  /// Minimum events in the slow window before alerting (keeps a single
+  /// bad request in an idle second from firing).
+  std::uint64_t min_events = 20;
+};
+
+/// One evaluation result per spec.
+struct SloAlert {
+  std::string slo;
+  bool firing = false;
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  std::uint64_t good = 0;  // over the slow window
+  std::uint64_t bad = 0;
+};
+
+class SloEngine {
+ public:
+  explicit SloEngine(std::vector<SloSpec> specs);
+
+  /// The serving stack's default pair: "availability" (target from
+  /// CKAT_SLO_AVAIL_TARGET, default 0.99) and "latency_p99" (budget
+  /// CKAT_SLO_P99_MS, default `deadline_ms`), over
+  /// CKAT_SLO_FAST_S/CKAT_SLO_SLOW_S windows (default 60/600).
+  static std::vector<SloSpec> default_serving_slos(double deadline_ms);
+
+  /// Records one availability-style event for the spec named `slo`
+  /// (unknown names are ignored).
+  void record(std::string_view slo, bool good);
+  /// Records one served-request latency for a kLatency spec: good iff
+  /// `ms` is within the spec's budget.
+  void record_latency(std::string_view slo, double ms);
+
+  /// Evaluates every spec at "now", updates the exported gauges and
+  /// rising-edge counters, and returns the per-spec state.
+  std::vector<SloAlert> evaluate();
+
+  /// Deterministic variants on an explicit clock (seconds; must be
+  /// monotone per engine).
+  void record_at(double t_s, std::string_view slo, bool good);
+  void record_latency_at(double t_s, std::string_view slo, double ms);
+  std::vector<SloAlert> evaluate_at(double t_s);
+
+ private:
+  struct Bucket {
+    std::int64_t second = -1;  // absolute second this bucket covers
+    std::uint64_t good = 0;
+    std::uint64_t bad = 0;
+  };
+
+  struct Series {
+    SloSpec spec;
+    std::vector<Bucket> ring;  // slow window + slack, indexed by second
+    bool was_firing = false;
+    Gauge* fast_gauge = nullptr;
+    Gauge* slow_gauge = nullptr;
+    Gauge* alert_gauge = nullptr;
+    Counter* alerts_total = nullptr;
+  };
+
+  void record_event(double t_s, std::string_view slo, bool good);
+  /// Burn rate of `series` over the trailing `window_s` ending at
+  /// `now_s`; also accumulates the window's totals.
+  static double burn_rate(const Series& series, double now_s,
+                          double window_s, std::uint64_t* good_out,
+                          std::uint64_t* bad_out);
+
+  std::mutex mutex_;
+  std::vector<Series> series_;  // guarded by mutex_
+};
+
+}  // namespace ckat::obs

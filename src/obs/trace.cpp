@@ -4,9 +4,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <mutex>
+#include <unordered_map>
 
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "util/env.hpp"
 
@@ -29,18 +33,18 @@ std::uint64_t now_us() {
           .count());
 }
 
-struct Record {
-  bool is_span = false;
-  std::uint64_t id = 0;
-  std::uint64_t parent = 0;
-  std::uint64_t thread = 0;
-  std::uint64_t start_us = 0;  // ts_us for events
-  std::uint64_t dur_us = 0;
-  std::string name;
-  TraceAttrs attrs;
-};
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = util::env_raw(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<std::uint64_t>(v);
+}
 
 /// The shared sink. Owns the FILE*; all writes happen under the mutex.
+/// Enforces the CKAT_TRACE_MAX_MB size cap by rotating the file once to
+/// `<path>.1` and restarting when the cap is reached.
 class TraceSink {
  public:
   static TraceSink& instance() {
@@ -56,14 +60,20 @@ class TraceSink {
     }
     path_ = path;
     opened_ = false;
+    written_ = 0;
     configured_.store(!path.empty(), std::memory_order_relaxed);
+  }
+
+  void set_max_bytes(std::uint64_t bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    max_bytes_ = bytes;
   }
 
   [[nodiscard]] bool configured() const noexcept {
     return configured_.load(std::memory_order_relaxed);
   }
 
-  void write(const std::vector<Record>& records, bool flush) {
+  void write(const std::vector<TraceRecord>& records, bool flush) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (path_.empty()) return;
     if (!opened_) {
@@ -79,34 +89,26 @@ class TraceSink {
     }
     if (file_ == nullptr) return;
     std::string line;
-    for (const Record& r : records) {
-      line.clear();
-      line += "{\"cat\":\"";
-      line += r.is_span ? "span" : "event";
-      line += "\",\"name\":\"";
-      line += json_escape(r.name);
-      line += "\",\"id\":" + std::to_string(r.id);
-      line += ",\"parent\":" + std::to_string(r.parent);
-      line += ",\"thread\":" + std::to_string(r.thread);
-      if (r.is_span) {
-        line += ",\"start_us\":" + std::to_string(r.start_us);
-        line += ",\"dur_us\":" + std::to_string(r.dur_us);
-      } else {
-        line += ",\"ts_us\":" + std::to_string(r.start_us);
+    for (const TraceRecord& r : records) {
+      line = format_trace_record(r);
+      line += '\n';
+      if (max_bytes_ > 0 && written_ > 0 &&
+          written_ + line.size() > max_bytes_) {
+        rotate_locked();
+        if (file_ == nullptr) return;
       }
-      if (!r.attrs.empty()) {
-        line += ",\"attrs\":{";
-        for (std::size_t i = 0; i < r.attrs.size(); ++i) {
-          if (i > 0) line += ',';
-          line += "\"" + json_escape(r.attrs[i].first) + "\":\"" +
-                  json_escape(r.attrs[i].second) + "\"";
-        }
-        line += "}";
-      }
-      line += "}\n";
       std::fwrite(line.data(), 1, line.size(), file_);
+      written_ += line.size();
     }
     if (flush) std::fflush(file_);
+  }
+
+  /// Pushes buffered writes to disk. Needed by flush_trace(): records
+  /// written by finish_trace() (tail-sampling keeps) bypass the
+  /// thread-local buffer, so an empty drain must still reach the file.
+  void flush() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_ != nullptr) std::fflush(file_);
   }
 
  private:
@@ -116,6 +118,7 @@ class TraceSink {
       path_ = env;
       configured_.store(true, std::memory_order_relaxed);
     }
+    max_bytes_ = env_u64("CKAT_TRACE_MAX_MB", 0) * 1024ULL * 1024ULL;
   }
   ~TraceSink() {
     // Records still buffered in live threads are lost at process exit;
@@ -124,21 +127,172 @@ class TraceSink {
     if (file_ != nullptr) std::fclose(file_);
   }
 
+  /// Size cap reached: keep exactly one generation of history as
+  /// `<path>.1` and restart the live file. Warns once per process so a
+  /// capped soak is visible without spamming stderr per rotation.
+  void rotate_locked() {
+    std::fflush(file_);
+    std::fclose(file_);
+    file_ = nullptr;
+    const std::string rotated = path_ + ".1";
+    std::remove(rotated.c_str());
+    if (std::rename(path_.c_str(), rotated.c_str()) != 0) {
+      std::fprintf(stderr, "[obs] trace rotation: cannot rename '%s'\n",
+                   path_.c_str());
+    }
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "[obs] trace file '%s' hit the CKAT_TRACE_MAX_MB cap "
+                   "(%llu bytes); rotating (warning logged once)\n",
+                   path_.c_str(),
+                   static_cast<unsigned long long>(max_bytes_));
+    }
+    MetricsRegistry::global()
+        .counter(metric_names::kTraceRotationsTotal)
+        .inc();
+    file_ = std::fopen(path_.c_str(), "w");
+    written_ = 0;
+    if (file_ == nullptr) {
+      std::fprintf(stderr, "[obs] trace rotation: cannot reopen '%s'\n",
+                   path_.c_str());
+      path_.clear();
+      configured_.store(false, std::memory_order_relaxed);
+    }
+  }
+
   std::mutex mutex_;
-  std::string path_;
-  FILE* file_ = nullptr;
-  bool opened_ = false;
+  std::string path_;           // guarded by mutex_
+  FILE* file_ = nullptr;       // guarded by mutex_
+  bool opened_ = false;        // guarded by mutex_
+  std::uint64_t written_ = 0;  // bytes in the live file, guarded by mutex_
+  std::uint64_t max_bytes_ = 0;  // 0 = unlimited, guarded by mutex_
   std::atomic<bool> configured_{false};
 };
 
+/// Tail-based sampling. While CKAT_TRACE_SAMPLE=N > 1 is armed, records
+/// belonging to a registered request trace are buffered here until
+/// finish_trace() renders the verdict: kKeep traces (slow/error/shed)
+/// and a deterministic 1-in-N of the rest are written, everything else
+/// is dropped. Finished verdicts are remembered (bounded) so records
+/// completing after the finish — e.g. the submit-side root span of a
+/// request a fast worker already resolved — follow the same decision.
+/// Disarmed (N <= 1, the default), this layer is a single relaxed load.
+class TailSampler {
+ public:
+  static TailSampler& instance() {
+    static TailSampler sampler;
+    return sampler;
+  }
+
+  [[nodiscard]] std::uint64_t sample_every() const noexcept {
+    return sample_every_.load(std::memory_order_relaxed);
+  }
+
+  void set_sample_every(std::uint64_t n) {
+    sample_every_.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+  }
+
+  /// Registers a freshly minted trace. Pass-through (never buffered)
+  /// when sampling is disarmed or the active table is full.
+  void begin(std::uint64_t trace_id) {
+    if (sample_every() <= 1) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (active_.size() >= kMaxActive) return;  // overflow: pass-through
+    active_.emplace(trace_id, std::vector<TraceRecord>{});
+  }
+
+  enum class Route : std::uint8_t { kBuffered, kWrite, kDrop };
+
+  /// Where a completed record of trace `record.trace` goes. kBuffered
+  /// consumes the record.
+  Route route(TraceRecord& record) {
+    if (sample_every() <= 1) return Route::kWrite;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = active_.find(record.trace);
+    if (it != active_.end()) {
+      if (it->second.size() >= kMaxPerTrace) return Route::kWrite;
+      it->second.push_back(std::move(record));
+      return Route::kBuffered;
+    }
+    for (const Finished& f : finished_) {
+      if (f.trace_id == record.trace) {
+        return f.kept ? Route::kWrite : Route::kDrop;
+      }
+    }
+    return Route::kWrite;  // never registered: pass-through
+  }
+
+  /// Renders the verdict; moves kept buffered records into `out` (the
+  /// caller writes them outside the lock).
+  void finish(std::uint64_t trace_id, bool keep_always,
+              std::vector<TraceRecord>* out) {
+    if (sample_every() <= 1) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const bool kept = keep_always || sampled_in(trace_id);
+    const auto it = active_.find(trace_id);
+    if (it != active_.end()) {
+      if (kept) {
+        *out = std::move(it->second);
+      } else {
+        MetricsRegistry::global()
+            .counter(metric_names::kTraceSampledOutTotal)
+            .inc();
+      }
+      active_.erase(it);
+    }
+    finished_.push_back(Finished{trace_id, kept});
+    if (finished_.size() > kMaxFinished) finished_.pop_front();
+  }
+
+ private:
+  TailSampler() {
+    sample_every_.store(env_u64("CKAT_TRACE_SAMPLE", 1),
+                        std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool sampled_in(std::uint64_t trace_id) const noexcept {
+    const std::uint64_t n = sample_every();
+    if (n <= 1) return true;
+    // splitmix64-style mix: trace ids are sequential, so hash before
+    // taking the residue to avoid aliasing with request patterns.
+    std::uint64_t h = trace_id * 0x9E3779B97F4A7C15ULL;
+    h ^= h >> 32U;
+    return h % n == 0;
+  }
+
+  static constexpr std::size_t kMaxActive = 1024;
+  static constexpr std::size_t kMaxPerTrace = 512;
+  static constexpr std::size_t kMaxFinished = 512;
+
+  std::atomic<std::uint64_t> sample_every_{1};
+  std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::vector<TraceRecord>>
+      active_;  // guarded by mutex_
+
+  struct Finished {
+    std::uint64_t trace_id = 0;
+    bool kept = false;
+  };
+  std::deque<Finished> finished_;  // guarded by mutex_
+};
+
 constexpr std::size_t kFlushThreshold = 256;
+
+/// One entry of the per-thread open-span stack: the span id for
+/// parentage plus the trace it belongs to, so nested spans and events
+/// inherit the trace id with no explicit plumbing.
+struct OpenSpan {
+  std::uint64_t id = 0;
+  std::uint64_t trace = 0;
+};
 
 /// Per-thread state: open-span stack for parentage plus the completed
 /// record buffer. The destructor drains the buffer when a thread exits.
 struct ThreadLocalTrace {
   std::uint64_t thread_id;
-  std::vector<std::uint64_t> open_spans;
-  std::vector<Record> buffer;
+  std::vector<OpenSpan> open_spans;
+  std::vector<TraceRecord> buffer;
 
   ThreadLocalTrace() {
     static std::atomic<std::uint64_t> next_thread{1};
@@ -152,7 +306,7 @@ struct ThreadLocalTrace {
     buffer.clear();
   }
 
-  void append(Record record) {
+  void append(TraceRecord record) {
     buffer.push_back(std::move(record));
     if (buffer.size() >= kFlushThreshold) drain(false);
   }
@@ -168,44 +322,188 @@ std::uint64_t next_span_id() {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
+/// Central routing for every completed record: a copy into the flight
+/// ring (cheap no-op when disarmed), then the file sink via the tail
+/// sampler when one is configured.
+void deliver(ThreadLocalTrace& tl, TraceRecord&& record) {
+  flight_record(record);
+  if (!telemetry_enabled() || !TraceSink::instance().configured()) return;
+  if (record.trace != 0) {
+    switch (TailSampler::instance().route(record)) {
+      case TailSampler::Route::kBuffered:
+      case TailSampler::Route::kDrop:
+        return;
+      case TailSampler::Route::kWrite:
+        break;
+    }
+  }
+  tl.append(std::move(record));
+}
+
 }  // namespace
+
+std::string format_trace_record(const TraceRecord& r) {
+  std::string line;
+  line += "{\"cat\":\"";
+  line += r.is_span ? "span" : "event";
+  line += "\",\"name\":\"";
+  line += json_escape(r.name);
+  line += "\",\"id\":" + std::to_string(r.id);
+  line += ",\"parent\":" + std::to_string(r.parent);
+  line += ",\"thread\":" + std::to_string(r.thread);
+  if (r.is_span) {
+    line += ",\"start_us\":" + std::to_string(r.start_us);
+    line += ",\"dur_us\":" + std::to_string(r.dur_us);
+  } else {
+    line += ",\"ts_us\":" + std::to_string(r.start_us);
+  }
+  if (r.trace != 0) {
+    line += ",\"trace\":" + std::to_string(r.trace);
+  }
+  if (!r.attrs.empty()) {
+    line += ",\"attrs\":{";
+    for (std::size_t i = 0; i < r.attrs.size(); ++i) {
+      if (i > 0) line += ',';
+      line += "\"" + json_escape(r.attrs[i].first) + "\":\"" +
+              json_escape(r.attrs[i].second) + "\"";
+    }
+    line += "}";
+  }
+  line += "}";
+  return line;
+}
 
 void set_trace_file(const std::string& path) {
   local_trace().drain(true);
   TraceSink::instance().set_path(path);
 }
 
+void set_trace_max_bytes(std::uint64_t bytes) {
+  TraceSink::instance().set_max_bytes(bytes);
+}
+
+void set_trace_sample(std::uint64_t n) {
+  TailSampler::instance().set_sample_every(n);
+}
+
 bool trace_enabled() noexcept {
-  return telemetry_enabled() && TraceSink::instance().configured();
+  return telemetry_enabled() &&
+         (TraceSink::instance().configured() || flight_enabled());
 }
 
 void flush_trace() {
   local_trace().drain(true);
+  TraceSink::instance().flush();
+}
+
+std::uint64_t trace_now_us() noexcept {
+  return now_us();
+}
+
+TraceContext start_trace() {
+  if (!trace_enabled()) return TraceContext{};
+  const std::uint64_t trace_id = next_span_id();
+  TailSampler::instance().begin(trace_id);
+  return TraceContext{trace_id, 0};
+}
+
+void finish_trace(const TraceContext& context, TraceVerdict verdict) {
+  if (!context.active()) return;
+  std::vector<TraceRecord> kept;
+  TailSampler::instance().finish(context.trace_id,
+                                 verdict == TraceVerdict::kKeep, &kept);
+  if (!kept.empty()) TraceSink::instance().write(kept, false);
+}
+
+TraceContext current_trace_context() noexcept {
+  if (!trace_enabled()) return TraceContext{};
+  const ThreadLocalTrace& tl = local_trace();
+  if (tl.open_spans.empty()) return TraceContext{};
+  const OpenSpan& top = tl.open_spans.back();
+  return TraceContext{top.trace, top.id};
 }
 
 void trace_event(std::string_view name, TraceAttrs attrs) {
   if (!trace_enabled()) return;
   ThreadLocalTrace& tl = local_trace();
-  Record r;
+  TraceRecord r;
   r.is_span = false;
   r.id = next_span_id();
-  r.parent = tl.open_spans.empty() ? 0 : tl.open_spans.back();
+  r.parent = tl.open_spans.empty() ? 0 : tl.open_spans.back().id;
+  r.trace = tl.open_spans.empty() ? 0 : tl.open_spans.back().trace;
   r.thread = tl.thread_id;
   r.start_us = now_us();
   r.name = std::string(name);
   r.attrs = std::move(attrs);
-  tl.append(std::move(r));
+  deliver(tl, std::move(r));
+}
+
+void trace_event(std::string_view name, const TraceContext& parent,
+                 TraceAttrs attrs) {
+  if (!parent.active()) {
+    trace_event(name, std::move(attrs));
+    return;
+  }
+  if (!trace_enabled()) return;
+  ThreadLocalTrace& tl = local_trace();
+  TraceRecord r;
+  r.is_span = false;
+  r.id = next_span_id();
+  r.parent = parent.parent_span;
+  r.trace = parent.trace_id;
+  r.thread = tl.thread_id;
+  r.start_us = now_us();
+  r.name = std::string(name);
+  r.attrs = std::move(attrs);
+  deliver(tl, std::move(r));
+}
+
+void trace_emit_span(std::string_view name, const TraceContext& parent,
+                     std::uint64_t start_us, std::uint64_t end_us,
+                     TraceAttrs attrs) {
+  if (!trace_enabled() || !parent.active()) return;
+  ThreadLocalTrace& tl = local_trace();
+  TraceRecord r;
+  r.is_span = true;
+  r.id = next_span_id();
+  r.parent = parent.parent_span;
+  r.trace = parent.trace_id;
+  r.thread = tl.thread_id;
+  r.start_us = start_us;
+  r.dur_us = end_us >= start_us ? end_us - start_us : 0;
+  r.name = std::string(name);
+  r.attrs = std::move(attrs);
+  deliver(tl, std::move(r));
 }
 
 TraceSpan::TraceSpan(std::string_view name, TraceAttrs attrs) {
   if (!trace_enabled()) return;
   ThreadLocalTrace& tl = local_trace();
   id_ = next_span_id();
-  parent_ = tl.open_spans.empty() ? 0 : tl.open_spans.back();
+  parent_ = tl.open_spans.empty() ? 0 : tl.open_spans.back().id;
+  trace_id_ = tl.open_spans.empty() ? 0 : tl.open_spans.back().trace;
   start_us_ = now_us();
   name_ = std::string(name);
   attrs_ = std::move(attrs);
-  tl.open_spans.push_back(id_);
+  tl.open_spans.push_back(OpenSpan{id_, trace_id_});
+}
+
+TraceSpan::TraceSpan(std::string_view name, const TraceContext& parent,
+                     TraceAttrs attrs) {
+  if (!trace_enabled()) return;
+  ThreadLocalTrace& tl = local_trace();
+  id_ = next_span_id();
+  if (parent.active()) {
+    parent_ = parent.parent_span;
+    trace_id_ = parent.trace_id;
+  } else {
+    parent_ = tl.open_spans.empty() ? 0 : tl.open_spans.back().id;
+    trace_id_ = tl.open_spans.empty() ? 0 : tl.open_spans.back().trace;
+  }
+  start_us_ = now_us();
+  name_ = std::string(name);
+  attrs_ = std::move(attrs);
+  tl.open_spans.push_back(OpenSpan{id_, trace_id_});
 }
 
 TraceSpan::~TraceSpan() {
@@ -213,19 +511,20 @@ TraceSpan::~TraceSpan() {
   ThreadLocalTrace& tl = local_trace();
   // The stack discipline holds because spans are scoped objects; a
   // mismatch would mean a TraceSpan outlived its enclosing scope.
-  if (!tl.open_spans.empty() && tl.open_spans.back() == id_) {
+  if (!tl.open_spans.empty() && tl.open_spans.back().id == id_) {
     tl.open_spans.pop_back();
   }
-  Record r;
+  TraceRecord r;
   r.is_span = true;
   r.id = id_;
   r.parent = parent_;
+  r.trace = trace_id_;
   r.thread = tl.thread_id;
   r.start_us = start_us_;
   r.dur_us = now_us() - start_us_;
   r.name = std::move(name_);
   r.attrs = std::move(attrs_);
-  tl.append(std::move(r));
+  deliver(tl, std::move(r));
 }
 
 void TraceSpan::add_attr(std::string_view key, std::string_view value) {

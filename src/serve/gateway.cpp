@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "obs/flight.hpp"
 #include "obs/metric_names.hpp"
 #include "obs/trace.hpp"
 #include "util/contract.hpp"
@@ -35,6 +36,11 @@ double ms_between(std::chrono::steady_clock::time_point from,
                   std::chrono::steady_clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
 }
+
+// SLO names the gateway feeds; SloEngine::default_serving_slos uses the
+// same names, and custom GatewayConfig::slos reuse them to subscribe.
+constexpr const char* kSloAvailability = "availability";
+constexpr const char* kSloLatency = "latency_p99";
 
 }  // namespace
 
@@ -157,6 +163,11 @@ ServeGateway::ServeGateway(std::shared_ptr<ModelHandle> handle,
   queue_high_water_gauge_ =
       &registry.gauge(obs::metric_names::kGatewayQueueHighWater);
 
+  slo_ = std::make_unique<obs::SloEngine>(
+      config_.slos.empty()
+          ? obs::SloEngine::default_serving_slos(config_.default_deadline_ms)
+          : config_.slos);
+
   for (auto& worker : workers_) {
     worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
   }
@@ -207,11 +218,43 @@ void ServeGateway::resolve_shed(Job&& job, RequestStatus status) {
     case RequestStatus::kZeroFilled:
       break;  // not sheds; handled by the worker loop
   }
-  obs::trace_event("gateway.shed", {{"reason", to_string(status)},
-                                    {"client", job.request.client_id}});
+  if (status != RequestStatus::kShedShutdown && obs::telemetry_enabled()) {
+    // Shutdown sheds are operator-initiated, not availability failures.
+    slo_->record(kSloAvailability, false);
+  }
+  note_shed_for_spike(status);
+  obs::trace_event("gateway.shed", job.request.trace,
+                   {{"reason", to_string(status)},
+                    {"client", job.request.client_id}});
+  // Shed traces are always interesting: keep them past tail sampling.
+  obs::finish_trace(job.request.trace, obs::TraceVerdict::kKeep);
   ScoreResult result;
   result.status = status;
   job.promise.set_value(std::move(result));
+}
+
+void ServeGateway::note_shed_for_spike(RequestStatus status) {
+  if (status == RequestStatus::kShedShutdown) return;
+  if (config_.shed_spike_threshold == 0 || !obs::flight_enabled()) return;
+  const std::uint64_t now_us = obs::trace_now_us();
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(shed_spike_mutex_);
+    if (now_us - shed_window_start_us_ > 1'000'000) {
+      shed_window_start_us_ = now_us;
+      shed_window_count_ = 0;
+    }
+    ++shed_window_count_;
+    // Rising edge only: one dump per spiking window, not one per shed.
+    fire = shed_window_count_ == config_.shed_spike_threshold;
+  }
+  if (fire) {
+    obs::flight_anomaly(
+        "shed_spike",
+        {{"reason", to_string(status)},
+         {"sheds_in_window",
+          std::to_string(config_.shed_spike_threshold)}});
+  }
 }
 
 std::future<ScoreResult> ServeGateway::submit(ScoreRequest request) {
@@ -224,6 +267,23 @@ std::future<ScoreResult> ServeGateway::submit(ScoreRequest request) {
   if (stopping_.load(std::memory_order_relaxed)) {
     resolve_shed(std::move(job), RequestStatus::kShedShutdown);
     return future;
+  }
+
+  // Adopt the caller's trace when one is supplied; mint a fresh one
+  // otherwise. The root span covers admission; queue wait and worker
+  // execution attach under it from other threads via the context
+  // carried in the request.
+  if (obs::trace_enabled() && !job.request.trace.active()) {
+    job.request.trace = obs::start_trace();
+  }
+  obs::TraceSpan root_span(
+      "gateway.request", job.request.trace,
+      {{"client", job.request.client_id},
+       {"priority",
+        job.request.priority == Priority::kHigh ? "high" : "normal"}});
+  if (root_span.id() != 0) {
+    job.request.trace = root_span.context();
+    job.admitted_trace_us = obs::trace_now_us();
   }
 
   if (job.request.is_retry && !spend_retry_token(job.request.client_id)) {
@@ -298,6 +358,12 @@ void ServeGateway::count_version_resolution(std::uint64_t version,
 void ServeGateway::worker_loop(Worker& worker) {
   while (auto job = queue_.pop()) {
     const auto dequeued_at = Clock::now();
+    if (job->admitted_trace_us != 0) {
+      // Close the cross-thread queue-wait span: opened (implicitly) at
+      // admission on the submit thread, emitted here on the worker.
+      obs::trace_emit_span("gateway.queue", job->request.trace,
+                           job->admitted_trace_us, obs::trace_now_us());
+    }
     if (job->deadline_ms > 0.0 && dequeued_at >= job->deadline_at) {
       // Stale before any work happened: shed without touching the
       // chain, so an overloaded queue cannot also waste worker time.
@@ -310,6 +376,10 @@ void ServeGateway::worker_loop(Worker& worker) {
 
     const bool is_batch = !job->request.users.empty();
     const std::size_t rows = is_batch ? job->request.users.size() : 1;
+    // Adopting the request's context re-roots this thread's span stack
+    // under the admission-side root span, so the tier walk's spans and
+    // events join the same per-request tree.
+    obs::TraceSpan work_span("gateway.worker", job->request.trace);
     ScoreResult result;
     result.queue_ms = ms_between(job->admitted_at, dequeued_at);
 
@@ -330,10 +400,15 @@ void ServeGateway::worker_loop(Worker& worker) {
       zero_filled_.fetch_add(1, std::memory_order_relaxed);
       requests_zero_filled_->inc();
       count_version_resolution(0, false);
+      if (obs::telemetry_enabled()) slo_->record(kSloAvailability, false);
+      work_span.add_attr("model_version", "0");
+      obs::finish_trace(job->request.trace, obs::TraceVerdict::kKeep);
       job->promise.set_value(std::move(result));
       continue;
     }
     result.model_version = snapshot->version;
+    // The generation tag: which published model actually answered.
+    work_span.add_attr("model_version", std::to_string(snapshot->version));
     result.scores.resize(rows * snapshot->n_items);
 
     // A user id beyond this version's vocabulary (a client that heard
@@ -364,7 +439,8 @@ void ServeGateway::worker_loop(Worker& worker) {
                     : chain.score_with_budget(job->request.user,
                                               result.scores, remaining_ms);
     }
-    queue_wait_seconds_->observe(result.queue_ms * 1e-3);
+    queue_wait_seconds_->observe_with_exemplar(result.queue_ms * 1e-3,
+                                               job->request.trace.trace_id);
     result.total_ms = ms_between(job->admitted_at, Clock::now());
 
     using Kind = ResilientRecommender::ScoreOutcome::Kind;
@@ -374,20 +450,35 @@ void ServeGateway::worker_loop(Worker& worker) {
         result.tier = outcome.tier;
         served_.fetch_add(1, std::memory_order_relaxed);
         requests_served_->inc();
-        request_seconds_->observe(result.total_ms * 1e-3);
+        request_seconds_->observe_with_exemplar(
+            result.total_ms * 1e-3, job->request.trace.trace_id);
         count_version_resolution(snapshot->version, true);
+        if (obs::telemetry_enabled()) {
+          slo_->record(kSloAvailability, true);
+          slo_->record_latency(kSloLatency, result.total_ms);
+        }
         break;
       case Kind::kZeroFilled:
         result.status = RequestStatus::kZeroFilled;
         zero_filled_.fetch_add(1, std::memory_order_relaxed);
         requests_zero_filled_->inc();
         count_version_resolution(snapshot->version, false);
+        if (obs::telemetry_enabled()) slo_->record(kSloAvailability, false);
         break;
       case Kind::kBudgetExhausted:
         result.scores.clear();
         resolve_shed(std::move(*job), RequestStatus::kShedExpired);
         continue;
     }
+    // Tail-sampling verdict: degraded answers and requests that burned
+    // most of their deadline are always kept; healthy fast traces are
+    // subject to 1-in-N sampling.
+    const bool slow = job->deadline_ms > 0.0 &&
+                      result.total_ms > 0.75 * job->deadline_ms;
+    obs::finish_trace(job->request.trace,
+                      result.status == RequestStatus::kServed && !slow
+                          ? obs::TraceVerdict::kNormal
+                          : obs::TraceVerdict::kKeep);
     job->promise.set_value(std::move(result));
   }
 }

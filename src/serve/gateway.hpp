@@ -53,6 +53,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/slo.hpp"
+#include "obs/trace.hpp"
 #include "serve/queue.hpp"
 #include "serve/resilient.hpp"
 #include "serve/swap.hpp"
@@ -90,6 +92,11 @@ struct ScoreRequest {
   /// True when the client re-submits after a shed/failure; spends one
   /// retry token at admission.
   bool is_retry = false;
+  /// Cross-thread trace lineage. Left default, submit() mints a fresh
+  /// trace (when tracing is enabled) whose spans connect across the
+  /// queue hop; a caller that already owns a trace sets it so the
+  /// gateway's spans attach under the caller's span instead.
+  obs::TraceContext trace{};
 };
 
 struct ScoreResult {
@@ -132,6 +139,16 @@ struct GatewayConfig {
   /// snapshot reuse its circuit state instead of rebuilding the chain).
   /// 0 = CKAT_SWAP_KEEP_VERSIONS, else 2.
   std::size_t keep_versions = 0;
+  /// SLO specs the gateway's burn-rate engine evaluates. Empty uses
+  /// SloEngine::default_serving_slos(default_deadline_ms): an
+  /// "availability" SLO fed by every resolution (served = good,
+  /// zero-filled and non-shutdown sheds = bad) and a "latency_p99" SLO
+  /// fed by served-request latency. Custom specs reuse those names to
+  /// keep receiving the gateway's events.
+  std::vector<obs::SloSpec> slos;
+  /// Non-shutdown sheds within one second that fire the "shed_spike"
+  /// flight-recorder anomaly (0 disables the detector).
+  std::size_t shed_spike_threshold = 16;
 
   /// Resolves 0-valued fields from CKAT_SERVE_THREADS /
   /// CKAT_SERVE_QUEUE_DEPTH (invalid or unset values fall back to the
@@ -227,6 +244,13 @@ class ServeGateway {
   /// versions).
   void reset_circuits();
 
+  /// Evaluates the gateway's SLOs now (updates the exported
+  /// ckat_slo_* series) and returns the per-spec alert state.
+  [[nodiscard]] std::vector<obs::SloAlert> slo_alerts() {
+    return slo_->evaluate();
+  }
+  [[nodiscard]] obs::SloEngine& slo() noexcept { return *slo_; }
+
   [[nodiscard]] int threads() const noexcept {
     return static_cast<int>(workers_.size());
   }
@@ -250,6 +274,9 @@ class ServeGateway {
     Clock::time_point admitted_at;
     Clock::time_point deadline_at;
     double deadline_ms = 0.0;  // 0 = no deadline
+    /// Admission timestamp on the trace clock (0 when untraced); the
+    /// worker closes the cross-thread "gateway.queue" span with it.
+    std::uint64_t admitted_trace_us = 0;
   };
 
   /// One worker's chain over one model version. The chain holds raw
@@ -273,6 +300,9 @@ class ServeGateway {
   };
 
   void worker_loop(Worker& worker);
+  /// Rolling one-second shed counter feeding the "shed_spike" flight
+  /// anomaly; no-op when the recorder is disarmed.
+  void note_shed_for_spike(RequestStatus status);
   /// Finds or builds the worker's chain for `snapshot`, pruning the
   /// oldest cached versions past config_.keep_versions. Caller holds
   /// worker.mutex.
@@ -294,6 +324,12 @@ class ServeGateway {
 
   std::mutex retry_mutex_;
   std::unordered_map<std::string, double> retry_tokens_;  // guarded by retry_mutex_
+
+  std::unique_ptr<obs::SloEngine> slo_;
+
+  std::mutex shed_spike_mutex_;
+  std::uint64_t shed_window_start_us_ = 0;  // guarded by shed_spike_mutex_
+  std::uint64_t shed_window_count_ = 0;     // guarded by shed_spike_mutex_
 
   mutable std::mutex version_counts_mutex_;
   /// version -> (served, zero_filled); extends conservation per version.

@@ -7,6 +7,7 @@
 
 #include "eval/evaluator.hpp"
 #include "nn/serialize.hpp"
+#include "obs/flight.hpp"
 #include "obs/metric_names.hpp"
 #include "obs/trace.hpp"
 #include "util/env.hpp"
@@ -177,6 +178,9 @@ RefreshOutcome OnlineRefresher::publish_bundle(std::shared_ptr<Bundle> bundle,
     outcome.status = RefreshOutcome::Status::kPublishFailed;
     outcome.version = handle_->version();
     outcome.error = error.what();
+    obs::flight_anomaly("refresh_rollback",
+                        {{"reason", "publish_fail"},
+                         {"error", outcome.error}});
     CKAT_LOG_WARN(
         "[refresh] publish failed (%s); version %llu keeps serving",
         error.what(),
@@ -293,6 +297,11 @@ RefreshOutcome OnlineRefresher::ingest(const graph::CkgDelta& delta) {
     ++rollbacks_;
     rollbacks_guardrail_->inc();
     deltas_guardrail_->inc();
+    obs::flight_anomaly(
+        "refresh_rollback",
+        {{"reason", "guardrail"},
+         {"candidate_recall", std::to_string(candidate_recall)},
+         {"serving_recall", std::to_string(serving_recall_)}});
     outcome.status = RefreshOutcome::Status::kRejectedGuardrail;
     outcome.error = "holdout recall " + std::to_string(candidate_recall) +
                     " regressed more than eps=" +

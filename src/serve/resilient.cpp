@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/flight.hpp"
 #include "obs/metric_names.hpp"
 #include "obs/trace.hpp"
 #include "util/fault.hpp"
@@ -122,6 +123,9 @@ void ResilientRecommender::record_failure(TierState& tier,
     obs::trace_event("serve.circuit_open",
                      {{"tier", tier.stats.name},
                       {"last_error", tier.stats.last_error}});
+    obs::flight_anomaly("circuit_open",
+                        {{"tier", tier.stats.name},
+                         {"last_error", tier.stats.last_error}});
     CKAT_LOG_WARN("[serve] circuit opened for tier '%s' after %d "
                   "consecutive failures",
                   tier.stats.name.c_str(), tier.consecutive_failures);
@@ -171,6 +175,10 @@ ResilientRecommender::ScoreOutcome ResilientRecommender::walk_chain(
   auto& injector = util::FaultInjector::instance();
   ScoreOutcome outcome;
   util::Timer walk_timer;
+  // Nests under the caller's open span on this thread (the gateway
+  // worker's adopted "gateway.worker"), so per-tier attempts below land
+  // inside the per-request tree.
+  obs::TraceSpan walk_span("serve.walk");
 
   for (std::size_t i = 0; i < tiers_.size(); ++i) {
     TierState& tier = states_[i];
@@ -202,6 +210,7 @@ ResilientRecommender::ScoreOutcome ResilientRecommender::walk_chain(
     bool ok = false;
     std::string error;
     util::Timer timer;
+    obs::TraceSpan tier_span("serve.tier", {{"tier", tier.stats.name}});
     // Real latency injection: the sleep lands inside the timed region,
     // so deadline misses and budget exhaustion reflect true elapsed
     // time (unlike the simulated kScoreTimeout stall below).
@@ -266,6 +275,7 @@ ResilientRecommender::ScoreOutcome ResilientRecommender::walk_chain(
       }
     }
     record_latency(tier, timer.milliseconds());
+    tier_span.add_attr("ok", ok ? "true" : "false");
 
     if (ok) {
       tier.consecutive_failures = 0;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/flight.hpp"
 #include "obs/metric_names.hpp"
 #include "obs/trace.hpp"
 #include "util/env.hpp"
@@ -104,6 +105,9 @@ std::shared_ptr<const ModelVersion> ModelHandle::acquire() const {
     torn_read_retries_.fetch_add(1, std::memory_order_relaxed);  // NOLINT(ckat-relaxed-atomic): diagnostic tally, only ever summed
     torn_retries_total_->inc();
   }
+  obs::flight_anomaly(
+      "torn_read_exhausted",
+      {{"attempts", std::to_string(max_acquire_retries_ + 1)}});
   throw std::runtime_error(
       "ModelHandle::acquire: torn version read persisted after " +
       std::to_string(max_acquire_retries_ + 1) + " attempts");

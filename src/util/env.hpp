@@ -42,7 +42,16 @@ namespace ckat::util {
   X(CKAT_REFRESH_EPOCHS, "training epochs per online refresh cycle")    \
   X(CKAT_REFRESH_GUARDRAIL_EPS, "max recall regression before rollback") \
   X(CKAT_SWAP_KEEP_VERSIONS, "model versions a gateway worker caches")  \
-  X(CKAT_SWAP_MAX_RETRIES, "torn-read re-acquire attempts before error")
+  X(CKAT_SWAP_MAX_RETRIES, "torn-read re-acquire attempts before error") \
+  X(CKAT_TRACE_MAX_MB, "trace-file size cap in MB; rotates once to .1")  \
+  X(CKAT_TRACE_SAMPLE, "tail sampling: keep 1-in-N non-flagged traces")  \
+  X(CKAT_FLIGHT_DIR, "directory that arms the anomaly flight recorder")  \
+  X(CKAT_FLIGHT_SECONDS, "flight-recorder dump window in seconds")       \
+  X(CKAT_FLIGHT_EVENTS, "flight-recorder ring capacity in records")      \
+  X(CKAT_SLO_AVAIL_TARGET, "availability SLO target fraction")           \
+  X(CKAT_SLO_P99_MS, "latency SLO p99 budget in milliseconds")           \
+  X(CKAT_SLO_FAST_S, "SLO fast burn-rate window in seconds")             \
+  X(CKAT_SLO_SLOW_S, "SLO slow burn-rate window in seconds")
 
 /// One registry row, exposed for tooling (ckat-lint, run reports).
 struct EnvVarInfo {

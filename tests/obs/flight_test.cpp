@@ -1,0 +1,136 @@
+#include "obs/flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ckat::obs {
+namespace {
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+class FlightTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir();
+    set_flight_dir(dir_);
+    set_flight_capacity(64);
+    set_flight_window_s(60.0);
+    set_flight_cooldown_s(0.0);  // tests fire back-to-back anomalies
+  }
+  void TearDown() override {
+    for (const std::string& path : created_) std::remove(path.c_str());
+    set_flight_dir("");
+    set_flight_capacity(4096);
+    set_flight_window_s(30.0);
+    set_flight_cooldown_s(5.0);
+    set_telemetry_enabled(true);
+  }
+  std::string dir_;
+  std::vector<std::string> created_;
+};
+
+TEST_F(FlightTest, DisarmedRecorderDumpsNothing) {
+  set_flight_dir("");
+  EXPECT_FALSE(flight_enabled());
+  EXPECT_EQ(flight_anomaly("test_disarmed"), "");
+}
+
+TEST_F(FlightTest, AnomalyDumpsRecentRecordsAsJsonl) {
+  ASSERT_TRUE(flight_enabled());
+  // The flight ring captures completed records even with no trace file
+  // sink configured.
+  {
+    TraceSpan span("flight.work", {{"stage", "walk"}});
+    trace_event("flight.mark");
+  }
+  const std::string path =
+      flight_anomaly("test_anomaly", {{"tier", "CKAT"}});
+  ASSERT_FALSE(path.empty());
+  created_.push_back(path);
+  EXPECT_NE(path.find("test_anomaly"), std::string::npos);
+  EXPECT_EQ(last_flight_dump(), path);
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_GE(lines.size(), 3u) << "header + span + event";
+  const JsonValue header = json_parse(lines.front());
+  EXPECT_EQ(header.at("cat").as_string(), "anomaly");
+  EXPECT_EQ(header.at("kind").as_string(), "test_anomaly");
+  EXPECT_EQ(header.at("attrs").at("tier").as_string(), "CKAT");
+  EXPECT_GE(header.at("records").as_number(), 2.0);
+
+  bool saw_span = false, saw_event = false;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const JsonValue record = json_parse(lines[i]);
+    ASSERT_TRUE(record.is_object()) << lines[i];
+    const std::string& name = record.at("name").as_string();
+    if (name == "flight.work") {
+      saw_span = true;
+      EXPECT_EQ(record.at("cat").as_string(), "span");
+      EXPECT_EQ(record.at("attrs").at("stage").as_string(), "walk");
+    }
+    if (name == "flight.mark") saw_event = true;
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_event);
+}
+
+TEST_F(FlightTest, CooldownSuppressesRepeatDumpsPerKind) {
+  set_flight_cooldown_s(3600.0);
+  { TraceSpan span("cooldown.work"); }
+  const std::string first = flight_anomaly("test_cooldown");
+  ASSERT_FALSE(first.empty());
+  created_.push_back(first);
+  // Same kind inside the cooldown: suppressed.
+  EXPECT_EQ(flight_anomaly("test_cooldown"), "");
+  // A different kind has its own cooldown clock.
+  const std::string other = flight_anomaly("test_cooldown_other");
+  EXPECT_FALSE(other.empty());
+  created_.push_back(other);
+}
+
+TEST_F(FlightTest, RingOverwritesOldestPastCapacity) {
+  set_flight_capacity(16);  // the enforced minimum
+  for (int i = 0; i < 40; ++i) {
+    TraceSpan span("ring.fill", {{"i", std::to_string(i)}});
+  }
+  const std::string path = flight_anomaly("test_ring");
+  ASSERT_FALSE(path.empty());
+  created_.push_back(path);
+  const std::vector<std::string> lines = read_lines(path);
+  // Header + at most `capacity` records, and the survivors are the
+  // newest fills.
+  ASSERT_LE(lines.size(), 17u);
+  int max_i = -1;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const JsonValue record = json_parse(lines[i]);
+    if (record.at("name").as_string() != "ring.fill") continue;
+    max_i = std::max(max_i, std::stoi(record.at("attrs").at("i").as_string()));
+  }
+  EXPECT_EQ(max_i, 39);
+}
+
+TEST_F(FlightTest, KillSwitchDisablesRecorder) {
+  set_telemetry_enabled(false);
+  EXPECT_FALSE(flight_enabled());
+  EXPECT_EQ(flight_anomaly("test_killed"), "");
+  set_telemetry_enabled(true);
+}
+
+}  // namespace
+}  // namespace ckat::obs

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
 
 namespace ckat::obs {
@@ -121,6 +123,59 @@ TEST(JsonParseTest, RejectsTrailingGarbage) {
 TEST(JsonParseTest, DuplicateKeysLastWinsOnLookup) {
   const JsonValue parsed = json_parse("{\"k\": 1, \"k\": 2}");
   EXPECT_EQ(parsed.at("k").as_number(), 2.0);
+}
+
+TEST(JsonIntegerTest, Uint64AboveDoublePrecisionRoundTrips) {
+  // 2^53 + 1 is not representable as a double; stored as a double it
+  // would silently become 2^53 (the id-corruption bug this guards).
+  const std::uint64_t big = (1ULL << 53) + 1;
+  JsonValue value(big);
+  EXPECT_TRUE(value.is_integer());
+  EXPECT_EQ(value.as_uint64(), big);
+  EXPECT_EQ(value.dump(), "9007199254740993");
+  const JsonValue parsed = json_parse(value.dump());
+  EXPECT_TRUE(parsed.is_integer());
+  EXPECT_EQ(parsed.as_uint64(), big);
+}
+
+TEST(JsonIntegerTest, Uint64MaxRoundTrips) {
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  const JsonValue parsed = json_parse(JsonValue(max).dump());
+  EXPECT_EQ(parsed.as_uint64(), max);
+  EXPECT_EQ(parsed.dump(), "18446744073709551615");
+}
+
+TEST(JsonIntegerTest, NegativeInt64RoundTrips) {
+  const std::int64_t value = -9007199254740995LL;  // below -(2^53)
+  const JsonValue parsed = json_parse(JsonValue(value).dump());
+  EXPECT_TRUE(parsed.is_integer());
+  EXPECT_EQ(parsed.as_int64(), value);
+  const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+  EXPECT_EQ(json_parse(JsonValue(min).dump()).as_int64(), min);
+}
+
+TEST(JsonIntegerTest, IntegersInterconvertWithDoublesWhenExact) {
+  EXPECT_EQ(JsonValue(42).as_number(), 42.0);
+  EXPECT_EQ(JsonValue(42.0).as_int64(), 42);
+  EXPECT_EQ(JsonValue(std::uint64_t{7}).as_int64(), 7);
+  EXPECT_EQ(JsonValue(std::int64_t{7}).as_uint64(), 7u);
+  // Out-of-range or lossy conversions throw rather than truncate.
+  EXPECT_THROW(JsonValue(-1).as_uint64(), std::logic_error);
+  EXPECT_THROW(JsonValue(3.5).as_int64(), std::logic_error);
+  EXPECT_THROW(
+      JsonValue(std::numeric_limits<std::uint64_t>::max()).as_int64(),
+      std::logic_error);
+}
+
+TEST(JsonIntegerTest, FractionalAndExponentTokensStayDoubles) {
+  EXPECT_FALSE(json_parse("1.0").is_integer());
+  EXPECT_FALSE(json_parse("1e3").is_integer());
+  EXPECT_TRUE(json_parse("1000").is_integer());
+  // Integral tokens beyond uint64 range fall back to double parsing
+  // rather than failing.
+  const JsonValue huge = json_parse("99999999999999999999999999");
+  EXPECT_TRUE(huge.is_number());
+  EXPECT_FALSE(huge.is_integer());
 }
 
 }  // namespace

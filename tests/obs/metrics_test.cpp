@@ -177,5 +177,43 @@ TEST(TelemetryToggleTest, KillSwitchRoundTrips) {
   set_telemetry_enabled(before);
 }
 
+TEST(HistogramExemplarTest, ObserveWithExemplarRecordsBucketBreadcrumb) {
+  Histogram hist({1.0, 10.0});
+  hist.observe_with_exemplar(0.5, 42);
+  hist.observe_with_exemplar(5.0, 43);
+  hist.observe_with_exemplar(100.0, 44);
+  const auto exemplars = hist.exemplars();
+  ASSERT_EQ(exemplars.size(), 3u);  // two bounds + the +inf bucket
+  EXPECT_EQ(exemplars[0].trace_id, 42u);
+  EXPECT_EQ(exemplars[0].value, 0.5);
+  EXPECT_EQ(exemplars[1].trace_id, 43u);
+  EXPECT_EQ(exemplars[2].trace_id, 44u);
+  // Counts are identical to plain observe().
+  EXPECT_EQ(hist.count(), 3u);
+
+  // trace_id 0 (untraced request) leaves the slot untouched.
+  hist.observe_with_exemplar(0.7, 0);
+  EXPECT_EQ(hist.exemplars()[0].trace_id, 42u);
+  EXPECT_EQ(hist.count(), 4u);
+
+  // A newer traced observation overwrites the bucket's slot.
+  hist.observe_with_exemplar(0.9, 99);
+  EXPECT_EQ(hist.exemplars()[0].trace_id, 99u);
+
+  hist.reset();
+  for (const auto& slot : hist.exemplars()) {
+    EXPECT_EQ(slot.trace_id, 0u);
+  }
+}
+
+TEST(HistogramExemplarTest, PrometheusBucketLinesCarryExemplars) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("exemplar_series", {}, {1.0});
+  hist.observe_with_exemplar(0.5, 7);
+  const std::string text = registry.to_prometheus();
+  // OpenMetrics exemplar syntax on the bucket line.
+  EXPECT_NE(text.find("# {trace_id=\"7\"} 0.5"), std::string::npos) << text;
+}
+
 }  // namespace
 }  // namespace ckat::obs

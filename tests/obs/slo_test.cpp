@@ -1,0 +1,186 @@
+#include "obs/slo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metric_names.hpp"
+#include "obs/metrics.hpp"
+
+namespace ckat::obs {
+namespace {
+
+SloSpec availability_spec() {
+  SloSpec spec;
+  spec.name = "avail_test";
+  spec.kind = SloSpec::Kind::kAvailability;
+  spec.objective = 0.99;  // 1% error budget
+  spec.fast_window_s = 5.0;
+  spec.slow_window_s = 50.0;
+  spec.fast_burn = 6.0;
+  spec.slow_burn = 3.0;
+  spec.min_events = 10;
+  return spec;
+}
+
+SloSpec latency_spec() {
+  SloSpec spec;
+  spec.name = "latency_test";
+  spec.kind = SloSpec::Kind::kLatency;
+  spec.objective = 50.0;  // ms budget
+  spec.quantile = 0.99;   // 1% error budget
+  spec.fast_window_s = 5.0;
+  spec.slow_window_s = 50.0;
+  spec.fast_burn = 6.0;
+  spec.slow_burn = 3.0;
+  spec.min_events = 10;
+  return spec;
+}
+
+const SloAlert& find_alert(const std::vector<SloAlert>& alerts,
+                           const std::string& name) {
+  for (const SloAlert& alert : alerts) {
+    if (alert.slo == name) return alert;
+  }
+  ADD_FAILURE() << "no alert for " << name;
+  static const SloAlert none;
+  return none;
+}
+
+TEST(SloEngine, HealthyTrafficNeverFires) {
+  SloEngine engine({availability_spec()});
+  for (int second = 0; second < 20; ++second) {
+    for (int i = 0; i < 10; ++i) {
+      engine.record_at(second, "avail_test", true);
+    }
+  }
+  const auto alerts = engine.evaluate_at(20.0);
+  const SloAlert& alert = find_alert(alerts, "avail_test");
+  EXPECT_FALSE(alert.firing);
+  EXPECT_EQ(alert.fast_burn, 0.0);
+  EXPECT_EQ(alert.slow_burn, 0.0);
+  EXPECT_EQ(alert.good, 200u);
+  EXPECT_EQ(alert.bad, 0u);
+}
+
+TEST(SloEngine, SustainedFailureFiresBothWindows) {
+  SloEngine engine({availability_spec()});
+  // 50% failures: burn = 0.5 / 0.01 = 50 >> both thresholds.
+  for (int second = 0; second < 20; ++second) {
+    for (int i = 0; i < 5; ++i) {
+      engine.record_at(second, "avail_test", true);
+      engine.record_at(second, "avail_test", false);
+    }
+  }
+  const auto alerts = engine.evaluate_at(20.0);
+  const SloAlert& alert = find_alert(alerts, "avail_test");
+  EXPECT_TRUE(alert.firing);
+  EXPECT_GE(alert.fast_burn, 6.0);
+  EXPECT_GE(alert.slow_burn, 3.0);
+}
+
+TEST(SloEngine, BriefSpikeDoesNotSustainTheSlowWindow) {
+  SloEngine engine({availability_spec()});
+  // 49 clean seconds, then one fully-failed second: the fast window
+  // sees a high burn but the slow window stays under its threshold.
+  for (int second = 0; second < 49; ++second) {
+    for (int i = 0; i < 10; ++i) {
+      engine.record_at(second, "avail_test", true);
+    }
+  }
+  for (int i = 0; i < 10; ++i) {
+    engine.record_at(49, "avail_test", false);
+  }
+  const auto alerts = engine.evaluate_at(50.0);
+  const SloAlert& alert = find_alert(alerts, "avail_test");
+  EXPECT_GE(alert.fast_burn, 6.0);
+  EXPECT_LT(alert.slow_burn, 3.0);
+  EXPECT_FALSE(alert.firing);
+}
+
+TEST(SloEngine, MinEventsGuardsIdleSeconds) {
+  SloSpec spec = availability_spec();
+  spec.min_events = 20;
+  SloEngine engine({spec});
+  // 5 events, all bad: infinite-looking burn but under min_events.
+  for (int i = 0; i < 5; ++i) {
+    engine.record_at(1.0, "avail_test", false);
+  }
+  const auto alerts = engine.evaluate_at(2.0);
+  EXPECT_FALSE(find_alert(alerts, "avail_test").firing);
+}
+
+TEST(SloEngine, LatencyBudgetViolationsFire) {
+  SloEngine engine({latency_spec()});
+  for (int second = 0; second < 20; ++second) {
+    for (int i = 0; i < 4; ++i) {
+      engine.record_latency_at(second, "latency_test", 10.0);  // in budget
+    }
+    engine.record_latency_at(second, "latency_test", 120.0);  // over
+  }
+  // 20% over budget vs a 1% budget: burn 20.
+  const auto alerts = engine.evaluate_at(20.0);
+  const SloAlert& alert = find_alert(alerts, "latency_test");
+  EXPECT_TRUE(alert.firing);
+  EXPECT_EQ(alert.good + alert.bad, 100u);
+  EXPECT_EQ(alert.bad, 20u);
+}
+
+TEST(SloEngine, AlertsTotalCountsRisingEdgesOnly) {
+  SloSpec spec = availability_spec();
+  spec.name = "edge_test";
+  SloEngine engine({spec});
+  Counter& total = MetricsRegistry::global().counter(
+      metric_names::kSloAlertsTotal, {{"slo", "edge_test"}});
+  const std::uint64_t before = total.value();
+
+  for (int second = 0; second < 10; ++second) {
+    for (int i = 0; i < 10; ++i) {
+      engine.record_at(second, "edge_test", false);
+    }
+  }
+  EXPECT_TRUE(find_alert(engine.evaluate_at(10.0), "edge_test").firing);
+  EXPECT_TRUE(find_alert(engine.evaluate_at(10.5), "edge_test").firing);
+  EXPECT_EQ(total.value(), before + 1) << "still-firing must not re-count";
+
+  // Recovery: a long stretch of clean seconds, then a second incident.
+  for (int second = 70; second < 80; ++second) {
+    for (int i = 0; i < 50; ++i) {
+      engine.record_at(second, "edge_test", true);
+    }
+  }
+  EXPECT_FALSE(find_alert(engine.evaluate_at(80.0), "edge_test").firing);
+  for (int second = 80; second < 90; ++second) {
+    for (int i = 0; i < 10; ++i) {
+      engine.record_at(second, "edge_test", false);
+    }
+  }
+  EXPECT_TRUE(find_alert(engine.evaluate_at(90.0), "edge_test").firing);
+  EXPECT_EQ(total.value(), before + 2);
+}
+
+TEST(SloEngine, UnknownNameIsIgnored) {
+  SloEngine engine({availability_spec()});
+  engine.record_at(0.0, "no_such_slo", false);
+  engine.record_latency_at(0.0, "avail_test", 100.0);  // kind mismatch
+  const auto alerts = engine.evaluate_at(1.0);
+  const SloAlert& alert = find_alert(alerts, "avail_test");
+  EXPECT_EQ(alert.good + alert.bad, 0u);
+}
+
+TEST(SloEngine, ExportsGaugesThroughTheRegistry) {
+  SloSpec spec = availability_spec();
+  spec.name = "gauge_test";
+  SloEngine engine({spec});
+  for (int i = 0; i < 20; ++i) {
+    engine.record_at(0.0, "gauge_test", false);
+  }
+  engine.evaluate_at(1.0);
+  Gauge& active = MetricsRegistry::global().gauge(
+      metric_names::kSloAlertActive, {{"slo", "gauge_test"}});
+  EXPECT_EQ(active.value(), 1.0);
+}
+
+}  // namespace
+}  // namespace ckat::obs

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/json.hpp"
@@ -31,7 +32,10 @@ class TraceTest : public ::testing::Test {
   }
   void TearDown() override {
     set_trace_file("");  // disable the sink for subsequent tests
+    set_trace_sample(1);
+    set_trace_max_bytes(0);
     std::remove(path_.c_str());
+    std::remove((path_ + ".1").c_str());
     set_telemetry_enabled(true);
   }
   std::string path_;
@@ -148,6 +152,119 @@ TEST_F(TraceTest, TelemetryKillSwitchDisablesTracing) {
     names.push_back(json_parse(line).at("name").as_string());
   }
   EXPECT_EQ(names, std::vector<std::string>{"on"});
+}
+
+TEST_F(TraceTest, CrossThreadContextAdoption) {
+  const TraceContext ctx = start_trace();
+  ASSERT_TRUE(ctx.active());
+  std::uint64_t root_id = 0, root_thread = 0;
+  std::uint64_t child_id = 0;
+  {
+    TraceSpan root("submit.root", ctx);
+    root_id = root.id();
+    ASSERT_NE(root_id, 0u);
+    std::thread worker([&child_id, context = root.context()] {
+      TraceSpan child("worker.child", context);
+      child_id = child.id();
+      // Thread-local nesting under an adopted span: the grandchild
+      // inherits the trace id with no explicit plumbing.
+      TraceSpan grandchild("worker.grandchild");
+      trace_event("worker.mark");
+    });
+    worker.join();
+  }
+  finish_trace(ctx, TraceVerdict::kKeep);
+  flush_trace();
+
+  std::map<std::string, JsonValue> by_name;
+  for (const std::string& line : read_lines(path_)) {
+    JsonValue record = json_parse(line);
+    by_name.emplace(record.at("name").as_string(), std::move(record));
+  }
+  ASSERT_EQ(by_name.size(), 4u);
+  const double trace_id = static_cast<double>(ctx.trace_id);
+  const JsonValue& root = by_name.at("submit.root");
+  EXPECT_EQ(root.at("trace").as_number(), trace_id);
+  EXPECT_EQ(root.at("parent").as_number(), 0.0);
+  root_thread = static_cast<std::uint64_t>(root.at("thread").as_number());
+
+  const JsonValue& child = by_name.at("worker.child");
+  EXPECT_EQ(child.at("trace").as_number(), trace_id);
+  EXPECT_EQ(child.at("parent").as_number(), static_cast<double>(root_id));
+  EXPECT_NE(static_cast<std::uint64_t>(child.at("thread").as_number()),
+            root_thread);
+
+  const JsonValue& grandchild = by_name.at("worker.grandchild");
+  EXPECT_EQ(grandchild.at("trace").as_number(), trace_id);
+  EXPECT_EQ(grandchild.at("parent").as_number(),
+            static_cast<double>(child_id));
+
+  const JsonValue& mark = by_name.at("worker.mark");
+  EXPECT_EQ(mark.at("trace").as_number(), trace_id);
+}
+
+TEST_F(TraceTest, TailSamplingKeepsFlaggedTracesOnly) {
+  // 1-in-2^40: a kNormal trace is (deterministically, per the id hash)
+  // all but guaranteed to be sampled out, while kKeep bypasses
+  // sampling entirely.
+  set_trace_sample(1ULL << 40);
+
+  const TraceContext kept = start_trace();
+  { TraceSpan span("kept.span", kept); }
+  finish_trace(kept, TraceVerdict::kKeep);
+
+  int dropped = 0;
+  for (int i = 0; i < 8; ++i) {
+    const TraceContext normal = start_trace();
+    { TraceSpan span("normal.span", normal); }
+    finish_trace(normal, TraceVerdict::kNormal);
+  }
+  flush_trace();
+
+  int kept_lines = 0;
+  for (const std::string& line : read_lines(path_)) {
+    const std::string name = json_parse(line).at("name").as_string();
+    if (name == "kept.span") ++kept_lines;
+    if (name == "normal.span") ++dropped;  // would mean sampled IN
+  }
+  EXPECT_EQ(kept_lines, 1);
+  EXPECT_LE(dropped, 1);  // ~2^-37 chance any of the 8 survives
+}
+
+TEST_F(TraceTest, LateRecordsFollowTheVerdict) {
+  set_trace_sample(1ULL << 40);
+  const TraceContext ctx = start_trace();
+  {
+    TraceSpan early("early.span", ctx);
+    // Verdict lands while the root span is still open (a fast worker
+    // resolving before the submit thread returns).
+    finish_trace(ctx, TraceVerdict::kKeep);
+  }  // early.span completes after the finish
+  flush_trace();
+
+  int found = 0;
+  for (const std::string& line : read_lines(path_)) {
+    if (json_parse(line).at("name").as_string() == "early.span") ++found;
+  }
+  EXPECT_EQ(found, 1);
+}
+
+TEST_F(TraceTest, SizeCapRotatesOnceToDotOne) {
+  set_trace_max_bytes(512);
+  for (int i = 0; i < 64; ++i) {
+    TraceSpan span("rotation.filler", {{"i", std::to_string(i)}});
+  }
+  flush_trace();
+
+  std::ifstream rotated(path_ + ".1");
+  EXPECT_TRUE(rotated.good()) << "expected rotated file " << path_ << ".1";
+  // Both generations hold valid JSONL.
+  for (const std::string& line : read_lines(path_ + ".1")) {
+    EXPECT_TRUE(json_parse(line).is_object()) << line;
+  }
+  for (const std::string& line : read_lines(path_)) {
+    EXPECT_TRUE(json_parse(line).is_object()) << line;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,194 @@
+// Request-scoped tracing through the gateway: one submitted request
+// must yield ONE connected span tree — admission root on the submit
+// thread, queue-wait span, worker span carrying the model-generation
+// tag, and the tier walk — stitched across threads by the TraceContext
+// carried in the ScoreRequest. Runs under TSan in CI (suite name
+// matches the sanitize-thread ctest filter).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/gateway.hpp"
+
+namespace ckat::serve {
+namespace {
+
+class TraceStub final : public eval::Recommender {
+ public:
+  TraceStub(std::string name, std::size_t n_users, std::size_t n_items)
+      : name_(std::move(name)), n_users_(n_users), n_items_(n_items) {}
+  [[nodiscard]] std::string name() const override { return name_; }
+  void fit() override {}
+  void score_items(std::uint32_t /*user*/,
+                   std::span<float> out) const override {
+    std::fill(out.begin(), out.end(), 1.0f);
+  }
+  [[nodiscard]] std::size_t n_users() const override { return n_users_; }
+  [[nodiscard]] std::size_t n_items() const override { return n_items_; }
+
+ private:
+  std::string name_;
+  std::size_t n_users_;
+  std::size_t n_items_;
+};
+
+struct Record {
+  std::string name;
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t thread = 0;
+  std::map<std::string, std::string> attrs;
+};
+
+/// trace id -> records, parsed from the JSONL trace file.
+std::map<std::uint64_t, std::vector<Record>> records_by_trace(
+    const std::string& path) {
+  std::map<std::uint64_t, std::vector<Record>> traces;
+  std::ifstream in(path);
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty()) continue;
+    const obs::JsonValue json = obs::json_parse(line);
+    const obs::JsonValue* trace = json.find("trace");
+    if (trace == nullptr) continue;  // untraced housekeeping record
+    Record record;
+    record.name = json.at("name").as_string();
+    record.id = static_cast<std::uint64_t>(json.at("id").as_number());
+    record.parent =
+        static_cast<std::uint64_t>(json.at("parent").as_number());
+    record.thread =
+        static_cast<std::uint64_t>(json.at("thread").as_number());
+    if (const obs::JsonValue* attrs = json.find("attrs");
+        attrs != nullptr) {
+      for (const auto& [key, value] : attrs->as_object()) {
+        record.attrs[key] = value.as_string();
+      }
+    }
+    traces[static_cast<std::uint64_t>(trace->as_number())]
+        .push_back(std::move(record));
+  }
+  return traces;
+}
+
+class GatewayTraceTest : public ::testing::TestWithParam<int> {
+ protected:
+  static constexpr std::size_t kUsers = 8;
+  static constexpr std::size_t kItems = 6;
+
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "ckat_gateway_trace_" +
+            std::to_string(GetParam()) + ".jsonl";
+    obs::set_trace_file(path_);
+  }
+  void TearDown() override {
+    obs::set_trace_file("");
+    std::remove(path_.c_str());
+  }
+  std::string path_;
+};
+
+TEST_P(GatewayTraceTest, RequestYieldsOneConnectedSpanTreeAcrossThreads) {
+  TraceStub primary("primary", kUsers, kItems);
+  TraceStub fallback("fallback", kUsers, kItems);
+  constexpr int kRequests = 6;
+  std::uint64_t expected_version = 0;
+  {
+    GatewayConfig config;
+    config.threads = GetParam();
+    config.queue_depth = 32;
+    config.default_deadline_ms = 0.0;
+    ServeGateway gateway({&primary, &fallback}, config);
+    for (int i = 0; i < kRequests; ++i) {
+      ScoreRequest request;
+      request.user = static_cast<std::uint32_t>(i % kUsers);
+      request.client_id = "trace-client";
+      const ScoreResult result = gateway.submit(request).get();
+      ASSERT_EQ(result.status, RequestStatus::kServed);
+      expected_version = result.model_version;
+    }
+    gateway.shutdown();
+  }
+  obs::flush_trace();
+
+  const auto traces = records_by_trace(path_);
+  int complete_trees = 0;
+  for (const auto& [trace_id, records] : traces) {
+    std::map<std::uint64_t, const Record*> by_id;
+    for (const Record& record : records) by_id[record.id] = &record;
+
+    const Record* root = nullptr;
+    for (const Record& record : records) {
+      if (record.name == "gateway.request") {
+        ASSERT_EQ(root, nullptr) << "two roots in trace " << trace_id;
+        root = &record;
+      }
+    }
+    ASSERT_NE(root, nullptr) << "trace " << trace_id << " has no root";
+    EXPECT_EQ(root->parent, 0u);
+
+    // Connectivity: every record's parent resolves within the trace.
+    std::set<std::string> names;
+    std::set<std::uint64_t> threads;
+    for (const Record& record : records) {
+      names.insert(record.name);
+      threads.insert(record.thread);
+      if (record.id == root->id) continue;
+      EXPECT_TRUE(by_id.count(record.parent))
+          << record.name << " in trace " << trace_id
+          << " has a dangling parent " << record.parent;
+    }
+    EXPECT_TRUE(names.count("gateway.queue")) << "trace " << trace_id;
+    EXPECT_TRUE(names.count("gateway.worker")) << "trace " << trace_id;
+    EXPECT_TRUE(names.count("serve.walk")) << "trace " << trace_id;
+    EXPECT_TRUE(names.count("serve.tier")) << "trace " << trace_id;
+    // The submit thread and the worker thread both contributed.
+    EXPECT_GE(threads.size(), 2u) << "trace " << trace_id;
+
+    // The generation tag rides on the worker span.
+    for (const Record& record : records) {
+      if (record.name != "gateway.worker") continue;
+      ASSERT_TRUE(record.attrs.count("model_version"));
+      EXPECT_EQ(record.attrs.at("model_version"),
+                std::to_string(expected_version));
+    }
+    ++complete_trees;
+  }
+  EXPECT_EQ(complete_trees, kRequests);
+}
+
+TEST_P(GatewayTraceTest, CallerSuppliedContextIsAdoptedNotReRooted) {
+  TraceStub primary("primary", kUsers, kItems);
+  const obs::TraceContext caller = obs::start_trace();
+  ASSERT_TRUE(caller.active());
+  {
+    GatewayConfig config;
+    config.threads = GetParam();
+    config.queue_depth = 8;
+    config.default_deadline_ms = 0.0;
+    ServeGateway gateway({&primary}, config);
+    ScoreRequest request;
+    request.user = 1;
+    request.trace = caller;
+    ASSERT_EQ(gateway.submit(request).get().status, RequestStatus::kServed);
+    gateway.shutdown();
+  }
+  obs::finish_trace(caller, obs::TraceVerdict::kKeep);
+  obs::flush_trace();
+
+  const auto traces = records_by_trace(path_);
+  ASSERT_EQ(traces.size(), 1u) << "gateway re-rooted the caller's trace";
+  EXPECT_EQ(traces.begin()->first, caller.trace_id);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerPools, GatewayTraceTest,
+                         ::testing::Values(1, 4));
+
+}  // namespace
+}  // namespace ckat::serve

@@ -1,0 +1,22 @@
+// Fixture: guarded members touched only from exempt contexts -- the
+// in-class constructor (single-threaded setup) and a `*_locked` helper
+// whose suffix is the repo contract that the caller holds the mutex.
+#include <mutex>
+
+class FixtureRotator {
+ public:
+  void add(int by) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_ += by;
+    if (total_ > limit_) reset_locked();
+  }
+
+ private:
+  FixtureRotator() { limit_ = 8; }
+
+  void reset_locked() { total_ = 0; }
+
+  std::mutex mutex_;
+  int total_ = 0;  // guarded by mutex_
+  int limit_ = 0;  // guarded by mutex_
+};

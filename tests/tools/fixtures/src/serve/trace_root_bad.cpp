@@ -1,0 +1,23 @@
+// Fixture: re-roots a new trace on a worker thread instead of
+// forwarding the TraceContext carried in the request.
+namespace ckat::obs {
+struct TraceContext {
+  unsigned long long trace_id = 0;
+  unsigned long long parent_span = 0;
+};
+TraceContext start_trace();
+}  // namespace ckat::obs
+
+namespace ckat::serve {
+
+struct Request {
+  obs::TraceContext trace;
+};
+
+void worker_step(Request& request) {
+  // BAD: the request already carries lineage; minting a fresh trace
+  // here severs the per-request span tree.
+  request.trace = obs::start_trace();
+}
+
+}  // namespace ckat::serve

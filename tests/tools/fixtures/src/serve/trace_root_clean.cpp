@@ -1,0 +1,22 @@
+// Fixture: forwards the request's TraceContext downstream instead of
+// minting a new trace.
+namespace ckat::obs {
+struct TraceContext {
+  unsigned long long trace_id = 0;
+  unsigned long long parent_span = 0;
+};
+void trace_event(const char* name, const TraceContext& parent);
+}  // namespace ckat::obs
+
+namespace ckat::serve {
+
+struct Request {
+  obs::TraceContext trace;
+};
+
+void worker_step(Request& request) {
+  // OK: downstream work attaches under the caller's lineage.
+  obs::trace_event("serve.step", request.trace);
+}
+
+}  // namespace ckat::serve

@@ -109,6 +109,12 @@ TEST(CkatLint, MutexGuardRule) {
       run_lint("\"" + fixture("src/serve/mutex_bad.cpp") + "\"");
   EXPECT_NE(r.output.find("warning: [ckat-mutex-guard]"), std::string::npos)
       << r.output;
+  // Exempt contexts -- in-class constructors and `*_locked` helpers
+  // (caller holds the mutex by contract) -- stay silent.
+  const LintResult exempt =
+      run_lint("\"" + fixture("src/serve/mutex_exempt_clean.cpp") + "\"");
+  EXPECT_EQ(exempt.exit_code, 0) << exempt.output;
+  EXPECT_TRUE(exempt.output.empty()) << exempt.output;
 }
 
 TEST(CkatLint, IncludeGuardRule) {
@@ -119,6 +125,11 @@ TEST(CkatLint, IncludeGuardRule) {
 TEST(CkatLint, UsingNamespaceRule) {
   expect_rule_pair("using_namespace_bad.hpp", "using_namespace_clean.hpp",
                    "ckat-using-namespace");
+}
+
+TEST(CkatLint, TraceContextRule) {
+  expect_rule_pair("src/serve/trace_root_bad.cpp",
+                   "src/serve/trace_root_clean.cpp", "ckat-trace-context");
 }
 
 TEST(CkatLint, NolintWithoutReasonFlaggedAndNotSuppressing) {
@@ -179,7 +190,8 @@ TEST(CkatLint, ListRulesCoversCatalogue) {
   for (const char* rule :
        {"ckat-determinism", "ckat-env-registry", "ckat-metric-registry",
         "ckat-relaxed-atomic", "ckat-detached-thread", "ckat-mutex-guard",
-        "ckat-include-guard", "ckat-using-namespace", "ckat-nolint-reason"}) {
+        "ckat-include-guard", "ckat-using-namespace", "ckat-nolint-reason",
+        "ckat-trace-context"}) {
     EXPECT_NE(r.output.find(rule), std::string::npos) << "missing " << rule;
   }
 }

@@ -25,6 +25,7 @@ constexpr const char* kMutexGuard = "ckat-mutex-guard";
 constexpr const char* kIncludeGuard = "ckat-include-guard";
 constexpr const char* kUsingNamespace = "ckat-using-namespace";
 constexpr const char* kNolintReason = "ckat-nolint-reason";
+constexpr const char* kTraceContext = "ckat-trace-context";
 constexpr const char* kIo = "ckat-io";
 
 /// Directories whose code must be bit-reproducible: all randomness flows
@@ -480,6 +481,11 @@ class Analyzer {
       check_relaxed(file, candidate);
     }
     check_detached(file, candidate);
+    if (path_contains(file.path, "src/") &&
+        !path_contains(file.path, "src/obs/") &&
+        !file.path.ends_with("src/serve/gateway.cpp")) {
+      check_trace_context(file, candidate);
+    }
     check_mutex_guard(file, candidate);
     if (is_header(file.path)) {
       check_include_guard(file, candidate);
@@ -613,14 +619,86 @@ class Analyzer {
     }
   }
 
+  /// Trace lineage: only the serving gateway (the admission edge of the
+  /// process) may mint a new trace with start_trace(). Everywhere else a
+  /// worker must forward the TraceContext it was handed — re-rooting
+  /// severs the per-request span tree that the flight recorder and the
+  /// exemplars rely on.
+  template <typename Emit>
+  void check_trace_context(const SourceFile& file, const Emit& candidate) {
+    static const std::regex mint("\\bstart_trace\\s*\\(");
+    for (std::size_t li = 0; li < file.code.size(); ++li) {
+      if (std::regex_search(file.code[li], mint)) {
+        candidate(li + 1, kTraceContext, Severity::kError,
+                  "start_trace() outside the gateway admission path; "
+                  "forward the request's TraceContext (TraceSpan(name, "
+                  "ctx) / trace_event(name, ctx, ...)) instead of "
+                  "re-rooting a new trace");
+      }
+    }
+  }
+
   /// Heuristic: inside each top-level function body, a member annotated
   /// "// guarded by <mutex>" must co-occur with a lock guard. Tracks
-  /// braces on preprocessor-free text; constructors/destructors are
-  /// exempt (single-threaded setup).
+  /// braces on preprocessor-free text. Exempt: constructors/destructors
+  /// (single-threaded setup/teardown) and functions named `*_locked`
+  /// (the suffix is this repo's contract that the caller holds the
+  /// mutex).
   template <typename Emit>
   void check_mutex_guard(const SourceFile& file, const Emit& candidate) {
     if (ctx_.guarded.empty()) return;
     static const std::regex ctor_dtor("(~?)([A-Za-z_]\\w*)::~?\\2\\s*\\(");
+    static const std::regex locked_fn("\\b[A-Za-z_]\\w*_locked\\s*\\(");
+
+    // In-class ctor/dtor headers carry no return type: after dropping
+    // qualifier/access-specifier prefixes and specifier keywords, a
+    // single PascalCase identifier precedes the '('. ALL_CAPS names are
+    // rejected so function-style macros (TEST, EXPECT_...) stay checked.
+    const auto is_inline_ctor = [](const std::string& hdr) {
+      const std::size_t paren = hdr.find('(');
+      if (paren == std::string::npos) return false;
+      std::string head = hdr.substr(0, paren);
+      if (const std::size_t colon = head.rfind(':');
+          colon != std::string::npos) {
+        head = head.substr(colon + 1);
+      }
+      static const std::regex ident("[A-Za-z_~][A-Za-z0-9_]*");
+      std::string name;
+      int tokens = 0;
+      for (auto it = std::sregex_iterator(head.begin(), head.end(), ident);
+           it != std::sregex_iterator(); ++it) {
+        const std::string tok = it->str();
+        if (tok == "explicit" || tok == "inline" || tok == "constexpr") {
+          continue;
+        }
+        name = tok;
+        ++tokens;
+      }
+      if (tokens != 1) return false;
+      if (!name.empty() && name[0] == '~') name.erase(0, 1);
+      if (name.empty() || std::isupper(static_cast<unsigned char>(name[0])) == 0) {
+        return false;
+      }
+      return std::any_of(name.begin(), name.end(), [](unsigned char c) {
+        return std::islower(c) != 0;
+      });
+    };
+
+    // Only annotations from this translation unit apply: the same file,
+    // or its header/source sibling (same path stem). Guarded members are
+    // keyed by bare name, so a cross-file match on a common name like
+    // `path_` would flag unrelated classes.
+    const auto stem = [](const std::string& path) {
+      const std::size_t dot = path.rfind('.');
+      return dot == std::string::npos ? path : path.substr(0, dot);
+    };
+    std::map<std::string, GuardedMember> guarded;
+    for (const auto& [member, info] : ctx_.guarded) {
+      if (stem(info.declared_in) == stem(file.path)) {
+        guarded.emplace(member, info);
+      }
+    }
+    if (guarded.empty()) return;
 
     // Phase 1: brace-track (on preprocessor-free text) which top-level
     // function body each line belongs to. A line that merely contains
@@ -628,7 +706,7 @@ class Analyzer {
     // belonging to it -- over-approximating by whole lines keeps the
     // heuristic simple.
     struct Function {
-      bool is_ctor = false;
+      bool exempt = false;  // ctor/dtor or a `*_locked` helper
       bool saw_lock = false;
       std::map<std::string, std::size_t> uses;  // member -> first line
     };
@@ -665,7 +743,9 @@ class Analyzer {
               block.is_function = true;
               current = functions.size();
               Function fn;
-              fn.is_ctor = std::regex_search(header, ctor_dtor);
+              fn.exempt = std::regex_search(header, ctor_dtor) ||
+                          std::regex_search(header, locked_fn) ||
+                          is_inline_ctor(header);
               functions.push_back(fn);
               function_depth = stack.size();
               mark();
@@ -705,7 +785,7 @@ class Analyzer {
                             line.find("->lock(") != std::string::npos;
       for (const std::size_t fn : line_functions[li]) {
         if (has_lock) functions[fn].saw_lock = true;
-        for (const auto& [member, info] : ctx_.guarded) {
+        for (const auto& [member, info] : guarded) {
           std::size_t pos = line.find(member);
           while (pos != std::string::npos) {
             const bool left_ok =
@@ -728,11 +808,11 @@ class Analyzer {
     }
 
     for (const Function& fn : functions) {
-      if (fn.is_ctor || fn.saw_lock) continue;
+      if (fn.exempt || fn.saw_lock) continue;
       for (const auto& [member, lineno] : fn.uses) {
         candidate(lineno, kMutexGuard, Severity::kWarning,
                   "member '" + member + "' (guarded by " +
-                      ctx_.guarded.at(member).mutex_name +
+                      guarded.at(member).mutex_name +
                       ") is used in a function with no lock guard");
       }
     }
@@ -796,6 +876,9 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {kUsingNamespace, Severity::kError, "no using-namespace in headers"},
       {kNolintReason, Severity::kError,
        "every NOLINT(ckat-*) carries ': <reason>'"},
+      {kTraceContext, Severity::kError,
+       "start_trace() only at the gateway admission edge; downstream "
+       "code forwards the request's TraceContext instead of re-rooting"},
   };
   return catalogue;
 }

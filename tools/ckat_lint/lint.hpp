@@ -23,6 +23,10 @@
 //   ckat-include-guard    headers start with #pragma once (or #ifndef).
 //   ckat-using-namespace  no using-namespace directives in headers.
 //   ckat-nolint-reason    every NOLINT(ckat-*) carries a ": reason".
+//   ckat-trace-context    start_trace() only at the gateway admission
+//                         edge (src/serve/gateway.cpp); downstream code
+//                         forwards the request's TraceContext instead
+//                         of re-rooting a new trace.
 //
 // Suppression: `// NOLINT(ckat-rule): reason` on the offending line or
 // `// NOLINTNEXTLINE(ckat-rule): reason` on the line above. The reason
