@@ -1,0 +1,527 @@
+// Chaos soak for sharded serving at the million-user scale tier
+// (extension).
+//
+// A ShardRouter serves the scale tier's 10k+-item catalog from
+// N shards x R replicas of CRC-guarded mmap'd shard files, fronted by a
+// sharded ServeGateway; concurrent clients drive Zipf-sampled users from
+// a synthesized million-user population through five phases:
+//
+//  1. baseline     — healthy topology: full coverage, single and batch
+//                    requests all served.
+//  2. replica_kill — one replica's shard file is corrupted on disk and
+//                    the replica killed mid-spike: its sibling absorbs
+//                    the slice (failovers, coverage stays 1.0) and the
+//                    recovery probe cannot revive it past CRC.
+//  3. slow_shard   — both replicas of one shard sleep far past the
+//                    request deadline: hedged requests fire, the shard
+//                    trips, answers degrade to explicit partial
+//                    coverage — never errors, never a full outage.
+//  4. corrupt      — both replicas of another shard are corrupted on
+//                    disk and killed: probes re-open, fail CRC and keep
+//                    them down; answers stay partial at the exact
+//                    coverage floor.
+//  5. recovery     — files restored, probes bring every replica back:
+//                    full coverage returns.
+//
+// Self-checking: exits non-zero unless conservation holds end to end
+// (gateway: submitted == served + served_partial + zero_filled + sheds,
+// per version; router: requests == full + partial + zero, per shard
+// ok + failed == requests), every client future resolved exactly once,
+// degraded phases kept the coverage floor, healthy phases kept p99
+// within the deadline, and the topology fully recovered.
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "facility/scale.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "serve/gateway.hpp"
+#include "serve/shard.hpp"
+#include "util/cli.hpp"
+#include "util/fault.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ckat;
+namespace fs = std::filesystem;
+
+struct PhaseOutcome {
+  std::string name;
+  serve::GatewayStats gateway;     // this phase only (diffed)
+  serve::ShardRouterStats router;  // this phase only (diffed)
+  std::vector<double> served_total_ms;  // full-coverage answers
+  std::vector<double> partial_coverage; // coverage of partial answers
+  std::uint64_t client_answers = 0;
+};
+
+serve::GatewayStats diff(const serve::GatewayStats& after,
+                         const serve::GatewayStats& before) {
+  serve::GatewayStats d;
+  d.submitted = after.submitted - before.submitted;
+  d.accepted = after.accepted - before.accepted;
+  d.served = after.served - before.served;
+  d.served_partial = after.served_partial - before.served_partial;
+  d.zero_filled = after.zero_filled - before.zero_filled;
+  d.shed_queue_full = after.shed_queue_full - before.shed_queue_full;
+  d.shed_expired = after.shed_expired - before.shed_expired;
+  d.shed_retry_budget = after.shed_retry_budget - before.shed_retry_budget;
+  d.shed_shutdown = after.shed_shutdown - before.shed_shutdown;
+  d.queue_high_water = after.queue_high_water;
+  return d;
+}
+
+serve::ShardRouterStats diff(const serve::ShardRouterStats& after,
+                             const serve::ShardRouterStats& before) {
+  serve::ShardRouterStats d;
+  d.requests = after.requests - before.requests;
+  d.served_full = after.served_full - before.served_full;
+  d.served_partial = after.served_partial - before.served_partial;
+  d.zero_filled = after.zero_filled - before.zero_filled;
+  d.hedges = after.hedges - before.hedges;
+  d.failovers = after.failovers - before.failovers;
+  d.replica_trips = after.replica_trips - before.replica_trips;
+  d.replica_recoveries = after.replica_recoveries - before.replica_recoveries;
+  d.shards = after.shards;
+  for (std::size_t s = 0; s < d.shards.size(); ++s) {
+    d.shards[s].ok -= before.shards[s].ok;
+    d.shards[s].failed -= before.shards[s].failed;
+  }
+  return d;
+}
+
+/// Drives `clients` threads through `bursts` bursts of Zipf-sampled
+/// single-user requests (plus a batch request per burst when asked),
+/// collecting every future. `mid_hook` runs on the main thread once the
+/// phase is roughly `hook_after_bursts / bursts` through — the chaos
+/// injection point ("mid-spike").
+PhaseOutcome run_phase(serve::ServeGateway& gateway,
+                       serve::ShardRouter& router,
+                       const facility::ScaleTier& tier, std::string name,
+                       int clients, int bursts, int burst_size,
+                       double pause_ms, bool with_batches,
+                       const std::function<void()>& mid_hook = {},
+                       int hook_after_bursts = 0) {
+  obs::TraceSpan span("shard_soak.phase", {{"phase", name}});
+  PhaseOutcome outcome;
+  outcome.name = std::move(name);
+  const serve::GatewayStats gw_before = gateway.stats();
+  const serve::ShardRouterStats rt_before = router.stats();
+
+  std::mutex merge_mutex;
+  std::atomic<std::uint64_t> answers{0};
+  std::atomic<int> bursts_done{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      util::Rng rng(0xBEEF + static_cast<std::uint64_t>(c) * 977 +
+                    std::hash<std::string>{}(outcome.name));
+      std::vector<double> local_served_ms;
+      std::vector<double> local_partial;
+      for (int b = 0; b < bursts; ++b) {
+        std::vector<std::future<serve::ScoreResult>> futures;
+        futures.reserve(static_cast<std::size_t>(burst_size) + 1);
+        for (int i = 0; i < burst_size; ++i) {
+          serve::ScoreRequest request;
+          request.user = tier.sample_user(rng);
+          request.priority = (i % 4 == 0) ? serve::Priority::kHigh
+                                          : serve::Priority::kNormal;
+          request.client_id = "client-" + std::to_string(c);
+          futures.push_back(gateway.submit(std::move(request)));
+        }
+        if (with_batches) {
+          serve::ScoreRequest batch;
+          batch.users = {tier.sample_user(rng), tier.sample_user(rng),
+                         tier.sample_user(rng), tier.sample_user(rng)};
+          batch.client_id = "client-" + std::to_string(c);
+          futures.push_back(gateway.submit(std::move(batch)));
+        }
+        for (auto& future : futures) {
+          const serve::ScoreResult result = future.get();
+          answers.fetch_add(1);
+          if (result.status == serve::RequestStatus::kServed) {
+            local_served_ms.push_back(result.total_ms);
+          } else if (result.status ==
+                     serve::RequestStatus::kServedPartial) {
+            local_partial.push_back(result.coverage);
+          }
+        }
+        bursts_done.fetch_add(1);
+        if (pause_ms > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(pause_ms));
+        }
+      }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      outcome.served_total_ms.insert(outcome.served_total_ms.end(),
+                                     local_served_ms.begin(),
+                                     local_served_ms.end());
+      outcome.partial_coverage.insert(outcome.partial_coverage.end(),
+                                      local_partial.begin(),
+                                      local_partial.end());
+    });
+  }
+  if (mid_hook) {
+    // Fire the chaos event only after real traffic hit the healthy
+    // topology, while plenty of the phase is still ahead.
+    const int threshold = hook_after_bursts * clients;
+    while (bursts_done.load() < threshold) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    mid_hook();
+  }
+  for (auto& t : threads) t.join();
+
+  outcome.gateway = diff(gateway.stats(), gw_before);
+  outcome.router = diff(router.stats(), rt_before);
+  outcome.client_answers = answers.load();
+  return outcome;
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank =
+      static_cast<std::size_t>(q * static_cast<double>(values.size() - 1));
+  return values[rank];
+}
+
+double min_of(const std::vector<double>& values) {
+  return values.empty() ? 0.0
+                        : *std::min_element(values.begin(), values.end());
+}
+
+/// Flips one payload byte of a replica's shard file; returns the
+/// original bytes for later restoration.
+std::vector<char> corrupt_file(const std::string& path) {
+  std::vector<char> original(fs::file_size(path));
+  {
+    std::ifstream in(path, std::ios::binary);
+    in.read(original.data(), static_cast<std::streamsize>(original.size()));
+  }
+  std::vector<char> mutated = original;
+  mutated[mutated.size() / 2] ^= 0x20;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(mutated.data(), static_cast<std::streamsize>(mutated.size()));
+  return original;
+}
+
+void restore_file(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+obs::JsonValue phase_to_json(const PhaseOutcome& phase) {
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc.set("submitted", static_cast<double>(phase.gateway.submitted));
+  doc.set("served", static_cast<double>(phase.gateway.served));
+  doc.set("served_partial",
+          static_cast<double>(phase.gateway.served_partial));
+  doc.set("zero_filled", static_cast<double>(phase.gateway.zero_filled));
+  doc.set("sheds", static_cast<double>(phase.gateway.shed_total()));
+  doc.set("hedges", static_cast<double>(phase.router.hedges));
+  doc.set("failovers", static_cast<double>(phase.router.failovers));
+  doc.set("replica_trips", static_cast<double>(phase.router.replica_trips));
+  doc.set("replica_recoveries",
+          static_cast<double>(phase.router.replica_recoveries));
+  doc.set("served_p99_ms", percentile(phase.served_total_ms, 0.99));
+  doc.set("min_partial_coverage", min_of(phase.partial_coverage));
+  return doc;
+}
+
+int g_check_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  if (!ok) ++g_check_failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const auto n_users =
+      static_cast<std::size_t>(args.get_int("users", 1'000'000));
+  const auto n_items = static_cast<std::size_t>(args.get_int("items", 10'240));
+  const int n_shards = static_cast<int>(args.get_int("shards", 4));
+  const int replicas = static_cast<int>(args.get_int("replicas", 2));
+  const int clients = static_cast<int>(args.get_int("clients", 4));
+  const int workers = static_cast<int>(args.get_int("workers", 3));
+  const double deadline_ms = args.get_double("deadline-ms", 80.0);
+
+  // --- Scale tier: a synthesized million-user facility population.
+  facility::ScaleTierParams tier_params;
+  tier_params.n_users = n_users;
+  tier_params.n_items = n_items;
+  const facility::ScaleTier tier(tier_params);
+  util::Rng measure_rng(41);
+  const auto affinity = tier.measure(20'000, measure_rng);
+  std::printf(
+      "scale tier: %zu users, %zu items; measured affinity "
+      "region=%.3f type=%.3f\n",
+      tier.n_users(), tier.n_items(), affinity.region_fraction,
+      affinity.type_fraction);
+
+  // --- Shard catalog on disk, one file per replica.
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("ckat_shard_soak_" + std::to_string(::getpid())))
+          .string();
+  serve::ShardRouter::write_catalog(
+      dir, static_cast<std::size_t>(n_shards),
+      static_cast<std::size_t>(replicas), tier.n_items(), tier.dim(),
+      [&tier](std::uint32_t item, std::span<float> out) {
+        tier.item_vector(item, out);
+      });
+
+  serve::ShardRouterConfig router_config;
+  router_config.n_shards = n_shards;
+  router_config.replicas = replicas;
+  router_config.probe_interval_ms = 40.0;  // live probe thread in play
+  router_config.hedge_min_ms = 1.0;
+  router_config.probe_budget_ms = 20.0;
+  router_config.model_version = 1;
+  auto router = std::make_shared<serve::ShardRouter>(
+      dir, tier.n_users(), tier.n_items(), tier.dim(),
+      [&tier](std::uint32_t user, std::span<float> out) {
+        tier.user_vector(user, out);
+      },
+      router_config);
+
+  serve::GatewayConfig gateway_config;
+  gateway_config.threads = workers;
+  gateway_config.queue_depth = 256;
+  gateway_config.default_deadline_ms = deadline_ms;
+  serve::ServeGateway gateway(router, gateway_config);
+
+  std::printf(
+      "shard soak: %d clients x %d workers, %zu shards x %zu replicas, "
+      "deadline %.0f ms\n\n",
+      clients, gateway.threads(), router->n_shards(),
+      router->replicas_per_shard(), deadline_ms);
+
+  // Largest slice fraction: the coverage floor when one shard is down.
+  double max_slice_frac = 0.0;
+  for (const auto& shard : router->stats().shards) {
+    max_slice_frac =
+        std::max(max_slice_frac, static_cast<double>(shard.n_local) /
+                                     static_cast<double>(tier.n_items()));
+  }
+  const double coverage_floor = 1.0 - max_slice_frac;
+
+  util::FaultInjector::instance().reset();
+  std::vector<PhaseOutcome> phases;
+
+  // Phase 1 — baseline: healthy topology, single + batch requests.
+  phases.push_back(run_phase(gateway, *router, tier, "baseline", clients,
+                             /*bursts=*/6, /*burst_size=*/10,
+                             /*pause_ms=*/2.0, /*with_batches=*/true));
+
+  // Phase 2 — replica_kill: mid-spike, corrupt one replica's file on
+  // disk (so the live probe cannot revive it) and kill the replica; its
+  // sibling must absorb the whole slice.
+  std::vector<char> killed_bytes;
+  const std::string killed_path = serve::ShardRouter::replica_path(dir, 0, 0);
+  phases.push_back(run_phase(
+      gateway, *router, tier, "replica_kill", clients,
+      /*bursts=*/10, /*burst_size=*/10, /*pause_ms=*/4.0,
+      /*with_batches=*/false,
+      [&] {
+        killed_bytes = corrupt_file(killed_path);
+        router->kill_replica(0, 0);
+      },
+      /*hook_after_bursts=*/2));
+
+  // Phase 3 — slow_shard: both replicas of the last shard sleep far
+  // past the deadline; hedges fire, the shard trips, answers go
+  // partial.
+  const std::size_t slow_shard = router->n_shards() - 1;
+  {
+    util::FaultScope slow_a(
+        std::string(util::fault_points::kScoreDelay) + ":shard" +
+            std::to_string(slow_shard) + "-r0",
+        util::FaultSpec{.every = 1, .delay_ms = deadline_ms * 0.75});
+    util::FaultScope slow_b(
+        std::string(util::fault_points::kScoreDelay) + ":shard" +
+            std::to_string(slow_shard) + "-r1",
+        util::FaultSpec{.every = 1, .delay_ms = deadline_ms * 0.75});
+    phases.push_back(run_phase(gateway, *router, tier, "slow_shard", clients,
+                               /*bursts=*/3, /*burst_size=*/6,
+                               /*pause_ms=*/4.0, /*with_batches=*/false));
+  }
+
+  // Phase 4 — corrupt: both replicas of shard 1 corrupted on disk and
+  // killed. Probes re-open, fail CRC validation and keep them down;
+  // every answer is partial at exactly the coverage floor for that
+  // shard.
+  const std::string corrupt_a_path =
+      serve::ShardRouter::replica_path(dir, 1, 0);
+  const std::string corrupt_b_path =
+      serve::ShardRouter::replica_path(dir, 1, 1);
+  const std::vector<char> corrupt_a_bytes = corrupt_file(corrupt_a_path);
+  const std::vector<char> corrupt_b_bytes = corrupt_file(corrupt_b_path);
+  router->kill_replica(1, 0);
+  router->kill_replica(1, 1);
+  router->probe_now();  // CRC holds the line: both stay down
+  const bool corrupt_stayed_down =
+      !router->replica_healthy(1, 0) && !router->replica_healthy(1, 1);
+  phases.push_back(run_phase(gateway, *router, tier, "corrupt", clients,
+                             /*bursts=*/6, /*burst_size=*/10,
+                             /*pause_ms=*/2.0, /*with_batches=*/false));
+
+  // Phase 5 — recovery: restore every corrupted file; probes (the live
+  // thread, plus one synchronous sweep for determinism) bring every
+  // replica back.
+  restore_file(killed_path, killed_bytes);
+  restore_file(corrupt_a_path, corrupt_a_bytes);
+  restore_file(corrupt_b_path, corrupt_b_bytes);
+  router->probe_now();
+  phases.push_back(run_phase(gateway, *router, tier, "recovery", clients,
+                             /*bursts=*/6, /*burst_size=*/10,
+                             /*pause_ms=*/2.0, /*with_batches=*/true));
+
+  std::printf("%-13s %9s %7s %8s %5s %6s %7s %9s %6s %9s\n", "phase",
+              "submitted", "served", "partial", "zero", "sheds", "hedges",
+              "failovers", "trips", "p99(ms)");
+  for (const auto& phase : phases) {
+    std::printf(
+        "%-13s %9llu %7llu %8llu %5llu %6llu %7llu %9llu %6llu %9.2f\n",
+        phase.name.c_str(),
+        static_cast<unsigned long long>(phase.gateway.submitted),
+        static_cast<unsigned long long>(phase.gateway.served),
+        static_cast<unsigned long long>(phase.gateway.served_partial),
+        static_cast<unsigned long long>(phase.gateway.zero_filled),
+        static_cast<unsigned long long>(phase.gateway.shed_total()),
+        static_cast<unsigned long long>(phase.router.hedges),
+        static_cast<unsigned long long>(phase.router.failovers),
+        static_cast<unsigned long long>(phase.router.replica_trips),
+        percentile(phase.served_total_ms, 0.99));
+  }
+
+  const serve::GatewayStats total = gateway.stats();
+  const serve::ShardRouterStats router_total = router->stats();
+
+  std::printf("\nself-checks:\n");
+  check(tier.n_users() >= 1'000'000 || n_users < 1'000'000,
+        "scale tier synthesized the requested million-user population");
+  check(affinity.region_fraction > 0.3 && affinity.type_fraction > 0.4,
+        "scale-tier traffic keeps the paper's affinity structure");
+
+  // Conservation, end to end.
+  check(total.submitted == total.served + total.served_partial +
+                               total.zero_filled + total.shed_total(),
+        "gateway conservation: submitted == served + partial + zero + "
+        "sheds");
+  std::uint64_t lane_served = 0, lane_partial = 0, lane_zero = 0;
+  for (const auto& lane : total.by_version) {
+    lane_served += lane.served;
+    lane_partial += lane.served_partial;
+    lane_zero += lane.zero_filled;
+  }
+  check(lane_served == total.served && lane_partial == total.served_partial &&
+            lane_zero == total.zero_filled,
+        "per-version lanes sum to the gateway totals");
+  std::uint64_t total_answers = 0;
+  for (const auto& phase : phases) total_answers += phase.client_answers;
+  check(total_answers == total.submitted,
+        "zero dropped requests: every future resolved exactly once");
+  check(router_total.requests ==
+            router_total.served_full + router_total.served_partial +
+                router_total.zero_filled,
+        "router conservation: requests == full + partial + zero");
+  bool per_shard_ok = true;
+  for (const auto& shard : router_total.shards) {
+    per_shard_ok &= (shard.ok + shard.failed == router_total.requests);
+  }
+  check(per_shard_ok, "per-shard conservation: ok + failed == requests");
+  check(total.queue_high_water <= gateway.queue_depth(),
+        "queue never exceeded its bound");
+
+  const auto& baseline = phases[0];
+  const auto& replica_kill = phases[1];
+  const auto& slow = phases[2];
+  const auto& corrupt = phases[3];
+  const auto& recovery = phases[4];
+
+  check(baseline.gateway.served == baseline.gateway.submitted,
+        "baseline: every request served at full coverage");
+  check(replica_kill.gateway.served_partial == 0 &&
+            replica_kill.gateway.zero_filled == 0,
+        "replica_kill: sibling absorbed the slice (no partial answers)");
+  check(replica_kill.router.failovers > 0,
+        "replica_kill: failovers routed around the dead replica");
+  check(slow.gateway.served_partial > 0,
+        "slow_shard: degraded to explicit partial answers");
+  check(slow.router.hedges > 0,
+        "slow_shard: hedged requests fired past the p95 delay");
+  check(slow.partial_coverage.empty() ||
+            min_of(slow.partial_coverage) >= 0.5,
+        "slow_shard: partial answers kept a sane coverage floor");
+  check(corrupt_stayed_down,
+        "corrupt: CRC validation kept corrupted replicas down");
+  check(corrupt.gateway.served_partial > 0,
+        "corrupt: shard outage surfaced as partial coverage, not errors");
+  check(corrupt.partial_coverage.empty() ||
+            min_of(corrupt.partial_coverage) >= coverage_floor - 1e-9,
+        "corrupt: partial coverage never fell below the one-shard floor");
+  check(total.zero_filled == 0,
+        "no request ever resolved with zero coverage (no full outage)");
+
+  bool all_healthy = true;
+  for (std::size_t s = 0; s < router->n_shards(); ++s) {
+    for (std::size_t r = 0; r < router->replicas_per_shard(); ++r) {
+      all_healthy &= router->replica_healthy(s, r);
+    }
+  }
+  check(all_healthy, "recovery: every replica healthy again");
+  check(router_total.replica_recoveries >= 3,
+        "recovery: probes recovered the killed and corrupted replicas");
+  check(recovery.gateway.served == recovery.gateway.submitted,
+        "recovery: full coverage restored for every request");
+
+  const double healthy_p99 =
+      std::max(percentile(baseline.served_total_ms, 0.99),
+               percentile(recovery.served_total_ms, 0.99));
+  check(healthy_p99 <= deadline_ms * 1.05 + 5.0,
+        "healthy phases: p99 admission-to-answer within the deadline");
+
+  obs::RunReport report("ext_shard_soak");
+  report.set_note("users", static_cast<double>(tier.n_users()));
+  report.set_note("items", static_cast<double>(tier.n_items()));
+  report.set_note("shards", static_cast<double>(router->n_shards()));
+  report.set_note("replicas", static_cast<double>(router->replicas_per_shard()));
+  report.set_note("deadline_ms", deadline_ms);
+  report.set_note("coverage_floor", coverage_floor);
+  obs::JsonValue phase_section = obs::JsonValue::object();
+  for (const auto& phase : phases) {
+    phase_section.set(phase.name, phase_to_json(phase));
+  }
+  report.add_section("phases", phase_section);
+  report.capture_metrics();
+  std::printf("\n%s\n", report.to_json_string().c_str());
+
+  gateway.shutdown();
+  router.reset();
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+
+  if (g_check_failures > 0) {
+    std::printf("\n%d self-check(s) FAILED\n", g_check_failures);
+    return 1;
+  }
+  std::printf("\nall self-checks passed\n");
+  return 0;
+}

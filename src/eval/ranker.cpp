@@ -14,28 +14,15 @@
 
 namespace ckat::eval {
 
-namespace {
-
-long env_positive_long(const char* name, long fallback, long lo, long hi) {
-  const char* raw = util::env_raw(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  const long value = std::strtol(raw, &end, 10);
-  if (end == raw || *end != '\0' || value <= 0) return fallback;
-  return std::clamp(value, lo, hi);
-}
-
-}  // namespace
-
 int resolve_eval_threads(int requested) {
   if (requested > 0) return std::min(requested, 64);
-  return static_cast<int>(env_positive_long("CKAT_EVAL_THREADS", 1, 1, 64));
+  return static_cast<int>(util::env_int("CKAT_EVAL_THREADS", 1, 1, 64));
 }
 
 std::size_t resolve_eval_block(std::size_t requested) {
   if (requested > 0) return std::min<std::size_t>(requested, 4096);
   return static_cast<std::size_t>(
-      env_positive_long("CKAT_EVAL_BLOCK", 64, 1, 4096));
+      util::env_int("CKAT_EVAL_BLOCK", 64, 1, 4096));
 }
 
 BatchRanker::BatchRanker(const Recommender& model, RankerConfig config)

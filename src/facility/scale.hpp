@@ -1,0 +1,137 @@
+// Million-user scale tier (the sharded-serving forcing function).
+//
+// The paper's production traces (138M OOI / 77M GAGE records) imply a
+// user population orders of magnitude beyond the Table-I-scale generator
+// (users.hpp / trace.hpp), which materializes every UserProfile. This
+// tier keeps the *measured affinity structure* of that generator — the
+// region/type affinity mixture of trace.hpp (paper: 43.1%/36.3% of
+// queries hit one region, 51.6%/68.8% one data type) and the Zipf user
+// activity / object popularity tails of Fig. 3 — but synthesizes user
+// profiles on demand from a hash of the user id, so a million users cost
+// O(1) memory and any user's profile, query distribution and embedding
+// are reproducible from (seed, user id) alone.
+//
+// Items (instrument data streams, 10k+ of them) are materialized: the
+// item catalog is small, and the sharded serving layer (serve/shard.hpp)
+// slices exactly this catalog into shard files. Embeddings are
+// deterministic region/type signature vectors: a user's vector and an
+// item's vector share a high dot product exactly when region or type
+// match, so a recommender scoring these embeddings reproduces the
+// affinity structure the trace is drawn from — which is what the chaos
+// soak (bench/ext_shard_soak) serves at scale.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ckat::facility {
+
+struct ScaleTierParams {
+  /// Synthesized user population (>= 1M for the scale tier proper; tests
+  /// shrink it).
+  std::size_t n_users = 1'000'000;
+  /// Materialized item catalog (instrument data streams).
+  std::size_t n_items = 10'240;
+  std::size_t n_regions = 16;
+  std::size_t n_types = 32;
+  /// Embedding width of user/item vectors (region and type signatures
+  /// each take half).
+  std::size_t dim = 16;
+  /// Affinity mixture, matching TraceParams (trace.hpp).
+  double region_affinity = 0.40;
+  double type_affinity = 0.50;
+  double user_activity_zipf = 0.85;
+  double object_popularity_zipf = 0.8;
+  std::uint64_t seed = 0x5CA1AB1EULL;
+};
+
+/// Parameterized scale tier: O(1)-per-user synthesis of a facility
+/// population with the Table-I generator's affinity structure.
+class ScaleTier {
+ public:
+  explicit ScaleTier(ScaleTierParams params = {});
+
+  [[nodiscard]] std::size_t n_users() const noexcept { return params_.n_users; }
+  [[nodiscard]] std::size_t n_items() const noexcept { return params_.n_items; }
+  [[nodiscard]] std::size_t dim() const noexcept { return params_.dim; }
+  [[nodiscard]] const ScaleTierParams& params() const noexcept {
+    return params_;
+  }
+
+  /// The latent research profile of a user, derived (not stored) from
+  /// the user id: same id, same profile, forever.
+  struct Profile {
+    std::uint32_t preferred_region = 0;
+    std::uint32_t preferred_type = 0;
+  };
+  [[nodiscard]] Profile user_profile(std::uint32_t user) const noexcept;
+
+  /// Item attributes (materialized at construction).
+  [[nodiscard]] std::uint32_t item_region(std::uint32_t item) const {
+    return item_regions_[item];
+  }
+  [[nodiscard]] std::uint32_t item_type(std::uint32_t item) const {
+    return item_types_[item];
+  }
+
+  /// Deterministic embeddings: out.size() must equal dim(). A user and
+  /// an item vector dot high exactly when their region (first half of
+  /// the dims) or type (second half) signatures agree.
+  void user_vector(std::uint32_t user, std::span<float> out) const;
+  void item_vector(std::uint32_t item, std::span<float> out) const;
+
+  /// Zipf-activity user draw (heavy-tailed per-user query volume).
+  [[nodiscard]] std::uint32_t sample_user(util::Rng& rng) const;
+
+  /// One query from `user`'s affinity mixture: with P(region_affinity)
+  /// constrained to the preferred region, independently with
+  /// P(type_affinity) to the preferred type, residual mass popularity-
+  /// weighted over the whole catalog — the trace.hpp model, bucketed
+  /// over the scale catalog. Falls back (region,type) -> (type) ->
+  /// (region) -> global when a constrained bucket is empty.
+  [[nodiscard]] std::uint32_t sample_object(std::uint32_t user,
+                                            util::Rng& rng) const;
+
+  /// Measured affinity structure over `n_queries` draws: the fraction of
+  /// queries that landed in the querying user's preferred region /
+  /// preferred type. The scale test asserts these track the configured
+  /// mixture the way the Table-I generator's trace does.
+  struct Affinity {
+    double region_fraction = 0.0;
+    double type_fraction = 0.0;
+  };
+  [[nodiscard]] Affinity measure(std::size_t n_queries, util::Rng& rng) const;
+
+ private:
+  struct Bucket {
+    std::vector<std::uint32_t> objects;
+    util::AliasSampler sampler;
+  };
+
+  [[nodiscard]] const Bucket* bucket_for(std::uint32_t region,
+                                         std::uint32_t type,
+                                         bool want_region,
+                                         bool want_type) const;
+
+  ScaleTierParams params_;
+  std::vector<std::uint32_t> item_regions_;
+  std::vector<std::uint32_t> item_types_;
+  std::vector<double> item_popularity_;
+
+  Bucket global_;
+  std::vector<Bucket> by_region_;
+  std::vector<Bucket> by_type_;
+  std::vector<Bucket> by_region_type_;  // region * n_types + type
+
+  util::ZipfSampler user_activity_;
+  /// Activity-rank -> user-id bijection (rank * mult + add mod n_users,
+  /// gcd(mult, n_users) == 1), so the most active users are scattered
+  /// across the id space instead of clustering at id 0.
+  std::uint64_t rank_mult_ = 1;
+  std::uint64_t rank_add_ = 0;
+};
+
+}  // namespace ckat::facility

@@ -3,7 +3,9 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <mutex>
+#include <system_error>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -17,13 +19,21 @@ namespace ckat::obs {
 
 namespace {
 
-double env_double(const char* name, double fallback) {
-  const char* raw = util::env_raw(name);
-  if (raw == nullptr || raw[0] == '\0') return fallback;
-  char* end = nullptr;
-  const double v = std::strtod(raw, &end);
-  if (end == raw) return fallback;
-  return v;
+/// Arming a dump directory that does not exist yet must not silently
+/// lose the first anomaly: create it (parents included) up front, and
+/// again right before each dump in case it was removed underneath us.
+/// Returns false (with a stderr warning) when creation fails — the
+/// caller then behaves as before, logging the unwritable path.
+bool ensure_dump_dir(const std::string& dir) {
+  if (dir.empty()) return false;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "[obs] cannot create flight dir '%s': %s\n",
+                 dir.c_str(), ec.message().c_str());
+    return false;
+  }
+  return true;
 }
 
 class FlightRecorder {
@@ -38,6 +48,7 @@ class FlightRecorder {
   }
 
   void set_dir(const std::string& dir) {
+    ensure_dump_dir(dir);
     std::lock_guard<std::mutex> lock(mutex_);
     dir_ = dir;
     armed_.store(!dir.empty(), std::memory_order_relaxed);
@@ -113,6 +124,7 @@ class FlightRecorder {
 
     const std::string path = dir + "/flight_" + std::to_string(seq) + "_" +
                              std::string(kind) + ".jsonl";
+    ensure_dump_dir(dir);
     FILE* file = std::fopen(path.c_str(), "w");
     if (file == nullptr) {
       std::fprintf(stderr, "[obs] cannot open flight dump '%s'\n",
@@ -166,11 +178,14 @@ class FlightRecorder {
     if (const char* env = util::env_raw("CKAT_FLIGHT_DIR");
         env != nullptr && env[0] != '\0') {
       dir_ = env;
+      ensure_dump_dir(dir_);
       armed_.store(true, std::memory_order_relaxed);
     }
-    const double events = env_double("CKAT_FLIGHT_EVENTS", 4096.0);
+    const double events =
+        util::env_double("CKAT_FLIGHT_EVENTS", 4096.0, 0.0, 1e9);
     capacity_ = events < 16.0 ? 16 : static_cast<std::size_t>(events);
-    const double window_s = env_double("CKAT_FLIGHT_SECONDS", 30.0);
+    const double window_s =
+        util::env_double("CKAT_FLIGHT_SECONDS", 30.0, 0.0, 1e9);
     window_us_ =
         window_s <= 0.0 ? 0 : static_cast<std::uint64_t>(window_s * 1e6);
   }

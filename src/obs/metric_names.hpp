@@ -96,6 +96,27 @@ inline constexpr const char* kFlightDumpsTotal = "ckat_flight_dumps_total";
 inline constexpr const char* kFlightSuppressedTotal =
     "ckat_flight_suppressed_total";
 
+// Sharded serving (src/serve/shard.cpp). Shard-level outcomes labeled
+// {shard, outcome=ok|failed}; replica events labeled {shard, replica}.
+inline constexpr const char* kShardRequestsTotal = "ckat_shard_requests_total";
+inline constexpr const char* kShardHedgesTotal = "ckat_shard_hedges_total";
+inline constexpr const char* kShardFailoversTotal =
+    "ckat_shard_failovers_total";
+inline constexpr const char* kShardReplicaFailuresTotal =
+    "ckat_shard_replica_failures_total";
+inline constexpr const char* kShardReplicaTripsTotal =
+    "ckat_shard_replica_trips_total";
+inline constexpr const char* kShardReplicaRecoveriesTotal =
+    "ckat_shard_replica_recoveries_total";
+inline constexpr const char* kShardReplicasHealthy =
+    "ckat_shard_replicas_healthy";
+inline constexpr const char* kShardReplicaLatencySeconds =
+    "ckat_shard_replica_latency_seconds";
+// Router-level coverage fraction of each answered request (1.0 = every
+// shard contributed its slice); the gateway also counts partial answers
+// under ckat_gateway_requests_total{outcome="served_partial"}.
+inline constexpr const char* kShardCoverage = "ckat_shard_coverage";
+
 // SLO burn-rate engine (src/obs/slo.cpp). Burn rates labeled
 // {slo, window=fast|slow}; alert state/edges labeled {slo}.
 inline constexpr const char* kSloBurnRate = "ckat_slo_burn_rate";

@@ -13,12 +13,7 @@ namespace ckat::obs {
 namespace {
 
 double env_double(const char* name, double fallback) {
-  const char* raw = util::env_raw(name);
-  if (raw == nullptr || raw[0] == '\0') return fallback;
-  char* end = nullptr;
-  const double v = std::strtod(raw, &end);
-  if (end == raw) return fallback;
-  return v;
+  return util::env_double(name, fallback, 0.0, 1e9);
 }
 
 /// Error budget: the tolerated bad fraction. Availability target 0.99

@@ -34,12 +34,8 @@ std::uint64_t now_us() {
 }
 
 std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
-  const char* raw = util::env_raw(name);
-  if (raw == nullptr || raw[0] == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(raw, &end, 10);
-  if (end == raw) return fallback;
-  return static_cast<std::uint64_t>(v);
+  return static_cast<std::uint64_t>(util::env_int(
+      name, static_cast<long long>(fallback), 0, 1LL << 40));
 }
 
 /// The shared sink. Owns the FILE*; all writes happen under the mutex.

@@ -8,6 +8,7 @@
 #include "obs/flight.hpp"
 #include "obs/metric_names.hpp"
 #include "obs/trace.hpp"
+#include "serve/shard.hpp"
 #include "util/contract.hpp"
 #include "util/env.hpp"
 #include "util/logging.hpp"
@@ -16,21 +17,6 @@
 namespace ckat::serve {
 
 namespace {
-
-/// Parses a positive integer from an environment variable; 0 when the
-/// variable is unset or unusable (caller falls back to its default).
-long env_positive_long(const char* name) {
-  const char* raw = util::env_raw(name);
-  if (raw == nullptr || *raw == '\0') return 0;
-  char* end = nullptr;
-  const long value = std::strtol(raw, &end, 10);
-  if (end == raw || *end != '\0' || value <= 0) {
-    CKAT_LOG_WARN("[gateway] ignoring %s='%s' (want a positive integer)",
-                  name, raw);
-    return 0;
-  }
-  return value;
-}
 
 double ms_between(std::chrono::steady_clock::time_point from,
                   std::chrono::steady_clock::time_point to) {
@@ -47,6 +33,7 @@ constexpr const char* kSloLatency = "latency_p99";
 const char* to_string(RequestStatus status) noexcept {
   switch (status) {
     case RequestStatus::kServed: return "served";
+    case RequestStatus::kServedPartial: return "served_partial";
     case RequestStatus::kZeroFilled: return "zero_filled";
     case RequestStatus::kShedQueueFull: return "shed_queue_full";
     case RequestStatus::kShedExpired: return "shed_expired";
@@ -76,9 +63,12 @@ double retry_backoff_ms(int attempt, std::uint64_t client_hash,
 
 GatewayConfig GatewayConfig::from_env() {
   GatewayConfig config;
-  config.threads = static_cast<int>(env_positive_long("CKAT_SERVE_THREADS"));
-  config.queue_depth =
-      static_cast<std::size_t>(env_positive_long("CKAT_SERVE_QUEUE_DEPTH"));
+  // Fallback 0 = "not configured": the constructor substitutes its
+  // hardware-derived defaults.
+  config.threads =
+      static_cast<int>(util::env_int("CKAT_SERVE_THREADS", 0, 1, 256));
+  config.queue_depth = static_cast<std::size_t>(
+      util::env_int("CKAT_SERVE_QUEUE_DEPTH", 0, 1, 1 << 20));
   return config;
 }
 
@@ -109,10 +99,21 @@ ServeGateway::ServeGateway(std::vector<const eval::Recommender*> tiers,
 
 ServeGateway::ServeGateway(std::shared_ptr<ModelHandle> handle,
                            GatewayConfig config)
+    : ServeGateway(std::move(handle), nullptr, config) {}
+
+ServeGateway::ServeGateway(std::shared_ptr<ShardRouter> router,
+                           GatewayConfig config)
+    : ServeGateway(nullptr, std::move(router), config) {}
+
+ServeGateway::ServeGateway(std::shared_ptr<ModelHandle> handle,
+                           std::shared_ptr<ShardRouter> router,
+                           GatewayConfig config)
     : config_(config),
       handle_(std::move(handle)),
+      router_(std::move(router)),
       queue_(config.queue_depth > 0 ? config.queue_depth : 256) {
-  if (handle_ == nullptr || !handle_->has_version()) {
+  if (router_ == nullptr &&
+      (handle_ == nullptr || !handle_->has_version())) {
     throw std::invalid_argument(
         "ServeGateway: handle must have a published model version");
   }
@@ -125,8 +126,8 @@ ServeGateway::ServeGateway(std::shared_ptr<ModelHandle> handle,
   config_.threads = threads;
   config_.queue_depth = queue_.capacity();
   if (config_.keep_versions == 0) {
-    const long keep = env_positive_long("CKAT_SWAP_KEEP_VERSIONS");
-    config_.keep_versions = keep > 0 ? static_cast<std::size_t>(keep) : 2;
+    config_.keep_versions = static_cast<std::size_t>(
+        util::env_int("CKAT_SWAP_KEEP_VERSIONS", 2, 1, 64));
   }
 
   // The chain walk gets its budget per request from the gateway; a
@@ -137,12 +138,19 @@ ServeGateway::ServeGateway(std::shared_ptr<ModelHandle> handle,
   // Build each worker's chain for the current version eagerly: the
   // ResilientRecommender constructor validates tier agreement, so a
   // malformed initial version fails here instead of inside a worker.
-  const auto snapshot = handle_->acquire();
+  // Sharded mode has no per-worker chains — replicas own theirs.
   workers_.reserve(static_cast<std::size_t>(threads));
-  for (int i = 0; i < threads; ++i) {
-    auto worker = std::make_unique<Worker>();
-    chain_for(*worker, snapshot);
-    workers_.push_back(std::move(worker));
+  if (router_ == nullptr) {
+    const auto snapshot = handle_->acquire();
+    for (int i = 0; i < threads; ++i) {
+      auto worker = std::make_unique<Worker>();
+      chain_for(*worker, snapshot);
+      workers_.push_back(std::move(worker));
+    }
+  } else {
+    for (int i = 0; i < threads; ++i) {
+      workers_.push_back(std::make_unique<Worker>());
+    }
   }
 
   auto& registry = obs::MetricsRegistry::global();
@@ -151,6 +159,7 @@ ServeGateway::ServeGateway(std::shared_ptr<ModelHandle> handle,
                              {{"outcome", outcome}});
   };
   requests_served_ = outcome_counter("served");
+  requests_served_partial_ = outcome_counter("served_partial");
   requests_zero_filled_ = outcome_counter("zero_filled");
   requests_shed_queue_full_ = outcome_counter("shed_queue_full");
   requests_shed_expired_ = outcome_counter("shed_expired");
@@ -215,6 +224,7 @@ void ServeGateway::resolve_shed(Job&& job, RequestStatus status) {
       requests_shed_shutdown_->inc();
       break;
     case RequestStatus::kServed:
+    case RequestStatus::kServedPartial:
     case RequestStatus::kZeroFilled:
       break;  // not sheds; handled by the worker loop
   }
@@ -345,13 +355,13 @@ ResilientRecommender& ServeGateway::chain_for(
 }
 
 void ServeGateway::count_version_resolution(std::uint64_t version,
-                                            bool served) {
+                                            RequestStatus status) {
   std::lock_guard<std::mutex> lock(version_counts_mutex_);
-  auto& counts = version_counts_[version];
-  if (served) {
-    ++counts.first;
-  } else {
-    ++counts.second;
+  auto& lanes = version_counts_[version];
+  switch (status) {
+    case RequestStatus::kServed: ++lanes.served; break;
+    case RequestStatus::kServedPartial: ++lanes.served_partial; break;
+    default: ++lanes.zero_filled; break;
   }
 }
 
@@ -373,6 +383,11 @@ void ServeGateway::worker_loop(Worker& worker) {
     const double remaining_ms =
         job->deadline_ms > 0.0 ? ms_between(dequeued_at, job->deadline_at)
                                : 0.0;
+
+    if (router_ != nullptr) {
+      serve_sharded(std::move(*job), remaining_ms);
+      continue;
+    }
 
     const bool is_batch = !job->request.users.empty();
     const std::size_t rows = is_batch ? job->request.users.size() : 1;
@@ -399,7 +414,7 @@ void ServeGateway::worker_loop(Worker& worker) {
       result.total_ms = ms_between(job->admitted_at, Clock::now());
       zero_filled_.fetch_add(1, std::memory_order_relaxed);
       requests_zero_filled_->inc();
-      count_version_resolution(0, false);
+      count_version_resolution(0, RequestStatus::kZeroFilled);
       if (obs::telemetry_enabled()) slo_->record(kSloAvailability, false);
       work_span.add_attr("model_version", "0");
       obs::finish_trace(job->request.trace, obs::TraceVerdict::kKeep);
@@ -448,11 +463,12 @@ void ServeGateway::worker_loop(Worker& worker) {
       case Kind::kServed:
         result.status = RequestStatus::kServed;
         result.tier = outcome.tier;
+        result.coverage = 1.0;
         served_.fetch_add(1, std::memory_order_relaxed);
         requests_served_->inc();
         request_seconds_->observe_with_exemplar(
             result.total_ms * 1e-3, job->request.trace.trace_id);
-        count_version_resolution(snapshot->version, true);
+        count_version_resolution(snapshot->version, RequestStatus::kServed);
         if (obs::telemetry_enabled()) {
           slo_->record(kSloAvailability, true);
           slo_->record_latency(kSloLatency, result.total_ms);
@@ -462,7 +478,8 @@ void ServeGateway::worker_loop(Worker& worker) {
         result.status = RequestStatus::kZeroFilled;
         zero_filled_.fetch_add(1, std::memory_order_relaxed);
         requests_zero_filled_->inc();
-        count_version_resolution(snapshot->version, false);
+        count_version_resolution(snapshot->version,
+                                 RequestStatus::kZeroFilled);
         if (obs::telemetry_enabled()) slo_->record(kSloAvailability, false);
         break;
       case Kind::kBudgetExhausted:
@@ -481,6 +498,118 @@ void ServeGateway::worker_loop(Worker& worker) {
                           : obs::TraceVerdict::kKeep);
     job->promise.set_value(std::move(result));
   }
+}
+
+void ServeGateway::serve_sharded(Job&& job, double remaining_ms) {
+  const auto started = Clock::now();
+  const bool is_batch = !job.request.users.empty();
+  const std::size_t rows = is_batch ? job.request.users.size() : 1;
+  const std::size_t width = router_->n_items();
+
+  obs::TraceSpan work_span("gateway.worker", job.request.trace);
+  ScoreResult result;
+  result.queue_ms = ms_between(job.admitted_at, started);
+  result.model_version = router_->model_version();
+  work_span.add_attr("model_version",
+                     std::to_string(result.model_version));
+  result.scores.resize(rows * width);
+
+  bool users_in_range = true;
+  if (is_batch) {
+    for (const std::uint32_t user : job.request.users) {
+      if (user >= router_->n_users()) {
+        users_in_range = false;
+        break;
+      }
+    }
+  } else {
+    users_in_range = job.request.user < router_->n_users();
+  }
+
+  // Fan each row across the shards. Rows share the request deadline:
+  // the budget is recomputed per row, and rows the budget never reaches
+  // stay zero-filled with zero coverage — degraded, never dropped.
+  std::size_t full_rows = 0;
+  std::size_t zero_rows = 0;
+  double coverage_sum = 0.0;
+  std::uint32_t shards_failed = 0;
+  if (users_in_range) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      const std::uint32_t user =
+          is_batch ? job.request.users[i] : job.request.user;
+      double row_budget = 0.0;
+      if (job.deadline_ms > 0.0) {
+        row_budget = ms_between(Clock::now(), job.deadline_at);
+        if (row_budget <= 0.0) {
+          zero_rows += rows - i;  // out of budget: rest stays zero
+          break;
+        }
+      } else {
+        row_budget = remaining_ms;
+      }
+      const ShardOutcome outcome = router_->score(
+          user, std::span<float>(result.scores.data() + i * width, width),
+          row_budget, job.request.trace);
+      coverage_sum += outcome.coverage;
+      shards_failed += outcome.shards_failed;
+      if (outcome.kind == ShardOutcome::Kind::kFull) {
+        ++full_rows;
+      } else if (outcome.kind == ShardOutcome::Kind::kZeroFilled) {
+        ++zero_rows;
+      }
+    }
+  } else {
+    zero_rows = rows;
+  }
+
+  queue_wait_seconds_->observe_with_exemplar(result.queue_ms * 1e-3,
+                                             job.request.trace.trace_id);
+  result.coverage = coverage_sum / static_cast<double>(rows);
+  result.total_ms = ms_between(job.admitted_at, Clock::now());
+  work_span.add_attr("coverage", std::to_string(result.coverage));
+
+  if (full_rows == rows) {
+    result.status = RequestStatus::kServed;
+    result.tier = 0;
+    result.coverage = 1.0;
+    served_.fetch_add(1, std::memory_order_relaxed);
+    requests_served_->inc();
+  } else if (zero_rows == rows) {
+    result.status = RequestStatus::kZeroFilled;
+    result.coverage = 0.0;
+    zero_filled_.fetch_add(1, std::memory_order_relaxed);
+    requests_zero_filled_->inc();
+  } else {
+    result.status = RequestStatus::kServedPartial;
+    result.tier = 0;
+    served_partial_.fetch_add(1, std::memory_order_relaxed);
+    requests_served_partial_->inc();
+  }
+  count_version_resolution(result.model_version, result.status);
+  if (result.status != RequestStatus::kZeroFilled) {
+    // Partial answers are *available* (the client got scored slices and
+    // an honest coverage figure); capacity loss shows up in coverage
+    // metrics, latency still feeds the latency SLO.
+    request_seconds_->observe_with_exemplar(result.total_ms * 1e-3,
+                                            job.request.trace.trace_id);
+    if (obs::telemetry_enabled()) {
+      slo_->record(kSloAvailability, true);
+      slo_->record_latency(kSloLatency, result.total_ms);
+    }
+  } else if (obs::telemetry_enabled()) {
+    slo_->record(kSloAvailability, false);
+  }
+  if (shards_failed > 0) {
+    work_span.add_attr("shards_failed", std::to_string(shards_failed));
+  }
+
+  const bool slow = job.deadline_ms > 0.0 &&
+                    result.total_ms > 0.75 * job.deadline_ms;
+  obs::finish_trace(job.request.trace,
+                    result.status == RequestStatus::kServed && !slow
+                        ? obs::TraceVerdict::kNormal
+                        : obs::TraceVerdict::kKeep);
+  job.promise.set_value(std::move(result));
 }
 
 void ServeGateway::shutdown() {
@@ -513,25 +642,32 @@ void ServeGateway::shutdown() {
   {
     const GatewayStats s = stats();
     CKAT_CHECK_INVARIANT(
-        s.submitted == s.served + s.zero_filled + s.shed_total(),
+        s.submitted ==
+            s.served + s.served_partial + s.zero_filled + s.shed_total(),
         "gateway conservation: submitted=" + std::to_string(s.submitted) +
             " served=" + std::to_string(s.served) +
+            " served_partial=" + std::to_string(s.served_partial) +
             " zero_filled=" + std::to_string(s.zero_filled) +
             " shed_total=" + std::to_string(s.shed_total()));
-    // Per-version extension: every served/zero-filled resolution was
-    // attributed to exactly one model generation.
+    // Per-version extension: every served/partial/zero-filled
+    // resolution was attributed to exactly one model generation.
     std::uint64_t versioned_served = 0;
+    std::uint64_t versioned_partial = 0;
     std::uint64_t versioned_zero_filled = 0;
     for (const auto& v : s.by_version) {
       versioned_served += v.served;
+      versioned_partial += v.served_partial;
       versioned_zero_filled += v.zero_filled;
     }
     CKAT_CHECK_INVARIANT(
         versioned_served == s.served &&
+            versioned_partial == s.served_partial &&
             versioned_zero_filled == s.zero_filled,
         "gateway per-version conservation: versioned_served=" +
             std::to_string(versioned_served) + " served=" +
-            std::to_string(s.served) + " versioned_zero_filled=" +
+            std::to_string(s.served) + " versioned_partial=" +
+            std::to_string(versioned_partial) + " served_partial=" +
+            std::to_string(s.served_partial) + " versioned_zero_filled=" +
             std::to_string(versioned_zero_filled) + " zero_filled=" +
             std::to_string(s.zero_filled));
   }
@@ -544,6 +680,7 @@ GatewayStats ServeGateway::stats() const {
   stats.submitted = submitted_.load(std::memory_order_relaxed);
   stats.accepted = accepted_.load(std::memory_order_relaxed);
   stats.served = served_.load(std::memory_order_relaxed);
+  stats.served_partial = served_partial_.load(std::memory_order_relaxed);
   stats.zero_filled = zero_filled_.load(std::memory_order_relaxed);
   stats.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
   stats.shed_expired = shed_expired_.load(std::memory_order_relaxed);
@@ -555,11 +692,17 @@ GatewayStats ServeGateway::stats() const {
   {
     std::lock_guard<std::mutex> lock(version_counts_mutex_);
     stats.by_version.reserve(version_counts_.size());
-    for (const auto& [version, counts] : version_counts_) {
-      stats.by_version.push_back({version, counts.first, counts.second});
+    for (const auto& [version, lanes] : version_counts_) {
+      stats.by_version.push_back(
+          {version, lanes.served, lanes.served_partial, lanes.zero_filled});
     }
   }
   return stats;
+}
+
+std::size_t ServeGateway::n_items() const {
+  return router_ != nullptr ? router_->n_items()
+                            : handle_->acquire()->n_items;
 }
 
 ResilientRecommender::HealthSnapshot ServeGateway::aggregated_health() const {

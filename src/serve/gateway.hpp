@@ -27,10 +27,13 @@
 //
 // Every submitted request resolves its future with exactly one status,
 // so accounting is conservative by construction:
-//   submitted == served + zero_filled + shed_queue_full + shed_expired
-//                + shed_retry_budget + shed_shutdown
-// The chaos soak bench (bench/ext_overload_soak) asserts this under
-// concurrent clients, injected faults and real latency.
+//   submitted == served + served_partial + zero_filled + shed_queue_full
+//                + shed_expired + shed_retry_budget + shed_shutdown
+// (served_partial only occurs in sharded mode, below; unsharded
+// gateways never produce it, so their identity reads as before.) The
+// chaos soak benches (bench/ext_overload_soak, bench/ext_shard_soak)
+// assert this under concurrent clients, injected faults and real
+// latency.
 //
 // Hot swap (swap.hpp): workers resolve the serving model per request
 // through a shared ModelHandle, so a refresher can publish a new
@@ -39,6 +42,14 @@
 // on the version it acquired; per-version served/zero_filled counts
 // extend the identity above (sum over versions == totals), which the
 // refresh soak (bench/ext_refresh_soak) asserts across live swaps.
+//
+// Sharded mode (shard.hpp): constructed over a ShardRouter instead of a
+// model handle, workers fan each request across the router's shard
+// replicas. A request some shard slices could not serve resolves as
+// kServedPartial with an explicit coverage fraction (never an error):
+// degraded capacity surfaces as reduced coverage, not reduced
+// availability. The chaos soak (bench/ext_shard_soak) gates on the
+// extended identity while replicas are killed and recovered mid-load.
 #pragma once
 
 #include <atomic>
@@ -61,10 +72,15 @@
 
 namespace ckat::serve {
 
+class ShardRouter;
+struct ShardOutcome;
+
 enum class Priority : std::uint8_t { kNormal = 0, kHigh = 1 };
 
 enum class RequestStatus : std::uint8_t {
   kServed,           // a tier answered within the deadline
+  kServedPartial,    // sharded mode: answered, but some shard slices
+                     // are zero-filled (see ScoreResult::coverage)
   kZeroFilled,       // every tier failed; indifferent scores returned
   kShedQueueFull,    // rejected at admission: queue at capacity
   kShedExpired,      // deadline passed in the queue or mid-walk
@@ -116,6 +132,12 @@ struct ScoreResult {
   double queue_ms = 0.0;
   /// Admission to answer (0 for admission-time sheds).
   double total_ms = 0.0;
+  /// Fraction of the catalog scored by a live replica (sharded mode):
+  /// 1.0 for kServed, in (0, 1) for kServedPartial — the zero-filled
+  /// remainder of each row is explicit, degraded capacity is visible to
+  /// the client. 0.0 for kZeroFilled and sheds; unsharded gateways
+  /// always answer 1.0 or 0.0.
+  double coverage = 0.0;
 };
 
 struct GatewayConfig {
@@ -162,6 +184,8 @@ struct GatewayStats {
   std::uint64_t submitted = 0;
   std::uint64_t accepted = 0;  // admitted into the queue
   std::uint64_t served = 0;
+  /// Sharded mode: answered with 0 < coverage < 1 (always 0 unsharded).
+  std::uint64_t served_partial = 0;
   std::uint64_t zero_filled = 0;
   std::uint64_t shed_queue_full = 0;
   std::uint64_t shed_expired = 0;
@@ -170,13 +194,15 @@ struct GatewayStats {
   std::size_t queue_high_water = 0;
   /// Per-model-version resolution counts, ascending by version. Extends
   /// the conservation identity across hot swaps:
-  ///   sum(by_version.served) == served  and
+  ///   sum(by_version.served) == served,
+  ///   sum(by_version.served_partial) == served_partial  and
   ///   sum(by_version.zero_filled) == zero_filled
   /// (version 0 collects requests resolved when no snapshot could be
   /// acquired, e.g. torn reads past the retry bound).
   struct VersionCounts {
     std::uint64_t version = 0;
     std::uint64_t served = 0;
+    std::uint64_t served_partial = 0;
     std::uint64_t zero_filled = 0;
   };
   std::vector<VersionCounts> by_version;
@@ -212,6 +238,14 @@ class ServeGateway {
   /// them in its own ResilientRecommender so circuit state needs no
   /// cross-thread locks.
   explicit ServeGateway(std::vector<const eval::Recommender*> tiers,
+                        GatewayConfig config = GatewayConfig::from_env());
+
+  /// Sharded gateway: workers fan each request across `router`'s shard
+  /// replicas instead of a per-worker chain. Requests may resolve as
+  /// kServedPartial with an explicit coverage fraction when shard
+  /// slices are down; config_.resilient is unused (each replica carries
+  /// its own chain config inside the router).
+  explicit ServeGateway(std::shared_ptr<ShardRouter> router,
                         GatewayConfig config = GatewayConfig::from_env());
   ~ServeGateway();
 
@@ -259,10 +293,15 @@ class ServeGateway {
   }
   /// Item-vocabulary width of the *current* version (grows across hot
   /// swaps; a ScoreResult's row width is result-side, from the version
-  /// that served it).
-  [[nodiscard]] std::size_t n_items() const { return handle_->acquire()->n_items; }
+  /// that served it). Sharded mode: the router's catalog width.
+  [[nodiscard]] std::size_t n_items() const;
+  /// Null in sharded mode.
   [[nodiscard]] const std::shared_ptr<ModelHandle>& handle() const noexcept {
     return handle_;
+  }
+  /// Null in unsharded mode.
+  [[nodiscard]] const std::shared_ptr<ShardRouter>& router() const noexcept {
+    return router_;
   }
 
  private:
@@ -308,13 +347,22 @@ class ServeGateway {
   /// worker.mutex.
   ResilientRecommender& chain_for(
       Worker& worker, const std::shared_ptr<const ModelVersion>& snapshot);
-  void count_version_resolution(std::uint64_t version, bool served);
+  void count_version_resolution(std::uint64_t version, RequestStatus status);
+  /// Router-mode request body: fans `job`'s rows across the shard
+  /// router and resolves with full/partial/zero status and coverage.
+  void serve_sharded(Job&& job, double remaining_ms);
   void resolve_shed(Job&& job, RequestStatus status);
   bool spend_retry_token(const std::string& client_id);
   void credit_retry_token(const std::string& client_id);
 
+  /// Shared constructor body behind the three public forms: exactly one
+  /// of handle/router is non-null.
+  ServeGateway(std::shared_ptr<ModelHandle> handle,
+               std::shared_ptr<ShardRouter> router, GatewayConfig config);
+
   GatewayConfig config_;
-  std::shared_ptr<ModelHandle> handle_;
+  std::shared_ptr<ModelHandle> handle_;   // null in sharded mode
+  std::shared_ptr<ShardRouter> router_;   // null in unsharded mode
   ResilientConfig chain_config_;  // per-worker chain template
   BoundedPriorityQueue<Job> queue_;
   std::vector<std::unique_ptr<Worker>> workers_;
@@ -332,8 +380,13 @@ class ServeGateway {
   std::uint64_t shed_window_count_ = 0;     // guarded by shed_spike_mutex_
 
   mutable std::mutex version_counts_mutex_;
-  /// version -> (served, zero_filled); extends conservation per version.
-  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>
+  /// Per-version resolution lanes; extends conservation per version.
+  struct VersionLanes {
+    std::uint64_t served = 0;
+    std::uint64_t served_partial = 0;
+    std::uint64_t zero_filled = 0;
+  };
+  std::map<std::uint64_t, VersionLanes>
       version_counts_;  // guarded by version_counts_mutex_
 
   // Conservation counters (relaxed atomics: summed, never compared
@@ -341,6 +394,7 @@ class ServeGateway {
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> served_partial_{0};
   std::atomic<std::uint64_t> zero_filled_{0};
   std::atomic<std::uint64_t> shed_queue_full_{0};
   std::atomic<std::uint64_t> shed_expired_{0};
@@ -350,6 +404,7 @@ class ServeGateway {
   // Metric handles resolved once in the constructor (registry lookups
   // lock; increments are relaxed atomics).
   obs::Counter* requests_served_ = nullptr;
+  obs::Counter* requests_served_partial_ = nullptr;
   obs::Counter* requests_zero_filled_ = nullptr;
   obs::Counter* requests_shed_queue_full_ = nullptr;
   obs::Counter* requests_shed_expired_ = nullptr;

@@ -6,8 +6,11 @@
 // whose deadlines will have long expired by the time a worker picks
 // them up. Two priority bands cover the portal reality that an
 // interactive "scientist is waiting" request must overtake a batch
-// prefetch sweep: pop() always drains the high band first, FIFO within
-// each band.
+// prefetch sweep: pop() drains the high band first, FIFO within each
+// band — but with a *starvation bound*: after `high_burst_limit`
+// consecutive high-band pops while normal work waits, one normal item
+// is popped, so sustained high-priority load delays the normal band by
+// at most a bounded factor instead of forever.
 //
 // Concurrency model: one mutex + one condition variable. Producers
 // never block (try_push returns kFull/kClosed immediately); consumers
@@ -34,7 +37,12 @@ class BoundedPriorityQueue {
  public:
   enum class PushResult { kOk, kFull, kClosed };
 
-  explicit BoundedPriorityQueue(std::size_t capacity) : capacity_(capacity) {}
+  /// `high_burst_limit` bounds starvation of the normal band: at most
+  /// that many high-band items pop in a row while a normal item waits
+  /// (0 = strict priority, normal work can starve indefinitely).
+  explicit BoundedPriorityQueue(std::size_t capacity,
+                                std::size_t high_burst_limit = 8)
+      : capacity_(capacity), high_burst_limit_(high_burst_limit) {}
 
   BoundedPriorityQueue(const BoundedPriorityQueue&) = delete;
   BoundedPriorityQueue& operator=(const BoundedPriorityQueue&) = delete;
@@ -59,16 +67,28 @@ class BoundedPriorityQueue {
     return PushResult::kOk;
   }
 
-  /// Blocks until an item is available (high band first) or the queue
-  /// is closed and empty, which returns nullopt — the consumer's signal
-  /// to exit its loop.
+  /// Blocks until an item is available (high band first, subject to the
+  /// starvation bound) or the queue is closed and empty, which returns
+  /// nullopt — the consumer's signal to exit its loop.
   std::optional<T> pop() {
     std::unique_lock<std::mutex> lock(mutex_);
     not_empty_.wait(lock, [this] {
       return closed_ || !high_.empty() || !normal_.empty();
     });
-    auto& band = !high_.empty() ? high_ : normal_;
+    // Starvation bound: once `high_burst_limit_` high-band items popped
+    // in a row with normal work waiting, the next pop serves the normal
+    // band even though high items are queued.
+    const bool yield_to_normal = high_burst_limit_ > 0 &&
+                                 high_streak_ >= high_burst_limit_ &&
+                                 !normal_.empty();
+    const bool take_high = !high_.empty() && !yield_to_normal;
+    auto& band = take_high ? high_ : normal_;
     if (band.empty()) return std::nullopt;  // closed and drained
+    if (take_high && !normal_.empty()) {
+      ++high_streak_;
+    } else {
+      high_streak_ = 0;
+    }
     T item = std::move(band.front());
     band.pop_front();
     return item;
@@ -122,11 +142,14 @@ class BoundedPriorityQueue {
 
  private:
   const std::size_t capacity_;
+  const std::size_t high_burst_limit_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::deque<T> high_;
   std::deque<T> normal_;
   std::size_t high_water_ = 0;
+  /// Consecutive high-band pops while normal items waited.
+  std::size_t high_streak_ = 0;
   bool closed_ = false;
 };
 

@@ -20,34 +20,13 @@ namespace {
 
 int resolve_epochs(int configured) {
   if (configured >= 0) return configured;
-  const char* raw = util::env_raw("CKAT_REFRESH_EPOCHS");
-  if (raw == nullptr || *raw == '\0') return 2;
-  char* end = nullptr;
-  const long value = std::strtol(raw, &end, 10);
-  if (end == raw || *end != '\0' || value < 0) {
-    CKAT_LOG_WARN(
-        "[refresh] ignoring CKAT_REFRESH_EPOCHS='%s' (want a non-negative "
-        "integer)",
-        raw);
-    return 2;
-  }
-  return static_cast<int>(value);
+  return static_cast<int>(
+      util::env_int("CKAT_REFRESH_EPOCHS", 2, 0, 100000));
 }
 
 double resolve_eps(double configured) {
   if (configured >= 0.0) return configured;
-  const char* raw = util::env_raw("CKAT_REFRESH_GUARDRAIL_EPS");
-  if (raw == nullptr || *raw == '\0') return 0.02;
-  char* end = nullptr;
-  const double value = std::strtod(raw, &end);
-  if (end == raw || *end != '\0' || value < 0.0) {
-    CKAT_LOG_WARN(
-        "[refresh] ignoring CKAT_REFRESH_GUARDRAIL_EPS='%s' (want a "
-        "non-negative number)",
-        raw);
-    return 0.02;
-  }
-  return value;
+  return util::env_double("CKAT_REFRESH_GUARDRAIL_EPS", 0.02, 0.0, 1.0);
 }
 
 /// Projects a grown model onto the bootstrap vocabulary: the entity id

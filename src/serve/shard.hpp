@@ -1,0 +1,359 @@
+// Sharded serving that survives partial failure.
+//
+// The million-user scale tier (facility/scale.hpp) makes one embedding
+// table per process untenable as an availability story: one corrupted
+// model file or one stalled scorer takes down every item for every
+// user. This layer splits the *item catalog* across N shards on a
+// consistent-hash ring, serves each shard from R replicas, and answers
+// every request by fanning across the shards — so the failure unit is
+// one replica of one shard, never the process:
+//
+//  * Shard files: each replica owns its own on-disk copy of its shard's
+//    embedding slice (write_shard_file / MmapShardStore), mapped
+//    read-only with mmap. The header and payload are CRC-guarded: a
+//    truncated or bit-flipped file fails validation at open and the
+//    replica comes up (or back) dead while its sibling keeps serving.
+//    Fault points shard.open_fail / shard.corrupt (util/fault.hpp)
+//    inject exactly those failures.
+//  * Replica chains: every replica wraps its mmap slice tier in a
+//    ResilientRecommender with a shard-local popularity prior as the
+//    terminal tier, so per-tier circuits, deadline budgets and fault
+//    points (e.g. serve.score_delay:shard3-r0) all compose unchanged.
+//  * Hedged requests: the primary replica (round-robin) gets a budget
+//    derived from its own p95 latency (observed via obs histograms,
+//    floored at hedge_min_ms); if it misses, the sibling is hedged with
+//    the remaining budget. Error-driven sibling attempts count as
+//    failovers, latency-driven ones as hedges.
+//  * Health and recovery: consecutive replica failures trip the replica
+//    (its store is closed and requests skip it); a background probe
+//    thread periodically re-opens the shard file — re-running CRC
+//    validation, so a corrupt file stays down — and canary-scores it,
+//    restoring the replica when it answers again.
+//  * Partial answers: a request's outcome carries an explicit coverage
+//    fraction (covered items / catalog). All replicas of a shard down
+//    => that slice is zero-filled and the answer is *partial*, not an
+//    error; the gateway surfaces this as kServedPartial and extends its
+//    conservation identity with the served_partial lane.
+//
+// Thread safety: score() may be called from many gateway workers
+// concurrently. Each replica serializes its (not thread-safe) chain
+// behind its own mutex, so the concurrency unit is N*R replicas; router
+// counters are atomics.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "eval/recommender.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/resilient.hpp"
+
+namespace ckat::serve {
+
+/// Consistent-hash ring over shards: item ids map to ring points via
+/// splitmix-style hashing against `vnodes` virtual nodes per shard, so
+/// adding a shard moves ~1/N of the catalog instead of rehashing it.
+class ShardRing {
+ public:
+  explicit ShardRing(std::size_t n_shards, std::size_t vnodes = 64);
+
+  [[nodiscard]] std::uint32_t shard_of(std::uint64_t key) const noexcept;
+  [[nodiscard]] std::size_t n_shards() const noexcept { return n_shards_; }
+
+ private:
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;  // sorted
+  std::size_t n_shards_;
+};
+
+/// On-disk shard file layout (little-endian, host float format):
+/// header, then n_local ascending item ids (uint32), then n_local*dim
+/// floats row-major. header_crc covers the header bytes before it;
+/// payload_crc covers everything after the header.
+struct ShardFileHeader {
+  char magic[8];                 // "CKATSHD1"
+  std::uint32_t shard_id;
+  std::uint32_t n_shards;
+  std::uint32_t dim;
+  std::uint32_t reserved;        // zero
+  std::uint64_t n_items_total;   // catalog size (score-row width)
+  std::uint64_t n_local;         // items in this slice
+  std::uint32_t payload_crc;
+  std::uint32_t header_crc;      // CRC of the 44 bytes above
+};
+static_assert(sizeof(ShardFileHeader) == 48,
+              "shard header must be packed: 8+4*4+8+8+4+4");
+
+/// Writes one replica's shard file (temp file + rename, so a crashed
+/// writer never leaves a half-written file under the final name).
+void write_shard_file(const std::string& path, std::uint32_t shard_id,
+                      std::uint32_t n_shards, std::uint64_t n_items_total,
+                      std::uint32_t dim,
+                      std::span<const std::uint32_t> item_ids,
+                      std::span<const float> vectors);
+
+/// Read-only memory-mapped view of a shard file. open() throws on any
+/// validation failure (bad magic, header/payload CRC mismatch, size
+/// mismatch, out-of-range item ids) and honours the shard.open_fail /
+/// shard.corrupt fault points — the caller (a replica) catches and
+/// comes up dead; the process never dies on a bad shard file.
+class MmapShardStore {
+ public:
+  [[nodiscard]] static std::shared_ptr<const MmapShardStore> open(
+      const std::string& path);
+  ~MmapShardStore();
+
+  MmapShardStore(const MmapShardStore&) = delete;
+  MmapShardStore& operator=(const MmapShardStore&) = delete;
+
+  [[nodiscard]] std::uint32_t shard_id() const noexcept { return shard_id_; }
+  [[nodiscard]] std::uint32_t n_shards() const noexcept { return n_shards_; }
+  [[nodiscard]] std::uint32_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::uint64_t n_items_total() const noexcept {
+    return n_items_total_;
+  }
+  [[nodiscard]] std::size_t n_local() const noexcept { return n_local_; }
+
+  /// Global catalog ids of the slice, ascending.
+  [[nodiscard]] std::span<const std::uint32_t> item_ids() const noexcept {
+    return {ids_, n_local_};
+  }
+  /// Embedding of local row `i` (dim floats, mmap-backed).
+  [[nodiscard]] std::span<const float> vector(std::size_t i) const noexcept {
+    return {vectors_ + i * dim_, dim_};
+  }
+
+ private:
+  MmapShardStore() = default;
+
+  void* map_ = nullptr;
+  std::size_t map_size_ = 0;
+  int fd_ = -1;
+  const std::uint32_t* ids_ = nullptr;
+  const float* vectors_ = nullptr;
+  std::uint32_t shard_id_ = 0;
+  std::uint32_t n_shards_ = 0;
+  std::uint32_t dim_ = 0;
+  std::uint64_t n_items_total_ = 0;
+  std::size_t n_local_ = 0;
+};
+
+/// Synthesizes a user's embedding into a dim-sized span. Must be
+/// thread-safe (replicas call it concurrently); the scale tier's
+/// user_vector is pure and qualifies.
+using UserVectorFn =
+    std::function<void(std::uint32_t user, std::span<float> out)>;
+
+struct ShardRouterConfig {
+  /// 0 = CKAT_SHARD_COUNT, else 4.
+  int n_shards = 0;
+  /// Replicas per shard; 0 = CKAT_SHARD_REPLICAS, else 2.
+  int replicas = 0;
+  /// Dead-replica probe cadence; 0 = CKAT_SHARD_PROBE_MS, else 25.
+  double probe_interval_ms = 0.0;
+  /// Floor of the p95-derived hedge delay; 0 = CKAT_SHARD_HEDGE_MIN_MS,
+  /// else 1.0.
+  double hedge_min_ms = 0.0;
+  /// Budget a probe canary request gets before the replica stays down.
+  double probe_budget_ms = 20.0;
+  /// Consecutive failed requests that trip a replica.
+  int replica_failure_threshold = 3;
+  /// Per-replica fallback-chain tuning (circuits inside the chain).
+  ResilientConfig replica_chain;
+  /// Model generation the shard files carry; tags every replica chain
+  /// so gateway by-version accounting extends to sharded serving.
+  std::uint64_t model_version = 1;
+
+  [[nodiscard]] static ShardRouterConfig from_env();
+};
+
+/// How one fan-out across the shards ended.
+struct ShardOutcome {
+  enum class Kind {
+    kFull,        // every shard answered: coverage == 1
+    kPartial,     // some slices zero-filled: 0 < coverage < 1
+    kZeroFilled,  // no shard answered: coverage == 0
+  };
+  Kind kind = Kind::kZeroFilled;
+  /// Fraction of the catalog scored by a live replica (the rest of the
+  /// output row is zero-filled).
+  double coverage = 0.0;
+  std::uint32_t shards_failed = 0;
+  std::uint32_t hedges = 0;     // latency-driven sibling attempts
+  std::uint32_t failovers = 0;  // error-driven sibling attempts
+  double elapsed_ms = 0.0;
+};
+
+/// Point-in-time router counters. Conservation identities (checked by
+/// the chaos soak): requests == served_full + served_partial +
+/// zero_filled, and for every shard ok + failed == requests (each
+/// request touches each shard exactly once).
+struct ShardRouterStats {
+  std::uint64_t requests = 0;
+  std::uint64_t served_full = 0;
+  std::uint64_t served_partial = 0;
+  std::uint64_t zero_filled = 0;
+  std::uint64_t hedges = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t replica_trips = 0;
+  std::uint64_t replica_recoveries = 0;
+  struct PerShard {
+    std::size_t n_local = 0;
+    std::size_t healthy_replicas = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+  };
+  std::vector<PerShard> shards;
+};
+
+class ShardRouter {
+ public:
+  /// Opens every replica's shard file under `dir` (written beforehand
+  /// with write_catalog or write_shard_file). A replica whose file is
+  /// missing/corrupt starts dead — construction still succeeds as long
+  /// as the shard *topology* is learnable (at least one replica of at
+  /// least one shard opened); a fully unreadable catalog throws.
+  ShardRouter(std::string dir, std::size_t n_users, std::size_t n_items,
+              std::size_t dim, UserVectorFn user_vector,
+              ShardRouterConfig config = ShardRouterConfig::from_env());
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Slices a catalog across `n_shards` x `replicas` shard files under
+  /// `dir` (each replica gets its own copy, so corrupting one file on
+  /// disk kills exactly one replica). `item_vector` fills the embedding
+  /// of a global item id.
+  static void write_catalog(
+      const std::string& dir, std::size_t n_shards, std::size_t replicas,
+      std::size_t n_items, std::size_t dim,
+      const std::function<void(std::uint32_t, std::span<float>)>& item_vector);
+
+  /// Path of one replica's shard file under `dir`.
+  [[nodiscard]] static std::string replica_path(const std::string& dir,
+                                                std::size_t shard,
+                                                std::size_t replica);
+
+  /// Scores the full catalog for `user` into `out` (n_items floats):
+  /// fans across every shard, hedging/failing over between replicas.
+  /// Slices no replica could serve are zero-filled and reported via
+  /// coverage. `budget_ms` caps the whole fan-out (0 = no deadline).
+  /// Never throws on replica failure — that is the contract.
+  ShardOutcome score(std::uint32_t user, std::span<float> out,
+                     double budget_ms = 0.0,
+                     const obs::TraceContext& trace = {});
+
+  /// Chaos hook: drops a replica as if its store had failed (closed +
+  /// marked unhealthy + counted as a trip). The probe thread may bring
+  /// it back — corrupt its file on disk first to keep it down.
+  void kill_replica(std::size_t shard, std::size_t replica);
+
+  [[nodiscard]] bool replica_healthy(std::size_t shard,
+                                     std::size_t replica) const;
+
+  /// Runs one synchronous probe sweep over dead replicas (the same work
+  /// the background thread does on its cadence) — deterministic
+  /// recovery for tests and the soak.
+  void probe_now();
+
+  [[nodiscard]] ShardRouterStats stats() const;
+
+  [[nodiscard]] std::size_t n_users() const noexcept { return n_users_; }
+  [[nodiscard]] std::size_t n_items() const noexcept { return n_items_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t n_shards() const noexcept { return shards_.size(); }
+  [[nodiscard]] std::size_t replicas_per_shard() const noexcept {
+    return replicas_per_shard_;
+  }
+  [[nodiscard]] std::uint64_t model_version() const noexcept {
+    return config_.model_version;
+  }
+
+ private:
+  struct Replica {
+    std::string path;   // immutable after construction
+    std::string label;  // "shard<k>-r<j>", the chain tier name
+    std::size_t shard_index = 0;
+    std::size_t replica_index = 0;
+    /// Fast-path health flag: readers skip dead replicas without taking
+    /// the mutex. Written with release under the mutex, read acquire.
+    std::atomic<bool> healthy{false};
+    mutable std::mutex mutex;
+    std::shared_ptr<const MmapShardStore> mapped_store;  // guarded by mutex
+    std::unique_ptr<eval::Recommender> slice_tier;       // guarded by mutex
+    std::unique_ptr<eval::Recommender> prior_tier;       // guarded by mutex
+    std::unique_ptr<ResilientRecommender> slice_chain;   // guarded by mutex
+    int fail_streak = 0;                                 // guarded by mutex
+    obs::Histogram* latency_hist = nullptr;  // resolved once in ctor
+  };
+
+  struct Shard {
+    std::vector<std::unique_ptr<Replica>> replica_slots;
+    /// Global ids of this shard's slice (learned from the first replica
+    /// that opened); immutable after construction.
+    std::vector<std::uint32_t> slice_ids;
+    std::atomic<std::uint64_t> next_primary{0};
+    std::atomic<std::uint64_t> ok{0};
+    std::atomic<std::uint64_t> failed{0};
+  };
+
+  /// Builds store + tiers + chain from the replica's file. Caller holds
+  /// the replica mutex. Throws on open/validation failure.
+  void open_replica_locked(Replica& replica) const;
+  /// Drops store + chain; the replica serves nothing until re-opened.
+  void close_replica_locked(Replica& replica) const;
+  /// Counts a failed request against the replica; trips it (closes +
+  /// unhealthy) at the configured threshold. Caller holds the mutex.
+  void record_replica_failure_locked(Replica& replica,
+                                     const char* cause);
+
+  /// One shard's contribution: tries primary then sibling replicas with
+  /// hedge budgets, fills `slice` (shard-local order) on success.
+  bool score_shard(Shard& shard, std::uint32_t user, std::span<float> slice,
+                   double remaining_ms, ShardOutcome& outcome);
+
+  /// Hedge allowance for a replica: max(hedge_min, its p95) from the
+  /// obs histogram once it has enough samples.
+  [[nodiscard]] double hedge_delay_ms(const Replica& replica) const;
+
+  /// Live replicas of one shard (atomic flags; no locks taken).
+  [[nodiscard]] static std::size_t healthy_count(const Shard& shard);
+
+  void probe_loop();
+  void probe_sweep();
+
+  std::string dir_;
+  std::size_t n_users_ = 0;
+  std::size_t n_items_ = 0;
+  std::size_t dim_ = 0;
+  UserVectorFn user_vector_;
+  ShardRouterConfig config_;
+  std::size_t replicas_per_shard_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> served_full_{0};
+  std::atomic<std::uint64_t> served_partial_{0};
+  std::atomic<std::uint64_t> zero_filled_{0};
+  std::atomic<std::uint64_t> hedges_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> replica_trips_{0};
+  std::atomic<std::uint64_t> replica_recoveries_{0};
+
+  std::mutex probe_mutex_;
+  std::condition_variable probe_cv_;
+  bool probe_stop_ = false;  // guarded by probe_mutex_
+  std::thread probe_thread_;
+};
+
+}  // namespace ckat::serve

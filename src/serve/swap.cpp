@@ -17,18 +17,7 @@ namespace {
 
 int resolve_max_retries(int configured) {
   if (configured >= 0) return configured;
-  const char* raw = util::env_raw("CKAT_SWAP_MAX_RETRIES");
-  if (raw == nullptr || *raw == '\0') return 8;
-  char* end = nullptr;
-  const long value = std::strtol(raw, &end, 10);
-  if (end == raw || *end != '\0' || value < 0) {
-    CKAT_LOG_WARN(
-        "[swap] ignoring CKAT_SWAP_MAX_RETRIES='%s' (want a non-negative "
-        "integer)",
-        raw);
-    return 8;
-  }
-  return static_cast<int>(value);
+  return static_cast<int>(util::env_int("CKAT_SWAP_MAX_RETRIES", 8, 0, 1024));
 }
 
 }  // namespace

@@ -59,10 +59,7 @@ bool CliArgs::get_bool(const std::string& name, bool fallback) const {
 }
 
 int epoch_scale_percent() {
-  const char* env = env_raw("CKAT_EPOCH_SCALE_PCT");
-  if (env == nullptr) return 100;
-  const int pct = std::atoi(env);
-  return pct > 0 ? pct : 100;
+  return static_cast<int>(env_int("CKAT_EPOCH_SCALE_PCT", 100, 1, 100));
 }
 
 int scaled_epochs(int epochs) {

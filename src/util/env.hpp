@@ -19,8 +19,14 @@
 // variables and do not belong in this list.
 #pragma once
 
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <set>
+#include <string>
 #include <string_view>
 
 #include "util/contract.hpp"
@@ -51,7 +57,11 @@ namespace ckat::util {
   X(CKAT_SLO_AVAIL_TARGET, "availability SLO target fraction")           \
   X(CKAT_SLO_P99_MS, "latency SLO p99 budget in milliseconds")           \
   X(CKAT_SLO_FAST_S, "SLO fast burn-rate window in seconds")             \
-  X(CKAT_SLO_SLOW_S, "SLO slow burn-rate window in seconds")
+  X(CKAT_SLO_SLOW_S, "SLO slow burn-rate window in seconds")              \
+  X(CKAT_SHARD_COUNT, "shard-router shard count")                         \
+  X(CKAT_SHARD_REPLICAS, "replicas per shard in the shard router")        \
+  X(CKAT_SHARD_PROBE_MS, "dead-replica recovery probe interval in ms")    \
+  X(CKAT_SHARD_HEDGE_MIN_MS, "floor of the p95-derived hedge delay in ms")
 
 /// One registry row, exposed for tooling (ckat-lint, run reports).
 struct EnvVarInfo {
@@ -79,6 +89,72 @@ inline constexpr EnvVarInfo kEnvRegistry[] = {
   CKAT_ASSERT(env_registered(name),
               std::string("unregistered environment variable: ") + name);
   return std::getenv(name);  // NOLINT(ckat-env-registry): the registry's own lookup
+}
+
+namespace detail {
+
+/// Warns at most once per variable name, so a misconfigured value set
+/// for a whole run does not spam every read. std::fprintf, not
+/// CKAT_LOG: this header sits below the logging/obs layers in the link
+/// graph (see the file comment) and must not pull them in.
+inline void env_warn_once(const char* name, const char* raw,
+                          const char* problem) {
+  static std::mutex mutex;
+  static std::set<std::string> warned;
+  std::lock_guard<std::mutex> lock(mutex);
+  if (!warned.emplace(name).second) return;
+  std::fprintf(stderr, "[env] %s='%s' %s; using a safe value\n", name, raw,
+               problem);
+}
+
+}  // namespace detail
+
+/// Checked integer read: unset/empty returns `fallback` untouched
+/// (callers use a sentinel like 0 for "not configured"); a value that
+/// parses but lies outside [lo, hi] is clamped with a once-per-variable
+/// warning; garbage (non-numeric, trailing junk, overflow) warns once
+/// and returns `fallback`.
+[[nodiscard]] inline long long env_int(const char* name, long long fallback,
+                                       long long lo, long long hi) {
+  const char* raw = env_raw(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0') {
+    detail::env_warn_once(name, raw, "is not an integer");
+    return fallback;
+  }
+  if (errno == ERANGE) {
+    detail::env_warn_once(name, raw, "overflows");
+    return value < 0 ? lo : hi;
+  }
+  if (value < lo || value > hi) {
+    detail::env_warn_once(name, raw, "is out of range");
+    return value < lo ? lo : hi;
+  }
+  return value;
+}
+
+/// Checked floating-point read with the same contract as env_int():
+/// fallback on unset/garbage, clamp into [lo, hi] with a warn-once on
+/// out-of-range. Non-finite values (inf/nan parse fine via strtod)
+/// count as garbage — no configuration knob should inject a NaN.
+[[nodiscard]] inline double env_double(const char* name, double fallback,
+                                       double lo, double hi) {
+  const char* raw = env_raw(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw || *end != '\0' || !std::isfinite(value)) {
+    detail::env_warn_once(name, raw, "is not a finite number");
+    return fallback;
+  }
+  if (value < lo || value > hi) {
+    detail::env_warn_once(name, raw, "is out of range");
+    return value < lo ? lo : hi;
+  }
+  return value;
 }
 
 }  // namespace ckat::util

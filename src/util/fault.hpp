@@ -50,6 +50,14 @@ inline constexpr const char* kSwapTornRead = "swap.torn_read";
 /// Corrupted ingestion window: CollaborativeKg::apply_delta rejects the
 /// delta as if producer-side validation failed (graph/delta.cpp).
 inline constexpr const char* kIngestBadDelta = "ingest.bad_delta";
+/// Shard-file open failure: MmapShardStore::open throws before mapping,
+/// as if the file vanished or the mmap syscall failed — the replica (not
+/// the process) goes down (serve/shard.cpp).
+inline constexpr const char* kShardOpenFail = "shard.open_fail";
+/// Shard-file corruption: MmapShardStore::open treats the payload CRC
+/// as mismatched even on an intact file, exercising the
+/// corrupt-replica-stays-down path without touching disk.
+inline constexpr const char* kShardCorrupt = "shard.corrupt";
 }  // namespace fault_points
 
 /// When and how often an armed injection point fires.

@@ -304,8 +304,8 @@ TEST(RankerEnv, EnvironmentFillsZeroRequests) {
   EXPECT_EQ(resolve_eval_block(0), 17u);
   setenv("CKAT_EVAL_THREADS", "not-a-number", 1);
   setenv("CKAT_EVAL_BLOCK", "-4", 1);
-  EXPECT_EQ(resolve_eval_threads(0), 1);
-  EXPECT_EQ(resolve_eval_block(0), 64u);
+  EXPECT_EQ(resolve_eval_threads(0), 1);  // garbage -> built-in default
+  EXPECT_EQ(resolve_eval_block(0), 1u);   // out of range -> clamped (env_int)
   unsetenv("CKAT_EVAL_THREADS");
   unsetenv("CKAT_EVAL_BLOCK");
   EXPECT_EQ(resolve_eval_threads(0), 1);

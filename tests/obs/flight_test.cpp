@@ -125,6 +125,20 @@ TEST_F(FlightTest, RingOverwritesOldestPastCapacity) {
   EXPECT_EQ(max_i, 39);
 }
 
+TEST_F(FlightTest, CreatesMissingDumpDirectory) {
+  // Pointing CKAT_FLIGHT_DIR at a directory that does not exist yet must
+  // not silently drop dumps: the recorder creates it on first use.
+  const std::string nested = dir_ + "flight_missing/nested";
+  set_flight_dir(nested);
+  ASSERT_TRUE(flight_enabled());
+  { TraceSpan span("mkdir.work"); }
+  const std::string path = flight_anomaly("test_mkdir");
+  ASSERT_FALSE(path.empty());
+  created_.push_back(path);
+  EXPECT_EQ(path.rfind(nested, 0), 0u) << path;
+  EXPECT_FALSE(read_lines(path).empty());
+}
+
 TEST_F(FlightTest, KillSwitchDisablesRecorder) {
   set_telemetry_enabled(false);
   EXPECT_FALSE(flight_enabled());

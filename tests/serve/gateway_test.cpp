@@ -387,8 +387,8 @@ TEST(GatewayConfig, FromEnvReadsServeVariables) {
   setenv("CKAT_SERVE_THREADS", "not-a-number", 1);
   setenv("CKAT_SERVE_QUEUE_DEPTH", "-4", 1);
   config = GatewayConfig::from_env();
-  EXPECT_EQ(config.threads, 0);       // invalid -> built-in default
-  EXPECT_EQ(config.queue_depth, 0u);
+  EXPECT_EQ(config.threads, 0);       // garbage -> built-in default
+  EXPECT_EQ(config.queue_depth, 1u);  // out of range -> clamped (env_int)
 
   unsetenv("CKAT_SERVE_THREADS");
   unsetenv("CKAT_SERVE_QUEUE_DEPTH");

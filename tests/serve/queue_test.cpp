@@ -110,6 +110,78 @@ TEST(BoundedPriorityQueue, MoveOnlyPayloadsSupported) {
   EXPECT_EQ(**item, 42);
 }
 
+TEST(BoundedPriorityQueue, StarvationBoundYieldsToNormalBand) {
+  // After 3 consecutive high pops with normal work waiting, the next
+  // pop must serve the normal band even though high items remain.
+  IntQueue queue(32, /*high_burst_limit=*/3);
+  ASSERT_EQ(queue.try_push(-1, false), IntQueue::PushResult::kOk);
+  ASSERT_EQ(queue.try_push(-2, false), IntQueue::PushResult::kOk);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_EQ(queue.try_push(int{i}, true), IntQueue::PushResult::kOk);
+  }
+  std::vector<int> order;
+  for (int i = 0; i < 14; ++i) {
+    const auto item = queue.pop();
+    ASSERT_TRUE(item.has_value());
+    order.push_back(*item);
+  }
+  // H H H N H H H N, then the rest of the high band (normal empty, so
+  // the streak no longer accrues).
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, -1, 3, 4, 5, -2, 6, 7, 8, 9,
+                                     10, 11}));
+}
+
+TEST(BoundedPriorityQueue, ZeroBurstLimitMeansStrictPriority) {
+  IntQueue queue(32, /*high_burst_limit=*/0);
+  ASSERT_EQ(queue.try_push(-1, false), IntQueue::PushResult::kOk);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(queue.try_push(int{i}, true), IntQueue::PushResult::kOk);
+  }
+  // The entire high band drains before the waiting normal item.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(queue.pop(), i);
+  EXPECT_EQ(queue.pop(), -1);
+}
+
+// Expiry-racing-shutdown: consumers pop concurrently with a drain().
+// Every pushed item must surface exactly once — either popped by a
+// consumer or handed back by drain(), never both, never dropped. This
+// is the gateway-shutdown race (workers still popping while shutdown
+// sheds the queue).
+TEST(BoundedPriorityQueue, DrainRacingConsumersYieldsEachItemExactlyOnce) {
+  constexpr int kItems = 4000;
+  IntQueue queue(kItems);  // roomy: every push is accepted
+  std::atomic<std::uint64_t> popped{0};
+  std::atomic<std::uint64_t> popped_sum{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = queue.pop()) {
+        popped.fetch_add(1);
+        popped_sum.fetch_add(static_cast<std::uint64_t>(*item));
+      }
+    });
+  }
+
+  std::uint64_t pushed_sum = 0;
+  for (int i = 1; i <= kItems; ++i) {
+    ASSERT_EQ(queue.try_push(int{i}, (i % 5) == 0),
+              IntQueue::PushResult::kOk);
+    pushed_sum += static_cast<std::uint64_t>(i);
+  }
+  // Drain mid-stream: consumers are still popping what they can.
+  const std::vector<int> leftovers = queue.drain();
+  for (auto& t : consumers) t.join();
+
+  std::uint64_t drained_sum = 0;
+  for (const int item : leftovers) {
+    drained_sum += static_cast<std::uint64_t>(item);
+  }
+  EXPECT_EQ(popped.load() + leftovers.size(),
+            static_cast<std::uint64_t>(kItems));
+  EXPECT_EQ(popped_sum.load() + drained_sum, pushed_sum);
+}
+
 // Conservation under real contention: every pushed item is popped
 // exactly once across consumers, every rejected push is accounted, and
 // nothing deadlocks on shutdown. (Also the TSan target for the queue.)

@@ -1,0 +1,27 @@
+// Fixture: the shard-replica pattern gone wrong. The atomic health
+// flag may be read lock-free, but the mapped store and fail streak it
+// publishes are mutex-guarded -- touching them on the lock-free fast
+// path must fire ckat-mutex-guard.
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+struct FixtureSlice {
+  int rows = 0;
+};
+
+class FixtureReplica {
+ public:
+  int fast_path_rows() {
+    if (!healthy_.load(std::memory_order_acquire)) return 0;
+    // BUG: dereferences the guarded store without holding mutex_; a
+    // concurrent probe may be swapping the mapping out underneath us.
+    return mapped_store_ ? mapped_store_->rows : fail_streak_;
+  }
+
+ private:
+  std::atomic<bool> healthy_{false};
+  std::mutex mutex_;
+  std::shared_ptr<const FixtureSlice> mapped_store_;  // guarded by mutex_
+  int fail_streak_ = 0;                               // guarded by mutex_
+};

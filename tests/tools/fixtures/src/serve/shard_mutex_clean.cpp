@@ -1,0 +1,40 @@
+// Fixture: the shard-replica pattern done right. The atomic health
+// flag is the only lock-free read; every guarded member is touched
+// under the replica mutex or from a `*_locked` helper (caller holds
+// the mutex by contract), so the rule stays silent.
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+struct FixtureSlice {
+  int rows = 0;
+};
+
+class FixtureReplica {
+ public:
+  bool alive() const { return healthy_.load(std::memory_order_acquire); }
+
+  int rows() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!mapped_store_) return 0;
+    return mapped_store_->rows;
+  }
+
+  void record_failure() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++fail_streak_;
+    if (fail_streak_ >= 3) close_locked();
+  }
+
+ private:
+  void close_locked() {
+    mapped_store_.reset();
+    fail_streak_ = 0;
+    healthy_.store(false, std::memory_order_release);
+  }
+
+  std::atomic<bool> healthy_{false};
+  mutable std::mutex mutex_;
+  std::shared_ptr<const FixtureSlice> mapped_store_;  // guarded by mutex_
+  int fail_streak_ = 0;                               // guarded by mutex_
+};

@@ -117,6 +117,16 @@ TEST(CkatLint, MutexGuardRule) {
   EXPECT_TRUE(exempt.output.empty()) << exempt.output;
 }
 
+TEST(CkatLint, MutexGuardRuleShardReplicaPattern) {
+  // The shard router's replica idiom: an atomic health flag readable
+  // lock-free next to mutex-guarded state it publishes. Dereferencing
+  // the guarded store on the lock-free fast path fires; the disciplined
+  // version (locks + `*_locked` helpers + atomic-only fast path) is
+  // silent.
+  expect_rule_pair("src/serve/shard_mutex_bad.cpp",
+                   "src/serve/shard_mutex_clean.cpp", "ckat-mutex-guard");
+}
+
 TEST(CkatLint, IncludeGuardRule) {
   expect_rule_pair("include_guard_bad.hpp", "include_guard_clean.hpp",
                    "ckat-include-guard");

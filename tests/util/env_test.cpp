@@ -1,0 +1,107 @@
+// Checked environment reads: env_int / env_double must never let a
+// misconfigured variable crash or silently skew a run — garbage falls
+// back, out-of-range clamps, and every CKAT_* variable is registered.
+#include "util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace ckat::util {
+namespace {
+
+// Registered variables borrowed as scratch for parse tests; every test
+// restores them so later suites (shard-router from_env) see a clean
+// environment.
+constexpr const char* kIntVar = "CKAT_SHARD_COUNT";
+constexpr const char* kDoubleVar = "CKAT_SHARD_PROBE_MS";
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv(kIntVar);
+    unsetenv(kDoubleVar);
+  }
+};
+
+TEST_F(EnvTest, RegistryKnowsItsOwnRows) {
+  EXPECT_TRUE(env_registered("CKAT_LOG_LEVEL"));
+  EXPECT_TRUE(env_registered("CKAT_SHARD_COUNT"));
+  EXPECT_TRUE(env_registered("CKAT_SHARD_REPLICAS"));
+  EXPECT_TRUE(env_registered("CKAT_SHARD_PROBE_MS"));
+  EXPECT_TRUE(env_registered("CKAT_SHARD_HEDGE_MIN_MS"));
+  // NOLINTNEXTLINE(ckat-env-registry): deliberately unregistered name asserting the negative path
+  EXPECT_FALSE(env_registered("CKAT_NOT_A_REAL_VARIABLE"));
+  EXPECT_FALSE(env_registered(""));
+}
+
+TEST_F(EnvTest, IntUnsetAndEmptyReturnFallbackUntouched) {
+  unsetenv(kIntVar);
+  EXPECT_EQ(env_int(kIntVar, -123, 1, 100), -123);
+  setenv(kIntVar, "", 1);
+  EXPECT_EQ(env_int(kIntVar, -123, 1, 100), -123);
+}
+
+TEST_F(EnvTest, IntParsesValueInsideRange) {
+  setenv(kIntVar, "42", 1);
+  EXPECT_EQ(env_int(kIntVar, 0, 1, 100), 42);
+  setenv(kIntVar, "-7", 1);
+  EXPECT_EQ(env_int(kIntVar, 0, -100, 100), -7);
+  // strtoll semantics: leading whitespace is not garbage.
+  setenv(kIntVar, " 3", 1);
+  EXPECT_EQ(env_int(kIntVar, 0, 1, 100), 3);
+}
+
+TEST_F(EnvTest, IntGarbageFallsBack) {
+  for (const char* raw : {"abc", "12x", "4.5", "0x10", "--2"}) {
+    setenv(kIntVar, raw, 1);
+    EXPECT_EQ(env_int(kIntVar, 9, 1, 100), 9) << "raw='" << raw << "'";
+  }
+}
+
+TEST_F(EnvTest, IntOverflowSaturatesTowardTheViolatedBound) {
+  setenv(kIntVar, "99999999999999999999999999", 1);
+  EXPECT_EQ(env_int(kIntVar, 9, 1, 100), 100);
+  setenv(kIntVar, "-99999999999999999999999999", 1);
+  EXPECT_EQ(env_int(kIntVar, 9, 1, 100), 1);
+}
+
+TEST_F(EnvTest, IntOutOfRangeClampsToBounds) {
+  setenv(kIntVar, "5000", 1);
+  EXPECT_EQ(env_int(kIntVar, 9, 1, 100), 100);
+  setenv(kIntVar, "0", 1);
+  EXPECT_EQ(env_int(kIntVar, 9, 1, 100), 1);
+}
+
+TEST_F(EnvTest, DoubleUnsetAndEmptyReturnFallbackUntouched) {
+  unsetenv(kDoubleVar);
+  EXPECT_DOUBLE_EQ(env_double(kDoubleVar, 2.5, 0.1, 10.0), 2.5);
+  setenv(kDoubleVar, "", 1);
+  EXPECT_DOUBLE_EQ(env_double(kDoubleVar, 2.5, 0.1, 10.0), 2.5);
+}
+
+TEST_F(EnvTest, DoubleParsesValueInsideRange) {
+  setenv(kDoubleVar, "3.25", 1);
+  EXPECT_DOUBLE_EQ(env_double(kDoubleVar, 0.0, 0.1, 10.0), 3.25);
+  setenv(kDoubleVar, "1e1", 1);
+  EXPECT_DOUBLE_EQ(env_double(kDoubleVar, 0.0, 0.1, 100.0), 10.0);
+}
+
+TEST_F(EnvTest, DoubleGarbageAndNonFiniteFallBack) {
+  for (const char* raw : {"abc", "1.5ms", "nan", "inf", "-inf", "1e999"}) {
+    setenv(kDoubleVar, raw, 1);
+    EXPECT_DOUBLE_EQ(env_double(kDoubleVar, 7.5, 0.1, 10.0), 7.5)
+        << "raw='" << raw << "'";
+  }
+}
+
+TEST_F(EnvTest, DoubleOutOfRangeClampsToBounds) {
+  setenv(kDoubleVar, "500.0", 1);
+  EXPECT_DOUBLE_EQ(env_double(kDoubleVar, 1.0, 0.1, 10.0), 10.0);
+  setenv(kDoubleVar, "0.0001", 1);
+  EXPECT_DOUBLE_EQ(env_double(kDoubleVar, 1.0, 0.1, 10.0), 0.1);
+}
+
+}  // namespace
+}  // namespace ckat::util

@@ -45,6 +45,10 @@ constexpr const char* kRelaxedAllowlist[] = {
     // Gateway conservation counters: documented in gateway.hpp ("summed,
     // never compared across each other mid-flight").
     "src/serve/gateway.cpp",
+    // Shard-router conservation counters and round-robin cursors: same
+    // contract as the gateway's (summed/snapshot-read, never used to
+    // order other memory); replica health publication uses acq/rel.
+    "src/serve/shard.cpp",
 };
 
 /// "CKAT_*" tokens that are legitimately not runtime environment
