@@ -14,6 +14,7 @@
 #include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "util/env.hpp"
+#include "util/lockorder.hpp"
 
 namespace ckat::obs {
 
@@ -49,13 +50,13 @@ class FlightRecorder {
 
   void set_dir(const std::string& dir) {
     ensure_dump_dir(dir);
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<util::OrderedMutex> lock(mutex_);
     dir_ = dir;
     armed_.store(!dir.empty(), std::memory_order_relaxed);
   }
 
   void set_capacity(std::size_t records) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<util::OrderedMutex> lock(mutex_);
     capacity_ = records < 16 ? 16 : records;
     ring_.clear();
     ring_.shrink_to_fit();
@@ -63,21 +64,21 @@ class FlightRecorder {
   }
 
   void set_window_s(double seconds) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<util::OrderedMutex> lock(mutex_);
     window_us_ = seconds <= 0.0
                      ? 0
                      : static_cast<std::uint64_t>(seconds * 1e6);
   }
 
   void set_cooldown_s(double seconds) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<util::OrderedMutex> lock(mutex_);
     cooldown_us_ = seconds <= 0.0
                        ? 0
                        : static_cast<std::uint64_t>(seconds * 1e6);
   }
 
   void record(const TraceRecord& r) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<util::OrderedMutex> lock(mutex_);
     if (dir_.empty()) return;
     if (ring_.size() < capacity_) {
       ring_.push_back(r);
@@ -95,7 +96,7 @@ class FlightRecorder {
     std::vector<TraceRecord> window;
     const std::uint64_t now = trace_now_us();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<util::OrderedMutex> lock(mutex_);
       if (dir_.empty()) return "";
       const std::string kind_key(kind);
       const auto it = last_dump_us_.find(kind_key);
@@ -158,14 +159,14 @@ class FlightRecorder {
         .inc();
     dumps_.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<util::OrderedMutex> lock(mutex_);
       last_dump_path_ = path;
     }
     return path;
   }
 
   [[nodiscard]] std::string last_dump() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<util::OrderedMutex> lock(mutex_);
     return last_dump_path_;
   }
 
@@ -193,7 +194,7 @@ class FlightRecorder {
   std::atomic<bool> armed_{false};
   std::atomic<std::uint64_t> dumps_{0};
 
-  std::mutex mutex_;
+  util::OrderedMutex mutex_{"obs.flight"};
   std::string dir_;                   // guarded by mutex_
   std::vector<TraceRecord> ring_;     // guarded by mutex_
   std::size_t head_ = 0;              // guarded by mutex_

@@ -144,7 +144,7 @@ ServeGateway::ServeGateway(std::shared_ptr<ModelHandle> handle,
     const auto snapshot = handle_->acquire();
     for (int i = 0; i < threads; ++i) {
       auto worker = std::make_unique<Worker>();
-      chain_for(*worker, snapshot);
+      chain_for_locked(*worker, snapshot);
       workers_.push_back(std::move(worker));
     }
   } else {
@@ -187,7 +187,7 @@ ServeGateway::ServeGateway(std::shared_ptr<ModelHandle> handle,
 ServeGateway::~ServeGateway() { shutdown(); }
 
 bool ServeGateway::spend_retry_token(const std::string& client_id) {
-  std::lock_guard<std::mutex> lock(retry_mutex_);
+  std::lock_guard<util::OrderedMutex> lock(retry_mutex_);
   auto [it, inserted] =
       retry_tokens_.try_emplace(client_id, config_.initial_retry_tokens);
   if (it->second < 1.0) return false;
@@ -196,7 +196,7 @@ bool ServeGateway::spend_retry_token(const std::string& client_id) {
 }
 
 void ServeGateway::credit_retry_token(const std::string& client_id) {
-  std::lock_guard<std::mutex> lock(retry_mutex_);
+  std::lock_guard<util::OrderedMutex> lock(retry_mutex_);
   auto [it, inserted] =
       retry_tokens_.try_emplace(client_id, config_.initial_retry_tokens);
   // The cap bounds how large a burst of retries a long-quiet client can
@@ -249,7 +249,7 @@ void ServeGateway::note_shed_for_spike(RequestStatus status) {
   const std::uint64_t now_us = obs::trace_now_us();
   bool fire = false;
   {
-    std::lock_guard<std::mutex> lock(shed_spike_mutex_);
+    std::lock_guard<util::OrderedMutex> lock(shed_spike_mutex_);
     if (now_us - shed_window_start_us_ > 1'000'000) {
       shed_window_start_us_ = now_us;
       shed_window_count_ = 0;
@@ -333,9 +333,8 @@ std::future<ScoreResult> ServeGateway::submit(ScoreRequest request) {
   return future;
 }
 
-ResilientRecommender& ServeGateway::chain_for(
+ResilientRecommender& ServeGateway::chain_for_locked(
     Worker& worker, const std::shared_ptr<const ModelVersion>& snapshot) {
-  // NOLINTNEXTLINE(ckat-mutex-guard): caller holds worker.mutex (worker_loop) or the worker has no thread yet (constructor)
   for (auto& entry : worker.chains) {
     if (entry.version->version == snapshot->version) return *entry.chain;
   }
@@ -356,7 +355,7 @@ ResilientRecommender& ServeGateway::chain_for(
 
 void ServeGateway::count_version_resolution(std::uint64_t version,
                                             RequestStatus status) {
-  std::lock_guard<std::mutex> lock(version_counts_mutex_);
+  std::lock_guard<util::OrderedMutex> lock(version_counts_mutex_);
   auto& lanes = version_counts_[version];
   switch (status) {
     case RequestStatus::kServed: ++lanes.served; break;
@@ -446,8 +445,8 @@ void ServeGateway::worker_loop(Worker& worker) {
     if (!users_in_range) {
       outcome.kind = ResilientRecommender::ScoreOutcome::Kind::kZeroFilled;
     } else {
-      std::lock_guard<std::mutex> lock(worker.mutex);
-      ResilientRecommender& chain = chain_for(worker, snapshot);
+      std::lock_guard<util::OrderedMutex> lock(worker.mutex);
+      ResilientRecommender& chain = chain_for_locked(worker, snapshot);
       outcome = is_batch
                     ? chain.score_batch_with_budget(
                           job->request.users, result.scores, remaining_ms)
@@ -613,7 +612,7 @@ void ServeGateway::serve_sharded(Job&& job, double remaining_ms) {
 }
 
 void ServeGateway::shutdown() {
-  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  std::lock_guard<util::OrderedMutex> lock(shutdown_mutex_);
   if (shutdown_done_) return;
   stopping_.store(true, std::memory_order_relaxed);
 
@@ -690,7 +689,7 @@ GatewayStats ServeGateway::stats() const {
   stats.queue_high_water = queue_.high_water_mark();
   queue_high_water_gauge_->set(static_cast<double>(stats.queue_high_water));
   {
-    std::lock_guard<std::mutex> lock(version_counts_mutex_);
+    std::lock_guard<util::OrderedMutex> lock(version_counts_mutex_);
     stats.by_version.reserve(version_counts_.size());
     for (const auto& [version, lanes] : version_counts_) {
       stats.by_version.push_back(
@@ -709,7 +708,7 @@ ResilientRecommender::HealthSnapshot ServeGateway::aggregated_health() const {
   std::vector<ResilientRecommender::HealthSnapshot> parts;
   parts.reserve(workers_.size());
   for (const auto& worker : workers_) {
-    std::lock_guard<std::mutex> lock(worker->mutex);
+    std::lock_guard<util::OrderedMutex> lock(worker->mutex);
     for (const auto& entry : worker->chains) {
       parts.push_back(entry.chain->snapshot());
     }
@@ -726,7 +725,7 @@ ServeGateway::aggregated_health_by_version() const {
            std::vector<ResilientRecommender::HealthSnapshot>>
       grouped;
   for (const auto& worker : workers_) {
-    std::lock_guard<std::mutex> lock(worker->mutex);
+    std::lock_guard<util::OrderedMutex> lock(worker->mutex);
     for (const auto& entry : worker->chains) {
       auto snapshot = entry.chain->snapshot();
       grouped[snapshot.model_version].push_back(std::move(snapshot));
@@ -742,7 +741,7 @@ ServeGateway::aggregated_health_by_version() const {
 
 void ServeGateway::reset_circuits() {
   for (const auto& worker : workers_) {
-    std::lock_guard<std::mutex> lock(worker->mutex);
+    std::lock_guard<util::OrderedMutex> lock(worker->mutex);
     for (const auto& entry : worker->chains) {
       entry.chain->reset_circuits();
     }

@@ -64,6 +64,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/lockorder.hpp"
+
 #include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "serve/queue.hpp"
@@ -334,7 +336,7 @@ class ServeGateway {
   /// occasional health reads lock.
   struct Worker {
     std::vector<VersionedChain> chains;  // guarded by mutex
-    std::mutex mutex;
+    util::OrderedMutex mutex{"gateway.worker"};
     std::thread thread;
   };
 
@@ -344,8 +346,9 @@ class ServeGateway {
   void note_shed_for_spike(RequestStatus status);
   /// Finds or builds the worker's chain for `snapshot`, pruning the
   /// oldest cached versions past config_.keep_versions. Caller holds
-  /// worker.mutex.
-  ResilientRecommender& chain_for(
+  /// worker.mutex (or, in the constructor, the worker is not yet
+  /// visible to any thread).
+  ResilientRecommender& chain_for_locked(
       Worker& worker, const std::shared_ptr<const ModelVersion>& snapshot);
   void count_version_resolution(std::uint64_t version, RequestStatus status);
   /// Router-mode request body: fans `job`'s rows across the shard
@@ -367,19 +370,19 @@ class ServeGateway {
   BoundedPriorityQueue<Job> queue_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> stopping_{false};
-  std::mutex shutdown_mutex_;
+  util::OrderedMutex shutdown_mutex_{"gateway.shutdown"};
   bool shutdown_done_ = false;  // guarded by shutdown_mutex_
 
-  std::mutex retry_mutex_;
+  util::OrderedMutex retry_mutex_{"gateway.retry"};
   std::unordered_map<std::string, double> retry_tokens_;  // guarded by retry_mutex_
 
   std::unique_ptr<obs::SloEngine> slo_;
 
-  std::mutex shed_spike_mutex_;
+  util::OrderedMutex shed_spike_mutex_{"gateway.shed_spike"};
   std::uint64_t shed_window_start_us_ = 0;  // guarded by shed_spike_mutex_
   std::uint64_t shed_window_count_ = 0;     // guarded by shed_spike_mutex_
 
-  mutable std::mutex version_counts_mutex_;
+  mutable util::OrderedMutex version_counts_mutex_{"gateway.version_counts"};
   /// Per-version resolution lanes; extends conservation per version.
   struct VersionLanes {
     std::uint64_t served = 0;

@@ -30,6 +30,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/lockorder.hpp"
+
 namespace ckat::serve {
 
 template <typename T>
@@ -53,7 +55,7 @@ class BoundedPriorityQueue {
   /// it (and, in the gateway, still owes its promise an answer).
   PushResult try_push(T&& item, bool high_priority = false) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<util::OrderedMutex> lock(mutex_);
       if (closed_) return PushResult::kClosed;
       if (high_.size() + normal_.size() >= capacity_) {
         return PushResult::kFull;
@@ -71,7 +73,7 @@ class BoundedPriorityQueue {
   /// starvation bound) or the queue is closed and empty, which returns
   /// nullopt — the consumer's signal to exit its loop.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<util::OrderedMutex> lock(mutex_);
     not_empty_.wait(lock, [this] {
       return closed_ || !high_.empty() || !normal_.empty();
     });
@@ -99,7 +101,7 @@ class BoundedPriorityQueue {
   std::vector<T> drain() {
     std::vector<T> leftovers;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<util::OrderedMutex> lock(mutex_);
       closed_ = true;
       leftovers.reserve(high_.size() + normal_.size());
       for (auto& item : high_) leftovers.push_back(std::move(item));
@@ -115,19 +117,19 @@ class BoundedPriorityQueue {
   /// then see nullopt.
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<util::OrderedMutex> lock(mutex_);
       closed_ = true;
     }
     not_empty_.notify_all();
   }
 
   [[nodiscard]] bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<util::OrderedMutex> lock(mutex_);
     return closed_;
   }
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<util::OrderedMutex> lock(mutex_);
     return high_.size() + normal_.size();
   }
 
@@ -136,21 +138,24 @@ class BoundedPriorityQueue {
   /// Deepest the queue has been since construction — the overload
   /// fingerprint an operator checks first when sizing `capacity`.
   [[nodiscard]] std::size_t high_water_mark() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<util::OrderedMutex> lock(mutex_);
     return high_water_;
   }
 
  private:
   const std::size_t capacity_;
   const std::size_t high_burst_limit_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::deque<T> high_;
-  std::deque<T> normal_;
-  std::size_t high_water_ = 0;
+  // Named for the lock-order validator (DESIGN.md section 15); the
+  // condition variable is _any because OrderedMutex is a Lockable,
+  // not std::mutex.
+  mutable util::OrderedMutex mutex_{"gateway.queue"};
+  std::condition_variable_any not_empty_;
+  std::deque<T> high_;    // guarded by mutex_
+  std::deque<T> normal_;  // guarded by mutex_
+  std::size_t high_water_ = 0;  // guarded by mutex_
   /// Consecutive high-band pops while normal items waited.
-  std::size_t high_streak_ = 0;
-  bool closed_ = false;
+  std::size_t high_streak_ = 0;  // guarded by mutex_
+  bool closed_ = false;  // guarded by mutex_
 };
 
 }  // namespace ckat::serve

@@ -139,7 +139,7 @@ double OnlineRefresher::holdout_recall(
   return eval::evaluate_topk(view, holdout_, eval_config).recall;
 }
 
-RefreshOutcome OnlineRefresher::publish_bundle(std::shared_ptr<Bundle> bundle,
+RefreshOutcome OnlineRefresher::publish_bundle_locked(std::shared_ptr<Bundle> bundle,
                                                double candidate_recall,
                                                RefreshOutcome outcome) {
   // Capture the checkpoint BEFORE the swap so a publish failure leaves
@@ -181,6 +181,7 @@ RefreshOutcome OnlineRefresher::publish_bundle(std::shared_ptr<Bundle> bundle,
 }
 
 RefreshOutcome OnlineRefresher::bootstrap() {
+  std::lock_guard<util::OrderedMutex> cycle(cycle_mutex_);
   if (serving_bundle_ != nullptr) {
     throw std::logic_error("OnlineRefresher::bootstrap called twice");
   }
@@ -205,7 +206,7 @@ RefreshOutcome OnlineRefresher::bootstrap() {
   RefreshOutcome outcome;
   outcome.serving_recall = 0.0;
   const double recall = holdout_recall(*bundle->model);
-  outcome = publish_bundle(std::move(bundle), recall, outcome);
+  outcome = publish_bundle_locked(std::move(bundle), recall, outcome);
   if (outcome.status == RefreshOutcome::Status::kPublished) {
     CKAT_LOG_INFO(
         "[refresh] bootstrap published v%llu (holdout recall %.4f)",
@@ -215,6 +216,7 @@ RefreshOutcome OnlineRefresher::bootstrap() {
 }
 
 RefreshOutcome OnlineRefresher::ingest(const graph::CkgDelta& delta) {
+  std::lock_guard<util::OrderedMutex> cycle(cycle_mutex_);
   if (serving_bundle_ == nullptr || !checkpoint_written_) {
     throw std::logic_error(
         "OnlineRefresher::ingest before a successful bootstrap");
@@ -293,7 +295,7 @@ RefreshOutcome OnlineRefresher::ingest(const graph::CkgDelta& delta) {
   }
 
   // 5. Atomic hot swap, then durable checkpoint advance.
-  outcome = publish_bundle(std::move(bundle), candidate_recall, outcome);
+  outcome = publish_bundle_locked(std::move(bundle), candidate_recall, outcome);
   if (outcome.status == RefreshOutcome::Status::kPublished) {
     deltas_published_->inc();
     CKAT_LOG_INFO(

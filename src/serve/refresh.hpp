@@ -31,6 +31,7 @@
 // gateway reads concurrently through the ModelHandle only.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -44,6 +45,7 @@
 #include "obs/metrics.hpp"
 #include "serve/popularity.hpp"
 #include "serve/swap.hpp"
+#include "util/lockorder.hpp"
 
 namespace ckat::serve {
 
@@ -118,7 +120,7 @@ class OnlineRefresher {
   }
   /// Guardrail + publish-failure rollbacks so far.
   [[nodiscard]] std::uint64_t rollbacks() const noexcept {
-    return rollbacks_;
+    return rollbacks_.load();
   }
   /// Dimensions of the generation currently serving.
   [[nodiscard]] std::size_t serving_users() const;
@@ -147,9 +149,9 @@ class OnlineRefresher {
   /// Publishes `bundle` and persists its checkpoint; on publish
   /// failure counts a rollback and leaves the prior generation
   /// serving.
-  RefreshOutcome publish_bundle(std::shared_ptr<Bundle> bundle,
-                                double candidate_recall,
-                                RefreshOutcome outcome);
+  RefreshOutcome publish_bundle_locked(std::shared_ptr<Bundle> bundle,
+                                       double candidate_recall,
+                                       RefreshOutcome outcome);
 
   std::shared_ptr<ModelHandle> handle_;
   graph::InteractionSplit holdout_;  // fixed bootstrap-dimension split
@@ -159,10 +161,14 @@ class OnlineRefresher {
   int resolved_epochs_ = 2;
   double resolved_eps_ = 0.02;
 
-  std::shared_ptr<Bundle> serving_bundle_;  // serving generation (also in payload)
-  double serving_recall_ = 0.0;
-  std::uint64_t rollbacks_ = 0;
-  bool checkpoint_written_ = false;
+  /// Serializes refresh cycles: bootstrap()/ingest() take it for the
+  /// whole cycle, so concurrent callers queue instead of interleaving
+  /// half-grown generations.
+  util::OrderedMutex cycle_mutex_{"refresh.cycle"};
+  std::shared_ptr<Bundle> serving_bundle_;  // guarded by cycle_mutex_
+  double serving_recall_ = 0.0;             // guarded by cycle_mutex_
+  std::atomic<std::uint64_t> rollbacks_{0};
+  bool checkpoint_written_ = false;  // guarded by cycle_mutex_
 
   obs::Counter* deltas_published_ = nullptr;
   obs::Counter* deltas_bad_ = nullptr;

@@ -382,7 +382,7 @@ ShardRouter::ShardRouter(std::string dir, std::size_t n_users,
           obs::metric_names::kShardReplicaLatencySeconds,
           {{"shard", std::to_string(s)}, {"replica", std::to_string(r)}});
       {
-        std::lock_guard<std::mutex> lock(replica->mutex);
+        std::lock_guard<util::OrderedMutex> lock(replica->mutex);
         try {
           open_replica_locked(*replica);
           replica->healthy.store(true, std::memory_order_release);
@@ -415,7 +415,7 @@ ShardRouter::ShardRouter(std::string dir, std::size_t n_users,
 
 ShardRouter::~ShardRouter() {
   {
-    std::lock_guard<std::mutex> lock(probe_mutex_);
+    std::lock_guard<util::OrderedMutex> lock(probe_mutex_);
     probe_stop_ = true;
   }
   probe_cv_.notify_all();
@@ -584,7 +584,7 @@ bool ShardRouter::score_shard(Shard& shard, std::uint32_t user,
 
     ResilientRecommender::ScoreOutcome result;
     {
-      std::lock_guard<std::mutex> lock(replica.mutex);
+      std::lock_guard<util::OrderedMutex> lock(replica.mutex);
       if (!replica.slice_chain) continue;  // raced a kill/trip
       result = replica.slice_chain->score_with_budget(user, slice, allowance);
       if (result.kind == ResilientRecommender::ScoreOutcome::Kind::kServed) {
@@ -677,7 +677,7 @@ ShardOutcome ShardRouter::score(std::uint32_t user, std::span<float> out,
 
 void ShardRouter::kill_replica(std::size_t shard, std::size_t replica) {
   Replica& rep = *shards_.at(shard)->replica_slots.at(replica);
-  std::lock_guard<std::mutex> lock(rep.mutex);
+  std::lock_guard<util::OrderedMutex> lock(rep.mutex);
   if (!rep.healthy.load(std::memory_order_acquire)) return;
   // Force an immediate trip regardless of the failure threshold.
   rep.fail_streak = config_.replica_failure_threshold - 1;
@@ -699,7 +699,7 @@ void ShardRouter::probe_sweep() {
     for (const auto& slot : shard->replica_slots) {
       Replica& replica = *slot;
       if (replica.healthy.load(std::memory_order_acquire)) continue;
-      std::lock_guard<std::mutex> lock(replica.mutex);
+      std::lock_guard<util::OrderedMutex> lock(replica.mutex);
       try {
         if (!replica.slice_chain) open_replica_locked(replica);
         // Canary request: the replica only comes back when it can
@@ -737,7 +737,7 @@ void ShardRouter::probe_sweep() {
 }
 
 void ShardRouter::probe_loop() {
-  std::unique_lock<std::mutex> lock(probe_mutex_);
+  std::unique_lock<util::OrderedMutex> lock(probe_mutex_);
   while (!probe_stop_) {
     probe_cv_.wait_for(
         lock,

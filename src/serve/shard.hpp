@@ -57,6 +57,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/resilient.hpp"
+#include "util/lockorder.hpp"
 
 namespace ckat::serve {
 
@@ -288,7 +289,7 @@ class ShardRouter {
     /// Fast-path health flag: readers skip dead replicas without taking
     /// the mutex. Written with release under the mutex, read acquire.
     std::atomic<bool> healthy{false};
-    mutable std::mutex mutex;
+    mutable util::OrderedMutex mutex{"shard.replica"};
     std::shared_ptr<const MmapShardStore> mapped_store;  // guarded by mutex
     std::unique_ptr<eval::Recommender> slice_tier;       // guarded by mutex
     std::unique_ptr<eval::Recommender> prior_tier;       // guarded by mutex
@@ -350,8 +351,8 @@ class ShardRouter {
   std::atomic<std::uint64_t> replica_trips_{0};
   std::atomic<std::uint64_t> replica_recoveries_{0};
 
-  std::mutex probe_mutex_;
-  std::condition_variable probe_cv_;
+  util::OrderedMutex probe_mutex_{"shard.probe"};
+  std::condition_variable_any probe_cv_;
   bool probe_stop_ = false;  // guarded by probe_mutex_
   std::thread probe_thread_;
 };

@@ -54,7 +54,7 @@ std::uint64_t ModelHandle::publish(
 
   std::uint64_t version = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<util::OrderedMutex> lock(mutex_);
     version = epoch_.load(std::memory_order_relaxed) + 1;  // NOLINT(ckat-relaxed-atomic): read under mutex_, the only writer context — no concurrent ordering to establish
     auto next = std::make_shared<ModelVersion>();
     next->version = version;
@@ -79,7 +79,7 @@ std::shared_ptr<const ModelVersion> ModelHandle::acquire() const {
   for (int attempt = 0; attempt <= max_acquire_retries_; ++attempt) {
     std::shared_ptr<const ModelVersion> snapshot;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<util::OrderedMutex> lock(mutex_);
       snapshot = current_;
     }
     if (snapshot == nullptr) {

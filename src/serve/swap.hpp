@@ -37,6 +37,7 @@
 
 #include "eval/recommender.hpp"
 #include "obs/metrics.hpp"
+#include "util/lockorder.hpp"
 
 namespace ckat::serve {
 
@@ -100,7 +101,7 @@ class ModelHandle {
   [[nodiscard]] std::uint64_t torn_read_retries() const noexcept;
 
  private:
-  mutable std::mutex mutex_;
+  mutable util::OrderedMutex mutex_{"swap.handle"};
   std::shared_ptr<const ModelVersion> current_;  // guarded by mutex_
   // Mirror of current_->version for lock-free polling. Monotone and
   // only advanced under mutex_; readers need no ordering with the

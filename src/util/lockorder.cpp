@@ -1,0 +1,206 @@
+#include "util/lockorder.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+namespace ckat::util::lockorder {
+
+namespace {
+
+struct State {
+  std::mutex mu;
+  Handler handler;
+  // Edge (from -> to) keyed by lock name, with the acquiring thread's
+  // held-name stack (outermost first, `to` appended) at the time the
+  // edge was first observed.
+  std::map<std::pair<std::string, std::string>, std::vector<std::string>>
+      edge_stacks;
+  std::map<std::string, std::set<std::string>> adjacency;
+};
+
+State& state() {
+  static State* s = new State();  // leaked: outlives static destructors
+  return *s;
+}
+
+struct Held {
+  const void* mutex;
+  const char* name;
+};
+
+std::vector<Held>& held_stack() {
+  thread_local std::vector<Held> stack;
+  return stack;
+}
+
+void default_handler(const Violation& v) {
+  std::fprintf(stderr, "%s", v.message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::string join(const std::vector<std::string>& names, const char* sep) {
+  std::string out;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += sep;
+    out += names[i];
+  }
+  return out;
+}
+
+std::string render(const Violation& v) {
+  std::string msg = "ckat lockorder: ";
+  msg += v.kind == "reacquire"
+             ? "same-lock reacquire (self-deadlock on a non-recursive mutex)\n"
+             : "potential deadlock (lock-order inversion)\n";
+  msg += "  cycle: " + join(v.cycle, " -> ") + "\n";
+  msg += "  acquiring thread held (outermost first): " +
+         join(v.acquiring_stack, ", ") + "\n";
+  if (!v.prior_stack.empty()) {
+    msg += "  conflicting edge first seen while holding: " +
+           join(v.prior_stack, ", ") + "\n";
+  }
+  return msg;
+}
+
+std::vector<std::string> held_names_plus(const char* acquiring) {
+  std::vector<std::string> names;
+  for (const Held& h : held_stack()) names.emplace_back(h.name);
+  names.emplace_back(acquiring);
+  return names;
+}
+
+/// Finds a path `from -> ... -> to` in the edge graph; returns the
+/// node sequence including both endpoints, or empty if unreachable.
+/// Caller holds state().mu.
+std::vector<std::string> find_path(const State& s, const std::string& from,
+                                   const std::string& to) {
+  std::map<std::string, std::string> parent;
+  std::vector<std::string> frontier{from};
+  parent[from] = from;
+  while (!frontier.empty()) {
+    const std::string node = frontier.back();
+    frontier.pop_back();
+    auto it = s.adjacency.find(node);
+    if (it == s.adjacency.end()) continue;
+    for (const std::string& next : it->second) {
+      if (parent.count(next) != 0) continue;
+      parent[next] = node;
+      if (next == to) {
+        std::vector<std::string> path{to};
+        while (path.back() != from) path.push_back(parent[path.back()]);
+        return {path.rbegin(), path.rend()};
+      }
+      frontier.push_back(next);
+    }
+  }
+  return {};
+}
+
+void fail(Violation v) {
+  v.message = render(v);
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(state().mu);
+    handler = state().handler;
+  }
+  if (handler) {
+    handler(v);  // may throw (test hook); propagates out of lock()
+  } else {
+    default_handler(v);
+  }
+}
+
+}  // namespace
+
+Handler set_failure_handler(Handler handler) {
+  std::lock_guard<std::mutex> lock(state().mu);
+  Handler previous = std::move(state().handler);
+  state().handler = std::move(handler);
+  return previous;
+}
+
+std::vector<std::pair<std::string, std::string>> edges() {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::lock_guard<std::mutex> lock(state().mu);
+  for (const auto& [edge, stack] : state().edge_stacks) out.push_back(edge);
+  return out;
+}
+
+void reset() {
+  std::lock_guard<std::mutex> lock(state().mu);
+  state().edge_stacks.clear();
+  state().adjacency.clear();
+}
+
+std::size_t held_depth() { return held_stack().size(); }
+
+namespace detail {
+
+void note_acquire(const void* mutex, const char* name) {
+  const std::vector<Held>& held = held_stack();
+  for (const Held& h : held) {
+    if (h.mutex == mutex || std::string(h.name) == name) {
+      // Same instance: guaranteed self-deadlock. Same name, different
+      // instance: two locks of the same rank held at once -- the
+      // name-keyed graph cannot order them, so the discipline (one
+      // replica / one worker at a time) is broken either way.
+      Violation v;
+      v.kind = "reacquire";
+      v.cycle = {h.name, name};
+      v.acquiring_stack = held_names_plus(name);
+      fail(std::move(v));
+      return;
+    }
+  }
+  if (held.empty()) return;
+
+  Violation pending;
+  bool violated = false;
+  {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const Held& h : held) {
+      const std::pair<std::string, std::string> edge{h.name, name};
+      if (s.edge_stacks.count(edge) != 0) continue;
+      // Would h.name -> name close a cycle? Look for the reverse path.
+      std::vector<std::string> path = find_path(s, name, h.name);
+      if (!path.empty()) {
+        pending.kind = "inversion";
+        // path = name -> ... -> h.name, so prepending h.name yields
+        // the closed loop h.name -> name -> ... -> h.name.
+        pending.cycle = {h.name};
+        pending.cycle.insert(pending.cycle.end(), path.begin(), path.end());
+        // The conflicting edge is the first hop of the reverse path.
+        auto it = s.edge_stacks.find({path[0], path[1]});
+        if (it != s.edge_stacks.end()) pending.prior_stack = it->second;
+        pending.acquiring_stack = held_names_plus(name);
+        violated = true;
+        break;
+      }
+      s.edge_stacks.emplace(edge, held_names_plus(name));
+      s.adjacency[h.name].insert(name);
+    }
+  }
+  if (violated) fail(std::move(pending));
+}
+
+void note_acquired(const void* mutex, const char* name) {
+  held_stack().push_back(Held{mutex, name});
+}
+
+void note_release(const void* mutex) {
+  std::vector<Held>& held = held_stack();
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->mutex == mutex) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace detail
+
+}  // namespace ckat::util::lockorder

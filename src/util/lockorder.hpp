@@ -1,0 +1,133 @@
+// Runtime lock-order validation (the dynamic counterpart of the
+// ckat-lock-order static pass, DESIGN.md section 15).
+//
+// OrderedMutex is a named drop-in replacement for std::mutex. In
+// normal builds it is a zero-overhead forwarder. Under -DCKAT_VALIDATE
+// every blocking acquisition is checked against a process-global
+// lock-order graph *before* the thread can block:
+//
+//   - each thread keeps a stack of the OrderedMutexes it holds;
+//   - acquiring B while holding A records the edge A -> B (keyed by
+//     lock *name*, so every "ShardRouter replica" mutex is one node)
+//     together with the acquiring thread's held-lock stack;
+//   - an acquisition that would close a cycle in the edge graph (a
+//     potential deadlock, even if this particular schedule would have
+//     survived) or re-enter a lock the thread already holds reports a
+//     violation with BOTH acquisition stacks -- the current thread's
+//     and the stack recorded when the conflicting edge was first seen
+//     -- and calls the failure handler (default: stderr + abort()).
+//
+// Names are static strings ("gateway.worker", "shard.replica", ...);
+// the adoption map lives in DESIGN.md section 15. Locks with the same
+// name are ranked together: code must never hold two of them at once
+// unless it can order them globally some other way, which is exactly
+// the discipline the serving tier follows (one replica, one worker at
+// a time).
+#ifndef CKAT_UTIL_LOCKORDER_HPP_
+#define CKAT_UTIL_LOCKORDER_HPP_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ckat::util {
+
+namespace lockorder {
+
+/// A detected ordering violation, handed to the failure handler.
+struct Violation {
+  /// "inversion" or "reacquire".
+  std::string kind;
+  /// Lock names around the cycle, first == last (e.g. {"a","b","a"}).
+  std::vector<std::string> cycle;
+  /// The acquiring thread's held-lock names, outermost first, with the
+  /// lock being acquired appended.
+  std::vector<std::string> acquiring_stack;
+  /// The held-lock stack recorded when the conflicting edge was first
+  /// observed (empty for a same-lock reacquire).
+  std::vector<std::string> prior_stack;
+  /// Fully rendered human-readable report.
+  std::string message;
+};
+
+using Handler = std::function<void(const Violation&)>;
+
+/// Replaces the failure handler (default: print + abort) and returns
+/// the previous one. Tests install a throwing handler: note_acquire
+/// runs *before* the thread blocks on the underlying mutex, so a
+/// handler that throws leaves the mutex unlocked and the held stack
+/// intact.
+Handler set_failure_handler(Handler handler);
+
+/// Snapshot of the recorded edge set as (from, to) name pairs.
+std::vector<std::pair<std::string, std::string>> edges();
+
+/// Clears the recorded edge graph (not the per-thread held stacks;
+/// callers must not hold any OrderedMutex). Test-only.
+void reset();
+
+/// Number of locks the calling thread currently holds. Test-only.
+std::size_t held_depth();
+
+namespace detail {
+void note_acquire(const void* mutex, const char* name);
+void note_acquired(const void* mutex, const char* name);
+void note_release(const void* mutex);
+}  // namespace detail
+
+}  // namespace lockorder
+
+/// Named mutex participating in lock-order validation. Satisfies
+/// BasicLockable/Lockable, so it works with lock_guard, unique_lock,
+/// scoped_lock and condition_variable_any.
+class OrderedMutex {
+ public:
+  explicit OrderedMutex(const char* name) noexcept : name_(name) {}
+  OrderedMutex(const OrderedMutex&) = delete;
+  OrderedMutex& operator=(const OrderedMutex&) = delete;
+
+  void lock() {
+#if defined(CKAT_VALIDATE)
+    // Check and record the ordering edge *before* blocking: a real
+    // inversion must be reported, not deadlocked on.
+    lockorder::detail::note_acquire(this, name_);
+#endif
+    mutex_.lock();
+#if defined(CKAT_VALIDATE)
+    lockorder::detail::note_acquired(this, name_);
+#endif
+  }
+
+  bool try_lock() {
+    const bool ok = mutex_.try_lock();
+#if defined(CKAT_VALIDATE)
+    // A try_lock cannot block, hence cannot deadlock: it joins the
+    // held stack (releases must balance) but records no order edges.
+    if (ok) lockorder::detail::note_acquired(this, name_);
+#endif
+    return ok;
+  }
+
+  void unlock() {
+#if defined(CKAT_VALIDATE)
+    lockorder::detail::note_release(this);
+#endif
+    mutex_.unlock();
+  }
+
+  const char* name() const noexcept { return name_; }
+
+ private:
+  std::mutex mutex_;
+  const char* name_;
+};
+
+}  // namespace ckat::util
+
+namespace ckat {
+using util::OrderedMutex;
+}  // namespace ckat
+
+#endif  // CKAT_UTIL_LOCKORDER_HPP_

@@ -1,0 +1,23 @@
+// Fixture: a relaxed atomic load used as a publication gate. The
+// writer fills `snapshot_` and `rows_` and then sets `ready_`; the
+// reader checks `ready_` with memory_order_relaxed and dereferences
+// the plain members. Relaxed carries no happens-before edge, so the
+// reads can observe the pre-publication state. (This file sits under
+// src/obs/, where relaxed itself is allowlisted -- the publication
+// misuse is what fires.)
+#include <atomic>
+
+class FixtureExporter {
+ public:
+  int read_rows() {
+    if (ready_.load(std::memory_order_relaxed)) {
+      return snapshot_ + rows_;
+    }
+    return 0;
+  }
+
+ private:
+  std::atomic<bool> ready_{false};
+  int snapshot_ = 0;
+  int rows_ = 0;
+};

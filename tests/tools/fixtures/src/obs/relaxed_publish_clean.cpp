@@ -1,0 +1,27 @@
+// Fixture: the same gate done right -- the flag is read with acquire
+// (pairing a release store on the writer side), so the plain members
+// it publishes are visible. A relaxed load is still fine when the
+// branch touches nothing it would need to publish.
+#include <atomic>
+
+class FixtureExporter {
+ public:
+  int read_rows() {
+    if (ready_.load(std::memory_order_acquire)) {
+      return snapshot_ + rows_;
+    }
+    return 0;
+  }
+
+  bool poll() {
+    if (!ready_.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::atomic<bool> ready_{false};
+  int snapshot_ = 0;
+  int rows_ = 0;
+};

@@ -1,0 +1,12 @@
+// Fixture: a serve-path handler that receives a deadline budget and
+// then calls the scoring entry point without forwarding it -- the
+// callee falls back to its own default and the request is no longer
+// deadline-bounded end to end.
+#include <cstdint>
+
+int score_candidates(int user, int k, std::int64_t budget_us);
+
+int handle_request(int user, std::int64_t budget_us) {
+  (void)budget_us;
+  return score_candidates(user, 8);
+}

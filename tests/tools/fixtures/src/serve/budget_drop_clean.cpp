@@ -1,0 +1,9 @@
+// Fixture: the same handler forwarding the caller's remaining budget
+// into the scoring entry point.
+#include <cstdint>
+
+int score_candidates(int user, int k, std::int64_t budget_us);
+
+int handle_request(int user, std::int64_t budget_us) {
+  return score_candidates(user, 8, budget_us);
+}

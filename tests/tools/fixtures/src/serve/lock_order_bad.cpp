@@ -1,0 +1,26 @@
+// Fixture: a two-lock order inversion across member functions. The
+// rebalance path nests replica under router; the failure path nests
+// router under replica -- the lock-order graph has the cycle
+// router_mutex_ -> replica_mutex_ -> router_mutex_ and either schedule
+// can deadlock against the other.
+#include <mutex>
+
+class FixtureRouter {
+ public:
+  void rebalance() {
+    std::lock_guard<std::mutex> router(router_mutex_);
+    std::lock_guard<std::mutex> replica(replica_mutex_);
+    ++generation_;
+  }
+
+  void record_failure() {
+    std::lock_guard<std::mutex> replica(replica_mutex_);
+    std::lock_guard<std::mutex> router(router_mutex_);
+    ++generation_;
+  }
+
+ private:
+  std::mutex router_mutex_;
+  std::mutex replica_mutex_;
+  int generation_ = 0;
+};

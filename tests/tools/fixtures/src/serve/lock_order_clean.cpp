@@ -1,0 +1,24 @@
+// Fixture: the same two paths with a consistent acquisition order
+// (router before replica, everywhere). The lock-order graph has the
+// single edge router_mutex_ -> replica_mutex_ and no cycle.
+#include <mutex>
+
+class FixtureRouter {
+ public:
+  void rebalance() {
+    std::lock_guard<std::mutex> router(router_mutex_);
+    std::lock_guard<std::mutex> replica(replica_mutex_);
+    ++generation_;
+  }
+
+  void record_failure() {
+    std::lock_guard<std::mutex> router(router_mutex_);
+    std::lock_guard<std::mutex> replica(replica_mutex_);
+    ++generation_;
+  }
+
+ private:
+  std::mutex router_mutex_;
+  std::mutex replica_mutex_;
+  int generation_ = 0;
+};

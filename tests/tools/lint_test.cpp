@@ -104,10 +104,12 @@ TEST(CkatLint, DetachedThreadRule) {
 TEST(CkatLint, MutexGuardRule) {
   expect_rule_pair("src/serve/mutex_bad.cpp", "src/serve/mutex_clean.cpp",
                    "ckat-mutex-guard");
-  // Reported as a warning (heuristic rule), not an error.
+  // The dataflow pass proves the lock is not held at the access --
+  // reported as an error (the old co-occurrence heuristic was a
+  // warning).
   const LintResult r =
       run_lint("\"" + fixture("src/serve/mutex_bad.cpp") + "\"");
-  EXPECT_NE(r.output.find("warning: [ckat-mutex-guard]"), std::string::npos)
+  EXPECT_NE(r.output.find("error: [ckat-mutex-guard]"), std::string::npos)
       << r.output;
   // Exempt contexts -- in-class constructors and `*_locked` helpers
   // (caller holds the mutex by contract) -- stay silent.
@@ -125,6 +127,48 @@ TEST(CkatLint, MutexGuardRuleShardReplicaPattern) {
   // silent.
   expect_rule_pair("src/serve/shard_mutex_bad.cpp",
                    "src/serve/shard_mutex_clean.cpp", "ckat-mutex-guard");
+}
+
+TEST(CkatLint, LockOrderRule) {
+  expect_rule_pair("src/serve/lock_order_bad.cpp",
+                   "src/serve/lock_order_clean.cpp", "ckat-lock-order");
+  // The diagnostic names the full cycle and both acquisition sites.
+  const LintResult r =
+      run_lint("\"" + fixture("src/serve/lock_order_bad.cpp") + "\"");
+  EXPECT_NE(r.output.find("potential deadlock"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("FixtureRouter::router_mutex_ -> "
+                          "FixtureRouter::replica_mutex_"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("FixtureRouter::replica_mutex_ -> "
+                          "FixtureRouter::router_mutex_"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("rebalance"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("record_failure"), std::string::npos) << r.output;
+}
+
+TEST(CkatLint, RelaxedPublishRule) {
+  // Both fixtures live under src/obs/ (relaxed itself allowlisted
+  // there), so the publication misuse is the only thing that can fire.
+  expect_rule_pair("src/obs/relaxed_publish_bad.cpp",
+                   "src/obs/relaxed_publish_clean.cpp",
+                   "ckat-relaxed-publish");
+  const LintResult r =
+      run_lint("\"" + fixture("src/obs/relaxed_publish_bad.cpp") + "\"");
+  EXPECT_NE(r.output.find("'ready_'"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("'snapshot_'"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("'rows_'"), std::string::npos) << r.output;
+}
+
+TEST(CkatLint, BudgetDropRule) {
+  expect_rule_pair("src/serve/budget_drop_bad.cpp",
+                   "src/serve/budget_drop_clean.cpp", "ckat-budget-drop");
+  const LintResult r =
+      run_lint("\"" + fixture("src/serve/budget_drop_bad.cpp") + "\"");
+  EXPECT_NE(r.output.find("score_candidates"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("budget_us"), std::string::npos) << r.output;
 }
 
 TEST(CkatLint, IncludeGuardRule) {
@@ -199,11 +243,48 @@ TEST(CkatLint, ListRulesCoversCatalogue) {
   EXPECT_EQ(r.exit_code, 0);
   for (const char* rule :
        {"ckat-determinism", "ckat-env-registry", "ckat-metric-registry",
-        "ckat-relaxed-atomic", "ckat-detached-thread", "ckat-mutex-guard",
+        "ckat-relaxed-atomic", "ckat-lock-order", "ckat-mutex-guard",
+        "ckat-relaxed-publish", "ckat-budget-drop", "ckat-detached-thread",
         "ckat-include-guard", "ckat-using-namespace", "ckat-nolint-reason",
         "ckat-trace-context"}) {
     EXPECT_NE(r.output.find(rule), std::string::npos) << "missing " << rule;
   }
+}
+
+TEST(CkatLint, JsonFormat) {
+  const LintResult r = run_lint("--format=json \"" +
+                                fixture("src/serve/mutex_bad.cpp") + "\"");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("\"rule\":\"ckat-mutex-guard\""),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"severity\":\"error\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"errors\":1"), std::string::npos) << r.output;
+  // Human rendering is replaced, not duplicated.
+  EXPECT_EQ(r.output.find("error: ["), std::string::npos) << r.output;
+}
+
+TEST(CkatLint, SarifFormat) {
+  const LintResult r = run_lint("--format=sarif \"" +
+                                fixture("src/serve/lock_order_bad.cpp") +
+                                "\"");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("\"version\":\"2.1.0\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"ruleId\":\"ckat-lock-order\""),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"startLine\""), std::string::npos) << r.output;
+  // The driver advertises its rule catalogue.
+  EXPECT_NE(r.output.find("\"id\":\"ckat-budget-drop\""), std::string::npos)
+      << r.output;
+}
+
+TEST(CkatLint, SelfCheckPasses) {
+  const std::string root = CKAT_REPO_ROOT;
+  const LintResult r = run_lint("--root \"" + root + "\" --self-check");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
 TEST(CkatLint, RepoTreeIsLintClean) {

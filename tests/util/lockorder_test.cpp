@@ -1,0 +1,238 @@
+// Runtime lock-order validator (util/lockorder.hpp, DESIGN.md §15).
+//
+// The validator is compiled in only under -DCKAT_VALIDATE, so every
+// test here skips in plain builds (the CI validate and TSan jobs run
+// them armed). A throwing failure handler stands in for the default
+// abort(): note_acquire fires *before* the thread blocks, so throwing
+// leaves the mutex unlocked and the test process alive.
+#include "util/lockorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace lockorder = ckat::util::lockorder;
+using ckat::OrderedMutex;
+
+namespace {
+
+/// Thrown by the test failure handler instead of aborting.
+struct ViolationCaught : std::runtime_error {
+  lockorder::Violation violation;
+  explicit ViolationCaught(lockorder::Violation v)
+      : std::runtime_error(v.message), violation(std::move(v)) {}
+};
+
+class LockOrderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#if !defined(CKAT_VALIDATE)
+    GTEST_SKIP() << "lock-order validation requires -DCKAT_VALIDATE=ON";
+#endif
+    lockorder::reset();
+    previous_ = lockorder::set_failure_handler(
+        [](const lockorder::Violation& v) { throw ViolationCaught(v); });
+  }
+
+  void TearDown() override {
+#if defined(CKAT_VALIDATE)
+    lockorder::set_failure_handler(previous_);
+    lockorder::reset();
+#endif
+  }
+
+ private:
+  lockorder::Handler previous_;
+};
+
+TEST_F(LockOrderTest, NestedAcquisitionRecordsEdge) {
+  OrderedMutex a("test.a");
+  OrderedMutex b("test.b");
+  {
+    std::lock_guard<OrderedMutex> la(a);
+    std::lock_guard<OrderedMutex> lb(b);
+  }
+  const auto edges = lockorder::edges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].first, "test.a");
+  EXPECT_EQ(edges[0].second, "test.b");
+  EXPECT_EQ(lockorder::held_depth(), 0u);
+}
+
+TEST_F(LockOrderTest, InversionReportsBothStacksAndCycle) {
+  OrderedMutex a("test.a");
+  OrderedMutex b("test.b");
+  {
+    std::lock_guard<OrderedMutex> la(a);
+    std::lock_guard<OrderedMutex> lb(b);  // records a -> b
+  }
+  std::lock_guard<OrderedMutex> lb(b);
+  try {
+    a.lock();  // b -> a would close the cycle
+    a.unlock();
+    FAIL() << "inversion not detected";
+  } catch (const ViolationCaught& caught) {
+    const lockorder::Violation& v = caught.violation;
+    EXPECT_EQ(v.kind, "inversion");
+    const std::vector<std::string> want_cycle{"test.b", "test.a", "test.b"};
+    EXPECT_EQ(v.cycle, want_cycle);
+    // Both acquisition stacks are in the report: the acquiring
+    // thread's (holding b, acquiring a) and the stack recorded when
+    // the conflicting a -> b edge was first seen.
+    const std::vector<std::string> want_acquiring{"test.b", "test.a"};
+    EXPECT_EQ(v.acquiring_stack, want_acquiring);
+    const std::vector<std::string> want_prior{"test.a", "test.b"};
+    EXPECT_EQ(v.prior_stack, want_prior);
+    EXPECT_NE(v.message.find("test.a"), std::string::npos);
+    EXPECT_NE(v.message.find("test.b"), std::string::npos);
+    EXPECT_NE(v.message.find("potential deadlock"), std::string::npos);
+  }
+  // The violating edge was not recorded: the graph still holds only
+  // a -> b.
+  EXPECT_EQ(lockorder::edges().size(), 1u);
+}
+
+TEST_F(LockOrderTest, TransitiveCycleThroughThirdLockIsDetected) {
+  OrderedMutex a("test.a");
+  OrderedMutex b("test.b");
+  OrderedMutex c("test.c");
+  {
+    std::lock_guard<OrderedMutex> la(a);
+    std::lock_guard<OrderedMutex> lb(b);  // a -> b
+  }
+  {
+    std::lock_guard<OrderedMutex> lb(b);
+    std::lock_guard<OrderedMutex> lc(c);  // b -> c
+  }
+  std::lock_guard<OrderedMutex> lc(c);
+  EXPECT_THROW(a.lock(), ViolationCaught);  // c -> a closes a->b->c->a
+}
+
+TEST_F(LockOrderTest, SameLockReacquireIsReported) {
+  OrderedMutex a("test.a");
+  std::lock_guard<OrderedMutex> la(a);
+  try {
+    a.lock();
+    a.unlock();
+    FAIL() << "reacquire not detected";
+  } catch (const ViolationCaught& caught) {
+    EXPECT_EQ(caught.violation.kind, "reacquire");
+    EXPECT_NE(caught.violation.message.find("same-lock reacquire"),
+              std::string::npos);
+  }
+}
+
+TEST_F(LockOrderTest, SameNameDifferentInstanceCountsAsReacquire) {
+  // Two locks of the same rank ("shard.replica" style): the name-keyed
+  // graph cannot order them, so holding both is a violation even
+  // though the instances differ.
+  OrderedMutex r1("test.replica");
+  OrderedMutex r2("test.replica");
+  std::lock_guard<OrderedMutex> l1(r1);
+  EXPECT_THROW(r2.lock(), ViolationCaught);
+}
+
+TEST_F(LockOrderTest, TryLockJoinsStackButRecordsNoEdge) {
+  OrderedMutex a("test.a");
+  OrderedMutex b("test.b");
+  std::lock_guard<OrderedMutex> la(a);
+  ASSERT_TRUE(b.try_lock());
+  EXPECT_EQ(lockorder::held_depth(), 2u);
+  b.unlock();
+  EXPECT_EQ(lockorder::held_depth(), 1u);
+  EXPECT_TRUE(lockorder::edges().empty());
+}
+
+TEST_F(LockOrderTest, MultiThreadEdgeAccumulation) {
+  // N threads each acquire a disjoint pair in a consistent global
+  // order; the edge set accumulates one edge per pair and no thread
+  // trips a violation. Runs under TSan in CI: the validator's own
+  // bookkeeping must be race-free.
+  constexpr int kThreads = 8;
+  std::vector<std::unique_ptr<OrderedMutex>> outers;
+  std::vector<std::unique_ptr<OrderedMutex>> inners;
+  static const char* kOuterNames[kThreads] = {
+      "test.o0", "test.o1", "test.o2", "test.o3",
+      "test.o4", "test.o5", "test.o6", "test.o7"};
+  static const char* kInnerNames[kThreads] = {
+      "test.i0", "test.i1", "test.i2", "test.i3",
+      "test.i4", "test.i5", "test.i6", "test.i7"};
+  for (int i = 0; i < kThreads; ++i) {
+    outers.push_back(std::make_unique<OrderedMutex>(kOuterNames[i]));
+    inners.push_back(std::make_unique<OrderedMutex>(kInnerNames[i]));
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      for (int round = 0; round < 200; ++round) {
+        std::lock_guard<OrderedMutex> lo(*outers[i]);
+        std::lock_guard<OrderedMutex> li(*inners[i]);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto edges = lockorder::edges();
+  EXPECT_EQ(edges.size(), static_cast<std::size_t>(kThreads));
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_NE(std::find(edges.begin(), edges.end(),
+                        std::make_pair(std::string(kOuterNames[i]),
+                                       std::string(kInnerNames[i]))),
+              edges.end())
+        << kOuterNames[i];
+  }
+}
+
+TEST_F(LockOrderTest, CrossThreadInversionDetectedWithoutDeadlocking) {
+  // Thread 1 takes a then b (recording a -> b) and fully releases
+  // before thread 2 runs, so no schedule actually deadlocks -- the
+  // validator still reports thread 2's b -> a as a potential deadlock.
+  OrderedMutex a("test.a");
+  OrderedMutex b("test.b");
+  std::thread t1([&] {
+    std::lock_guard<OrderedMutex> la(a);
+    std::lock_guard<OrderedMutex> lb(b);
+  });
+  t1.join();
+  bool caught = false;
+  std::thread t2([&] {
+    std::lock_guard<OrderedMutex> lb(b);
+    try {
+      a.lock();
+      a.unlock();
+    } catch (const ViolationCaught&) {
+      caught = true;
+    }
+  });
+  t2.join();
+  EXPECT_TRUE(caught);
+}
+
+TEST_F(LockOrderTest, ConditionVariableAnyWaitReleasesHeldSlot) {
+  // condition_variable_any::wait unlocks/relocks through the
+  // OrderedMutex interface; the held stack must stay balanced.
+  OrderedMutex m("test.cv");
+  std::condition_variable_any cv;
+  bool ready = false;
+  std::thread t([&] {
+    std::unique_lock<OrderedMutex> lock(m);
+    cv.wait(lock, [&] { return ready; });
+    EXPECT_EQ(lockorder::held_depth(), 1u);
+  });
+  {
+    std::lock_guard<OrderedMutex> lock(m);
+    ready = true;
+  }
+  cv.notify_one();
+  t.join();
+  EXPECT_EQ(lockorder::held_depth(), 0u);
+}
+
+}  // namespace

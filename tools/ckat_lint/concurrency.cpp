@@ -1,0 +1,315 @@
+#include "concurrency.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+namespace ckat::lint {
+
+namespace {
+
+/// Diagnostics apply to shipped code only; tests and benches exercise
+/// deliberate misuse (fixtures keep "src/" in their path on purpose).
+bool in_scope(const std::string& path) {
+  return path.find("src/") != std::string::npos;
+}
+
+/// Bare member name of a lock id ("Worker::mutex" -> "mutex").
+std::string bare(const std::string& lock) {
+  const std::size_t colon = lock.rfind(':');
+  return colon == std::string::npos ? lock : lock.substr(colon + 1);
+}
+
+/// A held lock satisfies a requirement when the ids match exactly, or
+/// when either side resolved ambiguously ("?::name") and the bare
+/// member names agree (conservative: never flag what we cannot name).
+bool satisfies(const std::vector<std::string>& held,
+               const std::string& required) {
+  for (const std::string& h : held) {
+    if (h == required) return true;
+    if ((h.rfind("?::", 0) == 0 || required.rfind("?::", 0) == 0) &&
+        bare(h) == bare(required)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Method names too generic for unique-name call resolution: a call to
+/// `x.push(...)` could be a container just as well as the one modeled
+/// function named push.
+const std::set<std::string>& unresolvable_names() {
+  static const std::set<std::string> kNames = {
+      "push",  "pop",    "top",   "front", "back",  "size",  "empty",
+      "clear", "insert", "erase", "find",  "count", "begin", "end",
+      "at",    "get",    "reset", "load",  "store", "lock",  "unlock",
+      "wait",  "swap",   "emplace", "run", "stop",  "start", "close",
+      "open",  "add",    "next",  "value", "name",  "data"};
+  return kNames;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ckat-lock-order
+// ---------------------------------------------------------------------------
+
+void check_lock_order(const Model& model, std::vector<Diagnostic>& out) {
+  struct EdgeSite {
+    std::string file;
+    std::size_t line = 0;
+    std::string func;
+  };
+  std::map<std::pair<std::string, std::string>, EdgeSite> edges;
+  std::map<std::string, std::set<std::string>> adj;
+  const auto add_edge = [&](const std::string& from, const std::string& to,
+                            EdgeSite site) {
+    if (from == to) return;
+    edges.emplace(std::make_pair(from, to), std::move(site));
+    adj[from].insert(to);
+  };
+
+  // Locks a function acquires directly or through uniquely-resolved
+  // callees (memoized; recursion breaks via the visiting mark).
+  const std::size_t n = model.functions.size();
+  std::vector<std::optional<std::set<std::string>>> memo(n);
+  std::vector<bool> visiting(n, false);
+  const std::function<const std::set<std::string>&(std::size_t)> acquired =
+      [&](std::size_t idx) -> const std::set<std::string>& {
+    static const std::set<std::string> kEmpty;
+    if (memo[idx]) return *memo[idx];
+    if (visiting[idx]) return kEmpty;
+    visiting[idx] = true;
+    std::set<std::string> locks;
+    const FunctionModel& fn = model.functions[idx];
+    for (const LockUse& acq : fn.acquisitions) locks.insert(acq.lock);
+    for (const CallUse& call : fn.calls) {
+      if (unresolvable_names().count(call.callee) != 0) continue;
+      const auto it = model.functions_by_name.find(call.callee);
+      if (it == model.functions_by_name.end() || it->second.size() != 1) {
+        continue;
+      }
+      const std::set<std::string>& inner = acquired(it->second.front());
+      locks.insert(inner.begin(), inner.end());
+    }
+    visiting[idx] = false;
+    memo[idx] = std::move(locks);
+    return *memo[idx];
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const FunctionModel& fn = model.functions[i];
+    if (!in_scope(fn.file)) continue;
+    const std::string tag =
+        fn.cls.empty() ? fn.name : fn.cls + "::" + fn.name;
+    for (const LockUse& acq : fn.acquisitions) {
+      for (const std::string& h : acq.held) {
+        add_edge(h, acq.lock, {fn.file, acq.line, tag});
+      }
+    }
+    for (const CallUse& call : fn.calls) {
+      if (call.held.empty()) continue;
+      if (unresolvable_names().count(call.callee) != 0) continue;
+      const auto it = model.functions_by_name.find(call.callee);
+      if (it == model.functions_by_name.end() || it->second.size() != 1) {
+        continue;
+      }
+      for (const std::string& inner : acquired(it->second.front())) {
+        for (const std::string& h : call.held) {
+          add_edge(h, inner,
+                   {fn.file, call.line, tag + " -> " + call.callee});
+        }
+      }
+    }
+  }
+
+  // Shortest path to -> from closes the cycle for edge (from, to).
+  const auto find_path = [&](const std::string& from,
+                             const std::string& to) {
+    std::map<std::string, std::string> parent;
+    std::deque<std::string> queue{from};
+    parent[from] = from;
+    while (!queue.empty()) {
+      const std::string node = queue.front();
+      queue.pop_front();
+      if (node == to) {
+        std::vector<std::string> path{to};
+        for (std::string cur = to; parent[cur] != cur;) {
+          cur = parent[cur];
+          path.push_back(cur);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      const auto it = adj.find(node);
+      if (it == adj.end()) continue;
+      for (const std::string& next : it->second) {
+        if (parent.emplace(next, node).second) queue.push_back(next);
+      }
+    }
+    return std::vector<std::string>{};
+  };
+
+  std::set<std::vector<std::string>> reported;
+  for (const auto& [edge, site] : edges) {
+    (void)site;
+    const std::vector<std::string> back = find_path(edge.second, edge.first);
+    if (back.empty()) continue;
+    // Cycle nodes: from -> to -> ... -> from; canonicalize by rotating
+    // the smallest node first so each cycle reports once.
+    std::vector<std::string> nodes{edge.first};
+    nodes.insert(nodes.end(), back.begin(), back.end() - 1);
+    const auto min_it = std::min_element(nodes.begin(), nodes.end());
+    std::rotate(nodes.begin(), nodes.begin() + (min_it - nodes.begin()),
+                nodes.end());
+    if (!reported.insert(nodes).second) continue;
+
+    std::ostringstream msg;
+    msg << "potential deadlock: lock-order cycle ";
+    for (const std::string& node : nodes) msg << node << " -> ";
+    msg << nodes.front();
+    std::string diag_file;
+    std::size_t diag_line = 0;
+    for (std::size_t k = 0; k < nodes.size(); ++k) {
+      const std::string& a = nodes[k];
+      const std::string& b = nodes[(k + 1) % nodes.size()];
+      const auto it = edges.find({a, b});
+      if (it == edges.end()) continue;
+      msg << "; " << a << " -> " << b << " at " << it->second.file << ":"
+          << it->second.line << " (" << it->second.func << ")";
+      if (diag_file.empty() ||
+          std::tie(it->second.file, it->second.line) <
+              std::tie(diag_file, diag_line)) {
+        diag_file = it->second.file;
+        diag_line = it->second.line;
+      }
+    }
+    out.push_back(
+        {diag_file, diag_line, kLockOrderRule, Severity::kError, msg.str()});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ckat-mutex-guard
+// ---------------------------------------------------------------------------
+
+void check_guarded_fields(const Model& model, std::vector<Diagnostic>& out) {
+  for (const FunctionModel& fn : model.functions) {
+    if (fn.exempt || !in_scope(fn.file)) continue;
+    std::set<std::pair<std::string, std::size_t>> seen;
+    for (const AccessUse& access : fn.accesses) {
+      if (satisfies(access.held, access.required)) continue;
+      if (!seen.insert({access.field, access.line}).second) continue;
+      out.push_back(
+          {fn.file, access.line, kMutexGuardRule, Severity::kError,
+           "member '" + access.field + "' of " + access.cls +
+               " (guarded by " + bare(access.required) +
+               ") is accessed without holding " + bare(access.required) +
+               "; take the lock, or move the access into a *_locked "
+               "helper whose callers hold it"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ckat-relaxed-publish
+// ---------------------------------------------------------------------------
+
+void check_relaxed_publish(const Model& model, std::vector<Diagnostic>& out) {
+  for (const FunctionModel& fn : model.functions) {
+    if (!in_scope(fn.file)) continue;
+    for (const RelaxedGate& gate : fn.relaxed_gates) {
+      std::set<std::string> fields;
+      for (const RelaxedGate::PlainAccess& access : gate.unsynchronized) {
+        fields.insert("'" + access.field + "'");
+      }
+      std::string joined;
+      for (const std::string& f : fields) {
+        if (!joined.empty()) joined += ", ";
+        joined += f;
+      }
+      out.push_back(
+          {fn.file, gate.line, kRelaxedPublishRule, Severity::kError,
+           "relaxed load of '" + gate.atomic_field +
+               "' gates unsynchronized access to plain member(s) " + joined +
+               "; a relaxed read does not publish writes made before the "
+               "flag was set -- use acquire on the load (release on the "
+               "store), or hold the guarding mutex in the branch"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ckat-budget-drop
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool budget_ish(std::string param) {
+  if (!param.empty() && param.back() == '=') param.pop_back();
+  std::transform(param.begin(), param.end(), param.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return param.find("budget") != std::string::npos ||
+         param.find("deadline") != std::string::npos ||
+         param.find("remaining") != std::string::npos;
+}
+
+bool budget_entry_point(const std::string& name) {
+  return name.rfind("score", 0) == 0 || name.rfind("handle", 0) == 0;
+}
+
+}  // namespace
+
+void check_budget_drop(const Model& model, std::vector<Diagnostic>& out) {
+  for (const FunctionModel& fn : model.functions) {
+    if (fn.file.find("src/serve/") == std::string::npos) continue;
+    std::string budget_param;
+    for (const std::string& p : fn.params) {
+      if (budget_ish(p)) budget_param = p;
+    }
+    if (budget_param.empty()) continue;
+    for (const CallUse& call : fn.calls) {
+      if (!budget_entry_point(call.callee)) continue;
+      const auto it = model.signatures_by_name.find(call.callee);
+      if (it == model.signatures_by_name.end()) continue;
+      // Every known overload must take the budget; the smallest
+      // argument count that reaches any overload's budget parameter is
+      // what the call site owes.
+      std::size_t required = SIZE_MAX;
+      bool all_budgeted = true;
+      for (const std::size_t sig_idx : it->second) {
+        const SignatureModel& sig = model.signatures[sig_idx];
+        std::size_t position = SIZE_MAX;
+        for (std::size_t p = 0; p < sig.params.size(); ++p) {
+          if (budget_ish(sig.params[p])) {
+            position = p + 1;
+            break;
+          }
+        }
+        if (position == SIZE_MAX) {
+          all_budgeted = false;
+          break;
+        }
+        required = std::min(required, position);
+      }
+      if (!all_budgeted || required == SIZE_MAX) continue;
+      if (call.argc >= required) continue;
+      out.push_back(
+          {fn.file, call.line, kBudgetDropRule, Severity::kError,
+           "call to '" + call.callee + "' drops the deadline budget: " +
+               std::to_string(call.argc) + " argument(s) passed but every '" +
+               call.callee + "' overload takes the budget at position " +
+               std::to_string(required) + "; forward '" +
+               (budget_param.back() == '=' ? budget_param.substr(
+                                                 0, budget_param.size() - 1)
+                                           : budget_param) +
+               "' so downstream work stays deadline-bounded"});
+    }
+  }
+}
+
+}  // namespace ckat::lint

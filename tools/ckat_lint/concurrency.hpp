@@ -1,0 +1,43 @@
+// Cross-TU concurrency passes over the source model (model.hpp):
+//
+//   ckat-lock-order       global lock-order graph (direct nested
+//                         acquisitions plus call-graph-transitive ones);
+//                         any cycle is a potential deadlock, reported
+//                         with the full cycle and each edge's
+//                         acquisition site.
+//   ckat-mutex-guard      every access to a `// guarded by <m>` field
+//                         must occur while <m> is held (positional
+//                         dataflow over lock scopes), or inside a
+//                         constructor/destructor or `*_locked` helper.
+//   ckat-relaxed-publish  a memory_order_relaxed load used as a
+//                         publication/ownership gate: the guarded
+//                         branch touches plain members of the same
+//                         class with no lock held, which a relaxed
+//                         read cannot publish.
+//   ckat-budget-drop      a src/serve function that receives a
+//                         deadline budget calls a score*/handle*
+//                         entry point without forwarding it.
+//
+// Scope: diagnostics are emitted only for functions whose path
+// contains "src/" -- tests and benches exercise deliberate misuse
+// (the lock-order validator tests construct inversions on purpose).
+#pragma once
+
+#include <vector>
+
+#include "lint.hpp"
+#include "model.hpp"
+
+namespace ckat::lint {
+
+inline constexpr const char* kLockOrderRule = "ckat-lock-order";
+inline constexpr const char* kMutexGuardRule = "ckat-mutex-guard";
+inline constexpr const char* kRelaxedPublishRule = "ckat-relaxed-publish";
+inline constexpr const char* kBudgetDropRule = "ckat-budget-drop";
+
+void check_lock_order(const Model& model, std::vector<Diagnostic>& out);
+void check_guarded_fields(const Model& model, std::vector<Diagnostic>& out);
+void check_relaxed_publish(const Model& model, std::vector<Diagnostic>& out);
+void check_budget_drop(const Model& model, std::vector<Diagnostic>& out);
+
+}  // namespace ckat::lint

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cctype>
-#include <fstream>
+#include <cstdio>
 #include <map>
 #include <regex>
 #include <set>
 #include <sstream>
+
+#include "concurrency.hpp"
+#include "model.hpp"
 
 namespace ckat::lint {
 
@@ -21,7 +24,6 @@ constexpr const char* kEnvRegistry = "ckat-env-registry";
 constexpr const char* kMetricRegistry = "ckat-metric-registry";
 constexpr const char* kRelaxedAtomic = "ckat-relaxed-atomic";
 constexpr const char* kDetachedThread = "ckat-detached-thread";
-constexpr const char* kMutexGuard = "ckat-mutex-guard";
 constexpr const char* kIncludeGuard = "ckat-include-guard";
 constexpr const char* kUsingNamespace = "ckat-using-namespace";
 constexpr const char* kNolintReason = "ckat-nolint-reason";
@@ -86,172 +88,6 @@ bool in_relaxed_allowlist(const std::string& path) {
 }
 
 // ---------------------------------------------------------------------------
-// Lexing: strip comments, blank string/char literal contents, drop
-// preprocessor lines for the brace-tracking pass.
-// ---------------------------------------------------------------------------
-
-struct StringLiteral {
-  std::size_t line = 0;  // 1-based
-  std::string text;
-};
-
-struct SourceFile {
-  std::string path;
-  std::vector<std::string> raw;
-  /// Comments stripped, literal contents blanked (delimiters kept).
-  std::vector<std::string> code;
-  /// `code` with preprocessor lines additionally blanked; used by the
-  /// brace tracker so unbalanced braces in macros cannot skew it.
-  std::vector<std::string> code_nopp;
-  std::vector<StringLiteral> strings;
-  bool readable = false;
-};
-
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string current;
-  for (char c : text) {
-    if (c == '\n') {
-      lines.push_back(current);
-      current.clear();
-    } else if (c != '\r') {
-      current += c;
-    }
-  }
-  lines.push_back(current);
-  return lines;
-}
-
-/// Single pass over the raw text producing comment/string-stripped lines
-/// plus the collected string-literal contents.
-void lex(SourceFile& file) {
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString,
-  };
-  State state = State::kCode;
-  std::string raw_delim;        // raw-string closing delimiter ")delim"
-  std::string literal;          // current string literal contents
-  std::size_t literal_line = 0;
-
-  file.code.reserve(file.raw.size());
-  for (std::size_t li = 0; li < file.raw.size(); ++li) {
-    const std::string& in = file.raw[li];
-    std::string out(in.size(), ' ');
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      const char c = in[i];
-      const char next = i + 1 < in.size() ? in[i + 1] : '\0';
-      switch (state) {
-        case State::kCode:
-          if (c == '/' && next == '/') {
-            state = State::kLineComment;
-            ++i;
-          } else if (c == '/' && next == '*') {
-            state = State::kBlockComment;
-            ++i;
-          } else if (c == '"' && i >= 1 && (in[i - 1] == 'R')) {
-            // Raw string R"delim( ... )delim"
-            out[i] = '"';
-            std::string delim;
-            std::size_t j = i + 1;
-            while (j < in.size() && in[j] != '(') delim += in[j++];
-            raw_delim = ")" + delim + "\"";
-            state = State::kRawString;
-            literal.clear();
-            literal_line = li + 1;
-            i = j;  // skip past '('
-          } else if (c == '"') {
-            out[i] = '"';
-            state = State::kString;
-            literal.clear();
-            literal_line = li + 1;
-          } else if (c == '\'') {
-            out[i] = '\'';
-            state = State::kChar;
-          } else {
-            out[i] = c;
-          }
-          break;
-        case State::kLineComment:
-          break;  // reset at end of line
-        case State::kBlockComment:
-          if (c == '*' && next == '/') {
-            state = State::kCode;
-            ++i;
-          }
-          break;
-        case State::kString:
-          if (c == '\\') {
-            literal += c;
-            if (next != '\0') literal += next;
-            ++i;
-          } else if (c == '"') {
-            out[i] = '"';
-            file.strings.push_back({literal_line, literal});
-            state = State::kCode;
-          } else {
-            literal += c;
-          }
-          break;
-        case State::kChar:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '\'') {
-            out[i] = '\'';
-            state = State::kCode;
-          }
-          break;
-        case State::kRawString:
-          if (c == ')' && in.compare(i, raw_delim.size(), raw_delim) == 0) {
-            file.strings.push_back({literal_line, literal});
-            i += raw_delim.size() - 1;
-            out[i] = '"';
-            state = State::kCode;
-          } else {
-            literal += c;
-          }
-          break;
-      }
-    }
-    if (state == State::kLineComment) state = State::kCode;
-    file.code.push_back(out);
-  }
-
-  // Blank preprocessor lines (and their backslash continuations).
-  file.code_nopp = file.code;
-  bool continuation = false;
-  for (std::size_t li = 0; li < file.code_nopp.size(); ++li) {
-    const std::string& line = file.code_nopp[li];
-    const std::size_t first = line.find_first_not_of(" \t");
-    const bool directive =
-        first != std::string::npos && line[first] == '#';
-    if (directive || continuation) {
-      continuation = !line.empty() && line.back() == '\\';
-      file.code_nopp[li] = std::string(line.size(), ' ');
-    } else {
-      continuation = false;
-    }
-  }
-}
-
-SourceFile load(const std::string& path) {
-  SourceFile file;
-  file.path = path;
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return file;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  file.raw = split_lines(buffer.str());
-  file.readable = true;
-  lex(file);
-  return file;
-}
-
-// ---------------------------------------------------------------------------
 // NOLINT suppressions
 // ---------------------------------------------------------------------------
 
@@ -311,54 +147,19 @@ std::vector<Suppression> collect_suppressions(const SourceFile& file) {
 }
 
 // ---------------------------------------------------------------------------
-// Cross-file context: guarded members, env registry, README table
+// Cross-file context: env registry, README table
 // ---------------------------------------------------------------------------
-
-struct GuardedMember {
-  std::string mutex_name;
-  std::string declared_in;
-};
 
 struct EnvRegistryEntry {
   std::size_t line = 0;
 };
 
 struct Context {
-  std::map<std::string, GuardedMember> guarded;
   bool have_registry = false;
   std::map<std::string, EnvRegistryEntry> env_vars;  // name -> decl line
   std::string env_hpp_path;
   std::string readme_path;
 };
-
-/// Extracts the member name from a declaration line annotated with
-/// "// guarded by <mutex>": the last identifier before '=', '{' or ';'.
-std::string declared_member_name(const std::string& code_line) {
-  std::size_t end = code_line.size();
-  for (const char stop : {'=', '{', ';'}) {
-    const std::size_t pos = code_line.find(stop);
-    end = std::min(end, pos == std::string::npos ? code_line.size() : pos);
-  }
-  const std::string decl = code_line.substr(0, end);
-  static const std::regex ident("[A-Za-z_][A-Za-z0-9_]*");
-  std::string last;
-  for (auto it = std::sregex_iterator(decl.begin(), decl.end(), ident);
-       it != std::sregex_iterator(); ++it) {
-    last = it->str();
-  }
-  return last;
-}
-
-void collect_guarded_members(const SourceFile& file, Context& ctx) {
-  static const std::regex annotation("//\\s*guarded by\\s+([A-Za-z_]\\w*)");
-  for (std::size_t li = 0; li < file.raw.size(); ++li) {
-    std::smatch m;
-    if (!std::regex_search(file.raw[li], m, annotation)) continue;
-    const std::string member = declared_member_name(file.code[li]);
-    if (member.empty()) continue;
-    ctx.guarded[member] = GuardedMember{m[1].str(), file.path};
-  }
-}
 
 // ---------------------------------------------------------------------------
 // The analyzer
@@ -372,19 +173,29 @@ class Analyzer {
     std::vector<SourceFile> files;
     files.reserve(paths.size());
     for (const std::string& path : paths) {
-      files.push_back(load(path));
+      files.push_back(load_source(path));
       if (!files.back().readable) {
         add(path, 0, kIo, Severity::kError, "cannot read file");
       }
     }
     if (!options_.root.empty()) load_registry();
-    for (const SourceFile& file : files) {
-      if (file.readable) collect_guarded_members(file, ctx_);
-    }
     if (ctx_.have_registry) check_registry_vs_readme();
     for (const SourceFile& file : files) {
       if (file.readable) analyze(file);
     }
+
+    // Cross-TU concurrency passes over the whole model; suppressions
+    // apply at whichever file/line a diagnostic lands on.
+    const Model model = build_model(files);
+    std::vector<Diagnostic> global;
+    check_lock_order(model, global);
+    check_guarded_fields(model, global);
+    check_relaxed_publish(model, global);
+    check_budget_drop(model, global);
+    for (Diagnostic& diag : global) {
+      if (!suppressed(diag)) diags_.push_back(std::move(diag));
+    }
+
     std::sort(diags_.begin(), diags_.end(),
               [](const Diagnostic& a, const Diagnostic& b) {
                 return std::tie(a.file, a.line, a.rule) <
@@ -400,12 +211,23 @@ class Analyzer {
         {std::move(file), line, std::move(rule), severity, std::move(message)});
   }
 
+  bool suppressed(const Diagnostic& diag) const {
+    const auto it = suppressions_.find(diag.file);
+    if (it == suppressions_.end()) return false;
+    return std::any_of(it->second.begin(), it->second.end(),
+                       [&](const Suppression& sup) {
+                         return sup.has_reason &&
+                                sup.target_line == diag.line &&
+                                sup.rules.count(diag.rule) > 0;
+                       });
+  }
+
   // -- registry loading -----------------------------------------------------
 
   void load_registry() {
     ctx_.env_hpp_path = options_.root + "/src/util/env.hpp";
     ctx_.readme_path = options_.root + "/README.md";
-    SourceFile env_hpp = load(ctx_.env_hpp_path);
+    SourceFile env_hpp = load_source(ctx_.env_hpp_path);
     if (!env_hpp.readable) {
       add(ctx_.env_hpp_path, 0, kIo, Severity::kError,
           "cannot read the env-var registry");
@@ -424,7 +246,7 @@ class Analyzer {
   /// Both directions: every registered variable documented in the
   /// README's runtime-configuration table, every table row registered.
   void check_registry_vs_readme() {
-    SourceFile readme = load(ctx_.readme_path);
+    SourceFile readme = load_source(ctx_.readme_path);
     if (!readme.readable) {
       add(ctx_.readme_path, 0, kIo, Severity::kError, "cannot read README");
       return;
@@ -467,7 +289,9 @@ class Analyzer {
   // -- per-file analysis ----------------------------------------------------
 
   void analyze(const SourceFile& file) {
-    const std::vector<Suppression> suppressions = collect_suppressions(file);
+    const std::vector<Suppression>& suppressions =
+        suppressions_.emplace(file.path, collect_suppressions(file))
+            .first->second;
     std::vector<Diagnostic> candidates;
     const auto candidate = [&](std::size_t line, const char* rule,
                                Severity severity, std::string message) {
@@ -490,7 +314,6 @@ class Analyzer {
         !file.path.ends_with("src/serve/gateway.cpp")) {
       check_trace_context(file, candidate);
     }
-    check_mutex_guard(file, candidate);
     if (is_header(file.path)) {
       check_include_guard(file, candidate);
       check_using_namespace(file, candidate);
@@ -506,13 +329,7 @@ class Analyzer {
       }
     }
     for (Diagnostic& diag : candidates) {
-      const bool suppressed = std::any_of(
-          suppressions.begin(), suppressions.end(),
-          [&](const Suppression& sup) {
-            return sup.has_reason && sup.target_line == diag.line &&
-                   sup.rules.count(diag.rule) > 0;
-          });
-      if (!suppressed) diags_.push_back(std::move(diag));
+      if (!suppressed(diag)) diags_.push_back(std::move(diag));
     }
   }
 
@@ -642,186 +459,6 @@ class Analyzer {
     }
   }
 
-  /// Heuristic: inside each top-level function body, a member annotated
-  /// "// guarded by <mutex>" must co-occur with a lock guard. Tracks
-  /// braces on preprocessor-free text. Exempt: constructors/destructors
-  /// (single-threaded setup/teardown) and functions named `*_locked`
-  /// (the suffix is this repo's contract that the caller holds the
-  /// mutex).
-  template <typename Emit>
-  void check_mutex_guard(const SourceFile& file, const Emit& candidate) {
-    if (ctx_.guarded.empty()) return;
-    static const std::regex ctor_dtor("(~?)([A-Za-z_]\\w*)::~?\\2\\s*\\(");
-    static const std::regex locked_fn("\\b[A-Za-z_]\\w*_locked\\s*\\(");
-
-    // In-class ctor/dtor headers carry no return type: after dropping
-    // qualifier/access-specifier prefixes and specifier keywords, a
-    // single PascalCase identifier precedes the '('. ALL_CAPS names are
-    // rejected so function-style macros (TEST, EXPECT_...) stay checked.
-    const auto is_inline_ctor = [](const std::string& hdr) {
-      const std::size_t paren = hdr.find('(');
-      if (paren == std::string::npos) return false;
-      std::string head = hdr.substr(0, paren);
-      if (const std::size_t colon = head.rfind(':');
-          colon != std::string::npos) {
-        head = head.substr(colon + 1);
-      }
-      static const std::regex ident("[A-Za-z_~][A-Za-z0-9_]*");
-      std::string name;
-      int tokens = 0;
-      for (auto it = std::sregex_iterator(head.begin(), head.end(), ident);
-           it != std::sregex_iterator(); ++it) {
-        const std::string tok = it->str();
-        if (tok == "explicit" || tok == "inline" || tok == "constexpr") {
-          continue;
-        }
-        name = tok;
-        ++tokens;
-      }
-      if (tokens != 1) return false;
-      if (!name.empty() && name[0] == '~') name.erase(0, 1);
-      if (name.empty() || std::isupper(static_cast<unsigned char>(name[0])) == 0) {
-        return false;
-      }
-      return std::any_of(name.begin(), name.end(), [](unsigned char c) {
-        return std::islower(c) != 0;
-      });
-    };
-
-    // Only annotations from this translation unit apply: the same file,
-    // or its header/source sibling (same path stem). Guarded members are
-    // keyed by bare name, so a cross-file match on a common name like
-    // `path_` would flag unrelated classes.
-    const auto stem = [](const std::string& path) {
-      const std::size_t dot = path.rfind('.');
-      return dot == std::string::npos ? path : path.substr(0, dot);
-    };
-    std::map<std::string, GuardedMember> guarded;
-    for (const auto& [member, info] : ctx_.guarded) {
-      if (stem(info.declared_in) == stem(file.path)) {
-        guarded.emplace(member, info);
-      }
-    }
-    if (guarded.empty()) return;
-
-    // Phase 1: brace-track (on preprocessor-free text) which top-level
-    // function body each line belongs to. A line that merely contains
-    // part of a function (one-liner bodies, the closing brace) counts as
-    // belonging to it -- over-approximating by whole lines keeps the
-    // heuristic simple.
-    struct Function {
-      bool exempt = false;  // ctor/dtor or a `*_locked` helper
-      bool saw_lock = false;
-      std::map<std::string, std::size_t> uses;  // member -> first line
-    };
-    std::vector<Function> functions;
-    std::vector<std::vector<std::size_t>> line_functions(
-        file.code_nopp.size());
-    struct Block {
-      bool is_function = false;
-    };
-    std::vector<Block> stack;
-    std::size_t current = SIZE_MAX;  // index into `functions`
-    std::size_t function_depth = 0;
-    std::string header;
-
-    for (std::size_t li = 0; li < file.code_nopp.size(); ++li) {
-      const auto mark = [&] {
-        if (current == SIZE_MAX) return;
-        std::vector<std::size_t>& marks = line_functions[li];
-        if (marks.empty() || marks.back() != current) marks.push_back(current);
-      };
-      mark();
-      for (char c : file.code_nopp[li]) {
-        if (c == '{') {
-          Block block;
-          if (current == SIZE_MAX) {
-            static const std::regex type_keyword(
-                "\\b(class|struct|union|enum|namespace)\\b");
-            const bool looks_like_function =
-                header.find('(') != std::string::npos &&
-                header.find(')') != std::string::npos &&
-                header.find('=') == std::string::npos &&
-                !std::regex_search(header, type_keyword);
-            if (looks_like_function) {
-              block.is_function = true;
-              current = functions.size();
-              Function fn;
-              fn.exempt = std::regex_search(header, ctor_dtor) ||
-                          std::regex_search(header, locked_fn) ||
-                          is_inline_ctor(header);
-              functions.push_back(fn);
-              function_depth = stack.size();
-              mark();
-            }
-          }
-          stack.push_back(block);
-          header.clear();
-        } else if (c == '}') {
-          if (!stack.empty()) {
-            const Block block = stack.back();
-            stack.pop_back();
-            if (block.is_function && current != SIZE_MAX &&
-                stack.size() == function_depth) {
-              current = SIZE_MAX;
-            }
-          }
-          header.clear();
-        } else if (c == ';') {
-          header.clear();
-        } else {
-          header += c;
-        }
-      }
-      header += ' ';  // line break acts as whitespace in the header
-    }
-
-    // Phase 2: per line, record lock guards and guarded-member uses
-    // against every function the line belongs to.
-    for (std::size_t li = 0; li < file.code_nopp.size(); ++li) {
-      if (line_functions[li].empty()) continue;
-      const std::string& line = file.code_nopp[li];
-      const bool has_lock = line.find("lock_guard") != std::string::npos ||
-                            line.find("unique_lock") != std::string::npos ||
-                            line.find("scoped_lock") != std::string::npos ||
-                            line.find("shared_lock") != std::string::npos ||
-                            line.find(".lock(") != std::string::npos ||
-                            line.find("->lock(") != std::string::npos;
-      for (const std::size_t fn : line_functions[li]) {
-        if (has_lock) functions[fn].saw_lock = true;
-        for (const auto& [member, info] : guarded) {
-          std::size_t pos = line.find(member);
-          while (pos != std::string::npos) {
-            const bool left_ok =
-                pos == 0 ||
-                (!std::isalnum(static_cast<unsigned char>(line[pos - 1])) &&
-                 line[pos - 1] != '_');
-            const std::size_t end = pos + member.size();
-            const bool right_ok =
-                end >= line.size() ||
-                (!std::isalnum(static_cast<unsigned char>(line[end])) &&
-                 line[end] != '_');
-            if (left_ok && right_ok) {
-              functions[fn].uses.emplace(member, li + 1);
-              break;
-            }
-            pos = line.find(member, pos + 1);
-          }
-        }
-      }
-    }
-
-    for (const Function& fn : functions) {
-      if (fn.exempt || fn.saw_lock) continue;
-      for (const auto& [member, lineno] : fn.uses) {
-        candidate(lineno, kMutexGuard, Severity::kWarning,
-                  "member '" + member + "' (guarded by " +
-                      guarded.at(member).mutex_name +
-                      ") is used in a function with no lock guard");
-      }
-    }
-  }
-
   template <typename Emit>
   void check_include_guard(const SourceFile& file, const Emit& candidate) {
     for (std::size_t li = 0; li < file.code.size(); ++li) {
@@ -852,8 +489,40 @@ class Analyzer {
 
   LintOptions options_;
   Context ctx_;
+  std::map<std::string, std::vector<Suppression>> suppressions_;
   std::vector<Diagnostic> diags_;
 };
+
+// ---------------------------------------------------------------------------
+// Output formats
+// ---------------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* severity_name(Severity severity) {
+  return severity == Severity::kError ? "error" : "warning";
+}
 
 }  // namespace
 
@@ -871,10 +540,22 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {kRelaxedAtomic, Severity::kError,
        "memory_order_relaxed only in allowlisted files or under a "
        "reasoned NOLINT"},
+      {kLockOrderRule, Severity::kError,
+       "the global lock-order graph (nested acquisitions, including "
+       "through uniquely-resolved calls) is acyclic; a cycle is a "
+       "potential deadlock"},
+      {kMutexGuardRule, Severity::kError,
+       "every access to a member annotated '// guarded by <m>' happens "
+       "while <m> is held (lock-scope dataflow); ctors/dtors and "
+       "*_locked helpers are exempt"},
+      {kRelaxedPublishRule, Severity::kError,
+       "a memory_order_relaxed load must not gate access to plain "
+       "members it cannot publish; pair acquire/release or hold the "
+       "guarding mutex"},
+      {kBudgetDropRule, Severity::kError,
+       "src/serve code that receives a deadline budget forwards it into "
+       "score*/handle* callees instead of dropping it"},
       {kDetachedThread, Severity::kError, "no detached threads"},
-      {kMutexGuard, Severity::kWarning,
-       "members annotated '// guarded by <mutex>' are only touched under "
-       "a lock guard (heuristic)"},
       {kIncludeGuard, Severity::kError,
        "headers start with #pragma once or an #ifndef guard"},
       {kUsingNamespace, Severity::kError, "no using-namespace in headers"},
@@ -894,8 +575,153 @@ std::vector<Diagnostic> run_lint(const std::vector<std::string>& files,
 
 std::string render(const Diagnostic& diagnostic) {
   return diagnostic.file + ":" + std::to_string(diagnostic.line) + ": " +
-         (diagnostic.severity == Severity::kError ? "error" : "warning") +
-         ": [" + diagnostic.rule + "] " + diagnostic.message;
+         severity_name(diagnostic.severity) + ": [" + diagnostic.rule + "] " +
+         diagnostic.message;
+}
+
+std::string render_json(const std::vector<Diagnostic>& diags) {
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::ostringstream out;
+  out << "{\"diagnostics\":[";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    (d.severity == Severity::kError ? errors : warnings)++;
+    if (i != 0) out << ",";
+    out << "{\"file\":\"" << json_escape(d.file) << "\",\"line\":" << d.line
+        << ",\"rule\":\"" << json_escape(d.rule) << "\",\"severity\":\""
+        << severity_name(d.severity) << "\",\"message\":\""
+        << json_escape(d.message) << "\"}";
+  }
+  out << "],\"errors\":" << errors << ",\"warnings\":" << warnings << "}";
+  return out.str();
+}
+
+std::string render_sarif(const std::vector<Diagnostic>& diags) {
+  std::ostringstream out;
+  out << "{\"$schema\":"
+         "\"https://json.schemastore.org/sarif-2.1.0.json\","
+         "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+         "\"name\":\"ckat_lint\",\"rules\":[";
+  const std::vector<RuleInfo>& rules = rule_catalogue();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "{\"id\":\"" << json_escape(rules[i].id)
+        << "\",\"shortDescription\":{\"text\":\""
+        << json_escape(rules[i].description) << "\"}}";
+  }
+  out << "]}},\"results\":[";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    if (i != 0) out << ",";
+    out << "{\"ruleId\":\"" << json_escape(d.rule) << "\",\"level\":\""
+        << severity_name(d.severity) << "\",\"message\":{\"text\":\""
+        << json_escape(d.message) << "\"},\"locations\":[{"
+        << "\"physicalLocation\":{\"artifactLocation\":{\"uri\":\""
+        << json_escape(d.file) << "\"},\"region\":{\"startLine\":"
+        << std::max<std::size_t>(d.line, 1) << "}}}]}";
+  }
+  out << "]}]}";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// --self-check: catalogue <-> fixture manifest
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct SelfCheckEntry {
+  const char* rule;
+  const char* bad;    // fixture that must fire `rule`
+  const char* clean;  // fixture that must produce zero diagnostics
+};
+
+/// One firing + one silent fixture per rule. ckat-io is special-cased
+/// below (its "fixture" is a path that must not exist).
+constexpr SelfCheckEntry kSelfCheckManifest[] = {
+    {"ckat-determinism", "src/core/determinism_bad.cpp",
+     "src/core/determinism_clean.cpp"},
+    {"ckat-env-registry", "src/serve/env_bad.cpp", "src/serve/env_clean.cpp"},
+    {"ckat-metric-registry", "src/serve/metric_bad.cpp",
+     "src/serve/metric_clean.cpp"},
+    {"ckat-relaxed-atomic", "src/serve/relaxed_bad.cpp",
+     "src/obs/relaxed_clean.cpp"},
+    {"ckat-lock-order", "src/serve/lock_order_bad.cpp",
+     "src/serve/lock_order_clean.cpp"},
+    {"ckat-mutex-guard", "src/serve/mutex_bad.cpp",
+     "src/serve/mutex_clean.cpp"},
+    {"ckat-relaxed-publish", "src/obs/relaxed_publish_bad.cpp",
+     "src/obs/relaxed_publish_clean.cpp"},
+    {"ckat-budget-drop", "src/serve/budget_drop_bad.cpp",
+     "src/serve/budget_drop_clean.cpp"},
+    {"ckat-detached-thread", "detach_bad.cpp", "detach_clean.cpp"},
+    {"ckat-include-guard", "include_guard_bad.hpp",
+     "include_guard_clean.hpp"},
+    {"ckat-using-namespace", "using_namespace_bad.hpp",
+     "using_namespace_clean.hpp"},
+    {"ckat-nolint-reason", "nolint_missing_reason.cpp",
+     "nolint_with_reason.cpp"},
+    {"ckat-trace-context", "src/serve/trace_root_bad.cpp",
+     "src/serve/trace_root_clean.cpp"},
+};
+
+}  // namespace
+
+bool self_check(const std::string& fixtures_dir, std::string& report) {
+  bool ok = true;
+  const auto fail = [&](const std::string& message) {
+    ok = false;
+    report += "self-check: " + message + "\n";
+  };
+  std::set<std::string> covered;
+  for (const SelfCheckEntry& entry : kSelfCheckManifest) {
+    covered.insert(entry.rule);
+    const std::string bad = fixtures_dir + "/" + entry.bad;
+    const std::vector<Diagnostic> bad_diags = run_lint({bad}, {});
+    const bool fired = std::any_of(
+        bad_diags.begin(), bad_diags.end(),
+        [&](const Diagnostic& d) { return d.rule == entry.rule; });
+    if (!fired) {
+      fail(bad + " does not fire " + entry.rule);
+    }
+    for (const Diagnostic& d : bad_diags) {
+      if (d.rule == kIo) fail(bad + " is unreadable");
+    }
+    const std::string clean = fixtures_dir + "/" + entry.clean;
+    const std::vector<Diagnostic> clean_diags = run_lint({clean}, {});
+    for (const Diagnostic& d : clean_diags) {
+      fail(clean + " is not clean: " + render(d));
+    }
+  }
+  // ckat-io: an unreadable input is reported, not skipped.
+  {
+    covered.insert(kIo);
+    const std::string missing = fixtures_dir + "/__ckat_lint_missing__.cpp";
+    const std::vector<Diagnostic> diags = run_lint({missing}, {});
+    const bool fired =
+        std::any_of(diags.begin(), diags.end(),
+                    [](const Diagnostic& d) { return d.rule == kIo; });
+    if (!fired) fail("missing-file probe did not fire ckat-io");
+  }
+  for (const RuleInfo& rule : rule_catalogue()) {
+    if (covered.count(rule.id) == 0) {
+      fail(std::string("catalogue rule ") + rule.id +
+           " has no fixture in the self-check manifest");
+    }
+  }
+  for (const SelfCheckEntry& entry : kSelfCheckManifest) {
+    const bool known = std::any_of(
+        rule_catalogue().begin(), rule_catalogue().end(),
+        [&](const RuleInfo& rule) {
+          return std::string(rule.id) == entry.rule;
+        });
+    if (!known) {
+      fail(std::string("manifest rule ") + entry.rule +
+           " is not in the catalogue");
+    }
+  }
+  return ok;
 }
 
 }  // namespace ckat::lint

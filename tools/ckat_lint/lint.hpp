@@ -1,7 +1,10 @@
 // ckat-lint: project-specific static analysis for the CKAT tree.
 //
-// A dependency-free (std-only) line/lexer-level analyzer that machine-
-// checks the conventions the codebase otherwise enforces by review:
+// A dependency-free (std-only) multi-pass analyzer. A lexer/tokenizer
+// layer (model.hpp) builds a per-translation-unit model -- classes,
+// fields, mutex/atomic members, function bodies with lock-acquisition
+// sites -- and cross-TU passes (concurrency.hpp) check it; the
+// remaining rules run on comment-stripped lines:
 //
 //   ckat-determinism      no rand()/srand(), time(nullptr), random_device,
 //                         unseeded mt19937 or wall-clock (system_clock)
@@ -16,10 +19,19 @@
 //                         src/; names come from obs/metric_names.hpp.
 //   ckat-relaxed-atomic   memory_order_relaxed only in the allowlisted
 //                         hot-path files (see lint.cpp) or under NOLINT.
+//   ckat-lock-order       the global lock-order graph (nested
+//                         acquisitions, including through uniquely-
+//                         resolved calls) must be acyclic; cycles are
+//                         potential deadlocks.
+//   ckat-mutex-guard      every access to a member annotated
+//                         "// guarded by <m>" happens while <m> is held
+//                         (positional dataflow over lock scopes);
+//                         ctors/dtors and *_locked helpers are exempt.
+//   ckat-relaxed-publish  a relaxed atomic load must not gate access to
+//                         plain members it cannot publish.
+//   ckat-budget-drop      src/serve code holding a deadline budget
+//                         forwards it into score*/handle* callees.
 //   ckat-detached-thread  no std::thread::detach().
-//   ckat-mutex-guard      members annotated "// guarded by <mutex>" must
-//                         not be touched in functions without a lock
-//                         guard (heuristic; reported as warning).
 //   ckat-include-guard    headers start with #pragma once (or #ifndef).
 //   ckat-using-namespace  no using-namespace directives in headers.
 //   ckat-nolint-reason    every NOLINT(ckat-*) carries a ": reason".
@@ -77,5 +89,17 @@ struct RuleInfo {
 
 /// Renders "file:line: severity: [rule] message".
 [[nodiscard]] std::string render(const Diagnostic& diagnostic);
+
+/// Machine-readable outputs for CI: a flat JSON document, and SARIF
+/// 2.1.0 (GitHub code-scanning annotations).
+[[nodiscard]] std::string render_json(const std::vector<Diagnostic>& diags);
+[[nodiscard]] std::string render_sarif(const std::vector<Diagnostic>& diags);
+
+/// --self-check: every catalogue rule is paired with a firing fixture
+/// and a silent fixture under `fixtures_dir`, and both behave. Failures
+/// are appended to `report`; returns true when the catalogue and the
+/// fixture set are in sync.
+[[nodiscard]] bool self_check(const std::string& fixtures_dir,
+                              std::string& report);
 
 }  // namespace ckat::lint

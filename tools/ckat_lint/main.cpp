@@ -1,12 +1,21 @@
 // ckat_lint CLI.
 //
-//   ckat_lint [--root <dir>] [--list-rules] <file-or-dir>...
+//   ckat_lint [--root <dir>] [--format=human|json|sarif] [--list-rules]
+//             [--self-check] <file-or-dir>...
 //
 // Directories recurse over .cpp/.cc/.cxx/.hpp/.h/.hh files, skipping
 // hidden directories, build trees and test fixture subtrees ("fixtures"
 // directories hold deliberately-violating sources; pass them explicitly
 // to lint them). Exits nonzero iff any diagnostic (error or warning) is
 // produced -- the tree is expected to be lint-clean.
+//
+// --format=json prints a flat diagnostics document; --format=sarif
+// prints SARIF 2.1.0 for GitHub code-scanning annotations (both to
+// stdout; the human summary always goes to stderr).
+//
+// --self-check validates that the rule catalogue and the fixture set
+// under <root>/tests/tools/fixtures stay in sync: every rule has a
+// firing fixture and a silent fixture, and both behave.
 //
 // Registry cross-checks (env.hpp <-> README) need the project root; it
 // is auto-detected when the working directory contains README.md and
@@ -72,20 +81,38 @@ int main(int argc, char** argv) {
   ckat::lint::LintOptions options;
   std::vector<std::string> inputs;
   bool root_given = false;
+  bool run_self_check = false;
+  enum class Format { kHuman, kJson, kSarif };
+  Format format = Format::kHuman;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
       return list_rules();
+    } else if (arg == "--self-check") {
+      run_self_check = true;
     } else if (arg == "--root" && i + 1 < argc) {
       options.root = argv[++i];
       root_given = true;
     } else if (arg.rfind("--root=", 0) == 0) {
       options.root = arg.substr(7);
       root_given = true;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      const std::string value = arg.substr(9);
+      if (value == "human") {
+        format = Format::kHuman;
+      } else if (value == "json") {
+        format = Format::kJson;
+      } else if (value == "sarif") {
+        format = Format::kSarif;
+      } else {
+        std::fprintf(stderr, "ckat_lint: unknown format %s\n", value.c_str());
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: ckat_lint [--root <dir>] [--list-rules] "
-                  "<file-or-dir>...\n");
+      std::printf("usage: ckat_lint [--root <dir>] "
+                  "[--format=human|json|sarif] [--list-rules] "
+                  "[--self-check] <file-or-dir>...\n");
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "ckat_lint: unknown option %s\n", arg.c_str());
@@ -94,16 +121,30 @@ int main(int argc, char** argv) {
       inputs.push_back(arg);
     }
   }
-  if (inputs.empty()) {
-    std::fprintf(stderr, "ckat_lint: no inputs (try --help)\n");
-    return 2;
-  }
 
   if (!root_given) {
     std::error_code ec;
     if (fs::exists("README.md", ec) && fs::exists("src/util/env.hpp", ec)) {
       options.root = ".";
     }
+  }
+
+  if (run_self_check) {
+    const std::string root = options.root.empty() ? "." : options.root;
+    std::string report;
+    if (!ckat::lint::self_check(root + "/tests/tools/fixtures", report)) {
+      std::fputs(report.c_str(), stderr);
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "ckat_lint: self-check OK (%zu rules, fixtures in sync)\n",
+                 ckat::lint::rule_catalogue().size());
+    return 0;
+  }
+
+  if (inputs.empty()) {
+    std::fprintf(stderr, "ckat_lint: no inputs (try --help)\n");
+    return 2;
   }
 
   std::vector<std::string> files;
@@ -116,8 +157,15 @@ int main(int argc, char** argv) {
   std::size_t errors = 0;
   std::size_t warnings = 0;
   for (const ckat::lint::Diagnostic& diag : diags) {
-    std::printf("%s\n", ckat::lint::render(diag).c_str());
+    if (format == Format::kHuman) {
+      std::printf("%s\n", ckat::lint::render(diag).c_str());
+    }
     (diag.severity == ckat::lint::Severity::kError ? errors : warnings)++;
+  }
+  if (format == Format::kJson) {
+    std::printf("%s\n", ckat::lint::render_json(diags).c_str());
+  } else if (format == Format::kSarif) {
+    std::printf("%s\n", ckat::lint::render_sarif(diags).c_str());
   }
   std::fprintf(stderr, "ckat_lint: %zu file(s), %zu error(s), %zu warning(s)\n",
                files.size(), errors, warnings);

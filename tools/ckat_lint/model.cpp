@@ -1,0 +1,1121 @@
+#include "model.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace ckat::lint {
+
+// ---------------------------------------------------------------------------
+// Lexing (comments stripped, literals blanked) -- shared by the
+// line-based legacy rules and the tokenizer below.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+/// Single pass over the raw text producing comment/string-stripped
+/// lines plus the collected string-literal contents.
+void lex(SourceFile& file) {
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // raw-string closing delimiter ")delim"
+  std::string literal;    // current string literal contents
+  std::size_t literal_line = 0;
+
+  file.code.reserve(file.raw.size());
+  for (std::size_t li = 0; li < file.raw.size(); ++li) {
+    const std::string& in = file.raw[li];
+    std::string out(in.size(), ' ');
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const char c = in[i];
+      const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            state = State::kLineComment;
+            ++i;
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            ++i;
+          } else if (c == '"' && i >= 1 && (in[i - 1] == 'R')) {
+            // Raw string R"delim( ... )delim"
+            out[i] = '"';
+            std::string delim;
+            std::size_t j = i + 1;
+            while (j < in.size() && in[j] != '(') delim += in[j++];
+            raw_delim = ")" + delim + "\"";
+            state = State::kRawString;
+            literal.clear();
+            literal_line = li + 1;
+            i = j;  // skip past '('
+          } else if (c == '"') {
+            out[i] = '"';
+            state = State::kString;
+            literal.clear();
+            literal_line = li + 1;
+          } else if (c == '\'') {
+            out[i] = '\'';
+            state = State::kChar;
+          } else {
+            out[i] = c;
+          }
+          break;
+        case State::kLineComment:
+          break;  // reset at end of line
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            ++i;
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            literal += c;
+            if (next != '\0') literal += next;
+            ++i;
+          } else if (c == '"') {
+            out[i] = '"';
+            file.strings.push_back({literal_line, literal});
+            state = State::kCode;
+          } else {
+            literal += c;
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            out[i] = '\'';
+            state = State::kCode;
+          }
+          break;
+        case State::kRawString:
+          if (c == ')' && in.compare(i, raw_delim.size(), raw_delim) == 0) {
+            file.strings.push_back({literal_line, literal});
+            i += raw_delim.size() - 1;
+            out[i] = '"';
+            state = State::kCode;
+          } else {
+            literal += c;
+          }
+          break;
+      }
+    }
+    if (state == State::kLineComment) state = State::kCode;
+    file.code.push_back(out);
+  }
+
+  // Blank preprocessor lines (and their backslash continuations).
+  file.code_nopp = file.code;
+  bool continuation = false;
+  for (std::size_t li = 0; li < file.code_nopp.size(); ++li) {
+    const std::string& line = file.code_nopp[li];
+    const std::size_t first = line.find_first_not_of(" \t");
+    const bool directive = first != std::string::npos && line[first] == '#';
+    if (directive || continuation) {
+      continuation = !line.empty() && line.back() == '\\';
+      file.code_nopp[li] = std::string(line.size(), ' ');
+    } else {
+      continuation = false;
+    }
+  }
+}
+
+}  // namespace
+
+SourceFile load_source(const std::string& path) {
+  SourceFile file;
+  file.path = path;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return file;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  file.raw = split_lines(buffer.str());
+  file.readable = true;
+  lex(file);
+  return file;
+}
+
+std::string path_stem(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  return dot == std::string::npos ? path : path.substr(0, dot);
+}
+
+// ---------------------------------------------------------------------------
+// Model accessors
+// ---------------------------------------------------------------------------
+
+const FieldModel* ClassModel::field(const std::string& field_name) const {
+  for (const FieldModel& f : fields) {
+    if (f.name == field_name) return &f;
+  }
+  return nullptr;
+}
+
+bool ClassModel::has_mutex(const std::string& field_name) const {
+  const FieldModel* f = field(field_name);
+  return f != nullptr && f->is_mutex;
+}
+
+const ClassModel* Model::resolve_class(const std::string& name,
+                                       const std::string& from_file) const {
+  const auto it = classes_by_name.find(name);
+  if (it == classes_by_name.end()) return nullptr;
+  const std::string stem = path_stem(from_file);
+  for (const std::size_t idx : it->second) {
+    if (path_stem(classes[idx].file) == stem) return &classes[idx];
+  }
+  return &classes[it->second.front()];
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Token {
+  std::string text;
+  std::size_t line = 0;  // 1-based
+};
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident(const std::string& t) {
+  return !t.empty() && is_ident_start(t[0]);
+}
+
+std::vector<Token> tokenize(const SourceFile& file) {
+  std::vector<Token> toks;
+  for (std::size_t li = 0; li < file.code_nopp.size(); ++li) {
+    const std::string& line = file.code_nopp[li];
+    std::size_t i = 0;
+    while (i < line.size()) {
+      const char c = line[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      if (is_ident_start(c)) {
+        std::size_t j = i + 1;
+        while (j < line.size() && is_ident_char(line[j])) ++j;
+        toks.push_back({line.substr(i, j - i), li + 1});
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        std::size_t j = i + 1;
+        while (j < line.size() &&
+               (is_ident_char(line[j]) || line[j] == '.' || line[j] == '\'')) {
+          ++j;
+        }
+        toks.push_back({line.substr(i, j - i), li + 1});
+        i = j;
+        continue;
+      }
+      // Multi-char punctuators the scanner cares about. ">>" stays
+      // combined so angle matching can close two levels; "<<" stays
+      // combined so stream output never opens an angle.
+      static const char* kTwo[] = {"::", "->", "<<", ">>", "<=", ">=",
+                                   "==", "!=", "&&", "||"};
+      bool matched = false;
+      for (const char* two : kTwo) {
+        if (line.compare(i, 2, two) == 0) {
+          toks.push_back({two, li + 1});
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      toks.push_back({std::string(1, c), li + 1});
+      ++i;
+    }
+  }
+  return toks;
+}
+
+const std::set<std::string>& mutex_type_tokens() {
+  static const std::set<std::string> kTypes = {
+      "mutex",       "OrderedMutex",    "shared_mutex",
+      "timed_mutex", "recursive_mutex", "shared_timed_mutex"};
+  return kTypes;
+}
+
+const std::set<std::string>& guard_keywords() {
+  static const std::set<std::string> kGuards = {"lock_guard", "unique_lock",
+                                                "scoped_lock", "shared_lock"};
+  return kGuards;
+}
+
+const std::set<std::string>& call_keywords() {
+  static const std::set<std::string> kKw = {
+      "if",     "while",  "for",      "switch",   "return", "sizeof",
+      "catch",  "new",    "delete",   "alignof",  "assert", "defined",
+      "static_assert", "decltype", "throw", "co_await", "co_return"};
+  return kKw;
+}
+
+/// `// guarded by <mutex>` annotation on one of the raw lines a
+/// declaration spans.
+std::string guarded_annotation(const SourceFile& file, std::size_t first_line,
+                               std::size_t last_line) {
+  static const std::regex annotation("//\\s*guarded by\\s+([A-Za-z_]\\w*)");
+  for (std::size_t line = first_line; line <= last_line; ++line) {
+    if (line == 0 || line > file.raw.size()) continue;
+    std::smatch m;
+    if (std::regex_search(file.raw[line - 1], m, annotation)) {
+      return m[1].str();
+    }
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Structural scanner: one instance per file, two phases. Phase A
+// (collect) records classes/fields, function headers with their body
+// token spans, and bodyless signatures. Phase B (analyze, after every
+// file's phase A) digests each body against the full class table.
+// ---------------------------------------------------------------------------
+
+struct PendingBody {
+  std::string cls;
+  std::string name;
+  std::size_t line = 0;
+  bool exempt = false;
+  std::vector<std::string> params;
+  std::size_t begin = 0;  // first token inside '{'
+  std::size_t end = 0;    // index of the closing '}'
+};
+
+class FileScanner {
+ public:
+  FileScanner(const SourceFile& file, Model& model)
+      : file_(file), model_(model), toks_(tokenize(file)) {}
+
+  void collect() { scan_decl_region(0, toks_.size(), ""); }
+
+  void analyze();
+
+ private:
+  // -- small token helpers --------------------------------------------------
+
+  const std::string& tok(std::size_t i) const {
+    static const std::string kEmpty;
+    return i < toks_.size() ? toks_[i].text : kEmpty;
+  }
+  std::size_t line_of(std::size_t i) const {
+    return i < toks_.size() ? toks_[i].line : 0;
+  }
+
+  /// Index just past the matching closer for the opener at `i`
+  /// (supports (), {}, []). Returns `end` on imbalance.
+  std::size_t skip_balanced(std::size_t i, std::size_t end) const {
+    const std::string open = tok(i);
+    const std::string close = open == "(" ? ")" : open == "{" ? "}" : "]";
+    int depth = 0;
+    for (std::size_t j = i; j < end; ++j) {
+      if (tok(j) == open) ++depth;
+      if (tok(j) == close && --depth == 0) return j + 1;
+    }
+    return end;
+  }
+
+  /// Attempts to skip a template-argument list starting at the '<' at
+  /// `i`. Returns the index just past the matching '>' (">>" closes
+  /// two), or `i` if no plausible match precedes a top-level ';', '{'
+  /// or the region end.
+  std::size_t try_skip_angles(std::size_t i, std::size_t end) const {
+    int angle = 0;
+    int paren = 0;
+    for (std::size_t j = i; j < end && j < i + 256; ++j) {
+      const std::string& t = tok(j);
+      if (t == "(") ++paren;
+      if (t == ")") {
+        if (paren == 0) return i;
+        --paren;
+      }
+      if (paren > 0) continue;
+      if (t == "<") ++angle;
+      if (t == ">") {
+        if (--angle == 0) return j + 1;
+      }
+      if (t == ">>") {
+        angle -= 2;
+        if (angle <= 0) return j + 1;
+      }
+      if (t == ";" || t == "{" || t == "}") return i;
+    }
+    return i;
+  }
+
+  // -- phase A: declarations ------------------------------------------------
+
+  void scan_decl_region(std::size_t begin, std::size_t end,
+                        const std::string& cls);
+  std::size_t scan_statement(std::size_t i, std::size_t end,
+                             const std::string& cls);
+  void record_field(std::size_t begin, std::size_t end, const std::string& cls);
+  void record_function(std::size_t header_begin, std::size_t name_tok,
+                       std::size_t params_open, std::size_t params_close,
+                       std::size_t body_open, const std::string& scope_cls);
+  std::vector<std::string> param_names(std::size_t open,
+                                       std::size_t close) const;
+
+  // -- phase B: bodies ------------------------------------------------------
+
+  void analyze_body(const PendingBody& body, FunctionModel& fn);
+  std::string resolve_lock(const std::string& name, const std::string& cls,
+                           const std::string& func) const;
+  const ClassModel* enclosing(const std::string& cls) const {
+    return cls.empty() ? nullptr : model_.resolve_class(cls, file_.path);
+  }
+
+  const SourceFile& file_;
+  Model& model_;
+  std::vector<Token> toks_;
+  std::vector<PendingBody> bodies_;
+  std::size_t class_of_body_ = 0;
+};
+
+void FileScanner::scan_decl_region(std::size_t begin, std::size_t end,
+                                   const std::string& cls) {
+  std::size_t i = begin;
+  while (i < end) {
+    i = scan_statement(i, end, cls);
+  }
+}
+
+std::vector<std::string> FileScanner::param_names(std::size_t open,
+                                                  std::size_t close) const {
+  // One name per top-level comma-separated parameter: the last
+  // identifier before the parameter's '=' (default) or its end.
+  std::vector<std::string> names;
+  if (close <= open + 1) return names;
+  std::size_t start = open + 1;
+  int paren = 0;
+  int angle = 0;
+  const auto flush = [&](std::size_t stop) {
+    std::string last;
+    bool defaulted = false;
+    int inner_paren = 0;
+    for (std::size_t j = start; j < stop; ++j) {
+      const std::string& t = tok(j);
+      if (t == "(" || t == "[" || t == "{") ++inner_paren;
+      if (t == ")" || t == "]" || t == "}") --inner_paren;
+      if (inner_paren > 0) continue;
+      if (t == "=") defaulted = true;
+      if (!defaulted && is_ident(t)) last = t;
+    }
+    if (!last.empty()) {
+      names.push_back(defaulted ? last + "=" : last);
+    }
+  };
+  for (std::size_t j = open + 1; j < close; ++j) {
+    const std::string& t = tok(j);
+    if (t == "(" || t == "[" || t == "{") ++paren;
+    if (t == ")" || t == "]" || t == "}") --paren;
+    if (t == "<") ++angle;
+    if (t == ">" && angle > 0) --angle;
+    if (t == ">>" && angle > 0) angle -= 2;
+    if (t == "," && paren == 0 && angle <= 0) {
+      flush(j);
+      start = j + 1;
+    }
+  }
+  flush(close);
+  return names;
+}
+
+void FileScanner::record_field(std::size_t begin, std::size_t end,
+                               const std::string& cls) {
+  if (cls.empty() || begin >= end) return;
+  // Not a data member: nested types, aliases, friends, access specs.
+  for (std::size_t j = begin; j < end; ++j) {
+    const std::string& t = tok(j);
+    if (t == "using" || t == "typedef" || t == "friend" || t == "operator" ||
+        t == "class" || t == "struct" || t == "enum" || t == "union") {
+      return;
+    }
+  }
+  FieldModel field;
+  std::vector<std::string> before_name;
+  std::string name;
+  int nest = 0;
+  for (std::size_t j = begin; j < end; ++j) {
+    const std::string& t = tok(j);
+    if (t == "<") {
+      const std::size_t after = try_skip_angles(j, end);
+      if (after > j) {
+        for (std::size_t k = j; k < after; ++k) {
+          if (is_ident(tok(k))) before_name.push_back(tok(k));
+        }
+        j = after - 1;
+        continue;
+      }
+    }
+    if (t == "(" || t == "[" || t == "{") {
+      if (t == "{" || t == "[") break;  // brace/array init: name is known
+      ++nest;
+      continue;
+    }
+    if (t == ")" || t == "]" || t == "}") {
+      --nest;
+      continue;
+    }
+    if (nest > 0) continue;
+    if (t == "=") break;
+    if (is_ident(t)) {
+      if (!name.empty()) before_name.push_back(name);
+      name = t;
+      field.line = line_of(j);
+    }
+  }
+  if (name.empty()) return;
+  field.name = name;
+  for (const std::string& t : before_name) {
+    if (mutex_type_tokens().count(t) != 0) field.is_mutex = true;
+    if (t == "atomic" || t == "atomic_bool" || t == "atomic_int" ||
+        t == "atomic_flag" || t == "atomic_uint64_t" || t == "atomic_size_t") {
+      field.is_atomic = true;
+    }
+    if (t == "static" || t == "constexpr") field.is_static = true;
+  }
+  field.guarded_by =
+      guarded_annotation(file_, line_of(begin), line_of(end - 1));
+  // class_of_body_ tracks the in-flight class (set by scan_statement).
+  model_.classes[class_of_body_].fields.push_back(std::move(field));
+}
+
+void FileScanner::record_function(std::size_t header_begin,
+                                  std::size_t name_tok,
+                                  std::size_t params_open,
+                                  std::size_t params_close,
+                                  std::size_t body_open,
+                                  const std::string& scope_cls) {
+  PendingBody body;
+  body.name = tok(name_tok);
+  body.cls = scope_cls;
+  // Out-of-line definition: Class::name — the innermost qualifier wins.
+  if (name_tok >= 2 && tok(name_tok - 1) == "::" &&
+      is_ident(tok(name_tok - 2))) {
+    body.cls = tok(name_tok - 2);
+  }
+  body.line = line_of(name_tok);
+  body.params = param_names(params_open, params_close);
+  const bool is_dtor = name_tok >= 1 && tok(name_tok - 1) == "~";
+  const bool is_ctor = !body.cls.empty() && body.name == body.cls;
+  body.exempt = is_ctor || is_dtor || body.name.ends_with("_locked");
+  if (body_open != 0) {
+    body.begin = body_open + 1;
+    body.end = skip_balanced(body_open, toks_.size()) - 1;
+    bodies_.push_back(body);
+  }
+  SignatureModel sig;
+  sig.cls = body.cls;
+  sig.name = body.name;
+  sig.file = file_.path;
+  sig.line = body.line;
+  sig.params = body.params;
+  model_.signatures.push_back(std::move(sig));
+  (void)header_begin;
+}
+
+std::size_t FileScanner::scan_statement(std::size_t i, std::size_t end,
+                                        const std::string& cls) {
+  const std::string& t0 = tok(i);
+  if (t0 == ";" || t0 == "}" || t0 == ":") return i + 1;
+  if (t0 == "public" || t0 == "private" || t0 == "protected") {
+    return tok(i + 1) == ":" ? i + 2 : i + 1;
+  }
+  if (t0 == "namespace") {
+    std::size_t j = i + 1;
+    while (j < end && (is_ident(tok(j)) || tok(j) == "::")) ++j;
+    if (tok(j) == "{") {
+      const std::size_t close = skip_balanced(j, end);
+      scan_decl_region(j + 1, close - 1, cls);
+      return close;
+    }
+    return j + 1;  // namespace alias etc.
+  }
+  if (t0 == "template") {
+    std::size_t j = i + 1;
+    if (tok(j) == "<") {
+      const std::size_t after = try_skip_angles(j, end);
+      return after > j ? after : j + 1;
+    }
+    return j;
+  }
+  if (t0 == "class" || t0 == "struct" || t0 == "union") {
+    // Find the definition brace (before any ';'): the class name is the
+    // last identifier before '{', ':' (bases) or "final".
+    std::string name;
+    std::size_t j = i + 1;
+    while (j < end) {
+      const std::string& t = tok(j);
+      if (t == ";") return j + 1;  // forward declaration
+      if (t == "{" || t == ":") break;
+      if (t == "<") {
+        const std::size_t after = try_skip_angles(j, end);
+        if (after > j) {
+          j = after;
+          continue;
+        }
+      }
+      if (is_ident(t) && t != "final" && t != "alignas") name = t;
+      ++j;
+    }
+    // Skip a base-clause to the '{'.
+    while (j < end && tok(j) != "{" && tok(j) != ";") ++j;
+    if (tok(j) != "{") return j + 1;
+    const std::size_t close = skip_balanced(j, end);
+    if (!name.empty()) {
+      ClassModel cm;
+      cm.name = name;
+      cm.file = file_.path;
+      cm.line = line_of(i);
+      model_.classes.push_back(std::move(cm));
+      const std::size_t saved = class_of_body_;
+      class_of_body_ = model_.classes.size() - 1;
+      scan_decl_region(j + 1, close - 1, name);
+      class_of_body_ = saved;
+    }
+    // `struct X { ... } instance;` — skip to the ';'.
+    std::size_t k = close;
+    while (k < end && tok(k) != ";" && tok(k) != "}") ++k;
+    return k + 1;
+  }
+  if (t0 == "enum") {
+    std::size_t j = i + 1;
+    while (j < end && tok(j) != "{" && tok(j) != ";") ++j;
+    if (tok(j) == "{") j = skip_balanced(j, end);
+    while (j < end && tok(j) != ";") ++j;
+    return j + 1;
+  }
+  if (t0 == "using" || t0 == "typedef" || t0 == "friend" ||
+      t0 == "static_assert" || t0 == "extern") {
+    std::size_t j = i;
+    int depth = 0;
+    while (j < end) {
+      const std::string& t = tok(j);
+      if (t == "{" || t == "(") ++depth;
+      if (t == "}" || t == ")") --depth;
+      if (t == ";" && depth <= 0) return j + 1;
+      ++j;
+    }
+    return end;
+  }
+
+  // Generic declaration statement: field, function declaration or
+  // function definition.
+  std::size_t j = i;
+  std::size_t prev_ident = 0;
+  bool have_prev_ident = false;
+  bool saw_assign = false;
+  while (j < end) {
+    const std::string& t = tok(j);
+    if (t == ";") return j + 1 > i + 1 ? (record_field(i, j, cls), j + 1)
+                                       : j + 1;
+    if (t == "}") return j;  // region end (shouldn't normally hit)
+    if (t == "=") saw_assign = true;
+    if (t == "<" && have_prev_ident && !saw_assign) {
+      const std::size_t after = try_skip_angles(j, end);
+      if (after > j) {
+        j = after;
+        have_prev_ident = false;
+        continue;
+      }
+    }
+    if (t == "{") {
+      // Brace that is not a recognized function body: brace-init of a
+      // field (`std::atomic<bool> healthy{false};`) or a construct we
+      // do not model (operator body). Skip it; if a ';' follows, the
+      // statement was a field.
+      const std::size_t after = skip_balanced(j, end);
+      if (tok(after) == ";") {
+        record_field(i, j, cls);
+        return after + 1;
+      }
+      return after;
+    }
+    if (t == "(" && have_prev_ident && !saw_assign) {
+      const std::string& fname = tok(prev_ident);
+      const std::size_t close = skip_balanced(j, end) - 1;
+      // Look past the parameter list for a body / pure decl.
+      std::size_t k = close + 1;
+      bool function_like = fname != "CKAT_ASSERT";
+      while (k < end && function_like) {
+        const std::string& q = tok(k);
+        if (q == "{") {
+          record_function(i, prev_ident, j, close, k, cls);
+          return skip_balanced(k, end);
+        }
+        if (q == ";") {
+          // Distinguish a declaration `int f(int);` from a paren-init
+          // variable `int x(5);`: parameters that start with a literal
+          // or look like expressions are rare in this codebase, so a
+          // trailing ';' after ident( ... ) at declaration scope is
+          // recorded as a signature.
+          record_function(i, prev_ident, j, close, 0, cls);
+          return k + 1;
+        }
+        if (q == "=") {
+          // `= 0;` / `= default;` / `= delete;` — still a signature.
+          record_function(i, prev_ident, j, close, 0, cls);
+          while (k < end && tok(k) != ";") ++k;
+          return k + 1;
+        }
+        if (q == ":") {
+          // Constructor initializer list: each entry is `name(args)` or
+          // `name{args}`; a '{' NOT attached to a preceding member name
+          // is the body.
+          ++k;
+          while (k < end) {
+            if (is_ident(tok(k)) &&
+                (tok(k + 1) == "(" || tok(k + 1) == "{")) {
+              k = skip_balanced(k + 1, end);
+              continue;
+            }
+            if (tok(k) == "{" || tok(k) == ";") break;
+            ++k;
+          }
+          continue;
+        }
+        if (q == "const" || q == "noexcept" || q == "override" ||
+            q == "final" || q == "&" || q == "&&" || q == "->" ||
+            q == "::" || q == "[" || q == "]" || is_ident(q)) {
+          if (q == "noexcept" && tok(k + 1) == "(") {
+            k = skip_balanced(k + 1, end);
+            continue;
+          }
+          if (q == "[") {
+            k = skip_balanced(k, end);
+            continue;
+          }
+          if (q == "->" ) {
+            // trailing return type: keep scanning to '{' or ';'
+          }
+          ++k;
+          continue;
+        }
+        function_like = false;
+      }
+      j = close + 1;
+      have_prev_ident = false;
+      continue;
+    }
+    if (is_ident(t) && call_keywords().count(t) == 0) {
+      prev_ident = j;
+      have_prev_ident = true;
+    } else if (t != "~" && t != "*" && t != "&" && t != "::") {
+      if (t != ")" && t != ",") have_prev_ident = false;
+    }
+    ++j;
+  }
+  return end;
+}
+
+// ---------------------------------------------------------------------------
+// Phase B: body analysis
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A held interval [begin, end) in token indices.
+struct HeldInterval {
+  std::string lock;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+}  // namespace
+
+std::string FileScanner::resolve_lock(const std::string& name,
+                                      const std::string& cls,
+                                      const std::string& func) const {
+  const ClassModel* enc = enclosing(cls);
+  if (enc != nullptr && enc->has_mutex(name)) return enc->name + "::" + name;
+  // Unique owning class anywhere in the model, same-stem files first.
+  const std::string stem = path_stem(file_.path);
+  std::vector<const ClassModel*> all;
+  std::vector<const ClassModel*> near;
+  for (const ClassModel& c : model_.classes) {
+    if (!c.has_mutex(name)) continue;
+    all.push_back(&c);
+    if (path_stem(c.file) == stem) near.push_back(&c);
+  }
+  if (near.size() == 1) return near.front()->name + "::" + name;
+  if (near.empty() && all.size() == 1) return all.front()->name + "::" + name;
+  if (!all.empty()) {
+    // Ambiguous across files: merge on the bare member name, the same
+    // conservative granularity the runtime validator uses.
+    return "?::" + name;
+  }
+  return "local:" + func + ":" + name;
+}
+
+void FileScanner::analyze_body(const PendingBody& body, FunctionModel& fn) {
+  const std::size_t b = body.begin;
+  const std::size_t e = body.end;
+  const ClassModel* enc = enclosing(body.cls);
+
+  // Matching close brace for every open brace in the body (for
+  // guard-scope extents).
+  std::map<std::size_t, std::size_t> close_of;
+  {
+    std::vector<std::size_t> stack;
+    for (std::size_t j = b; j < e; ++j) {
+      if (tok(j) == "{") stack.push_back(j);
+      if (tok(j) == "}" && !stack.empty()) {
+        close_of[stack.back()] = j;
+        stack.pop_back();
+      }
+    }
+  }
+  const auto block_end = [&](std::size_t at) {
+    std::size_t best = e;
+    for (const auto& [open, close] : close_of) {
+      if (open < at && close > at && close < best) best = close;
+    }
+    return best;
+  };
+
+  std::vector<HeldInterval> intervals;
+  std::map<std::string, std::string> guard_vars;  // var -> lock id
+  const std::string func_tag = file_.path + ":" + body.name;
+
+  const auto last_ident_of = [&](const std::vector<std::string>& expr) {
+    std::string last;
+    for (const std::string& t : expr) {
+      if (is_ident(t)) last = t;
+    }
+    return last;
+  };
+
+  // Pass 1: guard declarations, manual lock()/unlock(), guard-var
+  // lock()/unlock().
+  for (std::size_t j = b; j < e; ++j) {
+    const std::string& t = tok(j);
+    if (guard_keywords().count(t) != 0 && tok(j + 1) != "(") {
+      std::size_t k = j + 1;
+      if (tok(k) == "<") {
+        const std::size_t after = try_skip_angles(k, e);
+        if (after > k) k = after;
+      }
+      if (!is_ident(tok(k))) continue;
+      const std::string var = tok(k);
+      ++k;
+      if (tok(k) != "(" && tok(k) != "{") continue;
+      const std::size_t close = skip_balanced(k, e) - 1;
+      // Split constructor arguments on top-level commas.
+      std::vector<std::vector<std::string>> args;
+      std::vector<std::string> current;
+      int depth = 0;
+      for (std::size_t a = k + 1; a < close; ++a) {
+        const std::string& at = tok(a);
+        if (at == "(" || at == "{" || at == "[") ++depth;
+        if (at == ")" || at == "}" || at == "]") --depth;
+        if (at == "," && depth == 0) {
+          args.push_back(current);
+          current.clear();
+          continue;
+        }
+        current.push_back(at);
+      }
+      if (!current.empty()) args.push_back(current);
+      if (args.empty()) continue;  // deferred unique_lock without mutex
+      bool deferred = false;
+      for (const auto& arg : args) {
+        for (const std::string& at : arg) {
+          if (at == "defer_lock") deferred = true;
+        }
+      }
+      const std::size_t mutex_args = t == "scoped_lock" ? args.size() : 1;
+      for (std::size_t a = 0; a < mutex_args; ++a) {
+        const std::string base = last_ident_of(args[a]);
+        if (base.empty() || base == "defer_lock" || base == "adopt_lock" ||
+            base == "try_to_lock") {
+          continue;
+        }
+        const std::string lock = resolve_lock(base, body.cls, func_tag);
+        if (!deferred) {
+          intervals.push_back({lock, j, block_end(j)});
+          fn.acquisitions.push_back({lock, line_of(j), {}});
+        }
+        if (t == "unique_lock" || t == "shared_lock") {
+          guard_vars[var] = lock;
+        }
+      }
+      j = close;
+      continue;
+    }
+    // var.lock() / var.unlock() on a unique_lock guard variable, and
+    // mutex_member.lock()/unlock() manual management.
+    if (is_ident(t) && (tok(j + 1) == "." || tok(j + 1) == "->") &&
+        (tok(j + 2) == "lock" || tok(j + 2) == "unlock") &&
+        tok(j + 3) == "(") {
+      const bool is_lock = tok(j + 2) == "lock";
+      std::string lock;
+      const auto gv = guard_vars.find(t);
+      if (gv != guard_vars.end()) {
+        lock = gv->second;
+      } else {
+        // Only mutex members participate; `foo.lock()` on anything
+        // else (e.g. a weak_ptr) is ignored.
+        const ClassModel* owner = enc;
+        bool is_mutex_member =
+            (owner != nullptr && owner->has_mutex(t));
+        if (!is_mutex_member) {
+          for (const ClassModel& c : model_.classes) {
+            if (c.has_mutex(t)) {
+              is_mutex_member = true;
+              break;
+            }
+          }
+        }
+        if (!is_mutex_member) continue;
+        lock = resolve_lock(t, body.cls, func_tag);
+      }
+      if (is_lock) {
+        intervals.push_back({lock, j, block_end(j)});
+        fn.acquisitions.push_back({lock, line_of(j), {}});
+      } else {
+        for (auto it = intervals.rbegin(); it != intervals.rend(); ++it) {
+          if (it->lock == lock && it->begin < j && it->end > j) {
+            it->end = j;
+            break;
+          }
+        }
+      }
+      j += 3;
+      continue;
+    }
+  }
+
+  const auto held_at = [&](std::size_t at) {
+    std::vector<std::string> held;
+    for (const HeldInterval& iv : intervals) {
+      if (iv.begin < at && iv.end > at) held.push_back(iv.lock);
+    }
+    return held;
+  };
+
+  // Acquisition held-sets: everything already held strictly before the
+  // acquisition token (keyed through the interval that starts there).
+  for (LockUse& acq : fn.acquisitions) {
+    for (const HeldInterval& iv : intervals) {
+      if (iv.lock == acq.lock && line_of(iv.begin) == acq.line) {
+        acq.held = held_at(iv.begin);
+        break;
+      }
+    }
+  }
+
+  // Pass 2: calls, guarded-field accesses.
+  for (std::size_t j = b; j < e; ++j) {
+    const std::string& t = tok(j);
+    if (!is_ident(t)) continue;
+    const std::string& next = tok(j + 1);
+    const std::string& prev = j > b ? tok(j - 1) : tok(j);
+    if (next == "(") {
+      if (call_keywords().count(t) != 0 || guard_keywords().count(t) != 0) {
+        continue;
+      }
+      CallUse call;
+      call.callee = t;
+      call.line = line_of(j);
+      call.held = held_at(j);
+      const std::size_t close = skip_balanced(j + 1, e) - 1;
+      if (close > j + 2) {
+        std::size_t commas = 0;
+        int depth = 0;
+        for (std::size_t a = j + 2; a < close; ++a) {
+          const std::string& at = tok(a);
+          if (at == "(" || at == "{" || at == "[") ++depth;
+          if (at == ")" || at == "}" || at == "]") --depth;
+          if (at == "," && depth == 0) ++commas;
+          if (at == "<") {
+            const std::size_t after = try_skip_angles(a, close);
+            if (after > a) a = after - 1;
+          }
+        }
+        call.argc = commas + 1;
+      }
+      fn.calls.push_back(std::move(call));
+      continue;
+    }
+    // Guarded-field access?
+    if (prev == "::" || prev == "~") continue;
+    const bool qualified = (j > b) && (prev == "." || prev == "->") &&
+                           !(j >= b + 2 && tok(j - 2) == "this");
+    const ClassModel* target = nullptr;
+    if (!qualified) {
+      if (enc != nullptr && enc->field(t) != nullptr &&
+          !enc->field(t)->guarded_by.empty()) {
+        target = enc;
+      }
+    } else {
+      // Object access: unique class (same-stem preferred) declaring a
+      // guarded field with this name.
+      const std::string stem = path_stem(file_.path);
+      std::vector<const ClassModel*> all;
+      std::vector<const ClassModel*> near;
+      for (const ClassModel& c : model_.classes) {
+        const FieldModel* f = c.field(t);
+        if (f == nullptr || f->guarded_by.empty()) continue;
+        all.push_back(&c);
+        if (path_stem(c.file) == stem) near.push_back(&c);
+      }
+      if (near.size() == 1) {
+        target = near.front();
+      } else if (near.empty() && all.size() == 1) {
+        target = all.front();
+      }
+    }
+    if (target == nullptr) continue;
+    AccessUse access;
+    access.cls = target->name;
+    access.field = t;
+    access.line = line_of(j);
+    access.held = held_at(j);
+    // Resolve the annotation's mutex name in the declaring class.
+    const std::string& guard = target->field(t)->guarded_by;
+    if (target->has_mutex(guard)) {
+      access.required = target->name + "::" + guard;
+    } else {
+      access.required = resolve_lock(guard, target->name, func_tag);
+    }
+    fn.accesses.push_back(std::move(access));
+  }
+
+  // Pass 3: relaxed loads gating plain-field access (publication
+  // audit). Only meaningful with an enclosing class.
+  if (enc != nullptr) {
+    for (std::size_t j = b; j < e; ++j) {
+      if (!(tok(j) == "if" || tok(j) == "while") || tok(j + 1) != "(") {
+        continue;
+      }
+      const std::size_t cond_close = skip_balanced(j + 1, e) - 1;
+      // Relaxed load of an atomic member inside the condition?
+      std::string atomic_member;
+      std::size_t load_line = 0;
+      for (std::size_t a = j + 2; a + 3 < cond_close; ++a) {
+        if (is_ident(tok(a)) && (tok(a + 1) == "." || tok(a + 1) == "->") &&
+            tok(a + 2) == "load" && tok(a + 3) == "(") {
+          const std::size_t load_close = skip_balanced(a + 3, e) - 1;
+          bool relaxed = false;
+          for (std::size_t q = a + 4; q < load_close; ++q) {
+            if (tok(q) == "memory_order_relaxed") relaxed = true;
+          }
+          if (!relaxed) continue;
+          const FieldModel* f = enc->field(tok(a));
+          if (f != nullptr && f->is_atomic) {
+            atomic_member = tok(a);
+            load_line = line_of(a);
+            break;
+          }
+        }
+      }
+      if (atomic_member.empty()) continue;
+      // Branch extent: the '{...}' after the condition, or the single
+      // statement up to ';'.
+      std::size_t branch_begin = cond_close + 1;
+      std::size_t branch_end = branch_begin;
+      if (tok(branch_begin) == "{") {
+        branch_end = skip_balanced(branch_begin, e) - 1;
+        ++branch_begin;
+      } else {
+        while (branch_end < e && tok(branch_end) != ";") ++branch_end;
+      }
+      RelaxedGate gate;
+      gate.atomic_field = atomic_member;
+      gate.line = load_line;
+      for (std::size_t a = branch_begin; a < branch_end; ++a) {
+        const std::string& t = tok(a);
+        if (!is_ident(t) || tok(a + 1) == "(") continue;
+        const std::string& prev = tok(a - 1);
+        if (prev == "." || prev == "->" || prev == "::") {
+          if (!(a >= b + 2 && tok(a - 2) == "this")) continue;
+        }
+        const FieldModel* f = enc->field(t);
+        if (f == nullptr || f->is_atomic || f->is_mutex || f->is_static) {
+          continue;
+        }
+        if (!held_at(a).empty()) continue;
+        gate.unsynchronized.push_back({t, line_of(a)});
+      }
+      if (!gate.unsynchronized.empty()) {
+        fn.relaxed_gates.push_back(std::move(gate));
+      }
+    }
+  }
+}
+
+void FileScanner::analyze() {
+  for (const PendingBody& body : bodies_) {
+    FunctionModel fn;
+    fn.cls = body.cls;
+    fn.name = body.name;
+    fn.file = file_.path;
+    fn.line = body.line;
+    fn.exempt = body.exempt;
+    fn.params = body.params;
+    analyze_body(body, fn);
+    model_.functions.push_back(std::move(fn));
+  }
+}
+
+}  // namespace
+
+Model build_model(const std::vector<SourceFile>& files) {
+  Model model;
+  std::vector<FileScanner> scanners;
+  scanners.reserve(files.size());
+  for (const SourceFile& file : files) {
+    if (!file.readable) continue;
+    scanners.emplace_back(file, model);
+  }
+  for (FileScanner& scanner : scanners) scanner.collect();
+  for (std::size_t i = 0; i < model.classes.size(); ++i) {
+    model.classes_by_name[model.classes[i].name].push_back(i);
+  }
+  for (FileScanner& scanner : scanners) scanner.analyze();
+  for (std::size_t i = 0; i < model.functions.size(); ++i) {
+    model.functions_by_name[model.functions[i].name].push_back(i);
+  }
+  for (std::size_t i = 0; i < model.signatures.size(); ++i) {
+    model.signatures_by_name[model.signatures[i].name].push_back(i);
+  }
+  return model;
+}
+
+}  // namespace ckat::lint

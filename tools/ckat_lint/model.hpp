@@ -1,0 +1,162 @@
+// Per-translation-unit source model for ckat_lint's cross-TU passes
+// (DESIGN.md section 15).
+//
+// The model layer is a lightweight C++ recognizer, not a parser: a
+// lexer strips comments and blanks literal contents, a tokenizer turns
+// the result into identifier/punctuator tokens with line numbers, and
+// a structural scan recovers just enough shape for concurrency
+// analysis -- classes with their fields (mutex members, atomic
+// members, `// guarded by <m>` annotations), function signatures, and
+// for every function body: lock acquisition sites with the held-lock
+// set, member-field accesses with the held-lock set, call sites with
+// argument counts, and relaxed atomic loads used in branch conditions.
+//
+// Everything downstream (tools/ckat_lint/concurrency.cpp) works on
+// this digested model; nothing re-reads source text.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ckat::lint {
+
+// -- lexing (shared with the line-based legacy rules) -----------------------
+
+struct StringLiteral {
+  std::size_t line = 0;  // 1-based
+  std::string text;
+};
+
+struct SourceFile {
+  std::string path;
+  std::vector<std::string> raw;
+  /// Comments stripped, literal contents blanked (delimiters kept).
+  std::vector<std::string> code;
+  /// `code` with preprocessor lines additionally blanked; used by the
+  /// structural scan so unbalanced braces in macros cannot skew it.
+  std::vector<std::string> code_nopp;
+  std::vector<StringLiteral> strings;
+  bool readable = false;
+};
+
+/// Reads and lexes `path`; `readable` is false if the file cannot be
+/// opened.
+SourceFile load_source(const std::string& path);
+
+/// Path without its extension: gateway.cpp and gateway.hpp share a
+/// stem and are treated as one translation-unit group.
+std::string path_stem(const std::string& path);
+
+// -- the per-TU model -------------------------------------------------------
+
+struct FieldModel {
+  std::string name;
+  std::size_t line = 0;
+  bool is_mutex = false;
+  bool is_atomic = false;
+  /// static / constexpr members are immutable-by-convention constants,
+  /// never publication targets.
+  bool is_static = false;
+  /// Mutex member named by a `// guarded by <m>` annotation; empty if
+  /// the field is unannotated.
+  std::string guarded_by;
+};
+
+struct ClassModel {
+  std::string name;
+  std::string file;
+  std::size_t line = 0;
+  std::vector<FieldModel> fields;
+
+  [[nodiscard]] const FieldModel* field(const std::string& name) const;
+  [[nodiscard]] bool has_mutex(const std::string& name) const;
+};
+
+/// A blocking lock acquisition inside a function body.
+struct LockUse {
+  /// Resolved lock id, "Class::member" (or "local:<func>:<name>" for
+  /// function-local mutexes).
+  std::string lock;
+  std::size_t line = 0;
+  /// Lock ids already held at this acquisition, outermost first.
+  std::vector<std::string> held;
+};
+
+struct CallUse {
+  std::string callee;
+  std::size_t line = 0;
+  std::size_t argc = 0;
+  std::vector<std::string> held;
+};
+
+/// Access to a `// guarded by` field.
+struct AccessUse {
+  std::string cls;    // class declaring the field
+  std::string field;
+  std::string required;  // resolved lock id the annotation demands
+  std::size_t line = 0;
+  std::vector<std::string> held;
+};
+
+/// A relaxed atomic load appearing in an if/while condition, together
+/// with the plain (non-atomic, non-mutex, non-static) members of the
+/// same class touched in the guarded branch while no lock was held.
+struct RelaxedGate {
+  std::string atomic_field;
+  std::size_t line = 0;
+  struct PlainAccess {
+    std::string field;
+    std::size_t line = 0;
+  };
+  std::vector<PlainAccess> unsynchronized;
+};
+
+struct FunctionModel {
+  std::string cls;   // enclosing/owning class; empty for free functions
+  std::string name;
+  std::string file;
+  std::size_t line = 0;
+  /// Constructor/destructor or `*_locked` helper: exempt from the
+  /// guarded-field check by contract.
+  bool exempt = false;
+  std::vector<std::string> params;
+  std::vector<LockUse> acquisitions;
+  std::vector<CallUse> calls;
+  std::vector<AccessUse> accesses;
+  std::vector<RelaxedGate> relaxed_gates;
+};
+
+/// A declaration signature (including bodyless declarations such as
+/// pure-virtual methods): enough to reason about overload sets in the
+/// budget-drop pass.
+struct SignatureModel {
+  std::string cls;
+  std::string name;
+  std::string file;
+  std::size_t line = 0;
+  std::vector<std::string> params;
+};
+
+struct Model {
+  std::vector<ClassModel> classes;
+  std::vector<FunctionModel> functions;
+  std::vector<SignatureModel> signatures;
+
+  /// Classes by name (same-named classes in different files all listed).
+  std::map<std::string, std::vector<std::size_t>> classes_by_name;
+  /// Function indexes by bare name.
+  std::map<std::string, std::vector<std::size_t>> functions_by_name;
+  /// Signature indexes by bare name.
+  std::map<std::string, std::vector<std::size_t>> signatures_by_name;
+
+  [[nodiscard]] const ClassModel* resolve_class(const std::string& name,
+                                                const std::string& from_file)
+      const;
+};
+
+/// Builds one model over every readable file (the cross-TU view).
+Model build_model(const std::vector<SourceFile>& files);
+
+}  // namespace ckat::lint
