@@ -1,0 +1,157 @@
+// Training-throughput microbench for the minibatched training engine
+// (DESIGN.md §16).
+//
+// Trains the same tiny CKAT model with the slot-parallel engine at one
+// thread and at --threads, reporting epochs/sec for both as one JSON
+// record:
+//   {"bench":"training", ..., "serial_epochs_per_sec":..,
+//    "parallel_epochs_per_sec":.., "speedup":.., "identical":true}
+// optionally written to a BENCH_training.json file via --out.
+//
+// The harness is *self-checking* on two axes:
+//   - Determinism (always enforced): the final representation tables of
+//     the serial and parallel runs must be bit-identical -- the slot
+//     contract says thread count never changes a single bit, and a
+//     throughput number for a diverging trainer is worthless. Any
+//     mismatch exits non-zero regardless of flags.
+//   - Throughput (hardware-gated): with --min-speedup S > 0 the
+//     parallel/serial ratio must reach S, enforced by exit code only
+//     when the host actually has >= --threads hardware threads; on
+//     smaller hosts the ratio is still reported but cannot fail the
+//     run (a 1-core CI box cannot show a parallel speedup).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "core/ckat.hpp"
+#include "facility/dataset.hpp"
+#include "obs/json.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ckat;
+
+core::CkatConfig bench_config(const util::CliArgs& args) {
+  core::CkatConfig config;
+  config.embedding_dim =
+      static_cast<std::size_t>(args.get_int("dim", 16));
+  config.layer_dims = {config.embedding_dim, config.embedding_dim / 2};
+  config.epochs = static_cast<int>(args.get_int("epochs", 4));
+  config.train_batch =
+      static_cast<std::size_t>(args.get_int("batch", 256));
+  config.cf_batch_size = config.train_batch;
+  config.kg_batch_size =
+      static_cast<std::size_t>(args.get_int("kg-batch", 512));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 17));
+  return config;
+}
+
+/// Trains a fresh model with `threads` workers; reports wall seconds
+/// and hands back the final representations for the divergence check.
+double timed_fit(const facility::FacilityDataset& dataset,
+                 const graph::CollaborativeKg& ckg,
+                 core::CkatConfig config, int threads,
+                 nn::Tensor& representations) {
+  config.train_threads = threads;
+  core::CkatModel model(ckg, dataset.split().train, config);
+  util::Timer timer;
+  model.fit();
+  const double elapsed = timer.seconds();
+  representations = model.final_representations();
+  return elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const int threads = static_cast<int>(args.get_int("threads", 4));
+  const double min_speedup = args.get_double("min-speedup", 2.5);
+  const std::string out_path = args.get_string("out", "");
+  const core::CkatConfig config = bench_config(args);
+
+  const auto dataset = facility::make_ooi_dataset(
+      static_cast<std::uint64_t>(args.get_int("data-seed", 42)),
+      facility::DatasetScale::kTiny);
+  const auto ckg = dataset.build_default_ckg();
+
+  // Warm-up (page in the dataset, stabilize clocks), then measure.
+  nn::Tensor warmup;
+  (void)timed_fit(dataset, ckg, config, 1, warmup);
+
+  nn::Tensor serial_repr;
+  const double serial_s = timed_fit(dataset, ckg, config, 1, serial_repr);
+  nn::Tensor parallel_repr;
+  const double parallel_s =
+      timed_fit(dataset, ckg, config, threads, parallel_repr);
+
+  bool identical = serial_repr.same_shape(parallel_repr);
+  if (identical) {
+    for (std::size_t i = 0; i < serial_repr.size(); ++i) {
+      if (serial_repr.data()[i] != parallel_repr.data()[i]) {
+        identical = false;
+        std::fprintf(stderr,
+                     "FAIL: parallel training diverges from serial at flat "
+                     "index %zu (threads=%d)\n",
+                     i, threads);
+        break;
+      }
+    }
+  } else {
+    std::fprintf(stderr, "FAIL: representation shapes differ\n");
+  }
+
+  const double epochs = static_cast<double>(config.epochs);
+  const double serial_eps = epochs / serial_s;
+  const double parallel_eps = epochs / parallel_s;
+  const double speedup = parallel_eps / serial_eps;
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const bool speedup_enforced =
+      min_speedup > 0.0 && hw >= static_cast<unsigned>(threads);
+  const bool speedup_ok = !speedup_enforced || speedup >= min_speedup;
+  if (!speedup_ok) {
+    std::fprintf(stderr,
+                 "FAIL: speedup %.2fx below --min-speedup %.2f at "
+                 "threads=%d (hw=%u)\n",
+                 speedup, min_speedup, threads, hw);
+  }
+
+  obs::JsonValue record = obs::JsonValue::object();
+  record.set("bench", obs::JsonValue(std::string("training")));
+  record.set("users", obs::JsonValue(
+                          static_cast<std::uint64_t>(dataset.n_users())));
+  record.set("items", obs::JsonValue(
+                          static_cast<std::uint64_t>(dataset.n_items())));
+  record.set("dim", obs::JsonValue(
+                        static_cast<std::uint64_t>(config.embedding_dim)));
+  record.set("batch", obs::JsonValue(
+                          static_cast<std::uint64_t>(config.train_batch)));
+  record.set("epochs", obs::JsonValue(
+                           static_cast<std::uint64_t>(config.epochs)));
+  record.set("threads", obs::JsonValue(static_cast<std::uint64_t>(
+                            static_cast<std::size_t>(threads))));
+  record.set("hardware_threads",
+             obs::JsonValue(static_cast<std::uint64_t>(hw)));
+  record.set("serial_epochs_per_sec", obs::JsonValue(serial_eps));
+  record.set("parallel_epochs_per_sec", obs::JsonValue(parallel_eps));
+  record.set("speedup", obs::JsonValue(speedup));
+  record.set("speedup_enforced", obs::JsonValue(speedup_enforced));
+  record.set("identical", obs::JsonValue(identical));
+
+  const std::string json = record.dump();
+  std::printf("%s\n", json.c_str());
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open --out file %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  }
+  return identical && speedup_ok ? 0 : 1;
+}

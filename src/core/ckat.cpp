@@ -100,6 +100,12 @@ CkatModel::CkatModel(const graph::CollaborativeKg& ckg,
 
   cf_optimizer_ = std::make_unique<nn::AdamOptimizer>(config_.learning_rate);
   kg_optimizer_ = std::make_unique<nn::AdamOptimizer>(config_.learning_rate);
+  // Resolve the training-engine knobs once so the whole run (and its
+  // checkpoints) sees one consistent batch size and thread count.
+  config_.train_threads = resolve_train_threads(config_.train_threads);
+  config_.train_batch =
+      resolve_train_batch(config_.train_batch, config_.cf_batch_size);
+  trainer_ = std::make_unique<MinibatchTrainer>(config_.train_threads);
   sampler_ = std::make_unique<BprSampler>(train_);
 
   kg_edges_.reserve(adjacency_.n_edges());
@@ -157,7 +163,10 @@ nn::Var CkatModel::propagate(nn::Tape& tape, bool training,
 }
 
 float CkatModel::cf_step(util::Rng& rng) {
-  const auto batch = sampler_->sample(config_.cf_batch_size, rng);
+  // BPR sampling and the dropout fork consume the serial RNG stream
+  // exactly as the legacy loop did, so checkpoint resume replays the
+  // same batches at any thread count.
+  const auto batch = sampler_->sample(config_.train_batch, rng);
 
   std::vector<std::uint32_t> users, positives, negatives;
   users.reserve(batch.size());
@@ -173,28 +182,12 @@ float CkatModel::cf_step(util::Rng& rng) {
   util::Rng dropout_rng = rng.fork(17);
   nn::Var representation = propagate(tape, /*training=*/true, dropout_rng);
 
-  nn::Var user_repr = tape.rows(representation, users);
-  nn::Var pos_repr = tape.rows(representation, positives);
-  nn::Var neg_repr = tape.rows(representation, negatives);
-
-  nn::Var pos_scores = tape.sum_cols(tape.mul(user_repr, pos_repr));
-  nn::Var neg_scores = tape.sum_cols(tape.mul(user_repr, neg_repr));
-
-  // BPR (Eq. 12): mean softplus(neg - pos) = mean -ln sigma(pos - neg).
-  nn::Var bpr = tape.reduce_mean(tape.softplus(tape.sub(neg_scores, pos_scores)));
-
-  // L2 on the batch representations (the lambda * ||Theta||^2 of Eq. 13,
-  // applied per-batch as in the reference implementations).
-  nn::Var reg = tape.reduce_sum(tape.add(
-      tape.add(tape.square(user_repr), tape.square(pos_repr)),
-      tape.square(neg_repr)));
-  nn::Var loss = tape.add(
-      bpr,
-      tape.scale(reg, config_.l2_coefficient / static_cast<float>(batch.size())));
-
-  const float loss_value = tape.value(loss)(0, 0);
-  tape.backward(loss);
-  cf_optimizer_->step(params_);
+  // Slot fan-out over the pairs, shared backward through the
+  // propagation stack, slot-ordered parallel Adam (Eq. 12-13; see
+  // trainer.hpp for the determinism contract).
+  const float loss_value = trainer_->cf_step(
+      tape, representation, users, positives, negatives,
+      config_.l2_coefficient, params_, *cf_optimizer_);
 
   // Fault-injection hook: simulates the NaN gradients a real divergence
   // produces, so the rollback path is testable on demand.
@@ -214,13 +207,23 @@ float CkatModel::kg_step(util::Rng& rng) {
   for (std::size_t i = 0; i < batch_size; ++i) {
     batch.push_back(kg_edges_[rng.uniform_index(kg_edges_.size())]);
   }
-  return transr_->train_step(batch, *kg_optimizer_, params_, rng);
+  // Corrupted tails (Eq. 2's S') are presampled here, in batch order,
+  // so the RNG stream stays serial no matter how the trainer shards
+  // the edges across workers.
+  std::vector<std::uint32_t> negative_tails;
+  negative_tails.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    negative_tails.push_back(
+        static_cast<std::uint32_t>(rng.uniform_index(ckg_.n_entities())));
+  }
+  return trainer_->kg_step(*transr_, batch, negative_tails, params_,
+                           *kg_optimizer_);
 }
 
 void CkatModel::fit() {
   util::Timer timer;
   const std::size_t cf_batches =
-      sampler_->batches_per_epoch(config_.cf_batch_size);
+      sampler_->batches_per_epoch(config_.train_batch);
   const std::size_t kg_batches = std::max<std::size_t>(
       1, (kg_edges_.size() + config_.kg_batch_size - 1) / config_.kg_batch_size);
   const bool checkpointing =

@@ -19,6 +19,7 @@
 
 #include "core/attention.hpp"
 #include "core/bpr.hpp"
+#include "core/trainer.hpp"
 #include "core/transr.hpp"
 #include "eval/recommender.hpp"
 #include "graph/ckg.hpp"
@@ -44,6 +45,17 @@ struct CkatConfig {
 
   std::size_t cf_batch_size = 2048;
   std::size_t kg_batch_size = 4096;
+
+  /// Minibatched training engine (DESIGN.md section 16). train_threads:
+  /// worker threads for the slot fan-out and the sparse Adam step; 0
+  /// resolves CKAT_TRAIN_THREADS (default 1). Any value produces
+  /// bit-identical parameters -- the slot partition and every
+  /// cross-slot reduction are thread-count independent. train_batch:
+  /// BPR pairs sampled per CF step; 0 resolves CKAT_TRAIN_BATCH
+  /// (default: cf_batch_size).
+  int train_threads = 0;
+  std::size_t train_batch = 0;
+
   int epochs = 25;
   std::uint64_t seed = 7;
   bool verbose = false;
@@ -198,6 +210,7 @@ class CkatModel final : public eval::Recommender {
 
   std::unique_ptr<nn::AdamOptimizer> cf_optimizer_;
   std::unique_ptr<nn::AdamOptimizer> kg_optimizer_;
+  std::unique_ptr<MinibatchTrainer> trainer_;
   std::unique_ptr<BprSampler> sampler_;
   util::Rng rng_;
 

@@ -1,0 +1,189 @@
+#include "nn/gradcheck.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace ckat::nn {
+
+void GradCheckResult::merge(const GradCheckResult& other) {
+  checked += other.checked;
+  skipped += other.skipped;
+  if (other.max_rel_error > max_rel_error) {
+    max_rel_error = other.max_rel_error;
+    worst = other.worst;
+  }
+  passed = passed && other.passed;
+}
+
+namespace {
+
+// Cotangent entries have magnitude in [0.25, 1] with random sign: no
+// output coordinate is washed out of the functional, none dominates it.
+Tensor make_cotangent(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  Tensor c(rows, cols);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const float mag = 0.25f + 0.75f * rng.uniform_float();
+    c.data()[i] = rng.bernoulli(0.5) ? mag : -mag;
+  }
+  return c;
+}
+
+// L = sum c .* y, accumulated in double (the fp64 probe).
+double functional(const Tensor& y, const Tensor& c) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    acc += static_cast<double>(c.data()[i]) * y.data()[i];
+  }
+  return acc;
+}
+
+// One differentiable tensor the checker perturbs: a name for messages, a
+// pointer to the live storage the forward pass reads, and the analytic
+// gradient captured from the backward pass.
+struct Slot {
+  std::string name;
+  Tensor* value = nullptr;
+  Tensor analytic;
+};
+
+// Five-point central-difference stencil around the current value of one
+// coordinate; `eval` re-runs the whole forward pass.
+double stencil(float* x, float h, const std::function<double()>& eval) {
+  const float x0 = *x;
+  *x = x0 + h;
+  const double fp1 = eval();
+  *x = x0 - h;
+  const double fm1 = eval();
+  *x = x0 + 2.0f * h;
+  const double fp2 = eval();
+  *x = x0 - 2.0f * h;
+  const double fm2 = eval();
+  *x = x0;
+  return (8.0 * (fp1 - fm1) - (fp2 - fm2)) / (12.0 * static_cast<double>(h));
+}
+
+GradCheckResult run_check(std::vector<Slot>& slots,
+                          const std::function<double()>& eval,
+                          const GradCheckConfig& config) {
+  GradCheckResult result;
+  for (Slot& slot : slots) {
+    for (std::size_t r = 0; r < slot.value->rows(); ++r) {
+      for (std::size_t c = 0; c < slot.value->cols(); ++c) {
+        float* x = &(*slot.value)(r, c);
+        // Snap the per-coordinate step to a power of two so x +- h and
+        // x +- 2h round identically and the stencil spacing is exact.
+        const float scaled =
+            config.step * std::max(1.0f, std::fabs(*x));
+        const float h = std::exp2(std::round(std::log2(scaled)));
+        const double numeric = stencil(x, h, eval);
+        const double half = stencil(x, 0.5f * h, eval);
+        const double analytic = slot.analytic(r, c);
+        const double denom = std::max(
+            {std::fabs(analytic), std::fabs(numeric), config.denom_floor});
+        // Richardson consistency: if halving the step moves the estimate
+        // materially, the stencil straddles a kink (relu corner, clamp
+        // boundary) and no finite difference is meaningful here.
+        if (std::fabs(numeric - half) >
+            config.kink_factor * config.tolerance * denom) {
+          ++result.skipped;
+          continue;
+        }
+        ++result.checked;
+        const double rel = std::fabs(analytic - numeric) / denom;
+        if (rel > result.max_rel_error) {
+          result.max_rel_error = rel;
+          char buf[192];
+          std::snprintf(buf, sizeof(buf),
+                        "%s(%zu,%zu): analytic=%.8g numeric=%.8g rel=%.3g",
+                        slot.name.c_str(), r, c, analytic, numeric, rel);
+          result.worst = buf;
+        }
+        if (rel > config.tolerance) result.passed = false;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+GradCheckResult check_gradients(
+    const std::vector<Tensor>& inputs,
+    const std::function<Var(Tape&, const std::vector<Var>&)>& build,
+    const GradCheckConfig& config) {
+  // Working copies: the stencil perturbs these in place.
+  std::vector<Tensor> work = inputs;
+
+  // Analytic pass to learn the output shape and capture gradients.
+  Tensor cotangent;
+  std::vector<Slot> slots(work.size());
+  {
+    Tape tape;
+    std::vector<Var> leaves;
+    leaves.reserve(work.size());
+    for (const Tensor& t : work) leaves.push_back(tape.input(t));
+    const Var out = build(tape, leaves);
+    util::Rng rng(config.seed);
+    cotangent =
+        make_cotangent(tape.value(out).rows(), tape.value(out).cols(), rng);
+    tape.backward_seeded(out, cotangent);
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      slots[i].name = "input" + std::to_string(i);
+      slots[i].value = &work[i];
+      // An input that does not influence the output never gets a grad
+      // tensor allocated; its analytic gradient is identically zero.
+      try {
+        slots[i].analytic = tape.grad(leaves[i]);
+      } catch (const std::logic_error&) {
+        slots[i].analytic.resize_zeroed(work[i].rows(), work[i].cols());
+      }
+    }
+  }
+
+  const auto eval = [&]() {
+    Tape tape;
+    std::vector<Var> leaves;
+    leaves.reserve(work.size());
+    for (const Tensor& t : work) leaves.push_back(tape.input(t));
+    const Var out = build(tape, leaves);
+    return functional(tape.value(out), cotangent);
+  };
+  return run_check(slots, eval, config);
+}
+
+GradCheckResult check_parameter_gradients(
+    const std::vector<Parameter*>& params,
+    const std::function<Var(Tape&)>& build,
+    const GradCheckConfig& config) {
+  Tensor cotangent;
+  std::vector<Slot> slots(params.size());
+  {
+    for (Parameter* p : params) p->zero_grad();
+    Tape tape;
+    const Var out = build(tape);
+    util::Rng rng(config.seed);
+    cotangent =
+        make_cotangent(tape.value(out).rows(), tape.value(out).cols(), rng);
+    tape.backward_seeded(out, cotangent);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      slots[i].name = params[i]->name();
+      slots[i].value = &params[i]->value();
+      slots[i].analytic = params[i]->grad();
+    }
+    // Leave the parameters' gradient state as we found it.
+    for (Parameter* p : params) p->zero_grad();
+  }
+
+  const auto eval = [&]() {
+    Tape tape;
+    const Var out = build(tape);
+    return functional(tape.value(out), cotangent);
+  };
+  return run_check(slots, eval, config);
+}
+
+}  // namespace ckat::nn

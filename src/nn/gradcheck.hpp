@@ -1,0 +1,83 @@
+// Finite-difference gradient checking for the tape autograd.
+//
+// The harness compares analytic gradients (reverse-mode through Tape)
+// against numeric directional derivatives of a random linear functional
+// L(x) = sum_ij c_ij * y_ij(x), where c is a deterministic random
+// cotangent and y the op output. The numeric side uses a five-point
+// central-difference stencil with double-precision accumulation of L
+// (the "fp64 probe"): forwards stay fp32, but every reduction the
+// checker performs is carried in double so stencil cancellation noise
+// stays well below the tolerance.
+//
+// Non-smooth ops (relu, leaky_relu, clamps) are handled by a Richardson
+// consistency test: each coordinate is probed at step h and h/2, and a
+// coordinate whose two stencil estimates disagree is *skipped* (counted,
+// not failed) -- the perturbation straddled a kink, so no finite
+// difference is meaningful there. Smooth-op mismatches still fail.
+//
+// Everything is deterministic: cotangents and probe order come from a
+// seeded util::Rng, so a failure reproduces bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/parameter.hpp"
+#include "nn/tape.hpp"
+#include "nn/tensor.hpp"
+
+namespace ckat::nn {
+
+struct GradCheckConfig {
+  /// Base finite-difference step (scaled by max(1, |x|) per coordinate).
+  float step = 1e-2f;
+  /// Maximum allowed relative error |analytic - numeric| /
+  /// max(|analytic|, |numeric|, denom_floor).
+  double tolerance = 1e-4;
+  /// Floor of the relative-error denominator; errors on gradients
+  /// smaller than this are measured absolutely.
+  double denom_floor = 1.0;
+  /// A coordinate whose h and h/2 stencil estimates differ by more than
+  /// kink_factor * tolerance * denominator is treated as kink-adjacent
+  /// and skipped instead of failed.
+  double kink_factor = 4.0;
+  /// Seed for the cotangent RNG.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+struct GradCheckResult {
+  bool passed = true;
+  double max_rel_error = 0.0;
+  std::size_t checked = 0;  ///< coordinates compared
+  std::size_t skipped = 0;  ///< kink-adjacent coordinates excluded
+  std::string worst;        ///< human-readable locus of the worst error
+
+  /// Folds another result in (used by tests that sweep many ops).
+  void merge(const GradCheckResult& other);
+};
+
+/// Checks d(sum c*y)/d(inputs) for a tape program over plain tensor
+/// inputs. `build` is called repeatedly: it receives a fresh tape plus
+/// one input() leaf per entry of `inputs` (values possibly perturbed)
+/// and must return the output node. The builder must be deterministic --
+/// any RNG it uses (e.g. dropout) must be re-seeded identically per call.
+GradCheckResult check_gradients(
+    const std::vector<Tensor>& inputs,
+    const std::function<Var(Tape&, const std::vector<Var>&)>& build,
+    const GradCheckConfig& config = {});
+
+/// Same check, but differentiates with respect to live Parameters (for
+/// module-level programs: attention, TransR, the full CKAT loss).
+/// `build` closes over the parameters and records the program through
+/// param()/gather_param(); the harness perturbs each parameter's value
+/// in place (restoring it afterwards) for the numeric side and reads
+/// Parameter::grad() for the analytic side. Gradients of all listed
+/// parameters are zeroed by the harness before the analytic pass.
+GradCheckResult check_parameter_gradients(
+    const std::vector<Parameter*>& params,
+    const std::function<Var(Tape&)>& build,
+    const GradCheckConfig& config = {});
+
+}  // namespace ckat::nn

@@ -8,6 +8,20 @@
 #include <emmintrin.h>
 #endif
 
+// The AVX2 tile kernel is compiled per-function via
+// __attribute__((target("avx2"))) and selected at runtime behind a
+// cpuid check, so the translation unit itself needs no -mavx2 (and the
+// binary still runs on SSE2-only hosts). Only GCC/Clang on x86-64
+// support that combination.
+#if defined(__x86_64__) && defined(__GNUC__) && defined(__SSE2__)
+#define CKAT_GEMM_HAS_AVX2 1
+#include <immintrin.h>
+#else
+#define CKAT_GEMM_HAS_AVX2 0
+#endif
+
+#include <atomic>
+
 #ifdef CKAT_PROFILE_KERNELS
 #include <chrono>
 #include <cstdint>
@@ -124,6 +138,68 @@ void gemm_nt(const Tensor& a, const Tensor& b, Tensor& out, float alpha,
   }
 }
 
+namespace {
+
+#if CKAT_GEMM_HAS_AVX2
+// 16-lane tile step in two 256-bit accumulators. Lane r still sums item
+// j0+r's products in plain kk order, and target("avx2") deliberately
+// does NOT enable FMA, so vmulps+vaddps round exactly like the SSE2 and
+// scalar paths -- the wider registers only buy throughput.
+__attribute__((target("avx2"))) void gemm_tile16_avx2(const float* arow,
+                                                      const float* ptile,
+                                                      std::size_t k,
+                                                      float* orow) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const __m256 av = _mm256_set1_ps(arow[kk]);
+    const float* bp = ptile + kk * 16;
+    acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(av, _mm256_loadu_ps(bp)));
+    acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(av, _mm256_loadu_ps(bp + 8)));
+  }
+  _mm256_storeu_ps(orow, acc0);
+  _mm256_storeu_ps(orow + 8, acc1);
+}
+
+bool host_has_avx2() {
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported;
+}
+#else
+bool host_has_avx2() { return false; }
+#endif
+
+GemmIsa best_supported_isa() {
+#if defined(__SSE2__)
+  return host_has_avx2() ? GemmIsa::kAvx2 : GemmIsa::kSse2;
+#else
+  return GemmIsa::kScalar;
+#endif
+}
+
+std::atomic<GemmIsa> g_gemm_isa{GemmIsa::kAuto};
+
+}  // namespace
+
+void set_gemm_isa(GemmIsa isa) {
+  if (isa == GemmIsa::kAvx2 && !host_has_avx2()) {
+    throw std::invalid_argument("set_gemm_isa: host does not support AVX2");
+  }
+#if !defined(__SSE2__)
+  if (isa == GemmIsa::kSse2) {
+    throw std::invalid_argument("set_gemm_isa: build has no SSE2 path");
+  }
+#endif
+  // NOLINTNEXTLINE(ckat-relaxed-atomic): isolated mode flag; publishes no other state
+  g_gemm_isa.store(isa, std::memory_order_relaxed);
+}
+
+GemmIsa active_gemm_isa() noexcept {
+  // NOLINTNEXTLINE(ckat-relaxed-atomic): isolated mode flag; gates no other memory
+  const GemmIsa forced = g_gemm_isa.load(std::memory_order_relaxed);
+  return forced == GemmIsa::kAuto ? best_supported_isa() : forced;
+}
+
 void gemm_nt_into(std::span<const float> a, std::size_t m, std::size_t k,
                   std::span<const float> b, std::size_t n,
                   std::span<float> out) {
@@ -164,6 +240,7 @@ void gemm_nt_into(std::span<const float> a, std::size_t m, std::size_t k,
   // instruction, and the fallback writes `a * b` then `+=` as separate
   // expressions).
   constexpr std::size_t kNr = 16;
+  const GemmIsa isa = active_gemm_isa();
   std::vector<float> ptile(kNr * k);
   for (std::size_t j0 = 0; j0 + kNr <= n; j0 += kNr) {
     for (std::size_t r = 0; r < kNr; ++r) {
@@ -175,32 +252,40 @@ void gemm_nt_into(std::span<const float> a, std::size_t m, std::size_t k,
     for (std::size_t i = 0; i < m; ++i) {
       const float* arow = pa + i * k;
       float* orow = po + i * n + j0;
-#if defined(__SSE2__)
-      __m128 acc0 = _mm_setzero_ps();
-      __m128 acc1 = _mm_setzero_ps();
-      __m128 acc2 = _mm_setzero_ps();
-      __m128 acc3 = _mm_setzero_ps();
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const __m128 av = _mm_set1_ps(arow[kk]);
-        const float* bp = ptile.data() + kk * kNr;
-        acc0 = _mm_add_ps(acc0, _mm_mul_ps(av, _mm_loadu_ps(bp)));
-        acc1 = _mm_add_ps(acc1, _mm_mul_ps(av, _mm_loadu_ps(bp + 4)));
-        acc2 = _mm_add_ps(acc2, _mm_mul_ps(av, _mm_loadu_ps(bp + 8)));
-        acc3 = _mm_add_ps(acc3, _mm_mul_ps(av, _mm_loadu_ps(bp + 12)));
+#if CKAT_GEMM_HAS_AVX2
+      if (isa == GemmIsa::kAvx2) {
+        gemm_tile16_avx2(arow, ptile.data(), k, orow);
+        continue;
       }
-      _mm_storeu_ps(orow, acc0);
-      _mm_storeu_ps(orow + 4, acc1);
-      _mm_storeu_ps(orow + 8, acc2);
-      _mm_storeu_ps(orow + 12, acc3);
-#else
+#endif
+#if defined(__SSE2__)
+      if (isa != GemmIsa::kScalar) {
+        __m128 acc0 = _mm_setzero_ps();
+        __m128 acc1 = _mm_setzero_ps();
+        __m128 acc2 = _mm_setzero_ps();
+        __m128 acc3 = _mm_setzero_ps();
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const __m128 av = _mm_set1_ps(arow[kk]);
+          const float* bp = ptile.data() + kk * kNr;
+          acc0 = _mm_add_ps(acc0, _mm_mul_ps(av, _mm_loadu_ps(bp)));
+          acc1 = _mm_add_ps(acc1, _mm_mul_ps(av, _mm_loadu_ps(bp + 4)));
+          acc2 = _mm_add_ps(acc2, _mm_mul_ps(av, _mm_loadu_ps(bp + 8)));
+          acc3 = _mm_add_ps(acc3, _mm_mul_ps(av, _mm_loadu_ps(bp + 12)));
+        }
+        _mm_storeu_ps(orow, acc0);
+        _mm_storeu_ps(orow + 4, acc1);
+        _mm_storeu_ps(orow + 8, acc2);
+        _mm_storeu_ps(orow + 12, acc3);
+        continue;
+      }
+#endif
       float acc[kNr] = {};
       for (std::size_t kk = 0; kk < k; ++kk) {
-        const float a = arow[kk];
+        const float av = arow[kk];
         const float* bp = ptile.data() + kk * kNr;
-        for (std::size_t r = 0; r < kNr; ++r) acc[r] += a * bp[r];
+        for (std::size_t r = 0; r < kNr; ++r) acc[r] += av * bp[r];
       }
       for (std::size_t r = 0; r < kNr; ++r) orow[r] = acc[r];
-#endif
     }
   }
   // Remainder rows (n % kNr): plain scalar dots, same element order.

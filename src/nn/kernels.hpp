@@ -20,6 +20,21 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& out, float alpha = 1.0f,
 void gemm_nt(const Tensor& a, const Tensor& b, Tensor& out,
              float alpha = 1.0f, bool accumulate = false);
 
+/// Instruction set used by the tiled gemm_nt_into kernel. kAuto picks
+/// the widest path the host supports (detected once via cpuid). Every
+/// path accumulates each output lane in plain kk order with separate
+/// multiply and add (no FMA contraction), so switching ISA never
+/// changes a single bit of the result -- the dispatch is pure
+/// throughput. set_gemm_isa exists so tests and benches can pin or
+/// cross-check paths; it throws std::invalid_argument if the host
+/// cannot execute the requested ISA.
+enum class GemmIsa { kAuto, kScalar, kSse2, kAvx2 };
+
+void set_gemm_isa(GemmIsa isa);
+
+/// The ISA gemm_nt_into will actually use (never kAuto).
+[[nodiscard]] GemmIsa active_gemm_isa() noexcept;
+
 /// out = A @ B^T written straight into a caller-owned row-major buffer:
 /// out[i*n + j] = dot(A row i, B row j). The batched ranking engine
 /// (eval/ranker.hpp) scores a block of users against the item-embedding

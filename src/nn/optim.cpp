@@ -1,6 +1,11 @@
 #include "nn/optim.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
+
+#include "util/parallel.hpp"
 
 namespace ckat::nn {
 
@@ -63,6 +68,50 @@ void AdamOptimizer::step(ParamStore& params) {
       }
     }
     p->zero_grad();
+  }
+}
+
+void AdamOptimizer::step(ParamStore& params, util::WorkerPool& pool) {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+
+  // Deterministic work list: parameters in creation order, rows in
+  // dense or touch order. Built serially so moment buffers are
+  // allocated before any worker runs.
+  std::vector<std::pair<Parameter*, std::uint32_t>> work;
+  for (auto& p : params) {
+    if (!p->has_any_grad()) continue;
+    if (p->opt_m.empty()) {
+      p->opt_m.resize_zeroed(p->rows(), p->cols());
+      p->opt_v.resize_zeroed(p->rows(), p->cols());
+    }
+    if (p->has_dense_grad()) {
+      for (std::size_t r = 0; r < p->rows(); ++r) {
+        work.emplace_back(p.get(), static_cast<std::uint32_t>(r));
+      }
+    } else {
+      for (std::uint32_t r : p->touched_rows()) {
+        work.emplace_back(p.get(), r);
+      }
+    }
+  }
+
+  // Contiguous shards: each (param, row) is updated by exactly one
+  // worker and rows never share state, so scheduling cannot change any
+  // result bit.
+  const std::size_t workers = pool.size();
+  const std::size_t chunk = (work.size() + workers - 1) / workers;
+  pool.run([&](std::size_t w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = std::min(work.size(), begin + chunk);
+    for (std::size_t i = begin; i < end; ++i) {
+      update_row(*work[i].first, work[i].second, bc1, bc2);
+    }
+  });
+
+  for (auto& p : params) {
+    if (p->has_any_grad()) p->zero_grad();
   }
 }
 

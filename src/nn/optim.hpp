@@ -8,6 +8,10 @@
 
 #include "nn/parameter.hpp"
 
+namespace ckat::util {
+class WorkerPool;
+}  // namespace ckat::util
+
 namespace ckat::nn {
 
 class Optimizer {
@@ -37,6 +41,14 @@ class AdamOptimizer final : public Optimizer {
       : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
 
   void step(ParamStore& params) override;
+
+  /// Parallel variant: shards the (parameter, row) work list across the
+  /// pool's workers. Each row's moment/value update touches only that
+  /// row, so updates are independent and the result is bit-identical to
+  /// the serial step() at every pool size -- the work list is built in
+  /// deterministic (creation, touch) order and sharded contiguously,
+  /// and no floating-point reduction crosses a row boundary.
+  void step(ParamStore& params, util::WorkerPool& pool);
 
   [[nodiscard]] float learning_rate() const noexcept { return lr_; }
   [[nodiscard]] long step_count() const noexcept { return t_; }

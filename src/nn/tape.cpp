@@ -64,6 +64,12 @@ void Tape::clear() { nodes_.clear(); }
 
 Var Tape::constant(Tensor value) { return push(std::move(value), false, {}); }
 
+Var Tape::input(Tensor value) {
+  // A leaf with no backward closure: the accumulated gradient simply
+  // stays on the node for the caller to read.
+  return push(std::move(value), true, {});
+}
+
 Var Tape::param(Parameter& p) {
   Tensor copy = p.value();
   Parameter* pp = &p;
@@ -593,13 +599,18 @@ Var Tape::segment_softmax(Var scores, std::vector<std::uint32_t> segment_ids) {
   std::vector<double> seg_denominator(n_segments, 0.0);
   Tensor out_value(sv.rows(), 1);
   for (std::size_t r = 0; r < sv.rows(); ++r) {
-    const float e = std::exp(sv(r, 0) - seg_max[segment_ids[r]]);
+    // A fully masked segment has seg_max == -inf; exp(-inf - -inf) is NaN,
+    // so treat every entry of such a segment as weight zero instead.
+    const float m = seg_max[segment_ids[r]];
+    const float e =
+        std::isinf(m) ? 0.0f : std::exp(sv(r, 0) - m);
     out_value(r, 0) = e;
     seg_denominator[segment_ids[r]] += e;
   }
   for (std::size_t r = 0; r < sv.rows(); ++r) {
-    out_value(r, 0) = static_cast<float>(
-        out_value(r, 0) / seg_denominator[segment_ids[r]]);
+    const double d = seg_denominator[segment_ids[r]];
+    out_value(r, 0) =
+        d == 0.0 ? 0.0f : static_cast<float>(out_value(r, 0) / d);
   }
 
   const bool rg = node(scores).requires_grad;
@@ -629,16 +640,19 @@ Var Tape::l2_normalize_rows(Var a, float eps) {
   const Tensor& av = node(a).value;
   Tensor out_value = av;
   std::vector<float> norms(av.rows());
+  std::vector<std::uint8_t> clamped(av.rows());
   for (std::size_t r = 0; r < av.rows(); ++r) {
     double acc = 0.0;
     for (float v : av.row(r)) acc += static_cast<double>(v) * v;
-    norms[r] = std::max(static_cast<float>(std::sqrt(acc)), eps);
+    const float raw = static_cast<float>(std::sqrt(acc));
+    clamped[r] = raw < eps ? 1 : 0;
+    norms[r] = clamped[r] ? eps : raw;
     for (float& v : out_value.row(r)) v /= norms[r];
   }
   const bool rg = node(a).requires_grad;
   Var out{static_cast<std::uint32_t>(nodes_.size())};
   return push(std::move(out_value), rg,
-              [out, a, n = std::move(norms)](Tape& t) {
+              [out, a, n = std::move(norms), cl = std::move(clamped)](Tape& t) {
                 if (!t.node(a).requires_grad) return;
                 const Tensor& g = t.node(out).grad;
                 const Tensor& y = t.node(out).value;
@@ -647,6 +661,14 @@ Var Tape::l2_normalize_rows(Var a, float eps) {
                   auto grow = g.row(r);
                   auto yrow = y.row(r);
                   auto garow = ga.row(r);
+                  if (cl[r]) {
+                    // Clamped branch: y = x / eps with eps constant, so
+                    // the Jacobian is diag(1/eps) -- no projection term.
+                    for (std::size_t c = 0; c < grow.size(); ++c) {
+                      garow[c] += grow[c] / n[r];
+                    }
+                    continue;
+                  }
                   float dot = 0.0f;
                   for (std::size_t c = 0; c < grow.size(); ++c) {
                     dot += grow[c] * yrow[c];
@@ -688,15 +710,24 @@ Var Tape::dropout(Var a, float p, util::Rng& rng, bool training) {
 // --------------------------------------------------------------- execution
 
 void Tape::backward(Var loss) {
-  Node& ln = node(loss);
+  const Node& ln = node(loss);
   if (ln.value.rows() != 1 || ln.value.cols() != 1) {
     throw std::invalid_argument("backward: loss must be a (1,1) scalar");
   }
-  if (!ln.requires_grad) {
-    throw std::invalid_argument("backward: loss does not require gradients");
+  Tensor seed(1, 1);
+  seed(0, 0) = 1.0f;
+  backward_seeded(loss, seed);
+}
+
+void Tape::backward_seeded(Var from, const Tensor& seed) {
+  Node& fn = node(from);
+  if (!fn.requires_grad) {
+    throw std::invalid_argument(
+        "backward_seeded: node does not require gradients");
   }
-  ensure_grad(loss)(0, 0) = 1.0f;
-  for (std::size_t i = nodes_.size(); i-- > 0;) {
+  check_same_shape(fn.value, seed, "backward_seeded");
+  axpy(1.0f, seed, ensure_grad(from));
+  for (std::size_t i = static_cast<std::size_t>(from.idx) + 1; i-- > 0;) {
     Node& n = nodes_[i];
     if (n.requires_grad && n.grad_ready && n.backward_fn) {
       n.backward_fn(*this);

@@ -47,6 +47,13 @@ class Tape {
   /// Non-differentiable tensor leaf.
   Var constant(Tensor value);
 
+  /// Differentiable tensor leaf owned by the tape itself: gradients
+  /// accumulate on the node (read them back with grad() after a
+  /// backward pass) instead of flowing into a Parameter. The slot
+  /// trainer builds its per-slot pair tapes from these, and the
+  /// grad-check harness probes ops through them.
+  Var input(Tensor value);
+
   /// Dense differentiable leaf copying the parameter's current value.
   /// Gradients accumulate into p.grad() and mark the parameter dense.
   Var param(Parameter& p);
@@ -119,6 +126,15 @@ class Tape {
 
   /// Runs the backward pass from a scalar (1,1) loss node.
   void backward(Var loss);
+
+  /// Runs the backward pass from an arbitrary node, seeding its
+  /// gradient with `seed` (same shape as the node's value) instead of
+  /// the implicit scalar 1. Gradients accumulate, so a caller may seed
+  /// and replay several times; nodes recorded after `from` never
+  /// contribute. The slot trainer uses this to push the slot-ordered
+  /// batch gradient through the shared propagation stack, and the
+  /// grad-check harness to apply its random cotangent.
+  void backward_seeded(Var from, const Tensor& seed);
 
   [[nodiscard]] const Tensor& value(Var v) const;
   [[nodiscard]] const Tensor& grad(Var v) const;

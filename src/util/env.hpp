@@ -61,7 +61,9 @@ namespace ckat::util {
   X(CKAT_SHARD_COUNT, "shard-router shard count")                         \
   X(CKAT_SHARD_REPLICAS, "replicas per shard in the shard router")        \
   X(CKAT_SHARD_PROBE_MS, "dead-replica recovery probe interval in ms")    \
-  X(CKAT_SHARD_HEDGE_MIN_MS, "floor of the p95-derived hedge delay in ms")
+  X(CKAT_SHARD_HEDGE_MIN_MS, "floor of the p95-derived hedge delay in ms")  \
+  X(CKAT_TRAIN_THREADS, "minibatch training engine worker threads")          \
+  X(CKAT_TRAIN_BATCH, "BPR pairs sampled per minibatched training step")
 
 /// One registry row, exposed for tooling (ckat-lint, run reports).
 struct EnvVarInfo {

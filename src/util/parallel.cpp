@@ -1,0 +1,77 @@
+#include "util/parallel.hpp"
+
+#include <mutex>
+
+namespace ckat::util {
+
+WorkerPool::WorkerPool(std::size_t threads)
+    : threads_(threads < 1 ? 1 : threads), errors_(threads_) {
+  workers_.reserve(threads_ - 1);
+  for (std::size_t w = 1; w < threads_; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<OrderedMutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkerPool::run(const std::function<void(std::size_t)>& fn) {
+  if (threads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<OrderedMutex> lock(mutex_);
+    job_ = &fn;
+    ++generation_;
+    remaining_ = threads_ - 1;
+    for (auto& e : errors_) e = nullptr;
+  }
+  cv_.notify_all();
+
+  try {
+    fn(0);
+  } catch (...) {
+    errors_[0] = std::current_exception();
+  }
+
+  std::unique_lock<OrderedMutex> lock(mutex_);
+  cv_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+  for (const std::exception_ptr& e : errors_) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void WorkerPool::worker_loop(std::size_t worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<OrderedMutex> lock(mutex_);
+      cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    try {
+      (*job)(worker);
+    } catch (...) {
+      errors_[worker] = std::current_exception();
+    }
+    bool last = false;
+    {
+      std::lock_guard<OrderedMutex> lock(mutex_);
+      last = --remaining_ == 0;
+    }
+    if (last) cv_.notify_all();
+  }
+}
+
+}  // namespace ckat::util

@@ -1,0 +1,67 @@
+// A small reusable worker pool for deterministic data-parallel loops.
+//
+// The training engine (core/trainer.hpp) and the sparse optimizer
+// (nn/optim.hpp) need "run f(worker) on W workers and wait" semantics
+// with three properties OpenMP does not give us here:
+//
+//   - std::thread workers, so ThreadSanitizer instruments every access
+//     (libgomp's barrier is opaque to TSan and drowns CI in false
+//     positives);
+//   - the calling thread participates as worker 0, so a pool of size 1
+//     never context-switches and the serial path is the parallel path;
+//   - exceptions thrown by any worker are captured and rethrown on the
+//     caller, first-worker-wins, after every worker has parked.
+//
+// Determinism contract: the pool only provides *execution*; callers
+// must make the result independent of scheduling by writing to
+// disjoint, slot-indexed storage and reducing in slot order (the same
+// contract BatchRanker proves for ranking, DESIGN.md section 16).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/lockorder.hpp"
+
+namespace ckat::util {
+
+class WorkerPool {
+ public:
+  /// Creates a pool with `threads` workers total (the caller counts as
+  /// worker 0, so `threads - 1` std::threads are spawned). threads < 1
+  /// is clamped to 1.
+  explicit WorkerPool(std::size_t threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return threads_; }
+
+  /// Runs fn(worker) for worker in [0, size()) -- worker 0 on the
+  /// calling thread -- and returns once all invocations finish. If any
+  /// invocation throws, the lowest-indexed worker's exception is
+  /// rethrown after the barrier. Not reentrant: fn must not call run()
+  /// on the same pool.
+  void run(const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop(std::size_t worker);
+
+  std::size_t threads_;
+  std::vector<std::thread> workers_;
+
+  OrderedMutex mutex_{"util.worker_pool"};
+  std::condition_variable_any cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;  // bumped per run() to wake workers
+  std::size_t remaining_ = 0;     // workers still inside the current job
+  bool shutdown_ = false;
+  std::vector<std::exception_ptr> errors_;
+};
+
+}  // namespace ckat::util

@@ -1,0 +1,155 @@
+// The minibatched training engine's determinism contract (DESIGN.md
+// section 16): the trained parameters are a pure function of the seed,
+// the batch size and the data -- never of CKAT_TRAIN_THREADS and never
+// of the GEMM instruction set. Each claim is pinned bit-exactly.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ckat.hpp"
+#include "facility/dataset.hpp"
+#include "nn/kernels.hpp"
+
+namespace ckat::core {
+namespace {
+
+struct SharedData {
+  SharedData()
+      : dataset(facility::make_ooi_dataset(42, facility::DatasetScale::kTiny)),
+        ckg(dataset.build_default_ckg()) {}
+  facility::FacilityDataset dataset;
+  graph::CollaborativeKg ckg;
+};
+
+const SharedData& shared() {
+  static const SharedData data;
+  return data;
+}
+
+CkatConfig tiny_config() {
+  CkatConfig config;
+  config.embedding_dim = 8;
+  config.layer_dims = {8, 4};
+  config.epochs = 2;
+  config.cf_batch_size = 64;
+  config.kg_batch_size = 64;
+  config.seed = 11;
+  return config;
+}
+
+/// Trains a fresh model and returns its final representation table.
+nn::Tensor train(const CkatConfig& config) {
+  CkatModel model(shared().ckg, shared().dataset.split().train, config);
+  model.fit();
+  return model.final_representations();
+}
+
+void expect_bit_identical(const nn::Tensor& a, const nn::Tensor& b,
+                          const std::string& what) {
+  ASSERT_TRUE(a.same_shape(b)) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << what << " diverges at flat index "
+                                        << i;
+  }
+}
+
+class TrainDeterminism : public ::testing::TestWithParam<std::size_t> {};
+
+// For every batch size, every thread count lands on the same bits: the
+// slot partition is fixed-width and all cross-slot reductions run
+// serially in slot order, so scheduling never reaches the numerics.
+TEST_P(TrainDeterminism, ThreadCountNeverChangesParameters) {
+  CkatConfig config = tiny_config();
+  config.train_batch = GetParam();
+  config.train_threads = 1;
+  const nn::Tensor reference = train(config);
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  for (int threads : {4, static_cast<int>(hw)}) {
+    config.train_threads = threads;
+    expect_bit_identical(reference, train(config),
+                         "batch " + std::to_string(GetParam()) + " threads " +
+                             std::to_string(threads));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, TrainDeterminism,
+                         ::testing::Values(1u, 32u, 256u),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return "batch" + std::to_string(info.param);
+                         });
+
+// Different batch sizes legitimately sample differently -- the sweep
+// above would be vacuous if every batch size trained identically.
+TEST(TrainDeterminismSuite, BatchSizeIsARealKnob) {
+  CkatConfig config = tiny_config();
+  config.train_threads = 1;
+  config.train_batch = 1;
+  const nn::Tensor small = train(config);
+  config.train_batch = 256;
+  const nn::Tensor large = train(config);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < small.size() && !any_difference; ++i) {
+    any_difference = small.data()[i] != large.data()[i];
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+// The GEMM ISA dispatch is pure throughput: every path accumulates in
+// identical kk order, so a training run under AVX2 matches SSE2 and
+// scalar bit-for-bit.
+TEST(TrainDeterminismSuite, GemmIsaNeverChangesParameters) {
+  CkatConfig config = tiny_config();
+  config.train_threads = 4;
+  config.train_batch = 32;
+
+  nn::set_gemm_isa(nn::GemmIsa::kScalar);
+  const nn::Tensor reference = train(config);
+  for (nn::GemmIsa isa : {nn::GemmIsa::kSse2, nn::GemmIsa::kAvx2}) {
+    try {
+      nn::set_gemm_isa(isa);
+    } catch (const std::invalid_argument&) {
+      continue;  // host cannot run this path
+    }
+    expect_bit_identical(reference, train(config),
+                         "isa " + std::to_string(static_cast<int>(isa)));
+  }
+  nn::set_gemm_isa(nn::GemmIsa::kAuto);
+}
+
+// Resume-mid-run: a checkpoint taken halfway restores onto a fresh
+// model -- even one running with a different thread count -- and the
+// continued run reproduces the uninterrupted trajectory bit-exactly.
+// This is the CKATCKP2 contract the online refresher leans on.
+TEST(TrainDeterminismSuite, ResumeMidRunIsBitExactAcrossThreadCounts) {
+  CkatConfig config = tiny_config();
+  config.epochs = 4;
+  config.train_threads = 1;
+  config.train_batch = 32;
+  CkatModel uninterrupted(shared().ckg, shared().dataset.split().train,
+                          config);
+  uninterrupted.fit();
+
+  CkatConfig half = config;
+  half.epochs = 2;
+  CkatModel first_half(shared().ckg, shared().dataset.split().train, half);
+  first_half.fit();
+  const nn::TrainingCheckpoint checkpoint = first_half.make_checkpoint(2);
+
+  CkatConfig resumed_config = config;
+  resumed_config.train_threads = 4;  // resume under a different pool size
+  CkatModel resumed(shared().ckg, shared().dataset.split().train,
+                    resumed_config);
+  resumed.restore_checkpoint(checkpoint);
+  resumed.fit();
+
+  expect_bit_identical(uninterrupted.final_representations(),
+                       resumed.final_representations(),
+                       "resume at epoch 2 with 4 threads");
+}
+
+}  // namespace
+}  // namespace ckat::core

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
 #include "nn/init.hpp"
 #include "util/rng.hpp"
 
@@ -187,6 +192,83 @@ TEST(Csr, SpmmRejectsShapeMismatch) {
                              std::vector<float>{1.0f});
   Tensor x(3, 2), out(2, 2);
   EXPECT_THROW(spmm(m, x, out), std::invalid_argument);
+}
+
+// ---- ISA dispatch for the tiled gemm_nt_into kernel ----
+
+/// Restores the default auto-dispatch however the test exits.
+struct IsaGuard {
+  ~IsaGuard() { set_gemm_isa(GemmIsa::kAuto); }
+};
+
+/// The ISAs this host can actually run (kScalar always; wider paths
+/// only when set_gemm_isa accepts them).
+std::vector<GemmIsa> supported_isas() {
+  std::vector<GemmIsa> isas = {GemmIsa::kScalar};
+  for (GemmIsa isa : {GemmIsa::kSse2, GemmIsa::kAvx2}) {
+    try {
+      set_gemm_isa(isa);
+      isas.push_back(isa);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+  set_gemm_isa(GemmIsa::kAuto);
+  return isas;
+}
+
+TEST(GemmIsa, SetAndQueryRoundTrip) {
+  IsaGuard guard;
+  set_gemm_isa(GemmIsa::kScalar);
+  EXPECT_EQ(active_gemm_isa(), GemmIsa::kScalar);
+  set_gemm_isa(GemmIsa::kAuto);
+  EXPECT_NE(active_gemm_isa(), GemmIsa::kAuto);  // resolved, never kAuto
+}
+
+TEST(GemmIsa, UnsupportedRequestThrowsAndKeepsPriorMode) {
+  IsaGuard guard;
+  set_gemm_isa(GemmIsa::kScalar);
+  const std::vector<GemmIsa> isas = supported_isas();
+  set_gemm_isa(GemmIsa::kScalar);
+  if (std::find(isas.begin(), isas.end(), GemmIsa::kAvx2) == isas.end()) {
+    EXPECT_THROW(set_gemm_isa(GemmIsa::kAvx2), std::invalid_argument);
+    EXPECT_EQ(active_gemm_isa(), GemmIsa::kScalar);
+  }
+}
+
+// The determinism contract the trainer and BatchRanker rely on: every
+// ISA path accumulates each output lane in plain kk order, so results
+// are bit-identical across scalar / SSE2 / AVX2 -- including shapes
+// whose column count is not a multiple of the vector tile.
+TEST(GemmIsa, AllPathsBitIdentical) {
+  IsaGuard guard;
+  const std::vector<GemmIsa> isas = supported_isas();
+  util::Rng rng(2024);
+  for (const auto [m, k, n] :
+       {std::tuple<std::size_t, std::size_t, std::size_t>{3, 7, 16},
+        {5, 13, 33},
+        {1, 64, 5},
+        {4, 3, 100},
+        {8, 17, 47}}) {
+    std::vector<float> a(m * k);
+    std::vector<float> b(n * k);
+    for (float& v : a) v = 2.0f * rng.uniform_float() - 1.0f;
+    for (float& v : b) v = 2.0f * rng.uniform_float() - 1.0f;
+
+    set_gemm_isa(GemmIsa::kScalar);
+    std::vector<float> reference(m * n);
+    gemm_nt_into(a, m, k, b, n, reference);
+
+    for (GemmIsa isa : isas) {
+      set_gemm_isa(isa);
+      std::vector<float> out(m * n, -7.0f);
+      gemm_nt_into(a, m, k, b, n, out);
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        ASSERT_EQ(out[i], reference[i])
+            << "isa " << static_cast<int>(isa) << " shape (" << m << "," << k
+            << "," << n << ") index " << i;
+      }
+    }
+  }
 }
 
 }  // namespace

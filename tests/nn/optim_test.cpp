@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
 
 #include "nn/tape.hpp"
+#include "util/parallel.hpp"
 
 namespace ckat::nn {
 namespace {
@@ -123,6 +125,173 @@ TEST(ParamStore, ParameterCount) {
   store.create("a", 2, 3);
   store.create("b", 4, 1);
   EXPECT_EQ(store.parameter_count(), 10u);
+}
+
+// ---- Parallel Adam step (minibatched training engine) ----
+
+/// Records an asymmetric loss over one dense matrix and one sparsely
+/// gathered table (duplicates included), then backprops.
+void mixed_backward(ParamStore& store, Parameter& dense, Parameter& table) {
+  (void)store;
+  Tape tape;
+  Var d = tape.param(dense);
+  Var g = tape.gather_param(table, {1, 3, 1, 6});
+  Var loss = tape.add(tape.reduce_sum(tape.square(d)),
+                      tape.reduce_sum(tape.mul(g, g)));
+  tape.backward(loss);
+}
+
+/// Builds a store with deterministic, asymmetric values.
+void init_pair(ParamStore& store, Parameter*& dense, Parameter*& table) {
+  dense = &store.create("dense", 3, 4);
+  table = &store.create("table", 8, 4);
+  for (std::size_t i = 0; i < dense->value().size(); ++i) {
+    dense->value().data()[i] = 0.1f * static_cast<float>(i) - 0.4f;
+  }
+  for (std::size_t i = 0; i < table->value().size(); ++i) {
+    table->value().data()[i] = 0.03f * static_cast<float>(i % 11) - 0.1f;
+  }
+}
+
+TEST(AdamParallel, BitIdenticalToSerialStepAtEveryPoolSize) {
+  // Serial reference trajectory.
+  ParamStore serial_store;
+  Parameter *serial_dense = nullptr, *serial_table = nullptr;
+  init_pair(serial_store, serial_dense, serial_table);
+  AdamOptimizer serial_opt(0.05f);
+  for (int s = 0; s < 5; ++s) {
+    mixed_backward(serial_store, *serial_dense, *serial_table);
+    serial_opt.step(serial_store);
+  }
+
+  for (std::size_t threads : {1u, 2u, 4u, 7u}) {
+    ParamStore store;
+    Parameter *dense = nullptr, *table = nullptr;
+    init_pair(store, dense, table);
+    AdamOptimizer opt(0.05f);
+    util::WorkerPool pool(threads);
+    for (int s = 0; s < 5; ++s) {
+      mixed_backward(store, *dense, *table);
+      opt.step(store, pool);
+    }
+    EXPECT_EQ(opt.step_count(), serial_opt.step_count());
+    for (std::size_t i = 0; i < dense->value().size(); ++i) {
+      ASSERT_EQ(dense->value().data()[i], serial_dense->value().data()[i])
+          << "pool " << threads << " dense index " << i;
+    }
+    for (std::size_t i = 0; i < table->value().size(); ++i) {
+      ASSERT_EQ(table->value().data()[i], serial_table->value().data()[i])
+          << "pool " << threads << " table index " << i;
+    }
+    EXPECT_FALSE(dense->has_any_grad());
+    EXPECT_FALSE(table->has_any_grad());
+  }
+}
+
+// ---- Bias-correction state across resume (CKATCKP2 contract) ----
+
+// Splitting a trajectory at step k and restoring {values, moments,
+// step count} must land bit-exactly on the uninterrupted run: the step
+// count feeds the bias correction, so it is part of the state.
+TEST(AdamResume, RestoringStepCountReproducesTrajectoryBitExactly) {
+  ParamStore full_store;
+  Parameter *full_dense = nullptr, *full_table = nullptr;
+  init_pair(full_store, full_dense, full_table);
+  AdamOptimizer full_opt(0.05f);
+  for (int s = 0; s < 6; ++s) {
+    mixed_backward(full_store, *full_dense, *full_table);
+    full_opt.step(full_store);
+  }
+
+  // First half on a fresh optimizer.
+  ParamStore half_store;
+  Parameter *half_dense = nullptr, *half_table = nullptr;
+  init_pair(half_store, half_dense, half_table);
+  AdamOptimizer first_half(0.05f);
+  for (int s = 0; s < 3; ++s) {
+    mixed_backward(half_store, *half_dense, *half_table);
+    first_half.step(half_store);
+  }
+
+  // "Resume": new optimizer instance, step count restored, moments kept
+  // in the parameters (as warm_start_from_checkpoint does).
+  AdamOptimizer resumed(0.05f);
+  resumed.set_step_count(first_half.step_count());
+  for (int s = 0; s < 3; ++s) {
+    mixed_backward(half_store, *half_dense, *half_table);
+    resumed.step(half_store);
+  }
+
+  for (std::size_t i = 0; i < full_dense->value().size(); ++i) {
+    ASSERT_EQ(half_dense->value().data()[i], full_dense->value().data()[i])
+        << "dense index " << i;
+  }
+  for (std::size_t i = 0; i < full_table->value().size(); ++i) {
+    ASSERT_EQ(half_table->value().data()[i], full_table->value().data()[i])
+        << "table index " << i;
+  }
+}
+
+// The drift this guards against: resuming with t = 0 re-applies the
+// aggressive early bias correction to converged moments. The negative
+// test proves the step count genuinely matters (a resume path that
+// forgot set_step_count would pass no other test loudly).
+TEST(AdamResume, ForgettingStepCountDiverges) {
+  ParamStore a_store;
+  Parameter *a_dense = nullptr, *a_table = nullptr;
+  init_pair(a_store, a_dense, a_table);
+  AdamOptimizer warm(0.05f);
+  for (int s = 0; s < 8; ++s) {
+    mixed_backward(a_store, *a_dense, *a_table);
+    warm.step(a_store);
+  }
+  ParamStore b_store;
+  Parameter *b_dense = nullptr, *b_table = nullptr;
+  init_pair(b_store, b_dense, b_table);
+  AdamOptimizer warm_b(0.05f);
+  for (int s = 0; s < 8; ++s) {
+    mixed_backward(b_store, *b_dense, *b_table);
+    warm_b.step(b_store);
+  }
+
+  AdamOptimizer resumed_right(0.05f);
+  resumed_right.set_step_count(warm.step_count());
+  mixed_backward(a_store, *a_dense, *a_table);
+  resumed_right.step(a_store);
+
+  AdamOptimizer resumed_wrong(0.05f);  // step count left at 0
+  mixed_backward(b_store, *b_dense, *b_table);
+  resumed_wrong.step(b_store);
+
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a_dense->value().size(); ++i) {
+    any_difference |= a_dense->value().data()[i] != b_dense->value().data()[i];
+  }
+  EXPECT_TRUE(any_difference)
+      << "losing the step count should visibly change the update";
+}
+
+// Rows never touched before a resume must start from zero moments, not
+// stale ones: the moment tensors are allocated zeroed and only touched
+// rows are ever written.
+TEST(AdamResume, ColdRowsHaveZeroMoments) {
+  ParamStore store;
+  Parameter& table = store.create("emb", 6, 2);
+  table.value().fill(0.5f);
+  AdamOptimizer opt(0.1f);
+  {
+    Tape tape;
+    Var g = tape.gather_param(table, {0, 2});
+    tape.backward(tape.reduce_sum(tape.square(g)));
+  }
+  opt.step(store);
+  ASSERT_FALSE(table.opt_m.empty());
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_NE(table.opt_m(0, c), 0.0f);
+    EXPECT_EQ(table.opt_m(1, c), 0.0f) << "cold row gained a moment";
+    EXPECT_EQ(table.opt_v(1, c), 0.0f);
+    EXPECT_EQ(table.opt_m(5, c), 0.0f);
+  }
 }
 
 }  // namespace

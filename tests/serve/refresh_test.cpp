@@ -261,9 +261,13 @@ TEST_F(RefreshTest, GuardrailRegressionRollsBack) {
   graph::CkgDelta poison;
   poison.sequence = 1;
   poison.new_relations = {"junkRel"};
-  poison.new_attributes = {"junk:blob"};
+  poison.new_attributes = {"junk:blob0", "junk:blob1", "junk:blob2",
+                           "junk:blob3"};
   for (std::uint32_t item = 0; item < 8; ++item) {
-    poison.knowledge.push_back({"", item, "junkRel", "junk:blob"});
+    for (int j = 0; j < 4; ++j) {
+      poison.knowledge.push_back(
+          {"", item, "junkRel", "junk:blob" + std::to_string(j)});
+    }
   }
   const RefreshOutcome outcome = rig.refresher->ingest(poison);
   EXPECT_EQ(outcome.status, RefreshOutcome::Status::kRejectedGuardrail)

@@ -1,0 +1,16 @@
+// Fixture: every ckat-train-determinism pattern, one per line.
+#include <atomic>
+#include <thread>
+
+float fixture_trainer_bad(const float* grads, int n) {
+  std::atomic<float> loss_acc{0.0f};
+  std::atomic<double> kg_acc{0.0};
+  const unsigned workers = std::thread::hardware_concurrency();
+  float sum = 0.0f;
+#pragma omp parallel for reduction(+ : sum)
+  for (int i = 0; i < n; ++i) {
+    sum += grads[i];
+  }
+  return loss_acc.load() + static_cast<float>(kg_acc.load()) + sum +
+         static_cast<float>(workers);
+}

@@ -1,0 +1,15 @@
+// Fixture: the sanctioned shape -- slot-indexed storage, serial
+// slot-order reduction, worker count from configuration.
+#include <cstddef>
+#include <vector>
+
+float fixture_trainer_clean(const std::vector<float>& slot_losses,
+                            std::size_t configured_workers) {
+  // Cross-slot reduction runs serially in slot order; the worker count
+  // came from CkatConfig, so the result is thread-count independent.
+  double total = 0.0;
+  for (std::size_t slot = 0; slot < slot_losses.size(); ++slot) {
+    total += slot_losses[slot];
+  }
+  return static_cast<float>(total / static_cast<double>(configured_workers));
+}

@@ -101,6 +101,17 @@ TEST(CkatLint, DetachedThreadRule) {
                    "ckat-detached-thread");
 }
 
+TEST(CkatLint, TrainDeterminismRule) {
+  expect_rule_pair("src/core/trainer_bad.cpp", "src/core/trainer_clean.cpp",
+                   "ckat-train-determinism");
+  // Each banned construct reports individually: atomic<float>,
+  // atomic<double>, hardware_concurrency(), and the omp line fires both
+  // the pragma and the reduction pattern.
+  const LintResult r =
+      run_lint("\"" + fixture("src/core/trainer_bad.cpp") + "\"");
+  EXPECT_EQ(rule_counts(r.output)["ckat-train-determinism"], 5) << r.output;
+}
+
 TEST(CkatLint, MutexGuardRule) {
   expect_rule_pair("src/serve/mutex_bad.cpp", "src/serve/mutex_clean.cpp",
                    "ckat-mutex-guard");

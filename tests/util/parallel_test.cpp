@@ -1,0 +1,112 @@
+// WorkerPool: barrier semantics, caller-as-worker-0, exception
+// propagation (first-worker-wins) and reuse across many run() calls.
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ckat::util {
+namespace {
+
+TEST(WorkerPool, ClampsThreadCountToAtLeastOne) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(WorkerPool, SizeOnePoolRunsOnCallingThread) {
+  WorkerPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  std::size_t worker_seen = 99;
+  pool.run([&](std::size_t worker) {
+    seen = std::this_thread::get_id();
+    worker_seen = worker;
+  });
+  EXPECT_EQ(seen, caller);
+  EXPECT_EQ(worker_seen, 0u);
+}
+
+TEST(WorkerPool, EveryWorkerRunsExactlyOncePerJob) {
+  WorkerPool pool(4);
+  ASSERT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run([&](std::size_t worker) { ++hits[worker]; });
+  for (std::size_t w = 0; w < 4; ++w) {
+    EXPECT_EQ(hits[w].load(), 1) << "worker " << w;
+  }
+}
+
+TEST(WorkerPool, RunIsABarrier) {
+  WorkerPool pool(4);
+  // Disjoint slot writes during the job; the reduction after run() must
+  // observe every write -- that is the whole contract.
+  std::vector<int> slots(64, 0);
+  pool.run([&](std::size_t worker) {
+    for (std::size_t s = worker; s < slots.size(); s += pool.size()) {
+      slots[s] = static_cast<int>(s) + 1;
+    }
+  });
+  const int sum = std::accumulate(slots.begin(), slots.end(), 0);
+  EXPECT_EQ(sum, 64 * 65 / 2);
+}
+
+TEST(WorkerPool, ReusableAcrossManyJobs) {
+  WorkerPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.run([&](std::size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 50 * 3);
+}
+
+TEST(WorkerPool, WorkerExceptionReachesCaller) {
+  WorkerPool pool(4);
+  try {
+    pool.run([](std::size_t worker) {
+      if (worker == 2) {
+        throw std::runtime_error("boom from worker 2");
+      }
+    });
+    FAIL() << "expected the worker exception to be rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom from worker 2");
+  }
+  // The pool survives a throwing job and keeps serving.
+  std::atomic<int> count{0};
+  pool.run([&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(WorkerPool, LowestIndexedWorkersExceptionWins) {
+  WorkerPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    try {
+      pool.run([](std::size_t worker) {
+        throw std::runtime_error("worker " + std::to_string(worker));
+      });
+      FAIL() << "expected a rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "worker 0");
+    }
+  }
+}
+
+TEST(WorkerPool, CallerExceptionOnSizeOnePool) {
+  WorkerPool pool(1);
+  EXPECT_THROW(
+      pool.run([](std::size_t) { throw std::logic_error("serial"); }),
+      std::logic_error);
+  std::atomic<int> count{0};
+  pool.run([&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 1);
+}
+
+}  // namespace
+}  // namespace ckat::util

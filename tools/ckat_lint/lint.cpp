@@ -28,6 +28,7 @@ constexpr const char* kIncludeGuard = "ckat-include-guard";
 constexpr const char* kUsingNamespace = "ckat-using-namespace";
 constexpr const char* kNolintReason = "ckat-nolint-reason";
 constexpr const char* kTraceContext = "ckat-trace-context";
+constexpr const char* kTrainDeterminism = "ckat-train-determinism";
 constexpr const char* kIo = "ckat-io";
 
 /// Directories whose code must be bit-reproducible: all randomness flows
@@ -85,6 +86,17 @@ bool in_relaxed_allowlist(const std::string& path) {
     if (path_contains(path, entry)) return true;
   }
   return false;
+}
+
+/// Training-engine sources: the files that carry the "bit-identical at
+/// every thread count" contract (DESIGN.md section 16).
+bool is_training_file(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  return base.find("train") != std::string::npos ||
+         base.find("optim") != std::string::npos ||
+         base.find("gradcheck") != std::string::npos;
 }
 
 // ---------------------------------------------------------------------------
@@ -300,6 +312,9 @@ class Analyzer {
     };
 
     if (in_deterministic_dir(file.path)) check_determinism(file, candidate);
+    if (in_deterministic_dir(file.path) && is_training_file(file.path)) {
+      check_train_determinism(file, candidate);
+    }
     check_env(file, candidate);
     if (path_contains(file.path, "src/") &&
         !file.path.ends_with("metric_names.hpp")) {
@@ -363,6 +378,47 @@ class Analyzer {
           candidate(li + 1, kDeterminism, Severity::kError,
                     std::string(p.what) +
                         " in a deterministic directory; " + p.fix);
+        }
+      }
+    }
+  }
+
+  /// Training-engine sources carry a stronger contract than plain
+  /// determinism: the result must be bit-identical at every thread
+  /// count. That forbids whole construct classes, not just entropy --
+  /// atomic floating-point accumulators (commit order varies),
+  /// hardware_concurrency() (partitions must come from configuration,
+  /// never from the host), and OpenMP reductions (unordered combining
+  /// trees). Slot-ordered serial reductions are the sanctioned shape
+  /// (DESIGN.md section 16).
+  template <typename Emit>
+  void check_train_determinism(const SourceFile& file, const Emit& candidate) {
+    struct Pattern {
+      std::regex regex;
+      const char* what;
+      const char* fix;
+    };
+    static const std::vector<Pattern> patterns = {
+        {std::regex("\\batomic\\s*<\\s*(float|double|long\\s+double)\\b"),
+         "atomic floating-point accumulator",
+         "accumulate per slot and reduce serially in slot order"},
+        {std::regex("\\bhardware_concurrency\\s*\\("),
+         "hardware_concurrency() in training code",
+         "take the worker count from CkatConfig / CKAT_TRAIN_THREADS; the "
+         "slot partition must not depend on the host"},
+        {std::regex("#\\s*pragma\\s+omp\\b"), "OpenMP pragma in training code",
+         "use util::WorkerPool with slot-indexed storage"},
+        {std::regex("\\breduction\\s*\\(\\s*[+*&|^]"),
+         "OpenMP-style unordered reduction",
+         "reduce serially in slot order"},
+    };
+    for (std::size_t li = 0; li < file.code.size(); ++li) {
+      for (const Pattern& p : patterns) {
+        if (std::regex_search(file.code[li], p.regex)) {
+          candidate(li + 1, kTrainDeterminism, Severity::kError,
+                    std::string(p.what) +
+                        " breaks bit-identical-across-threads training; " +
+                        p.fix);
         }
       }
     }
@@ -564,6 +620,11 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {kTraceContext, Severity::kError,
        "start_trace() only at the gateway admission edge; downstream "
        "code forwards the request's TraceContext instead of re-rooting"},
+      {kTrainDeterminism, Severity::kError,
+       "training-engine sources (train*/optim*/gradcheck* under the "
+       "deterministic dirs) avoid atomic float accumulators, "
+       "hardware_concurrency() and OpenMP reductions; results must be "
+       "bit-identical at every thread count"},
   };
   return catalogue;
 }
@@ -664,6 +725,8 @@ constexpr SelfCheckEntry kSelfCheckManifest[] = {
      "nolint_with_reason.cpp"},
     {"ckat-trace-context", "src/serve/trace_root_bad.cpp",
      "src/serve/trace_root_clean.cpp"},
+    {"ckat-train-determinism", "src/core/trainer_bad.cpp",
+     "src/core/trainer_clean.cpp"},
 };
 
 }  // namespace
